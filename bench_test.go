@@ -1,0 +1,446 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the paper's evaluation (one Benchmark per figure, backed by the
+// drivers in internal/experiments) and benchmarks the substrates the
+// system is built on. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benches use a reduced scale so the whole suite completes on a
+// laptop; cmd/pfdrl-bench runs the same drivers at larger scales.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dqn"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/fed"
+	"repro/internal/fednet"
+	"repro/internal/forecast"
+	"repro/internal/nn"
+	"repro/internal/pecan"
+	"repro/internal/tensor"
+)
+
+// benchScale is the figure-bench scale: small enough that one iteration of
+// the heaviest sweep stays in single-digit seconds.
+func benchScale() experiments.Scale {
+	sc := experiments.Quick()
+	sc.Homes = 4
+	sc.Days = 3
+	return sc
+}
+
+// --- Figure benches: one per evaluation figure -------------------------
+
+func BenchmarkFig02Alpha(b *testing.B) {
+	sc := benchScale()
+	sc.DQNHidden = []int{12, 12, 12, 12} // 4-point α sweep per iteration
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Alpha(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig03Beta(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Beta(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig04Gamma(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Gamma(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig05CDF(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CompareForecasters(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r.CDFTable()
+	}
+}
+
+func BenchmarkFig06Hourly(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CompareForecasters(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r.HourlyTable()
+	}
+}
+
+func BenchmarkFig07Days(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AccuracyVsDays(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig08Clients(b *testing.B) {
+	sc := benchScale()
+	sc.Days = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AccuracyVsClients(sc, []int{2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig09Methods(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CompareMethods(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Cost(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MonetarySavings(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11HourSave(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CompareMethods(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r.HourlySavingsTable()
+	}
+}
+
+func BenchmarkFig12Personal(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Personalization(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13FcastTime(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ForecastOverhead(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14EMSTime(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CompareMethods(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r.EMSOverheadTable()
+	}
+}
+
+// --- Substrate microbenches ---------------------------------------------
+
+func BenchmarkMatMul100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandNormal(rng, 100, 100, 0, 1)
+	y := tensor.RandNormal(rng, 100, 100, 0, 1)
+	dst := tensor.New(100, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(dst, x, y)
+	}
+}
+
+func BenchmarkMatMul512Parallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandNormal(rng, 512, 512, 0, 1)
+	y := tensor.RandNormal(rng, 512, 512, 0, 1)
+	dst := tensor.New(512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(dst, x, y)
+	}
+}
+
+func BenchmarkLSTMForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	model := nn.NewLSTMRegressor(rng, 60, 32, 60)
+	x := tensor.RandNormal(rng, 16, 60, 0, 1)
+	y := tensor.RandNormal(rng, 16, 60, 0, 1)
+	opt := &nn.SGD{LR: 0.01}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.FitBatch(model, nn.MSE{}, opt, x, y)
+	}
+}
+
+// BenchmarkDQNLearnPaperScale exercises the paper's full 8×100 network with
+// a 120-dimensional state and batch 32 — one Algorithm 2 inner iteration.
+func BenchmarkDQNLearnPaperScale(b *testing.B) {
+	agent := dqn.New(dqn.Config{StateDim: 120, Seed: 1})
+	rng := rand.New(rand.NewSource(2))
+	st := make([]float64, 120)
+	for i := 0; i < 64; i++ {
+		for j := range st {
+			st[j] = rng.Float64()
+		}
+		agent.Observe(dqn.Transition{State: append([]float64(nil), st...), Action: i % 3, Reward: 10, Next: append([]float64(nil), st...)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Learn()
+	}
+}
+
+func BenchmarkFedAvgRound8Agents(b *testing.B) {
+	models := make([]*nn.Sequential, 8)
+	for i := range models {
+		models[i] = nn.NewMLP(rand.New(rand.NewSource(int64(i))), 60, 100, 100, 3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := fednet.New(8, fednet.Config{})
+		if _, err := fed.DecentralizedRound(net, models, "m", -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRewardTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = energy.Reward(energy.Mode(i%3), energy.Mode((i/3)%3))
+	}
+}
+
+func BenchmarkPecanGenerateHomeWeek(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = pecan.Generate(pecan.Config{Seed: int64(i), Homes: 1, Days: 7})
+	}
+}
+
+func BenchmarkForecastLSTMPredictHour(b *testing.B) {
+	ds := pecan.Generate(pecan.Config{Seed: 1, Homes: 1, Days: 2, DevicesPerHome: 1})
+	tr := ds.Homes[0].Traces[0]
+	cfg := forecast.DefaultConfig(tr.Device.OnKW)
+	cfg.Window, cfg.Hidden = 60, 32
+	f := forecast.MustNew(forecast.KindLSTM, cfg)
+	f.TrainEpochs(tr.KW, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Predict(tr.KW, 1440)
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ----------
+
+// BenchmarkAblationReplay compares small vs paper-size replay memories.
+func BenchmarkAblationReplay(b *testing.B) {
+	for _, mem := range []int{200, 2000} {
+		b.Run(map[int]string{200: "mem200", 2000: "mem2000"}[mem], func(b *testing.B) {
+			agent := dqn.New(dqn.Config{StateDim: 16, Hidden: []int{32, 32}, MemoryCapacity: mem, Seed: 1})
+			rng := rand.New(rand.NewSource(2))
+			for i := 0; i < mem; i++ {
+				st := []float64{rng.Float64()}
+				state := make([]float64, 16)
+				state[0] = st[0]
+				agent.Observe(dqn.Transition{State: state, Action: i % 3, Reward: 10, Done: true})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agent.Learn()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLoss compares the paper's Huber DQN loss against MSE on
+// identical batches (outlier rewards make Huber's gradient bounded).
+func BenchmarkAblationLoss(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pred := tensor.RandNormal(rng, 32, 3, 0, 1)
+	target := tensor.RandNormal(rng, 32, 3, 0, 5)
+	b.Run("huber", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = nn.Huber{Delta: 1}.Loss(pred, target)
+		}
+	})
+	b.Run("mse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = nn.MSE{}.Loss(pred, target)
+		}
+	})
+}
+
+// BenchmarkAblationTopology compares the simulated round cost of the
+// paper's serverless all-to-all exchange against the cloud star topology.
+func BenchmarkAblationTopology(b *testing.B) {
+	models := make([]*nn.Sequential, 6)
+	for i := range models {
+		models[i] = nn.NewMLP(rand.New(rand.NewSource(7)), 16, 32, 3)
+	}
+	b.Run("all-to-all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net := fednet.New(6, fednet.Config{})
+			if _, err := fed.DecentralizedRound(net, models, "m", -1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("star", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net := fednet.New(6, fednet.Config{Topology: fednet.Star})
+			if err := fed.CentralizedRound(net, models, "m", -1, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEndToEndPFDRLDay runs one simulated PFDRL day at experiment
+// scale: the unit of work behind every savings figure.
+func BenchmarkEndToEndPFDRLDay(b *testing.B) {
+	cfg := core.DefaultConfig(core.MethodPFDRL)
+	cfg.Homes, cfg.Days, cfg.DevicesPerHome = 2, 1, 2
+	cfg.DQNHidden = []int{16, 16, 16, 16, 16, 16, 16, 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension benches ---------------------------------------------------
+
+// BenchmarkSecureVsPlainRound quantifies the masking overhead of secure
+// aggregation relative to plain decentralized FedAvg.
+func BenchmarkSecureVsPlainRound(b *testing.B) {
+	mk := func() []*nn.Sequential {
+		models := make([]*nn.Sequential, 6)
+		for i := range models {
+			models[i] = nn.NewMLP(rand.New(rand.NewSource(int64(i))), 32, 64, 3)
+		}
+		return models
+	}
+	b.Run("plain", func(b *testing.B) {
+		models := mk()
+		for i := 0; i < b.N; i++ {
+			net := fednet.New(6, fednet.Config{})
+			if _, err := fed.DecentralizedRound(net, models, "m", -1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("secure", func(b *testing.B) {
+		models := mk()
+		for i := 0; i < b.N; i++ {
+			net := fednet.New(6, fednet.Config{})
+			if err := fed.SecureDecentralizedRound(net, models, "m", -1, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGossipRound measures one ring-gossip averaging step.
+func BenchmarkGossipRound(b *testing.B) {
+	models := make([]*nn.Sequential, 8)
+	for i := range models {
+		models[i] = nn.NewMLP(rand.New(rand.NewSource(int64(i))), 32, 64, 3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := fednet.New(8, fednet.Config{Topology: fednet.Ring})
+		if err := fed.GossipRound(net, models, "m", -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecurrentCells compares LSTM vs GRU vs TCN forward+backward at
+// equal hidden width and window.
+func BenchmarkRecurrentCells(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandNormal(rng, 16, 3*24, 0, 1)
+	run := func(b *testing.B, model *nn.Sequential, outW int) {
+		y := tensor.RandNormal(rng, 16, outW, 0, 1)
+		opt := &nn.SGD{LR: 0.01}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nn.FitBatch(model, nn.MSE{}, opt, x, y)
+		}
+	}
+	b.Run("lstm", func(b *testing.B) {
+		m := nn.NewSequential(nn.NewLSTM(rng, 3, 16, 24), nn.NewDenseXavier(rng, 16, 8))
+		run(b, m, 8)
+	})
+	b.Run("gru", func(b *testing.B) {
+		m := nn.NewSequential(nn.NewGRU(rng, 3, 16, 24), nn.NewDenseXavier(rng, 16, 8))
+		run(b, m, 8)
+	})
+	b.Run("tcn", func(b *testing.B) {
+		c1 := nn.NewConv1D(rng, 3, 8, 3, 24, 1)
+		c2 := nn.NewConv1D(rng, 8, 8, 3, c1.OutLen(), 2)
+		m := nn.NewSequential(c1, nn.NewReLU(), c2, nn.NewReLU(), nn.NewDenseXavier(rng, c2.OutWidth(), 8))
+		run(b, m, 8)
+	})
+}
+
+// BenchmarkPrioritizedVsUniformReplay compares sampling costs.
+func BenchmarkPrioritizedVsUniformReplay(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.Run("uniform", func(b *testing.B) {
+		buf := dqn.NewReplayBuffer(2000)
+		for i := 0; i < 2000; i++ {
+			buf.Add(dqn.Transition{})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Sample(rng, 32)
+		}
+	})
+	b.Run("prioritized", func(b *testing.B) {
+		buf := dqn.NewPrioritizedReplay(2000, 0.6)
+		for i := 0; i < 2000; i++ {
+			buf.Add(dqn.Transition{})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, idxs, _ := buf.Sample(rng, 32, 0.4)
+			errs := make([]float64, len(idxs))
+			for j := range errs {
+				errs[j] = 1
+			}
+			buf.UpdatePriorities(idxs, errs)
+		}
+	})
+}

@@ -1,0 +1,208 @@
+// Command pfdrl-bench regenerates the paper's evaluation figures. Every
+// figure of Section 5 (Figs 2–14) has a driver; select one with -fig or
+// run the whole suite with -fig all.
+//
+// Usage:
+//
+//	pfdrl-bench -fig 9              # method comparison (Fig 9)
+//	pfdrl-bench -fig all -homes 8 -days 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/plot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pfdrl-bench: ")
+
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 2..14 or 'all'")
+		homes  = flag.Int("homes", 0, "override homes")
+		days   = flag.Int("days", 0, "override days")
+		seed   = flag.Int64("seed", 1, "random seed")
+		csvDir = flag.String("csv", "", "also write each figure as CSV into this directory")
+		ablate = flag.String("ablation", "", "run an ablation instead of figures: 'topology' or 'scaling'")
+		svgDir = flag.String("svg", "", "also render each figure as an SVG line chart into this directory")
+	)
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	sc.Seed = *seed
+	if *homes > 0 {
+		sc.Homes = *homes
+	}
+	if *days > 0 {
+		sc.Days = *days
+	}
+
+	if *ablate != "" {
+		var t *experiments.Table
+		switch *ablate {
+		case "topology":
+			r, err := experiments.RunTopologyAblation(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t = r.Table()
+		case "scaling":
+			r, err := experiments.RunScaling(sc, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t = r.Table()
+		default:
+			log.Fatalf("unknown ablation %q (want topology or scaling)", *ablate)
+		}
+		t.Render(os.Stdout)
+		return
+	}
+
+	var figs []int
+	if *fig == "all" {
+		figs = []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}
+	} else {
+		for _, part := range strings.Split(*fig, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 2 || n > 14 {
+				log.Fatalf("invalid -fig %q (want 2..14 or 'all')", *fig)
+			}
+			figs = append(figs, n)
+		}
+	}
+
+	// Figures 5/6 share a run, as do 9/11/12/14 (12 adds one extra run);
+	// cache those results across requested figures.
+	var fcCmp *experiments.ForecastComparison
+	var methods *experiments.MethodsResult
+
+	getFcCmp := func() *experiments.ForecastComparison {
+		if fcCmp == nil {
+			r, err := experiments.CompareForecasters(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fcCmp = r
+		}
+		return fcCmp
+	}
+	getMethods := func() *experiments.MethodsResult {
+		if methods == nil {
+			r, err := experiments.CompareMethods(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			methods = r
+		}
+		return methods
+	}
+
+	for _, n := range figs {
+		start := time.Now()
+		var t *experiments.Table
+		switch n {
+		case 2:
+			r, err := experiments.Alpha(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t = r.Table()
+		case 3:
+			r, err := experiments.Beta(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t = r.Table()
+		case 4:
+			r, err := experiments.Gamma(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t = r.Table()
+		case 5:
+			t = getFcCmp().CDFTable()
+		case 6:
+			t = getFcCmp().HourlyTable()
+		case 7:
+			r, err := experiments.AccuracyVsDays(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t = r.Table()
+		case 8:
+			r, err := experiments.AccuracyVsClients(sc, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t = r.Table()
+		case 9:
+			t = getMethods().SavingsTable()
+		case 10:
+			r, err := experiments.MonetarySavings(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t = r.Table()
+		case 11:
+			t = getMethods().HourlySavingsTable()
+		case 12:
+			r, err := experiments.Personalization(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t = r.Table()
+		case 13:
+			r, err := experiments.ForecastOverhead(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t = r.Table()
+		case 14:
+			t = getMethods().EMSOverheadTable()
+		}
+		t.Render(os.Stdout)
+		if *svgDir != "" {
+			if chart, err := plot.FromTable(t.Title, t.Header, t.Rows); err == nil {
+				if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+					log.Fatal(err)
+				}
+				svg, err := chart.SVG()
+				if err != nil {
+					log.Fatal(err)
+				}
+				path := fmt.Sprintf("%s/fig%02d.svg", *svgDir, n)
+				if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("(svg: %s)\n", path)
+			}
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := fmt.Sprintf("%s/fig%02d.csv", *csvDir, n)
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := t.WriteCSV(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("(csv: %s)\n", path)
+		}
+		fmt.Printf("(fig %d regenerated in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+}

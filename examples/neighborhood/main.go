@@ -1,0 +1,52 @@
+// Neighborhood: a non-IID multi-home comparison of all five EMS methods.
+//
+// Six homes drawn from four occupancy archetypes (worker, early riser,
+// night owl, homebody) run the same week under each architecture of the
+// paper's Table 2. The output mirrors Figure 9: who saves the most energy,
+// and who gets there fastest.
+//
+//	go run ./examples/neighborhood
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	fmt.Println("Neighborhood: 6 non-IID homes, 6 days, five EMS architectures")
+	fmt.Println()
+	fmt.Printf("%-7s %14s %16s %13s %12s\n", "method", "saved kWh/home", "saved standby %", "converged day", "mean reward")
+
+	for _, m := range core.AllMethods() {
+		cfg := core.DefaultConfig(m)
+		cfg.Homes = 6
+		cfg.Days = 6
+		cfg.DevicesPerHome = 2
+		cfg.Seed = 7
+		// Smaller agents keep the five-way comparison fast.
+		cfg.DQNHidden = []int{16, 16, 16, 16, 16, 16, 16, 16}
+		cfg.LearnEveryMinutes = 10
+
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		last := len(res.DailySavedKWhPerHome) - 1
+		fmt.Printf("%-7s %14.3f %15.1f%% %13d %12.2f\n",
+			m, res.DailySavedKWhPerHome[last], 100*res.DailySavedFrac[last],
+			res.ConvergenceDay+1, res.DailyMeanReward[last])
+	}
+
+	fmt.Println()
+	fmt.Println("Paper Fig 9's shape: Local and PFDRL lead (personalization), PFDRL and FRL")
+	fmt.Println("converge fastest (shared EMS plans). At this scale saved-energy saturates for")
+	fmt.Println("every method (the metric never penalizes wrong power-downs); the mean-reward")
+	fmt.Println("column is the comfort-aware view where personalization shows.")
+}

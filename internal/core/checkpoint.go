@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Checkpointing serializes every trained model in the system — each home's
+// per-device forecasters and its DQN online network — so a simulation can
+// be resumed or a trained fleet shipped. The format is versioned and
+// self-describing enough to reject mismatched systems:
+//
+//	magic "PFDR" | u32 version | u32 homes | u32 deviceTypes
+//	per home: per device type (sorted): forecaster params
+//	          DQN online params
+//
+// Replay memories and exploration state are deliberately not serialized:
+// a checkpoint captures the learned policy/forecast state, not the
+// transient training state.
+
+const (
+	checkpointMagic   = "PFDR"
+	checkpointVersion = 1
+)
+
+// SaveModels writes all model parameters to w.
+func (s *System) SaveModels(w io.Writer) error {
+	var hdr [16]byte
+	copy(hdr[:4], checkpointMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], checkpointVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(s.homes)))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(s.deviceTypes)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("core: writing checkpoint header: %w", err)
+	}
+	types := append([]string(nil), s.deviceTypes...)
+	sort.Strings(types)
+	for _, h := range s.homes {
+		for _, dt := range types {
+			fc, ok := h.fcs[dt]
+			if !ok {
+				return fmt.Errorf("core: home %d missing forecaster for %q", h.id, dt)
+			}
+			if _, err := fc.Model().WriteTo(w); err != nil {
+				return fmt.Errorf("core: home %d %s forecaster: %w", h.id, dt, err)
+			}
+		}
+		if _, err := h.agent.Online.WriteTo(w); err != nil {
+			return fmt.Errorf("core: home %d agent: %w", h.id, err)
+		}
+	}
+	return nil
+}
+
+// LoadModels restores model parameters written by SaveModels into this
+// system. The receiving system must have the same home count, device
+// types, and architectures. Target networks are synced to the restored
+// online networks.
+func (s *System) LoadModels(r io.Reader) error {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("core: reading checkpoint header: %w", err)
+	}
+	if string(hdr[:4]) != checkpointMagic {
+		return fmt.Errorf("core: not a PFDRL checkpoint (magic %q)", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != checkpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, want %d", v, checkpointVersion)
+	}
+	if n := binary.LittleEndian.Uint32(hdr[8:12]); int(n) != len(s.homes) {
+		return fmt.Errorf("core: checkpoint has %d homes, system has %d", n, len(s.homes))
+	}
+	if n := binary.LittleEndian.Uint32(hdr[12:16]); int(n) != len(s.deviceTypes) {
+		return fmt.Errorf("core: checkpoint has %d device types, system has %d", n, len(s.deviceTypes))
+	}
+	types := append([]string(nil), s.deviceTypes...)
+	sort.Strings(types)
+	for _, h := range s.homes {
+		for _, dt := range types {
+			fc, ok := h.fcs[dt]
+			if !ok {
+				return fmt.Errorf("core: home %d missing forecaster for %q", h.id, dt)
+			}
+			if _, err := fc.Model().ReadFrom(r); err != nil {
+				return fmt.Errorf("core: home %d %s forecaster: %w", h.id, dt, err)
+			}
+		}
+		if _, err := h.agent.Online.ReadFrom(r); err != nil {
+			return fmt.Errorf("core: home %d agent: %w", h.id, err)
+		}
+		h.agent.SyncTarget()
+	}
+	return nil
+}

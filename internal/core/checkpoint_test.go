@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := tinyConfig(MethodPFDRL)
+	cfg.Days = 2
+	trained, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trained.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trained.SaveModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadModels(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Restored parameters match exactly, including the synced target nets.
+	for hi := range trained.homes {
+		tp := trained.homes[hi].agent.Online.Params()
+		fp := fresh.homes[hi].agent.Online.Params()
+		for j := range tp {
+			if !tp[j].Equal(fp[j]) {
+				t.Fatalf("home %d agent param %d differs after restore", hi, j)
+			}
+		}
+		tt := fresh.homes[hi].agent.Target.Params()
+		for j := range tp {
+			if !tp[j].Equal(tt[j]) {
+				t.Fatalf("home %d target net not synced on load", hi)
+			}
+		}
+		for dt, fc := range trained.homes[hi].fcs {
+			a := fc.Model().Params()
+			b := fresh.homes[hi].fcs[dt].Model().Params()
+			for j := range a {
+				if !a[j].Equal(b[j]) {
+					t.Fatalf("home %d %s forecaster param %d differs", hi, dt, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	cfg := tinyConfig(MethodPFDRL)
+	a, _ := NewSystem(cfg)
+	var buf bytes.Buffer
+	if err := a.SaveModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Different home count.
+	cfg2 := cfg
+	cfg2.Homes = cfg.Homes + 1
+	b, _ := NewSystem(cfg2)
+	if err := b.LoadModels(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("home-count mismatch accepted")
+	}
+	// Different architecture.
+	cfg3 := cfg
+	cfg3.DQNHidden = []int{7, 7}
+	c, _ := NewSystem(cfg3)
+	if err := c.LoadModels(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("architecture mismatch accepted")
+	}
+	// Garbage header.
+	d, _ := NewSystem(cfg)
+	if err := d.LoadModels(bytes.NewReader([]byte("not a checkpoint at all....."))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated stream.
+	e, _ := NewSystem(cfg)
+	if err := e.LoadModels(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/forecast"
+)
+
+// tinyConfig is a minimal-but-complete configuration for fast tests.
+func tinyConfig(m Method) Config {
+	cfg := DefaultConfig(m)
+	cfg.Homes = 3
+	cfg.Days = 3
+	cfg.DevicesPerHome = 2
+	cfg.ForecastKind = forecast.KindLR // cheapest
+	cfg.ForecastWindow = 16
+	cfg.DQNHidden = []int{12, 12}
+	cfg.Alpha = 1
+	cfg.LookAhead, cfg.LookBack = 4, 4
+	cfg.LearnEveryMinutes = 20
+	cfg.DQNBatch = 8
+	cfg.TrainEveryHours = 8
+	cfg.BetaHours = 12
+	cfg.GammaHours = 12
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := tinyConfig(MethodPFDRL)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Method = "Quantum" },
+		func(c *Config) { c.Homes = 0 },
+		func(c *Config) { c.Days = 0 },
+		func(c *Config) { c.DevicesPerHome = 0 },
+		func(c *Config) { c.DQNHidden = nil },
+		func(c *Config) { c.Alpha = 99 },
+		func(c *Config) { c.Alpha = -1 },
+		func(c *Config) { c.LookAhead = 0 },
+		func(c *Config) { c.LearnEveryMinutes = 0 },
+		func(c *Config) { c.Method = MethodPFDRL; c.Alpha = 0 },
+	}
+	for i, mut := range cases {
+		c := tinyConfig(MethodPFDRL)
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+func TestMethodPredicates(t *testing.T) {
+	if len(AllMethods()) != 5 {
+		t.Fatal("expected 5 methods")
+	}
+	if MethodLocal.SharesForecast() || !MethodCloud.SharesForecast() {
+		t.Fatal("SharesForecast wrong")
+	}
+	if MethodFL.SharesEMS() || !MethodFRL.SharesEMS() || !MethodPFDRL.SharesEMS() {
+		t.Fatal("SharesEMS wrong")
+	}
+	if !MethodLocal.Decentralized() || !MethodPFDRL.Decentralized() || MethodCloud.Decentralized() {
+		t.Fatal("Decentralized wrong")
+	}
+	if Method("bogus").Valid() {
+		t.Fatal("bogus method valid")
+	}
+}
+
+func TestSharedTrainableLayersMapping(t *testing.T) {
+	c := tinyConfig(MethodPFDRL)
+	c.DQNHidden = []int{10, 10, 10}
+	c.Alpha = 2
+	if got := c.sharedTrainableLayers(); got != 2 {
+		t.Fatalf("alpha 2 of 3 → %d, want 2", got)
+	}
+	c.Alpha = 3 // all hidden layers shared → full FedAvg
+	if got := c.sharedTrainableLayers(); got != -1 {
+		t.Fatalf("alpha = len(hidden) → %d, want -1", got)
+	}
+}
+
+func TestNewSystemRejectsBadConfig(t *testing.T) {
+	c := tinyConfig(MethodPFDRL)
+	c.Homes = 0
+	if _, err := NewSystem(c); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestRunAllMethodsSmoke(t *testing.T) {
+	for _, m := range AllMethods() {
+		s, err := NewSystem(tinyConfig(m))
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(res.DailySavedKWhPerHome) != 3 || len(res.DailySavedFrac) != 3 {
+			t.Fatalf("%s: daily series length wrong", m)
+		}
+		for d, f := range res.DailySavedFrac {
+			if f < 0 || f > 1 || math.IsNaN(f) {
+				t.Fatalf("%s day %d: saved fraction %v out of range", m, d, f)
+			}
+		}
+		if len(res.PerHomeSavedKWhFinal) != 3 || len(res.PerHomeSavedFracFinal) != 3 {
+			t.Fatalf("%s: per-home results missing", m)
+		}
+		if res.ForecastAccuracy <= 0 || res.ForecastAccuracy > 1 {
+			t.Fatalf("%s: forecast accuracy %v implausible", m, res.ForecastAccuracy)
+		}
+		if len(res.AccuracySamples) == 0 {
+			t.Fatalf("%s: no accuracy samples", m)
+		}
+		if res.EMSTestTime <= 0 || res.EMSTrainTime <= 0 {
+			t.Fatalf("%s: EMS timers empty", m)
+		}
+		// Communication planes must match the method.
+		fcComm := res.ForecastNetStats.MessagesSent > 0
+		emsComm := res.EMSNetStats.MessagesSent > 0
+		if fcComm != m.SharesForecast() {
+			t.Fatalf("%s: forecast comm = %v, want %v", m, fcComm, m.SharesForecast())
+		}
+		if emsComm != m.SharesEMS() {
+			t.Fatalf("%s: EMS comm = %v, want %v", m, emsComm, m.SharesEMS())
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() *Result {
+		s, err := NewSystem(tinyConfig(MethodPFDRL))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for d := range a.DailySavedFrac {
+		if a.DailySavedFrac[d] != b.DailySavedFrac[d] {
+			t.Fatalf("day %d: %v vs %v", d, a.DailySavedFrac[d], b.DailySavedFrac[d])
+		}
+	}
+	if a.ForecastAccuracy != b.ForecastAccuracy {
+		t.Fatal("accuracy not deterministic")
+	}
+}
+
+func TestSavingsImproveWithTraining(t *testing.T) {
+	cfg := tinyConfig(MethodPFDRL)
+	cfg.Days = 6
+	cfg.LearnEveryMinutes = 5
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := res.DailySavedFrac[0]
+	late := res.DailySavedFrac[len(res.DailySavedFrac)-1]
+	if late <= early {
+		t.Fatalf("savings did not improve: day0=%.3f dayN=%.3f", early, late)
+	}
+	if late < 0.3 {
+		t.Fatalf("final saved fraction %.3f implausibly low", late)
+	}
+}
+
+func TestPFDRLPersonalizationKeepsModelsDistinct(t *testing.T) {
+	cfg := tinyConfig(MethodPFDRL)
+	cfg.DQNHidden = []int{12, 12, 12}
+	cfg.Alpha = 1
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Base layers identical across homes; later layers distinct.
+	a := s.homes[0].agent.Online
+	b := s.homes[1].agent.Online
+	basesA := a.ParamsOfTrainableRange(0, 1)
+	basesB := b.ParamsOfTrainableRange(0, 1)
+	for i := range basesA {
+		if !basesA[i].AlmostEqual(basesB[i], 1e-9) {
+			t.Fatal("base layers diverged despite federation")
+		}
+	}
+	persA := a.ParamsOfTrainableRange(1, a.NumTrainableLayers())
+	persB := b.ParamsOfTrainableRange(1, b.NumTrainableLayers())
+	distinct := false
+	for i := range persA {
+		if !persA[i].AlmostEqual(persB[i], 1e-9) {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Fatal("personalization layers identical — split not applied")
+	}
+}
+
+func TestFRLFullySynchronizesAgents(t *testing.T) {
+	cfg := tinyConfig(MethodFRL)
+	cfg.GammaHours = 24 // final round at end of last day
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a := s.homes[0].agent.Online.Params()
+	b := s.homes[1].agent.Online.Params()
+	for i := range a {
+		if !a[i].AlmostEqual(b[i], 1e-9) {
+			t.Fatal("FRL agents not synchronized after final round")
+		}
+	}
+}
+
+func TestCloudUploadsRawData(t *testing.T) {
+	cfg := tinyConfig(MethodCloud)
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 homes × 2 devices × 3 days of raw uploads, plus model downloads.
+	minRaw := int64(3 * 2 * 3 * rawDayBytes)
+	if res.ForecastNetStats.BytesSent < minRaw {
+		t.Fatalf("cloud bytes %d below raw-data floor %d", res.ForecastNetStats.BytesSent, minRaw)
+	}
+	// FL moves parameters only — no raw-data uploads on its fabric.
+	flRes := mustRun(t, tinyConfig(MethodFL))
+	if flRes.ForecastNetStats.BytesSent == 0 {
+		t.Fatal("FL moved no bytes")
+	}
+}
+
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFiresInHour(t *testing.T) {
+	// β = 2h: fires once at even-hour boundaries.
+	if got := firesInHour(2, 120); got != 1 {
+		t.Fatalf("2h period at minute 120: %d fires", got)
+	}
+	if got := firesInHour(2, 60); got != 0 {
+		t.Fatalf("2h period at minute 60: %d fires", got)
+	}
+	// β = 0.1h = 6 minutes: 10 fires per hour.
+	if got := firesInHour(0.1, 120); got != 10 {
+		t.Fatalf("0.1h period: %d fires, want 10", got)
+	}
+	// Disabled.
+	if got := firesInHour(0, 60); got != 0 {
+		t.Fatal("disabled schedule fired")
+	}
+}
+
+func TestDropTolerance(t *testing.T) {
+	cfg := tinyConfig(MethodPFDRL)
+	cfg.DropProb = 0.4
+	res := mustRun(t, cfg)
+	for _, f := range res.DailySavedFrac {
+		if math.IsNaN(f) {
+			t.Fatal("drops produced NaN savings")
+		}
+	}
+	if res.ForecastNetStats.MessagesDropped == 0 {
+		t.Fatal("drop injection did not drop anything")
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import "testing"
+
+// TestFRLEquivalentToFullySharedPFDRL encodes a structural invariant: FRL
+// (full DQN FedAvg through a cloud hub) and PFDRL with α = len(hidden)
+// (every layer shared over the LAN) perform identical aggregation math, so
+// with the same seed they must produce identical savings trajectories —
+// the transport differs, the learning does not.
+func TestFRLEquivalentToFullySharedPFDRL(t *testing.T) {
+	mk := func(m Method, alpha int) *Result {
+		cfg := tinyConfig(m)
+		cfg.Alpha = alpha
+		cfg.Days = 2
+		return mustRun(t, cfg)
+	}
+	frl := mk(MethodFRL, 1) // alpha ignored by FRL
+	pfdrl := mk(MethodPFDRL, len(tinyConfig(MethodPFDRL).DQNHidden))
+	for d := range frl.DailySavedFrac {
+		if frl.DailySavedFrac[d] != pfdrl.DailySavedFrac[d] {
+			t.Fatalf("day %d: FRL %.6f vs fully-shared PFDRL %.6f",
+				d, frl.DailySavedFrac[d], pfdrl.DailySavedFrac[d])
+		}
+		if frl.DailyMeanReward[d] != pfdrl.DailyMeanReward[d] {
+			t.Fatalf("day %d rewards differ", d)
+		}
+	}
+}
+
+// TestParallelHomesDeterminism guards the home-parallel simulation loop:
+// concurrent execution must not change results run to run.
+func TestParallelHomesDeterminism(t *testing.T) {
+	cfg := tinyConfig(MethodPFDRL)
+	cfg.Homes = 5
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	for d := range a.DailySavedFrac {
+		if a.DailySavedFrac[d] != b.DailySavedFrac[d] || a.DailyMeanReward[d] != b.DailyMeanReward[d] {
+			t.Fatalf("parallel run non-deterministic at day %d", d)
+		}
+	}
+	if a.ForecastAccuracy != b.ForecastAccuracy {
+		t.Fatal("accuracy non-deterministic")
+	}
+}

@@ -1,0 +1,463 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dqn"
+	"repro/internal/energy"
+	"repro/internal/fed"
+	"repro/internal/forecast"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/pecan"
+)
+
+// rawDayBytes is the wire size of one device-day of raw minute data — what
+// the Cloud baseline uploads instead of model parameters.
+const rawDayBytes = pecan.MinutesPerDay * 8
+
+// firesInHour counts how many broadcast instants of a period (in hours)
+// fall inside the hour ending at absolute minute hourEnd (exclusive).
+func firesInHour(periodHours float64, hourEnd int) int {
+	sched := fed.Schedule{PeriodHours: periodHours}
+	fires := 0
+	for m := hourEnd - 59; m <= hourEnd; m++ {
+		if sched.Due(m) {
+			fires++
+		}
+	}
+	return fires
+}
+
+// Run simulates cfg.Days days and returns the collected Result.
+func (s *System) Run() (*Result, error) {
+	cfg := s.cfg
+	res := &Result{Method: cfg.Method, Config: cfg}
+	timer := metrics.NewTimer()
+
+	evalDays := cfg.Days / 4
+	if evalDays < 1 {
+		evalDays = 1
+	}
+	evalStart := cfg.Days - evalDays
+
+	var accBuckets metrics.HourBuckets
+	var savedByHour [24]float64
+
+	for day := 0; day < cfg.Days; day++ {
+		inEval := day >= evalStart
+
+		// --- Forecast phase: per-hour next-hour predictions for the day.
+		// Homes predict concurrently (each owns its forecasters); accuracy
+		// collection stays serial for deterministic aggregation order.
+		fcTestDur := make([]time.Duration, len(s.homes))
+		s.parallelHomes(func(h *simHome) {
+			start := time.Now()
+			for di, tr := range h.src.Traces {
+				h.predDay[di] = s.predictDay(h, tr, day)
+			}
+			fcTestDur[h.id] = time.Since(start)
+		})
+		for _, d := range fcTestDur {
+			timer.Add("fc-test", d)
+		}
+		if inEval {
+			for _, h := range s.homes {
+				s.collectAccuracy(res, &accBuckets, h, day)
+			}
+		}
+
+		// --- EMS + local training, hour by hour.
+		daySaved, dayStandby := 0.0, 0.0
+		envs := make([][]*energy.Env, len(s.homes))
+		for hi, h := range s.homes {
+			envs[hi] = make([]*energy.Env, len(h.src.Traces))
+			for di, tr := range h.src.Traces {
+				env, err := energy.NewEnv(tr.Device, h.predDay[di], tr.Day(day))
+				if err != nil {
+					return nil, fmt.Errorf("core: home %d %s: %w", h.id, tr.Device.Type, err)
+				}
+				env.LookAhead, env.LookBack = cfg.LookAhead, cfg.LookBack
+				env.SensorDelay = cfg.SensorDelayMinutes
+				if nom := s.nominalKW[tr.Device.Type]; nom > 0 {
+					env.NormKW = nom
+				}
+				envs[hi][di] = env
+			}
+		}
+		perHomeSaved := make([]float64, len(s.homes))
+		perHomeStandby := make([]float64, len(s.homes))
+		perHomeReward := make([]float64, len(s.homes))
+		perHomeSteps := make([]int, len(s.homes))
+		dayReward, daySteps := 0.0, 0
+
+		hourStats := make([]emsHourStats, len(s.homes))
+		for hour := 0; hour < 24; hour++ {
+			// Homes run their EMS hour concurrently: each home's agent,
+			// environments, and RNGs are private, so results are identical
+			// to the serial schedule; aggregation below follows home order
+			// so float summation stays deterministic.
+			s.parallelHomes(func(h *simHome) {
+				hourStats[h.id] = s.runEMSHour(h, envs[h.id], hour)
+			})
+			for hi := range s.homes {
+				st := hourStats[hi]
+				perHomeSaved[hi] += st.savedKWh
+				perHomeStandby[hi] += st.standbyKWh
+				perHomeReward[hi] += st.rewardSum
+				perHomeSteps[hi] += st.steps
+				dayReward += st.rewardSum
+				daySteps += st.steps
+				if inEval {
+					savedByHour[hour] += st.savedKWh
+				}
+				timer.Add("ems-test", st.testDur)
+				timer.Add("ems-train", st.trainDur)
+			}
+			hourEnd := day*pecan.MinutesPerDay + (hour+1)*60
+
+			// Local forecaster training bouts.
+			if (hour+1)%cfg.TrainEveryHours == 0 {
+				s.trainForecasters(timer, hourEnd)
+			}
+			// Forecast-plane federation (β).
+			if fires := firesInHour(cfg.BetaHours, hourEnd); fires > 0 && cfg.Method.SharesForecast() && cfg.Method != MethodCloud {
+				if err := s.forecastRound(timer, fires); err != nil {
+					return nil, err
+				}
+			}
+			// EMS-plane federation (γ).
+			if fires := firesInHour(cfg.GammaHours, hourEnd); fires > 0 && cfg.Method.SharesEMS() {
+				if err := s.emsRound(timer, fires); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Cloud raw-data training happens nightly.
+		if cfg.Method == MethodCloud {
+			s.cloudDay(timer, day)
+		}
+
+		for hi := range s.homes {
+			daySaved += perHomeSaved[hi]
+			dayStandby += perHomeStandby[hi]
+		}
+		res.DailySavedKWhPerHome = append(res.DailySavedKWhPerHome, daySaved/float64(len(s.homes)))
+		frac := 0.0
+		if dayStandby > 0 {
+			frac = daySaved / dayStandby
+		}
+		res.DailySavedFrac = append(res.DailySavedFrac, frac)
+		res.DailyMeanReward = append(res.DailyMeanReward, dayReward/float64(daySteps))
+		if day == cfg.Days-1 {
+			res.PerHomeSavedKWhFinal = perHomeSaved
+			for hi := range s.homes {
+				f := 0.0
+				if perHomeStandby[hi] > 0 {
+					f = perHomeSaved[hi] / perHomeStandby[hi]
+				}
+				res.PerHomeSavedFracFinal = append(res.PerHomeSavedFracFinal, f)
+				res.PerHomeRewardFinal = append(res.PerHomeRewardFinal, perHomeReward[hi]/float64(perHomeSteps[hi]))
+			}
+		}
+	}
+
+	// --- Assemble result.
+	res.AccuracyByHour = accBuckets.Means()
+	if len(res.AccuracySamples) > 0 {
+		sum := 0.0
+		for _, a := range res.AccuracySamples {
+			sum += a
+		}
+		res.ForecastAccuracy = sum / float64(len(res.AccuracySamples))
+	}
+	norm := float64(len(s.homes) * evalDays)
+	for i := range savedByHour {
+		res.SavedByHour[i] = savedByHour[i] / norm
+	}
+	tail := cfg.Days / 5
+	if tail < 1 {
+		tail = 1
+	}
+	res.ConvergenceDay = metrics.ConvergenceDay(res.DailySavedFrac, 0.9, tail)
+
+	res.ForecastTrainTime = timer.Get("fc-train")
+	res.ForecastTestTime = timer.Get("fc-test")
+	res.EMSTrainTime = timer.Get("ems-train")
+	res.EMSTestTime = timer.Get("ems-test")
+	if s.fcNet != nil {
+		res.ForecastNetStats = s.fcNet.Stats()
+		res.ForecastCommTime = res.ForecastNetStats.SimulatedTime
+	}
+	if s.drlNet != nil {
+		res.EMSNetStats = s.drlNet.Stats()
+		res.EMSCommTime = res.EMSNetStats.SimulatedTime
+	}
+	return res, nil
+}
+
+// parallelHomes runs fn for every home concurrently and waits. Homes are
+// fully independent between federation rounds (private agents, forecasters,
+// environments, RNG streams), so this preserves serial-run results exactly.
+func (s *System) parallelHomes(fn func(h *simHome)) {
+	var wg sync.WaitGroup
+	for _, h := range s.homes {
+		wg.Add(1)
+		go func(h *simHome) {
+			defer wg.Done()
+			fn(h)
+		}(h)
+	}
+	wg.Wait()
+}
+
+// predictDay builds the day's per-minute forecast for one device by
+// chaining 24 next-hour predictions, each made causally from history.
+func (s *System) predictDay(h *simHome, tr *pecan.Trace, day int) []float64 {
+	fc := h.fcs[tr.Device.Type]
+	w := fc.Config().Window
+	pred := make([]float64, pecan.MinutesPerDay)
+	for hour := 0; hour < 24; hour++ {
+		t := day*pecan.MinutesPerDay + hour*60
+		if t < w {
+			// No history yet (first window of day 0): assume standby, the
+			// dominant mode.
+			for m := 0; m < 60; m++ {
+				pred[hour*60+m] = tr.Device.StandbyKW
+			}
+			continue
+		}
+		copy(pred[hour*60:(hour+1)*60], fc.Predict(tr.KW, t))
+	}
+	return pred
+}
+
+// collectAccuracy appends the day's per-minute accuracies to the result.
+func (s *System) collectAccuracy(res *Result, buckets *metrics.HourBuckets, h *simHome, day int) {
+	for di, tr := range h.src.Traces {
+		floor := forecast.FloorFor(tr.Device.OnKW)
+		acc := forecast.Accuracy(h.predDay[di], tr.Day(day), floor)
+		for m, a := range acc {
+			buckets.Add(m, a)
+			if m%3 == 0 { // subsample the CDF corpus
+				res.AccuracySamples = append(res.AccuracySamples, a)
+			}
+		}
+	}
+}
+
+// emsHourStats aggregates one home-hour of EMS activity.
+type emsHourStats struct {
+	// savedKWh counts standby energy the agent switched off; standbyKWh is
+	// what was available to save.
+	savedKWh, standbyKWh float64
+	rewardSum            float64
+	steps                int
+	// testDur covers observation building and action selection; trainDur
+	// covers replay writes and learning.
+	testDur, trainDur time.Duration
+}
+
+// runEMSHour advances one home's agent through 60 minutes of all its
+// device environments, learning on the configured cadence. It touches only
+// home-local state and is safe to run concurrently across homes.
+func (s *System) runEMSHour(h *simHome, envs []*energy.Env, hour int) emsHourStats {
+	cfg := s.cfg
+	var st emsHourStats
+	for m := hour * 60; m < (hour+1)*60; m++ {
+		for _, env := range envs {
+			t0 := time.Now()
+			state := s.stateAt(env, m)
+			action := energy.Mode(h.agent.SelectAction(state))
+			st.testDur += time.Since(t0)
+
+			truth := env.TruthAt(m)
+			r := energy.Reward(truth, action)
+			st.rewardSum += r
+			st.steps++
+			done := m == pecan.MinutesPerDay-1
+			var next []float64
+			if !done {
+				next = s.stateAt(env, m+1)
+			}
+			t0 = time.Now()
+			h.agent.Observe(dqn.Transition{State: state, Action: int(action), Reward: r, Next: next, Done: done})
+			st.trainDur += time.Since(t0)
+
+			if truth == energy.Standby {
+				kwh := env.Device.StandbyKW / 60
+				st.standbyKWh += kwh
+				if action == energy.Off {
+					st.savedKWh += kwh
+				}
+			}
+		}
+		if m%cfg.LearnEveryMinutes == 0 {
+			t0 := time.Now()
+			h.agent.Learn()
+			st.trainDur += time.Since(t0)
+		}
+	}
+	return st
+}
+
+// trainForecasters runs one local training bout per home per device on the
+// recent history window ending at absolute minute end. Homes train
+// concurrently; the timer accumulates total compute across homes (the
+// quantity the overhead figures compare).
+func (s *System) trainForecasters(timer *metrics.Timer, end int) {
+	cfg := s.cfg
+	lookback := cfg.TrainLookbackHours * 60
+	durs := make([]time.Duration, len(s.homes))
+	s.parallelHomes(func(h *simHome) {
+		t0 := time.Now()
+		for _, tr := range h.src.Traces {
+			start := end - lookback
+			if start < 0 {
+				start = 0
+			}
+			stop := end
+			if stop > len(tr.KW) {
+				stop = len(tr.KW)
+			}
+			epochs := cfg.TrainBoutEpochs
+			if epochs < 1 {
+				epochs = 1
+			}
+			h.fcs[tr.Device.Type].TrainEpochs(tr.KW[start:stop], epochs)
+		}
+		durs[h.id] = time.Since(t0)
+	})
+	for _, d := range durs {
+		timer.Add("fc-train", d)
+	}
+}
+
+// forecastRound performs one forecast-plane federation round (plus charges
+// any extra sub-hourly fires).
+func (s *System) forecastRound(timer *metrics.Timer, fires int) error {
+	timer.Start("fc-train")
+	defer timer.Stop("fc-train")
+	for _, dt := range s.deviceTypes {
+		var models []*nn.Sequential
+		if s.cfg.Method == MethodPFDRL {
+			for _, h := range s.homes {
+				models = append(models, h.fcs[dt].Model())
+			}
+			if _, err := fed.DecentralizedRound(s.fcNet, models, "fc/"+dt, -1); err != nil {
+				return err
+			}
+		} else { // FL, FRL: star with the hub as pure server
+			models = append(models, s.hubFcs[dt].Model())
+			for _, h := range s.homes {
+				models = append(models, h.fcs[dt].Model())
+			}
+			if err := fed.CentralizedRound(s.fcNet, models, "fc/"+dt, -1, true); err != nil {
+				return err
+			}
+		}
+		if fires > 1 {
+			s.fcNet.ChargeBroadcastRounds(models[0].WireSize(), fires-1)
+		}
+	}
+	return nil
+}
+
+// emsRound performs one EMS-plane federation round: full FedAvg of the DQN
+// through the cloud for FRL, FedPer base-layer averaging over the LAN for
+// PFDRL. Target networks are re-synced to the aggregated online networks.
+func (s *System) emsRound(timer *metrics.Timer, fires int) error {
+	timer.Start("ems-train")
+	defer timer.Stop("ems-train")
+	var models []*nn.Sequential
+	switch s.cfg.Method {
+	case MethodPFDRL:
+		for _, h := range s.homes {
+			models = append(models, h.agent.Online)
+		}
+		alpha := s.cfg.sharedTrainableLayers()
+		if _, err := fed.DecentralizedRound(s.drlNet, models, "drl", alpha); err != nil {
+			return err
+		}
+		if fires > 1 {
+			shared := models[0].Params()
+			if alpha >= 0 {
+				shared = models[0].ParamsOfTrainableRange(0, alpha)
+			}
+			s.drlNet.ChargeBroadcastRounds(nn.ParamsWireSize(shared), fires-1)
+		}
+	case MethodFRL:
+		models = append(models, s.hubAgent.Online)
+		for _, h := range s.homes {
+			models = append(models, h.agent.Online)
+		}
+		if err := fed.CentralizedRound(s.drlNet, models, "drl", -1, true); err != nil {
+			return err
+		}
+		if fires > 1 {
+			s.drlNet.ChargeBroadcastRounds(models[0].WireSize(), fires-1)
+		}
+	default:
+		return fmt.Errorf("core: emsRound called for method %s", s.cfg.Method)
+	}
+	for _, h := range s.homes {
+		h.agent.SyncTarget()
+	}
+	return nil
+}
+
+// cloudDay implements the Cloud baseline's nightly cycle: every home
+// uploads its raw day of device data, the cloud trains one global
+// forecaster per device type on the uploaded histories, and ships the
+// refreshed model back to every home.
+func (s *System) cloudDay(timer *metrics.Timer, day int) {
+	timer.Start("fc-train")
+	defer timer.Stop("fc-train")
+	end := (day + 1) * pecan.MinutesPerDay
+	lookback := s.cfg.TrainLookbackHours * 60
+
+	// Raw uploads (payload contents are irrelevant to the simulation; the
+	// fabric charges by size).
+	blob := make([]byte, rawDayBytes)
+	for hi, h := range s.homes {
+		for range h.src.Traces {
+			_ = s.fcNet.Send(hi+1, 0, "raw", blob)
+		}
+	}
+	s.fcNet.Collect(0)
+
+	// Cloud-side training: sequential SGD over a rotating subset of homes
+	// (bounding cloud compute at a few homes per night).
+	const cloudHomesPerNight = 3
+	for _, dt := range s.deviceTypes {
+		global := s.hubFcs[dt]
+		for k := 0; k < cloudHomesPerNight && k < len(s.homes); k++ {
+			h := s.homes[(day*cloudHomesPerNight+k)%len(s.homes)]
+			tr := h.src.TraceByType(dt)
+			if tr == nil {
+				continue
+			}
+			start := end - lookback
+			if start < 0 {
+				start = 0
+			}
+			epochs := s.cfg.TrainBoutEpochs
+			if epochs < 1 {
+				epochs = 1
+			}
+			global.TrainEpochs(tr.KW[start:end], epochs)
+		}
+		// Model download to every home.
+		payload := fed.MarshalParams(global.Model().Params())
+		for hi, h := range s.homes {
+			_ = s.fcNet.Send(0, hi+1, "model/"+dt, payload)
+			h.fcs[dt].Model().CopyParamsFrom(global.Model())
+		}
+	}
+	for hi := range s.homes {
+		s.fcNet.Collect(hi + 1)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dqn"
+	"repro/internal/energy"
+	"repro/internal/fednet"
+	"repro/internal/forecast"
+	"repro/internal/pecan"
+)
+
+// simHome is one residence's runtime state: its traces, one forecaster per
+// device type, and its DQN agent.
+type simHome struct {
+	id    int
+	src   *pecan.Home
+	fcs   map[string]forecast.Forecaster
+	agent *dqn.Agent
+	// predDay[devIdx] holds the current day's hour-by-hour forecast.
+	predDay [][]float64
+}
+
+// System is a constructed simulation ready to Run.
+type System struct {
+	cfg         Config
+	ds          *pecan.Dataset
+	homes       []*simHome
+	deviceTypes []string
+	// nominalKW maps device type to the fleet-nominal on-power used for
+	// EMS state normalization (individual homes' units differ from it).
+	nominalKW map[string]float64
+
+	// fcNet carries forecaster traffic; drlNet carries EMS traffic. Either
+	// may be nil when the method does not communicate on that plane.
+	fcNet, drlNet *fednet.Network
+	// hubFcs / hubAgent are the aggregation-server-side model templates for
+	// star-topology methods (the hub participates in rounds as a pure
+	// server: its parameters are never mixed in).
+	hubFcs   map[string]forecast.Forecaster
+	hubAgent *dqn.Agent
+}
+
+// NewSystem generates the corpus and builds all agents for cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ds := pecan.Generate(pecan.Config{
+		Seed:           cfg.Seed,
+		Homes:          cfg.Homes,
+		Days:           cfg.Days,
+		DevicesPerHome: cfg.DevicesPerHome,
+	})
+	s := &System{cfg: cfg, ds: ds, deviceTypes: ds.DeviceTypes(), nominalKW: map[string]float64{}}
+	for _, p := range pecan.StandardDevices() {
+		s.nominalKW[p.Device.Type] = p.Device.OnKW
+	}
+
+	stateDim := cfg.LookAhead + cfg.LookBack
+	if cfg.TimeFeatures {
+		stateDim += 2
+	}
+	kind := cfg.ForecastKind
+	if kind == "" {
+		kind = forecast.KindLSTM
+	}
+
+	fcConfigFor := func(devType string, seed int64) (forecast.Config, error) {
+		var dev *energy.Device
+		for _, h := range ds.Homes {
+			if tr := h.TraceByType(devType); tr != nil {
+				dev = &tr.Device
+				break
+			}
+		}
+		if dev == nil {
+			return forecast.Config{}, fmt.Errorf("core: no trace for device type %q", devType)
+		}
+		fc := forecast.DefaultConfig(dev.OnKW)
+		fc.Window = cfg.ForecastWindow
+		fc.Hidden = cfg.ForecastHidden
+		fc.Horizon = 60
+		fc.Seed = seed
+		return fc, nil
+	}
+
+	for hi, ph := range ds.Homes {
+		home := &simHome{
+			id:  hi,
+			src: ph,
+			fcs: map[string]forecast.Forecaster{},
+			agent: dqn.New(dqn.Config{
+				StateDim:  stateDim,
+				Actions:   energy.NumModes,
+				Hidden:    cfg.DQNHidden,
+				BatchSize: cfg.DQNBatch,
+				LearnRate: cfg.DQNLearnRate,
+				Epsilon: dqn.EpsilonSchedule{
+					Start: 1, End: 0.02,
+					DecaySteps: epsilonDays(cfg) * pecan.MinutesPerDay * cfg.DevicesPerHome,
+				},
+				Seed:     cfg.Seed + int64(1000+hi),
+				InitSeed: cfg.Seed + 500,
+			}),
+			predDay: make([][]float64, len(ph.Traces)),
+		}
+		for _, tr := range ph.Traces {
+			// All homes share one initialization per device type (the
+			// paper: "each agent A_n has the same default training model
+			// initially"), so federated averages start aligned. The
+			// normalization scale is the home's own device on-power —
+			// devices of the same class draw differently across homes.
+			fcCfg, err := fcConfigFor(tr.Device.Type, cfg.Seed+7)
+			if err != nil {
+				return nil, err
+			}
+			fcCfg.Scale = tr.Device.OnKW
+			f, err := forecast.New(kind, fcCfg)
+			if err != nil {
+				return nil, err
+			}
+			home.fcs[tr.Device.Type] = f
+		}
+		s.homes = append(s.homes, home)
+	}
+
+	// Communication fabrics and hub-side templates.
+	switch cfg.Method {
+	case MethodPFDRL:
+		s.fcNet = fednet.New(cfg.Homes, fednet.Config{Topology: fednet.AllToAll, DropProb: cfg.DropProb, Seed: cfg.Seed + 2})
+		s.drlNet = fednet.New(cfg.Homes, fednet.Config{Topology: fednet.AllToAll, DropProb: cfg.DropProb, Seed: cfg.Seed + 3})
+	case MethodCloud, MethodFL:
+		s.fcNet = fednet.New(cfg.Homes+1, fednet.Config{Topology: fednet.Star, DropProb: cfg.DropProb, Seed: cfg.Seed + 2})
+	case MethodFRL:
+		s.fcNet = fednet.New(cfg.Homes+1, fednet.Config{Topology: fednet.Star, DropProb: cfg.DropProb, Seed: cfg.Seed + 2})
+		s.drlNet = fednet.New(cfg.Homes+1, fednet.Config{Topology: fednet.Star, DropProb: cfg.DropProb, Seed: cfg.Seed + 3})
+	case MethodLocal:
+		// no fabric
+	}
+	if s.fcNet != nil && s.fcNet.Config().Topology == fednet.Star {
+		s.hubFcs = map[string]forecast.Forecaster{}
+		for _, dt := range s.deviceTypes {
+			fcCfg, err := fcConfigFor(dt, cfg.Seed+7)
+			if err != nil {
+				return nil, err
+			}
+			f, err := forecast.New(kind, fcCfg)
+			if err != nil {
+				return nil, err
+			}
+			s.hubFcs[dt] = f
+		}
+	}
+	if s.drlNet != nil && s.drlNet.Config().Topology == fednet.Star {
+		s.hubAgent = dqn.New(dqn.Config{
+			StateDim:  stateDim,
+			Actions:   energy.NumModes,
+			Hidden:    cfg.DQNHidden,
+			BatchSize: cfg.DQNBatch,
+			Seed:      cfg.Seed + 999,
+		})
+	}
+	return s, nil
+}
+
+// epsilonDays returns the exploration anneal length in days.
+func epsilonDays(cfg Config) int {
+	if cfg.EpsilonDecayDays > 0 {
+		return cfg.EpsilonDecayDays
+	}
+	return 2
+}
+
+// Dataset exposes the generated corpus (examples and tests inspect it).
+func (s *System) Dataset() *pecan.Dataset { return s.ds }
+
+// stateAt builds the DQN observation for device di of home h at day-local
+// minute m: the energy-window state plus optional time-of-day features.
+func (s *System) stateAt(env *energy.Env, minuteOfDay int) []float64 {
+	st := env.StateAt(minuteOfDay)
+	if !s.cfg.TimeFeatures {
+		return st
+	}
+	angle := 2 * math.Pi * float64(minuteOfDay) / float64(pecan.MinutesPerDay)
+	return append(st, math.Sin(angle), math.Cos(angle))
+}

@@ -1,0 +1,259 @@
+package dqn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config holds the agent hyperparameters. Zero values select the paper's
+// settings.
+type Config struct {
+	// StateDim is the observation width (required).
+	StateDim int
+	// Actions is the action-space size (default 3: off/standby/on).
+	Actions int
+	// Hidden lists hidden-layer widths (default eight layers of 100).
+	Hidden []int
+	// LearnRate is the optimizer step size (default 0.001).
+	LearnRate float64
+	// Gamma is the discount factor κ (default 0.9).
+	Gamma float64
+	// MemoryCapacity is the replay size (default 2000).
+	MemoryCapacity int
+	// TargetReplace syncs the target net every N learn steps (default 100).
+	TargetReplace int
+	// BatchSize is the replay minibatch (default 32).
+	BatchSize int
+	// Epsilon is the exploration schedule (default 1.0 → 0.05 over 2000).
+	Epsilon EpsilonSchedule
+	// RewardScale multiplies rewards before they enter the TD target;
+	// the Table 1 rewards span ±30, so the default 1/30 keeps Q-values
+	// O(1) where the Huber quadratic zone is effective.
+	RewardScale float64
+	// HuberDelta is the loss crossover (default 1).
+	HuberDelta float64
+	// Seed drives exploration and replay sampling.
+	Seed int64
+	// InitSeed, when non-zero, drives weight initialization separately from
+	// Seed. Federated deployments give every agent the same InitSeed (the
+	// paper: agents start from "the same default training model") so that
+	// parameter averaging operates on aligned networks, while each agent
+	// keeps its own exploration Seed.
+	InitSeed int64
+	// DoubleDQN selects the action for the bootstrap target with the online
+	// network and evaluates it with the target network (van Hasselt et
+	// al.), reducing maximization bias. The paper uses plain DQN; this is
+	// the standard extension and is off by default.
+	DoubleDQN bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.StateDim <= 0 {
+		panic("dqn: Config.StateDim is required")
+	}
+	if c.Actions <= 0 {
+		c.Actions = 3
+	}
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{100, 100, 100, 100, 100, 100, 100, 100}
+	}
+	if c.LearnRate <= 0 {
+		c.LearnRate = 0.001
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.9
+	}
+	if c.MemoryCapacity <= 0 {
+		c.MemoryCapacity = 2000
+	}
+	if c.TargetReplace <= 0 {
+		c.TargetReplace = 100
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.Epsilon == (EpsilonSchedule{}) {
+		c.Epsilon = EpsilonSchedule{Start: 1, End: 0.05, DecaySteps: 2000}
+	}
+	if c.RewardScale == 0 {
+		c.RewardScale = 1.0 / 30.0
+	}
+	if c.HuberDelta <= 0 {
+		c.HuberDelta = 1
+	}
+	return c
+}
+
+// Agent is a DQN learner.
+type Agent struct {
+	cfg Config
+	// Online is the trained Q-network; Target provides bootstrap values and
+	// is synced from Online every TargetReplace learn steps.
+	Online, Target *nn.Sequential
+	buf            *ReplayBuffer
+	opt            nn.Optimizer
+	rng            *rand.Rand
+	learnSteps     int
+	actSteps       int
+}
+
+// New builds an agent from cfg (panics if StateDim is unset).
+func New(cfg Config) *Agent {
+	cfg = cfg.withDefaults()
+	initSeed := cfg.InitSeed
+	if initSeed == 0 {
+		initSeed = cfg.Seed
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	widths := append([]int{cfg.StateDim}, cfg.Hidden...)
+	widths = append(widths, cfg.Actions)
+	online := nn.NewMLP(rand.New(rand.NewSource(initSeed)), widths...)
+	target := nn.NewMLP(rand.New(rand.NewSource(initSeed)), widths...)
+	target.CopyParamsFrom(online)
+	return &Agent{
+		cfg:    cfg,
+		Online: online,
+		Target: target,
+		buf:    NewReplayBuffer(cfg.MemoryCapacity),
+		opt:    &nn.Adam{LR: cfg.LearnRate, Clip: 5},
+		rng:    rng,
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+// Epsilon returns the current exploration rate.
+func (a *Agent) Epsilon() float64 { return a.cfg.Epsilon.At(a.actSteps) }
+
+// MemoryLen returns the number of stored transitions.
+func (a *Agent) MemoryLen() int { return a.buf.Len() }
+
+// LearnSteps returns the number of completed gradient updates.
+func (a *Agent) LearnSteps() int { return a.learnSteps }
+
+// QValues returns the online network's Q-values for a state.
+func (a *Agent) QValues(state []float64) []float64 {
+	if len(state) != a.cfg.StateDim {
+		panic(fmt.Sprintf("dqn: state dim %d, want %d", len(state), a.cfg.StateDim))
+	}
+	out := a.Online.Forward(tensor.NewRowVector(state))
+	q := make([]float64, a.cfg.Actions)
+	copy(q, out.Data)
+	return q
+}
+
+// Greedy returns argmax_a Q(state, a).
+func (a *Agent) Greedy(state []float64) int {
+	q := a.QValues(state)
+	best, bi := q[0], 0
+	for i, v := range q[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// SelectAction is the ε-greedy policy (Algorithm 2: a_t = random(0,2) or
+// argmax_a Q(s_t, a)). It advances the exploration schedule.
+func (a *Agent) SelectAction(state []float64) int {
+	eps := a.Epsilon()
+	a.actSteps++
+	if a.rng.Float64() < eps {
+		return a.rng.Intn(a.cfg.Actions)
+	}
+	return a.Greedy(state)
+}
+
+// Observe stores a transition in replay memory.
+func (a *Agent) Observe(t Transition) {
+	if len(t.State) != a.cfg.StateDim || (!t.Done && len(t.Next) != a.cfg.StateDim) {
+		panic("dqn: Observe with mismatched state dimensions")
+	}
+	if t.Action < 0 || t.Action >= a.cfg.Actions {
+		panic(fmt.Sprintf("dqn: Observe with action %d outside [0,%d)", t.Action, a.cfg.Actions))
+	}
+	a.buf.Add(t)
+}
+
+// Learn runs one minibatch TD update (Algorithm 2's inner loop):
+//
+//	y_i = r_i + κ·max_a' Q_target(s'_i, a')   (y_i = r_i if terminal)
+//	L    = Huber(y_i − Q_online(s_i, a_i))
+//
+// It is a no-op returning NaN until the buffer holds one full batch.
+// Every TargetReplace learn steps the target network is synced.
+func (a *Agent) Learn() float64 {
+	if a.buf.Len() < a.cfg.BatchSize {
+		return math.NaN()
+	}
+	batch := a.buf.Sample(a.rng, a.cfg.BatchSize)
+	n := a.cfg.BatchSize
+
+	states := tensor.New(n, a.cfg.StateDim)
+	nexts := tensor.New(n, a.cfg.StateDim)
+	for i, tr := range batch {
+		states.SetRow(i, tr.State)
+		if !tr.Done {
+			nexts.SetRow(i, tr.Next)
+		}
+	}
+	// Bootstrap targets from the frozen network. Under Double DQN the
+	// online network picks the argmax action and the target network scores
+	// it; under plain DQN the target network does both.
+	nextQ := a.Target.Forward(nexts)
+	var nextOnline *tensor.Matrix
+	if a.cfg.DoubleDQN {
+		nextOnline = a.Online.Forward(nexts).Clone()
+	}
+	qPred := a.Online.Forward(states)
+
+	target := qPred.Clone()
+	mask := tensor.New(n, a.cfg.Actions)
+	for i, tr := range batch {
+		y := tr.Reward * a.cfg.RewardScale
+		if !tr.Done {
+			row := nextQ.Row(i)
+			var boot float64
+			if a.cfg.DoubleDQN {
+				sel := nextOnline.Row(i)
+				bi := 0
+				for c, v := range sel[1:] {
+					if v > sel[bi] {
+						bi = c + 1
+					}
+				}
+				boot = row[bi]
+			} else {
+				boot = row[0]
+				for _, v := range row[1:] {
+					if v > boot {
+						boot = v
+					}
+				}
+			}
+			y += a.cfg.Gamma * boot
+		}
+		target.Set(i, tr.Action, y)
+		mask.Set(i, tr.Action, 1)
+	}
+
+	loss, grad := nn.MaskedHuber{Delta: a.cfg.HuberDelta}.Loss(qPred, target, mask)
+	a.Online.ZeroGrads()
+	a.Online.Backward(grad)
+	a.opt.Step(a.Online.Params(), a.Online.Grads())
+
+	a.learnSteps++
+	if a.learnSteps%a.cfg.TargetReplace == 0 {
+		a.SyncTarget()
+	}
+	return loss
+}
+
+// SyncTarget copies the online parameters into the target network.
+func (a *Agent) SyncTarget() { a.Target.CopyParamsFrom(a.Online) }

@@ -1,0 +1,98 @@
+package dqn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDoubleDQNLearnsBandit mirrors the plain-DQN bandit test with the
+// Double DQN target rule enabled.
+func TestDoubleDQNLearnsBandit(t *testing.T) {
+	a := New(Config{
+		StateDim:       2,
+		Actions:        3,
+		Hidden:         []int{24, 24},
+		MemoryCapacity: 500,
+		BatchSize:      32,
+		TargetReplace:  50,
+		LearnRate:      0.005,
+		Epsilon:        EpsilonSchedule{Start: 1, End: 0.1, DecaySteps: 1500},
+		Seed:           16,
+		DoubleDQN:      true,
+	})
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 2500; i++ {
+		state := []float64{rng.Float64(), rng.Float64()}
+		act := a.SelectAction(state)
+		want := 0
+		if state[0] >= 0.5 {
+			want = 2
+		}
+		r := -30.0
+		if act == want {
+			r = 30
+		} else if act == 1 {
+			r = -10
+		}
+		a.Observe(Transition{State: state, Action: act, Reward: r, Done: true})
+		a.Learn()
+	}
+	correct := 0
+	for i := 0; i < 200; i++ {
+		state := []float64{rng.Float64(), rng.Float64()}
+		want := 0
+		if state[0] >= 0.5 {
+			want = 2
+		}
+		if a.Greedy(state) == want {
+			correct++
+		}
+	}
+	if correct < 180 {
+		t.Fatalf("Double DQN bandit accuracy %d/200", correct)
+	}
+}
+
+// TestDoubleDQNBootstrapsWithSequentialTask checks a 2-step chain where the
+// second state's value must be bootstrapped: state s0 --a--> s1 (reward 0),
+// s1 --correct--> +30. Both DQN variants must propagate value back to s0.
+func TestDoubleDQNTemporalCredit(t *testing.T) {
+	for _, double := range []bool{false, true} {
+		a := New(Config{
+			StateDim:       1,
+			Actions:        2,
+			Hidden:         []int{16, 16},
+			MemoryCapacity: 400,
+			BatchSize:      16,
+			TargetReplace:  40,
+			LearnRate:      0.01,
+			Epsilon:        EpsilonSchedule{Start: 1, End: 0.05, DecaySteps: 800},
+			Seed:           9,
+			DoubleDQN:      double,
+		})
+		s0 := []float64{0}
+		s1 := []float64{1}
+		for i := 0; i < 1500; i++ {
+			a0 := a.SelectAction(s0)
+			// Action 1 from s0 leads to the rewarding state; action 0 dead-ends.
+			if a0 == 1 {
+				a.Observe(Transition{State: s0, Action: a0, Reward: 0, Next: s1})
+				a1 := a.SelectAction(s1)
+				r := -10.0
+				if a1 == 0 {
+					r = 30
+				}
+				a.Observe(Transition{State: s1, Action: a1, Reward: r, Done: true})
+			} else {
+				a.Observe(Transition{State: s0, Action: a0, Reward: 0, Done: true})
+			}
+			a.Learn()
+		}
+		if got := a.Greedy(s0); got != 1 {
+			t.Fatalf("double=%v: s0 greedy action %d, want 1 (bootstrapped value)", double, got)
+		}
+		if got := a.Greedy(s1); got != 0 {
+			t.Fatalf("double=%v: s1 greedy action %d, want 0", double, got)
+		}
+	}
+}

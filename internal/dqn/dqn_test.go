@@ -1,0 +1,309 @@
+package dqn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReplayBufferBasics(t *testing.T) {
+	b := NewReplayBuffer(3)
+	if b.Cap() != 3 || b.Len() != 0 {
+		t.Fatalf("fresh buffer cap=%d len=%d", b.Cap(), b.Len())
+	}
+	for i := 0; i < 2; i++ {
+		b.Add(Transition{Reward: float64(i)})
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+}
+
+func TestReplayBufferEvictsOldest(t *testing.T) {
+	b := NewReplayBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Add(Transition{Reward: float64(i)})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len = %d, want 3", b.Len())
+	}
+	seen := map[float64]bool{}
+	for _, tr := range b.buf {
+		seen[tr.Reward] = true
+	}
+	// Rewards 0 and 1 evicted; 2,3,4 retained.
+	if seen[0] || seen[1] || !seen[2] || !seen[3] || !seen[4] {
+		t.Fatalf("wrong eviction: %v", seen)
+	}
+}
+
+func TestReplayBufferSample(t *testing.T) {
+	b := NewReplayBuffer(10)
+	for i := 0; i < 4; i++ {
+		b.Add(Transition{Reward: float64(i)})
+	}
+	rng := rand.New(rand.NewSource(1))
+	s := b.Sample(rng, 100)
+	if len(s) != 100 {
+		t.Fatalf("sample size %d", len(s))
+	}
+	for _, tr := range s {
+		if tr.Reward < 0 || tr.Reward > 3 {
+			t.Fatalf("sampled phantom transition %v", tr.Reward)
+		}
+	}
+}
+
+func TestReplayBufferPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("capacity 0 accepted")
+			}
+		}()
+		NewReplayBuffer(0)
+	}()
+	b := NewReplayBuffer(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sampling empty buffer did not panic")
+		}
+	}()
+	b.Sample(rand.New(rand.NewSource(1)), 1)
+}
+
+func TestEpsilonSchedule(t *testing.T) {
+	e := EpsilonSchedule{Start: 1, End: 0.1, DecaySteps: 100}
+	if e.At(0) != 1 {
+		t.Fatalf("At(0) = %v", e.At(0))
+	}
+	if got := e.At(50); math.Abs(got-0.55) > 1e-12 {
+		t.Fatalf("At(50) = %v, want 0.55", got)
+	}
+	if e.At(100) != 0.1 || e.At(1000) != 0.1 {
+		t.Fatal("schedule should pin at End")
+	}
+	degenerate := EpsilonSchedule{Start: 0.7, End: 0.2}
+	if degenerate.At(0) != 0.2 {
+		t.Fatal("zero DecaySteps should return End")
+	}
+}
+
+func smallAgent(seed int64) *Agent {
+	return New(Config{
+		StateDim:       4,
+		Actions:        3,
+		Hidden:         []int{16, 16},
+		MemoryCapacity: 200,
+		BatchSize:      16,
+		TargetReplace:  20,
+		Epsilon:        EpsilonSchedule{Start: 1, End: 0, DecaySteps: 300},
+		Seed:           seed,
+	})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	a := New(Config{StateDim: 7})
+	cfg := a.Config()
+	if cfg.Actions != 3 || len(cfg.Hidden) != 8 || cfg.Hidden[0] != 100 {
+		t.Fatalf("paper defaults missing: %+v", cfg)
+	}
+	if cfg.LearnRate != 0.001 || cfg.Gamma != 0.9 || cfg.MemoryCapacity != 2000 || cfg.TargetReplace != 100 {
+		t.Fatalf("paper hyperparameters wrong: %+v", cfg)
+	}
+	// 8 hidden + output = 9 trainable layers.
+	if got := a.Online.NumTrainableLayers(); got != 9 {
+		t.Fatalf("trainable layers = %d, want 9", got)
+	}
+}
+
+func TestConfigRequiresStateDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing StateDim accepted")
+		}
+	}()
+	New(Config{})
+}
+
+func TestQValuesAndGreedy(t *testing.T) {
+	a := smallAgent(1)
+	q := a.QValues([]float64{0.1, 0.2, 0.3, 0.4})
+	if len(q) != 3 {
+		t.Fatalf("QValues length %d", len(q))
+	}
+	g := a.Greedy([]float64{0.1, 0.2, 0.3, 0.4})
+	best := 0
+	for i, v := range q {
+		if v > q[best] {
+			best = i
+		}
+	}
+	if g != best {
+		t.Fatalf("Greedy = %d, argmax = %d", g, best)
+	}
+}
+
+func TestQValuesPanicsOnBadDim(t *testing.T) {
+	a := smallAgent(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong state dim accepted")
+		}
+	}()
+	a.QValues([]float64{1})
+}
+
+func TestSelectActionExploresEarlyExploitsLate(t *testing.T) {
+	a := smallAgent(2)
+	state := []float64{0.5, 0.5, 0.5, 0.5}
+	// With ε=1 at the start, actions must be spread across the space.
+	counts := map[int]int{}
+	for i := 0; i < 150; i++ {
+		counts[a.SelectAction(state)]++
+	}
+	if len(counts) < 3 {
+		t.Fatalf("no exploration: %v", counts)
+	}
+	// Burn the schedule down to ε=0; actions must become deterministic.
+	for a.Epsilon() > 0 {
+		a.SelectAction(state)
+	}
+	first := a.SelectAction(state)
+	for i := 0; i < 20; i++ {
+		if got := a.SelectAction(state); got != first {
+			t.Fatal("greedy phase not deterministic")
+		}
+	}
+}
+
+func TestObservePanics(t *testing.T) {
+	a := smallAgent(3)
+	ok := Transition{State: make([]float64, 4), Action: 0, Next: make([]float64, 4)}
+	a.Observe(ok)
+	for _, bad := range []Transition{
+		{State: make([]float64, 2), Action: 0, Next: make([]float64, 4)},
+		{State: make([]float64, 4), Action: 0, Next: make([]float64, 1)},
+		{State: make([]float64, 4), Action: 5, Next: make([]float64, 4)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bad transition accepted: %+v", bad)
+				}
+			}()
+			a.Observe(bad)
+		}()
+	}
+	// Terminal transitions may omit Next.
+	a.Observe(Transition{State: make([]float64, 4), Action: 1, Done: true})
+}
+
+func TestLearnNoOpUntilBatchFull(t *testing.T) {
+	a := smallAgent(4)
+	if l := a.Learn(); !math.IsNaN(l) {
+		t.Fatalf("Learn on empty memory returned %v, want NaN", l)
+	}
+	if a.LearnSteps() != 0 {
+		t.Fatal("no-op Learn counted as a step")
+	}
+}
+
+func TestTargetSyncCadence(t *testing.T) {
+	a := smallAgent(5)
+	st := make([]float64, 4)
+	for i := 0; i < 50; i++ {
+		a.Observe(Transition{State: st, Action: i % 3, Reward: 1, Next: st})
+	}
+	// After 19 learn steps the target must differ from online; after the
+	// 20th they must match (TargetReplace: 20).
+	for i := 0; i < 19; i++ {
+		a.Learn()
+	}
+	same := true
+	po, pt := a.Online.Params(), a.Target.Params()
+	for i := range po {
+		if !po[i].Equal(pt[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("target should lag online before sync")
+	}
+	a.Learn() // 20th step triggers sync
+	for i := range po {
+		if !po[i].Equal(pt[i]) {
+			t.Fatal("target not synced on TargetReplace boundary")
+		}
+	}
+}
+
+// TestLearnsContextualBandit: a 1-step environment where action quality
+// depends on the state. The agent must learn the optimal mapping.
+func TestLearnsContextualBandit(t *testing.T) {
+	a := New(Config{
+		StateDim:       2,
+		Actions:        3,
+		Hidden:         []int{24, 24},
+		MemoryCapacity: 500,
+		BatchSize:      32,
+		TargetReplace:  50,
+		LearnRate:      0.005,
+		Epsilon:        EpsilonSchedule{Start: 1, End: 0.1, DecaySteps: 1500},
+		RewardScale:    1.0 / 30.0,
+		Seed:           6,
+	})
+	rng := rand.New(rand.NewSource(7))
+	reward := func(state []float64, action int) float64 {
+		// Best action: 0 if state[0] < 0.5, else 2.
+		want := 0
+		if state[0] >= 0.5 {
+			want = 2
+		}
+		switch {
+		case action == want:
+			return 30
+		case action == 1:
+			return -10
+		default:
+			return -30
+		}
+	}
+	for i := 0; i < 2500; i++ {
+		state := []float64{rng.Float64(), rng.Float64()}
+		act := a.SelectAction(state)
+		r := reward(state, act)
+		a.Observe(Transition{State: state, Action: act, Reward: r, Done: true})
+		a.Learn()
+	}
+	correct := 0
+	for i := 0; i < 200; i++ {
+		state := []float64{rng.Float64(), rng.Float64()}
+		want := 0
+		if state[0] >= 0.5 {
+			want = 2
+		}
+		if a.Greedy(state) == want {
+			correct++
+		}
+	}
+	if correct < 180 {
+		t.Fatalf("bandit accuracy %d/200 after training", correct)
+	}
+}
+
+func TestPropEpsilonMonotoneNonIncreasing(t *testing.T) {
+	f := func(s1, s2 uint16) bool {
+		e := EpsilonSchedule{Start: 1, End: 0.05, DecaySteps: 1000}
+		a, b := int(s1), int(s2)
+		if a > b {
+			a, b = b, a
+		}
+		return e.At(a) >= e.At(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

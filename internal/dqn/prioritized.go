@@ -1,0 +1,159 @@
+package dqn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PrioritizedReplay is proportional prioritized experience replay (Schaul
+// et al.): transitions are sampled with probability proportional to
+// |TD-error|^α, with importance-sampling weights correcting the induced
+// bias. A sum-tree gives O(log n) sampling and priority updates.
+//
+// The paper's agent uses uniform replay; this is the standard extension,
+// exposed so ablations can quantify what prioritization buys on the EMS
+// task.
+type PrioritizedReplay struct {
+	capacity int
+	alpha    float64
+	// tree is a binary sum-tree over priorities; leaves live at
+	// [capacity-1, 2*capacity-1).
+	tree []float64
+	data []Transition
+	pos  int
+	size int
+	// maxPriority seeds new transitions so everything is replayed at least
+	// once with high probability.
+	maxPriority float64
+}
+
+// NewPrioritizedReplay returns a buffer with the given capacity and
+// priority exponent alpha (0 = uniform, 1 = fully proportional; 0.6 is the
+// usual default, selected when alpha <= 0).
+func NewPrioritizedReplay(capacity int, alpha float64) *PrioritizedReplay {
+	if capacity < 1 {
+		panic(fmt.Sprintf("dqn: prioritized replay capacity %d < 1", capacity))
+	}
+	if alpha <= 0 {
+		alpha = 0.6
+	}
+	// Round capacity up to a power of two so the tree stays a perfect
+	// binary tree; the logical capacity is unchanged.
+	cap2 := 1
+	for cap2 < capacity {
+		cap2 <<= 1
+	}
+	return &PrioritizedReplay{
+		capacity:    capacity,
+		alpha:       alpha,
+		tree:        make([]float64, 2*cap2-1),
+		data:        make([]Transition, capacity),
+		maxPriority: 1,
+	}
+}
+
+// leafBase returns the index of the first leaf.
+func (p *PrioritizedReplay) leafBase() int { return len(p.tree) / 2 }
+
+// Len returns the number of stored transitions.
+func (p *PrioritizedReplay) Len() int { return p.size }
+
+// Cap returns the logical capacity.
+func (p *PrioritizedReplay) Cap() int { return p.capacity }
+
+// Add stores a transition at maximal current priority, evicting the oldest
+// once full.
+func (p *PrioritizedReplay) Add(t Transition) {
+	idx := p.pos
+	p.data[idx] = t
+	p.setPriority(idx, p.maxPriority)
+	p.pos = (p.pos + 1) % p.capacity
+	if p.size < p.capacity {
+		p.size++
+	}
+}
+
+// setPriority writes priority^alpha into leaf idx and repairs the sums.
+func (p *PrioritizedReplay) setPriority(idx int, priority float64) {
+	if priority <= 0 || math.IsNaN(priority) {
+		priority = 1e-6
+	}
+	node := p.leafBase() + idx
+	p.tree[node] = math.Pow(priority, p.alpha)
+	for node > 0 {
+		node = (node - 1) / 2
+		p.tree[node] = p.tree[2*node+1] + p.tree[2*node+2]
+	}
+}
+
+// total returns the sum of all leaf weights.
+func (p *PrioritizedReplay) total() float64 { return p.tree[0] }
+
+// Sample draws n transitions ~ priority^alpha. It returns the transitions,
+// their buffer indices (for UpdatePriorities), and importance-sampling
+// weights normalized to max 1, computed with the given beta exponent
+// (beta→1 fully corrects the sampling bias).
+func (p *PrioritizedReplay) Sample(rng *rand.Rand, n int, beta float64) ([]Transition, []int, []float64) {
+	if p.size == 0 {
+		panic("dqn: Sample from empty prioritized replay")
+	}
+	if beta < 0 {
+		beta = 0
+	}
+	out := make([]Transition, n)
+	idxs := make([]int, n)
+	weights := make([]float64, n)
+	base := p.leafBase()
+	maxW := 0.0
+	for i := 0; i < n; i++ {
+		r := rng.Float64() * p.total()
+		node := 0
+		for node < base {
+			left := 2*node + 1
+			if r <= p.tree[left] || p.tree[left+1] == 0 {
+				node = left
+			} else {
+				r -= p.tree[left]
+				node = left + 1
+			}
+		}
+		idx := node - base
+		if idx >= p.size { // numerical edge: clamp into the filled region
+			idx = p.size - 1
+			node = base + idx
+		}
+		idxs[i] = idx
+		out[i] = p.data[idx]
+		prob := p.tree[node] / p.total()
+		w := math.Pow(float64(p.size)*prob, -beta)
+		weights[i] = w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > 0 {
+		for i := range weights {
+			weights[i] /= maxW
+		}
+	}
+	return out, idxs, weights
+}
+
+// UpdatePriorities sets new |TD-error| priorities for previously sampled
+// indices.
+func (p *PrioritizedReplay) UpdatePriorities(idxs []int, tdErrors []float64) {
+	if len(idxs) != len(tdErrors) {
+		panic(fmt.Sprintf("dqn: UpdatePriorities %d indices vs %d errors", len(idxs), len(tdErrors)))
+	}
+	for i, idx := range idxs {
+		if idx < 0 || idx >= p.capacity {
+			panic(fmt.Sprintf("dqn: UpdatePriorities index %d out of range", idx))
+		}
+		pr := math.Abs(tdErrors[i]) + 1e-6
+		if pr > p.maxPriority {
+			p.maxPriority = pr
+		}
+		p.setPriority(idx, pr)
+	}
+}

@@ -1,0 +1,131 @@
+package dqn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPrioritizedReplayBasics(t *testing.T) {
+	p := NewPrioritizedReplay(5, 0)
+	if p.Cap() != 5 || p.Len() != 0 {
+		t.Fatalf("cap=%d len=%d", p.Cap(), p.Len())
+	}
+	for i := 0; i < 7; i++ {
+		p.Add(Transition{Reward: float64(i)})
+	}
+	if p.Len() != 5 {
+		t.Fatalf("len = %d after overfill", p.Len())
+	}
+}
+
+func TestPrioritizedReplayPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("capacity 0 accepted")
+			}
+		}()
+		NewPrioritizedReplay(0, 0.6)
+	}()
+	p := NewPrioritizedReplay(4, 0.6)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("empty sample accepted")
+			}
+		}()
+		p.Sample(rand.New(rand.NewSource(1)), 1, 0.4)
+	}()
+	p.Add(Transition{})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("mismatched UpdatePriorities accepted")
+			}
+		}()
+		p.UpdatePriorities([]int{0}, []float64{1, 2})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range index accepted")
+			}
+		}()
+		p.UpdatePriorities([]int{99}, []float64{1})
+	}()
+}
+
+// TestPrioritizedSamplingBias: a transition with 100x priority must be
+// sampled far more often than its uniform share.
+func TestPrioritizedSamplingBias(t *testing.T) {
+	p := NewPrioritizedReplay(10, 1.0) // fully proportional
+	for i := 0; i < 10; i++ {
+		p.Add(Transition{Action: i})
+	}
+	// Boost transition 3.
+	p.UpdatePriorities([]int{3}, []float64{100})
+	rng := rand.New(rand.NewSource(2))
+	counts := map[int]int{}
+	const draws = 3000
+	trs, _, _ := p.Sample(rng, draws, 0.4)
+	for _, tr := range trs {
+		counts[tr.Action]++
+	}
+	// Transition 3 carries ~100/109 of the mass.
+	if counts[3] < draws/2 {
+		t.Fatalf("high-priority transition drawn %d/%d times", counts[3], draws)
+	}
+}
+
+func TestPrioritizedISWeights(t *testing.T) {
+	p := NewPrioritizedReplay(4, 1.0)
+	for i := 0; i < 4; i++ {
+		p.Add(Transition{Action: i})
+	}
+	p.UpdatePriorities([]int{0, 1, 2, 3}, []float64{8, 1, 1, 1})
+	rng := rand.New(rand.NewSource(3))
+	_, idxs, weights := p.Sample(rng, 200, 1.0)
+	for i, w := range weights {
+		if w <= 0 || w > 1+1e-12 {
+			t.Fatalf("weight %v outside (0,1]", w)
+		}
+		// The over-sampled transition must carry the smallest IS weight.
+		if idxs[i] == 0 && w > 0.5 {
+			t.Fatalf("high-priority sample has weight %v, want < 0.5", w)
+		}
+	}
+}
+
+func TestPrioritizedUniformAlphaZeroish(t *testing.T) {
+	// With equal priorities, sampling must cover all entries.
+	p := NewPrioritizedReplay(8, 0.6)
+	for i := 0; i < 8; i++ {
+		p.Add(Transition{Action: i})
+	}
+	rng := rand.New(rand.NewSource(4))
+	trs, _, weights := p.Sample(rng, 400, 0.4)
+	seen := map[int]bool{}
+	for _, tr := range trs {
+		seen[tr.Action] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("uniform-priority sampling covered %d/8", len(seen))
+	}
+	for _, w := range weights {
+		if math.Abs(w-1) > 1e-9 {
+			t.Fatalf("equal priorities should give unit IS weights, got %v", w)
+		}
+	}
+}
+
+func TestPrioritizedNaNPrioritySafe(t *testing.T) {
+	p := NewPrioritizedReplay(2, 0.6)
+	p.Add(Transition{})
+	p.UpdatePriorities([]int{0}, []float64{math.NaN()})
+	rng := rand.New(rand.NewSource(5))
+	trs, _, _ := p.Sample(rng, 10, 0.4)
+	if len(trs) != 10 {
+		t.Fatal("NaN priority broke sampling")
+	}
+}

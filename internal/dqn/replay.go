@@ -1,0 +1,93 @@
+// Package dqn implements the Deep Q-Network agent of Section 3.3.1: an
+// ε-greedy policy over a deep MLP trained by one-step temporal-difference
+// targets from a periodically synced target network, with uniform replay
+// memory and the Huber loss (Algorithm 2). The paper's hyperparameters —
+// learning rate 0.001, discount κ=0.9, memory capacity 2000, target
+// replacement every 100 learn steps, eight hidden layers of 100 ReLU units,
+// 3 output Q-values — are the defaults.
+package dqn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Transition is one (s, a, r, s', done) experience tuple.
+type Transition struct {
+	State  []float64
+	Action int
+	Reward float64
+	Next   []float64
+	// Done marks episode termination: the target for a terminal transition
+	// is the bare reward with no bootstrapped next-state value.
+	Done bool
+}
+
+// ReplayBuffer is a fixed-capacity uniform-sampling ring buffer.
+type ReplayBuffer struct {
+	buf  []Transition
+	pos  int
+	full bool
+}
+
+// NewReplayBuffer returns a buffer holding up to capacity transitions.
+func NewReplayBuffer(capacity int) *ReplayBuffer {
+	if capacity < 1 {
+		panic(fmt.Sprintf("dqn: replay capacity %d < 1", capacity))
+	}
+	return &ReplayBuffer{buf: make([]Transition, 0, capacity)}
+}
+
+// Cap returns the buffer capacity.
+func (b *ReplayBuffer) Cap() int { return cap(b.buf) }
+
+// Len returns the number of stored transitions.
+func (b *ReplayBuffer) Len() int {
+	if b.full {
+		return cap(b.buf)
+	}
+	return len(b.buf)
+}
+
+// Add stores a transition, evicting the oldest once full.
+func (b *ReplayBuffer) Add(t Transition) {
+	if b.full {
+		b.buf[b.pos] = t
+		b.pos = (b.pos + 1) % cap(b.buf)
+		return
+	}
+	b.buf = append(b.buf, t)
+	if len(b.buf) == cap(b.buf) {
+		b.full = true
+		b.pos = 0
+	}
+}
+
+// Sample draws n transitions uniformly with replacement. It panics if the
+// buffer is empty.
+func (b *ReplayBuffer) Sample(rng *rand.Rand, n int) []Transition {
+	if b.Len() == 0 {
+		panic("dqn: Sample from empty replay buffer")
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = b.buf[rng.Intn(b.Len())]
+	}
+	return out
+}
+
+// EpsilonSchedule is a linear exploration decay: ε starts at Start and
+// anneals to End over DecaySteps action selections.
+type EpsilonSchedule struct {
+	Start, End float64
+	DecaySteps int
+}
+
+// At returns ε after `step` action selections.
+func (e EpsilonSchedule) At(step int) float64 {
+	if e.DecaySteps <= 0 || step >= e.DecaySteps {
+		return e.End
+	}
+	frac := float64(step) / float64(e.DecaySteps)
+	return e.Start + (e.End-e.Start)*frac
+}

@@ -1,0 +1,139 @@
+// Package energy models the residential device fleet and the energy-
+// management MDP from the PFDRL paper: device operation modes with the
+// paper's tolerance-band classification, the Table 1 reward function
+// (including the +30 standby→off bonus), the minute-resolution RL
+// environment whose state combines load-forecast output with real-time
+// readings, and the saved-standby-energy accounting every figure reports.
+package energy
+
+import (
+	"fmt"
+)
+
+// Mode is a device operation mode. The paper's action space (Eq. 5) maps
+// actions 0/1/2 onto these modes directly.
+type Mode int
+
+// The three operation modes of every IoT device in the system.
+const (
+	Off Mode = iota
+	Standby
+	On
+)
+
+// NumModes is the size of the action space.
+const NumModes = 3
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Standby:
+		return "standby"
+	case On:
+		return "on"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is one of the three defined modes.
+func (m Mode) Valid() bool { return m >= Off && m <= On }
+
+// Distance returns the number of mode steps between a and b (0, 1, or 2),
+// the quantity the paper's reward function penalizes.
+func Distance(a, b Mode) int {
+	d := int(a) - int(b)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// Device describes one IoT appliance's electrical signature: its draw in kW
+// for each operation mode. Voff is normally 0 but kept explicit so vampire
+// loads below the standby band can be modeled.
+type Device struct {
+	// Type names the appliance kind, e.g. "tv", "hvac". Devices of the same
+	// Type in different residences share one federated forecasting model
+	// (the paper's D_TV1, D_TV2 ... all aggregate into the TV model).
+	Type string
+	// OffKW, StandbyKW, OnKW are the nominal draws per mode.
+	OffKW, StandbyKW, OnKW float64
+}
+
+// Validate returns an error unless the mode levels are sane and separated
+// enough for the paper's 0.9–1.1 tolerance bands to be disjoint.
+func (d Device) Validate() error {
+	if d.Type == "" {
+		return fmt.Errorf("energy: device has empty type")
+	}
+	if d.OffKW < 0 || d.StandbyKW <= 0 || d.OnKW <= 0 {
+		return fmt.Errorf("energy: device %q has non-positive mode levels (off=%g standby=%g on=%g)",
+			d.Type, d.OffKW, d.StandbyKW, d.OnKW)
+	}
+	if 1.1*d.StandbyKW >= 0.9*d.OnKW {
+		return fmt.Errorf("energy: device %q standby band [%.4g,%.4g] overlaps on band [%.4g,%.4g]",
+			d.Type, 0.9*d.StandbyKW, 1.1*d.StandbyKW, 0.9*d.OnKW, 1.1*d.OnKW)
+	}
+	return nil
+}
+
+// PowerKW returns the nominal draw for mode m.
+func (d Device) PowerKW(m Mode) float64 {
+	switch m {
+	case Off:
+		return d.OffKW
+	case Standby:
+		return d.StandbyKW
+	case On:
+		return d.OnKW
+	default:
+		panic(fmt.Sprintf("energy: PowerKW of invalid mode %d", int(m)))
+	}
+}
+
+// ClassifyMode maps an instantaneous reading in kW onto a mode using the
+// paper's rule: 0 ⇒ off; within [0.9·Vs, 1.1·Vs] ⇒ standby; within
+// [0.9·Von, 1.1·Von] ⇒ on. Readings between bands snap to the nearest band
+// edge (real traces are noisy; the paper's rule alone would leave gaps).
+func (d Device) ClassifyMode(kw float64) Mode {
+	if kw <= 0.5*0.9*d.StandbyKW {
+		return Off
+	}
+	if kw >= 0.9*d.StandbyKW && kw <= 1.1*d.StandbyKW {
+		return Standby
+	}
+	if kw >= 0.9*d.OnKW && kw <= 1.1*d.OnKW {
+		return On
+	}
+	// Between bands: nearest nominal level wins.
+	dOff := abs(kw - d.OffKW)
+	dStandby := abs(kw - d.StandbyKW)
+	dOn := abs(kw - d.OnKW)
+	switch {
+	case dOff <= dStandby && dOff <= dOn:
+		return Off
+	case dStandby <= dOn:
+		return Standby
+	default:
+		return On
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ClassifySeries maps a per-minute kW series onto modes.
+func (d Device) ClassifySeries(kw []float64) []Mode {
+	out := make([]Mode, len(kw))
+	for i, v := range kw {
+		out[i] = d.ClassifyMode(v)
+	}
+	return out
+}

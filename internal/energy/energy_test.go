@@ -1,0 +1,319 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testDevice() Device {
+	return Device{Type: "tv", OffKW: 0, StandbyKW: 0.005, OnKW: 0.1}
+}
+
+func TestModeString(t *testing.T) {
+	if Off.String() != "off" || Standby.String() != "standby" || On.String() != "on" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("invalid mode should still render")
+	}
+}
+
+func TestModeValidAndDistance(t *testing.T) {
+	if !Off.Valid() || !Standby.Valid() || !On.Valid() || Mode(-1).Valid() || Mode(3).Valid() {
+		t.Fatal("Valid wrong")
+	}
+	if Distance(Off, On) != 2 || Distance(On, Off) != 2 || Distance(Standby, On) != 1 || Distance(On, On) != 0 {
+		t.Fatal("Distance wrong")
+	}
+}
+
+func TestDeviceValidate(t *testing.T) {
+	if err := testDevice().Validate(); err != nil {
+		t.Fatalf("valid device rejected: %v", err)
+	}
+	bad := []Device{
+		{Type: "", StandbyKW: 1, OnKW: 2},
+		{Type: "x", StandbyKW: 0, OnKW: 2},
+		{Type: "x", StandbyKW: -1, OnKW: 2},
+		{Type: "x", StandbyKW: 1.9, OnKW: 2}, // overlapping bands
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Fatalf("bad device %d accepted", i)
+		}
+	}
+}
+
+func TestPowerKW(t *testing.T) {
+	d := testDevice()
+	if d.PowerKW(Off) != 0 || d.PowerKW(Standby) != 0.005 || d.PowerKW(On) != 0.1 {
+		t.Fatal("PowerKW wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PowerKW(invalid) did not panic")
+		}
+	}()
+	d.PowerKW(Mode(5))
+}
+
+func TestClassifyModeBands(t *testing.T) {
+	d := testDevice()
+	cases := []struct {
+		kw   float64
+		want Mode
+	}{
+		{0, Off},
+		{0.002, Off},      // below half the standby band
+		{0.0045, Standby}, // 0.9*Vs
+		{0.005, Standby},  // nominal standby
+		{0.0055, Standby}, // 1.1*Vs
+		{0.09, On},        // 0.9*Von
+		{0.1, On},         // nominal on
+		{0.11, On},        // 1.1*Von
+		{0.06, On},        // between bands, nearer On
+		{0.02, Standby},   // between bands, nearer standby
+		{0.25, On},        // way above: nearest is On
+	}
+	for _, c := range cases {
+		if got := d.ClassifyMode(c.kw); got != c.want {
+			t.Fatalf("ClassifyMode(%v) = %v, want %v", c.kw, got, c.want)
+		}
+	}
+}
+
+func TestClassifySeries(t *testing.T) {
+	d := testDevice()
+	got := d.ClassifySeries([]float64{0, 0.005, 0.1})
+	if got[0] != Off || got[1] != Standby || got[2] != On {
+		t.Fatalf("ClassifySeries = %v", got)
+	}
+}
+
+// TestRewardTable1Exhaustive checks every cell of the paper's Table 1.
+func TestRewardTable1Exhaustive(t *testing.T) {
+	want := map[[2]Mode]float64{
+		{On, On}: 10, {On, Standby}: -10, {On, Off}: -30,
+		{Standby, On}: -10, {Standby, Standby}: 10, {Standby, Off}: 30,
+		{Off, On}: -30, {Off, Standby}: -10, {Off, Off}: 10,
+	}
+	for k, w := range want {
+		if got := Reward(k[0], k[1]); got != w {
+			t.Fatalf("Reward(%v, %v) = %v, want %v", k[0], k[1], got, w)
+		}
+	}
+}
+
+func TestRewardPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reward with invalid mode did not panic")
+		}
+	}()
+	Reward(Mode(7), On)
+}
+
+func TestPropRewardBounded(t *testing.T) {
+	f := func(a, b uint8) bool {
+		truth := Mode(int(a) % 3)
+		action := Mode(int(b) % 3)
+		r := Reward(truth, action)
+		return math.Abs(r) <= MaxAbsReward
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func makeEnv(t *testing.T, n int) *Env {
+	t.Helper()
+	d := testDevice()
+	pred := make([]float64, n)
+	real := make([]float64, n)
+	for i := range real {
+		switch i % 3 {
+		case 0:
+			real[i] = 0 // off
+		case 1:
+			real[i] = d.StandbyKW
+		case 2:
+			real[i] = d.OnKW
+		}
+		pred[i] = real[i]
+	}
+	e, err := NewEnv(d, pred, real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEnvErrors(t *testing.T) {
+	d := testDevice()
+	if _, err := NewEnv(d, []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewEnv(d, nil, nil); err == nil {
+		t.Fatal("empty traces accepted")
+	}
+	if _, err := NewEnv(Device{}, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("invalid device accepted")
+	}
+}
+
+func TestEnvStateShapeAndPadding(t *testing.T) {
+	e := makeEnv(t, 100)
+	e.LookAhead, e.LookBack = 5, 4
+	s := e.Reset()
+	if len(s) != 9 || e.StateDim() != 9 {
+		t.Fatalf("state dim %d, want 9", len(s))
+	}
+	// At t=0 the real-window should be all padding except the last slot.
+	for i := 5; i < 8; i++ {
+		if s[i] != 0 {
+			t.Fatalf("expected zero padding at slot %d, got %v", i, s[i])
+		}
+	}
+	if s[8] != e.Real[0]/e.Device.OnKW {
+		t.Fatalf("newest real slot = %v", s[8])
+	}
+	// Predicted window should hold normalized pred[0..5).
+	for i := 0; i < 5; i++ {
+		if s[i] != e.Pred[i]/e.Device.OnKW {
+			t.Fatalf("pred slot %d = %v", i, s[i])
+		}
+	}
+}
+
+func TestEnvStepAdvancesAndEnds(t *testing.T) {
+	e := makeEnv(t, 5)
+	e.Reset()
+	steps := 0
+	for {
+		_, _, done := e.Step(Off)
+		steps++
+		if done {
+			break
+		}
+	}
+	if steps != 5 {
+		t.Fatalf("episode length %d, want 5", steps)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step after done did not panic")
+		}
+	}()
+	e.Step(Off)
+}
+
+func TestEnvStepInvalidActionPanics(t *testing.T) {
+	e := makeEnv(t, 5)
+	e.Reset()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid action did not panic")
+		}
+	}()
+	e.Step(Mode(3))
+}
+
+func TestRunPolicyOracleSavesEverything(t *testing.T) {
+	e := makeEnv(t, 300)
+	// Oracle: off when truth is standby or off, on when on.
+	oracle := PolicyFunc(func(_ []float64) Mode {
+		truth := e.TruthAt(e.T())
+		if truth == On {
+			return On
+		}
+		return Off
+	})
+	sv := e.RunPolicy(oracle)
+	if sv.SavedFraction() != 1 {
+		t.Fatalf("oracle saved fraction = %v, want 1", sv.SavedFraction())
+	}
+	if sv.ComfortViolations != 0 {
+		t.Fatalf("oracle comfort violations = %d", sv.ComfortViolations)
+	}
+	if sv.Steps != 300 {
+		t.Fatalf("steps = %d", sv.Steps)
+	}
+	// 100 standby minutes at 0.005 kW = 100/60*0.005 kWh.
+	wantStandby := 100.0 / 60.0 * 0.005
+	if math.Abs(sv.StandbyKWh-wantStandby) > 1e-12 {
+		t.Fatalf("standby kWh = %v, want %v", sv.StandbyKWh, wantStandby)
+	}
+}
+
+func TestRunPolicyWorstCase(t *testing.T) {
+	e := makeEnv(t, 300)
+	alwaysOn := PolicyFunc(func(_ []float64) Mode { return On })
+	sv := e.RunPolicy(alwaysOn)
+	if sv.SavedKWh != 0 {
+		t.Fatalf("always-on saved %v kWh, want 0", sv.SavedKWh)
+	}
+	if sv.SavedFraction() != 0 {
+		t.Fatal("saved fraction should be 0")
+	}
+}
+
+func TestSavingsAdd(t *testing.T) {
+	a := Savings{SavedKWh: 1, StandbyKWh: 2, ComfortViolations: 3, TotalReward: 4, Steps: 5}
+	b := a
+	a.Add(b)
+	if a.SavedKWh != 2 || a.StandbyKWh != 4 || a.ComfortViolations != 6 || a.TotalReward != 8 || a.Steps != 10 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	var empty Savings
+	if empty.SavedFraction() != 0 {
+		t.Fatal("empty SavedFraction should be 0")
+	}
+}
+
+func TestSavingsByHour(t *testing.T) {
+	d := testDevice()
+	// 24h trace: standby during hours 0-11, on during 12-23.
+	n := 24 * 60
+	real := make([]float64, n)
+	for i := range real {
+		if i < 12*60 {
+			real[i] = d.StandbyKW
+		} else {
+			real[i] = d.OnKW
+		}
+	}
+	e, err := NewEnv(d, real, real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alwaysOff := PolicyFunc(func(_ []float64) Mode { return Off })
+	buckets := e.SavingsByHour(alwaysOff)
+	for h := 0; h < 12; h++ {
+		want := 60 * d.StandbyKW / 60
+		if math.Abs(buckets[h]-want) > 1e-12 {
+			t.Fatalf("hour %d saved %v, want %v", h, buckets[h], want)
+		}
+	}
+	for h := 12; h < 24; h++ {
+		if buckets[h] != 0 {
+			t.Fatalf("hour %d saved %v, want 0", h, buckets[h])
+		}
+	}
+}
+
+func TestPropStateNormalizedBounded(t *testing.T) {
+	e := makeEnv(t, 200)
+	f := func(tRaw uint16) bool {
+		tt := int(tRaw) % 200
+		for _, v := range e.StateAt(tt) {
+			if v < 0 || v > 1.2 { // OnKW-normalized plus band tolerance
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

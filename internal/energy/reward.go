@@ -1,0 +1,47 @@
+package energy
+
+import "fmt"
+
+// Reward values from Table 1 of the paper.
+const (
+	// RewardMatch is paid when the agent's action equals the ground-truth
+	// mode.
+	RewardMatch = 10.0
+	// RewardOneOff is paid when the action is one mode step away from the
+	// truth.
+	RewardOneOff = -10.0
+	// RewardTwoOff is paid when the action is two mode steps away.
+	RewardTwoOff = -30.0
+	// RewardStandbyToOff is the exception row: the system *wants* standby
+	// devices switched off, so truth=standby & action=off earns the largest
+	// positive reward instead of the one-step penalty.
+	RewardStandbyToOff = 30.0
+)
+
+// Reward implements the paper's Table 1 exactly:
+//
+//	truth \ action |  On    Standby  Off
+//	On             | +10     -10     -30
+//	Standby        | -10     +10     +30  ← exception
+//	Off            | -30     -10     +10
+//
+// It panics on invalid modes; the action space is closed.
+func Reward(truth, action Mode) float64 {
+	if !truth.Valid() || !action.Valid() {
+		panic(fmt.Sprintf("energy: Reward(%d, %d) with invalid mode", int(truth), int(action)))
+	}
+	if truth == Standby && action == Off {
+		return RewardStandbyToOff
+	}
+	switch Distance(truth, action) {
+	case 0:
+		return RewardMatch
+	case 1:
+		return RewardOneOff
+	default:
+		return RewardTwoOff
+	}
+}
+
+// MaxAbsReward is the largest reward magnitude; used to normalize targets.
+const MaxAbsReward = 30.0

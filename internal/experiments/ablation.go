@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fed"
+	"repro/internal/fednet"
+	"repro/internal/forecast"
+	"repro/internal/nn"
+	"repro/internal/pecan"
+)
+
+// TopologyAblation compares the paper's all-to-all broadcast against ring
+// gossip for the DFL forecasting plane: final accuracy, messages, bytes,
+// and simulated communication time at equal round schedules. Ring gossip
+// halves neither — it trades per-round cost (O(n) vs O(n²) messages) for
+// slower consensus; at residential scale the paper's choice is cheap
+// enough, which is exactly what this table shows.
+type TopologyAblation struct {
+	Names    []string
+	Accuracy []float64
+	Messages []int
+	MBytes   []float64
+	CommSecs []float64
+}
+
+// RunTopologyAblation runs LSTM DFL twice at the given scale, once per
+// topology, with β=12.
+func RunTopologyAblation(sc Scale) (*TopologyAblation, error) {
+	out := &TopologyAblation{}
+	for _, topo := range []fednet.Topology{fednet.AllToAll, fednet.Ring} {
+		acc, stats, err := runDFLWithTopology(sc, topo)
+		if err != nil {
+			return nil, err
+		}
+		out.Names = append(out.Names, topo.String())
+		out.Accuracy = append(out.Accuracy, acc)
+		out.Messages = append(out.Messages, stats.MessagesSent)
+		out.MBytes = append(out.MBytes, float64(stats.BytesSent)/1e6)
+		out.CommSecs = append(out.CommSecs, stats.SimulatedTime.Seconds())
+	}
+	return out, nil
+}
+
+// runDFLWithTopology is a compact DFL loop (train bouts + rounds) that
+// supports both exchange primitives.
+func runDFLWithTopology(sc Scale, topo fednet.Topology) (float64, fednet.Stats, error) {
+	ds := pecan.Generate(pecan.Config{
+		Seed: sc.Seed, Homes: sc.Homes, Days: sc.Days, DevicesPerHome: sc.DevicesPerHome,
+	})
+	net := fednet.New(sc.Homes, fednet.Config{Topology: topo, Seed: sc.Seed})
+	fcs := make([]map[string]forecast.Forecaster, sc.Homes)
+	for hi, home := range ds.Homes {
+		fcs[hi] = map[string]forecast.Forecaster{}
+		for _, tr := range home.Traces {
+			cfg := forecast.DefaultConfig(tr.Device.OnKW)
+			cfg.Window, cfg.Hidden, cfg.Horizon = sc.ForecastWindow, sc.ForecastHidden, 60
+			cfg.Seed = sc.Seed + 7
+			f, err := forecast.New(forecast.KindLSTM, cfg)
+			if err != nil {
+				return 0, fednet.Stats{}, err
+			}
+			fcs[hi][tr.Device.Type] = f
+		}
+	}
+	round := func(dt string, models []*nn.Sequential) error {
+		if topo == fednet.Ring {
+			return fed.GossipRound(net, models, "fc/"+dt, -1)
+		}
+		_, err := fed.DecentralizedRound(net, models, "fc/"+dt, -1)
+		return err
+	}
+	evalStart := sc.Days - 1
+	accSum, accN := 0.0, 0
+	for day := 0; day < sc.Days; day++ {
+		for hi, home := range ds.Homes {
+			for _, tr := range home.Traces {
+				if day >= evalStart {
+					pred := predictDayNoTimer(fcs[hi][tr.Device.Type], tr, day)
+					floor := forecast.FloorFor(tr.Device.OnKW)
+					for _, a := range forecast.Accuracy(pred, tr.Day(day), floor) {
+						accSum += a
+						accN++
+					}
+				}
+			}
+		}
+		for hour := 0; hour < 24; hour++ {
+			hourEnd := day*pecan.MinutesPerDay + (hour+1)*60
+			if (hour+1)%sc.TrainEveryHours == 0 {
+				for hi, home := range ds.Homes {
+					for _, tr := range home.Traces {
+						start := hourEnd - sc.TrainLookbackHours*60
+						if start < 0 {
+							start = 0
+						}
+						fcs[hi][tr.Device.Type].TrainEpochs(tr.KW[start:hourEnd], 1)
+					}
+				}
+			}
+			if fires := firesInHour(12, hourEnd); fires > 0 {
+				for _, dt := range ds.DeviceTypes() {
+					models := make([]*nn.Sequential, sc.Homes)
+					for hi := range fcs {
+						models[hi] = fcs[hi][dt].Model()
+					}
+					if err := round(dt, models); err != nil {
+						return 0, fednet.Stats{}, err
+					}
+				}
+			}
+		}
+	}
+	return accSum / float64(accN), net.Stats(), nil
+}
+
+func predictDayNoTimer(fc forecast.Forecaster, tr *pecan.Trace, day int) []float64 {
+	w := fc.Config().Window
+	pred := make([]float64, pecan.MinutesPerDay)
+	for hour := 0; hour < 24; hour++ {
+		t := day*pecan.MinutesPerDay + hour*60
+		if t < w {
+			for m := 0; m < 60; m++ {
+				pred[hour*60+m] = tr.Device.StandbyKW
+			}
+			continue
+		}
+		copy(pred[hour*60:(hour+1)*60], fc.Predict(tr.KW, t))
+	}
+	return pred
+}
+
+// Table renders the ablation.
+func (r *TopologyAblation) Table() *Table {
+	t := &Table{
+		Title:  "Ablation: all-to-all broadcast vs ring gossip (DFL plane)",
+		Header: []string{"topology", "accuracy", "messages", "MB", "comm_s"},
+	}
+	for i, name := range r.Names {
+		t.Rows = append(t.Rows, []string{
+			name, fmtF(r.Accuracy[i]),
+			fmt.Sprintf("%d", r.Messages[i]),
+			fmt.Sprintf("%.2f", r.MBytes[i]),
+			fmt.Sprintf("%.1f", r.CommSecs[i]),
+		})
+	}
+	return t
+}
+
+// ScalingResult measures wall-clock per simulated day as the fleet grows —
+// the parallel-efficiency view of the simulator itself.
+type ScalingResult struct {
+	Homes      []int
+	WallPerDay []time.Duration
+	GoMaxProcs int
+}
+
+// RunScaling times a short PFDRL run at each fleet size.
+func RunScaling(sc Scale, grid []int) (*ScalingResult, error) {
+	if len(grid) == 0 {
+		grid = []int{2, 4, 8}
+	}
+	out := &ScalingResult{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, n := range grid {
+		s := sc
+		s.Homes = n
+		s.Days = 2
+		cfg := coreConfig(s, core.MethodPFDRL)
+		start := time.Now()
+		if _, err := runCore(cfg); err != nil {
+			return nil, err
+		}
+		out.Homes = append(out.Homes, n)
+		out.WallPerDay = append(out.WallPerDay, time.Since(start)/time.Duration(s.Days))
+	}
+	return out, nil
+}
+
+// Table renders the scaling measurement.
+func (r *ScalingResult) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Scaling: wall-clock per simulated day (GOMAXPROCS=%d)", r.GoMaxProcs),
+		Header: []string{"homes", "wall_per_day", "per_home"},
+	}
+	for i, n := range r.Homes {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			r.WallPerDay[i].Round(time.Millisecond).String(),
+			(r.WallPerDay[i] / time.Duration(n)).Round(time.Millisecond).String(),
+		})
+	}
+	return t
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+func TestTopologyAblation(t *testing.T) {
+	sc := Quick()
+	sc.Days = 3
+	sc.Homes = 5 // ring (2n msgs/round) only undercuts all-to-all (n(n-1)) for n > 3
+	r, err := RunTopologyAblation(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Names) != 2 || r.Names[0] != "all-to-all" || r.Names[1] != "ring" {
+		t.Fatalf("names %v", r.Names)
+	}
+	for i, a := range r.Accuracy {
+		if a <= 0 || a > 1 {
+			t.Fatalf("%s accuracy %v", r.Names[i], a)
+		}
+	}
+	// Ring must move fewer messages per round schedule than all-to-all
+	// (for >3 agents).
+	if r.Messages[1] >= r.Messages[0] {
+		t.Fatalf("ring messages %d should undercut all-to-all %d", r.Messages[1], r.Messages[0])
+	}
+	if len(r.Table().Rows) != 2 {
+		t.Fatal("table rows wrong")
+	}
+}
+
+func TestRunScaling(t *testing.T) {
+	sc := Quick()
+	r, err := RunScaling(sc, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Homes) != 2 || r.WallPerDay[0] <= 0 {
+		t.Fatalf("scaling result wrong: %+v", r)
+	}
+	if len(r.Table().Rows) != 2 {
+		t.Fatal("table rows wrong")
+	}
+}

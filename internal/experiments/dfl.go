@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/fed"
+	"repro/internal/fednet"
+	"repro/internal/forecast"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/pecan"
+)
+
+// DFLOptions configures a forecasting-only simulation (no EMS): the
+// workload behind Figs 3, 5, 6, 7, 8 and 13.
+type DFLOptions struct {
+	Scale Scale
+	// Kinds lists the forecaster algorithms to run side by side.
+	Kinds []forecast.Kind
+	// BetaHours is the decentralized broadcast period (≤0 = purely local).
+	BetaHours float64
+	// EvalDays is the trailing evaluation window (default Days/4, ≥1).
+	EvalDays int
+}
+
+// DFLResult aggregates per-algorithm forecasting outcomes.
+type DFLResult struct {
+	// AccSamples holds per-minute accuracies over the evaluation window.
+	AccSamples map[forecast.Kind][]float64
+	// MeanAcc is the evaluation-window mean accuracy.
+	MeanAcc map[forecast.Kind]float64
+	// AccByHour is evaluation accuracy bucketed by hour of day.
+	AccByHour map[forecast.Kind][24]float64
+	// AccByDay is the mean accuracy of every simulated day (Fig 7's curve).
+	AccByDay map[forecast.Kind][]float64
+	// TrainTime / TestTime are wall-clock totals; CommTime is simulated.
+	TrainTime, TestTime map[forecast.Kind]time.Duration
+	CommTime            map[forecast.Kind]time.Duration
+}
+
+// RunDFL simulates decentralized federated load forecasting: every home
+// trains a local forecaster per device on its own trace, broadcasts
+// parameters every β hours, and aggregates (Algorithm 1). Accuracy is
+// measured causally: each day is predicted hour by hour before the day's
+// data is trained on.
+func RunDFL(opts DFLOptions) (*DFLResult, error) {
+	sc := opts.Scale
+	if len(opts.Kinds) == 0 {
+		opts.Kinds = allKinds
+	}
+	ds := pecan.Generate(pecan.Config{
+		Seed: sc.Seed, Homes: sc.Homes, Days: sc.Days, DevicesPerHome: sc.DevicesPerHome,
+	})
+	evalDays := opts.EvalDays
+	if evalDays <= 0 {
+		evalDays = sc.Days / 4
+		if evalDays < 1 {
+			evalDays = 1
+		}
+	}
+	evalStart := sc.Days - evalDays
+
+	res := &DFLResult{
+		AccSamples: map[forecast.Kind][]float64{},
+		MeanAcc:    map[forecast.Kind]float64{},
+		AccByHour:  map[forecast.Kind][24]float64{},
+		AccByDay:   map[forecast.Kind][]float64{},
+		TrainTime:  map[forecast.Kind]time.Duration{},
+		TestTime:   map[forecast.Kind]time.Duration{},
+		CommTime:   map[forecast.Kind]time.Duration{},
+	}
+
+	for _, kind := range opts.Kinds {
+		timer := metrics.NewTimer()
+		var net *fednet.Network
+		if opts.BetaHours > 0 && sc.Homes > 1 {
+			net = fednet.New(sc.Homes, fednet.Config{Topology: fednet.AllToAll, Seed: sc.Seed})
+		}
+		// fcs[home][device type] — one model per device per home, all homes
+		// starting from the same initialization.
+		fcs := make([]map[string]forecast.Forecaster, sc.Homes)
+		for hi, home := range ds.Homes {
+			fcs[hi] = map[string]forecast.Forecaster{}
+			for _, tr := range home.Traces {
+				cfg := forecast.DefaultConfig(tr.Device.OnKW)
+				cfg.Window = sc.ForecastWindow
+				cfg.Hidden = sc.ForecastHidden
+				cfg.Horizon = 60
+				cfg.Seed = sc.Seed + 7
+				f, err := forecast.New(kind, cfg)
+				if err != nil {
+					return nil, err
+				}
+				fcs[hi][tr.Device.Type] = f
+			}
+		}
+
+		var hourBuckets metrics.HourBuckets
+		for day := 0; day < sc.Days; day++ {
+			inEval := day >= evalStart
+			// Predict & score the day.
+			daySum, dayN := 0.0, 0
+			for hi, home := range ds.Homes {
+				for _, tr := range home.Traces {
+					fc := fcs[hi][tr.Device.Type]
+					pred := predictDayWith(timer, fc, tr, day)
+					floor := forecast.FloorFor(tr.Device.OnKW)
+					acc := forecast.Accuracy(pred, tr.Day(day), floor)
+					for m, a := range acc {
+						daySum += a
+						dayN++
+						if inEval {
+							hourBuckets.Add(m, a)
+							if m%3 == 0 {
+								res.AccSamples[kind] = append(res.AccSamples[kind], a)
+							}
+						}
+					}
+				}
+			}
+			res.AccByDay[kind] = append(res.AccByDay[kind], daySum/float64(dayN))
+
+			// Train bouts + federation through the day.
+			for hour := 0; hour < 24; hour++ {
+				hourEnd := day*pecan.MinutesPerDay + (hour+1)*60
+				if (hour+1)%sc.TrainEveryHours == 0 {
+					timer.Start("train")
+					for hi, home := range ds.Homes {
+						for _, tr := range home.Traces {
+							start := hourEnd - sc.TrainLookbackHours*60
+							if start < 0 {
+								start = 0
+							}
+							fcs[hi][tr.Device.Type].TrainEpochs(tr.KW[start:hourEnd], boutEpochs(sc))
+						}
+					}
+					timer.Stop("train")
+				}
+				if net != nil {
+					if fires := firesInHour(opts.BetaHours, hourEnd); fires > 0 {
+						timer.Start("train")
+						for _, dt := range ds.DeviceTypes() {
+							models := make([]*nn.Sequential, sc.Homes)
+							for hi := range fcs {
+								models[hi] = fcs[hi][dt].Model()
+							}
+							if _, err := fed.DecentralizedRound(net, models, "fc/"+dt, -1); err != nil {
+								timer.Stop("train")
+								return nil, err
+							}
+							if fires > 1 {
+								net.ChargeBroadcastRounds(models[0].WireSize(), fires-1)
+							}
+						}
+						timer.Stop("train")
+					}
+				}
+			}
+		}
+
+		res.AccByHour[kind] = hourBuckets.Means()
+		res.MeanAcc[kind] = metrics.Summarize(res.AccSamples[kind]).Mean
+		res.TrainTime[kind] = timer.Get("train")
+		res.TestTime[kind] = timer.Get("test")
+		if net != nil {
+			res.CommTime[kind] = net.Stats().SimulatedTime
+		}
+	}
+	return res, nil
+}
+
+// boutEpochs returns the per-bout epoch count (≥1).
+func boutEpochs(sc Scale) int {
+	if sc.BoutEpochs > 0 {
+		return sc.BoutEpochs
+	}
+	return 1
+}
+
+// predictDayWith builds a causal day-ahead prediction hour by hour.
+func predictDayWith(timer *metrics.Timer, fc forecast.Forecaster, tr *pecan.Trace, day int) []float64 {
+	w := fc.Config().Window
+	pred := make([]float64, pecan.MinutesPerDay)
+	timer.Start("test")
+	defer timer.Stop("test")
+	for hour := 0; hour < 24; hour++ {
+		t := day*pecan.MinutesPerDay + hour*60
+		if t < w {
+			for m := 0; m < 60; m++ {
+				pred[hour*60+m] = tr.Device.StandbyKW
+			}
+			continue
+		}
+		copy(pred[hour*60:(hour+1)*60], fc.Predict(tr.KW, t))
+	}
+	return pred
+}
+
+// firesInHour counts broadcast instants of a period (hours) inside the hour
+// ending at absolute minute hourEnd (inclusive).
+func firesInHour(periodHours float64, hourEnd int) int {
+	sched := fed.Schedule{PeriodHours: periodHours}
+	fires := 0
+	for m := hourEnd - 59; m <= hourEnd; m++ {
+		if sched.Due(m) {
+			fires++
+		}
+	}
+	return fires
+}
+
+// kindLabel formats a forecaster kind for table rows.
+func kindLabel(k forecast.Kind) string { return string(k) }

@@ -1,0 +1,571 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/forecast"
+	"repro/internal/metrics"
+	"repro/internal/pricing"
+)
+
+// coreConfig translates a Scale into a core.Config for a method.
+func coreConfig(sc Scale, m core.Method) core.Config {
+	cfg := core.DefaultConfig(m)
+	cfg.Homes = sc.Homes
+	cfg.Days = sc.Days
+	cfg.DevicesPerHome = sc.DevicesPerHome
+	cfg.Seed = sc.Seed
+	cfg.ForecastWindow = sc.ForecastWindow
+	cfg.ForecastHidden = sc.ForecastHidden
+	cfg.TrainEveryHours = sc.TrainEveryHours
+	cfg.TrainLookbackHours = sc.TrainLookbackHours
+	if sc.BoutEpochs > 0 {
+		cfg.TrainBoutEpochs = sc.BoutEpochs
+	}
+	cfg.DQNHidden = sc.DQNHidden
+	cfg.LearnEveryMinutes = sc.LearnEveryMinutes
+	cfg.ForecastKind = forecast.KindLSTM
+	return cfg
+}
+
+// runCore builds and runs one simulation.
+func runCore(cfg core.Config) (*core.Result, error) {
+	s, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// evalWindowMean returns the mean of the trailing quarter of a daily series
+// (the settled performance a sweep point reports).
+func evalWindowMean(daily []float64) float64 {
+	n := len(daily) / 4
+	if n < 1 {
+		n = 1
+	}
+	sum := 0.0
+	for _, v := range daily[len(daily)-n:] {
+		sum += v
+	}
+	return sum / float64(n)
+}
+
+// ---------------------------------------------------------------- Fig 2 —
+
+// AlphaResult is the Fig 2 sweep: saved standby energy vs shared layers α.
+type AlphaResult struct {
+	Alphas    []int
+	SavedFrac []float64
+	// MeanReward is the settled per-step Table 1 reward — the comfort-aware
+	// view of EMS quality. The saved fraction saturates quickly for every
+	// competent policy (turning standby devices off is never penalized by
+	// the savings metric), so the reward column carries the α signal.
+	MeanReward []float64
+	// Best is the α with the highest mean reward, breaking ties by saved
+	// fraction.
+	Best int
+}
+
+// Alpha reproduces Figure 2: run PFDRL for every α ∈ {1..len(DQNHidden)}
+// and report the settled saved-standby-energy fraction.
+func Alpha(sc Scale) (*AlphaResult, error) {
+	res := &AlphaResult{}
+	bestR := 0.0
+	for a := 1; a <= len(sc.DQNHidden); a++ {
+		cfg := coreConfig(sc, core.MethodPFDRL)
+		cfg.Alpha = a
+		r, err := runCore(cfg)
+		if err != nil {
+			return nil, err
+		}
+		v := evalWindowMean(r.DailySavedFrac)
+		rew := evalWindowMean(r.DailyMeanReward)
+		res.Alphas = append(res.Alphas, a)
+		res.SavedFrac = append(res.SavedFrac, v)
+		res.MeanReward = append(res.MeanReward, rew)
+		if res.Best == 0 || rew > bestR {
+			bestR, res.Best = rew, a
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *AlphaResult) Table() *Table {
+	t := &Table{Title: "Fig 2: saved standby energy vs shared layers α", Header: []string{"alpha", "saved_frac", "mean_reward"}}
+	for i, a := range r.Alphas {
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", a), fmtF(r.SavedFrac[i]), fmtF(r.MeanReward[i])})
+	}
+	t.Rows = append(t.Rows, []string{"best", fmt.Sprintf("%d", r.Best), ""})
+	return t
+}
+
+// ---------------------------------------------------------------- Fig 3 —
+
+// BetaGrid is the paper's broadcast-frequency grid (hours).
+var BetaGrid = []float64{0.1, 0.5, 1, 2, 6, 12, 24}
+
+// BetaResult is the Fig 3 sweep: DFL accuracy vs broadcast period β.
+// CommSeconds exposes the communication cost that makes the high-frequency
+// end of the grid unattractive even where accuracy ties.
+type BetaResult struct {
+	Betas       []float64
+	Accuracy    []float64
+	CommSeconds []float64
+}
+
+// Beta reproduces Figure 3: decentralized federated LSTM forecasting
+// accuracy for each broadcast period.
+func Beta(sc Scale) (*BetaResult, error) {
+	res := &BetaResult{}
+	for _, b := range BetaGrid {
+		r, err := RunDFL(DFLOptions{Scale: sc, Kinds: []forecast.Kind{forecast.KindLSTM}, BetaHours: b})
+		if err != nil {
+			return nil, err
+		}
+		res.Betas = append(res.Betas, b)
+		res.Accuracy = append(res.Accuracy, r.MeanAcc[forecast.KindLSTM])
+		res.CommSeconds = append(res.CommSeconds, r.CommTime[forecast.KindLSTM].Seconds())
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *BetaResult) Table() *Table {
+	t := &Table{Title: "Fig 3: DFL accuracy vs broadcast frequency β", Header: []string{"beta_hours", "accuracy", "comm_s"}}
+	for i, b := range r.Betas {
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%g", b), fmtF(r.Accuracy[i]), fmt.Sprintf("%.1f", r.CommSeconds[i])})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- Fig 4 —
+
+// GammaGrid mirrors the paper's γ grid (hours).
+var GammaGrid = []float64{0.1, 0.5, 1, 2, 6, 12, 24}
+
+// GammaResult is the Fig 4 sweep: saved energy vs DRL broadcast period γ.
+type GammaResult struct {
+	Gammas     []float64
+	SavedFrac  []float64
+	MeanReward []float64
+}
+
+// Gamma reproduces Figure 4.
+func Gamma(sc Scale) (*GammaResult, error) {
+	res := &GammaResult{}
+	for _, g := range GammaGrid {
+		cfg := coreConfig(sc, core.MethodPFDRL)
+		cfg.Alpha = 6
+		cfg.GammaHours = g
+		r, err := runCore(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Gammas = append(res.Gammas, g)
+		res.SavedFrac = append(res.SavedFrac, evalWindowMean(r.DailySavedFrac))
+		res.MeanReward = append(res.MeanReward, evalWindowMean(r.DailyMeanReward))
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *GammaResult) Table() *Table {
+	t := &Table{Title: "Fig 4: saved standby energy vs broadcast frequency γ", Header: []string{"gamma_hours", "saved_frac", "mean_reward"}}
+	for i, g := range r.Gammas {
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%g", g), fmtF(r.SavedFrac[i]), fmtF(r.MeanReward[i])})
+	}
+	return t
+}
+
+// ------------------------------------------------------------- Fig 5/6 —
+
+// CDFGrid is the accuracy grid (percent) of the paper's Figure 5 x-axis.
+var CDFGrid = []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// ForecastComparison covers Figs 5 and 6: per-algorithm accuracy CDFs and
+// hour-of-day profiles from one shared DFL run.
+type ForecastComparison struct {
+	Kinds   []forecast.Kind
+	MeanAcc map[forecast.Kind]float64
+	CDF     map[forecast.Kind][]float64 // P(acc ≤ grid point), grid in %
+	ByHour  map[forecast.Kind][24]float64
+	DFL     *DFLResult
+}
+
+// CompareForecasters reproduces Figures 5 and 6 with a single DFL run over
+// all four algorithms at β=12 (the paper's chosen frequency).
+func CompareForecasters(sc Scale) (*ForecastComparison, error) {
+	r, err := RunDFL(DFLOptions{Scale: sc, Kinds: allKinds, BetaHours: 12})
+	if err != nil {
+		return nil, err
+	}
+	out := &ForecastComparison{
+		Kinds:   allKinds,
+		MeanAcc: r.MeanAcc,
+		CDF:     map[forecast.Kind][]float64{},
+		ByHour:  r.AccByHour,
+		DFL:     r,
+	}
+	for _, k := range allKinds {
+		cdf := metrics.NewCDF(r.AccSamples[k])
+		pts := make([]float64, len(CDFGrid))
+		for i, g := range CDFGrid {
+			pts[i] = cdf.At(g / 100)
+		}
+		out.CDF[k] = pts
+	}
+	return out, nil
+}
+
+// CDFTable renders Figure 5.
+func (r *ForecastComparison) CDFTable() *Table {
+	t := &Table{Title: "Fig 5: CDF of load forecasting accuracy", Header: []string{"accuracy_pct"}}
+	for _, k := range r.Kinds {
+		t.Header = append(t.Header, kindLabel(k))
+	}
+	for i, g := range CDFGrid {
+		row := []string{fmt.Sprintf("%g", g)}
+		for _, k := range r.Kinds {
+			row = append(row, fmtF(r.CDF[k][i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	mean := []string{"mean_acc"}
+	for _, k := range r.Kinds {
+		mean = append(mean, fmtF(r.MeanAcc[k]))
+	}
+	t.Rows = append(t.Rows, mean)
+	return t
+}
+
+// HourlyTable renders Figure 6.
+func (r *ForecastComparison) HourlyTable() *Table {
+	t := &Table{Title: "Fig 6: load forecasting accuracy in a day", Header: []string{"hour"}}
+	for _, k := range r.Kinds {
+		t.Header = append(t.Header, kindLabel(k))
+	}
+	for h := 0; h < 24; h++ {
+		row := []string{fmt.Sprintf("%d", h)}
+		for _, k := range r.Kinds {
+			row = append(row, fmtF(r.ByHour[k][h]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- Fig 7 —
+
+// DaysResult is Fig 7: accuracy vs accumulated training days.
+type DaysResult struct {
+	Kinds    []forecast.Kind
+	Days     []int
+	Accuracy map[forecast.Kind][]float64
+}
+
+// AccuracyVsDays reproduces Figure 7: one DFL run per algorithm, recording
+// every day's accuracy as training accumulates.
+func AccuracyVsDays(sc Scale) (*DaysResult, error) {
+	r, err := RunDFL(DFLOptions{Scale: sc, Kinds: allKinds, BetaHours: 12})
+	if err != nil {
+		return nil, err
+	}
+	out := &DaysResult{Kinds: allKinds, Accuracy: map[forecast.Kind][]float64{}}
+	for d := 0; d < sc.Days; d++ {
+		out.Days = append(out.Days, d+1)
+	}
+	for _, k := range allKinds {
+		out.Accuracy[k] = r.AccByDay[k]
+	}
+	return out, nil
+}
+
+// Table renders the curve.
+func (r *DaysResult) Table() *Table {
+	t := &Table{Title: "Fig 7: prediction accuracy vs training days", Header: []string{"day"}}
+	for _, k := range r.Kinds {
+		t.Header = append(t.Header, kindLabel(k))
+	}
+	for i, d := range r.Days {
+		row := []string{fmt.Sprintf("%d", d)}
+		for _, k := range r.Kinds {
+			row = append(row, fmtF(r.Accuracy[k][i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- Fig 8 —
+
+// ClientsResult is Fig 8: accuracy vs number of participating residences.
+type ClientsResult struct {
+	Kinds    []forecast.Kind
+	Clients  []int
+	Accuracy map[forecast.Kind][]float64
+}
+
+// AccuracyVsClients reproduces Figure 8: DFL accuracy as the number of
+// participating homes grows. ClientGrid entries scale off sc.Homes.
+func AccuracyVsClients(sc Scale, grid []int) (*ClientsResult, error) {
+	if len(grid) == 0 {
+		grid = []int{2, 4, sc.Homes, sc.Homes * 2}
+	}
+	out := &ClientsResult{Kinds: allKinds, Clients: grid, Accuracy: map[forecast.Kind][]float64{}}
+	for _, n := range grid {
+		s := sc
+		s.Homes = n
+		r, err := RunDFL(DFLOptions{Scale: s, Kinds: allKinds, BetaHours: 12})
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range allKinds {
+			out.Accuracy[k] = append(out.Accuracy[k], r.MeanAcc[k])
+		}
+	}
+	return out, nil
+}
+
+// Table renders the sweep.
+func (r *ClientsResult) Table() *Table {
+	t := &Table{Title: "Fig 8: prediction accuracy vs number of residences", Header: []string{"clients"}}
+	for _, k := range r.Kinds {
+		t.Header = append(t.Header, kindLabel(k))
+	}
+	for i, n := range r.Clients {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, k := range r.Kinds {
+			row = append(row, fmtF(r.Accuracy[k][i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- Fig 9 —
+
+// MethodsResult covers Figs 9, 11, 12 and 14: one full run per method.
+type MethodsResult struct {
+	Methods []core.Method
+	Results map[core.Method]*core.Result
+}
+
+// CompareMethods runs all five methods at the same scale.
+func CompareMethods(sc Scale) (*MethodsResult, error) {
+	out := &MethodsResult{Methods: core.AllMethods(), Results: map[core.Method]*core.Result{}}
+	for _, m := range out.Methods {
+		cfg := coreConfig(sc, m)
+		r, err := runCore(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Results[m] = r
+	}
+	return out, nil
+}
+
+// SavingsTable renders Figure 9: daily saved kWh per client plus the
+// convergence day per method.
+func (r *MethodsResult) SavingsTable() *Table {
+	t := &Table{Title: "Fig 9: saved energy per residence vs training days", Header: []string{"day"}}
+	for _, m := range r.Methods {
+		t.Header = append(t.Header, string(m))
+	}
+	days := len(r.Results[r.Methods[0]].DailySavedKWhPerHome)
+	for d := 0; d < days; d++ {
+		row := []string{fmt.Sprintf("%d", d+1)}
+		for _, m := range r.Methods {
+			row = append(row, fmtF(r.Results[m].DailySavedKWhPerHome[d]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	conv := []string{"convergence_day"}
+	final := []string{"final_saved_frac"}
+	rew := []string{"final_mean_reward"}
+	for _, m := range r.Methods {
+		conv = append(conv, fmt.Sprintf("%d", r.Results[m].ConvergenceDay+1))
+		final = append(final, fmtF(evalWindowMean(r.Results[m].DailySavedFrac)))
+		rew = append(rew, fmtF(evalWindowMean(r.Results[m].DailyMeanReward)))
+	}
+	t.Rows = append(t.Rows, conv, final, rew)
+	return t
+}
+
+// HourlySavingsTable renders Figure 11.
+func (r *MethodsResult) HourlySavingsTable() *Table {
+	t := &Table{Title: "Fig 11: saved energy per residence in a day", Header: []string{"hour"}}
+	for _, m := range r.Methods {
+		t.Header = append(t.Header, string(m))
+	}
+	for h := 0; h < 24; h++ {
+		row := []string{fmt.Sprintf("%d", h)}
+		for _, m := range r.Methods {
+			row = append(row, fmt.Sprintf("%.4f", r.Results[m].SavedByHour[h]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// EMSOverheadTable renders Figure 14: per-method EMS train/test wall time
+// plus simulated communication time.
+func (r *MethodsResult) EMSOverheadTable() *Table {
+	t := &Table{
+		Title:  "Fig 14: energy management time overhead",
+		Header: []string{"method", "train_s", "test_s", "comm_s", "total_s"},
+	}
+	for _, m := range r.Methods {
+		res := r.Results[m]
+		train := res.EMSTrainTime.Seconds()
+		test := res.EMSTestTime.Seconds()
+		comm := res.EMSCommTime.Seconds()
+		t.Rows = append(t.Rows, []string{
+			string(m),
+			fmt.Sprintf("%.2f", train),
+			fmt.Sprintf("%.2f", test),
+			fmt.Sprintf("%.2f", comm),
+			fmt.Sprintf("%.2f", train+test+comm),
+		})
+	}
+	return t
+}
+
+// --------------------------------------------------------------- Fig 10 —
+
+// MonetaryResult is Fig 10: saved dollars per client per month under the
+// fixed and variable tariffs.
+type MonetaryResult struct {
+	Months   []int
+	FixedUSD []float64
+	VarUSD   []float64
+}
+
+// MonetarySavings reproduces Figure 10 from one PFDRL run: the settled
+// hourly savings profile is priced across a calendar year under both plans.
+func MonetarySavings(sc Scale) (*MonetaryResult, error) {
+	cfg := coreConfig(sc, core.MethodPFDRL)
+	r, err := runCore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &MonetaryResult{}
+	for month := 1; month <= 12; month++ {
+		days := float64(pricing.DaysInMonth(month))
+		fixed := pricing.CostOfHourlyKWh(pricing.FixedRate{}, month, r.SavedByHour) * days
+		variable := pricing.CostOfHourlyKWh(pricing.VariableRate{}, month, r.SavedByHour) * days
+		out.Months = append(out.Months, month)
+		out.FixedUSD = append(out.FixedUSD, fixed)
+		out.VarUSD = append(out.VarUSD, variable)
+	}
+	return out, nil
+}
+
+// Table renders the per-month savings.
+func (r *MonetaryResult) Table() *Table {
+	t := &Table{Title: "Fig 10: saved monetary cost per residence", Header: []string{"month", "fixed_usd", "variable_usd"}}
+	for i, m := range r.Months {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", m),
+			fmt.Sprintf("%.2f", r.FixedUSD[i]),
+			fmt.Sprintf("%.2f", r.VarUSD[i]),
+		})
+	}
+	return t
+}
+
+// --------------------------------------------------------------- Fig 12 —
+
+// PersonalizationResult is Fig 12: per-client savings with and without
+// personalization layers.
+type PersonalizationResult struct {
+	PersonalizedMean, PersonalizedStd       float64
+	NotPersonalizedMean, NotPersonalizedStd float64
+	PerHomePersonalized, PerHomeNot         []float64
+	// Reward view: the savings metric saturates for every competent policy
+	// (see EXPERIMENTS.md), so the per-home mean Table 1 reward is where
+	// the personalization benefit is measurable.
+	PersonalizedReward, NotPersonalizedReward       float64
+	PersonalizedRewardStd, NotPersonalizedRewardStd float64
+}
+
+// Personalization reproduces Figure 12: PFDRL at the best α versus PFDRL
+// with every layer shared (α = len(hidden), i.e. no personalization).
+func Personalization(sc Scale) (*PersonalizationResult, error) {
+	pers := coreConfig(sc, core.MethodPFDRL)
+	pers.Alpha = 6
+	if pers.Alpha > len(sc.DQNHidden) {
+		pers.Alpha = len(sc.DQNHidden) - 1
+	}
+	rp, err := runCore(pers)
+	if err != nil {
+		return nil, err
+	}
+	flat := coreConfig(sc, core.MethodPFDRL)
+	flat.Alpha = len(sc.DQNHidden)
+	rf, err := runCore(flat)
+	if err != nil {
+		return nil, err
+	}
+	sp := metrics.Summarize(rp.PerHomeSavedKWhFinal)
+	sf := metrics.Summarize(rf.PerHomeSavedKWhFinal)
+	rpr := metrics.Summarize(rp.PerHomeRewardFinal)
+	rfr := metrics.Summarize(rf.PerHomeRewardFinal)
+	return &PersonalizationResult{
+		PersonalizedMean: sp.Mean, PersonalizedStd: sp.Std,
+		NotPersonalizedMean: sf.Mean, NotPersonalizedStd: sf.Std,
+		PerHomePersonalized: rp.PerHomeSavedKWhFinal,
+		PerHomeNot:          rf.PerHomeSavedKWhFinal,
+		PersonalizedReward:  rpr.Mean, PersonalizedRewardStd: rpr.Std,
+		NotPersonalizedReward: rfr.Mean, NotPersonalizedRewardStd: rfr.Std,
+	}, nil
+}
+
+// Table renders the comparison.
+func (r *PersonalizationResult) Table() *Table {
+	return &Table{
+		Title:  "Fig 12: performance in personalization (per client, final day)",
+		Header: []string{"variant", "mean_kwh", "std_kwh", "mean_reward", "std_reward"},
+		Rows: [][]string{
+			{"personalized", fmtF(r.PersonalizedMean), fmtF(r.PersonalizedStd),
+				fmtF(r.PersonalizedReward), fmtF(r.PersonalizedRewardStd)},
+			{"not_personalized", fmtF(r.NotPersonalizedMean), fmtF(r.NotPersonalizedStd),
+				fmtF(r.NotPersonalizedReward), fmtF(r.NotPersonalizedRewardStd)},
+		},
+	}
+}
+
+// --------------------------------------------------------------- Fig 13 —
+
+// ForecastOverheadResult is Fig 13: per-algorithm train/test time.
+type ForecastOverheadResult struct {
+	Kinds     []forecast.Kind
+	TrainTime map[forecast.Kind]time.Duration
+	TestTime  map[forecast.Kind]time.Duration
+}
+
+// ForecastOverhead reproduces Figure 13 from a DFL run over all four
+// algorithms.
+func ForecastOverhead(sc Scale) (*ForecastOverheadResult, error) {
+	r, err := RunDFL(DFLOptions{Scale: sc, Kinds: allKinds, BetaHours: 12})
+	if err != nil {
+		return nil, err
+	}
+	return &ForecastOverheadResult{Kinds: allKinds, TrainTime: r.TrainTime, TestTime: r.TestTime}, nil
+}
+
+// Table renders the timings.
+func (r *ForecastOverheadResult) Table() *Table {
+	t := &Table{Title: "Fig 13: load forecasting time overhead", Header: []string{"method", "train_s", "test_s"}}
+	for _, k := range r.Kinds {
+		t.Rows = append(t.Rows, []string{
+			kindLabel(k),
+			fmt.Sprintf("%.2f", r.TrainTime[k].Seconds()),
+			fmt.Sprintf("%.2f", r.TestTime[k].Seconds()),
+		})
+	}
+	return t
+}

@@ -1,0 +1,228 @@
+// Package fed implements the federated-learning machinery of the paper:
+//
+//   - decentralized FedAvg rounds (Algorithm 1): every agent broadcasts its
+//     model parameters to every peer over the simulated LAN and averages
+//     what arrives with its own — no aggregation server exists;
+//   - centralized (cloud) rounds for the Cloud/FL/FRL baselines: spokes
+//     upload to a hub which averages and redistributes;
+//   - the FedPer personalization split (Section 3.3.2, Eqs. 7–8): only the
+//     first α trainable layers of a model (the "base layers") participate
+//     in federation, the remaining layers stay local forever.
+//
+// All transports run through fednet so byte counts, message counts, and
+// simulated time are accounted.
+package fed
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/fednet"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// MarshalParams serializes a parameter set in wire format (matrices back to
+// back).
+func MarshalParams(ps []*tensor.Matrix) []byte {
+	var buf bytes.Buffer
+	for _, p := range ps {
+		if _, err := p.WriteTo(&buf); err != nil {
+			// bytes.Buffer writes cannot fail.
+			panic(fmt.Sprintf("fed: marshal: %v", err))
+		}
+	}
+	return buf.Bytes()
+}
+
+// UnmarshalParamsLike decodes a wire blob into fresh matrices shaped like
+// the given template set. It errors on shape or length mismatch.
+func UnmarshalParamsLike(template []*tensor.Matrix, data []byte) ([]*tensor.Matrix, error) {
+	r := bytes.NewReader(data)
+	out := make([]*tensor.Matrix, len(template))
+	for i, tpl := range template {
+		var m tensor.Matrix
+		if _, err := m.ReadFrom(r); err != nil {
+			return nil, fmt.Errorf("fed: decoding param %d: %w", i, err)
+		}
+		if m.Rows != tpl.Rows || m.Cols != tpl.Cols {
+			return nil, fmt.Errorf("fed: param %d is %dx%d, want %dx%d", i, m.Rows, m.Cols, tpl.Rows, tpl.Cols)
+		}
+		out[i] = &m
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("fed: %d trailing bytes after params", r.Len())
+	}
+	return out, nil
+}
+
+// baseParams returns the federated slice of a model's parameters: those of
+// the first alpha trainable layers. alpha < 0 or ≥ the trainable-layer
+// count selects all parameters (plain FedAvg, no personalization).
+func baseParams(m *nn.Sequential, alpha int) []*tensor.Matrix {
+	n := m.NumTrainableLayers()
+	if alpha < 0 || alpha > n {
+		alpha = n
+	}
+	return m.ParamsOfTrainableRange(0, alpha)
+}
+
+// DecentralizedRound performs one synchronous DFL exchange (Algorithm 1
+// lines "Broadcast / Receive / aggregate") for one model per agent:
+//
+//  1. agent i snapshots its base parameters (first alpha trainable layers;
+//     alpha<0 = all) and broadcasts them to every peer;
+//  2. agent i averages its own snapshot with every set it received, and
+//     installs the mean into its base layers.
+//
+// Personalization layers (trainable layers ≥ alpha) are never transmitted
+// or modified — they realize W(DRLP) of Eq. 8; the installed mean realizes
+// W(DRLB) of Eq. 7 and the model's Forward then computes their combination.
+//
+// models[i] belongs to network agent i; all models must share one
+// architecture. Message drops (if configured on the network) degrade the
+// average gracefully — an agent aggregates whatever arrived plus its own
+// snapshot. Returns the number of parameter sets each agent averaged
+// (minimum across agents).
+func DecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string, alpha int) (int, error) {
+	if net.N() != len(models) {
+		return 0, fmt.Errorf("fed: %d models for %d network agents", len(models), net.N())
+	}
+	n := len(models)
+	if n == 1 {
+		return 1, nil
+	}
+	// Snapshot & broadcast. Snapshots isolate in-flight payloads from any
+	// continued local mutation.
+	snaps := make([][]*tensor.Matrix, n)
+	for i, m := range models {
+		snaps[i] = nn.CloneParams(baseParams(m, alpha))
+		if err := net.Broadcast(i, kind, MarshalParams(snaps[i])); err != nil {
+			return 0, err
+		}
+	}
+	// Collect & aggregate.
+	minSets := n + 1
+	for i, m := range models {
+		base := baseParams(m, alpha)
+		sets := [][]*tensor.Matrix{snaps[i]}
+		for _, msg := range net.Collect(i) {
+			if msg.Kind != kind {
+				continue
+			}
+			got, err := UnmarshalParamsLike(base, msg.Payload)
+			if err != nil {
+				return 0, fmt.Errorf("fed: agent %d from %d: %w", i, msg.From, err)
+			}
+			sets = append(sets, got)
+		}
+		used := nn.AverageParamSets(base, sets...)
+		if used < minSets {
+			minSets = used
+		}
+	}
+	return minSets, nil
+}
+
+// CentralizedRound performs one cloud-FL exchange over a Star network:
+// every spoke uploads its base parameters to the hub (agent 0), the hub
+// averages them together with its own and broadcasts the global model back,
+// and every agent installs it. This is the Cloud/FL/FRL baseline transport.
+//
+// The hub is a real participant (agent 0 owns models[0]); with hubIsServer
+// true the hub contributes no parameters of its own — it is a pure
+// aggregation server, the paper's "malicious cloud" role.
+func CentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string, alpha int, hubIsServer bool) error {
+	if net.N() != len(models) {
+		return fmt.Errorf("fed: %d models for %d network agents", len(models), net.N())
+	}
+	if net.Config().Topology != fednet.Star {
+		return fmt.Errorf("fed: CentralizedRound requires a star network, have %v", net.Config().Topology)
+	}
+	n := len(models)
+	if n == 1 {
+		return nil
+	}
+	// Upload.
+	for i := 1; i < n; i++ {
+		snap := nn.CloneParams(baseParams(models[i], alpha))
+		if err := net.Send(i, 0, kind, MarshalParams(snap)); err != nil {
+			return err
+		}
+	}
+	// Hub aggregates.
+	hubBase := baseParams(models[0], alpha)
+	var sets [][]*tensor.Matrix
+	if !hubIsServer {
+		sets = append(sets, nn.CloneParams(hubBase))
+	}
+	for _, msg := range net.Collect(0) {
+		if msg.Kind != kind {
+			continue
+		}
+		got, err := UnmarshalParamsLike(hubBase, msg.Payload)
+		if err != nil {
+			return fmt.Errorf("fed: hub decoding from %d: %w", msg.From, err)
+		}
+		sets = append(sets, got)
+	}
+	if len(sets) == 0 {
+		return fmt.Errorf("fed: hub received no parameter sets")
+	}
+	global := nn.CloneParams(hubBase)
+	if nn.AverageParamSets(global, sets...) == 0 {
+		return fmt.Errorf("fed: every uploaded parameter set was rejected")
+	}
+	// Distribute and install.
+	blob := MarshalParams(global)
+	if err := net.Broadcast(0, kind, blob); err != nil {
+		return err
+	}
+	nn.CopyParams(hubBase, global)
+	for i := 1; i < n; i++ {
+		base := baseParams(models[i], alpha)
+		for _, msg := range net.Collect(i) {
+			if msg.Kind != kind {
+				continue
+			}
+			got, err := UnmarshalParamsLike(base, msg.Payload)
+			if err != nil {
+				return fmt.Errorf("fed: spoke %d decoding: %w", i, err)
+			}
+			nn.CopyParams(base, got)
+		}
+	}
+	return nil
+}
+
+// Schedule decides when periodic broadcasts fire. The paper's β and γ are
+// broadcast periods in hours; the simulation advances in minutes.
+type Schedule struct {
+	// PeriodHours is the broadcast period (β or γ). Non-positive disables.
+	PeriodHours float64
+}
+
+// Due reports whether a broadcast fires at the given simulation minute.
+// Minute 0 does not fire (there is nothing trained yet).
+func (s Schedule) Due(minute int) bool {
+	if s.PeriodHours <= 0 || minute == 0 {
+		return false
+	}
+	period := int(s.PeriodHours * 60)
+	if period < 1 {
+		period = 1
+	}
+	return minute%period == 0
+}
+
+// RoundsPerDay returns how many broadcasts fire in a 24h day.
+func (s Schedule) RoundsPerDay() int {
+	if s.PeriodHours <= 0 {
+		return 0
+	}
+	period := int(s.PeriodHours * 60)
+	if period < 1 {
+		period = 1
+	}
+	return (24 * 60) / period
+}

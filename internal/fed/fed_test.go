@@ -1,0 +1,343 @@
+package fed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fednet"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func mlps(n int, seed int64) []*nn.Sequential {
+	out := make([]*nn.Sequential, n)
+	for i := range out {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		out[i] = nn.NewMLP(rng, 4, 6, 6, 2)
+	}
+	return out
+}
+
+func TestMarshalUnmarshalParams(t *testing.T) {
+	m := mlps(1, 1)[0]
+	blob := MarshalParams(m.Params())
+	got, err := UnmarshalParamsLike(m.Params(), blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range m.Params() {
+		if !p.Equal(got[i]) {
+			t.Fatalf("param %d mismatch", i)
+		}
+	}
+}
+
+func TestUnmarshalParamsErrors(t *testing.T) {
+	m := mlps(1, 1)[0]
+	blob := MarshalParams(m.Params())
+	if _, err := UnmarshalParamsLike(m.Params(), blob[:len(blob)-4]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if _, err := UnmarshalParamsLike(m.Params(), append(blob, 0, 0, 0, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	other := nn.NewMLP(rand.New(rand.NewSource(9)), 5, 6, 6, 2)
+	if _, err := UnmarshalParamsLike(other.Params(), blob); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func modelsIdentical(a, b *nn.Sequential) bool {
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		if !pa[i].AlmostEqual(pb[i], 1e-12) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDecentralizedRoundFullAverage(t *testing.T) {
+	n := 4
+	models := mlps(n, 10)
+	// Expected mean of all params.
+	want := nn.CloneParams(models[0].Params())
+	sets := make([][]*tensor.Matrix, n)
+	for i, m := range models {
+		sets[i] = nn.CloneParams(m.Params())
+	}
+	nn.AverageParamSets(want, sets...)
+
+	net := fednet.New(n, fednet.Config{})
+	used, err := DecentralizedRound(net, models, "m", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != n {
+		t.Fatalf("aggregated %d sets, want %d", used, n)
+	}
+	for i, m := range models {
+		for j, p := range m.Params() {
+			if !p.AlmostEqual(want[j], 1e-12) {
+				t.Fatalf("agent %d param %d not at global mean", i, j)
+			}
+		}
+		if i > 0 && !modelsIdentical(models[0], m) {
+			t.Fatalf("agents diverged after full round")
+		}
+	}
+	st := net.Stats()
+	if st.MessagesSent != n*(n-1) {
+		t.Fatalf("messages %d, want %d", st.MessagesSent, n*(n-1))
+	}
+}
+
+func TestDecentralizedRoundPersonalizationSplit(t *testing.T) {
+	n := 3
+	alpha := 2 // share first 2 of 3 trainable layers
+	models := mlps(n, 20)
+	personalBefore := make([][]*tensor.Matrix, n)
+	for i, m := range models {
+		personalBefore[i] = nn.CloneParams(m.ParamsOfTrainableRange(alpha, m.NumTrainableLayers()))
+	}
+	net := fednet.New(n, fednet.Config{})
+	if _, err := DecentralizedRound(net, models, "drl", alpha); err != nil {
+		t.Fatal(err)
+	}
+	// Base layers converge across agents...
+	for i := 1; i < n; i++ {
+		a := models[0].ParamsOfTrainableRange(0, alpha)
+		b := models[i].ParamsOfTrainableRange(0, alpha)
+		for j := range a {
+			if !a[j].AlmostEqual(b[j], 1e-12) {
+				t.Fatalf("base layers differ between agents 0 and %d", i)
+			}
+		}
+	}
+	// ...personalization layers are untouched and still distinct.
+	for i, m := range models {
+		after := m.ParamsOfTrainableRange(alpha, m.NumTrainableLayers())
+		for j := range after {
+			if !after[j].Equal(personalBefore[i][j]) {
+				t.Fatalf("agent %d personal layer %d mutated", i, j)
+			}
+		}
+	}
+	if modelsIdentical(models[0], models[1]) {
+		t.Fatal("personalization should keep full models distinct")
+	}
+	// Fewer bytes than a full-model round.
+	full := models[0].WireSize()
+	base := nn.ParamsWireSize(models[0].ParamsOfTrainableRange(0, alpha))
+	if base >= full {
+		t.Fatal("base payload should be smaller than full model")
+	}
+	perMsg := int(net.Stats().BytesSent) / net.Stats().MessagesSent
+	if perMsg != base {
+		t.Fatalf("per-message bytes %d, want %d", perMsg, base)
+	}
+}
+
+func TestDecentralizedRoundSingleAgent(t *testing.T) {
+	models := mlps(1, 30)
+	net := fednet.New(1, fednet.Config{})
+	used, err := DecentralizedRound(net, models, "m", -1)
+	if err != nil || used != 1 {
+		t.Fatalf("single-agent round: used=%d err=%v", used, err)
+	}
+}
+
+func TestDecentralizedRoundModelCountMismatch(t *testing.T) {
+	net := fednet.New(3, fednet.Config{})
+	if _, err := DecentralizedRound(net, mlps(2, 1), "m", -1); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestDecentralizedRoundWithDrops(t *testing.T) {
+	n := 5
+	models := mlps(n, 40)
+	net := fednet.New(n, fednet.Config{DropProb: 0.5, Seed: 3})
+	used, err := DecentralizedRound(net, models, "m", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used < 1 || used > n {
+		t.Fatalf("used = %d out of range", used)
+	}
+	for _, m := range models {
+		for _, p := range m.Params() {
+			if p.HasNaN() {
+				t.Fatal("drops corrupted parameters")
+			}
+		}
+	}
+}
+
+func TestDecentralizedRoundRejectsNaNPeers(t *testing.T) {
+	n := 3
+	models := mlps(n, 50)
+	// Poison agent 2's model.
+	models[2].Params()[0].Data[0] = math.NaN()
+	net := fednet.New(n, fednet.Config{})
+	used, err := DecentralizedRound(net, models, "m", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Agents 0 and 1 aggregate 2 clean sets; agent 2 aggregates 2 clean
+	// peers (its own is rejected).
+	if used != 2 {
+		t.Fatalf("used = %d, want 2", used)
+	}
+	for i := 0; i < 2; i++ {
+		for _, p := range models[i].Params() {
+			if p.HasNaN() {
+				t.Fatalf("agent %d contaminated by NaN peer", i)
+			}
+		}
+	}
+}
+
+func TestCentralizedRoundConvergesAgents(t *testing.T) {
+	n := 4
+	models := mlps(n, 60)
+	net := fednet.New(n, fednet.Config{Topology: fednet.Star})
+	if err := CentralizedRound(net, models, "m", -1, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if !modelsIdentical(models[0], models[i]) {
+			t.Fatalf("agent %d differs from global model", i)
+		}
+	}
+}
+
+func TestCentralizedRoundHubAsPureServer(t *testing.T) {
+	n := 3
+	models := mlps(n, 70)
+	// Expected: mean of spokes 1..2 only.
+	want := nn.CloneParams(models[1].Params())
+	nn.AverageParamSets(want, nn.CloneParams(models[1].Params()), nn.CloneParams(models[2].Params()))
+	net := fednet.New(n, fednet.Config{Topology: fednet.Star})
+	if err := CentralizedRound(net, models, "m", -1, true); err != nil {
+		t.Fatal(err)
+	}
+	for j, p := range models[1].Params() {
+		if !p.AlmostEqual(want[j], 1e-12) {
+			t.Fatalf("spoke param %d not at spoke mean", j)
+		}
+	}
+}
+
+func TestCentralizedRoundRequiresStar(t *testing.T) {
+	net := fednet.New(2, fednet.Config{})
+	if err := CentralizedRound(net, mlps(2, 80), "m", -1, false); err == nil {
+		t.Fatal("all-to-all network accepted")
+	}
+}
+
+func TestScheduleDue(t *testing.T) {
+	s := Schedule{PeriodHours: 2}
+	if s.Due(0) {
+		t.Fatal("minute 0 should not fire")
+	}
+	if !s.Due(120) || !s.Due(240) {
+		t.Fatal("period boundaries should fire")
+	}
+	if s.Due(60) || s.Due(121) {
+		t.Fatal("off-period minutes fired")
+	}
+	if got := s.RoundsPerDay(); got != 12 {
+		t.Fatalf("RoundsPerDay = %d, want 12", got)
+	}
+	frac := Schedule{PeriodHours: 0.1} // 6 minutes
+	if !frac.Due(6) || frac.Due(5) {
+		t.Fatal("fractional-hour schedule wrong")
+	}
+	if got := frac.RoundsPerDay(); got != 240 {
+		t.Fatalf("fractional RoundsPerDay = %d", got)
+	}
+	off := Schedule{}
+	if off.Due(60) || off.RoundsPerDay() != 0 {
+		t.Fatal("disabled schedule fired")
+	}
+}
+
+func TestPropDecentralizedPreservesMean(t *testing.T) {
+	// Invariant: full FedAvg leaves the *mean* of all agents' parameters
+	// unchanged (conservation), for any agent count.
+	for _, n := range []int{2, 3, 5, 8} {
+		models := mlps(n, int64(100+n))
+		meanBefore := nn.CloneParams(models[0].Params())
+		sets := make([][]*tensor.Matrix, n)
+		for i, m := range models {
+			sets[i] = nn.CloneParams(m.Params())
+		}
+		nn.AverageParamSets(meanBefore, sets...)
+
+		net := fednet.New(n, fednet.Config{})
+		if _, err := DecentralizedRound(net, models, "m", -1); err != nil {
+			t.Fatal(err)
+		}
+		for j, p := range models[0].Params() {
+			if !p.AlmostEqual(meanBefore[j], 1e-9) {
+				t.Fatalf("n=%d: mean not conserved at param %d", n, j)
+			}
+		}
+	}
+}
+
+func TestCentralizedRoundErrorPaths(t *testing.T) {
+	// Model-count mismatch.
+	star := fednet.New(3, fednet.Config{Topology: fednet.Star})
+	if err := CentralizedRound(star, mlps(2, 1), "m", -1, false); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+	// Single agent is a no-op.
+	one := fednet.New(1, fednet.Config{Topology: fednet.Star})
+	if err := CentralizedRound(one, mlps(1, 1), "m", -1, false); err != nil {
+		t.Fatalf("single-agent round: %v", err)
+	}
+	// Hub-as-server with every upload dropped: no sets to average.
+	lossy := fednet.New(3, fednet.Config{Topology: fednet.Star, DropProb: 1, Seed: 1})
+	if err := CentralizedRound(lossy, mlps(3, 2), "m", -1, true); err == nil {
+		t.Fatal("hub with zero uploads should error")
+	}
+	// Hub participating with all uploads dropped still averages itself.
+	lossy2 := fednet.New(3, fednet.Config{Topology: fednet.Star, DropProb: 1, Seed: 1})
+	if err := CentralizedRound(lossy2, mlps(3, 3), "m", -1, false); err != nil {
+		t.Fatalf("participating hub should tolerate dropped uploads: %v", err)
+	}
+}
+
+func TestCentralizedRoundPersonalizationSplit(t *testing.T) {
+	n := 3
+	alpha := 1
+	models := mlps(n, 900)
+	net := fednet.New(n, fednet.Config{Topology: fednet.Star})
+	if err := CentralizedRound(net, models, "m", alpha, true); err != nil {
+		t.Fatal(err)
+	}
+	// Spokes' base layers converge; deeper layers stay distinct.
+	a := models[1].ParamsOfTrainableRange(0, alpha)
+	b := models[2].ParamsOfTrainableRange(0, alpha)
+	for j := range a {
+		if !a[j].AlmostEqual(b[j], 1e-12) {
+			t.Fatal("spoke base layers differ after centralized round")
+		}
+	}
+	if modelsIdentical(models[1], models[2]) {
+		t.Fatal("personal layers should remain distinct")
+	}
+}
+
+func TestScheduleSubMinutePeriodClamps(t *testing.T) {
+	s := Schedule{PeriodHours: 0.001} // 0.06 min → clamps to 1 minute
+	if !s.Due(1) || !s.Due(2) {
+		t.Fatal("sub-minute period should fire every minute")
+	}
+	if got := s.RoundsPerDay(); got != 1440 {
+		t.Fatalf("RoundsPerDay = %d, want 1440", got)
+	}
+}

@@ -1,0 +1,118 @@
+package fed
+
+import (
+	"testing"
+
+	"repro/internal/fednet"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestGossipRoundRequiresRing(t *testing.T) {
+	if err := GossipRound(fednet.New(3, fednet.Config{}), mlps(3, 1), "m", -1); err == nil {
+		t.Fatal("non-ring network accepted")
+	}
+	if err := GossipRound(fednet.New(3, fednet.Config{Topology: fednet.Ring}), mlps(2, 1), "m", -1); err == nil {
+		t.Fatal("model-count mismatch accepted")
+	}
+}
+
+func TestGossipConvergesToGlobalMean(t *testing.T) {
+	n := 6
+	models := mlps(n, 600)
+	// Global mean before gossip.
+	want := nn.CloneParams(models[0].Params())
+	sets := make([][]*tensor.Matrix, n)
+	for i, m := range models {
+		sets[i] = nn.CloneParams(m.Params())
+	}
+	nn.AverageParamSets(want, sets...)
+
+	net := fednet.New(n, fednet.Config{Topology: fednet.Ring})
+	before := GossipDisagreement(models, -1)
+	var prev float64 = before
+	for round := 0; round < 40; round++ {
+		if err := GossipRound(net, models, "m", -1); err != nil {
+			t.Fatal(err)
+		}
+		cur := GossipDisagreement(models, -1)
+		if cur > prev*1.3 {
+			t.Fatalf("round %d: disagreement rose %v -> %v", round, prev, cur)
+		}
+		prev = cur
+	}
+	if prev > before/100 {
+		t.Fatalf("gossip did not converge: disagreement %v -> %v", before, prev)
+	}
+	// Gossip averaging conserves the mean, so consensus == global mean.
+	for i, m := range models {
+		for j, p := range m.Params() {
+			if !p.AlmostEqual(want[j], 1e-3) {
+				t.Fatalf("agent %d param %d far from global mean after gossip", i, j)
+			}
+		}
+	}
+}
+
+func TestGossipCheaperPerRoundThanBroadcast(t *testing.T) {
+	n := 8
+	ring := fednet.New(n, fednet.Config{Topology: fednet.Ring})
+	full := fednet.New(n, fednet.Config{})
+	mr := mlps(n, 700)
+	mf := mlps(n, 700)
+	if err := GossipRound(ring, mr, "m", -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecentralizedRound(full, mf, "m", -1); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Stats().MessagesSent >= full.Stats().MessagesSent {
+		t.Fatalf("ring round %d msgs should undercut all-to-all %d",
+			ring.Stats().MessagesSent, full.Stats().MessagesSent)
+	}
+	if ring.Stats().MessagesSent != 2*n {
+		t.Fatalf("ring round sent %d msgs, want %d", ring.Stats().MessagesSent, 2*n)
+	}
+}
+
+func TestRingTopologyRules(t *testing.T) {
+	nw := fednet.New(5, fednet.Config{Topology: fednet.Ring})
+	if err := nw.Send(0, 2, "k", nil); err == nil {
+		t.Fatal("non-adjacent send accepted")
+	}
+	if err := nw.Send(0, 1, "k", nil); err != nil {
+		t.Fatalf("adjacent send rejected: %v", err)
+	}
+	if err := nw.Send(0, 4, "k", nil); err != nil {
+		t.Fatalf("wrap-around send rejected: %v", err)
+	}
+	if err := nw.Broadcast(2, "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Agent 1 holds the earlier 0→1 send plus 2's broadcast; agent 3 holds
+	// only the broadcast; agents 0 and 4 are untouched by it.
+	if nw.Pending(1) != 2 || nw.Pending(3) != 1 || nw.Pending(0) != 0 {
+		t.Fatalf("ring broadcast delivery wrong: %d/%d/%d",
+			nw.Pending(1), nw.Pending(3), nw.Pending(0))
+	}
+	if nw.Pending(4) != 1 { // from the earlier wrap-around send
+		t.Fatal("wrap-around delivery missing")
+	}
+	two := fednet.New(2, fednet.Config{Topology: fednet.Ring})
+	if err := two.Send(0, 1, "k", nil); err != nil {
+		t.Fatalf("2-ring adjacency wrong: %v", err)
+	}
+}
+
+func TestGossipDisagreementZeroForIdenticalFleet(t *testing.T) {
+	models := mlps(3, 800)
+	for i := 1; i < 3; i++ {
+		models[i].CopyParamsFrom(models[0])
+	}
+	if d := GossipDisagreement(models, -1); d > 1e-20 {
+		t.Fatalf("identical fleet disagreement %v", d)
+	}
+	if GossipDisagreement(nil, -1) != 0 {
+		t.Fatal("empty fleet should be 0")
+	}
+}

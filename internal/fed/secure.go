@@ -1,0 +1,133 @@
+package fed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fednet"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Secure aggregation (pairwise additive masking, after Bonawitz et al.).
+//
+// The paper's privacy argument is that only model parameters leave a home —
+// but parameters themselves leak training data through inversion attacks
+// (its own citation, Geiping et al.). Pairwise masking closes that gap for
+// the *aggregate*: every pair of agents (i, j) derives a shared mask m_ij;
+// agent i adds +m_ij and agent j adds −m_ij to their broadcast payloads, so
+// every individual payload is statistically noise while the sum — and hence
+// the FedAvg mean — is exact.
+//
+// This implementation simulates the protocol arithmetic: masks come from a
+// deterministic PRG seeded by (round nonce, i, j) rather than a
+// Diffie–Hellman key agreement, and there is no dropout-recovery secret
+// sharing — a lost message fails the round loudly instead of silently
+// corrupting the average (masks would no longer cancel).
+
+// maskStd is the mask amplitude. It only needs to dominate parameter
+// magnitudes (O(1) after normalized training) to hide them.
+const maskStd = 100.0
+
+// pairMask fills out with the deterministic mask shared by agents i and j
+// for the given round nonce. Both endpoints generate identical values.
+func pairMask(nonce int64, i, j int, out []float64) {
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	seed := nonce ^ int64((uint64(lo)+1)*0x9e3779b97f4a7c15) ^ int64((uint64(hi)+1)*0xbf58476d1ce4e5b9)
+	rng := rand.New(rand.NewSource(seed))
+	for k := range out {
+		out[k] = rng.NormFloat64() * maskStd
+	}
+}
+
+// maskSign returns +1 for the lower-indexed endpoint of a pair and −1 for
+// the higher one, so paired masks cancel in the sum.
+func maskSign(self, peer int) float64 {
+	if self < peer {
+		return 1
+	}
+	return -1
+}
+
+// SecureDecentralizedRound performs one DFL FedAvg exchange in which every
+// broadcast parameter set is pairwise-masked: no agent (or eavesdropper)
+// sees another agent's raw parameters, yet every agent recovers the exact
+// unmasked mean. Requires full participation — it returns an error if any
+// expected payload is missing (e.g. the network dropped it), because a
+// partial sum no longer cancels the masks.
+//
+// alpha selects the shared trainable-layer prefix exactly as in
+// DecentralizedRound. nonce must be distinct per round (reusing it reuses
+// masks, which weakens nothing here but would in a real deployment).
+func SecureDecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string, alpha int, nonce int64) error {
+	if net.N() != len(models) {
+		return fmt.Errorf("fed: %d models for %d network agents", len(models), net.N())
+	}
+	n := len(models)
+	if n == 1 {
+		return nil
+	}
+
+	// Build and broadcast masked payloads.
+	masked := make([][]*tensor.Matrix, n)
+	scratch := make([]float64, 0)
+	for i, m := range models {
+		base := baseParams(m, alpha)
+		snap := nn.CloneParams(base)
+		flat := nn.FlattenParams(snap)
+		if cap(scratch) < len(flat) {
+			scratch = make([]float64, len(flat))
+		}
+		mask := scratch[:len(flat)]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			pairMask(nonce, i, j, mask)
+			s := maskSign(i, j)
+			for k := range flat {
+				flat[k] += s * mask[k]
+			}
+		}
+		nn.UnflattenParams(snap, flat)
+		masked[i] = snap
+		if err := net.Broadcast(i, kind, MarshalParams(snap)); err != nil {
+			return err
+		}
+	}
+
+	// Every agent sums its own masked payload with all received ones; the
+	// masks cancel and the mean is exact.
+	for i, m := range models {
+		base := baseParams(m, alpha)
+		sum := nn.CloneParams(masked[i])
+		received := 0
+		for _, msg := range net.Collect(i) {
+			if msg.Kind != kind {
+				continue
+			}
+			got, err := UnmarshalParamsLike(base, msg.Payload)
+			if err != nil {
+				return fmt.Errorf("fed: agent %d from %d: %w", i, msg.From, err)
+			}
+			for pi := range sum {
+				tensor.AddInto(sum[pi], sum[pi], got[pi])
+			}
+			received++
+		}
+		if received != n-1 {
+			return fmt.Errorf("fed: secure round needs full participation: agent %d received %d/%d payloads",
+				i, received, n-1)
+		}
+		inv := 1.0 / float64(n)
+		for pi, p := range base {
+			for k := range p.Data {
+				p.Data[k] = sum[pi].Data[k] * inv
+			}
+		}
+	}
+	return nil
+}

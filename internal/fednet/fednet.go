@@ -1,0 +1,299 @@
+// Package fednet simulates the communication fabric between smart-home
+// agents. The paper's deployment is a LAN inside one residential building:
+// every agent broadcasts model parameters directly to every other agent
+// (decentralized federated learning, no cloud server). The baselines need a
+// star topology instead, where agents talk only to a central aggregator.
+//
+// The simulator is an in-process mailbox network with
+//
+//   - per-message byte and count accounting (the communication-overhead
+//     experiments, Figs 13–14, are driven by these numbers),
+//   - a linear latency model (base + bytes/bandwidth) for simulated time,
+//   - deterministic probabilistic message drops for failure injection.
+//
+// It is safe for concurrent use: agents may train and broadcast from their
+// own goroutines.
+package fednet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Topology selects who may talk to whom.
+type Topology int
+
+const (
+	// AllToAll is the paper's decentralized LAN: any agent to any agent.
+	AllToAll Topology = iota
+	// Star routes everything through node 0 (the cloud aggregator used by
+	// the Cloud/FL/FRL baselines): spokes may only exchange with the hub.
+	Star
+	// Ring permits traffic only between adjacent agents (i ↔ i±1 mod n):
+	// the classic low-degree gossip fabric, trading per-round convergence
+	// for O(n) instead of O(n²) messages per round.
+	Ring
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	switch t {
+	case Star:
+		return "star"
+	case Ring:
+		return "ring"
+	default:
+		return "all-to-all"
+	}
+}
+
+// Config parameterizes the simulated fabric.
+type Config struct {
+	// Topology is AllToAll (default) or Star.
+	Topology Topology
+	// BaseLatency is the fixed per-message delivery latency.
+	// Defaults to 2ms (LAN) for AllToAll and 40ms (WAN hop) for Star,
+	// reflecting the paper's claim that cloud round-trips dominate.
+	BaseLatency time.Duration
+	// BandwidthBps is the per-link bandwidth in bytes per second
+	// (default 12.5e6 ≈ 100 Mbit/s).
+	BandwidthBps float64
+	// DropProb is the probability a message is silently lost.
+	DropProb float64
+	// Seed drives the drop process deterministically.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BaseLatency == 0 {
+		if c.Topology == Star {
+			c.BaseLatency = 40 * time.Millisecond
+		} else {
+			c.BaseLatency = 2 * time.Millisecond
+		}
+	}
+	if c.BandwidthBps == 0 {
+		c.BandwidthBps = 12.5e6
+	}
+	return c
+}
+
+// Message is a delivered payload.
+type Message struct {
+	From, To int
+	// Kind tags the payload ("forecast/tv", "drl-base", ...).
+	Kind string
+	// Payload is the serialized content. Receivers must treat it as
+	// immutable; it is shared across broadcast recipients.
+	Payload []byte
+}
+
+// Stats aggregates fabric usage.
+type Stats struct {
+	MessagesSent    int
+	MessagesDropped int
+	BytesSent       int64
+	// SimulatedTime is the accumulated serialized transfer time of all
+	// messages (the denominator experiments divide by agents or rounds).
+	SimulatedTime time.Duration
+}
+
+// Network is the simulated fabric.
+type Network struct {
+	cfg Config
+
+	mu      sync.Mutex
+	inboxes [][]Message
+	rng     *rand.Rand
+	stats   Stats
+}
+
+// New creates a network of n agents. For Star topology, agent 0 is the hub.
+func New(n int, cfg Config) *Network {
+	if n < 1 {
+		panic(fmt.Sprintf("fednet: need at least 1 agent, got %d", n))
+	}
+	cfg = cfg.withDefaults()
+	return &Network{
+		cfg:     cfg,
+		inboxes: make([][]Message, n),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// N returns the number of agents.
+func (nw *Network) N() int { return len(nw.inboxes) }
+
+// Config returns the effective configuration (with defaults applied).
+func (nw *Network) Config() Config { return nw.cfg }
+
+// TransferTime returns the simulated wire time for one message of the
+// given size.
+func (nw *Network) TransferTime(bytes int) time.Duration {
+	return nw.cfg.BaseLatency + time.Duration(float64(bytes)/nw.cfg.BandwidthBps*float64(time.Second))
+}
+
+// Send delivers one message, subject to topology rules and drops.
+// It returns an error for invalid endpoints or a topology violation; a
+// dropped message is not an error (the sender cannot tell).
+func (nw *Network) Send(from, to int, kind string, payload []byte) error {
+	if err := nw.checkEndpoint(from); err != nil {
+		return err
+	}
+	if err := nw.checkEndpoint(to); err != nil {
+		return err
+	}
+	if from == to {
+		return fmt.Errorf("fednet: agent %d sending to itself", from)
+	}
+	if nw.cfg.Topology == Star && from != 0 && to != 0 {
+		return fmt.Errorf("fednet: star topology forbids %d -> %d (spoke to spoke)", from, to)
+	}
+	if nw.cfg.Topology == Ring && !nw.ringAdjacent(from, to) {
+		return fmt.Errorf("fednet: ring topology forbids %d -> %d (non-adjacent)", from, to)
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.stats.MessagesSent++
+	nw.stats.BytesSent += int64(len(payload))
+	nw.stats.SimulatedTime += nw.TransferTime(len(payload))
+	if nw.cfg.DropProb > 0 && nw.rng.Float64() < nw.cfg.DropProb {
+		nw.stats.MessagesDropped++
+		return nil
+	}
+	nw.inboxes[to] = append(nw.inboxes[to], Message{From: from, To: to, Kind: kind, Payload: payload})
+	return nil
+}
+
+// Broadcast sends payload from an agent to every permitted peer: all other
+// agents under AllToAll, only the hub for a spoke (or every spoke for the
+// hub) under Star, the two ring neighbors under Ring. The payload is
+// shared, not copied, across recipients.
+func (nw *Network) Broadcast(from int, kind string, payload []byte) error {
+	if err := nw.checkEndpoint(from); err != nil {
+		return err
+	}
+	for to := 0; to < nw.N(); to++ {
+		if to == from {
+			continue
+		}
+		if nw.cfg.Topology == Star && from != 0 && to != 0 {
+			continue
+		}
+		if nw.cfg.Topology == Ring && !nw.ringAdjacent(from, to) {
+			continue
+		}
+		if err := nw.Send(from, to, kind, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ringAdjacent reports whether a and b are neighbors on the ring.
+func (nw *Network) ringAdjacent(a, b int) bool {
+	n := nw.N()
+	if n <= 2 {
+		return a != b
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d == 1 || d == n-1
+}
+
+// Collect drains and returns an agent's inbox in arrival order.
+func (nw *Network) Collect(agent int) []Message {
+	if err := nw.checkEndpoint(agent); err != nil {
+		panic(err)
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	msgs := nw.inboxes[agent]
+	nw.inboxes[agent] = nil
+	return msgs
+}
+
+// Pending returns the number of undelivered messages in an agent's inbox
+// without draining it.
+func (nw *Network) Pending(agent int) int {
+	if err := nw.checkEndpoint(agent); err != nil {
+		panic(err)
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return len(nw.inboxes[agent])
+}
+
+// Stats returns a snapshot of the fabric counters.
+func (nw *Network) Stats() Stats {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.stats
+}
+
+// ResetStats zeroes the counters (inboxes are untouched).
+func (nw *Network) ResetStats() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.stats = Stats{}
+}
+
+func (nw *Network) checkEndpoint(a int) error {
+	if a < 0 || a >= nw.N() {
+		return fmt.Errorf("fednet: agent %d out of range [0,%d)", a, nw.N())
+	}
+	return nil
+}
+
+// ChargeBroadcastRounds accounts the traffic of `rounds` full parameter-
+// exchange rounds of the given payload size without delivering anything.
+// The simulation uses it when a broadcast period shorter than the training
+// granularity fires several times between training bouts: re-running the
+// exchange would be an idempotent no-op (averaging identical parameters),
+// but the fabric cost is real and must appear in the overhead figures.
+//
+// One round counts n·(n−1) messages under AllToAll and 2·(n−1) under Star
+// (upload plus redistribution).
+func (nw *Network) ChargeBroadcastRounds(bytes, rounds int) {
+	if rounds <= 0 || nw.N() <= 1 {
+		return
+	}
+	n := nw.N()
+	msgs := n * (n - 1)
+	switch nw.cfg.Topology {
+	case Star:
+		msgs = 2 * (n - 1)
+	case Ring:
+		msgs = 2 * n
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.stats.MessagesSent += rounds * msgs
+	nw.stats.BytesSent += int64(rounds * msgs * bytes)
+	nw.stats.SimulatedTime += time.Duration(rounds*msgs) * nw.TransferTime(bytes)
+}
+
+// BroadcastRoundTime estimates the simulated wall-clock of one synchronous
+// parameter-exchange round in which every participant ships `bytes` to each
+// of its peers. Per-agent links are serial; distinct agents transmit in
+// parallel (each home has its own uplink).
+//
+//   - AllToAll with n agents: each sends n−1 messages serially ⇒
+//     (n−1)·transfer(bytes).
+//   - Star with n agents (hub + n−1 spokes): spokes upload in parallel
+//     (one transfer), then the hub re-distributes serially to n−1 spokes.
+func (nw *Network) BroadcastRoundTime(bytes int) time.Duration {
+	n := nw.N()
+	if n <= 1 {
+		return 0
+	}
+	t := nw.TransferTime(bytes)
+	if nw.cfg.Topology == Star {
+		return t + time.Duration(n-1)*t
+	}
+	return time.Duration(n-1) * t
+}

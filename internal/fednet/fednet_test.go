@@ -1,0 +1,294 @@
+package fednet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, Config{})
+}
+
+func TestSendAndCollect(t *testing.T) {
+	nw := New(3, Config{})
+	if err := nw.Send(0, 1, "k", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.Pending(1); got != 1 {
+		t.Fatalf("Pending = %d", got)
+	}
+	msgs := nw.Collect(1)
+	if len(msgs) != 1 || msgs[0].From != 0 || msgs[0].Kind != "k" || string(msgs[0].Payload) != "hello" {
+		t.Fatalf("Collect = %+v", msgs)
+	}
+	if len(nw.Collect(1)) != 0 {
+		t.Fatal("Collect did not drain")
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	nw := New(2, Config{})
+	if err := nw.Send(0, 0, "k", nil); err == nil {
+		t.Fatal("self-send accepted")
+	}
+	if err := nw.Send(-1, 0, "k", nil); err == nil {
+		t.Fatal("bad sender accepted")
+	}
+	if err := nw.Send(0, 5, "k", nil); err == nil {
+		t.Fatal("bad receiver accepted")
+	}
+}
+
+func TestStarTopologyRules(t *testing.T) {
+	nw := New(3, Config{Topology: Star})
+	if err := nw.Send(1, 2, "k", nil); err == nil {
+		t.Fatal("spoke-to-spoke accepted under star")
+	}
+	if err := nw.Send(1, 0, "k", nil); err != nil {
+		t.Fatalf("spoke-to-hub rejected: %v", err)
+	}
+	if err := nw.Send(0, 2, "k", nil); err != nil {
+		t.Fatalf("hub-to-spoke rejected: %v", err)
+	}
+}
+
+func TestBroadcastAllToAll(t *testing.T) {
+	nw := New(4, Config{})
+	if err := nw.Broadcast(2, "params", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 4; a++ {
+		want := 1
+		if a == 2 {
+			want = 0
+		}
+		if got := nw.Pending(a); got != want {
+			t.Fatalf("agent %d pending %d, want %d", a, got, want)
+		}
+	}
+	st := nw.Stats()
+	if st.MessagesSent != 3 || st.BytesSent != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBroadcastStar(t *testing.T) {
+	nw := New(4, Config{Topology: Star})
+	// Spoke broadcast reaches only the hub.
+	if err := nw.Broadcast(1, "up", nil); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Pending(0) != 1 || nw.Pending(2) != 0 || nw.Pending(3) != 0 {
+		t.Fatal("spoke broadcast leaked past hub")
+	}
+	// Hub broadcast reaches all spokes.
+	if err := nw.Broadcast(0, "down", nil); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Pending(1) != 1 || nw.Pending(2) != 1 || nw.Pending(3) != 1 {
+		t.Fatal("hub broadcast incomplete")
+	}
+}
+
+func TestTransferTimeLinear(t *testing.T) {
+	nw := New(2, Config{BaseLatency: time.Millisecond, BandwidthBps: 1000})
+	if got := nw.TransferTime(0); got != time.Millisecond {
+		t.Fatalf("zero-byte transfer %v", got)
+	}
+	if got := nw.TransferTime(1000); got != time.Millisecond+time.Second {
+		t.Fatalf("1000-byte transfer %v", got)
+	}
+}
+
+func TestDefaultsByTopology(t *testing.T) {
+	lan := New(2, Config{})
+	wan := New(2, Config{Topology: Star})
+	if lan.Config().BaseLatency >= wan.Config().BaseLatency {
+		t.Fatal("LAN default latency should undercut star/cloud latency")
+	}
+	if lan.Config().BandwidthBps <= 0 {
+		t.Fatal("bandwidth default missing")
+	}
+}
+
+func TestDropInjectionDeterministic(t *testing.T) {
+	mk := func() Stats {
+		nw := New(2, Config{DropProb: 0.5, Seed: 7})
+		for i := 0; i < 200; i++ {
+			if err := nw.Send(0, 1, "k", []byte("p")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return nw.Stats()
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Fatalf("drop process not deterministic: %+v vs %+v", a, b)
+	}
+	if a.MessagesDropped < 60 || a.MessagesDropped > 140 {
+		t.Fatalf("drop count %d far from 50%% of 200", a.MessagesDropped)
+	}
+	// Dropped messages still count as sent bytes (the sender paid for them).
+	if a.BytesSent != 200 {
+		t.Fatalf("bytes sent %d, want 200", a.BytesSent)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	nw := New(2, Config{})
+	_ = nw.Send(0, 1, "k", make([]byte, 100))
+	st := nw.Stats()
+	if st.BytesSent != 100 || st.SimulatedTime <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	nw.ResetStats()
+	if nw.Stats() != (Stats{}) {
+		t.Fatal("ResetStats did not zero")
+	}
+	// Inbox survives reset.
+	if nw.Pending(1) != 1 {
+		t.Fatal("ResetStats touched inboxes")
+	}
+}
+
+func TestBroadcastRoundTime(t *testing.T) {
+	lan := New(5, Config{BaseLatency: time.Millisecond, BandwidthBps: 1e6})
+	star := New(5, Config{Topology: Star, BaseLatency: time.Millisecond, BandwidthBps: 1e6})
+	b := 1000
+	per := time.Millisecond + time.Millisecond // 1000B at 1MB/s = 1ms
+	if got := lan.BroadcastRoundTime(b); got != 4*per {
+		t.Fatalf("lan round %v, want %v", got, 4*per)
+	}
+	if got := star.BroadcastRoundTime(b); got != 5*per {
+		t.Fatalf("star round %v, want %v", got, 5*per)
+	}
+	single := New(1, Config{})
+	if single.BroadcastRoundTime(b) != 0 {
+		t.Fatal("1-agent round time should be 0")
+	}
+}
+
+func TestConcurrentSendersSafe(t *testing.T) {
+	nw := New(8, Config{})
+	var wg sync.WaitGroup
+	for from := 0; from < 8; from++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := nw.Broadcast(from, fmt.Sprintf("m%d", i), []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(from)
+	}
+	wg.Wait()
+	st := nw.Stats()
+	want := 8 * 50 * 7
+	if st.MessagesSent != want {
+		t.Fatalf("sent %d, want %d", st.MessagesSent, want)
+	}
+	total := 0
+	for a := 0; a < 8; a++ {
+		total += nw.Pending(a)
+	}
+	if total != want {
+		t.Fatalf("delivered %d, want %d", total, want)
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	if AllToAll.String() != "all-to-all" || Star.String() != "star" {
+		t.Fatal("Topology String wrong")
+	}
+}
+
+func TestRingAdjacencyAndString(t *testing.T) {
+	if Ring.String() != "ring" {
+		t.Fatal("Ring String wrong")
+	}
+	nw := New(5, Config{Topology: Ring})
+	if err := nw.Send(1, 3, "k", nil); err == nil {
+		t.Fatal("non-adjacent ring send accepted")
+	}
+	for _, pair := range [][2]int{{1, 2}, {2, 1}, {4, 0}, {0, 4}} {
+		if err := nw.Send(pair[0], pair[1], "k", nil); err != nil {
+			t.Fatalf("adjacent ring send %v rejected: %v", pair, err)
+		}
+	}
+	// Ring broadcast hits exactly the two neighbors.
+	nw2 := New(5, Config{Topology: Ring})
+	if err := nw2.Broadcast(0, "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if nw2.Pending(1) != 1 || nw2.Pending(4) != 1 || nw2.Pending(2) != 0 {
+		t.Fatal("ring broadcast fan-out wrong")
+	}
+	// Two-node ring: everyone is adjacent.
+	two := New(2, Config{Topology: Ring})
+	if err := two.Send(0, 1, "k", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargeBroadcastRounds(t *testing.T) {
+	check := func(topo Topology, n, wantMsgs int) {
+		nw := New(n, Config{Topology: topo})
+		nw.ChargeBroadcastRounds(100, 3)
+		st := nw.Stats()
+		if st.MessagesSent != 3*wantMsgs {
+			t.Fatalf("%v: messages %d, want %d", topo, st.MessagesSent, 3*wantMsgs)
+		}
+		if st.BytesSent != int64(3*wantMsgs*100) {
+			t.Fatalf("%v: bytes %d", topo, st.BytesSent)
+		}
+		if st.SimulatedTime <= 0 {
+			t.Fatalf("%v: no simulated time charged", topo)
+		}
+		// Nothing delivered.
+		for a := 0; a < n; a++ {
+			if nw.Pending(a) != 0 {
+				t.Fatalf("%v: ChargeBroadcastRounds delivered messages", topo)
+			}
+		}
+	}
+	check(AllToAll, 4, 4*3)
+	check(Star, 4, 2*3)
+	check(Ring, 4, 2*4)
+	// No-ops.
+	one := New(1, Config{})
+	one.ChargeBroadcastRounds(100, 5)
+	if one.Stats().MessagesSent != 0 {
+		t.Fatal("single-agent charge should be a no-op")
+	}
+	nw := New(3, Config{})
+	nw.ChargeBroadcastRounds(100, 0)
+	if nw.Stats().MessagesSent != 0 {
+		t.Fatal("zero rounds should be a no-op")
+	}
+}
+
+func TestCollectPendingPanicOnBadAgent(t *testing.T) {
+	nw := New(2, Config{})
+	for _, f := range []func(){
+		func() { nw.Collect(9) },
+		func() { nw.Pending(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,82 @@
+package forecast
+
+// The paper's prediction-accuracy metric (Section 4.1):
+//
+//	Ac_n = 1 − |V_n − RV_n| / RV_n
+//
+// RV_n can be zero (a device that is off draws nothing), so a literal
+// reading of the formula divides by zero. We use the standard fix of
+// flooring the denominator: accuracy is computed against max(RV_n, floor),
+// with the floor set to a small fraction of the device's on-power. A
+// prediction of ~0 against a true 0 then scores ~1, and wild predictions
+// against a true 0 score 0. Accuracies are clamped into [0, 1].
+
+// Accuracy returns the paper's per-sample prediction accuracy for aligned
+// predicted and real series, with the given denominator floor (in the same
+// unit as the series; must be > 0).
+func Accuracy(pred, real []float64, floor float64) []float64 {
+	if len(pred) != len(real) {
+		panic("forecast: Accuracy length mismatch")
+	}
+	if floor <= 0 {
+		panic("forecast: Accuracy floor must be positive")
+	}
+	out := make([]float64, len(pred))
+	for i := range pred {
+		den := real[i]
+		if den < floor {
+			den = floor
+		}
+		diff := pred[i] - real[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		ac := 1 - diff/den
+		if ac < 0 {
+			ac = 0
+		} else if ac > 1 {
+			ac = 1
+		}
+		out[i] = ac
+	}
+	return out
+}
+
+// MeanAccuracy returns the mean of Accuracy over the series, or 0 for
+// empty input.
+func MeanAccuracy(pred, real []float64, floor float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	acc := Accuracy(pred, real, floor)
+	sum := 0.0
+	for _, a := range acc {
+		sum += a
+	}
+	return sum / float64(len(acc))
+}
+
+// EvaluateOnSeries walks the test series hour by hour, predicting each next
+// hour from the history before it, and returns the concatenated per-minute
+// accuracies plus the aligned (pred, real) pairs. The first prediction is
+// made at t = Window (the earliest minute with a full lag window).
+func EvaluateOnSeries(f Forecaster, series []float64, floor float64) (acc, pred, real []float64) {
+	cfg := f.Config()
+	for t := cfg.Window; t+cfg.Horizon <= len(series); t += cfg.Horizon {
+		p := f.Predict(series, t)
+		r := series[t : t+cfg.Horizon]
+		pred = append(pred, p...)
+		real = append(real, r...)
+	}
+	if len(pred) == 0 {
+		return nil, nil, nil
+	}
+	return Accuracy(pred, real, floor), pred, real
+}
+
+// DefaultFloorFraction is the denominator floor as a fraction of the
+// device's on-power.
+const DefaultFloorFraction = 0.05
+
+// FloorFor returns the accuracy denominator floor for a device on-power.
+func FloorFor(onKW float64) float64 { return DefaultFloorFraction * onKW }

@@ -1,0 +1,252 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pecan"
+)
+
+func smallConfig() Config {
+	return Config{
+		Window:    30,
+		Horizon:   15,
+		Scale:     0.12,
+		LearnRate: 0.05,
+		Epochs:    2,
+		Batch:     8,
+		Stride:    11,
+		Hidden:    12,
+		Seed:      3,
+	}
+}
+
+func testSeries(days int) []float64 {
+	ds := pecan.Generate(pecan.Config{Seed: 21, Homes: 1, Days: days, DevicesPerHome: 1})
+	return ds.Homes[0].Traces[0].KW
+}
+
+func TestNewAllKinds(t *testing.T) {
+	for _, k := range AllKinds() {
+		f, err := New(k, smallConfig())
+		if err != nil {
+			t.Fatalf("New(%s): %v", k, err)
+		}
+		if f.Name() != string(k) {
+			t.Fatalf("Name = %q, want %q", f.Name(), k)
+		}
+		if f.Model() == nil || f.Model().NumParams() == 0 {
+			t.Fatalf("%s has no parameters", k)
+		}
+	}
+	if _, err := New(Kind("nope"), smallConfig()); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	f := MustNew(KindLR, Config{})
+	cfg := f.Config()
+	if cfg.Window != 60 || cfg.Horizon != 60 || cfg.Batch != 16 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	def := DefaultConfig(0.5)
+	if def.Scale != 0.5 || def.Window != 60 {
+		t.Fatalf("DefaultConfig wrong: %+v", def)
+	}
+}
+
+func TestPredictShapeAndNonNegative(t *testing.T) {
+	series := testSeries(2)
+	for _, k := range AllKinds() {
+		f := MustNew(k, smallConfig())
+		f.TrainEpochs(series[:1440], 1)
+		p := f.Predict(series, 100)
+		if len(p) != 15 {
+			t.Fatalf("%s Predict length %d, want 15", k, len(p))
+		}
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("%s predicted invalid value %v", k, v)
+			}
+		}
+	}
+}
+
+func TestPredictPanicsOnShortHistory(t *testing.T) {
+	f := MustNew(KindLR, smallConfig())
+	series := testSeries(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict with t < Window did not panic")
+		}
+	}()
+	f.Predict(series, 5)
+}
+
+func TestPredictPanicsBeyondSeries(t *testing.T) {
+	f := MustNew(KindLR, smallConfig())
+	series := testSeries(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict beyond series did not panic")
+		}
+	}()
+	f.Predict(series, len(series)+1)
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	series := testSeries(3)
+	for _, k := range AllKinds() {
+		f := MustNew(k, smallConfig())
+		first := f.TrainEpochs(series, 1)
+		var last float64
+		for i := 0; i < 4; i++ {
+			last = f.TrainEpochs(series, 1)
+		}
+		if math.IsNaN(first) || math.IsNaN(last) {
+			t.Fatalf("%s produced NaN loss", k)
+		}
+		if last > first*1.05 {
+			t.Fatalf("%s loss did not decrease: %v -> %v", k, first, last)
+		}
+	}
+}
+
+func TestTrainOnTooShortSeries(t *testing.T) {
+	f := MustNew(KindLR, smallConfig())
+	if l := f.TrainEpochs(make([]float64, 10), 1); !math.IsNaN(l) {
+		t.Fatalf("training on too-short series returned %v, want NaN", l)
+	}
+}
+
+func TestForecasterAccuracyOrdering(t *testing.T) {
+	// After enough training on two weeks of data, held-out accuracy should
+	// be solidly high for the LSTM and respect the paper's LR < LSTM gap.
+	series := testSeries(16)
+	train, test := series[:14*1440], series[14*1440:]
+	cfg := smallConfig()
+	cfg.Epochs = 18
+	floor := FloorFor(0.12)
+	score := func(k Kind) float64 {
+		f := MustNew(k, cfg)
+		f.Fit(train)
+		_, pred, real := EvaluateOnSeries(f, test, floor)
+		if len(pred) == 0 {
+			t.Fatalf("%s: evaluation produced no samples", k)
+		}
+		return MeanAccuracy(pred, real, floor)
+	}
+	lr := score(KindLR)
+	lstm := score(KindLSTM)
+	if lstm < 0.7 {
+		t.Fatalf("LSTM accuracy %.3f implausibly low", lstm)
+	}
+	if lstm <= lr {
+		t.Fatalf("LSTM accuracy %.3f should exceed LR %.3f", lstm, lr)
+	}
+}
+
+func TestAccuracyMetric(t *testing.T) {
+	// Exact match = 1.
+	acc := Accuracy([]float64{1, 2}, []float64{1, 2}, 0.01)
+	if acc[0] != 1 || acc[1] != 1 {
+		t.Fatalf("exact-match accuracy = %v", acc)
+	}
+	// 10% error = 0.9.
+	acc = Accuracy([]float64{0.9}, []float64{1}, 0.01)
+	if math.Abs(acc[0]-0.9) > 1e-12 {
+		t.Fatalf("10%% error accuracy = %v", acc[0])
+	}
+	// Gross error clamps to 0.
+	acc = Accuracy([]float64{10}, []float64{1}, 0.01)
+	if acc[0] != 0 {
+		t.Fatalf("gross error accuracy = %v", acc[0])
+	}
+	// True zero with near-zero prediction scores high via the floor.
+	acc = Accuracy([]float64{0.001}, []float64{0}, 0.01)
+	if acc[0] < 0.89 {
+		t.Fatalf("near-zero-vs-zero accuracy = %v", acc[0])
+	}
+}
+
+func TestAccuracyPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Accuracy([]float64{1}, []float64{1, 2}, 0.1) },
+		func() { Accuracy([]float64{1}, []float64{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMeanAccuracyEmpty(t *testing.T) {
+	if MeanAccuracy(nil, nil, 0.1) != 0 {
+		t.Fatal("empty MeanAccuracy should be 0")
+	}
+}
+
+func TestEvaluateOnSeriesTooShort(t *testing.T) {
+	f := MustNew(KindLR, smallConfig())
+	acc, pred, real := EvaluateOnSeries(f, make([]float64, 10), 0.01)
+	if acc != nil || pred != nil || real != nil {
+		t.Fatal("too-short evaluation should return nil slices")
+	}
+}
+
+func TestFederationParamsRoundTrip(t *testing.T) {
+	// Two forecasters of the same kind must be parameter-compatible:
+	// copying params transfers behaviour exactly.
+	series := testSeries(2)
+	cfg := smallConfig()
+	a := MustNew(KindBP, cfg)
+	a.Fit(series)
+	cfg2 := cfg
+	cfg2.Seed = 99
+	b := MustNew(KindBP, cfg2)
+	b.Model().CopyParamsFrom(a.Model())
+	pa := a.Predict(series, 200)
+	pb := b.Predict(series, 200)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("copied params did not transfer behaviour")
+		}
+	}
+}
+
+func TestGRUForecaster(t *testing.T) {
+	series := testSeries(3)
+	f := MustNew(KindGRU, smallConfig())
+	first := f.TrainEpochs(series, 1)
+	var last float64
+	for i := 0; i < 4; i++ {
+		last = f.TrainEpochs(series, 1)
+	}
+	if math.IsNaN(first) || last > first*1.05 {
+		t.Fatalf("GRU loss did not decrease: %v -> %v", first, last)
+	}
+	p := f.Predict(series, 200)
+	if len(p) != smallConfig().Horizon {
+		t.Fatalf("GRU horizon %d", len(p))
+	}
+	for _, v := range p {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("GRU invalid prediction %v", v)
+		}
+	}
+	// Parameter-compatible across instances for federation.
+	g2 := MustNew(KindGRU, smallConfig())
+	g2.Model().CopyParamsFrom(f.Model())
+	pa, pb := f.Predict(series, 300), g2.Predict(series, 300)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("GRU param copy did not transfer behaviour")
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package forecast
+
+import (
+	"math"
+
+	"repro/internal/nn"
+)
+
+// KindNaive is the persistence baseline: predict that the next hour repeats
+// the most recent reading. It has no parameters and does not participate in
+// federation; experiments use it to sanity-check that the learned models
+// add value over "nothing changes".
+const KindNaive Kind = "Naive"
+
+// naiveForecaster implements Forecaster with zero parameters.
+type naiveForecaster struct {
+	cfg   Config
+	model *nn.Sequential // empty; keeps the interface total
+}
+
+// NewNaive returns the persistence forecaster.
+func NewNaive(cfg Config) Forecaster {
+	return &naiveForecaster{cfg: cfg.withDefaults(), model: nn.NewSequential()}
+}
+
+// TrainEpochs implements Forecaster (training is a no-op).
+func (f *naiveForecaster) TrainEpochs(series []float64, n int) float64 {
+	if len(series) < f.cfg.Window+f.cfg.Horizon {
+		return math.NaN()
+	}
+	return 0
+}
+
+// Fit implements Forecaster.
+func (f *naiveForecaster) Fit(series []float64) float64 { return f.TrainEpochs(series, 1) }
+
+// Predict implements Forecaster: the last observed value persists across
+// the whole horizon.
+func (f *naiveForecaster) Predict(series []float64, t int) []float64 {
+	if t < 1 || t > len(series) {
+		panic("forecast: naive Predict needs at least one history sample within the series")
+	}
+	out := make([]float64, f.cfg.Horizon)
+	last := series[t-1]
+	if last < 0 {
+		last = 0
+	}
+	for i := range out {
+		out[i] = last
+	}
+	return out
+}
+
+// Model implements Forecaster (an empty model: nothing to federate).
+func (f *naiveForecaster) Model() *nn.Sequential { return f.model }
+
+// Config implements Forecaster.
+func (f *naiveForecaster) Config() Config { return f.cfg }
+
+// Name implements Forecaster.
+func (f *naiveForecaster) Name() string { return string(KindNaive) }

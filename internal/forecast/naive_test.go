@@ -1,0 +1,81 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNaiveForecaster(t *testing.T) {
+	f, err := New(KindNaive, Config{Window: 10, Horizon: 5, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "Naive" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	series := []float64{1, 2, 3, 4, 5}
+	pred := f.Predict(series, 3)
+	if len(pred) != 5 {
+		t.Fatalf("horizon %d", len(pred))
+	}
+	for _, v := range pred {
+		if v != 3 { // series[2], the last value before t=3
+			t.Fatalf("persistence pred %v, want 3", v)
+		}
+	}
+	if f.Model().NumParams() != 0 {
+		t.Fatal("naive model should have no parameters")
+	}
+	if l := f.Fit(series); !math.IsNaN(l) {
+		t.Fatalf("fit on short series = %v, want NaN", l)
+	}
+	long := make([]float64, 100)
+	if l := f.Fit(long); l != 0 {
+		t.Fatalf("fit = %v, want 0", l)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict at t=0 should panic")
+		}
+	}()
+	f.Predict(series, 0)
+}
+
+func TestNaiveNeverNegative(t *testing.T) {
+	f := NewNaive(Config{Horizon: 3})
+	pred := f.Predict([]float64{-1}, 1)
+	for _, v := range pred {
+		if v < 0 {
+			t.Fatal("naive prediction negative")
+		}
+	}
+}
+
+func TestTCNForecaster(t *testing.T) {
+	f, err := New(KindTCN, Config{Window: 24, Horizon: 10, Scale: 0.12, Epochs: 2, Hidden: 12, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := testSeries(3)
+	first := f.TrainEpochs(series, 1)
+	var last float64
+	for i := 0; i < 4; i++ {
+		last = f.TrainEpochs(series, 1)
+	}
+	if math.IsNaN(first) || last > first*1.05 {
+		t.Fatalf("TCN loss did not decrease: %v -> %v", first, last)
+	}
+	p := f.Predict(series, 100)
+	if len(p) != 10 {
+		t.Fatalf("TCN horizon %d", len(p))
+	}
+	for _, v := range p {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("TCN invalid prediction %v", v)
+		}
+	}
+	// A window too small for the dilated stack must fail loudly at New.
+	if _, err := New(KindTCN, Config{Window: 4, Horizon: 5, Scale: 1}); err == nil {
+		t.Fatal("TCN with unfittable window accepted")
+	}
+}

@@ -1,0 +1,211 @@
+// Package metrics provides the statistical helpers the experiment harness
+// uses to turn raw simulation output into the series the paper plots:
+// summary statistics, empirical CDFs (Fig 5), hour-of-day bucketing
+// (Figs 6, 11), convergence detection (Fig 9), and wall-clock timing
+// sections (Figs 13–14).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary holds basic distribution statistics.
+type Summary struct {
+	N               int
+	Mean, Std       float64
+	Min, Max        float64
+	Median, P5, P95 float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for empty
+// input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(s.Std / float64(len(xs)-1))
+	} else {
+		s.Std = 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P5 = Quantile(sorted, 0.05)
+	s.P95 = Quantile(sorted, 0.95)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted slice
+// using linear interpolation. It panics on empty input or unsorted-looking
+// q outside [0,1].
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("metrics: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: quantile %v outside [0,1]", q))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo == len(sorted)-1 {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	// Xs are the ascending sample values; Ps[i] is P(X ≤ Xs[i]).
+	Xs, Ps []float64
+}
+
+// NewCDF builds the empirical CDF of xs.
+func NewCDF(xs []float64) CDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	ps := make([]float64, len(sorted))
+	for i := range sorted {
+		ps[i] = float64(i+1) / float64(len(sorted))
+	}
+	return CDF{Xs: sorted, Ps: ps}
+}
+
+// At returns P(X ≤ x).
+func (c CDF) At(x float64) float64 {
+	idx := sort.SearchFloat64s(c.Xs, x)
+	// SearchFloat64s returns the first index with Xs[i] >= x; walk forward
+	// over ties to include equal values.
+	for idx < len(c.Xs) && c.Xs[idx] <= x {
+		idx++
+	}
+	if idx == 0 {
+		return 0
+	}
+	return c.Ps[idx-1]
+}
+
+// SampleAt evaluates the CDF on a fixed grid — the series the paper's
+// Figure 5 plots (accuracy on the x-axis, cumulative probability on y).
+func (c CDF) SampleAt(grid []float64) []float64 {
+	out := make([]float64, len(grid))
+	for i, x := range grid {
+		out[i] = c.At(x)
+	}
+	return out
+}
+
+// HourBuckets accumulates per-minute values into 24 hour-of-day buckets.
+type HourBuckets struct {
+	Sum   [24]float64
+	Count [24]int
+}
+
+// Add accumulates v at the given absolute minute (minute 0 = midnight of
+// day 0; days wrap).
+func (h *HourBuckets) Add(minute int, v float64) {
+	hour := (minute / 60) % 24
+	if hour < 0 {
+		hour += 24
+	}
+	h.Sum[hour] += v
+	h.Count[hour]++
+}
+
+// Means returns the per-hour averages (0 where a bucket is empty).
+func (h *HourBuckets) Means() [24]float64 {
+	var out [24]float64
+	for i := range out {
+		if h.Count[i] > 0 {
+			out[i] = h.Sum[i] / float64(h.Count[i])
+		}
+	}
+	return out
+}
+
+// ConvergenceDay returns the first index d such that series[d] has reached
+// frac (e.g. 0.9) of the series' final plateau, where the plateau is the
+// mean of the last `tail` entries. Returns len(series)-1 if never reached.
+// This is the "time to achieve the best performance" measure of Fig 9.
+func ConvergenceDay(series []float64, frac float64, tail int) int {
+	if len(series) == 0 {
+		return 0
+	}
+	if tail < 1 {
+		tail = 1
+	}
+	if tail > len(series) {
+		tail = len(series)
+	}
+	plateau := 0.0
+	for _, v := range series[len(series)-tail:] {
+		plateau += v
+	}
+	plateau /= float64(tail)
+	threshold := frac * plateau
+	for d, v := range series {
+		if v >= threshold {
+			return d
+		}
+	}
+	return len(series) - 1
+}
+
+// Timer measures named wall-clock sections; the time-overhead figures sum
+// train and test sections separately.
+type Timer struct {
+	sections map[string]time.Duration
+	starts   map[string]time.Time
+}
+
+// NewTimer returns an empty timer.
+func NewTimer() *Timer {
+	return &Timer{sections: map[string]time.Duration{}, starts: map[string]time.Time{}}
+}
+
+// Start begins (or resumes) a named section.
+func (t *Timer) Start(name string) {
+	t.starts[name] = time.Now()
+}
+
+// Stop ends a named section, accumulating its elapsed time. Stopping a
+// section that was never started panics.
+func (t *Timer) Stop(name string) {
+	start, ok := t.starts[name]
+	if !ok {
+		panic(fmt.Sprintf("metrics: Stop(%q) without Start", name))
+	}
+	delete(t.starts, name)
+	t.sections[name] += time.Since(start)
+}
+
+// Add accumulates an externally measured duration (e.g. simulated
+// communication time) into a section.
+func (t *Timer) Add(name string, d time.Duration) {
+	t.sections[name] += d
+}
+
+// Get returns a section's accumulated time.
+func (t *Timer) Get(name string) time.Duration { return t.sections[name] }

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("Summary wrong: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("Std = %v", s.Std)
+	}
+	if (Summarize(nil) != Summary{}) {
+		t.Fatal("empty Summarize should be zero")
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Mean != 7 {
+		t.Fatalf("singleton summary: %+v", one)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if Quantile(sorted, 0) != 10 || Quantile(sorted, 1) != 40 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Quantile(sorted, 0.5); got != 25 {
+		t.Fatalf("median = %v, want 25", got)
+	}
+	if got := Quantile([]float64{5}, 0.99); got != 5 {
+		t.Fatalf("singleton quantile %v", got)
+	}
+	for _, bad := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad q accepted")
+				}
+			}()
+			Quantile(sorted, bad)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("empty slice accepted")
+			}
+		}()
+		Quantile(nil, 0.5)
+	}()
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 2})
+	if c.At(0.5) != 0 {
+		t.Fatalf("At(0.5) = %v", c.At(0.5))
+	}
+	if got := c.At(2); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("At(2) = %v, want 0.75 (ties included)", got)
+	}
+	if c.At(3) != 1 || c.At(99) != 1 {
+		t.Fatal("upper tail wrong")
+	}
+	grid := c.SampleAt([]float64{0, 1, 2, 3})
+	want := []float64{0, 0.25, 0.75, 1}
+	for i := range grid {
+		if math.Abs(grid[i]-want[i]) > 1e-12 {
+			t.Fatalf("SampleAt[%d] = %v, want %v", i, grid[i], want[i])
+		}
+	}
+}
+
+func TestPropCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for x := -3.0; x <= 3.0; x += 0.25 {
+			p := c.At(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHourBuckets(t *testing.T) {
+	var h HourBuckets
+	h.Add(30, 2)      // hour 0
+	h.Add(90, 4)      // hour 1
+	h.Add(1440+30, 6) // hour 0 next day
+	means := h.Means()
+	if means[0] != 4 || means[1] != 4 {
+		t.Fatalf("means = %v %v", means[0], means[1])
+	}
+	if means[5] != 0 {
+		t.Fatal("empty bucket should be 0")
+	}
+}
+
+func TestConvergenceDay(t *testing.T) {
+	series := []float64{0.1, 0.3, 0.6, 0.85, 0.95, 1.0, 1.0, 1.0}
+	if got := ConvergenceDay(series, 0.9, 3); got != 4 {
+		t.Fatalf("ConvergenceDay = %d, want 4", got)
+	}
+	// Never reaching the threshold returns the last index.
+	if got := ConvergenceDay([]float64{0.1, 0.2}, 0.9, 1); got != 1 {
+		t.Fatalf("unreached ConvergenceDay = %d", got)
+	}
+	if ConvergenceDay(nil, 0.9, 3) != 0 {
+		t.Fatal("empty series should return 0")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	tm := NewTimer()
+	tm.Start("train")
+	time.Sleep(2 * time.Millisecond)
+	tm.Stop("train")
+	if tm.Get("train") < time.Millisecond {
+		t.Fatalf("train = %v", tm.Get("train"))
+	}
+	tm.Add("comm", 5*time.Second)
+	if tm.Get("comm") != 5*time.Second {
+		t.Fatal("Add wrong")
+	}
+	if tm.Get("missing") != 0 {
+		t.Fatal("missing section should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Stop without Start accepted")
+		}
+	}()
+	tm.Stop("never")
+}

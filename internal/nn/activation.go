@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Activation is a parameter-free elementwise layer defined by a function and
+// its derivative expressed in terms of the cached forward input and output.
+type Activation struct {
+	name  string
+	fn    func(float64) float64
+	deriv func(x, y float64) float64 // derivative given input x and output y
+	x, y  *tensor.Matrix
+}
+
+// Forward implements Layer.
+func (a *Activation) Forward(x *tensor.Matrix) *tensor.Matrix {
+	a.x = x
+	a.y = tensor.Apply(x, a.fn)
+	return a.y
+}
+
+// Backward implements Layer.
+func (a *Activation) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if a.x == nil {
+		panic("nn: Activation Backward called before Forward")
+	}
+	out := tensor.New(grad.Rows, grad.Cols)
+	for i := range out.Data {
+		out.Data[i] = grad.Data[i] * a.deriv(a.x.Data[i], a.y.Data[i])
+	}
+	return out
+}
+
+// Params implements Layer (activations are parameter-free).
+func (a *Activation) Params() []*tensor.Matrix { return nil }
+
+// Grads implements Layer.
+func (a *Activation) Grads() []*tensor.Matrix { return nil }
+
+// ZeroGrads implements Layer.
+func (a *Activation) ZeroGrads() {}
+
+// Name implements Layer.
+func (a *Activation) Name() string { return a.name }
+
+// NewReLU returns a rectified-linear activation, max(0, x).
+func NewReLU() *Activation {
+	return &Activation{
+		name: "ReLU",
+		fn:   func(x float64) float64 { return math.Max(0, x) },
+		deriv: func(x, _ float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+// NewLeakyReLU returns a leaky ReLU with the given negative slope.
+func NewLeakyReLU(slope float64) *Activation {
+	return &Activation{
+		name: "LeakyReLU",
+		fn: func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return slope * x
+		},
+		deriv: func(x, _ float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return slope
+		},
+	}
+}
+
+// NewSigmoid returns a logistic activation, 1/(1+e^-x).
+func NewSigmoid() *Activation {
+	return &Activation{
+		name:  "Sigmoid",
+		fn:    sigmoid,
+		deriv: func(_, y float64) float64 { return y * (1 - y) },
+	}
+}
+
+// NewTanh returns a hyperbolic-tangent activation.
+func NewTanh() *Activation {
+	return &Activation{
+		name:  "Tanh",
+		fn:    math.Tanh,
+		deriv: func(_, y float64) float64 { return 1 - y*y },
+	}
+}
+
+// NewIdentity returns a pass-through activation (useful in tests and as a
+// regression head).
+func NewIdentity() *Activation {
+	return &Activation{
+		name:  "Identity",
+		fn:    func(x float64) float64 { return x },
+		deriv: func(_, _ float64) float64 { return 1 },
+	}
+}
+
+func sigmoid(x float64) float64 {
+	// Numerically stable split to avoid overflow in exp for large |x|.
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}

@@ -1,0 +1,49 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// NewMLP builds a multilayer perceptron with ReLU activations between Dense
+// layers and a linear output head. widths lists every layer width including
+// input and output, e.g. NewMLP(rng, 120, 100, 100, 3) builds
+// 120→100→ReLU→100→ReLU→... →3.
+//
+// The paper's DQN is NewMLP(rng, stateDim, 100×8 hidden, 3): eight hidden
+// layers of 100 neurons each followed by ReLU, and a 3-neuron linear output
+// giving Q-values for {off, standby, on}.
+func NewMLP(rng *rand.Rand, widths ...int) *Sequential {
+	if len(widths) < 2 {
+		panic("nn: NewMLP needs at least input and output widths")
+	}
+	var layers []Layer
+	for i := 0; i < len(widths)-1; i++ {
+		layers = append(layers, NewDense(rng, widths[i], widths[i+1]))
+		if i < len(widths)-2 {
+			layers = append(layers, NewReLU())
+		}
+	}
+	return NewSequential(layers...)
+}
+
+// NewLSTMRegressor builds the paper's LSTM load forecaster: an LSTM over a
+// lag window followed by a linear head producing horizon outputs.
+func NewLSTMRegressor(rng *rand.Rand, seqLen, hidden, horizon int) *Sequential {
+	return NewSequential(
+		NewLSTM(rng, 1, hidden, seqLen),
+		NewDenseXavier(rng, hidden, horizon),
+	)
+}
+
+// FitBatch runs one optimization step over a batch: forward pass, loss,
+// backward pass, optimizer update. It returns the batch loss.
+func FitBatch(model *Sequential, loss Loss, opt Optimizer, x, y *tensor.Matrix) float64 {
+	model.ZeroGrads()
+	pred := model.Forward(x)
+	l, grad := loss.Loss(pred, y)
+	model.Backward(grad)
+	opt.Step(model.Params(), model.Grads())
+	return l
+}

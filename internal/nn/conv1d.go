@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv1D is a 1-D convolution over time series, the building block of
+// temporal-convolutional forecasters (an alternative to the recurrent
+// models; dilation gives exponentially growing receptive fields at constant
+// depth).
+//
+// Input layout matches the recurrent layers: batch x (SeqLen*InChannels),
+// timestep-major. Output: batch x (OutLen*OutChannels) with
+// OutLen = SeqLen − Dilation·(Kernel−1) (valid padding).
+//
+// Weights: W has shape (Kernel*InChannels) x OutChannels (taps-major),
+// B is 1 x OutChannels.
+type Conv1D struct {
+	InChannels, OutChannels, Kernel, SeqLen, Dilation int
+
+	W, B   *tensor.Matrix
+	dW, dB *tensor.Matrix
+	x      *tensor.Matrix
+}
+
+// NewConv1D builds a valid-padding 1-D convolution; dilation < 1 is
+// treated as 1.
+func NewConv1D(rng *rand.Rand, inChannels, outChannels, kernel, seqLen, dilation int) *Conv1D {
+	if dilation < 1 {
+		dilation = 1
+	}
+	if inChannels < 1 || outChannels < 1 || kernel < 1 || seqLen < 1 {
+		panic(fmt.Sprintf("nn: invalid Conv1D config in=%d out=%d k=%d T=%d", inChannels, outChannels, kernel, seqLen))
+	}
+	if seqLen-dilation*(kernel-1) < 1 {
+		panic(fmt.Sprintf("nn: Conv1D kernel %d (dilation %d) does not fit sequence %d", kernel, dilation, seqLen))
+	}
+	return &Conv1D{
+		InChannels:  inChannels,
+		OutChannels: outChannels,
+		Kernel:      kernel,
+		SeqLen:      seqLen,
+		Dilation:    dilation,
+		W:           tensor.XavierUniform(rng, kernel*inChannels, outChannels),
+		B:           tensor.New(1, outChannels),
+		dW:          tensor.New(kernel*inChannels, outChannels),
+		dB:          tensor.New(1, outChannels),
+	}
+}
+
+// OutLen returns the output sequence length.
+func (c *Conv1D) OutLen() int { return c.SeqLen - c.Dilation*(c.Kernel-1) }
+
+// OutWidth returns the flattened output width.
+func (c *Conv1D) OutWidth() int { return c.OutLen() * c.OutChannels }
+
+// Forward implements Layer.
+func (c *Conv1D) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != c.SeqLen*c.InChannels {
+		panic(fmt.Sprintf("nn: Conv1D forward input width %d, want %d", x.Cols, c.SeqLen*c.InChannels))
+	}
+	c.x = x
+	outLen := c.OutLen()
+	y := tensor.New(x.Rows, outLen*c.OutChannels)
+	for r := 0; r < x.Rows; r++ {
+		in := x.Row(r)
+		out := y.Row(r)
+		for t := 0; t < outLen; t++ {
+			for oc := 0; oc < c.OutChannels; oc++ {
+				acc := c.B.Data[oc]
+				for k := 0; k < c.Kernel; k++ {
+					srcT := t + k*c.Dilation
+					for ic := 0; ic < c.InChannels; ic++ {
+						acc += in[srcT*c.InChannels+ic] * c.W.Data[(k*c.InChannels+ic)*c.OutChannels+oc]
+					}
+				}
+				out[t*c.OutChannels+oc] = acc
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv1D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if c.x == nil {
+		panic("nn: Conv1D Backward called before Forward")
+	}
+	outLen := c.OutLen()
+	if grad.Cols != outLen*c.OutChannels || grad.Rows != c.x.Rows {
+		panic(fmt.Sprintf("nn: Conv1D backward grad shape %dx%d, want %dx%d",
+			grad.Rows, grad.Cols, c.x.Rows, outLen*c.OutChannels))
+	}
+	dx := tensor.New(c.x.Rows, c.x.Cols)
+	for r := 0; r < c.x.Rows; r++ {
+		in := c.x.Row(r)
+		g := grad.Row(r)
+		dIn := dx.Row(r)
+		for t := 0; t < outLen; t++ {
+			for oc := 0; oc < c.OutChannels; oc++ {
+				go_ := g[t*c.OutChannels+oc]
+				if go_ == 0 {
+					continue
+				}
+				c.dB.Data[oc] += go_
+				for k := 0; k < c.Kernel; k++ {
+					srcT := t + k*c.Dilation
+					for ic := 0; ic < c.InChannels; ic++ {
+						wIdx := (k*c.InChannels+ic)*c.OutChannels + oc
+						c.dW.Data[wIdx] += in[srcT*c.InChannels+ic] * go_
+						dIn[srcT*c.InChannels+ic] += c.W.Data[wIdx] * go_
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv1D) Params() []*tensor.Matrix { return []*tensor.Matrix{c.W, c.B} }
+
+// Grads implements Layer.
+func (c *Conv1D) Grads() []*tensor.Matrix { return []*tensor.Matrix{c.dW, c.dB} }
+
+// ZeroGrads implements Layer.
+func (c *Conv1D) ZeroGrads() {
+	c.dW.Zero()
+	c.dB.Zero()
+}
+
+// Name implements Layer.
+func (c *Conv1D) Name() string {
+	return fmt.Sprintf("Conv1D(%d→%d,k=%d,d=%d,T=%d)", c.InChannels, c.OutChannels, c.Kernel, c.Dilation, c.SeqLen)
+}
+
+// Dropout zeroes a fraction of activations during training and scales the
+// survivors (inverted dropout), acting as the identity in evaluation mode.
+// Call SetTraining to switch modes; layers default to training.
+type Dropout struct {
+	// Rate is the drop probability in [0, 1).
+	Rate     float64
+	rng      *rand.Rand
+	training bool
+	mask     *tensor.Matrix
+}
+
+// NewDropout builds a dropout layer with its own RNG stream.
+func NewDropout(rng *rand.Rand, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v outside [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rand.New(rand.NewSource(rng.Int63())), training: true}
+}
+
+// SetTraining toggles between training (masking) and evaluation (identity).
+func (d *Dropout) SetTraining(training bool) { d.training = training }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if !d.training || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.Rate
+	d.mask = tensor.New(x.Rows, x.Cols)
+	y := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask.Data[i] = 1 / keep
+			y.Data[i] = v / keep
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.mask == nil {
+		return grad
+	}
+	return tensor.Hadamard(grad, d.mask)
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*tensor.Matrix { return nil }
+
+// Grads implements Layer.
+func (d *Dropout) Grads() []*tensor.Matrix { return nil }
+
+// ZeroGrads implements Layer.
+func (d *Dropout) ZeroGrads() {}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%g)", d.Rate) }

@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestConv1DShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv1D(rng, 2, 3, 4, 10, 1)
+	if c.OutLen() != 7 || c.OutWidth() != 21 {
+		t.Fatalf("OutLen=%d OutWidth=%d", c.OutLen(), c.OutWidth())
+	}
+	y := c.Forward(tensor.New(5, 20))
+	if y.Rows != 5 || y.Cols != 21 {
+		t.Fatalf("output %dx%d", y.Rows, y.Cols)
+	}
+	d := NewConv1D(rng, 1, 1, 3, 10, 2) // dilated
+	if d.OutLen() != 6 {
+		t.Fatalf("dilated OutLen %d, want 6", d.OutLen())
+	}
+}
+
+func TestConv1DInvalidConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []func(){
+		func() { NewConv1D(rng, 0, 1, 1, 4, 1) },
+		func() { NewConv1D(rng, 1, 1, 5, 4, 1) }, // kernel doesn't fit
+		func() { NewConv1D(rng, 1, 1, 3, 4, 2) }, // dilated kernel doesn't fit
+		func() { NewConv1D(rng, 1, 1, 2, 4, 1).Forward(tensor.New(1, 5)) },
+		func() { NewConv1D(rng, 1, 1, 2, 4, 1).Backward(tensor.New(1, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConv1DKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv1D(rng, 1, 1, 2, 4, 1)
+	c.W.Data[0], c.W.Data[1] = 1, -1 // difference filter
+	c.B.Data[0] = 0.5
+	y := c.Forward(tensor.NewRowVector([]float64{1, 3, 6, 10}))
+	want := []float64{1 - 3 + 0.5, 3 - 6 + 0.5, 6 - 10 + 0.5}
+	for i, w := range want {
+		if math.Abs(y.Data[i]-w) > 1e-12 {
+			t.Fatalf("conv[%d] = %v, want %v", i, y.Data[i], w)
+		}
+	}
+}
+
+func TestGradCheckConv1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	model := NewSequential(
+		NewConv1D(rng, 2, 3, 3, 8, 1),
+		NewReLU(),
+		NewDenseXavier(rng, 18, 2),
+	)
+	checkModelGradients(t, model, 16, 3, MSE{}, 1e-5)
+}
+
+func TestGradCheckConv1DDilated(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	model := NewSequential(
+		NewConv1D(rng, 1, 2, 3, 9, 2),
+		NewTanh(),
+		NewDenseXavier(rng, 10, 1),
+	)
+	checkModelGradients(t, model, 9, 2, MSE{}, 1e-5)
+}
+
+func TestDropoutTrainEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDropout(rng, 0.5)
+	x := tensor.Full(4, 50, 1)
+	y := d.Forward(x)
+	zeros, scaled := 0, 0
+	for _, v := range y.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2: // 1/keep with keep=0.5
+			scaled++
+		default:
+			t.Fatalf("dropout produced %v, want 0 or 2", v)
+		}
+	}
+	if zeros == 0 || scaled == 0 {
+		t.Fatal("dropout mask degenerate")
+	}
+	// Backward masks gradients identically.
+	g := d.Backward(tensor.Full(4, 50, 1))
+	for i, v := range g.Data {
+		if (y.Data[i] == 0) != (v == 0) {
+			t.Fatal("gradient mask mismatches forward mask")
+		}
+	}
+	// Eval mode: identity.
+	d.SetTraining(false)
+	if !d.Forward(x).Equal(x) {
+		t.Fatal("eval-mode dropout not identity")
+	}
+	if !d.Backward(x).Equal(x) {
+		t.Fatal("eval-mode backward not identity")
+	}
+}
+
+func TestDropoutRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate 1 accepted")
+		}
+	}()
+	NewDropout(rand.New(rand.NewSource(1)), 1)
+}
+
+func TestDropoutPreservesExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := NewDropout(rng, 0.3)
+	x := tensor.Full(100, 100, 1)
+	y := d.Forward(x)
+	if m := y.Mean(); math.Abs(m-1) > 0.05 {
+		t.Fatalf("inverted dropout mean %v, want ~1", m)
+	}
+}

@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// numericGradParam estimates dLoss/dParam[idx] by central differences where
+// loss = lossFn() recomputes the full forward pass + loss.
+func numericGradParam(p *tensor.Matrix, idx int, lossFn func() float64) float64 {
+	const h = 1e-5
+	orig := p.Data[idx]
+	p.Data[idx] = orig + h
+	lp := lossFn()
+	p.Data[idx] = orig - h
+	lm := lossFn()
+	p.Data[idx] = orig
+	return (lp - lm) / (2 * h)
+}
+
+// checkModelGradients verifies analytic parameter gradients and input
+// gradients of model against central differences for a random batch.
+func checkModelGradients(t *testing.T, model *Sequential, inDim, batch int, loss Loss, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	x := tensor.RandNormal(rng, batch, inDim, 0, 1)
+	pred := model.Forward(x)
+	y := tensor.RandNormal(rng, pred.Rows, pred.Cols, 0, 1)
+
+	lossFn := func() float64 {
+		p := model.Forward(x)
+		l, _ := loss.Loss(p, y)
+		return l
+	}
+
+	model.ZeroGrads()
+	p0 := model.Forward(x)
+	_, g := loss.Loss(p0, y)
+	dx := model.Backward(g)
+
+	// Parameter gradients: sample a handful of indices from every matrix.
+	for pi, p := range model.Params() {
+		grad := model.Grads()[pi]
+		n := p.Size()
+		stride := n/7 + 1
+		for idx := 0; idx < n; idx += stride {
+			want := numericGradParam(p, idx, lossFn)
+			got := grad.Data[idx]
+			if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+				t.Fatalf("param %d elem %d: analytic %.8g vs numeric %.8g", pi, idx, got, want)
+			}
+		}
+	}
+
+	// Input gradients.
+	stride := x.Size()/5 + 1
+	for idx := 0; idx < x.Size(); idx += stride {
+		orig := x.Data[idx]
+		const h = 1e-5
+		x.Data[idx] = orig + h
+		lp := lossFn()
+		x.Data[idx] = orig - h
+		lm := lossFn()
+		x.Data[idx] = orig
+		want := (lp - lm) / (2 * h)
+		got := dx.Data[idx]
+		if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+			t.Fatalf("input elem %d: analytic %.8g vs numeric %.8g", idx, got, want)
+		}
+	}
+}
+
+func TestGradCheckDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	model := NewSequential(NewDense(rng, 6, 4))
+	checkModelGradients(t, model, 6, 3, MSE{}, 1e-6)
+}
+
+func TestGradCheckDenseTanh(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	model := NewSequential(NewDenseXavier(rng, 5, 7), NewTanh(), NewDenseXavier(rng, 7, 2))
+	checkModelGradients(t, model, 5, 4, MSE{}, 1e-5)
+}
+
+func TestGradCheckSigmoidStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	model := NewSequential(NewDenseXavier(rng, 4, 6), NewSigmoid(), NewDenseXavier(rng, 6, 3))
+	checkModelGradients(t, model, 4, 2, MSE{}, 1e-5)
+}
+
+// ReLU and LeakyReLU have kinks at 0; central differences are still accurate
+// away from the kink, which random continuous inputs hit with probability 0.
+func TestGradCheckReLUStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	model := NewSequential(NewDense(rng, 5, 8), NewReLU(), NewDense(rng, 8, 2))
+	checkModelGradients(t, model, 5, 3, MSE{}, 1e-5)
+}
+
+func TestGradCheckLeakyReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	model := NewSequential(NewDense(rng, 4, 4), NewLeakyReLU(0.1), NewDense(rng, 4, 2))
+	checkModelGradients(t, model, 4, 3, MSE{}, 1e-5)
+}
+
+func TestGradCheckLSTM(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	model := NewSequential(NewLSTM(rng, 1, 5, 6), NewDenseXavier(rng, 5, 2))
+	checkModelGradients(t, model, 6, 3, MSE{}, 1e-4)
+}
+
+func TestGradCheckLSTMMultiFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	model := NewSequential(NewLSTM(rng, 3, 4, 5), NewDenseXavier(rng, 4, 1))
+	checkModelGradients(t, model, 15, 2, MSE{}, 1e-4)
+}
+
+func TestGradCheckHuberLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	model := NewSequential(NewDense(rng, 4, 3))
+	// Use a large-spread target so both Huber branches are exercised.
+	x := tensor.RandNormal(rng, 5, 4, 0, 3)
+	y := tensor.RandNormal(rng, 5, 3, 0, 3)
+	loss := Huber{Delta: 1}
+	lossFn := func() float64 {
+		p := model.Forward(x)
+		l, _ := loss.Loss(p, y)
+		return l
+	}
+	model.ZeroGrads()
+	p0 := model.Forward(x)
+	_, g := loss.Loss(p0, y)
+	model.Backward(g)
+	for pi, p := range model.Params() {
+		grad := model.Grads()[pi]
+		for idx := 0; idx < p.Size(); idx += 3 {
+			want := numericGradParam(p, idx, lossFn)
+			got := grad.Data[idx]
+			if math.Abs(got-want) > 1e-5*(1+math.Abs(want)) {
+				t.Fatalf("Huber param %d elem %d: analytic %.8g vs numeric %.8g", pi, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestGradCheckMAELoss(t *testing.T) {
+	// MAE gradient is a constant sign; check loss/grad pair directly.
+	pred := tensor.NewFromSlice(1, 3, []float64{2, -1, 0.5})
+	target := tensor.NewFromSlice(1, 3, []float64{1, 1, 0.5})
+	l, g := MAE{}.Loss(pred, target)
+	if math.Abs(l-3.0) > 1e-12 { // (1 + 2 + 0) summed over outputs, batch of 1
+		t.Fatalf("MAE loss = %v, want 3", l)
+	}
+	want := []float64{1, -1, 0}
+	for i, w := range want {
+		if math.Abs(g.Data[i]-w) > 1e-12 {
+			t.Fatalf("MAE grad[%d] = %v, want %v", i, g.Data[i], w)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// GRU is a single-layer gated recurrent unit unrolled over a fixed sequence
+// length, returning the final hidden state. It is the lighter-weight
+// alternative to LSTM (no separate cell state, 3 gates instead of 4) and
+// backs the KindGRU forecaster extension.
+//
+// Input layout matches LSTM: batch x (SeqLen*InputSize), timestep-major.
+//
+// Gate weights pack into W of shape (InputSize+Hidden) x 3*Hidden with gate
+// order [update z, reset r, candidate n], plus a 1 x 3*Hidden bias. The
+// candidate pre-activation uses the *reset-scaled* hidden state, i.e. the
+// original Cho et al. formulation:
+//
+//	z_t = σ(W_z·[x_t, h_{t-1}])
+//	r_t = σ(W_r·[x_t, h_{t-1}])
+//	n_t = tanh(W_n·[x_t, r_t⊙h_{t-1}])
+//	h_t = (1−z_t)⊙n_t + z_t⊙h_{t-1}
+type GRU struct {
+	InputSize, Hidden, SeqLen int
+
+	W, B   *tensor.Matrix
+	dW, dB *tensor.Matrix
+
+	// Per-timestep caches for BPTT.
+	xs         []*tensor.Matrix // x_t
+	hs         []*tensor.Matrix // h_0 .. h_T
+	zs, rs, ns []*tensor.Matrix
+	batch      int
+}
+
+// NewGRU returns a GRU over sequences of seqLen steps.
+func NewGRU(rng *rand.Rand, inputSize, hidden, seqLen int) *GRU {
+	if inputSize < 1 || hidden < 1 || seqLen < 1 {
+		panic(fmt.Sprintf("nn: invalid GRU config in=%d hidden=%d seq=%d", inputSize, hidden, seqLen))
+	}
+	return &GRU{
+		InputSize: inputSize,
+		Hidden:    hidden,
+		SeqLen:    seqLen,
+		W:         tensor.XavierUniform(rng, inputSize+hidden, 3*hidden),
+		B:         tensor.New(1, 3*hidden),
+		dW:        tensor.New(inputSize+hidden, 3*hidden),
+		dB:        tensor.New(1, 3*hidden),
+	}
+}
+
+// Forward implements Layer.
+func (g *GRU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != g.SeqLen*g.InputSize {
+		panic(fmt.Sprintf("nn: GRU forward input width %d, want %d", x.Cols, g.SeqLen*g.InputSize))
+	}
+	b, h, in := x.Rows, g.Hidden, g.InputSize
+	g.batch = b
+	g.xs = make([]*tensor.Matrix, g.SeqLen)
+	g.zs = make([]*tensor.Matrix, g.SeqLen)
+	g.rs = make([]*tensor.Matrix, g.SeqLen)
+	g.ns = make([]*tensor.Matrix, g.SeqLen)
+	g.hs = make([]*tensor.Matrix, g.SeqLen+1)
+	g.hs[0] = tensor.New(b, h)
+
+	// Weight views: rows [0,in) are input weights, rows [in,in+h) are
+	// recurrent weights; we apply them separately so the candidate gate can
+	// use the reset-scaled hidden state.
+	for t := 0; t < g.SeqLen; t++ {
+		xt := x.SliceCols(t*in, (t+1)*in)
+		g.xs[t] = xt
+		zt := tensor.New(b, h)
+		rt := tensor.New(b, h)
+		nt := tensor.New(b, h)
+		ht := tensor.New(b, h)
+		for row := 0; row < b; row++ {
+			xr := xt.Row(row)
+			hPrev := g.hs[t].Row(row)
+			// Pre-activations for the three gates.
+			for c := 0; c < h; c++ {
+				var preZ, preR float64
+				preZ = g.B.Data[c]
+				preR = g.B.Data[h+c]
+				for k, xv := range xr {
+					preZ += xv * g.W.Data[k*3*h+c]
+					preR += xv * g.W.Data[k*3*h+h+c]
+				}
+				for k, hv := range hPrev {
+					preZ += hv * g.W.Data[(in+k)*3*h+c]
+					preR += hv * g.W.Data[(in+k)*3*h+h+c]
+				}
+				zt.Row(row)[c] = sigmoid(preZ)
+				rt.Row(row)[c] = sigmoid(preR)
+			}
+			// Candidate uses r⊙h_{t-1}.
+			for c := 0; c < h; c++ {
+				preN := g.B.Data[2*h+c]
+				for k, xv := range xr {
+					preN += xv * g.W.Data[k*3*h+2*h+c]
+				}
+				for k, hv := range hPrev {
+					preN += rt.Row(row)[k] * hv * g.W.Data[(in+k)*3*h+2*h+c]
+				}
+				nv := math.Tanh(preN)
+				nt.Row(row)[c] = nv
+				zv := zt.Row(row)[c]
+				ht.Row(row)[c] = (1-zv)*nv + zv*hPrev[c]
+			}
+		}
+		g.zs[t], g.rs[t], g.ns[t], g.hs[t+1] = zt, rt, nt, ht
+	}
+	return g.hs[g.SeqLen]
+}
+
+// Backward implements Layer (BPTT from the final hidden state's gradient).
+func (g *GRU) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if g.xs == nil {
+		panic("nn: GRU Backward called before Forward")
+	}
+	b, h, in := g.batch, g.Hidden, g.InputSize
+	if grad.Rows != b || grad.Cols != h {
+		panic(fmt.Sprintf("nn: GRU backward grad shape %dx%d, want %dx%d", grad.Rows, grad.Cols, b, h))
+	}
+	dx := tensor.New(b, g.SeqLen*in)
+	dh := grad.Clone()
+
+	for t := g.SeqLen - 1; t >= 0; t-- {
+		zt, rt, nt := g.zs[t], g.rs[t], g.ns[t]
+		hPrev := g.hs[t]
+		xt := g.xs[t]
+		dhNext := tensor.New(b, h)
+		for row := 0; row < b; row++ {
+			dhR := dh.Row(row)
+			zR, rR, nR := zt.Row(row), rt.Row(row), nt.Row(row)
+			hpR := hPrev.Row(row)
+			xR := xt.Row(row)
+			dxR := dx.Row(row)[t*in : (t+1)*in]
+			dhN := dhNext.Row(row)
+
+			for c := 0; c < h; c++ {
+				dht := dhR[c]
+				// h_t = (1−z)·n + z·h_prev
+				dz := dht * (hpR[c] - nR[c])
+				dn := dht * (1 - zR[c])
+				dhN[c] += dht * zR[c]
+
+				dpreZ := dz * zR[c] * (1 - zR[c])
+				dpreN := dn * (1 - nR[c]*nR[c])
+
+				// Accumulate weight/bias/input/recurrent grads for z and n;
+				// the reset gate's gradient is accumulated inside the
+				// recurrent loop below (it only feeds the candidate).
+				g.dB.Data[c] += dpreZ
+				g.dB.Data[2*h+c] += dpreN
+				for k, xv := range xR {
+					g.dW.Data[k*3*h+c] += xv * dpreZ
+					g.dW.Data[k*3*h+2*h+c] += xv * dpreN
+					dxR[k] += dpreZ*g.W.Data[k*3*h+c] + dpreN*g.W.Data[k*3*h+2*h+c]
+				}
+				for k := 0; k < h; k++ {
+					hv := hpR[k]
+					g.dW.Data[(in+k)*3*h+c] += hv * dpreZ
+					g.dW.Data[(in+k)*3*h+2*h+c] += rR[k] * hv * dpreN
+					dhN[k] += dpreZ * g.W.Data[(in+k)*3*h+c]
+					// Through the candidate: d(r_k·h_k) = dpreN·W
+					grk := dpreN * g.W.Data[(in+k)*3*h+2*h+c]
+					dhN[k] += grk * rR[k]
+					// Gradient into the reset gate r_k accumulates across c.
+					drk := grk * hv
+					// preR_k = ...; apply σ' and push into weights/inputs.
+					dpreR := drk * rR[k] * (1 - rR[k])
+					g.dB.Data[h+k] += dpreR
+					for kk, xv := range xR {
+						g.dW.Data[kk*3*h+h+k] += xv * dpreR
+						dxR[kk] += dpreR * g.W.Data[kk*3*h+h+k]
+					}
+					for kk := 0; kk < h; kk++ {
+						g.dW.Data[(in+kk)*3*h+h+k] += hpR[kk] * dpreR
+						dhN[kk] += dpreR * g.W.Data[(in+kk)*3*h+h+k]
+					}
+				}
+			}
+		}
+		dh = dhNext
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (g *GRU) Params() []*tensor.Matrix { return []*tensor.Matrix{g.W, g.B} }
+
+// Grads implements Layer.
+func (g *GRU) Grads() []*tensor.Matrix { return []*tensor.Matrix{g.dW, g.dB} }
+
+// ZeroGrads implements Layer.
+func (g *GRU) ZeroGrads() {
+	g.dW.Zero()
+	g.dB.Zero()
+}
+
+// Name implements Layer.
+func (g *GRU) Name() string {
+	return fmt.Sprintf("GRU(in=%d,h=%d,T=%d)", g.InputSize, g.Hidden, g.SeqLen)
+}

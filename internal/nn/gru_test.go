@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestGradCheckGRU(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	model := NewSequential(NewGRU(rng, 1, 4, 5), NewDenseXavier(rng, 4, 2))
+	checkModelGradients(t, model, 5, 3, MSE{}, 1e-4)
+}
+
+func TestGradCheckGRUMultiFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	model := NewSequential(NewGRU(rng, 3, 3, 4), NewDenseXavier(rng, 3, 1))
+	checkModelGradients(t, model, 12, 2, MSE{}, 1e-4)
+}
+
+func TestGRULearnsLastValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	model := NewSequential(NewGRU(rng, 1, 8, 5), NewDenseXavier(rng, 8, 1))
+	opt := &Adam{LR: 0.02, Clip: 1}
+	var last float64
+	for i := 0; i < 400; i++ {
+		x := tensor.RandUniform(rng, 8, 5, 0, 1)
+		y := tensor.New(8, 1)
+		for r := 0; r < 8; r++ {
+			y.Data[r] = x.Row(r)[4]
+		}
+		last = FitBatch(model, MSE{}, opt, x, y)
+	}
+	if last > 0.01 {
+		t.Fatalf("GRU did not learn identity-of-last: loss %v", last)
+	}
+}
+
+func TestGRUShapePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := NewGRU(rng, 2, 3, 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("bad input width accepted")
+			}
+		}()
+		g.Forward(tensor.New(1, 7))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Backward before Forward accepted")
+			}
+		}()
+		NewGRU(rng, 1, 2, 3).Backward(tensor.New(1, 2))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("invalid config accepted")
+			}
+		}()
+		NewGRU(rng, 0, 2, 3)
+	}()
+}
+
+func TestGRUFewerParamsThanLSTM(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	gru := NewGRU(rng, 1, 16, 10)
+	lstm := NewLSTM(rng, 1, 16, 10)
+	gp := gru.W.Size() + gru.B.Size()
+	lp := lstm.W.Size() + lstm.B.Size()
+	if gp >= lp {
+		t.Fatalf("GRU params %d should undercut LSTM %d", gp, lp)
+	}
+	if gru.Name() == "" || len(gru.Params()) != 2 || len(gru.Grads()) != 2 {
+		t.Fatal("interface plumbing wrong")
+	}
+}

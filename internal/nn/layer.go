@@ -1,0 +1,115 @@
+// Package nn implements the from-scratch neural-network stack that backs
+// both the DFL load forecasters (LSTM, BP) and the DQN agents in the PFDRL
+// reproduction. It provides feed-forward and recurrent layers with exact
+// backpropagation, standard losses (including the Huber loss the paper's
+// DQN uses), first-order optimizers, and parameter flattening utilities so
+// federated agents can broadcast, aggregate, and split models into base
+// and personalization layers.
+//
+// All layers operate on batches: inputs are tensor.Matrix values with one
+// example per row.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Layer is a differentiable network stage.
+//
+// Forward consumes a batch (one example per row) and caches whatever it
+// needs for the matching Backward call. Backward consumes dL/d(output) and
+// returns dL/d(input), accumulating parameter gradients internally.
+// A Layer is not safe for concurrent use; each federated agent owns its own
+// replica.
+type Layer interface {
+	// Forward computes the layer output for a batch x.
+	Forward(x *tensor.Matrix) *tensor.Matrix
+	// Backward propagates the output gradient and returns the input
+	// gradient. It must be called after Forward with the same batch.
+	Backward(grad *tensor.Matrix) *tensor.Matrix
+	// Params returns the trainable parameter matrices (possibly empty).
+	// Callers may mutate the returned matrices (the optimizer does).
+	Params() []*tensor.Matrix
+	// Grads returns gradient matrices aligned 1:1 with Params.
+	Grads() []*tensor.Matrix
+	// ZeroGrads clears accumulated gradients.
+	ZeroGrads()
+	// Name identifies the layer kind for diagnostics.
+	Name() string
+}
+
+// Dense is a fully connected layer: y = x·W + b.
+type Dense struct {
+	W, B   *tensor.Matrix // W: in x out, B: 1 x out
+	dW, dB *tensor.Matrix
+	x      *tensor.Matrix // cached input
+}
+
+// NewDense returns a Dense layer with He-normal weights (suited to the ReLU
+// stacks used by the DQN) and zero bias.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	return &Dense{
+		W:  tensor.HeNormal(rng, in, out),
+		B:  tensor.New(1, out),
+		dW: tensor.New(in, out),
+		dB: tensor.New(1, out),
+	}
+}
+
+// NewDenseXavier returns a Dense layer with Xavier-uniform weights (suited
+// to tanh/sigmoid heads).
+func NewDenseXavier(rng *rand.Rand, in, out int) *Dense {
+	return &Dense{
+		W:  tensor.XavierUniform(rng, in, out),
+		B:  tensor.New(1, out),
+		dW: tensor.New(in, out),
+		dB: tensor.New(1, out),
+	}
+}
+
+// In returns the layer's input width.
+func (d *Dense) In() int { return d.W.Rows }
+
+// Out returns the layer's output width.
+func (d *Dense) Out() int { return d.W.Cols }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != d.W.Rows {
+		panic(fmt.Sprintf("nn: Dense forward input width %d, want %d", x.Cols, d.W.Rows))
+	}
+	d.x = x
+	y := tensor.MatMul(x, d.W)
+	y.AddRowVectorInPlace(d.B)
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.x == nil {
+		panic("nn: Dense Backward called before Forward")
+	}
+	// dW += xᵀ·grad ; dB += column sums of grad ; dx = grad·Wᵀ
+	dw := tensor.MatMulTransA(d.x, grad)
+	tensor.AddInto(d.dW, d.dW, dw)
+	tensor.AddInto(d.dB, d.dB, grad.ColSums())
+	return tensor.MatMulTransB(grad, d.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Matrix { return []*tensor.Matrix{d.W, d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Matrix { return []*tensor.Matrix{d.dW, d.dB} }
+
+// ZeroGrads implements Layer.
+func (d *Dense) ZeroGrads() {
+	d.dW.Zero()
+	d.dB.Zero()
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("Dense(%dx%d)", d.W.Rows, d.W.Cols) }

@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Loss scores a batch of predictions against targets and produces the
+// gradient of the mean loss with respect to the predictions.
+type Loss interface {
+	// Loss returns (mean loss over the batch, dL/dpred).
+	Loss(pred, target *tensor.Matrix) (float64, *tensor.Matrix)
+	Name() string
+}
+
+func lossShapeCheck(name string, pred, target *tensor.Matrix) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic(fmt.Sprintf("nn: %s shape mismatch pred %dx%d vs target %dx%d",
+			name, pred.Rows, pred.Cols, target.Rows, target.Cols))
+	}
+	if pred.Size() == 0 {
+		panic(fmt.Sprintf("nn: %s on empty batch", name))
+	}
+}
+
+// MSE is mean squared error: ½(p−t)² summed over outputs, averaged over
+// the batch; gradient (p−t)/batch.
+type MSE struct{}
+
+// Loss implements Loss.
+func (MSE) Loss(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	lossShapeCheck("MSE", pred, target)
+	n := float64(pred.Rows)
+	grad := tensor.New(pred.Rows, pred.Cols)
+	sum := 0.0
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		sum += 0.5 * d * d
+		grad.Data[i] = d / n
+	}
+	return sum / n, grad
+}
+
+// Name implements Loss.
+func (MSE) Name() string { return "MSE" }
+
+// MAE is absolute error summed over outputs, averaged over the batch;
+// gradient sign(p−t)/batch.
+type MAE struct{}
+
+// Loss implements Loss.
+func (MAE) Loss(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	lossShapeCheck("MAE", pred, target)
+	n := float64(pred.Rows)
+	grad := tensor.New(pred.Rows, pred.Cols)
+	sum := 0.0
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		sum += math.Abs(d)
+		switch {
+		case d > 0:
+			grad.Data[i] = 1 / n
+		case d < 0:
+			grad.Data[i] = -1 / n
+		}
+	}
+	return sum / n, grad
+}
+
+// Name implements Loss.
+func (MAE) Name() string { return "MAE" }
+
+// Huber is the loss the paper's DQN minimizes (Algorithm 2): quadratic for
+// residuals within Delta, linear beyond — so a single outlier transition in
+// the replay batch cannot blow up the update.
+type Huber struct {
+	// Delta is the quadratic/linear crossover; the conventional 1.0 when zero.
+	Delta float64
+}
+
+func (h Huber) delta() float64 {
+	if h.Delta <= 0 {
+		return 1.0
+	}
+	return h.Delta
+}
+
+// Loss implements Loss.
+func (h Huber) Loss(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	lossShapeCheck("Huber", pred, target)
+	d := h.delta()
+	n := float64(pred.Rows)
+	grad := tensor.New(pred.Rows, pred.Cols)
+	sum := 0.0
+	for i, p := range pred.Data {
+		r := p - target.Data[i]
+		if a := math.Abs(r); a <= d {
+			sum += 0.5 * r * r
+			grad.Data[i] = r / n
+		} else {
+			sum += d * (a - 0.5*d)
+			if r > 0 {
+				grad.Data[i] = d / n
+			} else {
+				grad.Data[i] = -d / n
+			}
+		}
+	}
+	return sum / n, grad
+}
+
+// Name implements Loss.
+func (h Huber) Name() string { return fmt.Sprintf("Huber(δ=%g)", h.delta()) }
+
+// MaskedHuber applies the Huber loss only where mask is non-zero. The DQN
+// uses it to train just the Q-value of the action actually taken while
+// leaving the other two action heads untouched.
+type MaskedHuber struct {
+	Delta float64
+}
+
+// Loss computes the Huber loss over masked entries only; the divisor is the
+// number of masked entries (one per transition in a DQN batch).
+func (h MaskedHuber) Loss(pred, target, mask *tensor.Matrix) (float64, *tensor.Matrix) {
+	lossShapeCheck("MaskedHuber", pred, target)
+	lossShapeCheck("MaskedHuber mask", pred, mask)
+	d := Huber{Delta: h.Delta}.delta()
+	active := 0.0
+	for _, m := range mask.Data {
+		if m != 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		panic("nn: MaskedHuber with empty mask")
+	}
+	grad := tensor.New(pred.Rows, pred.Cols)
+	sum := 0.0
+	for i, p := range pred.Data {
+		if mask.Data[i] == 0 {
+			continue
+		}
+		r := p - target.Data[i]
+		if a := math.Abs(r); a <= d {
+			sum += 0.5 * r * r
+			grad.Data[i] = r / active
+		} else {
+			sum += d * (a - 0.5*d)
+			if r > 0 {
+				grad.Data[i] = d / active
+			} else {
+				grad.Data[i] = -d / active
+			}
+		}
+	}
+	return sum / active, grad
+}

@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// LSTM is a single-layer long short-term memory network unrolled over a
+// fixed sequence length, returning the final hidden state. This matches the
+// paper's use: the forecaster consumes a lag window of per-minute energy
+// readings and emits a hidden representation of the usage pattern, which a
+// Dense head turns into the next-hour prediction.
+//
+// The input batch has shape batch x (SeqLen*InputSize), laid out timestep-
+// major: columns [t*InputSize, (t+1)*InputSize) hold the features of step t.
+// The output has shape batch x Hidden.
+//
+// Gate weights are packed into one matrix W of shape
+// (InputSize+Hidden) x 4*Hidden with gate order [input, forget, cell, output],
+// plus a 1 x 4*Hidden bias. The forget-gate bias is initialized to 1, the
+// standard trick that keeps early memories alive during the first epochs.
+type LSTM struct {
+	InputSize, Hidden, SeqLen int
+
+	W, B   *tensor.Matrix
+	dW, dB *tensor.Matrix
+
+	// Per-timestep caches for backpropagation through time.
+	zs             []*tensor.Matrix // concatenated [x_t, h_{t-1}]
+	is, fs, gs, os []*tensor.Matrix
+	cs, hs         []*tensor.Matrix // cell and hidden states, index 0..SeqLen (0 = initial)
+	tanhCs         []*tensor.Matrix
+	batch          int
+}
+
+// NewLSTM returns an LSTM over sequences of seqLen steps with inputSize
+// features per step and a hidden state of the given width.
+func NewLSTM(rng *rand.Rand, inputSize, hidden, seqLen int) *LSTM {
+	if inputSize < 1 || hidden < 1 || seqLen < 1 {
+		panic(fmt.Sprintf("nn: invalid LSTM config in=%d hidden=%d seq=%d", inputSize, hidden, seqLen))
+	}
+	l := &LSTM{
+		InputSize: inputSize,
+		Hidden:    hidden,
+		SeqLen:    seqLen,
+		W:         tensor.XavierUniform(rng, inputSize+hidden, 4*hidden),
+		B:         tensor.New(1, 4*hidden),
+		dW:        tensor.New(inputSize+hidden, 4*hidden),
+		dB:        tensor.New(1, 4*hidden),
+	}
+	for c := hidden; c < 2*hidden; c++ { // forget-gate bias = 1
+		l.B.Data[c] = 1
+	}
+	return l
+}
+
+// Forward implements Layer. It unrolls the recurrence over SeqLen steps and
+// returns the final hidden state h_T.
+func (l *LSTM) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.SeqLen*l.InputSize {
+		panic(fmt.Sprintf("nn: LSTM forward input width %d, want %d", x.Cols, l.SeqLen*l.InputSize))
+	}
+	b := x.Rows
+	l.batch = b
+	h := l.Hidden
+	l.zs = make([]*tensor.Matrix, l.SeqLen)
+	l.is = make([]*tensor.Matrix, l.SeqLen)
+	l.fs = make([]*tensor.Matrix, l.SeqLen)
+	l.gs = make([]*tensor.Matrix, l.SeqLen)
+	l.os = make([]*tensor.Matrix, l.SeqLen)
+	l.tanhCs = make([]*tensor.Matrix, l.SeqLen)
+	l.cs = make([]*tensor.Matrix, l.SeqLen+1)
+	l.hs = make([]*tensor.Matrix, l.SeqLen+1)
+	l.cs[0] = tensor.New(b, h)
+	l.hs[0] = tensor.New(b, h)
+
+	for t := 0; t < l.SeqLen; t++ {
+		xt := x.SliceCols(t*l.InputSize, (t+1)*l.InputSize)
+		z := tensor.Concat(xt, l.hs[t])
+		pre := tensor.MatMul(z, l.W)
+		pre.AddRowVectorInPlace(l.B)
+
+		it := tensor.New(b, h)
+		ft := tensor.New(b, h)
+		gt := tensor.New(b, h)
+		ot := tensor.New(b, h)
+		ct := tensor.New(b, h)
+		tct := tensor.New(b, h)
+		ht := tensor.New(b, h)
+		for r := 0; r < b; r++ {
+			preRow := pre.Row(r)
+			cPrev := l.cs[t].Row(r)
+			for c := 0; c < h; c++ {
+				iv := sigmoid(preRow[c])
+				fv := sigmoid(preRow[h+c])
+				gv := math.Tanh(preRow[2*h+c])
+				ov := sigmoid(preRow[3*h+c])
+				cv := fv*cPrev[c] + iv*gv
+				tcv := math.Tanh(cv)
+				it.Row(r)[c] = iv
+				ft.Row(r)[c] = fv
+				gt.Row(r)[c] = gv
+				ot.Row(r)[c] = ov
+				ct.Row(r)[c] = cv
+				tct.Row(r)[c] = tcv
+				ht.Row(r)[c] = ov * tcv
+			}
+		}
+		l.zs[t], l.is[t], l.fs[t], l.gs[t], l.os[t] = z, it, ft, gt, ot
+		l.cs[t+1], l.tanhCs[t], l.hs[t+1] = ct, tct, ht
+	}
+	return l.hs[l.SeqLen]
+}
+
+// Backward implements Layer: backpropagation through time from the gradient
+// on the final hidden state. Returns the gradient with respect to the input
+// window (batch x SeqLen*InputSize).
+func (l *LSTM) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if l.zs == nil {
+		panic("nn: LSTM Backward called before Forward")
+	}
+	b, h := l.batch, l.Hidden
+	if grad.Rows != b || grad.Cols != h {
+		panic(fmt.Sprintf("nn: LSTM backward grad shape %dx%d, want %dx%d", grad.Rows, grad.Cols, b, h))
+	}
+	dx := tensor.New(b, l.SeqLen*l.InputSize)
+	dh := grad.Clone()
+	dc := tensor.New(b, h)
+	dpre := tensor.New(b, 4*h)
+
+	for t := l.SeqLen - 1; t >= 0; t-- {
+		it, ft, gt, ot := l.is[t], l.fs[t], l.gs[t], l.os[t]
+		tct := l.tanhCs[t]
+		cPrev := l.cs[t]
+		for r := 0; r < b; r++ {
+			dhR, dcR := dh.Row(r), dc.Row(r)
+			iR, fR, gR, oR := it.Row(r), ft.Row(r), gt.Row(r), ot.Row(r)
+			tcR, cpR := tct.Row(r), cPrev.Row(r)
+			dpreR := dpre.Row(r)
+			for c := 0; c < h; c++ {
+				do := dhR[c] * tcR[c]
+				dcTot := dcR[c] + dhR[c]*oR[c]*(1-tcR[c]*tcR[c])
+				di := dcTot * gR[c]
+				df := dcTot * cpR[c]
+				dg := dcTot * iR[c]
+				dpreR[c] = di * iR[c] * (1 - iR[c])
+				dpreR[h+c] = df * fR[c] * (1 - fR[c])
+				dpreR[2*h+c] = dg * (1 - gR[c]*gR[c])
+				dpreR[3*h+c] = do * oR[c] * (1 - oR[c])
+				dcR[c] = dcTot * fR[c] // becomes dc_{t-1}
+			}
+		}
+		// Accumulate parameter gradients and propagate to z = [x_t, h_{t-1}].
+		dwT := tensor.MatMulTransA(l.zs[t], dpre)
+		tensor.AddInto(l.dW, l.dW, dwT)
+		tensor.AddInto(l.dB, l.dB, dpre.ColSums())
+		dz := tensor.MatMulTransB(dpre, l.W)
+		for r := 0; r < b; r++ {
+			dzR := dz.Row(r)
+			copy(dx.Row(r)[t*l.InputSize:(t+1)*l.InputSize], dzR[:l.InputSize])
+			copy(dh.Row(r), dzR[l.InputSize:])
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LSTM) Params() []*tensor.Matrix { return []*tensor.Matrix{l.W, l.B} }
+
+// Grads implements Layer.
+func (l *LSTM) Grads() []*tensor.Matrix { return []*tensor.Matrix{l.dW, l.dB} }
+
+// ZeroGrads implements Layer.
+func (l *LSTM) ZeroGrads() {
+	l.dW.Zero()
+	l.dB.Zero()
+}
+
+// Name implements Layer.
+func (l *LSTM) Name() string {
+	return fmt.Sprintf("LSTM(in=%d,h=%d,T=%d)", l.InputSize, l.Hidden, l.SeqLen)
+}

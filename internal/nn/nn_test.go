@@ -1,0 +1,384 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestDenseForwardMath(t *testing.T) {
+	d := &Dense{
+		W:  tensor.NewFromSlice(2, 2, []float64{1, 2, 3, 4}),
+		B:  tensor.NewFromSlice(1, 2, []float64{10, 20}),
+		dW: tensor.New(2, 2),
+		dB: tensor.New(1, 2),
+	}
+	y := d.Forward(tensor.NewFromSlice(1, 2, []float64{1, 1}))
+	if !y.Equal(tensor.NewFromSlice(1, 2, []float64{14, 26})) {
+		t.Fatalf("Dense forward = %v", y)
+	}
+	if d.In() != 2 || d.Out() != 2 {
+		t.Fatal("In/Out wrong")
+	}
+}
+
+func TestDenseForwardPanicsOnWidthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(rng, 3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad input width")
+		}
+	}()
+	d.Forward(tensor.New(1, 4))
+}
+
+func TestBackwardBeforeForwardPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, l := range []Layer{NewDense(rng, 2, 2), NewReLU(), NewLSTM(rng, 1, 2, 3)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: Backward before Forward did not panic", l.Name())
+				}
+			}()
+			l.Backward(tensor.New(1, 2))
+		}()
+	}
+}
+
+func TestActivationValues(t *testing.T) {
+	x := tensor.NewFromSlice(1, 3, []float64{-2, 0, 2})
+	if y := NewReLU().Forward(x); !y.Equal(tensor.NewFromSlice(1, 3, []float64{0, 0, 2})) {
+		t.Fatalf("ReLU = %v", y)
+	}
+	y := NewSigmoid().Forward(x)
+	if math.Abs(y.Data[1]-0.5) > 1e-12 {
+		t.Fatalf("Sigmoid(0) = %v", y.Data[1])
+	}
+	if y.Data[0] >= y.Data[1] || y.Data[1] >= y.Data[2] {
+		t.Fatal("Sigmoid not monotone")
+	}
+	ty := NewTanh().Forward(x)
+	if math.Abs(ty.Data[1]) > 1e-12 || math.Abs(ty.Data[2]-math.Tanh(2)) > 1e-12 {
+		t.Fatalf("Tanh wrong: %v", ty)
+	}
+	if iy := NewIdentity().Forward(x); !iy.Equal(x) {
+		t.Fatal("Identity not identity")
+	}
+}
+
+func TestSigmoidStability(t *testing.T) {
+	if v := sigmoid(1000); v != 1 {
+		t.Fatalf("sigmoid(1000) = %v", v)
+	}
+	if v := sigmoid(-1000); v != 0 {
+		t.Fatalf("sigmoid(-1000) = %v", v)
+	}
+	if math.IsNaN(sigmoid(710)) || math.IsNaN(sigmoid(-710)) {
+		t.Fatal("sigmoid NaN at large inputs")
+	}
+}
+
+func TestSequentialStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP(rng, 4, 8, 8, 3)
+	// 3 Dense + 2 ReLU
+	if len(m.Layers) != 5 {
+		t.Fatalf("MLP layers = %d, want 5", len(m.Layers))
+	}
+	if got := m.NumTrainableLayers(); got != 3 {
+		t.Fatalf("trainable layers = %d, want 3", got)
+	}
+	wantParams := 4*8 + 8 + 8*8 + 8 + 8*3 + 3
+	if got := m.NumParams(); got != wantParams {
+		t.Fatalf("NumParams = %d, want %d", got, wantParams)
+	}
+	y := m.Forward(tensor.New(2, 4))
+	if y.Rows != 2 || y.Cols != 3 {
+		t.Fatalf("MLP output shape %dx%d", y.Rows, y.Cols)
+	}
+	if m.Name() == "" {
+		t.Fatal("empty Name")
+	}
+}
+
+func TestTrainableRangeSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP(rng, 4, 8, 8, 3)
+	base := m.ParamsOfTrainableRange(0, 2)
+	personal := m.ParamsOfTrainableRange(2, 3)
+	if len(base) != 4 || len(personal) != 2 {
+		t.Fatalf("split sizes base=%d personal=%d, want 4,2", len(base), len(personal))
+	}
+	all := m.Params()
+	if base[0] != all[0] || personal[1] != all[5] {
+		t.Fatal("range params must alias model params")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range split did not panic")
+			}
+		}()
+		m.ParamsOfTrainableRange(0, 4)
+	}()
+}
+
+func TestCopyParamsFromAndSerialization(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewMLP(rng, 3, 5, 2)
+	b := NewMLP(rng, 3, 5, 2)
+	x := tensor.RandNormal(rng, 2, 3, 0, 1)
+	if a.Forward(x).Equal(b.Forward(x)) {
+		t.Fatal("independently initialized models should differ")
+	}
+	b.CopyParamsFrom(a)
+	if !a.Forward(x).Equal(b.Forward(x)) {
+		t.Fatal("CopyParamsFrom did not equalize outputs")
+	}
+
+	blob, err := a.MarshalParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) != a.WireSize() {
+		t.Fatalf("WireSize %d != blob %d", a.WireSize(), len(blob))
+	}
+	c := NewMLP(rand.New(rand.NewSource(77)), 3, 5, 2)
+	if err := c.UnmarshalParams(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Forward(x).Equal(c.Forward(x)) {
+		t.Fatal("serialization round-trip changed outputs")
+	}
+	// Architecture mismatch should error, not panic.
+	d := NewMLP(rand.New(rand.NewSource(78)), 4, 5, 2)
+	if err := d.UnmarshalParams(blob); err == nil {
+		t.Fatal("mismatched architecture should fail to unmarshal")
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewMLP(rng, 2, 16, 16, 1)
+	x := tensor.NewFromSlice(4, 2, []float64{0, 0, 0, 1, 1, 0, 1, 1})
+	y := tensor.NewFromSlice(4, 1, []float64{0, 1, 1, 0})
+	opt := &Adam{LR: 0.01}
+	var last float64
+	for i := 0; i < 800; i++ {
+		last = FitBatch(m, MSE{}, opt, x, y)
+	}
+	if last > 0.01 {
+		t.Fatalf("XOR did not converge: final loss %v", last)
+	}
+	pred := m.Forward(x)
+	for i := 0; i < 4; i++ {
+		if math.Abs(pred.Data[i]-y.Data[i]) > 0.25 {
+			t.Fatalf("XOR pred[%d] = %v, want %v", i, pred.Data[i], y.Data[i])
+		}
+	}
+}
+
+func TestLSTMLearnsLastValue(t *testing.T) {
+	// Task: output the last element of the sequence. Trivial for LSTM if
+	// gates and BPTT work.
+	rng := rand.New(rand.NewSource(7))
+	m := NewLSTMRegressor(rng, 5, 8, 1)
+	opt := &Adam{LR: 0.02, Clip: 1}
+	var last float64
+	for i := 0; i < 400; i++ {
+		x := tensor.RandUniform(rng, 8, 5, 0, 1)
+		y := tensor.New(8, 1)
+		for r := 0; r < 8; r++ {
+			y.Data[r] = x.Row(r)[4]
+		}
+		last = FitBatch(m, MSE{}, opt, x, y)
+	}
+	if last > 0.01 {
+		t.Fatalf("LSTM did not learn identity-of-last: loss %v", last)
+	}
+}
+
+func TestOptimizersReduceLossOnQuadratic(t *testing.T) {
+	// Minimize ||w||² from a fixed start with each optimizer.
+	mk := func() ([]*tensor.Matrix, []*tensor.Matrix) {
+		w := tensor.NewFromSlice(1, 3, []float64{1, -2, 3})
+		g := tensor.New(1, 3)
+		return []*tensor.Matrix{w}, []*tensor.Matrix{g}
+	}
+	opts := []Optimizer{
+		&SGD{LR: 0.1},
+		&Momentum{LR: 0.05, Mu: 0.9},
+		&RMSProp{LR: 0.05},
+		&Adam{LR: 0.1},
+	}
+	for _, opt := range opts {
+		params, grads := mk()
+		start := params[0].Norm2()
+		for i := 0; i < 200; i++ {
+			for j, v := range params[0].Data {
+				grads[0].Data[j] = 2 * v
+			}
+			opt.Step(params, grads)
+		}
+		if end := params[0].Norm2(); end > start*0.01 {
+			t.Fatalf("%s failed to minimize quadratic: %v -> %v", opt.Name(), start, end)
+		}
+	}
+}
+
+func TestSGDClip(t *testing.T) {
+	w := []*tensor.Matrix{tensor.NewFromSlice(1, 1, []float64{0})}
+	g := []*tensor.Matrix{tensor.NewFromSlice(1, 1, []float64{100})}
+	(&SGD{LR: 1, Clip: 1}).Step(w, g)
+	if w[0].Data[0] != -1 {
+		t.Fatalf("clipped SGD step = %v, want -1", w[0].Data[0])
+	}
+}
+
+func TestHuberMatchesMSEInQuadraticZone(t *testing.T) {
+	pred := tensor.NewFromSlice(1, 2, []float64{0.3, -0.2})
+	target := tensor.New(1, 2)
+	hl, hg := Huber{Delta: 1}.Loss(pred, target)
+	ml, mg := MSE{}.Loss(pred, target)
+	if math.Abs(hl-ml) > 1e-12 || !hg.AlmostEqual(mg, 1e-12) {
+		t.Fatal("Huber must equal MSE for |r| <= δ")
+	}
+}
+
+func TestHuberLinearZoneGradientBounded(t *testing.T) {
+	pred := tensor.NewFromSlice(1, 1, []float64{100})
+	target := tensor.New(1, 1)
+	_, g := Huber{Delta: 1}.Loss(pred, target)
+	if g.Data[0] != 1 { // δ/n with n=1
+		t.Fatalf("Huber linear-zone grad = %v, want 1", g.Data[0])
+	}
+}
+
+func TestMaskedHuber(t *testing.T) {
+	pred := tensor.NewFromSlice(2, 3, []float64{1, 5, 9, 2, 4, 8})
+	target := tensor.NewFromSlice(2, 3, []float64{0, 0, 0, 2.5, 0, 0})
+	mask := tensor.NewFromSlice(2, 3, []float64{1, 0, 0, 1, 0, 0})
+	l, g := MaskedHuber{Delta: 1}.Loss(pred, target, mask)
+	// residuals: +1 (linear boundary) and -0.5 (quadratic); δ=1
+	want := (1*(1-0.5) + 0.5*0.25) / 2
+	if math.Abs(l-want) > 1e-12 {
+		t.Fatalf("MaskedHuber loss = %v, want %v", l, want)
+	}
+	for i := range g.Data {
+		if mask.Data[i] == 0 && g.Data[i] != 0 {
+			t.Fatal("gradient leaked into masked-out entries")
+		}
+	}
+}
+
+func TestLossPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MSE{}.Loss(tensor.New(1, 2), tensor.New(2, 1))
+}
+
+// --- property tests ---
+
+func TestPropFlattenUnflattenIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMLP(rng, 3, 4, 2)
+		orig := FlattenParams(m.Params())
+		clone := NewMLP(rand.New(rand.NewSource(seed+1)), 3, 4, 2)
+		UnflattenParams(clone.Params(), orig)
+		return floatsEqual(FlattenParams(clone.Params()), orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropAverageOfIdenticalIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMLP(rng, 3, 4, 2)
+		snap := CloneParams(m.Params())
+		dst := CloneParams(m.Params())
+		n := AverageParamSets(dst, snap, snap, snap)
+		if n != 3 {
+			return false
+		}
+		for i := range dst {
+			if !dst[i].AlmostEqual(snap[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropAverageCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := CloneParams(NewMLP(rng, 3, 4, 2).Params())
+		b := CloneParams(NewMLP(rng, 3, 4, 2).Params())
+		d1 := CloneParams(a)
+		d2 := CloneParams(a)
+		AverageParamSets(d1, a, b)
+		AverageParamSets(d2, b, a)
+		for i := range d1 {
+			if !d1[i].AlmostEqual(d2[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAverageRejectsNaNSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP(rng, 2, 3, 1)
+	good := CloneParams(m.Params())
+	bad := CloneParams(m.Params())
+	bad[0].Data[0] = math.NaN()
+	dst := CloneParams(m.Params())
+	if n := AverageParamSets(dst, good, bad); n != 1 {
+		t.Fatalf("averaged %d sets, want 1 (NaN set rejected)", n)
+	}
+	for i := range dst {
+		if !dst[i].AlmostEqual(good[i], 1e-12) {
+			t.Fatal("dst should equal the single clean set")
+		}
+	}
+	// All-bad: dst unchanged, 0 returned.
+	before := CloneParams(dst)
+	if n := AverageParamSets(dst, bad); n != 0 {
+		t.Fatalf("averaged %d, want 0", n)
+	}
+	for i := range dst {
+		if !dst[i].Equal(before[i]) {
+			t.Fatal("dst mutated despite all sets rejected")
+		}
+	}
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer applies one update step to a parameter set given aligned
+// gradients. Implementations that keep per-parameter state (momentum, Adam
+// moments) key it by position, so the same optimizer instance must always be
+// fed the same parameter list — which holds for a fixed architecture.
+type Optimizer interface {
+	// Step updates params[i] using grads[i] for all i.
+	Step(params, grads []*tensor.Matrix)
+	Name() string
+}
+
+func stepShapeCheck(name string, params, grads []*tensor.Matrix) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("nn: %s params/grads length mismatch %d vs %d", name, len(params), len(grads)))
+	}
+}
+
+// SGD is plain stochastic gradient descent: w ← w − lr·g.
+// This is the "stochastic parameter descent" the paper uses for both the
+// DFL forecasters and the personalization layers.
+type SGD struct {
+	LR float64
+	// Clip, when positive, clamps each gradient element to [−Clip, Clip]
+	// before the update (cheap protection against exploding LSTM gradients).
+	Clip float64
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params, grads []*tensor.Matrix) {
+	stepShapeCheck("SGD", params, grads)
+	for i, p := range params {
+		g := grads[i]
+		if o.Clip > 0 {
+			g.ClipInPlace(o.Clip)
+		}
+		p.AddScaled(g, -o.LR)
+	}
+}
+
+// Name implements Optimizer.
+func (o *SGD) Name() string { return fmt.Sprintf("SGD(lr=%g)", o.LR) }
+
+// Momentum is SGD with classical momentum: v ← μv + g; w ← w − lr·v.
+type Momentum struct {
+	LR, Mu float64
+	Clip   float64
+	vel    []*tensor.Matrix
+}
+
+// Step implements Optimizer.
+func (o *Momentum) Step(params, grads []*tensor.Matrix) {
+	stepShapeCheck("Momentum", params, grads)
+	if o.vel == nil {
+		o.vel = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			o.vel[i] = tensor.New(p.Rows, p.Cols)
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		if o.Clip > 0 {
+			g.ClipInPlace(o.Clip)
+		}
+		v := o.vel[i]
+		v.ScaleInPlace(o.Mu)
+		v.AddScaled(g, 1)
+		p.AddScaled(v, -o.LR)
+	}
+}
+
+// Name implements Optimizer.
+func (o *Momentum) Name() string { return fmt.Sprintf("Momentum(lr=%g,μ=%g)", o.LR, o.Mu) }
+
+// RMSProp divides the learning rate by a running RMS of recent gradients.
+type RMSProp struct {
+	LR, Decay, Eps float64
+	Clip           float64
+	sq             []*tensor.Matrix
+}
+
+// Step implements Optimizer.
+func (o *RMSProp) Step(params, grads []*tensor.Matrix) {
+	stepShapeCheck("RMSProp", params, grads)
+	decay := o.Decay
+	if decay == 0 {
+		decay = 0.99
+	}
+	eps := o.Eps
+	if eps == 0 {
+		eps = 1e-8
+	}
+	if o.sq == nil {
+		o.sq = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			o.sq[i] = tensor.New(p.Rows, p.Cols)
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		if o.Clip > 0 {
+			g.ClipInPlace(o.Clip)
+		}
+		s := o.sq[i]
+		for j, gv := range g.Data {
+			s.Data[j] = decay*s.Data[j] + (1-decay)*gv*gv
+			p.Data[j] -= o.LR * gv / (math.Sqrt(s.Data[j]) + eps)
+		}
+	}
+}
+
+// Name implements Optimizer.
+func (o *RMSProp) Name() string { return fmt.Sprintf("RMSProp(lr=%g)", o.LR) }
+
+// Adam is the Kingma–Ba adaptive-moment optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	Clip                  float64
+	m, v                  []*tensor.Matrix
+	t                     int
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params, grads []*tensor.Matrix) {
+	stepShapeCheck("Adam", params, grads)
+	b1, b2 := o.Beta1, o.Beta2
+	if b1 == 0 {
+		b1 = 0.9
+	}
+	if b2 == 0 {
+		b2 = 0.999
+	}
+	eps := o.Eps
+	if eps == 0 {
+		eps = 1e-8
+	}
+	if o.m == nil {
+		o.m = make([]*tensor.Matrix, len(params))
+		o.v = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			o.m[i] = tensor.New(p.Rows, p.Cols)
+			o.v[i] = tensor.New(p.Rows, p.Cols)
+		}
+	}
+	o.t++
+	c1 := 1 - math.Pow(b1, float64(o.t))
+	c2 := 1 - math.Pow(b2, float64(o.t))
+	for i, p := range params {
+		g := grads[i]
+		if o.Clip > 0 {
+			g.ClipInPlace(o.Clip)
+		}
+		m, v := o.m[i], o.v[i]
+		for j, gv := range g.Data {
+			m.Data[j] = b1*m.Data[j] + (1-b1)*gv
+			v.Data[j] = b2*v.Data[j] + (1-b2)*gv*gv
+			mh := m.Data[j] / c1
+			vh := v.Data[j] / c2
+			p.Data[j] -= o.LR * mh / (math.Sqrt(vh) + eps)
+		}
+	}
+}
+
+// Name implements Optimizer.
+func (o *Adam) Name() string { return fmt.Sprintf("Adam(lr=%g)", o.LR) }

@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// FlattenParams copies a parameter set into one flat vector. Federated
+// aggregation operates on these vectors: they are what agents broadcast
+// (conceptually — the wire format keeps matrix framing, see Sequential).
+func FlattenParams(params []*tensor.Matrix) []float64 {
+	n := 0
+	for _, p := range params {
+		n += p.Size()
+	}
+	out := make([]float64, 0, n)
+	for _, p := range params {
+		out = append(out, p.Data...)
+	}
+	return out
+}
+
+// UnflattenParams copies a flat vector produced by FlattenParams back into
+// the parameter matrices. It panics if the vector length does not match the
+// parameter set exactly.
+func UnflattenParams(params []*tensor.Matrix, flat []float64) {
+	off := 0
+	for _, p := range params {
+		if off+p.Size() > len(flat) {
+			panic(fmt.Sprintf("nn: UnflattenParams vector too short: have %d, need > %d", len(flat), off+p.Size()))
+		}
+		copy(p.Data, flat[off:off+p.Size()])
+		off += p.Size()
+	}
+	if off != len(flat) {
+		panic(fmt.Sprintf("nn: UnflattenParams vector too long: used %d of %d", off, len(flat)))
+	}
+}
+
+// AverageParamSets overwrites dst with the elementwise mean of the given
+// parameter sets (FedAvg, Eq. 2 / Eq. 7 of the paper). All sets must share
+// dst's shapes. Sets containing NaN/Inf are skipped — a diverged or poisoned
+// peer must not contaminate the aggregate — and the function reports how
+// many sets were actually averaged. If every set is rejected, dst is left
+// unchanged and 0 is returned.
+func AverageParamSets(dst []*tensor.Matrix, sets ...[]*tensor.Matrix) int {
+	if len(sets) == 0 {
+		return 0
+	}
+	var clean [][]*tensor.Matrix
+	for _, set := range sets {
+		if len(set) != len(dst) {
+			panic(fmt.Sprintf("nn: AverageParamSets set size %d, want %d", len(set), len(dst)))
+		}
+		ok := true
+		for i, m := range set {
+			if m.Rows != dst[i].Rows || m.Cols != dst[i].Cols {
+				panic(fmt.Sprintf("nn: AverageParamSets param %d shape %dx%d, want %dx%d",
+					i, m.Rows, m.Cols, dst[i].Rows, dst[i].Cols))
+			}
+			if m.HasNaN() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			clean = append(clean, set)
+		}
+	}
+	if len(clean) == 0 {
+		return 0
+	}
+	inv := 1.0 / float64(len(clean))
+	for i, d := range dst {
+		d.Zero()
+		for _, set := range clean {
+			d.AddScaled(set[i], inv)
+		}
+	}
+	return len(clean)
+}
+
+// WeightedAverageParamSets overwrites dst with the weighted elementwise
+// mean of the given parameter sets — the general FedAvg form where clients
+// contribute proportionally to their sample counts. Sets containing
+// NaN/Inf are skipped along with their weights; non-positive weights are
+// rejected. It returns the number of sets actually averaged (0 leaves dst
+// unchanged).
+func WeightedAverageParamSets(dst []*tensor.Matrix, sets [][]*tensor.Matrix, weights []float64) int {
+	if len(sets) != len(weights) {
+		panic(fmt.Sprintf("nn: WeightedAverageParamSets %d sets vs %d weights", len(sets), len(weights)))
+	}
+	var clean [][]*tensor.Matrix
+	var w []float64
+	total := 0.0
+	for si, set := range sets {
+		if weights[si] <= 0 {
+			panic(fmt.Sprintf("nn: WeightedAverageParamSets weight %v must be positive", weights[si]))
+		}
+		if len(set) != len(dst) {
+			panic(fmt.Sprintf("nn: WeightedAverageParamSets set size %d, want %d", len(set), len(dst)))
+		}
+		ok := true
+		for i, m := range set {
+			if m.Rows != dst[i].Rows || m.Cols != dst[i].Cols {
+				panic(fmt.Sprintf("nn: WeightedAverageParamSets param %d shape %dx%d, want %dx%d",
+					i, m.Rows, m.Cols, dst[i].Rows, dst[i].Cols))
+			}
+			if m.HasNaN() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			clean = append(clean, set)
+			w = append(w, weights[si])
+			total += weights[si]
+		}
+	}
+	if len(clean) == 0 {
+		return 0
+	}
+	for i, d := range dst {
+		d.Zero()
+		for si, set := range clean {
+			d.AddScaled(set[i], w[si]/total)
+		}
+	}
+	return len(clean)
+}
+
+// CloneParams deep-copies a parameter set. Broadcast snapshots use this so
+// that continued local training does not mutate in-flight messages.
+func CloneParams(params []*tensor.Matrix) []*tensor.Matrix {
+	out := make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// CopyParams copies src into dst elementwise. Shapes must match.
+func CopyParams(dst, src []*tensor.Matrix) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("nn: CopyParams length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		dst[i].CopyFrom(src[i])
+	}
+}
+
+// ParamsWireSize returns the total serialized size of a parameter set.
+func ParamsWireSize(params []*tensor.Matrix) int {
+	n := 0
+	for _, p := range params {
+		n += p.WireSize()
+	}
+	return n
+}

@@ -1,0 +1,182 @@
+package nn
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// Sequential chains layers end to end. It is the model container used for
+// every network in the reproduction: the BP and LSTM forecasters and the
+// DQN's 8-hidden-layer MLP.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential returns a model over the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward implements Layer by chaining every stage.
+func (s *Sequential) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Layer by chaining gradients in reverse.
+func (s *Sequential) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer, concatenating every layer's parameters in order.
+func (s *Sequential) Params() []*tensor.Matrix {
+	var out []*tensor.Matrix
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads implements Layer.
+func (s *Sequential) Grads() []*tensor.Matrix {
+	var out []*tensor.Matrix
+	for _, l := range s.Layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// ZeroGrads implements Layer.
+func (s *Sequential) ZeroGrads() {
+	for _, l := range s.Layers {
+		l.ZeroGrads()
+	}
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string {
+	names := make([]string, len(s.Layers))
+	for i, l := range s.Layers {
+		names[i] = l.Name()
+	}
+	return "Sequential[" + strings.Join(names, " -> ") + "]"
+}
+
+// TrainableLayers returns the indices (into Layers) of layers that carry
+// parameters. The FedPer base/personalization split is expressed in terms of
+// trainable-layer positions: "α base layers" means the first α entries of
+// this slice are federated and the rest stay local.
+func (s *Sequential) TrainableLayers() []int {
+	var idx []int
+	for i, l := range s.Layers {
+		if len(l.Params()) > 0 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// ParamsOfTrainableRange returns the parameters of trainable layers
+// [from, to) in trainable-layer numbering. It panics on an invalid range.
+func (s *Sequential) ParamsOfTrainableRange(from, to int) []*tensor.Matrix {
+	tl := s.TrainableLayers()
+	if from < 0 || to > len(tl) || from > to {
+		panic(fmt.Sprintf("nn: trainable range [%d,%d) out of bounds for %d trainable layers", from, to, len(tl)))
+	}
+	var out []*tensor.Matrix
+	for _, li := range tl[from:to] {
+		out = append(out, s.Layers[li].Params()...)
+	}
+	return out
+}
+
+// NumTrainableLayers returns the count of parameterized layers.
+func (s *Sequential) NumTrainableLayers() int { return len(s.TrainableLayers()) }
+
+// NumParams returns the total number of scalar parameters.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += p.Size()
+	}
+	return n
+}
+
+// CopyParamsFrom overwrites this model's parameters with src's. The two
+// models must have identical architectures.
+func (s *Sequential) CopyParamsFrom(src *Sequential) {
+	dst := s.Params()
+	from := src.Params()
+	if len(dst) != len(from) {
+		panic(fmt.Sprintf("nn: CopyParamsFrom param count mismatch %d vs %d", len(dst), len(from)))
+	}
+	for i := range dst {
+		dst[i].CopyFrom(from[i])
+	}
+}
+
+// WriteTo serializes every parameter matrix in order.
+func (s *Sequential) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, p := range s.Params() {
+		n, err := p.WriteTo(w)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadFrom overwrites every parameter matrix in order from r. Architecture
+// must already match the serialized source.
+func (s *Sequential) ReadFrom(r io.Reader) (int64, error) {
+	var total int64
+	for _, p := range s.Params() {
+		var m tensor.Matrix
+		n, err := m.ReadFrom(r)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if m.Rows != p.Rows || m.Cols != p.Cols {
+			return total, fmt.Errorf("nn: serialized param %dx%d, model expects %dx%d", m.Rows, m.Cols, p.Rows, p.Cols)
+		}
+		p.CopyFrom(&m)
+	}
+	return total, nil
+}
+
+// MarshalParams returns the model parameters in the binary wire format.
+func (s *Sequential) MarshalParams() ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalParams loads parameters produced by MarshalParams.
+func (s *Sequential) UnmarshalParams(data []byte) error {
+	_, err := s.ReadFrom(bytes.NewReader(data))
+	return err
+}
+
+// WireSize returns the number of bytes MarshalParams would produce; the
+// fednet simulator uses it for communication accounting.
+func (s *Sequential) WireSize() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += p.WireSize()
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Softmax is a row-wise softmax layer with the exact Jacobian backward
+// pass. It is not used by the PFDRL pipeline itself (DQN heads are linear)
+// but completes the stack for classification-style extensions, e.g. device
+// mode classifiers trained on the same federated substrate.
+type Softmax struct {
+	y *tensor.Matrix
+}
+
+// NewSoftmax returns a row-wise softmax layer.
+func NewSoftmax() *Softmax { return &Softmax{} }
+
+// Forward implements Layer. Each row is exponentiated against its max for
+// numerical stability and normalized to sum to 1.
+func (s *Softmax) Forward(x *tensor.Matrix) *tensor.Matrix {
+	y := tensor.New(x.Rows, x.Cols)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		out := y.Row(r)
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		for c, v := range row {
+			e := math.Exp(v - maxV)
+			out[c] = e
+			sum += e
+		}
+		for c := range out {
+			out[c] /= sum
+		}
+	}
+	s.y = y
+	return y
+}
+
+// Backward implements Layer: dx_i = y_i·(g_i − Σ_j g_j·y_j) per row.
+func (s *Softmax) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if s.y == nil {
+		panic("nn: Softmax Backward called before Forward")
+	}
+	dx := tensor.New(grad.Rows, grad.Cols)
+	for r := 0; r < grad.Rows; r++ {
+		g := grad.Row(r)
+		y := s.y.Row(r)
+		dot := 0.0
+		for c := range g {
+			dot += g[c] * y[c]
+		}
+		out := dx.Row(r)
+		for c := range g {
+			out[c] = y[c] * (g[c] - dot)
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (s *Softmax) Params() []*tensor.Matrix { return nil }
+
+// Grads implements Layer.
+func (s *Softmax) Grads() []*tensor.Matrix { return nil }
+
+// ZeroGrads implements Layer.
+func (s *Softmax) ZeroGrads() {}
+
+// Name implements Layer.
+func (s *Softmax) Name() string { return "Softmax" }
+
+// CrossEntropy scores softmax outputs against one-hot (or soft) target
+// distributions: L = −Σ t·log(p), summed over classes, averaged over the
+// batch.
+type CrossEntropy struct{}
+
+// Loss implements Loss. Predictions are clamped away from 0 so gradients
+// stay finite.
+func (CrossEntropy) Loss(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	lossShapeCheck("CrossEntropy", pred, target)
+	const eps = 1e-12
+	n := float64(pred.Rows)
+	grad := tensor.New(pred.Rows, pred.Cols)
+	sum := 0.0
+	for i, p := range pred.Data {
+		t := target.Data[i]
+		if t == 0 {
+			continue
+		}
+		pc := p
+		if pc < eps {
+			pc = eps
+		}
+		sum += -t * math.Log(pc)
+		grad.Data[i] = -t / pc / n
+	}
+	return sum / n, grad
+}
+
+// Name implements Loss.
+func (CrossEntropy) Name() string { return "CrossEntropy" }

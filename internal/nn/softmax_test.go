@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandNormal(rng, 5, 7, 0, 3)
+	y := NewSoftmax().Forward(x)
+	for r := 0; r < y.Rows; r++ {
+		sum := 0.0
+		for _, v := range y.Row(r) {
+			if v <= 0 || v >= 1 {
+				t.Fatalf("softmax value %v outside (0,1)", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", r, sum)
+		}
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	x := tensor.NewFromSlice(1, 3, []float64{1000, 1001, 999})
+	y := NewSoftmax().Forward(x)
+	for _, v := range y.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("softmax overflowed on large logits")
+		}
+	}
+	if y.Data[1] <= y.Data[0] || y.Data[0] <= y.Data[2] {
+		t.Fatal("softmax ordering wrong")
+	}
+}
+
+func TestSoftmaxBackwardBeforeForwardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSoftmax().Backward(tensor.New(1, 3))
+}
+
+func TestGradCheckSoftmaxCrossEntropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	model := NewSequential(NewDenseXavier(rng, 4, 3), NewSoftmax())
+	x := tensor.RandNormal(rng, 3, 4, 0, 1)
+	// One-hot targets.
+	y := tensor.New(3, 3)
+	for r := 0; r < 3; r++ {
+		y.Set(r, r%3, 1)
+	}
+	loss := CrossEntropy{}
+	lossFn := func() float64 {
+		p := model.Forward(x)
+		l, _ := loss.Loss(p, y)
+		return l
+	}
+	model.ZeroGrads()
+	p0 := model.Forward(x)
+	_, g := loss.Loss(p0, y)
+	model.Backward(g)
+	for pi, p := range model.Params() {
+		grad := model.Grads()[pi]
+		for idx := 0; idx < p.Size(); idx += 2 {
+			want := numericGradParam(p, idx, lossFn)
+			got := grad.Data[idx]
+			if math.Abs(got-want) > 1e-5*(1+math.Abs(want)) {
+				t.Fatalf("param %d elem %d: analytic %.8g vs numeric %.8g", pi, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestSoftmaxClassifierLearns(t *testing.T) {
+	// 3-class problem: class = argmax of the first three inputs.
+	rng := rand.New(rand.NewSource(3))
+	model := NewSequential(NewDenseXavier(rng, 3, 16), NewTanh(), NewDenseXavier(rng, 16, 3), NewSoftmax())
+	opt := &Adam{LR: 0.02}
+	for i := 0; i < 500; i++ {
+		x := tensor.RandNormal(rng, 16, 3, 0, 1)
+		y := tensor.New(16, 3)
+		for r := 0; r < 16; r++ {
+			row := x.Row(r)
+			bi := 0
+			for c, v := range row[1:] {
+				if v > row[bi] {
+					bi = c + 1
+				}
+			}
+			y.Set(r, bi, 1)
+		}
+		FitBatch(model, CrossEntropy{}, opt, x, y)
+	}
+	correct := 0
+	for i := 0; i < 200; i++ {
+		x := tensor.RandNormal(rng, 1, 3, 0, 1)
+		want := x.ArgMax()
+		pred := model.Forward(x).ArgMax()
+		if pred == want {
+			correct++
+		}
+	}
+	if correct < 170 {
+		t.Fatalf("classifier accuracy %d/200", correct)
+	}
+}
+
+func TestWeightedAverageParamSets(t *testing.T) {
+	mk := func(v float64) []*tensor.Matrix {
+		return []*tensor.Matrix{tensor.Full(2, 2, v)}
+	}
+	dst := mk(0)
+	n := WeightedAverageParamSets(dst, [][]*tensor.Matrix{mk(1), mk(4)}, []float64{3, 1})
+	if n != 2 {
+		t.Fatalf("averaged %d", n)
+	}
+	want := (3.0*1 + 1.0*4) / 4
+	if math.Abs(dst[0].Data[0]-want) > 1e-12 {
+		t.Fatalf("weighted mean %v, want %v", dst[0].Data[0], want)
+	}
+	// NaN set skipped with its weight.
+	bad := mk(2)
+	bad[0].Data[0] = math.NaN()
+	dst = mk(0)
+	n = WeightedAverageParamSets(dst, [][]*tensor.Matrix{mk(1), bad}, []float64{1, 100})
+	if n != 1 || dst[0].Data[3] != 1 {
+		t.Fatalf("NaN set not skipped: n=%d val=%v", n, dst[0].Data[3])
+	}
+	// Equal weights reduce to AverageParamSets.
+	dst = mk(0)
+	WeightedAverageParamSets(dst, [][]*tensor.Matrix{mk(1), mk(3)}, []float64{5, 5})
+	if dst[0].Data[0] != 2 {
+		t.Fatalf("equal-weight mean %v", dst[0].Data[0])
+	}
+	// Errors.
+	for _, f := range []func(){
+		func() { WeightedAverageParamSets(mk(0), [][]*tensor.Matrix{mk(1)}, []float64{1, 2}) },
+		func() { WeightedAverageParamSets(mk(0), [][]*tensor.Matrix{mk(1)}, []float64{0}) },
+		func() { WeightedAverageParamSets(mk(0), [][]*tensor.Matrix{{tensor.New(1, 1)}}, []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

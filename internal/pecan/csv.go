@@ -1,0 +1,128 @@
+package pecan
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/energy"
+)
+
+// WriteCSV emits the dataset in a long format close to Pecan Street
+// Dataport exports: one row per (home, device, minute) with the kW reading
+// and ground-truth mode label.
+//
+//	home_id,archetype,device,minute,kw,mode
+func (ds *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"home_id", "archetype", "device", "minute", "kw", "mode"}); err != nil {
+		return err
+	}
+	for _, h := range ds.Homes {
+		for _, tr := range h.Traces {
+			for i, kw := range tr.KW {
+				rec := []string{
+					strconv.Itoa(h.ID),
+					h.Archetype.Name,
+					tr.Device.Type,
+					strconv.Itoa(i),
+					strconv.FormatFloat(kw, 'g', -1, 64),
+					tr.TrueModes[i].String(),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a corpus written by WriteCSV. Device electrical signatures
+// are looked up from the standard library by type name.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("pecan: reading CSV header: %w", err)
+	}
+	if len(header) != 6 || header[0] != "home_id" {
+		return nil, fmt.Errorf("pecan: unexpected CSV header %v", header)
+	}
+	devByType := map[string]energy.Device{}
+	for _, p := range StandardDevices() {
+		devByType[p.Device.Type] = p.Device
+	}
+	homes := map[int]*Home{}
+	var order []int
+	type key struct {
+		home int
+		dev  string
+	}
+	traces := map[key]*Trace{}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pecan: reading CSV: %w", err)
+		}
+		hid, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("pecan: bad home_id %q: %w", rec[0], err)
+		}
+		kw, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("pecan: bad kw %q: %w", rec[4], err)
+		}
+		mode, err := parseMode(rec[5])
+		if err != nil {
+			return nil, err
+		}
+		h, ok := homes[hid]
+		if !ok {
+			h = &Home{ID: hid, Archetype: Archetype{Name: rec[1]}}
+			homes[hid] = h
+			order = append(order, hid)
+		}
+		k := key{hid, rec[2]}
+		tr, ok := traces[k]
+		if !ok {
+			dev, found := devByType[rec[2]]
+			if !found {
+				dev = energy.Device{Type: rec[2], StandbyKW: 0.005, OnKW: 0.1}
+			}
+			tr = &Trace{Device: dev}
+			traces[k] = tr
+			h.Traces = append(h.Traces, tr)
+		}
+		tr.KW = append(tr.KW, kw)
+		tr.TrueModes = append(tr.TrueModes, mode)
+	}
+	ds := &Dataset{}
+	for _, hid := range order {
+		ds.Homes = append(ds.Homes, homes[hid])
+	}
+	if len(ds.Homes) > 0 && len(ds.Homes[0].Traces) > 0 {
+		ds.Config.Homes = len(ds.Homes)
+		ds.Config.Days = ds.Homes[0].Traces[0].Days()
+	}
+	return ds, nil
+}
+
+func parseMode(s string) (energy.Mode, error) {
+	switch s {
+	case "off":
+		return energy.Off, nil
+	case "standby":
+		return energy.Standby, nil
+	case "on":
+		return energy.On, nil
+	default:
+		return 0, fmt.Errorf("pecan: unknown mode %q", s)
+	}
+}

@@ -1,0 +1,348 @@
+package pecan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/energy"
+)
+
+// MinutesPerDay is the trace resolution: one sample per minute.
+const MinutesPerDay = 24 * 60
+
+// Config controls corpus generation.
+type Config struct {
+	// Seed makes the whole corpus deterministic.
+	Seed int64
+	// Homes is the number of residences.
+	Homes int
+	// Days is the trace length per device.
+	Days int
+	// DevicesPerHome limits how many device types each home gets
+	// (0 or negative = the full StandardDevices library).
+	DevicesPerHome int
+	// NoiseFrac is the multiplicative measurement-noise amplitude applied to
+	// the nominal mode level. It defaults to 0.04, inside the paper's ±10%
+	// classification band. Values ≥ 0.1 would smear the plateaus across
+	// band edges.
+	NoiseFrac float64
+	// StartMonth (1–12) anchors day 0 in the calendar so usage gets
+	// seasonal modulation (HVAC/water-heater duty rises in summer/winter,
+	// per Texas climate). 0 disables seasonality.
+	StartMonth int
+	// VacationProb is the per-week probability that a home leaves for a
+	// 2–6 day vacation: no device usage, devices idle in standby or are
+	// unplugged. Vacations are the main non-stationarity in real traces —
+	// a forecaster trained on occupied days faces empty-home days.
+	VacationProb float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Homes <= 0 {
+		c.Homes = 1
+	}
+	if c.Days <= 0 {
+		c.Days = 1
+	}
+	if c.NoiseFrac == 0 {
+		c.NoiseFrac = 0.04
+	}
+	return c
+}
+
+// Trace is one device's minute-resolution consumption series.
+type Trace struct {
+	// Device is the electrical signature used for mode classification.
+	Device energy.Device
+	// KW holds Days*MinutesPerDay consumption samples.
+	KW []float64
+	// TrueModes holds the generator's ground-truth mode per minute. The
+	// learning pipeline never sees this (it classifies from KW); tests use
+	// it to verify classification fidelity.
+	TrueModes []energy.Mode
+}
+
+// Day returns the KW samples of day d (aliasing the trace storage).
+func (tr *Trace) Day(d int) []float64 {
+	return tr.KW[d*MinutesPerDay : (d+1)*MinutesPerDay]
+}
+
+// Days returns the number of whole days in the trace.
+func (tr *Trace) Days() int { return len(tr.KW) / MinutesPerDay }
+
+// Home is one residence: an archetype plus its device traces.
+type Home struct {
+	ID        int
+	Archetype Archetype
+	Traces    []*Trace
+	// Vacation marks the days the home is empty (no device usage).
+	Vacation []bool
+}
+
+// TraceByType returns the home's trace for a device type, or nil.
+func (h *Home) TraceByType(devType string) *Trace {
+	for _, tr := range h.Traces {
+		if tr.Device.Type == devType {
+			return tr
+		}
+	}
+	return nil
+}
+
+// Dataset is a generated corpus.
+type Dataset struct {
+	Config Config
+	Homes  []*Home
+}
+
+// Generate synthesizes a corpus per Config. It is deterministic in the
+// configuration.
+func Generate(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	profiles := StandardDevices()
+	if cfg.DevicesPerHome > 0 && cfg.DevicesPerHome < len(profiles) {
+		profiles = profiles[:cfg.DevicesPerHome]
+	}
+	archetypes := StandardArchetypes()
+	ds := &Dataset{Config: cfg}
+	for h := 0; h < cfg.Homes; h++ {
+		homeRng := rand.New(rand.NewSource(mix(cfg.Seed, int64(h), 0x9e3779b9)))
+		arch := archetypes[h%len(archetypes)]
+		home := &Home{ID: h, Archetype: arch, Vacation: vacationDays(homeRng, cfg)}
+		for di, prof := range profiles {
+			devRng := rand.New(rand.NewSource(mix(cfg.Seed, int64(h), int64(di)+1)))
+			home.Traces = append(home.Traces, synthTrace(devRng, homeRng, prof, arch, home.Vacation, cfg))
+		}
+		ds.Homes = append(ds.Homes, home)
+	}
+	return ds
+}
+
+// vacationDays draws the home's away days: in each week, with probability
+// VacationProb, a 2–6 day block starting at a random weekday is marked.
+func vacationDays(rng *rand.Rand, cfg Config) []bool {
+	away := make([]bool, cfg.Days)
+	if cfg.VacationProb <= 0 {
+		return away
+	}
+	for week := 0; week*7 < cfg.Days; week++ {
+		if rng.Float64() >= cfg.VacationProb {
+			continue
+		}
+		start := week*7 + rng.Intn(7)
+		length := 2 + rng.Intn(5)
+		for d := start; d < start+length && d < cfg.Days; d++ {
+			away[d] = true
+		}
+	}
+	return away
+}
+
+// mix folds three values into one 64-bit seed (splitmix-style).
+func mix(a, b, c int64) int64 {
+	z := uint64(a) + 0x9e3779b97f4a7c15*uint64(b+1) + 0xbf58476d1ce4e5b9*uint64(c+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// synthTrace builds one device's multi-day trace. Per home, each usage
+// window gets a fixed shift (archetype shift + jittered personal offset):
+// the *same* home behaves consistently day over day — that is the signal
+// forecasters learn — while different homes differ (non-IID).
+func synthTrace(devRng, homeRng *rand.Rand, prof DeviceProfile, arch Archetype, vacation []bool, cfg Config) *Trace {
+	n := cfg.Days * MinutesPerDay
+	// Per-home electrical heterogeneity: the same appliance class draws
+	// different standby/on power in different homes (different models,
+	// ages, firmware). This is the statistical heterogeneity the paper's
+	// personalization layers absorb: in OnKW-normalized state space, the
+	// standby plateau sits at a different level per home, so one global
+	// policy cannot place the standby band correctly for everyone.
+	dev := prof.Device
+	dev.StandbyKW *= 0.85 + 0.35*homeRng.Float64() // U[0.85, 1.20)
+	dev.OnKW *= 0.90 + 0.22*homeRng.Float64()      // U[0.90, 1.12)
+	tr := &Trace{
+		Device:    dev,
+		KW:        make([]float64, n),
+		TrueModes: make([]energy.Mode, n),
+	}
+	// Per-home window realization: archetype shift + personal jitter.
+	windows := make([]UsageWindow, len(prof.Windows))
+	for i, w := range prof.Windows {
+		shift := arch.ShiftMin + int(homeRng.NormFloat64()*float64(w.Jitter)/2)
+		w.StartMin = clampMinute(w.StartMin + shift)
+		w.EndMin = clampMinute(w.EndMin + shift)
+		if w.EndMin <= w.StartMin {
+			w.EndMin = clampMinute(w.StartMin + 30)
+		}
+		w.StartProb *= arch.UsageScale
+		windows[i] = w
+	}
+	nightOff := prof.NightOffProb * arch.ThriftScale
+
+	for day := 0; day < cfg.Days; day++ {
+		weekend := day%7 >= 5
+		season := seasonalUsage(prof.Device.Type, cfg.StartMonth, day)
+		offTonight := devRng.Float64() < nightOff
+		away := day < len(vacation) && vacation[day]
+		onLeft := 0 // remaining minutes of the current ON episode
+		for m := 0; m < MinutesPerDay; m++ {
+			idx := day*MinutesPerDay + m
+			var mode energy.Mode
+			switch {
+			case away:
+				// Empty home: everything idles in standby (or stays off
+				// overnight if tonight was an unplugged night).
+				mode = energy.Standby
+				if offTonight && m < 6*60 {
+					mode = energy.Off
+				}
+			case onLeft > 0:
+				mode = energy.On
+				onLeft--
+			case offTonight && m < 6*60:
+				mode = energy.Off
+			default:
+				mode = energy.Standby
+				// Daily per-window start draw with day-to-day jitter: the
+				// window is where it is for this home, but episode starts
+				// inside it are stochastic.
+				for _, w := range windows {
+					if m >= w.StartMin && m < w.EndMin {
+						p := w.StartProb * season
+						if weekend {
+							p *= prof.WeekendFactor
+						}
+						if devRng.Float64() < p {
+							mode = energy.On
+							onLeft = episodeDuration(devRng, w.MeanDurMin)
+						}
+						break
+					}
+				}
+			}
+			tr.TrueModes[idx] = mode
+			tr.KW[idx] = noisyLevel(devRng, dev, mode, cfg.NoiseFrac)
+		}
+	}
+	return tr
+}
+
+// seasonalUsage returns a usage-probability multiplier for a device type
+// on a calendar day. Climate-driven devices (hvac, water_heater) swing the
+// most: Texas summers drive cooling, winters drive heating and hot water.
+// Other devices get a mild winter-evening boost. startMonth 0 disables
+// seasonality.
+func seasonalUsage(devType string, startMonth, day int) float64 {
+	if startMonth < 1 || startMonth > 12 {
+		return 1
+	}
+	// Day-of-year phase; month lengths are approximated at 30.4 days,
+	// which is plenty for a usage modulation curve.
+	doy := float64((startMonth-1))*30.4 + float64(day%365)
+	phase := 2 * math.Pi * (doy - 196) / 365 // peak at mid-July
+	summer := (1 + math.Cos(phase)) / 2      // 1 in July, 0 in January
+	switch devType {
+	case "hvac":
+		return 0.6 + 1.2*summer // heavy cooling load in summer
+	case "water_heater":
+		return 1.4 - 0.8*summer // hot water demand peaks in winter
+	default:
+		return 1.1 - 0.2*summer // slightly more indoor usage in winter
+	}
+}
+
+// episodeDuration draws an ON duration around the mean (clamped ≥ 1).
+func episodeDuration(rng *rand.Rand, mean int) int {
+	d := int(float64(mean) * (0.5 + rng.Float64())) // U[0.5, 1.5)·mean
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// noisyLevel perturbs the nominal mode draw with multiplicative noise kept
+// strictly inside the paper's ±10% classification band. Off stays exactly 0.
+func noisyLevel(rng *rand.Rand, dev energy.Device, m energy.Mode, frac float64) float64 {
+	base := dev.PowerKW(m)
+	if m == energy.Off || base == 0 {
+		return 0
+	}
+	eps := (rng.Float64()*2 - 1) * frac
+	if eps > 0.09 {
+		eps = 0.09
+	} else if eps < -0.09 {
+		eps = -0.09
+	}
+	return base * (1 + eps)
+}
+
+func clampMinute(m int) int {
+	if m < 0 {
+		return 0
+	}
+	if m >= MinutesPerDay {
+		return MinutesPerDay - 1
+	}
+	return m
+}
+
+// SplitTrainTest splits a trace in time: the first frac of days for
+// training, the remainder for testing (the paper uses 80/20).
+func (tr *Trace) SplitTrainTest(frac float64) (train, test []float64) {
+	if frac <= 0 || frac >= 1 {
+		panic(fmt.Sprintf("pecan: split fraction %v outside (0,1)", frac))
+	}
+	days := tr.Days()
+	var cut int
+	if days >= 2 {
+		// Day-aligned split, with at least one day on each side.
+		cut = int(float64(days)*frac+0.5) * MinutesPerDay
+		if cut < MinutesPerDay {
+			cut = MinutesPerDay
+		}
+		if cut > len(tr.KW)-MinutesPerDay {
+			cut = len(tr.KW) - MinutesPerDay
+		}
+	} else {
+		// Single-day trace: sample-aligned split, never empty.
+		cut = int(float64(len(tr.KW)) * frac)
+		if cut < 1 {
+			cut = 1
+		}
+		if cut > len(tr.KW)-1 {
+			cut = len(tr.KW) - 1
+		}
+	}
+	return tr.KW[:cut], tr.KW[cut:]
+}
+
+// DeviceTypes lists the distinct device types in the dataset, in library
+// order (all homes share the same library subset).
+func (ds *Dataset) DeviceTypes() []string {
+	if len(ds.Homes) == 0 {
+		return nil
+	}
+	var out []string
+	for _, tr := range ds.Homes[0].Traces {
+		out = append(out, tr.Device.Type)
+	}
+	return out
+}
+
+// TotalStandbyKWh sums the ground-truth standby energy of the whole corpus;
+// the "available to save" denominator in the savings experiments.
+func (ds *Dataset) TotalStandbyKWh() float64 {
+	total := 0.0
+	for _, h := range ds.Homes {
+		for _, tr := range h.Traces {
+			for i, m := range tr.TrueModes {
+				if m == energy.Standby {
+					total += tr.KW[i] / 60
+				}
+			}
+		}
+	}
+	return total
+}

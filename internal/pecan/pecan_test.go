@@ -1,0 +1,299 @@
+package pecan
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/energy"
+)
+
+func TestGenerateShape(t *testing.T) {
+	ds := Generate(Config{Seed: 1, Homes: 3, Days: 2})
+	if len(ds.Homes) != 3 {
+		t.Fatalf("homes = %d", len(ds.Homes))
+	}
+	lib := len(StandardDevices())
+	for _, h := range ds.Homes {
+		if len(h.Traces) != lib {
+			t.Fatalf("home %d has %d traces, want %d", h.ID, len(h.Traces), lib)
+		}
+		for _, tr := range h.Traces {
+			if len(tr.KW) != 2*MinutesPerDay || len(tr.TrueModes) != 2*MinutesPerDay {
+				t.Fatalf("trace length %d, want %d", len(tr.KW), 2*MinutesPerDay)
+			}
+			if tr.Days() != 2 {
+				t.Fatalf("Days() = %d", tr.Days())
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 42, Homes: 2, Days: 1})
+	b := Generate(Config{Seed: 42, Homes: 2, Days: 1})
+	for hi := range a.Homes {
+		for ti := range a.Homes[hi].Traces {
+			ta, tb := a.Homes[hi].Traces[ti], b.Homes[hi].Traces[ti]
+			for i := range ta.KW {
+				if ta.KW[i] != tb.KW[i] || ta.TrueModes[i] != tb.TrueModes[i] {
+					t.Fatalf("non-deterministic at home %d trace %d idx %d", hi, ti, i)
+				}
+			}
+		}
+	}
+	c := Generate(Config{Seed: 43, Homes: 2, Days: 1})
+	same := true
+	for i := range a.Homes[0].Traces[0].KW {
+		if a.Homes[0].Traces[0].KW[i] != c.Homes[0].Traces[0].KW[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestDevicesPerHomeLimit(t *testing.T) {
+	ds := Generate(Config{Seed: 1, Homes: 1, Days: 1, DevicesPerHome: 3})
+	if len(ds.Homes[0].Traces) != 3 {
+		t.Fatalf("traces = %d, want 3", len(ds.Homes[0].Traces))
+	}
+	if got := len(ds.DeviceTypes()); got != 3 {
+		t.Fatalf("DeviceTypes = %d", got)
+	}
+}
+
+// TestClassificationMatchesGroundTruth is the contract between generator
+// and pipeline: the noisy readings must classify back to the true modes via
+// the paper's band rule.
+func TestClassificationMatchesGroundTruth(t *testing.T) {
+	ds := Generate(Config{Seed: 7, Homes: 2, Days: 2})
+	for _, h := range ds.Homes {
+		for _, tr := range h.Traces {
+			got := tr.Device.ClassifySeries(tr.KW)
+			for i, m := range tr.TrueModes {
+				if got[i] != m {
+					t.Fatalf("home %d %s minute %d: classified %v, truth %v (kw=%v)",
+						h.ID, tr.Device.Type, i, got[i], m, tr.KW[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAllThreeModesPresent(t *testing.T) {
+	ds := Generate(Config{Seed: 11, Homes: 4, Days: 7})
+	var seen [3]bool
+	for _, h := range ds.Homes {
+		for _, tr := range h.Traces {
+			for _, m := range tr.TrueModes {
+				seen[m] = true
+			}
+		}
+	}
+	if !seen[energy.Off] || !seen[energy.Standby] || !seen[energy.On] {
+		t.Fatalf("modes present = %v, want all three", seen)
+	}
+}
+
+func TestStandbyDominatesIdleTime(t *testing.T) {
+	// Standby should be the most common mode — that's the premise of the
+	// paper (devices mostly wait for commands).
+	ds := Generate(Config{Seed: 3, Homes: 2, Days: 3})
+	counts := map[energy.Mode]int{}
+	for _, h := range ds.Homes {
+		for _, tr := range h.Traces {
+			for _, m := range tr.TrueModes {
+				counts[m]++
+			}
+		}
+	}
+	if counts[energy.Standby] <= counts[energy.On] || counts[energy.Standby] <= counts[energy.Off] {
+		t.Fatalf("standby not dominant: %v", counts)
+	}
+}
+
+func TestDiurnalStructure(t *testing.T) {
+	// Usage (On minutes) must concentrate in daytime/evening vs deep night.
+	ds := Generate(Config{Seed: 5, Homes: 6, Days: 14})
+	var nightOn, eveningOn int
+	for _, h := range ds.Homes {
+		for _, tr := range h.Traces {
+			for i, m := range tr.TrueModes {
+				if m != energy.On {
+					continue
+				}
+				minute := i % MinutesPerDay
+				switch {
+				case minute >= 2*60 && minute < 5*60:
+					nightOn++
+				case minute >= 18*60 && minute < 21*60:
+					eveningOn++
+				}
+			}
+		}
+	}
+	if eveningOn < 5*nightOn {
+		t.Fatalf("no diurnal structure: night ON=%d evening ON=%d", nightOn, eveningOn)
+	}
+}
+
+func TestNonIIDAcrossArchetypes(t *testing.T) {
+	// Homes with different archetypes must differ in their usage timing:
+	// compare the per-minute ON histogram of a night_owl vs an early_riser.
+	ds := Generate(Config{Seed: 9, Homes: 4, Days: 30})
+	onCenter := func(h *Home) float64 {
+		sum, n := 0.0, 0
+		for _, tr := range h.Traces {
+			for i, m := range tr.TrueModes {
+				if m == energy.On {
+					sum += float64(i % MinutesPerDay)
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	var early, owl *Home
+	for _, h := range ds.Homes {
+		switch h.Archetype.Name {
+		case "early_riser":
+			early = h
+		case "night_owl":
+			owl = h
+		}
+	}
+	if early == nil || owl == nil {
+		t.Fatal("archetypes missing from 4-home corpus")
+	}
+	if onCenter(owl)-onCenter(early) < 30 {
+		t.Fatalf("archetypes not separated: early center %.0f, owl center %.0f",
+			onCenter(early), onCenter(owl))
+	}
+}
+
+func TestSplitTrainTest(t *testing.T) {
+	ds := Generate(Config{Seed: 1, Homes: 1, Days: 10, DevicesPerHome: 1})
+	tr := ds.Homes[0].Traces[0]
+	train, test := tr.SplitTrainTest(0.8)
+	if len(train) != 8*MinutesPerDay || len(test) != 2*MinutesPerDay {
+		t.Fatalf("split sizes %d/%d", len(train), len(test))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("split with frac 0 did not panic")
+			}
+		}()
+		tr.SplitTrainTest(0)
+	}()
+}
+
+func TestSplitNeverEmpty(t *testing.T) {
+	ds := Generate(Config{Seed: 1, Homes: 1, Days: 1, DevicesPerHome: 1})
+	tr := ds.Homes[0].Traces[0]
+	train, test := tr.SplitTrainTest(0.99)
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatalf("degenerate split %d/%d", len(train), len(test))
+	}
+}
+
+func TestTraceByTypeAndTotals(t *testing.T) {
+	ds := Generate(Config{Seed: 1, Homes: 1, Days: 1})
+	if ds.Homes[0].TraceByType("tv") == nil {
+		t.Fatal("tv trace missing")
+	}
+	if ds.Homes[0].TraceByType("nonexistent") != nil {
+		t.Fatal("nonexistent trace found")
+	}
+	if ds.TotalStandbyKWh() <= 0 {
+		t.Fatal("no standby energy in corpus")
+	}
+}
+
+func TestStandardDevicesValid(t *testing.T) {
+	for _, p := range StandardDevices() {
+		if err := p.Device.Validate(); err != nil {
+			t.Fatalf("library device invalid: %v", err)
+		}
+		if len(p.Windows) == 0 {
+			t.Fatalf("device %s has no usage windows", p.Device.Type)
+		}
+		for _, w := range p.Windows {
+			if w.StartMin < 0 || w.EndMin > MinutesPerDay || w.StartMin >= w.EndMin {
+				t.Fatalf("device %s has bad window %+v", p.Device.Type, w)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := Generate(Config{Seed: 2, Homes: 2, Days: 1, DevicesPerHome: 2})
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Homes) != 2 {
+		t.Fatalf("round-trip homes = %d", len(back.Homes))
+	}
+	for hi, h := range ds.Homes {
+		bh := back.Homes[hi]
+		if bh.Archetype.Name != h.Archetype.Name {
+			t.Fatalf("archetype mismatch %q vs %q", bh.Archetype.Name, h.Archetype.Name)
+		}
+		for ti, tr := range h.Traces {
+			btr := bh.Traces[ti]
+			if btr.Device.Type != tr.Device.Type {
+				t.Fatalf("device order changed")
+			}
+			for i := range tr.KW {
+				if tr.KW[i] != btr.KW[i] || tr.TrueModes[i] != btr.TrueModes[i] {
+					t.Fatalf("CSV round-trip mismatch home %d trace %d idx %d", hi, ti, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("bad,header\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	good := "home_id,archetype,device,minute,kw,mode\n"
+	if _, err := ReadCSV(bytes.NewBufferString(good + "x,worker,tv,0,0.1,on\n")); err == nil {
+		t.Fatal("bad home_id accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString(good + "0,worker,tv,0,oops,on\n")); err == nil {
+		t.Fatal("bad kw accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString(good + "0,worker,tv,0,0.1,sleeping\n")); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestPropKWNonNegativeAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := Generate(Config{Seed: seed, Homes: 1, Days: 1, DevicesPerHome: 2})
+		for _, tr := range ds.Homes[0].Traces {
+			limit := tr.Device.OnKW * 1.1
+			for _, kw := range tr.KW {
+				if kw < 0 || kw > limit {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package pecan synthesizes a device-level residential load corpus that
+// stands in for the Pecan Street Dataport traces the paper evaluates on
+// (the real corpus is proprietary). The generator reproduces the properties
+// the PFDRL pipeline exploits:
+//
+//   - minute-resolution per-device consumption with three distinguishable
+//     operation plateaus (off / standby / on) inside the paper's 0.9–1.1
+//     classification bands;
+//   - strong diurnal structure (usage windows) so recurrent forecasters
+//     have something to learn, with hour-dependent regularity — nights and
+//     early afternoons are consistent across days, mornings and evenings
+//     vary — matching the accuracy-by-hour shape of the paper's Figure 6;
+//   - inter-home statistical heterogeneity (non-IID): homes belong to
+//     occupancy archetypes that shift and rescale the usage windows, which
+//     is what the personalization layers are supposed to absorb.
+//
+// Everything is deterministic in (Config.Seed, home index, device index):
+// two runs with the same configuration produce identical corpora, which the
+// experiment harness relies on for reproducibility.
+package pecan
+
+import (
+	"repro/internal/energy"
+)
+
+// UsageWindow is a daily time span during which a device may run.
+type UsageWindow struct {
+	// StartMin and EndMin bound the window in minutes after midnight.
+	StartMin, EndMin int
+	// StartProb is the per-minute probability that an idle device begins an
+	// ON episode inside this window.
+	StartProb float64
+	// MeanDurMin is the mean ON-episode duration in minutes.
+	MeanDurMin int
+	// Jitter is the per-home window shift standard deviation in minutes —
+	// the main lever that makes mornings/evenings less predictable than
+	// nights (bigger jitter ⇒ lower forecast accuracy in that window).
+	Jitter int
+}
+
+// DeviceProfile couples the electrical signature of a device type with its
+// behavioural pattern.
+type DeviceProfile struct {
+	Device energy.Device
+	// Windows are the daily usage windows.
+	Windows []UsageWindow
+	// NightOffProb is the probability (per day, per home) that the device is
+	// fully unplugged overnight (00:00–06:00) instead of idling in standby.
+	// This is what puts genuine Off labels in the corpus.
+	NightOffProb float64
+	// WeekendFactor scales window start probabilities on weekends.
+	WeekendFactor float64
+}
+
+// StandardDevices is the device library: draws are calibrated to published
+// standby/active measurements for common appliances (LBNL standby tables,
+// Raj et al. 2009 — the paper's own citation for standby levels).
+func StandardDevices() []DeviceProfile {
+	return []DeviceProfile{
+		{
+			Device: energy.Device{Type: "tv", StandbyKW: 0.006, OnKW: 0.12},
+			Windows: []UsageWindow{
+				{StartMin: 7 * 60, EndMin: 9 * 60, StartProb: 0.01, MeanDurMin: 30, Jitter: 50},
+				{StartMin: 18 * 60, EndMin: 23 * 60, StartProb: 0.02, MeanDurMin: 90, Jitter: 60},
+			},
+			NightOffProb:  0.05,
+			WeekendFactor: 1.5,
+		},
+		{
+			Device: energy.Device{Type: "computer", StandbyKW: 0.008, OnKW: 0.2},
+			Windows: []UsageWindow{
+				{StartMin: 8 * 60, EndMin: 11 * 60, StartProb: 0.012, MeanDurMin: 80, Jitter: 45},
+				{StartMin: 19 * 60, EndMin: 23 * 60, StartProb: 0.015, MeanDurMin: 60, Jitter: 55},
+			},
+			NightOffProb:  0.1,
+			WeekendFactor: 1.2,
+		},
+		{
+			Device: energy.Device{Type: "game_console", StandbyKW: 0.01, OnKW: 0.15},
+			Windows: []UsageWindow{
+				{StartMin: 16 * 60, EndMin: 22 * 60, StartProb: 0.008, MeanDurMin: 70, Jitter: 70},
+			},
+			NightOffProb:  0.08,
+			WeekendFactor: 2.0,
+		},
+		{
+			Device: energy.Device{Type: "microwave", StandbyKW: 0.003, OnKW: 1.2},
+			Windows: []UsageWindow{
+				{StartMin: 7 * 60, EndMin: 8*60 + 30, StartProb: 0.02, MeanDurMin: 4, Jitter: 35},
+				{StartMin: 12 * 60, EndMin: 13 * 60, StartProb: 0.03, MeanDurMin: 4, Jitter: 15},
+				{StartMin: 18 * 60, EndMin: 20 * 60, StartProb: 0.025, MeanDurMin: 5, Jitter: 45},
+			},
+			NightOffProb:  0.02,
+			WeekendFactor: 1.1,
+		},
+		{
+			Device: energy.Device{Type: "washer", StandbyKW: 0.002, OnKW: 0.5},
+			Windows: []UsageWindow{
+				{StartMin: 9 * 60, EndMin: 12 * 60, StartProb: 0.004, MeanDurMin: 45, Jitter: 60},
+			},
+			NightOffProb:  0.15,
+			WeekendFactor: 2.5,
+		},
+		{
+			Device: energy.Device{Type: "coffee_maker", StandbyKW: 0.002, OnKW: 0.9},
+			Windows: []UsageWindow{
+				{StartMin: 6 * 60, EndMin: 8 * 60, StartProb: 0.03, MeanDurMin: 8, Jitter: 25},
+			},
+			NightOffProb:  0.1,
+			WeekendFactor: 1.3,
+		},
+		{
+			Device: energy.Device{Type: "printer", StandbyKW: 0.005, OnKW: 0.3},
+			Windows: []UsageWindow{
+				{StartMin: 9 * 60, EndMin: 17 * 60, StartProb: 0.003, MeanDurMin: 6, Jitter: 80},
+			},
+			NightOffProb:  0.2,
+			WeekendFactor: 0.5,
+		},
+		{
+			Device: energy.Device{Type: "hvac", StandbyKW: 0.012, OnKW: 3.0},
+			Windows: []UsageWindow{
+				{StartMin: 6 * 60, EndMin: 9 * 60, StartProb: 0.02, MeanDurMin: 40, Jitter: 30},
+				{StartMin: 13 * 60, EndMin: 16 * 60, StartProb: 0.015, MeanDurMin: 35, Jitter: 20},
+				{StartMin: 18 * 60, EndMin: 22 * 60, StartProb: 0.02, MeanDurMin: 45, Jitter: 50},
+			},
+			NightOffProb:  0.01,
+			WeekendFactor: 1.1,
+		},
+		{
+			Device: energy.Device{Type: "water_heater", StandbyKW: 0.004, OnKW: 4.5},
+			Windows: []UsageWindow{
+				{StartMin: 6 * 60, EndMin: 8 * 60, StartProb: 0.025, MeanDurMin: 20, Jitter: 30},
+				{StartMin: 20 * 60, EndMin: 22 * 60, StartProb: 0.02, MeanDurMin: 20, Jitter: 40},
+			},
+			NightOffProb:  0.02,
+			WeekendFactor: 1.0,
+		},
+		{
+			Device: energy.Device{Type: "smart_lighting", StandbyKW: 0.0015, OnKW: 0.06},
+			Windows: []UsageWindow{
+				{StartMin: 6 * 60, EndMin: 8 * 60, StartProb: 0.03, MeanDurMin: 60, Jitter: 30},
+				{StartMin: 18 * 60, EndMin: 23*60 + 30, StartProb: 0.04, MeanDurMin: 150, Jitter: 45},
+			},
+			NightOffProb:  0.03,
+			WeekendFactor: 1.1,
+		},
+	}
+}
+
+// Archetype is an occupancy pattern; it is the source of non-IID structure
+// across residences.
+type Archetype struct {
+	// Name identifies the archetype.
+	Name string
+	// ShiftMin translates every usage window (positive = later in the day).
+	ShiftMin int
+	// UsageScale multiplies window start probabilities.
+	UsageScale float64
+	// ThriftProb scales NightOffProb: thrifty homes unplug more.
+	ThriftScale float64
+}
+
+// StandardArchetypes returns the four occupancy archetypes homes are drawn
+// from.
+func StandardArchetypes() []Archetype {
+	return []Archetype{
+		{Name: "worker", ShiftMin: 0, UsageScale: 1.0, ThriftScale: 1.0},
+		{Name: "early_riser", ShiftMin: -75, UsageScale: 1.1, ThriftScale: 1.5},
+		{Name: "night_owl", ShiftMin: 120, UsageScale: 1.05, ThriftScale: 0.6},
+		{Name: "homebody", ShiftMin: 30, UsageScale: 1.6, ThriftScale: 0.8},
+	}
+}

@@ -1,0 +1,100 @@
+package pecan
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+)
+
+func onMinutes(ds *Dataset, devType string) int {
+	n := 0
+	for _, h := range ds.Homes {
+		tr := h.TraceByType(devType)
+		if tr == nil {
+			continue
+		}
+		for _, m := range tr.TrueModes {
+			if m == energy.On {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestSeasonalModulationHVAC(t *testing.T) {
+	// HVAC usage in July must exceed January at the same seed.
+	july := Generate(Config{Seed: 4, Homes: 4, Days: 10, StartMonth: 7})
+	jan := Generate(Config{Seed: 4, Homes: 4, Days: 10, StartMonth: 1})
+	jh, janH := onMinutes(july, "hvac"), onMinutes(jan, "hvac")
+	if jh <= janH {
+		t.Fatalf("hvac July ON=%d should exceed January ON=%d", jh, janH)
+	}
+	// Water heater flips: winter demand exceeds summer.
+	jw, janW := onMinutes(july, "water_heater"), onMinutes(jan, "water_heater")
+	if jw >= janW {
+		t.Fatalf("water_heater July ON=%d should undercut January ON=%d", jw, janW)
+	}
+}
+
+func TestSeasonalityDisabledByDefault(t *testing.T) {
+	a := Generate(Config{Seed: 5, Homes: 1, Days: 2})
+	b := Generate(Config{Seed: 5, Homes: 1, Days: 2, StartMonth: 0})
+	for ti := range a.Homes[0].Traces {
+		ta, tb := a.Homes[0].Traces[ti], b.Homes[0].Traces[ti]
+		for i := range ta.KW {
+			if ta.KW[i] != tb.KW[i] {
+				t.Fatal("StartMonth 0 should be identical to unset")
+			}
+		}
+	}
+}
+
+func TestSeasonalUsageBounds(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		for day := 0; day < 365; day += 30 {
+			for _, dt := range []string{"hvac", "water_heater", "tv"} {
+				f := seasonalUsage(dt, m, day)
+				if f <= 0 || f > 2.0 {
+					t.Fatalf("seasonalUsage(%s, %d, %d) = %v out of bounds", dt, m, day, f)
+				}
+			}
+		}
+	}
+	if seasonalUsage("tv", 0, 5) != 1 || seasonalUsage("tv", 13, 5) != 1 {
+		t.Fatal("invalid month should disable seasonality")
+	}
+}
+
+func TestVacationDays(t *testing.T) {
+	ds := Generate(Config{Seed: 8, Homes: 6, Days: 21, DevicesPerHome: 1, VacationProb: 0.9})
+	anyVacation := false
+	for _, h := range ds.Homes {
+		for d, away := range h.Vacation {
+			if !away {
+				continue
+			}
+			anyVacation = true
+			// No device usage on away days.
+			for _, tr := range h.Traces {
+				for m := 0; m < MinutesPerDay; m++ {
+					if tr.TrueModes[d*MinutesPerDay+m] == energy.On {
+						t.Fatalf("home %d device %s ON during vacation day %d", h.ID, tr.Device.Type, d)
+					}
+				}
+			}
+		}
+	}
+	if !anyVacation {
+		t.Fatal("VacationProb 0.9 over 3 weeks produced no vacations")
+	}
+	// Disabled by default.
+	plain := Generate(Config{Seed: 8, Homes: 2, Days: 7})
+	for _, h := range plain.Homes {
+		for _, away := range h.Vacation {
+			if away {
+				t.Fatal("vacation without VacationProb")
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package plot renders experiment results as standalone SVG line charts —
+// no dependencies, suitable for dropping into a README or a paper draft.
+// cmd/pfdrl-bench uses it (flag -svg) to emit one chart per regenerated
+// figure.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	// Y values, aligned with the chart's X values.
+	Y []float64
+}
+
+// Chart is a line chart specification.
+type Chart struct {
+	Title          string
+	XLabel, YLabel string
+	// X values shared by all series.
+	X      []float64
+	Series []Series
+	// Width/Height in pixels (defaults 640×400).
+	Width, Height int
+}
+
+// palette holds distinguishable line colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+const margin = 56.0
+
+// SVG renders the chart.
+func (c *Chart) SVG() (string, error) {
+	if len(c.X) == 0 {
+		return "", fmt.Errorf("plot: chart %q has no x values", c.Title)
+	}
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.X) {
+			return "", fmt.Errorf("plot: series %q has %d points, x has %d", s.Name, len(s.Y), len(c.X))
+		}
+	}
+	w, h := float64(c.Width), float64(c.Height)
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 400
+	}
+
+	xMin, xMax := minMax(c.X)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		lo, hi := minMax(s.Y)
+		yMin = math.Min(yMin, lo)
+		yMax = math.Max(yMax, hi)
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	// Pad the y range 5% so lines don't hug the frame.
+	pad := (yMax - yMin) * 0.05
+	yMin -= pad
+	yMax += pad
+
+	px := func(x float64) float64 { return margin + (x-xMin)/(xMax-xMin)*(w-2*margin) }
+	py := func(y float64) float64 { return h - margin - (y-yMin)/(yMax-yMin)*(h-2*margin) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%.0f" height="%.0f" fill="white"/>`+"\n", w, h)
+	// Frame.
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#333" stroke-width="1"/>`+"\n",
+		margin, margin, w-2*margin, h-2*margin)
+	// Title and axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		w/2, margin/2+5, escape(c.Title))
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+		w/2, h-10, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		h/2, h/2, escape(c.YLabel))
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := xMin + (xMax-xMin)*float64(i)/4
+		fy := yMin + (yMax-yMin)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ccc" stroke-width="0.5"/>`+"\n",
+			px(fx), margin, px(fx), h-margin)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ccc" stroke-width="0.5"/>`+"\n",
+			margin, py(fy), w-margin, py(fy))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			px(fx), h-margin+14, fmtTick(fx))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			margin-5, py(fy)+3, fmtTick(fy))
+	}
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i, y := range s.Y {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(c.X[i]), py(y)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i, y := range s.Y {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="%s"/>`+"\n", px(c.X[i]), py(y), color)
+		}
+		// Legend entry.
+		lx, ly := w-margin-120, margin+14+float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly-4, lx+20, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+26, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func minMax(xs []float64) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,120 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "Accuracy vs days",
+		XLabel: "day",
+		YLabel: "accuracy",
+		X:      []float64{1, 2, 3, 4},
+		Series: []Series{
+			{Name: "LSTM", Y: []float64{0.3, 0.5, 0.6, 0.65}},
+			{Name: "LR", Y: []float64{0.2, 0.22, 0.21, 0.2}},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg, err := sampleChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be parseable XML.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "Accuracy vs days", "LSTM", "LR", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Two series → two polylines.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2", got)
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	if _, err := (&Chart{Title: "empty"}).SVG(); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	c := sampleChart()
+	c.Series[0].Y = []float64{1}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	flat := &Chart{X: []float64{1, 1}, Series: []Series{{Name: "s", Y: []float64{2, 2}}}}
+	if _, err := flat.SVG(); err != nil {
+		t.Fatalf("degenerate ranges should still render: %v", err)
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	c := sampleChart()
+	c.Title = `a<b & c>d`
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "a<b") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; c&gt;d") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestFromTable(t *testing.T) {
+	header := []string{"day", "LSTM", "LR"}
+	rows := [][]string{
+		{"1", "0.3", "0.2"},
+		{"2", "0.5", "0.25"},
+		{"best", "2", ""}, // summary row skipped
+	}
+	c, err := FromTable("t", header, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.X) != 2 || len(c.Series) != 2 {
+		t.Fatalf("chart shape: %d x-points, %d series", len(c.X), len(c.Series))
+	}
+	if c.Series[0].Name != "LSTM" || c.Series[0].Y[1] != 0.5 {
+		t.Fatalf("series wrong: %+v", c.Series[0])
+	}
+}
+
+func TestFromTableSkipsNonNumericColumns(t *testing.T) {
+	header := []string{"x", "num", "label"}
+	rows := [][]string{{"1", "2", "hello"}, {"2", "3", "world"}}
+	c, err := FromTable("t", header, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Series) != 1 || c.Series[0].Name != "num" {
+		t.Fatalf("series selection wrong: %+v", c.Series)
+	}
+}
+
+func TestFromTableErrors(t *testing.T) {
+	if _, err := FromTable("t", []string{"one"}, nil); err == nil {
+		t.Fatal("single-column table accepted")
+	}
+	if _, err := FromTable("t", []string{"x", "y"}, [][]string{{"a", "b"}}); err == nil {
+		t.Fatal("no numeric rows accepted")
+	}
+	if _, err := FromTable("t", []string{"x", "y"}, [][]string{{"1", "zzz"}}); err == nil {
+		t.Fatal("no numeric series accepted")
+	}
+}

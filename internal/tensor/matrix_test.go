@@ -1,0 +1,229 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewShapeAndZero(t *testing.T) {
+	m := New(3, 4)
+	r, c := m.Shape()
+	if r != 3 || c != 4 {
+		t.Fatalf("Shape() = (%d,%d), want (3,4)", r, c)
+	}
+	if m.Size() != 12 {
+		t.Fatalf("Size() = %d, want 12", m.Size())
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestNewPanicsOnNegativeShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 2) did not panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestNewFromSlicePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFromSlice with wrong length did not panic")
+		}
+	}()
+	NewFromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	if got := m.Data[1*3+2]; got != 7.5 {
+		t.Fatalf("row-major layout broken: Data[5] = %v", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	m := New(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("At(%d,%d) did not panic", idx[0], idx[1])
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			want := 0.0
+			if r == c {
+				want = 1
+			}
+			if id.At(r, c) != want {
+				t.Fatalf("Identity(3)[%d,%d] = %v, want %v", r, c, id.At(r, c), want)
+			}
+		}
+	}
+}
+
+func TestRowAliasesStorage(t *testing.T) {
+	m := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	row := m.Row(1)
+	row[0] = 99
+	if m.At(1, 0) != 99 {
+		t.Fatal("Row did not alias matrix storage")
+	}
+}
+
+func TestColCopies(t *testing.T) {
+	m := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	col := m.Col(1)
+	if col[0] != 2 || col[1] != 4 {
+		t.Fatalf("Col(1) = %v, want [2 4]", col)
+	}
+	col[0] = 42
+	if m.At(0, 1) != 2 {
+		t.Fatal("Col must return a copy")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewFromSlice(1, 2, []float64{1, 2})
+	n := m.Clone()
+	n.Data[0] = 50
+	if m.Data[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestEqualAndAlmostEqual(t *testing.T) {
+	a := NewFromSlice(1, 2, []float64{1, 2})
+	b := NewFromSlice(1, 2, []float64{1, 2 + 1e-12})
+	if a.Equal(b) {
+		t.Fatal("Equal should be exact")
+	}
+	if !a.AlmostEqual(b, 1e-9) {
+		t.Fatal("AlmostEqual(1e-9) should accept 1e-12 difference")
+	}
+	c := NewFromSlice(2, 1, []float64{1, 2})
+	if a.Equal(c) || a.AlmostEqual(c, 1) {
+		t.Fatal("shape mismatch must compare unequal")
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	m := NewFromSlice(1, 3, []float64{1, 2, 3})
+	if m.HasNaN() {
+		t.Fatal("clean matrix reported NaN")
+	}
+	m.Data[1] = math.NaN()
+	if !m.HasNaN() {
+		t.Fatal("NaN not detected")
+	}
+	m.Data[1] = math.Inf(1)
+	if !m.HasNaN() {
+		t.Fatal("+Inf not detected")
+	}
+}
+
+func TestSetRowAndCopyFrom(t *testing.T) {
+	m := New(2, 3)
+	m.SetRow(0, []float64{1, 2, 3})
+	if m.At(0, 2) != 3 {
+		t.Fatalf("SetRow failed: %v", m.Row(0))
+	}
+	n := New(2, 3)
+	n.CopyFrom(m)
+	if !n.Equal(m) {
+		t.Fatal("CopyFrom did not copy")
+	}
+	bad := New(3, 2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("CopyFrom shape mismatch did not panic")
+			}
+		}()
+		bad.CopyFrom(m)
+	}()
+}
+
+func TestFillAndZero(t *testing.T) {
+	m := New(2, 2)
+	m.Fill(3)
+	if m.Sum() != 12 {
+		t.Fatalf("Fill(3) sum = %v, want 12", m.Sum())
+	}
+	m.Zero()
+	if m.Sum() != 0 {
+		t.Fatal("Zero did not zero")
+	}
+}
+
+func TestFull(t *testing.T) {
+	m := Full(2, 3, 1.5)
+	if m.Rows != 2 || m.Cols != 3 || m.Sum() != 9 {
+		t.Fatalf("Full(2,3,1.5) wrong: %v", m)
+	}
+}
+
+func TestRowColVectors(t *testing.T) {
+	rv := NewRowVector([]float64{1, 2, 3})
+	if rv.Rows != 1 || rv.Cols != 3 {
+		t.Fatalf("NewRowVector shape %dx%d", rv.Rows, rv.Cols)
+	}
+	cv := NewColVector([]float64{1, 2, 3})
+	if cv.Rows != 3 || cv.Cols != 1 {
+		t.Fatalf("NewColVector shape %dx%d", cv.Rows, cv.Cols)
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := NewFromSlice(1, 2, []float64{1, 2})
+	if s := small.String(); s == "" {
+		t.Fatal("empty String for small matrix")
+	}
+	large := New(10, 10)
+	if s := large.String(); s != "Matrix(10x10)" {
+		t.Fatalf("large String = %q", s)
+	}
+}
+
+func TestRandInitializersShapesAndRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := RandUniform(rng, 5, 5, -2, 3)
+	for _, v := range u.Data {
+		if v < -2 || v >= 3 {
+			t.Fatalf("RandUniform value %v outside [-2,3)", v)
+		}
+	}
+	n := RandNormal(rng, 50, 50, 1, 0.1)
+	if m := n.Mean(); math.Abs(m-1) > 0.05 {
+		t.Fatalf("RandNormal mean = %v, want ~1", m)
+	}
+	x := XavierUniform(rng, 100, 100)
+	bound := math.Sqrt(6.0 / 200.0)
+	for _, v := range x.Data {
+		if math.Abs(v) > bound {
+			t.Fatalf("Xavier value %v outside ±%v", v, bound)
+		}
+	}
+	h := HeNormal(rng, 64, 64)
+	if h.Rows != 64 || h.Cols != 64 {
+		t.Fatal("HeNormal wrong shape")
+	}
+}

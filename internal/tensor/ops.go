@@ -1,0 +1,302 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// shapeMatch panics unless a and b have the same shape.
+func shapeMatch(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Matrix) *Matrix {
+	shapeMatch("Add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// AddInto computes dst = a+b elementwise. dst may alias a or b.
+func AddInto(dst, a, b *Matrix) {
+	shapeMatch("AddInto", a, b)
+	shapeMatch("AddInto dst", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// AddScaled computes m += alpha*delta in place.
+func (m *Matrix) AddScaled(delta *Matrix, alpha float64) {
+	shapeMatch("AddScaled", m, delta)
+	for i := range m.Data {
+		m.Data[i] += alpha * delta.Data[i]
+	}
+}
+
+// Sub returns a-b elementwise.
+func Sub(a, b *Matrix) *Matrix {
+	shapeMatch("Sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// SubInto computes dst = a-b elementwise. dst may alias a or b.
+func SubInto(dst, a, b *Matrix) {
+	shapeMatch("SubInto", a, b)
+	shapeMatch("SubInto dst", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// Hadamard returns the elementwise product a*b.
+func Hadamard(a, b *Matrix) *Matrix {
+	shapeMatch("Hadamard", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// HadamardInto computes dst = a*b elementwise.
+func HadamardInto(dst, a, b *Matrix) {
+	shapeMatch("HadamardInto", a, b)
+	shapeMatch("HadamardInto dst", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// Scale returns alpha*a.
+func Scale(a *Matrix, alpha float64) *Matrix {
+	out := New(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = alpha * a.Data[i]
+	}
+	return out
+}
+
+// ScaleInPlace computes m *= alpha.
+func (m *Matrix) ScaleInPlace(alpha float64) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// AddScalar returns a matrix with alpha added to every element of a.
+func AddScalar(a *Matrix, alpha float64) *Matrix {
+	out := New(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + alpha
+	}
+	return out
+}
+
+// Apply returns f applied elementwise to a.
+func Apply(a *Matrix, f func(float64) float64) *Matrix {
+	out := New(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = f(a.Data[i])
+	}
+	return out
+}
+
+// ApplyInPlace applies f elementwise to m.
+func (m *Matrix) ApplyInPlace(f func(float64) float64) {
+	for i := range m.Data {
+		m.Data[i] = f(m.Data[i])
+	}
+}
+
+// Transpose returns a^T.
+func Transpose(a *Matrix) *Matrix {
+	out := New(a.Cols, a.Rows)
+	for r := 0; r < a.Rows; r++ {
+		base := r * a.Cols
+		for c := 0; c < a.Cols; c++ {
+			out.Data[c*a.Rows+r] = a.Data[base+c]
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements, or 0 for an empty matrix.
+func (m *Matrix) Mean() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.Data))
+}
+
+// Max returns the largest element. It panics on an empty matrix.
+func (m *Matrix) Max() float64 {
+	if len(m.Data) == 0 {
+		panic("tensor: Max of empty matrix")
+	}
+	best := m.Data[0]
+	for _, v := range m.Data[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Min returns the smallest element. It panics on an empty matrix.
+func (m *Matrix) Min() float64 {
+	if len(m.Data) == 0 {
+		panic("tensor: Min of empty matrix")
+	}
+	best := m.Data[0]
+	for _, v := range m.Data[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// ArgMax returns the flat index of the largest element (first on ties).
+// It panics on an empty matrix.
+func (m *Matrix) ArgMax() int {
+	if len(m.Data) == 0 {
+		panic("tensor: ArgMax of empty matrix")
+	}
+	best, bi := m.Data[0], 0
+	for i, v := range m.Data[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// RowArgMax returns, for each row, the column index of that row's maximum.
+func (m *Matrix) RowArgMax() []int {
+	out := make([]int, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		best, bi := row[0], 0
+		for c, v := range row[1:] {
+			if v > best {
+				best, bi = v, c+1
+			}
+		}
+		out[r] = bi
+	}
+	return out
+}
+
+// Norm2 returns the Frobenius (L2) norm of m.
+func (m *Matrix) Norm2() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of two equally-shaped matrices viewed as
+// flat vectors.
+func Dot(a, b *Matrix) float64 {
+	shapeMatch("Dot", a, b)
+	s := 0.0
+	for i, v := range a.Data {
+		s += v * b.Data[i]
+	}
+	return s
+}
+
+// ClipInPlace clamps every element of m into [-limit, limit].
+// A non-positive limit is a no-op.
+func (m *Matrix) ClipInPlace(limit float64) {
+	if limit <= 0 {
+		return
+	}
+	for i, v := range m.Data {
+		if v > limit {
+			m.Data[i] = limit
+		} else if v < -limit {
+			m.Data[i] = -limit
+		}
+	}
+}
+
+// AddRowVectorInPlace adds the 1xC row vector v to every row of m.
+func (m *Matrix) AddRowVectorInPlace(v *Matrix) {
+	if v.Rows != 1 || v.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector shape %dx%d incompatible with %dx%d", v.Rows, v.Cols, m.Rows, m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c := range row {
+			row[c] += v.Data[c]
+		}
+	}
+}
+
+// ColSums returns a 1xC row vector with the sum of each column of m.
+func (m *Matrix) ColSums() *Matrix {
+	out := New(1, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, v := range row {
+			out.Data[c] += v
+		}
+	}
+	return out
+}
+
+// Concat returns the horizontal concatenation [a | b]. Row counts must match.
+func Concat(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: Concat row mismatch %d vs %d", a.Rows, b.Rows))
+	}
+	out := New(a.Rows, a.Cols+b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		copy(out.Row(r)[:a.Cols], a.Row(r))
+		copy(out.Row(r)[a.Cols:], b.Row(r))
+	}
+	return out
+}
+
+// SliceCols returns a copy of columns [from, to) of m.
+func (m *Matrix) SliceCols(from, to int) *Matrix {
+	if from < 0 || to > m.Cols || from > to {
+		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) out of range for %d cols", from, to, m.Cols))
+	}
+	out := New(m.Rows, to-from)
+	for r := 0; r < m.Rows; r++ {
+		copy(out.Row(r), m.Row(r)[from:to])
+	}
+	return out
+}
+
+// SliceRows returns a copy of rows [from, to) of m.
+func (m *Matrix) SliceRows(from, to int) *Matrix {
+	if from < 0 || to > m.Rows || from > to {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for %d rows", from, to, m.Rows))
+	}
+	out := New(to-from, m.Cols)
+	copy(out.Data, m.Data[from*m.Cols:to*m.Cols])
+	return out
+}

@@ -1,0 +1,400 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSubHadamard(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := NewFromSlice(2, 2, []float64{5, 6, 7, 8})
+	if got := Add(a, b); !got.Equal(NewFromSlice(2, 2, []float64{6, 8, 10, 12})) {
+		t.Fatalf("Add wrong: %v", got)
+	}
+	if got := Sub(b, a); !got.Equal(NewFromSlice(2, 2, []float64{4, 4, 4, 4})) {
+		t.Fatalf("Sub wrong: %v", got)
+	}
+	if got := Hadamard(a, b); !got.Equal(NewFromSlice(2, 2, []float64{5, 12, 21, 32})) {
+		t.Fatalf("Hadamard wrong: %v", got)
+	}
+}
+
+func TestIntoVariantsAlias(t *testing.T) {
+	a := NewFromSlice(1, 3, []float64{1, 2, 3})
+	b := NewFromSlice(1, 3, []float64{10, 20, 30})
+	AddInto(a, a, b) // a += b, aliasing dst and a
+	if !a.Equal(NewFromSlice(1, 3, []float64{11, 22, 33})) {
+		t.Fatalf("AddInto aliased wrong: %v", a)
+	}
+	SubInto(a, a, b)
+	if !a.Equal(NewFromSlice(1, 3, []float64{1, 2, 3})) {
+		t.Fatalf("SubInto aliased wrong: %v", a)
+	}
+	HadamardInto(a, a, b)
+	if !a.Equal(NewFromSlice(1, 3, []float64{10, 40, 90})) {
+		t.Fatalf("HadamardInto aliased wrong: %v", a)
+	}
+}
+
+func TestScaleAndAddScaled(t *testing.T) {
+	a := NewFromSlice(1, 2, []float64{2, 4})
+	if got := Scale(a, 0.5); !got.Equal(NewFromSlice(1, 2, []float64{1, 2})) {
+		t.Fatalf("Scale wrong: %v", got)
+	}
+	a.AddScaled(NewFromSlice(1, 2, []float64{1, 1}), 3)
+	if !a.Equal(NewFromSlice(1, 2, []float64{5, 7})) {
+		t.Fatalf("AddScaled wrong: %v", a)
+	}
+	a.ScaleInPlace(2)
+	if !a.Equal(NewFromSlice(1, 2, []float64{10, 14})) {
+		t.Fatalf("ScaleInPlace wrong: %v", a)
+	}
+}
+
+func TestApplyAndAddScalar(t *testing.T) {
+	a := NewFromSlice(1, 3, []float64{-1, 0, 2})
+	relu := Apply(a, func(x float64) float64 { return math.Max(0, x) })
+	if !relu.Equal(NewFromSlice(1, 3, []float64{0, 0, 2})) {
+		t.Fatalf("Apply relu wrong: %v", relu)
+	}
+	if got := AddScalar(a, 1); !got.Equal(NewFromSlice(1, 3, []float64{0, 1, 3})) {
+		t.Fatalf("AddScalar wrong: %v", got)
+	}
+	a.ApplyInPlace(func(x float64) float64 { return x * x })
+	if !a.Equal(NewFromSlice(1, 3, []float64{1, 0, 4})) {
+		t.Fatalf("ApplyInPlace wrong: %v", a)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := Transpose(a)
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("Transpose shape %dx%d", at.Rows, at.Cols)
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 3; c++ {
+			if a.At(r, c) != at.At(c, r) {
+				t.Fatalf("transpose mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{4, -1, 3, 2})
+	if a.Sum() != 8 {
+		t.Fatalf("Sum = %v", a.Sum())
+	}
+	if a.Mean() != 2 {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	if a.Max() != 4 || a.Min() != -1 {
+		t.Fatalf("Max/Min = %v/%v", a.Max(), a.Min())
+	}
+	if a.ArgMax() != 0 {
+		t.Fatalf("ArgMax = %d", a.ArgMax())
+	}
+	if got := a.Norm2(); math.Abs(got-math.Sqrt(30)) > 1e-12 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+	empty := New(0, 0)
+	if empty.Mean() != 0 {
+		t.Fatal("Mean of empty should be 0")
+	}
+}
+
+func TestRowArgMax(t *testing.T) {
+	a := NewFromSlice(2, 3, []float64{1, 5, 2, 9, 0, 9})
+	got := a.RowArgMax()
+	if got[0] != 1 || got[1] != 0 { // first on ties
+		t.Fatalf("RowArgMax = %v, want [1 0]", got)
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := NewFromSlice(1, 3, []float64{1, 2, 3})
+	b := NewFromSlice(1, 3, []float64{4, 5, 6})
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestClipInPlace(t *testing.T) {
+	a := NewFromSlice(1, 4, []float64{-5, -0.5, 0.5, 5})
+	a.ClipInPlace(1)
+	if !a.Equal(NewFromSlice(1, 4, []float64{-1, -0.5, 0.5, 1})) {
+		t.Fatalf("ClipInPlace wrong: %v", a)
+	}
+	b := NewFromSlice(1, 1, []float64{100})
+	b.ClipInPlace(0) // no-op
+	if b.Data[0] != 100 {
+		t.Fatal("ClipInPlace(0) should be a no-op")
+	}
+}
+
+func TestAddRowVectorAndColSums(t *testing.T) {
+	m := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	m.AddRowVectorInPlace(NewRowVector([]float64{10, 20, 30}))
+	if !m.Equal(NewFromSlice(2, 3, []float64{11, 22, 33, 14, 25, 36})) {
+		t.Fatalf("AddRowVectorInPlace wrong: %v", m)
+	}
+	cs := m.ColSums()
+	if !cs.Equal(NewRowVector([]float64{25, 47, 69})) {
+		t.Fatalf("ColSums wrong: %v", cs)
+	}
+}
+
+func TestConcatAndSlices(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := NewFromSlice(2, 1, []float64{5, 6})
+	cat := Concat(a, b)
+	if !cat.Equal(NewFromSlice(2, 3, []float64{1, 2, 5, 3, 4, 6})) {
+		t.Fatalf("Concat wrong: %v", cat)
+	}
+	if got := cat.SliceCols(0, 2); !got.Equal(a) {
+		t.Fatalf("SliceCols wrong: %v", got)
+	}
+	if got := cat.SliceRows(1, 2); !got.Equal(NewFromSlice(1, 3, []float64{3, 4, 6})) {
+		t.Fatalf("SliceRows wrong: %v", got)
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewFromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := MatMul(a, b)
+	want := NewFromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !got.Equal(want) {
+		t.Fatalf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandNormal(rng, 7, 7, 0, 1)
+	if got := MatMul(a, Identity(7)); !got.AlmostEqual(a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if got := MatMul(Identity(7), a); !got.AlmostEqual(a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMatMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMul with mismatched inner dims did not panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+// TestMatMulParallelMatchesSerial forces shapes above the parallel threshold
+// and verifies against the simple range kernel.
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandNormal(rng, 70, 80, 0, 1)
+	b := RandNormal(rng, 80, 90, 0, 1)
+	par := MatMul(a, b)
+	ser := New(70, 90)
+	matMulRange(ser, a, b, 0, 70)
+	if !par.AlmostEqual(ser, 1e-9) {
+		t.Fatal("parallel MatMul disagrees with serial kernel")
+	}
+}
+
+func TestMatMulTransVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := RandNormal(rng, 5, 7, 0, 1)
+	b := RandNormal(rng, 6, 7, 0, 1)
+	if got := MatMulTransB(a, b); !got.AlmostEqual(MatMul(a, Transpose(b)), 1e-12) {
+		t.Fatal("MatMulTransB != A·Bᵀ")
+	}
+	c := RandNormal(rng, 5, 6, 0, 1)
+	if got := MatMulTransA(a, c); !got.AlmostEqual(MatMul(Transpose(a), c), 1e-12) {
+		t.Fatal("MatMulTransA != Aᵀ·C")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := MatVec(a, []float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MatVec = %v, want [-2 -2]", got)
+	}
+}
+
+// --- property-based tests ---
+
+// randMatrix builds a small random matrix from quick-generated content.
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	return RandNormal(rng, rows, cols, 0, 1)
+}
+
+func TestPropAddCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMatrix(rng, 4, 5)
+		b := randMatrix(rng, 4, 5)
+		return Add(a, b).AlmostEqual(Add(b, a), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMatMulDistributesOverAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMatrix(rng, 3, 4)
+		b := randMatrix(rng, 4, 5)
+		c := randMatrix(rng, 4, 5)
+		lhs := MatMul(a, Add(b, c))
+		rhs := Add(MatMul(a, b), MatMul(a, c))
+		return lhs.AlmostEqual(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMatMulAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMatrix(rng, 3, 4)
+		b := randMatrix(rng, 4, 5)
+		c := randMatrix(rng, 5, 2)
+		lhs := MatMul(MatMul(a, b), c)
+		rhs := MatMul(a, MatMul(b, c))
+		return lhs.AlmostEqual(rhs, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMatrix(rng, 4, 6)
+		return Transpose(Transpose(a)).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSerializationRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMatrix(rng, 1+int(rng.Int31n(6)), 1+int(rng.Int31n(6)))
+		blob, err := a.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		if len(blob) != a.WireSize() {
+			return false
+		}
+		var b Matrix
+		if err := b.UnmarshalBinary(blob); err != nil {
+			return false
+		}
+		return a.Equal(&b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulIntoDstShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong dst shape accepted")
+		}
+	}()
+	MatMulInto(New(2, 2), New(2, 3), New(3, 3))
+}
+
+func TestMatMulSingleRowStaysSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := RandNormal(rng, 1, 300, 0, 1)
+	b := RandNormal(rng, 300, 300, 0, 1)
+	got := MatMul(a, b) // large work but 1 row: serial path
+	want := New(1, 300)
+	matMulRange(want, a, b, 0, 1)
+	if !got.AlmostEqual(want, 1e-9) {
+		t.Fatal("single-row matmul wrong")
+	}
+}
+
+func TestMatMulMoreWorkersThanRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	// 2 rows, big inner dims: parallel path with workers clamped to rows.
+	a := RandNormal(rng, 2, 400, 0, 1)
+	b := RandNormal(rng, 400, 400, 0, 1)
+	got := MatMul(a, b)
+	want := New(2, 400)
+	matMulRange(want, a, b, 0, 2)
+	if !got.AlmostEqual(want, 1e-9) {
+		t.Fatal("clamped-worker matmul wrong")
+	}
+}
+
+func TestMatMulTransPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { MatMulTransB(New(2, 3), New(2, 4)) },
+		func() { MatMulTransA(New(2, 3), New(3, 4)) },
+		func() { MatVec(New(2, 3), []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("dimension mismatch accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEmptyReductionPanics(t *testing.T) {
+	empty := New(0, 0)
+	for _, f := range []func(){
+		func() { empty.Max() },
+		func() { empty.Min() },
+		func() { empty.ArgMax() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("empty reduction accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRowSetRowColPanics(t *testing.T) {
+	m := New(2, 2)
+	for _, f := range []func(){
+		func() { m.Row(5) },
+		func() { m.SetRow(0, []float64{1}) },
+		func() { m.Col(9) },
+		func() { m.AddRowVectorInPlace(New(2, 2)) },
+		func() { m.SliceCols(1, 9) },
+		func() { m.SliceRows(-1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

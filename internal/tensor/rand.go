@@ -1,0 +1,43 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandUniform returns a rows x cols matrix with elements drawn i.i.d. from
+// U[lo, hi) using rng.
+func RandUniform(rng *rand.Rand, rows, cols int, lo, hi float64) *Matrix {
+	m := New(rows, cols)
+	span := hi - lo
+	for i := range m.Data {
+		m.Data[i] = lo + span*rng.Float64()
+	}
+	return m
+}
+
+// RandNormal returns a rows x cols matrix with elements drawn i.i.d. from
+// N(mean, std²) using rng.
+func RandNormal(rng *rand.Rand, rows, cols int, mean, std float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = mean + std*rng.NormFloat64()
+	}
+	return m
+}
+
+// XavierUniform returns a fanIn x fanOut weight matrix initialized with the
+// Glorot/Xavier uniform scheme: U[-a, a] with a = sqrt(6/(fanIn+fanOut)).
+// Appropriate for tanh/sigmoid layers (the LSTM gates).
+func XavierUniform(rng *rand.Rand, fanIn, fanOut int) *Matrix {
+	a := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return RandUniform(rng, fanIn, fanOut, -a, a)
+}
+
+// HeNormal returns a fanIn x fanOut weight matrix initialized with the
+// He/Kaiming normal scheme: N(0, 2/fanIn). Appropriate for ReLU layers
+// (the 8x100 DQN hidden stack).
+func HeNormal(rng *rand.Rand, fanIn, fanOut int) *Matrix {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	return RandNormal(rng, fanIn, fanOut, 0, std)
+}

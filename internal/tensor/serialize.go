@@ -1,0 +1,103 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The binary wire format for a Matrix is:
+//
+//	uint32 rows | uint32 cols | rows*cols float64 (little-endian IEEE 754)
+//
+// This is what federated agents broadcast: it is compact, versionless, and
+// decodable without reflection. maxWireDim bounds each dimension to guard
+// decoders against corrupt or adversarial headers.
+const maxWireDim = 1 << 24
+
+// WriteTo serializes m to w in the binary wire format.
+// It returns the number of bytes written.
+func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(m.Rows))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(m.Cols))
+	n, err := w.Write(hdr[:])
+	written := int64(n)
+	if err != nil {
+		return written, err
+	}
+	buf := make([]byte, 8*len(m.Data))
+	for i, v := range m.Data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	n, err = w.Write(buf)
+	written += int64(n)
+	return written, err
+}
+
+// ReadFrom deserializes a matrix from r, replacing m's contents.
+// It returns the number of bytes read.
+func (m *Matrix) ReadFrom(r io.Reader) (int64, error) {
+	var hdr [8]byte
+	n, err := io.ReadFull(r, hdr[:])
+	read := int64(n)
+	if err != nil {
+		return read, err
+	}
+	rows := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	cols := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if rows > maxWireDim || cols > maxWireDim {
+		return read, fmt.Errorf("tensor: wire header claims %dx%d matrix, exceeds limit", rows, cols)
+	}
+	buf := make([]byte, 8*rows*cols)
+	n, err = io.ReadFull(r, buf)
+	read += int64(n)
+	if err != nil {
+		return read, err
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = make([]float64, rows*cols)
+	for i := range m.Data {
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return read, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Matrix) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 8+8*len(m.Data))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(m.Rows))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(m.Cols))
+	for i, v := range m.Data {
+		binary.LittleEndian.PutUint64(buf[8+i*8:], math.Float64bits(v))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Matrix) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return errors.New("tensor: binary data too short for header")
+	}
+	rows := int(binary.LittleEndian.Uint32(data[0:4]))
+	cols := int(binary.LittleEndian.Uint32(data[4:8]))
+	if rows > maxWireDim || cols > maxWireDim {
+		return fmt.Errorf("tensor: binary header claims %dx%d matrix, exceeds limit", rows, cols)
+	}
+	want := 8 + 8*rows*cols
+	if len(data) != want {
+		return fmt.Errorf("tensor: binary data length %d, want %d for %dx%d", len(data), want, rows, cols)
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = make([]float64, rows*cols)
+	for i := range m.Data {
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8+i*8:]))
+	}
+	return nil
+}
+
+// WireSize returns the number of bytes MarshalBinary would produce.
+// The federated-network simulator uses this for byte accounting.
+func (m *Matrix) WireSize() int { return 8 + 8*len(m.Data) }

@@ -1,0 +1,90 @@
+package tensor
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteToReadFromRoundTrip(t *testing.T) {
+	m := NewFromSlice(2, 3, []float64{1.5, -2.25, 0, math.Pi, 1e-300, -1e300})
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(m.WireSize()) {
+		t.Fatalf("WriteTo wrote %d bytes, want %d", n, m.WireSize())
+	}
+	var out Matrix
+	rn, err := out.ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if rn != n {
+		t.Fatalf("ReadFrom read %d bytes, want %d", rn, n)
+	}
+	if !out.Equal(m) {
+		t.Fatalf("round-trip mismatch: %v vs %v", &out, m)
+	}
+}
+
+func TestReadFromTruncated(t *testing.T) {
+	m := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	blob, _ := m.MarshalBinary()
+	var out Matrix
+	if _, err := out.ReadFrom(bytes.NewReader(blob[:10])); err == nil {
+		t.Fatal("ReadFrom on truncated stream should error")
+	}
+	if _, err := out.ReadFrom(bytes.NewReader(blob[:3])); err == nil {
+		t.Fatal("ReadFrom on truncated header should error")
+	}
+}
+
+func TestUnmarshalBinaryErrors(t *testing.T) {
+	var m Matrix
+	if err := m.UnmarshalBinary([]byte{1, 2}); err == nil {
+		t.Fatal("short data should error")
+	}
+	// Header claims 2x2 but only 1 element present.
+	good, _ := NewFromSlice(2, 2, []float64{1, 2, 3, 4}).MarshalBinary()
+	if err := m.UnmarshalBinary(good[:8+8]); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	// Oversized header must be rejected before allocation.
+	huge := make([]byte, 8)
+	for i := range huge {
+		huge[i] = 0xff
+	}
+	if err := m.UnmarshalBinary(huge); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized header should be rejected, got %v", err)
+	}
+}
+
+func TestZeroSizeMatrixSerialization(t *testing.T) {
+	m := New(0, 0)
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	var out Matrix
+	if err := out.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if out.Rows != 0 || out.Cols != 0 {
+		t.Fatalf("zero matrix round-trip got %dx%d", out.Rows, out.Cols)
+	}
+}
+
+func TestNaNSurvivesSerialization(t *testing.T) {
+	m := NewFromSlice(1, 1, []float64{math.NaN()})
+	blob, _ := m.MarshalBinary()
+	var out Matrix
+	if err := out.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(out.Data[0]) {
+		t.Fatal("NaN payload not preserved bit-exactly")
+	}
+}
