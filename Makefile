@@ -1,0 +1,30 @@
+# Build/verify entry points. `make verify` is the tier-1 gate (build +
+# tests); `make race` is the separate race-detector pass that CI runs as
+# its own step — the federated fabric trains homes in parallel goroutines,
+# so the race build is the test that actually exercises the locking.
+
+GO ?= go
+
+.PHONY: all build test race bench verify clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass. Kept separate from `test`: the instrumented binary
+# runs several times slower, and the chaos/e2e suites are long enough that
+# folding the two together would double CI latency for no extra signal.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+verify: build test
+
+clean:
+	$(GO) clean ./...

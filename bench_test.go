@@ -314,7 +314,7 @@ func BenchmarkAblationTopology(b *testing.B) {
 	b.Run("star", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			net := fednet.New(6, fednet.Config{Topology: fednet.Star})
-			if err := fed.CentralizedRound(net, models, "m", -1, true); err != nil {
+			if _, err := fed.CentralizedRound(net, models, "m", -1, true); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -380,7 +380,7 @@ func BenchmarkGossipRound(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net := fednet.New(8, fednet.Config{Topology: fednet.Ring})
-		if err := fed.GossipRound(net, models, "m", -1); err != nil {
+		if _, err := fed.GossipRound(net, models, "m", -1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fednet"
 	"repro/internal/forecast"
 )
 
@@ -34,6 +35,9 @@ func main() {
 		paper    = flag.Bool("paper-scale", false, "use the paper's full model sizes (slow)")
 		saveTo   = flag.String("save", "", "write a model checkpoint here after the run")
 		loadFrom = flag.String("load", "", "restore a model checkpoint before the run")
+		drop     = flag.Float64("drop", 0, "per-message drop probability on the fabric")
+		retries  = flag.Int("retries", 0, "delivery attempts per message (>1 enables the acked transport)")
+		chaos    = flag.Bool("chaos", false, "inject an aggressive scripted fault plan (partition, straggler, corruption, crash)")
 	)
 	flag.Parse()
 
@@ -49,6 +53,13 @@ func main() {
 	if *paper {
 		cfg = cfg.PaperScale()
 		cfg.Alpha = *alpha
+	}
+	cfg.DropProb = *drop
+	if *retries > 1 {
+		cfg.Retry = fednet.RetryPolicy{MaxAttempts: *retries}
+	}
+	if *chaos {
+		cfg.FaultPlan = core.ChaosFaultPlan(cfg.Homes, cfg.Days)
 	}
 
 	sys, err := core.NewSystem(cfg)
@@ -94,6 +105,9 @@ func main() {
 		fmt.Printf("EMS comm: %d msgs, %.2f MB, %v simulated\n",
 			res.EMSNetStats.MessagesSent, float64(res.EMSNetStats.BytesSent)/1e6,
 			res.EMSCommTime.Round(1e6))
+	}
+	if *chaos || *drop > 0 || *retries > 1 {
+		fmt.Printf("resilience: %s\n", res.Resilience)
 	}
 	if *saveTo != "" {
 		f, err := os.Create(*saveTo)

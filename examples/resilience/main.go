@@ -1,11 +1,16 @@
-// Resilience: the decentralized fabric under message loss.
+// Resilience: the decentralized fabric under message loss and scripted
+// chaos.
 //
-// A residential LAN drops packets; a cloud aggregator times out. This
-// example runs PFDRL at increasing drop rates and shows that plain
-// decentralized FedAvg degrades gracefully (each agent simply averages
-// whatever arrived plus its own model), while the secure-aggregation
-// variant — whose pairwise masks only cancel under full participation —
-// detects the loss and fails loudly instead of silently corrupting models.
+// A residential LAN drops packets, partitions, and hosts slow or crashing
+// agents; a cloud aggregator times out. This example runs PFDRL three
+// ways — clean, lossy, and under an aggressive scripted FaultPlan with an
+// acked retry transport — and prints the per-run ResilienceReport: plain
+// decentralized FedAvg degrades gracefully (each agent averages whatever
+// valid sets arrived plus its own model), corrupt payloads are caught by
+// the wire checksum, and retries keep rounds alive through the partition.
+// The secure-aggregation variant — whose pairwise masks only cancel under
+// full participation — instead detects loss and fails loudly rather than
+// silently corrupting models.
 //
 //	go run ./examples/resilience
 package main
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fed"
@@ -22,15 +28,32 @@ import (
 )
 
 func main() {
-	fmt.Println("Part 1: PFDRL end to end under increasing message loss")
-	fmt.Printf("%9s %18s %16s %9s\n", "drop rate", "final saved frac", "forecast acc", "dropped")
-	for _, drop := range []float64{0, 0.2, 0.5} {
+	fmt.Println("Part 1: PFDRL end to end under increasing chaos")
+	type scenario struct {
+		name  string
+		drop  float64
+		retry fednet.RetryPolicy
+		chaos bool
+	}
+	scenarios := []scenario{
+		{name: "clean fabric"},
+		{name: "20% loss", drop: 0.2},
+		{name: "chaos plan", drop: 0.2, chaos: true,
+			retry: fednet.RetryPolicy{MaxAttempts: 3, Backoff: 2 * time.Millisecond, RoundBudget: 200 * time.Millisecond}},
+	}
+	for _, sc := range scenarios {
 		cfg := core.DefaultConfig(core.MethodPFDRL)
 		cfg.Homes = 4
 		cfg.Days = 4
 		cfg.DevicesPerHome = 2
 		cfg.Seed = 9
-		cfg.DropProb = drop
+		cfg.DropProb = sc.drop
+		cfg.Retry = sc.retry
+		if sc.chaos {
+			// Partition, 8× straggler, 8% payload corruption, and a crash
+			// window — all scripted and deterministic.
+			cfg.FaultPlan = core.ChaosFaultPlan(cfg.Homes, cfg.Days)
+		}
 		sys, err := core.NewSystem(cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -40,9 +63,10 @@ func main() {
 			log.Fatal(err)
 		}
 		last := len(res.DailySavedFrac) - 1
-		dropped := res.ForecastNetStats.MessagesDropped + res.EMSNetStats.MessagesDropped
-		fmt.Printf("%8.0f%% %17.1f%% %15.1f%% %9d\n",
-			100*drop, 100*res.DailySavedFrac[last], 100*res.ForecastAccuracy, dropped)
+		fmt.Printf("\n  %s:\n", sc.name)
+		fmt.Printf("    saved %.1f%%, forecast acc %.1f%%\n",
+			100*res.DailySavedFrac[last], 100*res.ForecastAccuracy)
+		fmt.Printf("    resilience: %s\n", res.Resilience)
 	}
 
 	fmt.Println("\nPart 2: secure aggregation refuses to average a partial round")

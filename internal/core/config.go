@@ -117,6 +117,14 @@ type Config struct {
 
 	// DropProb injects message loss into both federation fabrics.
 	DropProb float64
+	// FaultPlan scripts deterministic faults (partitions, stragglers,
+	// corruption, crashes) into both federation fabrics. Agent indices
+	// are network indices: home i under PFDRL, home i+1 under star
+	// methods (0 is the hub).
+	FaultPlan fednet.FaultPlan
+	// Retry configures send-side retry with backoff on both fabrics.
+	// The zero value is fire-and-forget, the pre-retry behavior.
+	Retry fednet.RetryPolicy
 }
 
 // DefaultConfig returns an experiment-scale configuration: faithful
@@ -189,8 +197,18 @@ func (c Config) Validate() error {
 	if c.SensorDelayMinutes < 0 {
 		return fmt.Errorf("core: SensorDelayMinutes must be ≥ 0")
 	}
+	if c.DropProb < 0 || c.DropProb > 1 {
+		return fmt.Errorf("core: DropProb %v outside [0,1]", c.DropProb)
+	}
 	if c.Method == MethodPFDRL && c.Alpha == 0 {
 		return fmt.Errorf("core: PFDRL needs Alpha ≥ 1")
+	}
+	netSize := c.Homes
+	if !c.Method.Decentralized() {
+		netSize = c.Homes + 1 // hub
+	}
+	if err := c.FaultPlan.Validate(netSize); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
@@ -251,4 +269,7 @@ type Result struct {
 	ForecastCommTime, EMSCommTime       time.Duration
 	// ForecastNetStats / EMSNetStats are the fabric counters.
 	ForecastNetStats, EMSNetStats fednet.Stats
+	// Resilience tallies fault-tolerance telemetry: round participation,
+	// retries, corrupt rejects, partition outage absorbed.
+	Resilience ResilienceReport
 }

@@ -40,6 +40,8 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.Alpha = 99 },
 		func(c *Config) { c.Alpha = -1 },
 		func(c *Config) { c.LookAhead = 0 },
+		func(c *Config) { c.DropProb = 1.5 },
+		func(c *Config) { c.DropProb = -0.1 },
 		func(c *Config) { c.LearnEveryMinutes = 0 },
 		func(c *Config) { c.Method = MethodPFDRL; c.Alpha = 0 },
 	}

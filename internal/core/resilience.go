@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fed"
+	"repro/internal/fednet"
+	"repro/internal/metrics"
+	"repro/internal/pecan"
+)
+
+// ResilienceReport aggregates one run's fault-tolerance telemetry across
+// both federation planes: how many rounds ran, how many fell short of full
+// participation and why, and what the retry machinery cost. The
+// communication figures already include retry traffic (it is charged to
+// the ordinary byte counters); RetryBytes breaks out that share.
+type ResilienceReport struct {
+	// Rounds counts federation exchanges attempted (per device type per
+	// fire); DegradedRounds those that averaged less than full
+	// participation.
+	Rounds         int
+	DegradedRounds int
+	// CorruptRejected counts payloads quarantined by wire validation;
+	// NaNRejected sets dropped by the divergence filter; CrashSkips
+	// agent-rounds sat out inside crash windows.
+	CorruptRejected int
+	NaNRejected     int
+	CrashSkips      int
+
+	// Retries / GaveUp / MessagesBlocked / MessagesCorrupted / InboxWiped
+	// sum the fabric counters over both planes.
+	Retries           int
+	GaveUp            int
+	MessagesBlocked   int
+	MessagesCorrupted int
+	InboxWiped        int
+	// RetryBytes is the wire traffic spent on retry attempts; BackoffTime
+	// the simulated time spent waiting between attempts.
+	RetryBytes  int64
+	BackoffTime time.Duration
+
+	// PartitionSeconds is the total scripted link outage the run absorbed,
+	// counted once per physical link (both logical planes share one
+	// FaultPlan and one wire).
+	PartitionSeconds float64
+}
+
+// absorb folds one federation round's participation stats into the tally.
+func (r *ResilienceReport) absorb(rep fed.RoundReport) {
+	r.Rounds++
+	if rep.Degraded() {
+		r.DegradedRounds++
+	}
+	r.CorruptRejected += rep.CorruptRejected
+	r.NaNRejected += rep.NaNRejected
+	r.CrashSkips += rep.Crashed
+}
+
+// absorbStats folds one fabric's final counters into the tally.
+func (r *ResilienceReport) absorbStats(st fednet.Stats) {
+	r.Retries += st.Retries
+	r.GaveUp += st.GaveUp
+	r.MessagesBlocked += st.MessagesBlocked
+	r.MessagesCorrupted += st.MessagesCorrupted
+	r.InboxWiped += st.InboxWiped
+	r.RetryBytes += st.RetryBytes
+	r.BackoffTime += st.BackoffTime
+}
+
+// DegradedFrac is the fraction of federation rounds that averaged less
+// than full participation (0 when no rounds ran).
+func (r ResilienceReport) DegradedFrac() float64 {
+	return metrics.Rate(r.DegradedRounds, r.Rounds)
+}
+
+// RetryByteFrac is the share of totalBytes spent on retry attempts (0 for
+// an idle fabric). Callers pass the summed BytesSent of the planes the
+// report covers.
+func (r ResilienceReport) RetryByteFrac(totalBytes int64) float64 {
+	return metrics.ByteFraction(r.RetryBytes, totalBytes)
+}
+
+// String renders the report as the one-line summary cmd/pfdrl and the
+// resilience example print.
+func (r ResilienceReport) String() string {
+	return fmt.Sprintf("%d rounds (%.0f%% degraded), %d retries (%.1f KB), %d corrupt-rejects, %d NaN-rejects, %d crash-skips, %d gave up, %d blocked, %.0fs partitioned",
+		r.Rounds, 100*r.DegradedFrac(), r.Retries, float64(r.RetryBytes)/1e3,
+		r.CorruptRejected, r.NaNRejected, r.CrashSkips, r.GaveUp, r.MessagesBlocked, r.PartitionSeconds)
+}
+
+// ChaosFaultPlan builds an aggressive deterministic FaultPlan sized to a
+// run of the given fleet and duration, for resilience demos and smoke
+// tests: the 0–1 link partitioned across the middle third of the run, the
+// last agent a 8× straggler, 8% payload corruption, and agent 1 crashed
+// through most of the final third. Indices are network-agent indices —
+// home i under PFDRL, home i−1 under star methods (0 is the hub).
+func ChaosFaultPlan(agents, days int) fednet.FaultPlan {
+	total := days * pecan.MinutesPerDay
+	plan := fednet.FaultPlan{CorruptProb: 0.08}
+	if agents >= 2 {
+		plan.Partitions = []fednet.Partition{{A: 0, B: 1, StartMin: total / 3, EndMin: 2 * total / 3}}
+		plan.Crashes = []fednet.CrashWindow{{Agent: 1, StartMin: 2 * total / 3, EndMin: total - total/12}}
+	}
+	if agents >= 3 {
+		plan.Stragglers = []fednet.Straggler{{Agent: agents - 1, Factor: 8}}
+	}
+	return plan
+}

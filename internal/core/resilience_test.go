@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fednet"
+	"repro/internal/pecan"
+)
+
+// chaosConfig is tinyConfig plus an aggressive fault plan and retry
+// policy: drops, corruption, a partition, a straggler, and a crash window
+// all active inside a 2-day, 3-home run.
+func chaosConfig() Config {
+	cfg := tinyConfig(MethodPFDRL)
+	cfg.Days = 2
+	cfg.DevicesPerHome = 1
+	cfg.BetaHours = 2 // more federation rounds for the faults to bite
+	cfg.GammaHours = 2
+	cfg.DropProb = 0.3
+	cfg.Retry = fednet.RetryPolicy{
+		MaxAttempts: 3,
+		Backoff:     2 * time.Millisecond,
+		RoundBudget: 200 * time.Millisecond,
+	}
+	cfg.FaultPlan = ChaosFaultPlan(cfg.Homes, cfg.Days)
+	return cfg
+}
+
+// TestRunSurvivesChaos is the end-to-end smoke test: a full PFDRL run
+// under the aggressive fault plan must complete and the resilience report
+// must show the fault machinery actually fired.
+func TestRunSurvivesChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full run")
+	}
+	cfg := chaosConfig()
+	res := mustRun(t, cfg)
+	r := res.Resilience
+	if r.Retries == 0 {
+		t.Fatalf("no retries recorded under DropProb=%v: %+v", cfg.DropProb, r)
+	}
+	if r.CorruptRejected == 0 {
+		t.Fatalf("no corrupt payloads rejected under CorruptProb=%v: %+v",
+			cfg.FaultPlan.CorruptProb, r)
+	}
+	if r.Rounds == 0 || r.DegradedRounds == 0 {
+		t.Fatalf("no degraded rounds recorded: %+v", r)
+	}
+	if r.CrashSkips == 0 {
+		t.Fatalf("crash window never skipped an agent: %+v", r)
+	}
+	want := cfg.FaultPlan.PartitionSeconds(cfg.Days * pecan.MinutesPerDay)
+	if r.PartitionSeconds != want {
+		t.Fatalf("PartitionSeconds = %v, want %v", r.PartitionSeconds, want)
+	}
+	// The EMS must still produce finite savings for every home.
+	if len(res.PerHomeSavedKWhFinal) != cfg.Homes {
+		t.Fatalf("%d per-home results, want %d", len(res.PerHomeSavedKWhFinal), cfg.Homes)
+	}
+	for hi, kwh := range res.PerHomeSavedKWhFinal {
+		if kwh != kwh {
+			t.Fatalf("home %d saved kWh is NaN after chaos run", hi)
+		}
+	}
+}
+
+// TestChaosRunDeterministic runs the chaos configuration twice with the
+// same seed and requires identical resilience reports and fabric stats —
+// the byte-exact reproducibility acceptance criterion.
+func TestChaosRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full runs")
+	}
+	cfg := chaosConfig()
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if a.Resilience != b.Resilience {
+		t.Fatalf("resilience reports differ across identical runs:\n  %+v\nvs %+v",
+			a.Resilience, b.Resilience)
+	}
+	if a.ForecastNetStats != b.ForecastNetStats || a.EMSNetStats != b.EMSNetStats {
+		t.Fatalf("fabric stats differ across identical runs:\n  fc %+v vs %+v\n  ems %+v vs %+v",
+			a.ForecastNetStats, b.ForecastNetStats, a.EMSNetStats, b.EMSNetStats)
+	}
+}
+
+// TestChaosFaultPlanShape pins the generated plan's invariants.
+func TestChaosFaultPlanShape(t *testing.T) {
+	for _, homes := range []int{1, 2, 3, 8} {
+		plan := ChaosFaultPlan(homes, 2)
+		if err := plan.Validate(homes); err != nil {
+			t.Fatalf("homes=%d: generated plan invalid: %v", homes, err)
+		}
+		if plan.CorruptProb <= 0 {
+			t.Fatalf("homes=%d: plan has no corruption", homes)
+		}
+		if homes >= 2 && (len(plan.Partitions) == 0 || len(plan.Crashes) == 0) {
+			t.Fatalf("homes=%d: plan missing partition or crash window", homes)
+		}
+		if homes >= 3 && len(plan.Stragglers) == 0 {
+			t.Fatalf("homes=%d: plan missing straggler", homes)
+		}
+	}
+	// Star methods index the hub as agent 0, homes as 1..n: the same plan
+	// must stay valid on the larger star fabric.
+	plan := ChaosFaultPlan(3, 2)
+	if err := plan.Validate(4); err != nil {
+		t.Fatalf("plan invalid on star-sized network: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -36,6 +37,7 @@ func (s *System) Run() (*Result, error) {
 	cfg := s.cfg
 	res := &Result{Method: cfg.Method, Config: cfg}
 	timer := metrics.NewTimer()
+	s.resil = ResilienceReport{}
 
 	evalDays := cfg.Days / 4
 	if evalDays < 1 {
@@ -117,6 +119,9 @@ func (s *System) Run() (*Result, error) {
 				timer.Add("ems-train", st.trainDur)
 			}
 			hourEnd := day*pecan.MinutesPerDay + (hour+1)*60
+			// Advance the fabric clocks so FaultPlan windows (partitions,
+			// crashes) track simulated time.
+			s.setNetClock(hourEnd)
 
 			// Local forecaster training bouts.
 			if (hour+1)%cfg.TrainEveryHours == 0 {
@@ -191,12 +196,28 @@ func (s *System) Run() (*Result, error) {
 	if s.fcNet != nil {
 		res.ForecastNetStats = s.fcNet.Stats()
 		res.ForecastCommTime = res.ForecastNetStats.SimulatedTime
+		s.resil.absorbStats(res.ForecastNetStats)
 	}
 	if s.drlNet != nil {
 		res.EMSNetStats = s.drlNet.Stats()
 		res.EMSCommTime = res.EMSNetStats.SimulatedTime
+		s.resil.absorbStats(res.EMSNetStats)
 	}
+	// Partition outage is a property of the physical link, not of the two
+	// logical planes riding it: count the severed wall-clock once.
+	s.resil.PartitionSeconds = cfg.FaultPlan.PartitionSeconds(cfg.Days * pecan.MinutesPerDay)
+	res.Resilience = s.resil
 	return res, nil
+}
+
+// setNetClock advances both fabric clocks to the given simulated minute.
+func (s *System) setNetClock(minute int) {
+	if s.fcNet != nil {
+		s.fcNet.SetNow(minute)
+	}
+	if s.drlNet != nil {
+		s.drlNet.SetNow(minute)
+	}
 }
 
 // parallelHomes runs fn for every home concurrently and waits. Homes are
@@ -347,17 +368,23 @@ func (s *System) forecastRound(timer *metrics.Timer, fires int) error {
 			for _, h := range s.homes {
 				models = append(models, h.fcs[dt].Model())
 			}
-			if _, err := fed.DecentralizedRound(s.fcNet, models, "fc/"+dt, -1); err != nil {
+			rep, err := fed.DecentralizedRound(s.fcNet, models, "fc/"+dt, -1)
+			if err != nil {
 				return err
 			}
+			s.resil.absorb(rep)
 		} else { // FL, FRL: star with the hub as pure server
 			models = append(models, s.hubFcs[dt].Model())
 			for _, h := range s.homes {
 				models = append(models, h.fcs[dt].Model())
 			}
-			if err := fed.CentralizedRound(s.fcNet, models, "fc/"+dt, -1, true); err != nil {
+			rep, err := fed.CentralizedRound(s.fcNet, models, "fc/"+dt, -1, true)
+			if err != nil && !errors.Is(err, fed.ErrRoundStarved) {
 				return err
 			}
+			// A starved hub (every upload lost or corrupt) skips the
+			// period; spokes keep their local models.
+			s.resil.absorb(rep)
 		}
 		if fires > 1 {
 			s.fcNet.ChargeBroadcastRounds(models[0].WireSize(), fires-1)
@@ -379,9 +406,11 @@ func (s *System) emsRound(timer *metrics.Timer, fires int) error {
 			models = append(models, h.agent.Online)
 		}
 		alpha := s.cfg.sharedTrainableLayers()
-		if _, err := fed.DecentralizedRound(s.drlNet, models, "drl", alpha); err != nil {
+		rep, err := fed.DecentralizedRound(s.drlNet, models, "drl", alpha)
+		if err != nil {
 			return err
 		}
+		s.resil.absorb(rep)
 		if fires > 1 {
 			shared := models[0].Params()
 			if alpha >= 0 {
@@ -394,9 +423,11 @@ func (s *System) emsRound(timer *metrics.Timer, fires int) error {
 		for _, h := range s.homes {
 			models = append(models, h.agent.Online)
 		}
-		if err := fed.CentralizedRound(s.drlNet, models, "drl", -1, true); err != nil {
+		rep, err := fed.CentralizedRound(s.drlNet, models, "drl", -1, true)
+		if err != nil && !errors.Is(err, fed.ErrRoundStarved) {
 			return err
 		}
+		s.resil.absorb(rep)
 		if fires > 1 {
 			s.drlNet.ChargeBroadcastRounds(models[0].WireSize(), fires-1)
 		}

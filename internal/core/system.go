@@ -40,6 +40,10 @@ type System struct {
 	// server: its parameters are never mixed in).
 	hubFcs   map[string]forecast.Forecaster
 	hubAgent *dqn.Agent
+
+	// resil accumulates the run's fault-tolerance telemetry; Run resets
+	// it and publishes the final tally in Result.Resilience.
+	resil ResilienceReport
 }
 
 // NewSystem generates the corpus and builds all agents for cfg.
@@ -126,16 +130,27 @@ func NewSystem(cfg Config) (*System, error) {
 		s.homes = append(s.homes, home)
 	}
 
-	// Communication fabrics and hub-side templates.
+	// Communication fabrics and hub-side templates. Both planes share the
+	// configured fault plan and retry policy but keep independent drop and
+	// corruption RNG streams (distinct seeds).
+	netCfg := func(topo fednet.Topology, seed int64) fednet.Config {
+		return fednet.Config{
+			Topology: topo,
+			DropProb: cfg.DropProb,
+			Seed:     cfg.Seed + seed,
+			Faults:   cfg.FaultPlan,
+			Retry:    cfg.Retry,
+		}
+	}
 	switch cfg.Method {
 	case MethodPFDRL:
-		s.fcNet = fednet.New(cfg.Homes, fednet.Config{Topology: fednet.AllToAll, DropProb: cfg.DropProb, Seed: cfg.Seed + 2})
-		s.drlNet = fednet.New(cfg.Homes, fednet.Config{Topology: fednet.AllToAll, DropProb: cfg.DropProb, Seed: cfg.Seed + 3})
+		s.fcNet = fednet.New(cfg.Homes, netCfg(fednet.AllToAll, 2))
+		s.drlNet = fednet.New(cfg.Homes, netCfg(fednet.AllToAll, 3))
 	case MethodCloud, MethodFL:
-		s.fcNet = fednet.New(cfg.Homes+1, fednet.Config{Topology: fednet.Star, DropProb: cfg.DropProb, Seed: cfg.Seed + 2})
+		s.fcNet = fednet.New(cfg.Homes+1, netCfg(fednet.Star, 2))
 	case MethodFRL:
-		s.fcNet = fednet.New(cfg.Homes+1, fednet.Config{Topology: fednet.Star, DropProb: cfg.DropProb, Seed: cfg.Seed + 2})
-		s.drlNet = fednet.New(cfg.Homes+1, fednet.Config{Topology: fednet.Star, DropProb: cfg.DropProb, Seed: cfg.Seed + 3})
+		s.fcNet = fednet.New(cfg.Homes+1, netCfg(fednet.Star, 2))
+		s.drlNet = fednet.New(cfg.Homes+1, netCfg(fednet.Star, 3))
 	case MethodLocal:
 		// no fabric
 	}

@@ -68,7 +68,8 @@ func runDFLWithTopology(sc Scale, topo fednet.Topology) (float64, fednet.Stats, 
 	}
 	round := func(dt string, models []*nn.Sequential) error {
 		if topo == fednet.Ring {
-			return fed.GossipRound(net, models, "fc/"+dt, -1)
+			_, err := fed.GossipRound(net, models, "fc/"+dt, -1)
+			return err
 		}
 		_, err := fed.DecentralizedRound(net, models, "fc/"+dt, -1)
 		return err

@@ -15,30 +15,64 @@ package fed
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"repro/internal/fednet"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
-// MarshalParams serializes a parameter set in wire format (matrices back to
-// back).
+// ErrRoundStarved marks a round (or an agent within one) left with no
+// valid parameter sets to average — every input was lost, corrupt, or
+// diverged. The aggregate state is left unchanged in that case, so callers
+// preferring degradation over failure can errors.Is-match this and carry
+// on to the next period.
+var ErrRoundStarved = errors.New("no valid parameter sets to average")
+
+// wireMagic opens every parameter blob; the 4 bytes after it hold a CRC32
+// (IEEE) of the body. The checksum lets receivers reject payloads that
+// were corrupted on the wire instead of averaging garbage — CRC32 catches
+// every single-bit flip, the fault plan's corruption model.
+const wireMagic = "PFP1"
+
+// WireOverhead is the byte overhead MarshalParams adds on top of the raw
+// matrix encoding (magic + checksum). Communication accounting that
+// predicts payload sizes from nn.ParamsWireSize must add it.
+const WireOverhead = len(wireMagic) + 4
+
+// MarshalParams serializes a parameter set in wire format: a checksummed
+// header followed by the matrices back to back.
 func MarshalParams(ps []*tensor.Matrix) []byte {
 	var buf bytes.Buffer
+	buf.WriteString(wireMagic)
+	buf.Write(make([]byte, 4)) // checksum placeholder
 	for _, p := range ps {
 		if _, err := p.WriteTo(&buf); err != nil {
 			// bytes.Buffer writes cannot fail.
 			panic(fmt.Sprintf("fed: marshal: %v", err))
 		}
 	}
-	return buf.Bytes()
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint32(b[len(wireMagic):WireOverhead], crc32.ChecksumIEEE(b[WireOverhead:]))
+	return b
 }
 
 // UnmarshalParamsLike decodes a wire blob into fresh matrices shaped like
-// the given template set. It errors on shape or length mismatch.
+// the given template set. It errors on a missing header, checksum
+// mismatch, or shape/length mismatch — the validation gate federation
+// rounds use to quarantine corrupt payloads.
 func UnmarshalParamsLike(template []*tensor.Matrix, data []byte) ([]*tensor.Matrix, error) {
-	r := bytes.NewReader(data)
+	if len(data) < WireOverhead || string(data[:len(wireMagic)]) != wireMagic {
+		return nil, fmt.Errorf("fed: payload missing wire header")
+	}
+	want := binary.LittleEndian.Uint32(data[len(wireMagic):WireOverhead])
+	if got := crc32.ChecksumIEEE(data[WireOverhead:]); got != want {
+		return nil, fmt.Errorf("fed: payload checksum mismatch (header %08x, body %08x)", want, got)
+	}
+	r := bytes.NewReader(data[WireOverhead:])
 	out := make([]*tensor.Matrix, len(template))
 	for i, tpl := range template {
 		var m tensor.Matrix
@@ -54,6 +88,17 @@ func UnmarshalParamsLike(template []*tensor.Matrix, data []byte) ([]*tensor.Matr
 		return nil, fmt.Errorf("fed: %d trailing bytes after params", r.Len())
 	}
 	return out, nil
+}
+
+// paramsClean reports whether a set is free of NaN/Inf — the divergence
+// filter applied before any set joins an aggregate.
+func paramsClean(set []*tensor.Matrix) bool {
+	for _, m := range set {
+		if m.HasNaN() {
+			return false
+		}
+	}
+	return true
 }
 
 // baseParams returns the federated slice of a model's parameters: those of
@@ -80,48 +125,83 @@ func baseParams(m *nn.Sequential, alpha int) []*tensor.Matrix {
 // W(DRLB) of Eq. 7 and the model's Forward then computes their combination.
 //
 // models[i] belongs to network agent i; all models must share one
-// architecture. Message drops (if configured on the network) degrade the
-// average gracefully — an agent aggregates whatever arrived plus its own
-// snapshot. Returns the number of parameter sets each agent averaged
-// (minimum across agents).
-func DecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string, alpha int) (int, error) {
+// architecture. The round degrades gracefully under every fabric fault:
+// drops and partitions shrink the aggregate to whatever arrived, payloads
+// failing wire validation (checksum, framing, shape) are quarantined and
+// counted instead of aborting the round, NaN/Inf sets are filtered, and
+// agents inside a crash window sit the round out untouched. The returned
+// RoundReport carries the participation stats; the error is reserved for
+// structural misuse (model-count mismatch, topology violation).
+func DecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string, alpha int) (RoundReport, error) {
+	var rep RoundReport
 	if net.N() != len(models) {
-		return 0, fmt.Errorf("fed: %d models for %d network agents", len(models), net.N())
+		return rep, fmt.Errorf("fed: %d models for %d network agents", len(models), net.N())
 	}
 	n := len(models)
 	if n == 1 {
-		return 1, nil
+		return RoundReport{Agents: 1, MinSets: 1, MaxSets: 1}, nil
+	}
+	live := make([]bool, n)
+	for i := range models {
+		if net.AgentDown(i) {
+			rep.Crashed++
+			continue
+		}
+		live[i] = true
+		rep.Agents++
 	}
 	// Snapshot & broadcast. Snapshots isolate in-flight payloads from any
 	// continued local mutation.
 	snaps := make([][]*tensor.Matrix, n)
 	for i, m := range models {
+		if !live[i] {
+			continue
+		}
 		snaps[i] = nn.CloneParams(baseParams(m, alpha))
 		if err := net.Broadcast(i, kind, MarshalParams(snaps[i])); err != nil {
-			return 0, err
+			return rep, err
 		}
 	}
 	// Collect & aggregate.
-	minSets := n + 1
 	for i, m := range models {
-		base := baseParams(m, alpha)
-		sets := [][]*tensor.Matrix{snaps[i]}
-		for _, msg := range net.Collect(i) {
-			if msg.Kind != kind {
-				continue
-			}
-			got, err := UnmarshalParamsLike(base, msg.Payload)
-			if err != nil {
-				return 0, fmt.Errorf("fed: agent %d from %d: %w", i, msg.From, err)
-			}
-			sets = append(sets, got)
+		if !live[i] {
+			continue
 		}
-		used := nn.AverageParamSets(base, sets...)
-		if used < minSets {
-			minSets = used
+		base := baseParams(m, alpha)
+		sets := rep.collectSets(net, i, base, kind, snaps[i])
+		rep.countSets(nn.AverageParamSets(base, sets...))
+	}
+	return rep, nil
+}
+
+// collectSets gathers one agent's aggregate inputs: its own snapshot plus
+// every received payload of the right kind, each gated through wire
+// validation and the divergence filter. Exclusions land in the report.
+func (rep *RoundReport) collectSets(net *fednet.Network, agent int, template []*tensor.Matrix, kind string, own []*tensor.Matrix) [][]*tensor.Matrix {
+	var sets [][]*tensor.Matrix
+	if own != nil {
+		if paramsClean(own) {
+			sets = append(sets, own)
+		} else {
+			rep.reject(agent, agent, kind, "NaN/Inf parameters", false)
 		}
 	}
-	return minSets, nil
+	for _, msg := range net.Collect(agent) {
+		if msg.Kind != kind {
+			continue
+		}
+		got, err := UnmarshalParamsLike(template, msg.Payload)
+		if err != nil {
+			rep.reject(agent, msg.From, msg.Kind, err.Error(), true)
+			continue
+		}
+		if !paramsClean(got) {
+			rep.reject(agent, msg.From, msg.Kind, "NaN/Inf parameters", false)
+			continue
+		}
+		sets = append(sets, got)
+	}
+	return sets
 }
 
 // CentralizedRound performs one cloud-FL exchange over a Star network:
@@ -132,54 +212,72 @@ func DecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind strin
 // The hub is a real participant (agent 0 owns models[0]); with hubIsServer
 // true the hub contributes no parameters of its own — it is a pure
 // aggregation server, the paper's "malicious cloud" role.
-func CentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string, alpha int, hubIsServer bool) error {
+//
+// Like DecentralizedRound, the exchange degrades gracefully: corrupt or
+// diverged uploads are quarantined and counted, crashed spokes sit the
+// round out, and a spoke that never receives (or cannot validate) the
+// global model simply keeps its current parameters. The one hard fault
+// left is a server hub whose every upload was rejected — there is nothing
+// to average, and the error says exactly what was lost and why.
+func CentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string, alpha int, hubIsServer bool) (RoundReport, error) {
+	var rep RoundReport
 	if net.N() != len(models) {
-		return fmt.Errorf("fed: %d models for %d network agents", len(models), net.N())
+		return rep, fmt.Errorf("fed: %d models for %d network agents", len(models), net.N())
 	}
 	if net.Config().Topology != fednet.Star {
-		return fmt.Errorf("fed: CentralizedRound requires a star network, have %v", net.Config().Topology)
+		return rep, fmt.Errorf("fed: CentralizedRound requires a star network, have %v", net.Config().Topology)
 	}
 	n := len(models)
 	if n == 1 {
-		return nil
+		return RoundReport{Agents: 1, MinSets: 1, MaxSets: 1}, nil
 	}
+	if net.AgentDown(0) {
+		// A crashed hub takes the whole round with it; every spoke keeps
+		// its local model. Not an error: the fleet retries next period.
+		rep.Crashed = 1
+		return rep, nil
+	}
+	rep.Agents = 1
 	// Upload.
 	for i := 1; i < n; i++ {
+		if net.AgentDown(i) {
+			rep.Crashed++
+			continue
+		}
+		rep.Agents++
 		snap := nn.CloneParams(baseParams(models[i], alpha))
+		if !paramsClean(snap) {
+			rep.reject(0, i, kind, "NaN/Inf parameters (upload withheld)", false)
+			continue
+		}
 		if err := net.Send(i, 0, kind, MarshalParams(snap)); err != nil {
-			return err
+			return rep, err
 		}
 	}
 	// Hub aggregates.
 	hubBase := baseParams(models[0], alpha)
-	var sets [][]*tensor.Matrix
+	var own []*tensor.Matrix
 	if !hubIsServer {
-		sets = append(sets, nn.CloneParams(hubBase))
+		own = nn.CloneParams(hubBase)
 	}
-	for _, msg := range net.Collect(0) {
-		if msg.Kind != kind {
-			continue
-		}
-		got, err := UnmarshalParamsLike(hubBase, msg.Payload)
-		if err != nil {
-			return fmt.Errorf("fed: hub decoding from %d: %w", msg.From, err)
-		}
-		sets = append(sets, got)
-	}
+	sets := rep.collectSets(net, 0, hubBase, kind, own)
+	rep.countSets(len(sets))
 	if len(sets) == 0 {
-		return fmt.Errorf("fed: hub received no parameter sets")
+		return rep, fmt.Errorf("fed: hub (kind %q, %d corrupt-rejected, %d NaN-rejected, %d spokes crashed — %s): %w",
+			kind, rep.CorruptRejected, rep.NaNRejected, rep.Crashed, rep.rejectsFor(0), ErrRoundStarved)
 	}
 	global := nn.CloneParams(hubBase)
-	if nn.AverageParamSets(global, sets...) == 0 {
-		return fmt.Errorf("fed: every uploaded parameter set was rejected")
-	}
+	nn.AverageParamSets(global, sets...)
 	// Distribute and install.
 	blob := MarshalParams(global)
 	if err := net.Broadcast(0, kind, blob); err != nil {
-		return err
+		return rep, err
 	}
 	nn.CopyParams(hubBase, global)
 	for i := 1; i < n; i++ {
+		if net.AgentDown(i) {
+			continue
+		}
 		base := baseParams(models[i], alpha)
 		for _, msg := range net.Collect(i) {
 			if msg.Kind != kind {
@@ -187,12 +285,15 @@ func CentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string,
 			}
 			got, err := UnmarshalParamsLike(base, msg.Payload)
 			if err != nil {
-				return fmt.Errorf("fed: spoke %d decoding: %w", i, err)
+				// The download was corrupted in transit; the spoke keeps
+				// its local model until the next round.
+				rep.reject(i, msg.From, msg.Kind, err.Error(), true)
+				continue
 			}
 			nn.CopyParams(base, got)
 		}
 	}
-	return nil
+	return rep, nil
 }
 
 // Schedule decides when periodic broadcasts fire. The paper's β and γ are

@@ -70,12 +70,12 @@ func TestDecentralizedRoundFullAverage(t *testing.T) {
 	nn.AverageParamSets(want, sets...)
 
 	net := fednet.New(n, fednet.Config{})
-	used, err := DecentralizedRound(net, models, "m", -1)
+	rep, err := DecentralizedRound(net, models, "m", -1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if used != n {
-		t.Fatalf("aggregated %d sets, want %d", used, n)
+	if rep.MinSets != n || rep.MaxSets != n || rep.Agents != n || rep.Degraded() {
+		t.Fatalf("clean round report %+v, want %d sets everywhere", rep, n)
 	}
 	for i, m := range models {
 		for j, p := range m.Params() {
@@ -134,17 +134,17 @@ func TestDecentralizedRoundPersonalizationSplit(t *testing.T) {
 		t.Fatal("base payload should be smaller than full model")
 	}
 	perMsg := int(net.Stats().BytesSent) / net.Stats().MessagesSent
-	if perMsg != base {
-		t.Fatalf("per-message bytes %d, want %d", perMsg, base)
+	if perMsg != base+WireOverhead {
+		t.Fatalf("per-message bytes %d, want %d payload + %d header", perMsg, base, WireOverhead)
 	}
 }
 
 func TestDecentralizedRoundSingleAgent(t *testing.T) {
 	models := mlps(1, 30)
 	net := fednet.New(1, fednet.Config{})
-	used, err := DecentralizedRound(net, models, "m", -1)
-	if err != nil || used != 1 {
-		t.Fatalf("single-agent round: used=%d err=%v", used, err)
+	rep, err := DecentralizedRound(net, models, "m", -1)
+	if err != nil || rep.MinSets != 1 {
+		t.Fatalf("single-agent round: rep=%+v err=%v", rep, err)
 	}
 }
 
@@ -159,12 +159,15 @@ func TestDecentralizedRoundWithDrops(t *testing.T) {
 	n := 5
 	models := mlps(n, 40)
 	net := fednet.New(n, fednet.Config{DropProb: 0.5, Seed: 3})
-	used, err := DecentralizedRound(net, models, "m", -1)
+	rep, err := DecentralizedRound(net, models, "m", -1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if used < 1 || used > n {
-		t.Fatalf("used = %d out of range", used)
+	if rep.MinSets < 1 || rep.MaxSets > n {
+		t.Fatalf("set bounds %d..%d out of range", rep.MinSets, rep.MaxSets)
+	}
+	if !rep.Degraded() {
+		t.Fatal("50% drops should degrade the round")
 	}
 	for _, m := range models {
 		for _, p := range m.Params() {
@@ -181,14 +184,17 @@ func TestDecentralizedRoundRejectsNaNPeers(t *testing.T) {
 	// Poison agent 2's model.
 	models[2].Params()[0].Data[0] = math.NaN()
 	net := fednet.New(n, fednet.Config{})
-	used, err := DecentralizedRound(net, models, "m", -1)
+	rep, err := DecentralizedRound(net, models, "m", -1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Agents 0 and 1 aggregate 2 clean sets; agent 2 aggregates 2 clean
-	// peers (its own is rejected).
-	if used != 2 {
-		t.Fatalf("used = %d, want 2", used)
+	// peers (its own is rejected). One NaN set per agent is filtered.
+	if rep.MinSets != 2 || rep.MaxSets != 2 {
+		t.Fatalf("set bounds %d..%d, want 2..2", rep.MinSets, rep.MaxSets)
+	}
+	if rep.NaNRejected != n {
+		t.Fatalf("NaN rejects %d, want %d", rep.NaNRejected, n)
 	}
 	for i := 0; i < 2; i++ {
 		for _, p := range models[i].Params() {
@@ -203,7 +209,7 @@ func TestCentralizedRoundConvergesAgents(t *testing.T) {
 	n := 4
 	models := mlps(n, 60)
 	net := fednet.New(n, fednet.Config{Topology: fednet.Star})
-	if err := CentralizedRound(net, models, "m", -1, false); err != nil {
+	if _, err := CentralizedRound(net, models, "m", -1, false); err != nil {
 		t.Fatal(err)
 	}
 	for i := 1; i < n; i++ {
@@ -220,7 +226,7 @@ func TestCentralizedRoundHubAsPureServer(t *testing.T) {
 	want := nn.CloneParams(models[1].Params())
 	nn.AverageParamSets(want, nn.CloneParams(models[1].Params()), nn.CloneParams(models[2].Params()))
 	net := fednet.New(n, fednet.Config{Topology: fednet.Star})
-	if err := CentralizedRound(net, models, "m", -1, true); err != nil {
+	if _, err := CentralizedRound(net, models, "m", -1, true); err != nil {
 		t.Fatal(err)
 	}
 	for j, p := range models[1].Params() {
@@ -232,7 +238,7 @@ func TestCentralizedRoundHubAsPureServer(t *testing.T) {
 
 func TestCentralizedRoundRequiresStar(t *testing.T) {
 	net := fednet.New(2, fednet.Config{})
-	if err := CentralizedRound(net, mlps(2, 80), "m", -1, false); err == nil {
+	if _, err := CentralizedRound(net, mlps(2, 80), "m", -1, false); err == nil {
 		t.Fatal("all-to-all network accepted")
 	}
 }
@@ -291,22 +297,22 @@ func TestPropDecentralizedPreservesMean(t *testing.T) {
 func TestCentralizedRoundErrorPaths(t *testing.T) {
 	// Model-count mismatch.
 	star := fednet.New(3, fednet.Config{Topology: fednet.Star})
-	if err := CentralizedRound(star, mlps(2, 1), "m", -1, false); err == nil {
+	if _, err := CentralizedRound(star, mlps(2, 1), "m", -1, false); err == nil {
 		t.Fatal("count mismatch accepted")
 	}
 	// Single agent is a no-op.
 	one := fednet.New(1, fednet.Config{Topology: fednet.Star})
-	if err := CentralizedRound(one, mlps(1, 1), "m", -1, false); err != nil {
+	if _, err := CentralizedRound(one, mlps(1, 1), "m", -1, false); err != nil {
 		t.Fatalf("single-agent round: %v", err)
 	}
 	// Hub-as-server with every upload dropped: no sets to average.
 	lossy := fednet.New(3, fednet.Config{Topology: fednet.Star, DropProb: 1, Seed: 1})
-	if err := CentralizedRound(lossy, mlps(3, 2), "m", -1, true); err == nil {
+	if _, err := CentralizedRound(lossy, mlps(3, 2), "m", -1, true); err == nil {
 		t.Fatal("hub with zero uploads should error")
 	}
 	// Hub participating with all uploads dropped still averages itself.
 	lossy2 := fednet.New(3, fednet.Config{Topology: fednet.Star, DropProb: 1, Seed: 1})
-	if err := CentralizedRound(lossy2, mlps(3, 3), "m", -1, false); err != nil {
+	if _, err := CentralizedRound(lossy2, mlps(3, 3), "m", -1, false); err != nil {
 		t.Fatalf("participating hub should tolerate dropped uploads: %v", err)
 	}
 }
@@ -316,7 +322,7 @@ func TestCentralizedRoundPersonalizationSplit(t *testing.T) {
 	alpha := 1
 	models := mlps(n, 900)
 	net := fednet.New(n, fednet.Config{Topology: fednet.Star})
-	if err := CentralizedRound(net, models, "m", alpha, true); err != nil {
+	if _, err := CentralizedRound(net, models, "m", alpha, true); err != nil {
 		t.Fatal(err)
 	}
 	// Spokes' base layers converge; deeper layers stay distinct.

@@ -2,6 +2,7 @@ package fed
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/fednet"
 	"repro/internal/nn"
@@ -18,42 +19,65 @@ import (
 // This is the standard gossip-averaging alternative to the paper's
 // all-to-all broadcast; the topology ablation bench compares the two.
 // alpha selects the shared trainable-layer prefix as in DecentralizedRound.
-func GossipRound(net *fednet.Network, models []*nn.Sequential, kind string, alpha int) error {
+//
+// The round degrades the same way DecentralizedRound does: corrupt or
+// diverged neighbor sets are quarantined into the report, crashed agents
+// sit the round out, and an agent averaging zero sets keeps its current
+// parameters. The round still completes for every other agent in that
+// case; the returned error then names each starved agent and itemizes
+// exactly which senders and kinds were rejected and why.
+func GossipRound(net *fednet.Network, models []*nn.Sequential, kind string, alpha int) (RoundReport, error) {
+	var rep RoundReport
 	if net.Config().Topology != fednet.Ring {
-		return fmt.Errorf("fed: GossipRound requires a ring network, have %v", net.Config().Topology)
+		return rep, fmt.Errorf("fed: GossipRound requires a ring network, have %v", net.Config().Topology)
 	}
 	if net.N() != len(models) {
-		return fmt.Errorf("fed: %d models for %d network agents", len(models), net.N())
+		return rep, fmt.Errorf("fed: %d models for %d network agents", len(models), net.N())
 	}
 	n := len(models)
 	if n == 1 {
-		return nil
+		return RoundReport{Agents: 1, MinSets: 1, MaxSets: 1}, nil
+	}
+	live := make([]bool, n)
+	for i := range models {
+		if net.AgentDown(i) {
+			rep.Crashed++
+			continue
+		}
+		live[i] = true
+		rep.Agents++
 	}
 	snaps := make([][]*tensor.Matrix, n)
 	for i, m := range models {
+		if !live[i] {
+			continue
+		}
 		snaps[i] = nn.CloneParams(baseParams(m, alpha))
 		if err := net.Broadcast(i, kind, MarshalParams(snaps[i])); err != nil {
-			return err
+			return rep, err
 		}
 	}
+	var starved []int
 	for i, m := range models {
-		base := baseParams(m, alpha)
-		sets := [][]*tensor.Matrix{snaps[i]}
-		for _, msg := range net.Collect(i) {
-			if msg.Kind != kind {
-				continue
-			}
-			got, err := UnmarshalParamsLike(base, msg.Payload)
-			if err != nil {
-				return fmt.Errorf("fed: gossip agent %d from %d: %w", i, msg.From, err)
-			}
-			sets = append(sets, got)
+		if !live[i] {
+			continue
 		}
-		if nn.AverageParamSets(base, sets...) == 0 {
-			return fmt.Errorf("fed: gossip agent %d had every set rejected", i)
+		base := baseParams(m, alpha)
+		sets := rep.collectSets(net, i, base, kind, snaps[i])
+		rep.countSets(nn.AverageParamSets(base, sets...))
+		if len(sets) == 0 {
+			starved = append(starved, i)
 		}
 	}
-	return nil
+	if len(starved) > 0 {
+		msgs := make([]string, len(starved))
+		for si, i := range starved {
+			msgs[si] = fmt.Sprintf("agent %d averaged zero sets — %s", i, rep.rejectsFor(i))
+		}
+		return rep, fmt.Errorf("fed: gossip round (kind %q) starved %d of %d agents (%s): %w",
+			kind, len(starved), rep.Agents, strings.Join(msgs, " | "), ErrRoundStarved)
+	}
+	return rep, nil
 }
 
 // GossipDisagreement measures how far a model fleet is from consensus: the

@@ -9,10 +9,10 @@ import (
 )
 
 func TestGossipRoundRequiresRing(t *testing.T) {
-	if err := GossipRound(fednet.New(3, fednet.Config{}), mlps(3, 1), "m", -1); err == nil {
+	if _, err := GossipRound(fednet.New(3, fednet.Config{}), mlps(3, 1), "m", -1); err == nil {
 		t.Fatal("non-ring network accepted")
 	}
-	if err := GossipRound(fednet.New(3, fednet.Config{Topology: fednet.Ring}), mlps(2, 1), "m", -1); err == nil {
+	if _, err := GossipRound(fednet.New(3, fednet.Config{Topology: fednet.Ring}), mlps(2, 1), "m", -1); err == nil {
 		t.Fatal("model-count mismatch accepted")
 	}
 }
@@ -32,7 +32,7 @@ func TestGossipConvergesToGlobalMean(t *testing.T) {
 	before := GossipDisagreement(models, -1)
 	var prev float64 = before
 	for round := 0; round < 40; round++ {
-		if err := GossipRound(net, models, "m", -1); err != nil {
+		if _, err := GossipRound(net, models, "m", -1); err != nil {
 			t.Fatal(err)
 		}
 		cur := GossipDisagreement(models, -1)
@@ -60,7 +60,7 @@ func TestGossipCheaperPerRoundThanBroadcast(t *testing.T) {
 	full := fednet.New(n, fednet.Config{})
 	mr := mlps(n, 700)
 	mf := mlps(n, 700)
-	if err := GossipRound(ring, mr, "m", -1); err != nil {
+	if _, err := GossipRound(ring, mr, "m", -1); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := DecentralizedRound(full, mf, "m", -1); err != nil {

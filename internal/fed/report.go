@@ -1,0 +1,99 @@
+package fed
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reject records one parameter set excluded from a round's aggregate: who
+// was aggregating, whose payload was thrown out, on which kind, and why.
+// Rounds collect these so failures carry participation context instead of
+// an opaque error.
+type Reject struct {
+	// Agent is the aggregating agent; From the sender of the rejected
+	// set. From == Agent means the agent's own snapshot was rejected
+	// (diverged to NaN/Inf).
+	Agent, From int
+	Kind        string
+	Reason      string
+}
+
+func (r Reject) String() string {
+	if r.Agent == r.From {
+		return fmt.Sprintf("agent %d own snapshot (kind %q): %s", r.Agent, r.Kind, r.Reason)
+	}
+	return fmt.Sprintf("agent %d from %d (kind %q): %s", r.Agent, r.From, r.Kind, r.Reason)
+}
+
+// RoundReport describes how one federation round actually went — the
+// participation stats that replace hard errors when the fabric degrades.
+// A round over a clean fabric has Agents == MinSets == MaxSets and no
+// rejects; anything less means the round averaged over a subset.
+type RoundReport struct {
+	// Agents counts live participants; Crashed counts agents skipped
+	// because they were inside a crash window when the round ran.
+	Agents  int
+	Crashed int
+	// MinSets/MaxSets bound the number of parameter sets any live agent
+	// averaged (own snapshot included). For a centralized round both
+	// equal the hub's aggregate size.
+	MinSets, MaxSets int
+	// CorruptRejected counts payloads thrown out by wire validation
+	// (checksum mismatch, framing, shape); NaNRejected counts sets
+	// thrown out by the divergence filter.
+	CorruptRejected int
+	NaNRejected     int
+	// Rejects details every exclusion.
+	Rejects []Reject
+
+	// counted marks that MinSets/MaxSets have been seeded (0 is a valid
+	// aggregate size, so the zero value cannot serve as the sentinel).
+	counted bool
+}
+
+// Degraded reports whether the round fell short of full participation.
+func (r RoundReport) Degraded() bool {
+	return r.Crashed > 0 || r.CorruptRejected > 0 || r.NaNRejected > 0 ||
+		(r.Agents > 0 && r.MinSets < r.Agents)
+}
+
+// rejectsFor formats the rejects concerning one aggregating agent, for
+// error messages.
+func (r RoundReport) rejectsFor(agent int) string {
+	var parts []string
+	for _, rej := range r.Rejects {
+		if rej.Agent == agent {
+			parts = append(parts, rej.String())
+		}
+	}
+	if len(parts) == 0 {
+		return "no payloads arrived"
+	}
+	return strings.Join(parts, "; ")
+}
+
+// countSets tracks the min/max aggregate sizes across agents.
+func (r *RoundReport) countSets(n int) {
+	if !r.counted {
+		r.counted = true
+		r.MinSets, r.MaxSets = n, n
+		return
+	}
+	if n < r.MinSets {
+		r.MinSets = n
+	}
+	if n > r.MaxSets {
+		r.MaxSets = n
+	}
+}
+
+// reject records one exclusion, classifying it as corrupt (wire-level) or
+// NaN (divergence filter).
+func (r *RoundReport) reject(agent, from int, kind, reason string, corrupt bool) {
+	if corrupt {
+		r.CorruptRejected++
+	} else {
+		r.NaNRejected++
+	}
+	r.Rejects = append(r.Rejects, Reject{Agent: agent, From: from, Kind: kind, Reason: reason})
+}

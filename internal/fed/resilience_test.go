@@ -1,0 +1,198 @@
+package fed
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fednet"
+	"repro/internal/nn"
+)
+
+func TestChecksumTamperRejected(t *testing.T) {
+	m := mlps(1, 3)[0]
+	blob := MarshalParams(m.Params())
+	if len(blob) <= WireOverhead {
+		t.Fatal("blob too small")
+	}
+	// Flip one bit in the body: the CRC must catch it.
+	tampered := append([]byte(nil), blob...)
+	tampered[WireOverhead+5] ^= 0x10
+	if _, err := UnmarshalParamsLike(m.Params(), tampered); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampered body not rejected as checksum failure: %v", err)
+	}
+	// Damage the magic: rejected as a framing error.
+	tampered = append([]byte(nil), blob...)
+	tampered[0] ^= 0xFF
+	if _, err := UnmarshalParamsLike(m.Params(), tampered); err == nil {
+		t.Fatal("damaged magic accepted")
+	}
+}
+
+func TestDecentralizedRoundCorruptRejected(t *testing.T) {
+	n := 3
+	models := mlps(n, 20)
+	before := make([][]float64, 0)
+	for _, m := range models {
+		for _, p := range m.Params() {
+			before = append(before, append([]float64(nil), p.Data...))
+		}
+	}
+	net := fednet.New(n, fednet.Config{Faults: fednet.FaultPlan{CorruptProb: 1, Seed: 5}})
+	rep, err := DecentralizedRound(net, models, "m", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CorruptRejected != n*(n-1) {
+		t.Fatalf("CorruptRejected = %d, want %d", rep.CorruptRejected, n*(n-1))
+	}
+	if rep.MinSets != 1 || rep.MaxSets != 1 || !rep.Degraded() {
+		t.Fatalf("report %+v, want every agent reduced to its own snapshot", rep)
+	}
+	if len(rep.Rejects) != n*(n-1) {
+		t.Fatalf("%d reject records, want %d", len(rep.Rejects), n*(n-1))
+	}
+	// Averaging only your own snapshot is the identity: no model moves.
+	i := 0
+	for _, m := range models {
+		for _, p := range m.Params() {
+			for k, v := range p.Data {
+				if v != before[i][k] {
+					t.Fatal("model changed despite all peer sets rejected")
+				}
+			}
+			i++
+		}
+	}
+}
+
+func TestDecentralizedRoundCrashSkip(t *testing.T) {
+	n := 3
+	models := mlps(n, 30)
+	crashedBefore := nn.CloneParams(models[1].Params())
+	net := fednet.New(n, fednet.Config{
+		Faults: fednet.FaultPlan{Crashes: []fednet.CrashWindow{{Agent: 1, StartMin: 0, EndMin: 60}}},
+	})
+	rep, err := DecentralizedRound(net, models, "m", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashed != 1 || rep.Agents != n-1 {
+		t.Fatalf("report %+v, want 1 crashed of %d", rep, n)
+	}
+	// Live agents average over the live subset only.
+	if rep.MinSets != n-1 || rep.MaxSets != n-1 {
+		t.Fatalf("live agents saw [%d,%d] sets, want %d", rep.MinSets, rep.MaxSets, n-1)
+	}
+	for i, p := range models[1].Params() {
+		if !p.Equal(crashedBefore[i]) {
+			t.Fatal("crashed agent's model was modified")
+		}
+	}
+}
+
+func TestCentralizedRoundCrashedHub(t *testing.T) {
+	n := 3
+	models := mlps(n, 40)
+	before := nn.CloneParams(models[0].Params())
+	net := fednet.New(n, fednet.Config{
+		Topology: fednet.Star,
+		Faults:   fednet.FaultPlan{Crashes: []fednet.CrashWindow{{Agent: 0, StartMin: 0, EndMin: 60}}},
+	})
+	rep, err := CentralizedRound(net, models, "m", -1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashed != 1 {
+		t.Fatalf("report %+v, want crashed hub recorded", rep)
+	}
+	for i, p := range models[0].Params() {
+		if !p.Equal(before[i]) {
+			t.Fatal("crashed hub's model was modified")
+		}
+	}
+}
+
+// TestGossipStarvedErrorNamesAgents pins the (previously opaque) starved-
+// round error: it must name each starved agent, itemize the rejected
+// senders/kinds with reasons, and wrap ErrRoundStarved for errors.Is.
+func TestGossipStarvedErrorNamesAgents(t *testing.T) {
+	n := 3
+	models := mlps(n, 50)
+	// Agent 0's own snapshot is poisoned with NaN and every received
+	// payload is corrupted: agent 0 ends the round with zero valid sets.
+	models[0].Params()[0].Data[0] = nan()
+	net := fednet.New(n, fednet.Config{
+		Topology: fednet.Ring,
+		Faults:   fednet.FaultPlan{CorruptProb: 1, Seed: 6},
+	})
+	rep, err := GossipRound(net, models, "drl", -1)
+	if err == nil {
+		t.Fatal("starved round returned nil error")
+	}
+	if !errors.Is(err, ErrRoundStarved) {
+		t.Fatalf("error does not wrap ErrRoundStarved: %v", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"agent 0", "drl", "checksum"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("starved error %q missing %q", msg, want)
+		}
+	}
+	if rep.NaNRejected == 0 || rep.CorruptRejected == 0 {
+		t.Fatalf("report %+v, want NaN and corrupt rejects recorded", rep)
+	}
+}
+
+func nan() float64 {
+	zero := 0.0
+	return zero / zero
+}
+
+// TestGossipConvergesUnderFaults is the convergence-under-faults property
+// test: ring gossip with 20% message drops, a 2-attempt retry policy, and
+// one agent fully partitioned for a window must still drive the fleet
+// disagreement monotonically (modulo bounded noise) toward zero.
+func TestGossipConvergesUnderFaults(t *testing.T) {
+	n := 6
+	models := mlps(n, 60)
+	net := fednet.New(n, fednet.Config{
+		Topology: fednet.Ring,
+		DropProb: 0.2,
+		Seed:     7,
+		Retry:    fednet.RetryPolicy{MaxAttempts: 2},
+		Faults: fednet.FaultPlan{
+			Seed: 8,
+			// Sever both ring links of agent 0 for rounds [10, 30): a
+			// fully isolated agent that must re-join consensus afterward.
+			Partitions: []fednet.Partition{
+				{A: 0, B: 1, StartMin: 10, EndMin: 30},
+				{A: 0, B: n - 1, StartMin: 10, EndMin: 30},
+			},
+		},
+	})
+	start := GossipDisagreement(models, -1)
+	if start == 0 {
+		t.Fatal("fleet starts in consensus; test is vacuous")
+	}
+	prev := start
+	const rounds = 80
+	for round := 0; round < rounds; round++ {
+		net.SetNow(round) // one simulated minute per round
+		if _, err := GossipRound(net, models, "m", -1); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		cur := GossipDisagreement(models, -1)
+		// Drops and the partition may stall progress for a round, but
+		// disagreement must never blow up.
+		if cur > prev*1.35 && cur > start/100 {
+			t.Fatalf("round %d: disagreement jumped %.3g -> %.3g", round, prev, cur)
+		}
+		prev = cur
+	}
+	final := GossipDisagreement(models, -1)
+	if final > start/20 {
+		t.Fatalf("after %d faulty rounds disagreement %.3g (start %.3g): not converging", rounds, final, start)
+	}
+}

@@ -1,0 +1,213 @@
+package fednet
+
+import (
+	"fmt"
+	"time"
+)
+
+// FaultPlan scripts deterministic fault injection into a Network, on top of
+// the i.i.d. DropProb loss process: link partitions, per-agent straggler
+// latency, payload bit-flip corruption, and agent crash/restart windows.
+// The zero value injects nothing. Windows are expressed in simulated
+// minutes against the network clock (SetNow); a network whose clock is
+// never advanced sits at minute 0, so windows starting at 0 are active
+// from construction.
+//
+// All stochastic choices (which payloads corrupt, which bit flips) come
+// from a dedicated RNG seeded by Seed, independent of the drop process, so
+// enabling corruption does not perturb an existing drop sequence and the
+// same seed reproduces byte-identical Stats.
+type FaultPlan struct {
+	// Seed drives the corruption RNG. Zero derives a seed from the
+	// network Config's Seed so distinct fabrics decorrelate by default.
+	Seed int64
+	// Partitions lists pair links that are severed during a window.
+	Partitions []Partition
+	// Stragglers lists agents whose uplink is slowed.
+	Stragglers []Straggler
+	// CorruptProb is the probability a *delivered* payload suffers a
+	// single random bit flip in transit. Corruption is applied to a copy;
+	// the sender's buffer (shared across broadcast recipients) is never
+	// mutated. The wire checksum in fed.MarshalParams catches every
+	// single-bit flip, so corrupted sets are rejected, not averaged.
+	CorruptProb float64
+	// Crashes lists agent down-time windows. A down agent can neither
+	// send nor receive, and entering a window wipes its inbox (a crashed
+	// process loses queued messages; it restarts with its model intact).
+	Crashes []CrashWindow
+}
+
+// Partition severs the link between agents A and B — both directions — for
+// simulated minutes [StartMin, EndMin). Blocked sends move no bytes (the
+// connection fails fast) and are counted in Stats.MessagesBlocked.
+type Partition struct {
+	A, B             int
+	StartMin, EndMin int
+}
+
+// active reports whether the window covers minute now.
+func (p Partition) active(now int) bool { return now >= p.StartMin && now < p.EndMin }
+
+// Straggler multiplies the transfer time of every message an agent sends
+// by Factor (≥ 1), modeling a slow home uplink. Factors ≤ 1 are ignored.
+type Straggler struct {
+	Agent  int
+	Factor float64
+}
+
+// CrashWindow takes an agent down for simulated minutes [StartMin, EndMin).
+type CrashWindow struct {
+	Agent            int
+	StartMin, EndMin int
+}
+
+// active reports whether the window covers minute now.
+func (w CrashWindow) active(now int) bool { return now >= w.StartMin && now < w.EndMin }
+
+// Empty reports whether the plan injects nothing.
+func (p FaultPlan) Empty() bool {
+	return len(p.Partitions) == 0 && len(p.Stragglers) == 0 &&
+		p.CorruptProb == 0 && len(p.Crashes) == 0
+}
+
+// Validate checks agent references and probability ranges against a network
+// of n agents.
+func (p FaultPlan) Validate(n int) error {
+	for _, pt := range p.Partitions {
+		if pt.A < 0 || pt.A >= n || pt.B < 0 || pt.B >= n {
+			return fmt.Errorf("fednet: partition %d–%d outside agent range [0,%d)", pt.A, pt.B, n)
+		}
+		if pt.A == pt.B {
+			return fmt.Errorf("fednet: partition of agent %d with itself", pt.A)
+		}
+	}
+	for _, s := range p.Stragglers {
+		if s.Agent < 0 || s.Agent >= n {
+			return fmt.Errorf("fednet: straggler agent %d outside range [0,%d)", s.Agent, n)
+		}
+	}
+	for _, c := range p.Crashes {
+		if c.Agent < 0 || c.Agent >= n {
+			return fmt.Errorf("fednet: crash agent %d outside range [0,%d)", c.Agent, n)
+		}
+	}
+	if p.CorruptProb < 0 || p.CorruptProb > 1 {
+		return fmt.Errorf("fednet: CorruptProb %v outside [0,1]", p.CorruptProb)
+	}
+	return nil
+}
+
+// MaxAgent returns the highest agent index the plan references, or -1 for
+// a plan touching no specific agent.
+func (p FaultPlan) MaxAgent() int {
+	max := -1
+	up := func(a int) {
+		if a > max {
+			max = a
+		}
+	}
+	for _, pt := range p.Partitions {
+		up(pt.A)
+		up(pt.B)
+	}
+	for _, s := range p.Stragglers {
+		up(s.Agent)
+	}
+	for _, c := range p.Crashes {
+		up(c.Agent)
+	}
+	return max
+}
+
+// down reports whether agent is inside a crash window at minute now.
+func (p FaultPlan) down(agent, now int) bool {
+	for _, c := range p.Crashes {
+		if c.Agent == agent && c.active(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// blocked reports whether a from→to delivery is impossible at minute now:
+// either endpoint crashed, or the pair partitioned.
+func (p FaultPlan) blocked(from, to, now int) bool {
+	if p.down(from, now) || p.down(to, now) {
+		return true
+	}
+	for _, pt := range p.Partitions {
+		if pt.active(now) && ((pt.A == from && pt.B == to) || (pt.A == to && pt.B == from)) {
+			return true
+		}
+	}
+	return false
+}
+
+// factor returns the straggler latency multiplier for an agent's sends
+// (1 when the agent is not a straggler).
+func (p FaultPlan) factor(agent int) float64 {
+	f := 1.0
+	for _, s := range p.Stragglers {
+		if s.Agent == agent && s.Factor > f {
+			f = s.Factor
+		}
+	}
+	return f
+}
+
+// PartitionSeconds returns the total severed link time over a run of
+// totalMinutes simulated minutes: the sum over partitions of their window
+// length clipped to [0, totalMinutes), in seconds. The resilience report
+// quotes it so experiments can state how much outage a run absorbed.
+func (p FaultPlan) PartitionSeconds(totalMinutes int) float64 {
+	total := 0.0
+	for _, pt := range p.Partitions {
+		start, end := pt.StartMin, pt.EndMin
+		if start < 0 {
+			start = 0
+		}
+		if end > totalMinutes {
+			end = totalMinutes
+		}
+		if end > start {
+			total += float64(end-start) * 60
+		}
+	}
+	return total
+}
+
+// RetryPolicy configures send-side retry on the acked transport used by
+// Broadcast (and SendReliable). The zero value means fire-and-forget: one
+// attempt, no backoff — exactly the pre-retry fabric behavior.
+//
+// Every attempt, including retries, is charged to Stats (messages, bytes,
+// simulated transfer time) so the communication-overhead figures stay
+// honest; retry traffic is additionally broken out in Stats.Retries and
+// Stats.RetryBytes. Backoff waits accrue simulated time in
+// Stats.BackoffTime (also folded into Stats.SimulatedTime).
+type RetryPolicy struct {
+	// MaxAttempts is the total delivery attempts per message. Values ≤ 1
+	// mean a single attempt (no retry).
+	MaxAttempts int
+	// Backoff is the simulated wait before the first retry (default 5ms).
+	Backoff time.Duration
+	// BackoffFactor scales the wait after each failed attempt (default 2).
+	BackoffFactor float64
+	// RoundBudget caps the total simulated backoff one Broadcast may
+	// spend across all its recipients — the per-round timeout budget.
+	// 0 means unlimited.
+	RoundBudget time.Duration
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.MaxAttempts < 1 {
+		r.MaxAttempts = 1
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = 5 * time.Millisecond
+	}
+	if r.BackoffFactor < 1 {
+		r.BackoffFactor = 2
+	}
+	return r
+}

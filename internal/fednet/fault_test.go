@@ -1,0 +1,317 @@
+package fednet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestFaultScenarios is the table-driven scenario suite for the fault
+// layer: each case scripts clock movement and sends against a faulted
+// network and asserts the exact resulting Stats — byte-exact accounting
+// under fixed seeds is the contract the communication figures rest on.
+func TestFaultScenarios(t *testing.T) {
+	payload := []byte("0123456789") // 10 bytes
+	cases := []struct {
+		name   string
+		cfg    Config
+		script func(t *testing.T, nw *Network)
+		want   Stats
+	}{
+		{
+			name: "partition window blocks only inside the window",
+			cfg: Config{BaseLatency: time.Millisecond, BandwidthBps: 1e6,
+				Faults: FaultPlan{Partitions: []Partition{{A: 0, B: 1, StartMin: 10, EndMin: 20}}}},
+			script: func(t *testing.T, nw *Network) {
+				nw.SetNow(5)
+				mustSend(t, nw, 0, 1, payload) // before window: delivered
+				nw.SetNow(10)
+				mustSend(t, nw, 0, 1, payload) // inside: blocked
+				mustSend(t, nw, 1, 0, payload) // both directions blocked
+				mustSend(t, nw, 0, 2, payload) // other links unaffected
+				nw.SetNow(20)
+				mustSend(t, nw, 0, 1, payload) // window closed: delivered
+				if got := nw.Pending(1); got != 2 {
+					t.Fatalf("agent 1 got %d messages, want 2", got)
+				}
+			},
+			want: Stats{MessagesSent: 3, MessagesBlocked: 2, BytesSent: 30,
+				SimulatedTime: 3 * (time.Millisecond + 10*time.Microsecond)},
+		},
+		{
+			name: "straggler inflates only its own uplink time",
+			cfg: Config{BaseLatency: time.Millisecond, BandwidthBps: 1e6,
+				Faults: FaultPlan{Stragglers: []Straggler{{Agent: 0, Factor: 3}}}},
+			script: func(t *testing.T, nw *Network) {
+				mustSend(t, nw, 0, 1, payload) // 3× transfer time
+				mustSend(t, nw, 1, 0, payload) // 1× transfer time
+			},
+			want: Stats{MessagesSent: 2, BytesSent: 20,
+				SimulatedTime: 4 * (time.Millisecond + 10*time.Microsecond)},
+		},
+		{
+			name: "crash window blocks both directions and wipes the inbox",
+			cfg: Config{BaseLatency: time.Millisecond, BandwidthBps: 1e6,
+				Faults: FaultPlan{Crashes: []CrashWindow{{Agent: 1, StartMin: 60, EndMin: 120}}}},
+			script: func(t *testing.T, nw *Network) {
+				mustSend(t, nw, 0, 1, payload) // up: delivered, queued
+				nw.SetNow(60)                  // crash: queued message lost
+				if got := nw.Pending(1); got != 0 {
+					t.Fatalf("crash left %d messages in inbox", got)
+				}
+				if !nw.AgentDown(1) {
+					t.Fatal("agent 1 should be down")
+				}
+				mustSend(t, nw, 0, 1, payload) // to down agent: blocked
+				mustSend(t, nw, 1, 2, payload) // from down agent: blocked
+				nw.SetNow(120)                 // restart
+				if nw.AgentDown(1) {
+					t.Fatal("agent 1 should be back up")
+				}
+				mustSend(t, nw, 0, 1, payload)
+				if got := nw.Pending(1); got != 1 {
+					t.Fatalf("after restart agent 1 has %d messages, want 1", got)
+				}
+			},
+			want: Stats{MessagesSent: 2, MessagesBlocked: 2, InboxWiped: 1, BytesSent: 20,
+				SimulatedTime: 2 * (time.Millisecond + 10*time.Microsecond)},
+		},
+		{
+			name: "corruption flips one bit in a copy and is counted",
+			cfg: Config{BaseLatency: time.Millisecond, BandwidthBps: 1e6,
+				Faults: FaultPlan{CorruptProb: 1, Seed: 11}},
+			script: func(t *testing.T, nw *Network) {
+				orig := append([]byte(nil), payload...)
+				mustSend(t, nw, 0, 1, orig)
+				if !bytes.Equal(orig, payload) {
+					t.Fatal("corruption mutated the sender's buffer")
+				}
+				got := nw.Collect(1)[0].Payload
+				if diff := bitDiff(orig, got); diff != 1 {
+					t.Fatalf("payload differs by %d bits, want exactly 1", diff)
+				}
+			},
+			want: Stats{MessagesSent: 1, MessagesCorrupted: 1, BytesSent: 10,
+				SimulatedTime: time.Millisecond + 10*time.Microsecond},
+		},
+		{
+			name: "give-up after exhausting retries, every attempt billed",
+			cfg: Config{BaseLatency: time.Millisecond, BandwidthBps: 1e6,
+				DropProb: 1, Seed: 1,
+				Retry: RetryPolicy{MaxAttempts: 3, Backoff: 5 * time.Millisecond}},
+			script: func(t *testing.T, nw *Network) {
+				ok, err := nw.SendReliable(0, 1, "k", payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					t.Fatal("DropProb=1 delivery claimed success")
+				}
+			},
+			want: Stats{MessagesSent: 3, MessagesDropped: 3, Retries: 2, GaveUp: 1,
+				BytesSent: 30, RetryBytes: 20, BackoffTime: 15 * time.Millisecond,
+				SimulatedTime: 3*(time.Millisecond+10*time.Microsecond) + 15*time.Millisecond},
+		},
+		{
+			name: "round budget shared across broadcast recipients",
+			cfg: Config{BaseLatency: time.Millisecond, BandwidthBps: 1e6,
+				DropProb: 1, Seed: 1,
+				Retry: RetryPolicy{MaxAttempts: 5, Backoff: 5 * time.Millisecond, RoundBudget: 5 * time.Millisecond}},
+			script: func(t *testing.T, nw *Network) {
+				// The 5ms budget buys recipient 1 a single 5ms backoff
+				// (2 attempts); recipient 2 finds it spent and gets 1.
+				if err := nw.Broadcast(0, "k", payload); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: Stats{MessagesSent: 3, MessagesDropped: 3, Retries: 1, GaveUp: 2,
+				BytesSent: 30, RetryBytes: 10, BackoffTime: 5 * time.Millisecond,
+				SimulatedTime: 3*(time.Millisecond+10*time.Microsecond) + 5*time.Millisecond},
+		},
+		{
+			name: "partitioned link burns backoff but no bytes",
+			cfg: Config{BaseLatency: time.Millisecond, BandwidthBps: 1e6,
+				Retry:  RetryPolicy{MaxAttempts: 3, Backoff: 5 * time.Millisecond},
+				Faults: FaultPlan{Partitions: []Partition{{A: 0, B: 1, StartMin: 0, EndMin: 100}}}},
+			script: func(t *testing.T, nw *Network) {
+				ok, err := nw.SendReliable(0, 1, "k", payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					t.Fatal("partitioned delivery claimed success")
+				}
+			},
+			want: Stats{MessagesBlocked: 3, GaveUp: 1,
+				BackoffTime: 15 * time.Millisecond, SimulatedTime: 15 * time.Millisecond},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nw := New(3, tc.cfg)
+			tc.script(t, nw)
+			if got := nw.Stats(); got != tc.want {
+				t.Fatalf("stats\n got %+v\nwant %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func mustSend(t *testing.T, nw *Network, from, to int, payload []byte) {
+	t.Helper()
+	if err := nw.Send(from, to, "k", payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bitDiff counts differing bits between equal-length byte slices.
+func bitDiff(a, b []byte) int {
+	if len(a) != len(b) {
+		return -1
+	}
+	n := 0
+	for i := range a {
+		for x := a[i] ^ b[i]; x != 0; x &= x - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRetryDeliversAfterDrop picks a seed whose first draw drops and
+// second delivers, asserting the retry path's exact accounting.
+func TestRetryDeliversAfterDrop(t *testing.T) {
+	// Find a seed deterministically: first Float64 < 0.5, second ≥ 0.5 is
+	// not required — we scan a fixed small range once and then hard-assert
+	// the behavior so the test stays reproducible.
+	seed := int64(-1)
+	for s := int64(0); s < 64; s++ {
+		nw := New(2, Config{DropProb: 0.5, Seed: s})
+		_ = nw.Send(0, 1, "k", []byte("x"))
+		st := nw.Stats()
+		if st.MessagesDropped == 1 {
+			// First draw drops under this seed; check the second delivers.
+			nw2 := New(2, Config{DropProb: 0.5, Seed: s,
+				Retry: RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond}})
+			ok, err := nw2.SendReliable(0, 1, "k", []byte("x"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				seed = s
+				break
+			}
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no drop-then-deliver seed in scan range")
+	}
+	nw := New(2, Config{DropProb: 0.5, Seed: seed,
+		Retry: RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond}})
+	ok, err := nw.SendReliable(0, 1, "k", []byte("xyz"))
+	if err != nil || !ok {
+		t.Fatalf("retry delivery failed: ok=%v err=%v", ok, err)
+	}
+	st := nw.Stats()
+	if st.MessagesSent != 2 || st.MessagesDropped != 1 || st.Retries != 1 ||
+		st.RetryBytes != 3 || st.GaveUp != 0 || st.BackoffTime != time.Millisecond {
+		t.Fatalf("retry accounting %+v", st)
+	}
+	if nw.Pending(1) != 1 {
+		t.Fatal("message not delivered")
+	}
+}
+
+// TestFaultPlanDeterministicByteExact replays a mixed chaos script twice
+// and requires bit-identical Stats — the reproducibility contract for
+// every figure driven by these counters.
+func TestFaultPlanDeterministicByteExact(t *testing.T) {
+	run := func() Stats {
+		nw := New(4, Config{
+			DropProb: 0.3, Seed: 42,
+			Retry: RetryPolicy{MaxAttempts: 3, Backoff: 2 * time.Millisecond, RoundBudget: 50 * time.Millisecond},
+			Faults: FaultPlan{
+				Seed:        7,
+				CorruptProb: 0.2,
+				Partitions:  []Partition{{A: 1, B: 2, StartMin: 30, EndMin: 90}},
+				Stragglers:  []Straggler{{Agent: 3, Factor: 4}},
+				Crashes:     []CrashWindow{{Agent: 0, StartMin: 100, EndMin: 140}},
+			},
+		})
+		payload := make([]byte, 64)
+		for minute := 0; minute < 200; minute += 10 {
+			nw.SetNow(minute)
+			for from := 0; from < 4; from++ {
+				_ = nw.Broadcast(from, "chaos", payload)
+			}
+			for a := 0; a < 4; a++ {
+				nw.Collect(a)
+			}
+		}
+		return nw.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("chaos fabric not deterministic:\n  %+v\nvs %+v", a, b)
+	}
+	if a.Retries == 0 || a.MessagesCorrupted == 0 || a.MessagesBlocked == 0 || a.RetryBytes == 0 {
+		t.Fatalf("chaos script failed to exercise the fault layer: %+v", a)
+	}
+}
+
+// TestFaultPlanValidate covers the constructor's plan validation.
+func TestFaultPlanValidate(t *testing.T) {
+	bad := []FaultPlan{
+		{Partitions: []Partition{{A: 0, B: 5}}},
+		{Partitions: []Partition{{A: 1, B: 1}}},
+		{Stragglers: []Straggler{{Agent: -1}}},
+		{Crashes: []CrashWindow{{Agent: 9}}},
+		{CorruptProb: 1.5},
+	}
+	for i, plan := range bad {
+		if err := plan.Validate(3); err == nil {
+			t.Fatalf("bad plan %d accepted", i)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New with bad plan %d did not panic", i)
+				}
+			}()
+			New(3, Config{Faults: plan})
+		}()
+	}
+	good := FaultPlan{
+		Partitions: []Partition{{A: 0, B: 2, EndMin: 10}},
+		Stragglers: []Straggler{{Agent: 2, Factor: 2}},
+		Crashes:    []CrashWindow{{Agent: 1, EndMin: 5}},
+	}
+	if err := good.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := good.MaxAgent(); got != 2 {
+		t.Fatalf("MaxAgent = %d, want 2", got)
+	}
+	if (FaultPlan{}).MaxAgent() != -1 {
+		t.Fatal("empty plan MaxAgent should be -1")
+	}
+	if !(FaultPlan{}).Empty() || good.Empty() {
+		t.Fatal("Empty misclassifies")
+	}
+}
+
+// TestPartitionSeconds checks outage accounting clips to the run window.
+func TestPartitionSeconds(t *testing.T) {
+	plan := FaultPlan{Partitions: []Partition{
+		{A: 0, B: 1, StartMin: 10, EndMin: 30},  // fully inside: 20 min
+		{A: 0, B: 2, StartMin: -5, EndMin: 10},  // clipped at 0: 10 min
+		{A: 1, B: 2, StartMin: 90, EndMin: 200}, // clipped at 100: 10 min
+		{A: 0, B: 1, StartMin: 300, EndMin: 400},
+	}}
+	if got := plan.PartitionSeconds(100); got != 40*60 {
+		t.Fatalf("PartitionSeconds = %v, want %v", got, 40*60)
+	}
+	if (FaultPlan{}).PartitionSeconds(100) != 0 {
+		t.Fatal("empty plan should have zero outage")
+	}
+}

@@ -9,7 +9,12 @@
 //   - per-message byte and count accounting (the communication-overhead
 //     experiments, Figs 13–14, are driven by these numbers),
 //   - a linear latency model (base + bytes/bandwidth) for simulated time,
-//   - deterministic probabilistic message drops for failure injection.
+//   - deterministic probabilistic message drops for failure injection,
+//   - a scripted FaultPlan layering link partitions, straggler latency,
+//     payload corruption, and agent crash/restart windows on top of the
+//     drop process (see fault.go),
+//   - an optional acked transport with retry/backoff (RetryPolicy) whose
+//     every attempt — retries included — is charged to the byte counters.
 //
 // It is safe for concurrent use: agents may train and broadcast from their
 // own goroutines.
@@ -64,6 +69,12 @@ type Config struct {
 	DropProb float64
 	// Seed drives the drop process deterministically.
 	Seed int64
+	// Faults scripts partitions, stragglers, corruption, and crashes.
+	// The zero value injects nothing.
+	Faults FaultPlan
+	// Retry configures the acked transport used by Broadcast and
+	// SendReliable. The zero value is fire-and-forget (one attempt).
+	Retry RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -90,14 +101,38 @@ type Message struct {
 	Payload []byte
 }
 
-// Stats aggregates fabric usage.
+// Stats aggregates fabric usage. Every delivery attempt that reaches the
+// wire — first tries and retries alike — is charged to MessagesSent /
+// BytesSent / SimulatedTime, keeping the overhead figures honest; the
+// retry share is additionally broken out in Retries / RetryBytes.
 type Stats struct {
 	MessagesSent    int
 	MessagesDropped int
-	BytesSent       int64
+	// MessagesCorrupted counts delivered payloads that suffered a
+	// FaultPlan bit flip in transit.
+	MessagesCorrupted int
+	// MessagesBlocked counts sends suppressed by a partition or crash
+	// window. Blocked sends move no bytes: the link fails fast.
+	MessagesBlocked int
+	// Retries counts attempts after the first on the acked transport;
+	// GaveUp counts deliveries abandoned after exhausting the retry
+	// policy's attempts or the round's backoff budget.
+	Retries int
+	GaveUp  int
+	// InboxWiped counts messages lost from the inboxes of agents
+	// entering a crash window.
+	InboxWiped int
+
+	BytesSent int64
+	// RetryBytes is the share of BytesSent spent on retry attempts.
+	RetryBytes int64
 	// SimulatedTime is the accumulated serialized transfer time of all
-	// messages (the denominator experiments divide by agents or rounds).
+	// messages (the denominator experiments divide by agents or rounds),
+	// including straggler inflation and retry backoff waits.
 	SimulatedTime time.Duration
+	// BackoffTime is the share of SimulatedTime spent waiting between
+	// retry attempts.
+	BackoffTime time.Duration
 }
 
 // Network is the simulated fabric.
@@ -107,19 +142,34 @@ type Network struct {
 	mu      sync.Mutex
 	inboxes [][]Message
 	rng     *rand.Rand
-	stats   Stats
+	// crng drives FaultPlan corruption independently of the drop process.
+	crng *rand.Rand
+	// now is the simulated clock in minutes; FaultPlan windows are
+	// evaluated against it.
+	now   int
+	stats Stats
 }
 
 // New creates a network of n agents. For Star topology, agent 0 is the hub.
+// It panics on an invalid FaultPlan (out-of-range agents), matching the
+// constructor's n < 1 contract.
 func New(n int, cfg Config) *Network {
 	if n < 1 {
 		panic(fmt.Sprintf("fednet: need at least 1 agent, got %d", n))
 	}
+	if err := cfg.Faults.Validate(n); err != nil {
+		panic(err.Error())
+	}
 	cfg = cfg.withDefaults()
+	fseed := cfg.Faults.Seed
+	if fseed == 0 {
+		fseed = cfg.Seed + 0x5eed
+	}
 	return &Network{
 		cfg:     cfg,
 		inboxes: make([][]Message, n),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		crng:    rand.New(rand.NewSource(fseed)),
 	}
 }
 
@@ -135,10 +185,8 @@ func (nw *Network) TransferTime(bytes int) time.Duration {
 	return nw.cfg.BaseLatency + time.Duration(float64(bytes)/nw.cfg.BandwidthBps*float64(time.Second))
 }
 
-// Send delivers one message, subject to topology rules and drops.
-// It returns an error for invalid endpoints or a topology violation; a
-// dropped message is not an error (the sender cannot tell).
-func (nw *Network) Send(from, to int, kind string, payload []byte) error {
+// checkSend validates endpoints and topology for a from→to message.
+func (nw *Network) checkSend(from, to int) error {
 	if err := nw.checkEndpoint(from); err != nil {
 		return err
 	}
@@ -154,42 +202,194 @@ func (nw *Network) Send(from, to int, kind string, payload []byte) error {
 	if nw.cfg.Topology == Ring && !nw.ringAdjacent(from, to) {
 		return fmt.Errorf("fednet: ring topology forbids %d -> %d (non-adjacent)", from, to)
 	}
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
+	return nil
+}
+
+// permitted reports whether the topology allows a from→to message; it is
+// the Broadcast-side filter matching checkSend's error cases.
+func (nw *Network) permitted(from, to int) bool {
+	if from == to {
+		return false
+	}
+	if nw.cfg.Topology == Star && from != 0 && to != 0 {
+		return false
+	}
+	if nw.cfg.Topology == Ring && !nw.ringAdjacent(from, to) {
+		return false
+	}
+	return true
+}
+
+// transferFor is TransferTime inflated by the sender's straggler factor.
+func (nw *Network) transferFor(from, bytes int) time.Duration {
+	t := nw.TransferTime(bytes)
+	if f := nw.cfg.Faults.factor(from); f > 1 {
+		t = time.Duration(float64(t) * f)
+	}
+	return t
+}
+
+// attemptOutcome classifies one delivery attempt.
+type attemptOutcome int
+
+const (
+	attemptDelivered attemptOutcome = iota
+	attemptDropped
+	attemptBlocked
+)
+
+// attempt performs one delivery attempt. retry marks attempts after the
+// first, whose traffic is broken out separately. Caller holds nw.mu.
+func (nw *Network) attempt(from, to int, kind string, payload []byte, retry bool) attemptOutcome {
+	if nw.cfg.Faults.blocked(from, to, nw.now) {
+		nw.stats.MessagesBlocked++
+		return attemptBlocked
+	}
 	nw.stats.MessagesSent++
 	nw.stats.BytesSent += int64(len(payload))
-	nw.stats.SimulatedTime += nw.TransferTime(len(payload))
+	nw.stats.SimulatedTime += nw.transferFor(from, len(payload))
+	if retry {
+		nw.stats.Retries++
+		nw.stats.RetryBytes += int64(len(payload))
+	}
 	if nw.cfg.DropProb > 0 && nw.rng.Float64() < nw.cfg.DropProb {
 		nw.stats.MessagesDropped++
-		return nil
+		return attemptDropped
+	}
+	if p := nw.cfg.Faults.CorruptProb; p > 0 && len(payload) > 0 && nw.crng.Float64() < p {
+		corrupted := append([]byte(nil), payload...)
+		bit := nw.crng.Intn(len(corrupted) * 8)
+		corrupted[bit/8] ^= 1 << (bit % 8)
+		payload = corrupted
+		nw.stats.MessagesCorrupted++
 	}
 	nw.inboxes[to] = append(nw.inboxes[to], Message{From: from, To: to, Kind: kind, Payload: payload})
+	return attemptDelivered
+}
+
+// sendReliable drives the acked transport for one message: attempts with
+// exponential backoff until delivery, attempt exhaustion, or (when budget
+// is non-nil) backoff-budget exhaustion. Reports whether the message was
+// delivered. Caller holds nw.mu.
+func (nw *Network) sendReliable(from, to int, kind string, payload []byte, budget *time.Duration) bool {
+	r := nw.cfg.Retry.withDefaults()
+	backoff := r.Backoff
+	for att := 0; att < r.MaxAttempts; att++ {
+		if nw.attempt(from, to, kind, payload, att > 0) == attemptDelivered {
+			return true
+		}
+		if att+1 >= r.MaxAttempts {
+			break
+		}
+		if budget != nil && *budget < backoff {
+			break // round's retry budget exhausted
+		}
+		if budget != nil {
+			*budget -= backoff
+		}
+		nw.stats.BackoffTime += backoff
+		nw.stats.SimulatedTime += backoff
+		backoff = time.Duration(float64(backoff) * r.BackoffFactor)
+	}
+	if r.MaxAttempts > 1 {
+		// Fire-and-forget sends cannot tell they failed; only the acked
+		// transport knows it gave up.
+		nw.stats.GaveUp++
+	}
+	return false
+}
+
+// Send delivers one message fire-and-forget, subject to topology rules,
+// drops, and the fault plan. It returns an error for invalid endpoints or
+// a topology violation; a dropped or blocked message is not an error (the
+// sender cannot tell). Retries never apply to Send — use SendReliable or
+// Broadcast for the acked transport.
+func (nw *Network) Send(from, to int, kind string, payload []byte) error {
+	if err := nw.checkSend(from, to); err != nil {
+		return err
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.attempt(from, to, kind, payload, false)
 	return nil
+}
+
+// SendReliable delivers one message over the acked transport: failed
+// attempts (drops, partition- or crash-blocked links) are retried with the
+// configured backoff, every attempt charged to the byte counters. It
+// reports whether the message was delivered — a false return after a
+// multi-attempt policy is also counted in Stats.GaveUp.
+func (nw *Network) SendReliable(from, to int, kind string, payload []byte) (bool, error) {
+	if err := nw.checkSend(from, to); err != nil {
+		return false, err
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.sendReliable(from, to, kind, payload, nil), nil
 }
 
 // Broadcast sends payload from an agent to every permitted peer: all other
 // agents under AllToAll, only the hub for a spoke (or every spoke for the
 // hub) under Star, the two ring neighbors under Ring. The payload is
 // shared, not copied, across recipients.
+//
+// With a multi-attempt RetryPolicy, each delivery runs on the acked
+// transport, and all deliveries share the policy's RoundBudget of backoff
+// time — once the budget is spent, remaining failures are abandoned
+// (Stats.GaveUp) so a partition cannot stall a round indefinitely.
 func (nw *Network) Broadcast(from int, kind string, payload []byte) error {
 	if err := nw.checkEndpoint(from); err != nil {
 		return err
 	}
+	r := nw.cfg.Retry.withDefaults()
+	var budget *time.Duration
+	if r.RoundBudget > 0 {
+		b := r.RoundBudget
+		budget = &b
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
 	for to := 0; to < nw.N(); to++ {
-		if to == from {
+		if !nw.permitted(from, to) {
 			continue
 		}
-		if nw.cfg.Topology == Star && from != 0 && to != 0 {
-			continue
-		}
-		if nw.cfg.Topology == Ring && !nw.ringAdjacent(from, to) {
-			continue
-		}
-		if err := nw.Send(from, to, kind, payload); err != nil {
-			return err
-		}
+		nw.sendReliable(from, to, kind, payload, budget)
 	}
 	return nil
+}
+
+// SetNow advances the simulated clock (in minutes) that FaultPlan windows
+// are evaluated against. Agents inside a crash window at the new time lose
+// their queued inbox messages — a crashed process restarts with its model
+// but not its mailbox.
+func (nw *Network) SetNow(minute int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.now = minute
+	for a := range nw.inboxes {
+		if nw.cfg.Faults.down(a, minute) && len(nw.inboxes[a]) > 0 {
+			nw.stats.InboxWiped += len(nw.inboxes[a])
+			nw.inboxes[a] = nil
+		}
+	}
+}
+
+// Now returns the simulated clock in minutes.
+func (nw *Network) Now() int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.now
+}
+
+// AgentDown reports whether an agent is inside a crash window right now.
+// Federation rounds use it to skip crashed agents entirely.
+func (nw *Network) AgentDown(agent int) bool {
+	if err := nw.checkEndpoint(agent); err != nil {
+		panic(err)
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.cfg.Faults.down(agent, nw.now)
 }
 
 // ringAdjacent reports whether a and b are neighbors on the ring.

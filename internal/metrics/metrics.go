@@ -76,6 +76,26 @@ func Quantile(sorted []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
+// Rate returns hits/total as a fraction, or 0 when total is 0 — the guard
+// every fabric-health ratio needs (a run with no traffic has no meaningful
+// rate). The resilience reporting uses it for degraded-round and give-up
+// fractions.
+func Rate(hits, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// ByteFraction is Rate for int64 byte counters: part/total, 0 when total
+// is 0. Used to express retry traffic as a share of all bytes moved.
+func ByteFraction(part, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(part) / float64(total)
+}
+
 // CDF is an empirical cumulative distribution function.
 type CDF struct {
 	// Xs are the ascending sample values; Ps[i] is P(X ≤ Xs[i]).

@@ -8,6 +8,30 @@ import (
 	"time"
 )
 
+func TestRateAndByteFraction(t *testing.T) {
+	if got := Rate(3, 4); got != 0.75 {
+		t.Fatalf("Rate(3,4) = %v", got)
+	}
+	if got := Rate(5, 0); got != 0 {
+		t.Fatalf("Rate with zero total = %v, want 0", got)
+	}
+	if got := ByteFraction(250, 1000); got != 0.25 {
+		t.Fatalf("ByteFraction(250,1000) = %v", got)
+	}
+	if got := ByteFraction(9, 0); got != 0 {
+		t.Fatalf("ByteFraction with zero total = %v, want 0", got)
+	}
+	// A fraction of a non-empty whole stays in [0,1] when part ≤ total.
+	f := func(part, total uint16) bool {
+		p, tot := int64(part%(total|1)), int64(total|1)
+		v := ByteFraction(p, tot)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3, 4, 5})
 	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
