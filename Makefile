@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench verify clean
+.PHONY: all build test race bench lint verify clean
 
 all: verify
 
@@ -21,10 +21,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Hot-path benchmark run. -benchmem makes B/op and allocs/op part of the
+# output; the `go test -json` stream is captured to BENCH_hotpath.json so
+# regressions in the zero-allocation contract (DESIGN.md §8) diff cleanly
+# across commits.
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' .
+	$(GO) test -json -bench=. -benchmem -run '^$$' . > BENCH_hotpath.json
+	@sed -n 's/.*"Output":"\(Benchmark[^"]*\)\\n".*/\1/p' BENCH_hotpath.json
+	@echo "wrote BENCH_hotpath.json"
 
-verify: build test
+lint:
+	$(GO) vet ./...
+
+verify: build test lint
 
 clean:
 	$(GO) clean ./...

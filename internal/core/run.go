@@ -156,6 +156,12 @@ func (s *System) Run() (*Result, error) {
 			frac = daySaved / dayStandby
 		}
 		res.DailySavedFrac = append(res.DailySavedFrac, frac)
+		if daySteps == 0 {
+			// Guarded here rather than silently emitting NaN: a zero-step day
+			// means the configuration yielded no EMS decisions at all.
+			return nil, fmt.Errorf("core: day %d produced no EMS steps; check Homes (%d) and DevicesPerHome (%d)",
+				day, cfg.Homes, cfg.DevicesPerHome)
+		}
 		res.DailyMeanReward = append(res.DailyMeanReward, dayReward/float64(daySteps))
 		if day == cfg.Days-1 {
 			res.PerHomeSavedKWhFinal = perHomeSaved
@@ -165,7 +171,11 @@ func (s *System) Run() (*Result, error) {
 					f = perHomeSaved[hi] / perHomeStandby[hi]
 				}
 				res.PerHomeSavedFracFinal = append(res.PerHomeSavedFracFinal, f)
-				res.PerHomeRewardFinal = append(res.PerHomeRewardFinal, perHomeReward[hi]/float64(perHomeSteps[hi]))
+				rw := 0.0
+				if perHomeSteps[hi] > 0 {
+					rw = perHomeReward[hi] / float64(perHomeSteps[hi])
+				}
+				res.PerHomeRewardFinal = append(res.PerHomeRewardFinal, rw)
 			}
 		}
 	}
@@ -291,7 +301,10 @@ func (s *System) runEMSHour(h *simHome, envs []*energy.Env, hour int) emsHourSta
 	for m := hour * 60; m < (hour+1)*60; m++ {
 		for _, env := range envs {
 			t0 := time.Now()
-			state := s.stateAt(env, m)
+			// h.obs / h.obsNext are home-owned scratch reused every minute;
+			// Observe's replay buffer copies what it keeps (see DESIGN.md
+			// "Memory model & buffer ownership").
+			state := s.stateInto(h.obs, env, m)
 			action := energy.Mode(h.agent.SelectAction(state))
 			st.testDur += time.Since(t0)
 
@@ -302,7 +315,7 @@ func (s *System) runEMSHour(h *simHome, envs []*energy.Env, hour int) emsHourSta
 			done := m == pecan.MinutesPerDay-1
 			var next []float64
 			if !done {
-				next = s.stateAt(env, m+1)
+				next = s.stateInto(h.obsNext, env, m+1)
 			}
 			t0 = time.Now()
 			h.agent.Observe(dqn.Transition{State: state, Action: int(action), Reward: r, Next: next, Done: done})

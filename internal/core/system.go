@@ -20,6 +20,11 @@ type simHome struct {
 	agent *dqn.Agent
 	// predDay[devIdx] holds the current day's hour-by-hour forecast.
 	predDay [][]float64
+	// obs/obsNext are the home's reusable observation scratch buffers
+	// (stateDim wide). stateInto fills them each EMS minute; the agent's
+	// replay buffer copies what it keeps, so reuse is safe. Each home owns
+	// its pair, which keeps the home-parallel simulation race-free.
+	obs, obsNext []float64
 }
 
 // System is a constructed simulation ready to Run.
@@ -91,6 +96,10 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 
 	for hi, ph := range ds.Homes {
+		if len(ph.Traces) == 0 {
+			return nil, fmt.Errorf("core: home %d has no device traces (DevicesPerHome=%d yields no EMS steps)",
+				hi, cfg.DevicesPerHome)
+		}
 		home := &simHome{
 			id:  hi,
 			src: ph,
@@ -109,6 +118,8 @@ func NewSystem(cfg Config) (*System, error) {
 				InitSeed: cfg.Seed + 500,
 			}),
 			predDay: make([][]float64, len(ph.Traces)),
+			obs:     make([]float64, stateDim),
+			obsNext: make([]float64, stateDim),
 		}
 		for _, tr := range ph.Traces {
 			// All homes share one initialization per device type (the
@@ -191,13 +202,35 @@ func epsilonDays(cfg Config) int {
 // Dataset exposes the generated corpus (examples and tests inspect it).
 func (s *System) Dataset() *pecan.Dataset { return s.ds }
 
-// stateAt builds the DQN observation for device di of home h at day-local
-// minute m: the energy-window state plus optional time-of-day features.
-func (s *System) stateAt(env *energy.Env, minuteOfDay int) []float64 {
-	st := env.StateAt(minuteOfDay)
-	if !s.cfg.TimeFeatures {
-		return st
+// stateInto builds the DQN observation for one device environment at
+// day-local minute m — the energy-window state plus optional time-of-day
+// features — writing into dst (length = env.StateDim() [+2 with
+// TimeFeatures]) and returning it.
+//
+// Ownership: dst is typically a simHome scratch buffer reused every minute.
+// The time features are written into dst's tail rather than appended to the
+// slice Env returns, which closes the old aliasing hazard: append on a
+// spare-capacity state slice could have written into Env-owned backing.
+// Consumers that retain the observation (the DQN replay buffer) copy it.
+func (s *System) stateInto(dst []float64, env *energy.Env, minuteOfDay int) []float64 {
+	envDim := env.StateDim()
+	if want := envDim + s.timeFeatureDims(); len(dst) != want {
+		panic(fmt.Sprintf("core: stateInto dst length %d, want %d", len(dst), want))
 	}
-	angle := 2 * math.Pi * float64(minuteOfDay) / float64(pecan.MinutesPerDay)
-	return append(st, math.Sin(angle), math.Cos(angle))
+	env.StateInto(dst[:envDim], minuteOfDay)
+	if s.cfg.TimeFeatures {
+		angle := 2 * math.Pi * float64(minuteOfDay) / float64(pecan.MinutesPerDay)
+		dst[envDim] = math.Sin(angle)
+		dst[envDim+1] = math.Cos(angle)
+	}
+	return dst
+}
+
+// timeFeatureDims returns the number of extra observation dimensions the
+// time-of-day features occupy.
+func (s *System) timeFeatureDims() int {
+	if s.cfg.TimeFeatures {
+		return 2
+	}
+	return 0
 }

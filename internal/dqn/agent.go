@@ -99,6 +99,21 @@ type Agent struct {
 	rng            *rand.Rand
 	learnSteps     int
 	actSteps       int
+
+	// onlineParams/onlineGrads/targetParams cache the (architecture-stable)
+	// parameter lists so the hot path never rebuilds them.
+	onlineParams, onlineGrads, targetParams []*tensor.Matrix
+
+	// Reusable hot-path buffers (see DESIGN.md "Memory model & buffer
+	// ownership"): actRow is the persistent 1-row scratch SelectAction
+	// evaluates through; the rest are Learn's minibatch workspaces, sized
+	// once at the first full batch.
+	actRow        *tensor.Matrix
+	batch         []Transition
+	states, nexts *tensor.Matrix
+	nextOnline    *tensor.Matrix
+	target, mask  *tensor.Matrix
+	grad          *tensor.Matrix
 }
 
 // New builds an agent from cfg (panics if StateDim is unset).
@@ -115,12 +130,16 @@ func New(cfg Config) *Agent {
 	target := nn.NewMLP(rand.New(rand.NewSource(initSeed)), widths...)
 	target.CopyParamsFrom(online)
 	return &Agent{
-		cfg:    cfg,
-		Online: online,
-		Target: target,
-		buf:    NewReplayBuffer(cfg.MemoryCapacity),
-		opt:    &nn.Adam{LR: cfg.LearnRate, Clip: 5},
-		rng:    rng,
+		cfg:          cfg,
+		Online:       online,
+		Target:       target,
+		buf:          NewReplayBuffer(cfg.MemoryCapacity),
+		opt:          &nn.Adam{LR: cfg.LearnRate, Clip: 5},
+		rng:          rng,
+		onlineParams: online.Params(),
+		onlineGrads:  online.Grads(),
+		targetParams: target.Params(),
+		actRow:       tensor.New(1, cfg.StateDim),
 	}
 }
 
@@ -136,20 +155,29 @@ func (a *Agent) MemoryLen() int { return a.buf.Len() }
 // LearnSteps returns the number of completed gradient updates.
 func (a *Agent) LearnSteps() int { return a.learnSteps }
 
-// QValues returns the online network's Q-values for a state.
-func (a *Agent) QValues(state []float64) []float64 {
+// forwardRow evaluates the online network on a single state through the
+// persistent 1-row scratch. The returned matrix is network-owned workspace,
+// valid only until the next forward pass.
+func (a *Agent) forwardRow(state []float64) *tensor.Matrix {
 	if len(state) != a.cfg.StateDim {
 		panic(fmt.Sprintf("dqn: state dim %d, want %d", len(state), a.cfg.StateDim))
 	}
-	out := a.Online.Forward(tensor.NewRowVector(state))
+	copy(a.actRow.Data, state)
+	return a.Online.Forward(a.actRow)
+}
+
+// QValues returns the online network's Q-values for a state. The returned
+// slice is freshly allocated and owned by the caller.
+func (a *Agent) QValues(state []float64) []float64 {
+	out := a.forwardRow(state)
 	q := make([]float64, a.cfg.Actions)
 	copy(q, out.Data)
 	return q
 }
 
-// Greedy returns argmax_a Q(state, a).
+// Greedy returns argmax_a Q(state, a). It allocates nothing.
 func (a *Agent) Greedy(state []float64) int {
-	q := a.QValues(state)
+	q := a.forwardRow(state).Data
 	best, bi := q[0], 0
 	for i, v := range q[1:] {
 		if v > best {
@@ -170,7 +198,9 @@ func (a *Agent) SelectAction(state []float64) int {
 	return a.Greedy(state)
 }
 
-// Observe stores a transition in replay memory.
+// Observe stores a transition in replay memory. The buffer copies t.State
+// and t.Next into storage it owns, so the caller may reuse those slices
+// immediately after Observe returns.
 func (a *Agent) Observe(t Transition) {
 	if len(t.State) != a.cfg.StateDim || (!t.Done && len(t.Next) != a.cfg.StateDim) {
 		panic("dqn: Observe with mismatched state dimensions")
@@ -188,40 +218,48 @@ func (a *Agent) Observe(t Transition) {
 //
 // It is a no-op returning NaN until the buffer holds one full batch.
 // Every TargetReplace learn steps the target network is synced.
+//
+// Learn reuses agent-owned minibatch buffers across calls: after the first
+// full batch it performs zero steady-state heap allocations.
 func (a *Agent) Learn() float64 {
 	if a.buf.Len() < a.cfg.BatchSize {
 		return math.NaN()
 	}
-	batch := a.buf.Sample(a.rng, a.cfg.BatchSize)
 	n := a.cfg.BatchSize
+	a.batch = a.buf.SampleInto(a.batch[:0], a.rng, n)
 
-	states := tensor.New(n, a.cfg.StateDim)
-	nexts := tensor.New(n, a.cfg.StateDim)
-	for i, tr := range batch {
-		states.SetRow(i, tr.State)
+	a.states = tensor.EnsureShape(a.states, n, a.cfg.StateDim)
+	a.nexts = tensor.EnsureShape(a.nexts, n, a.cfg.StateDim)
+	a.nexts.Zero() // terminal transitions must read an all-zero next state
+	for i, tr := range a.batch {
+		a.states.SetRow(i, tr.State)
 		if !tr.Done {
-			nexts.SetRow(i, tr.Next)
+			a.nexts.SetRow(i, tr.Next)
 		}
 	}
 	// Bootstrap targets from the frozen network. Under Double DQN the
 	// online network picks the argmax action and the target network scores
 	// it; under plain DQN the target network does both.
-	nextQ := a.Target.Forward(nexts)
-	var nextOnline *tensor.Matrix
+	nextQ := a.Target.Forward(a.nexts)
 	if a.cfg.DoubleDQN {
-		nextOnline = a.Online.Forward(nexts).Clone()
+		// The online pass over next-states is copied out of the network's
+		// workspace before the pass over current states overwrites it.
+		a.nextOnline = tensor.EnsureShape(a.nextOnline, n, a.cfg.Actions)
+		a.nextOnline.CopyFrom(a.Online.Forward(a.nexts))
 	}
-	qPred := a.Online.Forward(states)
+	qPred := a.Online.Forward(a.states)
 
-	target := qPred.Clone()
-	mask := tensor.New(n, a.cfg.Actions)
-	for i, tr := range batch {
+	a.target = tensor.EnsureShape(a.target, n, a.cfg.Actions)
+	a.target.CopyFrom(qPred)
+	a.mask = tensor.EnsureShape(a.mask, n, a.cfg.Actions)
+	a.mask.Zero()
+	for i, tr := range a.batch {
 		y := tr.Reward * a.cfg.RewardScale
 		if !tr.Done {
 			row := nextQ.Row(i)
 			var boot float64
 			if a.cfg.DoubleDQN {
-				sel := nextOnline.Row(i)
+				sel := a.nextOnline.Row(i)
 				bi := 0
 				for c, v := range sel[1:] {
 					if v > sel[bi] {
@@ -239,14 +277,15 @@ func (a *Agent) Learn() float64 {
 			}
 			y += a.cfg.Gamma * boot
 		}
-		target.Set(i, tr.Action, y)
-		mask.Set(i, tr.Action, 1)
+		a.target.Set(i, tr.Action, y)
+		a.mask.Set(i, tr.Action, 1)
 	}
 
-	loss, grad := nn.MaskedHuber{Delta: a.cfg.HuberDelta}.Loss(qPred, target, mask)
+	a.grad = tensor.EnsureShape(a.grad, n, a.cfg.Actions)
+	loss := nn.MaskedHuber{Delta: a.cfg.HuberDelta}.LossInto(a.grad, qPred, a.target, a.mask)
 	a.Online.ZeroGrads()
-	a.Online.Backward(grad)
-	a.opt.Step(a.Online.Params(), a.Online.Grads())
+	a.Online.Backward(a.grad)
+	a.opt.Step(a.onlineParams, a.onlineGrads)
 
 	a.learnSteps++
 	if a.learnSteps%a.cfg.TargetReplace == 0 {
@@ -255,5 +294,11 @@ func (a *Agent) Learn() float64 {
 	return loss
 }
 
-// SyncTarget copies the online parameters into the target network.
-func (a *Agent) SyncTarget() { a.Target.CopyParamsFrom(a.Online) }
+// SyncTarget copies the online parameters into the target network. It works
+// over the cached parameter lists so periodic syncs inside Learn stay
+// allocation-free.
+func (a *Agent) SyncTarget() {
+	for i, p := range a.targetParams {
+		p.CopyFrom(a.onlineParams[i])
+	}
+}

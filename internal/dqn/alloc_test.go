@@ -1,0 +1,139 @@
+package dqn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func allocTestAgent() *Agent {
+	return New(Config{
+		StateDim:      6,
+		Actions:       3,
+		Hidden:        []int{12, 12},
+		BatchSize:     8,
+		TargetReplace: 5, // small so the alloc gate crosses sync boundaries
+		Seed:          1,
+	})
+}
+
+// fillBuffer observes enough random transitions for Learn to run.
+func fillBuffer(a *Agent, n int) {
+	rng := rand.New(rand.NewSource(7))
+	s := make([]float64, a.cfg.StateDim)
+	nx := make([]float64, a.cfg.StateDim)
+	for i := 0; i < n; i++ {
+		for j := range s {
+			s[j] = rng.NormFloat64()
+			nx[j] = rng.NormFloat64()
+		}
+		tr := Transition{State: s, Action: rng.Intn(3), Reward: rng.Float64(), Next: nx}
+		if i%13 == 12 {
+			tr.Done = true
+			tr.Next = nil
+		}
+		a.Observe(tr)
+	}
+}
+
+func TestSelectActionAllocFree(t *testing.T) {
+	a := allocTestAgent()
+	state := make([]float64, a.cfg.StateDim)
+	for i := range state {
+		state[i] = float64(i) * 0.1
+	}
+	a.SelectAction(state) // warm the 1-row scratch
+	if n := testing.AllocsPerRun(50, func() { a.SelectAction(state) }); n != 0 {
+		t.Errorf("SelectAction allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { a.Greedy(state) }); n != 0 {
+		t.Errorf("Greedy allocates %v per run, want 0", n)
+	}
+}
+
+func TestLearnAllocFree(t *testing.T) {
+	a := allocTestAgent()
+	fillBuffer(a, 3*a.cfg.BatchSize)
+	if l := a.Learn(); math.IsNaN(l) {
+		t.Fatal("warmup Learn returned NaN with a full buffer")
+	}
+	// TargetReplace is 5, so 30 runs cross several sync boundaries; the gate
+	// therefore also covers SyncTarget.
+	if n := testing.AllocsPerRun(30, func() { a.Learn() }); n != 0 {
+		t.Errorf("Learn allocates %v per run, want 0", n)
+	}
+}
+
+func TestLearnDoubleDQNAllocFree(t *testing.T) {
+	a := New(Config{
+		StateDim: 6, Actions: 3, Hidden: []int{12, 12},
+		BatchSize: 8, Seed: 2, DoubleDQN: true,
+	})
+	fillBuffer(a, 3*a.cfg.BatchSize)
+	a.Learn()
+	if n := testing.AllocsPerRun(30, func() { a.Learn() }); n != 0 {
+		t.Errorf("Double-DQN Learn allocates %v per run, want 0", n)
+	}
+}
+
+// TestObserveCopiesState pins the replay ownership contract: the buffer must
+// copy State/Next on Add so callers can reuse their scratch slices.
+func TestObserveCopiesState(t *testing.T) {
+	a := allocTestAgent()
+	s := []float64{1, 2, 3, 4, 5, 6}
+	nx := []float64{7, 8, 9, 10, 11, 12}
+	a.Observe(Transition{State: s, Action: 1, Reward: 0.5, Next: nx})
+	for i := range s {
+		s[i], nx[i] = -1, -1 // caller reuses its buffers
+	}
+	stored := a.buf.buf[0]
+	if stored.State[0] != 1 || stored.Next[0] != 7 {
+		t.Fatal("replay buffer aliased caller-owned state slices")
+	}
+}
+
+func TestReplayAddReusesEvictedBacking(t *testing.T) {
+	b := NewReplayBuffer(4)
+	s := make([]float64, 3)
+	for i := 0; i < 4; i++ {
+		s[0] = float64(i)
+		b.Add(Transition{State: s, Action: 0, Next: s})
+	}
+	// The ring is full: further Adds recycle evicted slot backing arrays.
+	if n := testing.AllocsPerRun(20, func() { b.Add(Transition{State: s, Action: 0, Next: s}) }); n != 0 {
+		t.Errorf("steady-state ReplayBuffer.Add allocates %v per run, want 0", n)
+	}
+	// Done transitions keep a nil Next even when the evicted slot had one.
+	b.Add(Transition{State: s, Action: 0, Done: true})
+	idx := (b.pos + cap(b.buf) - 1) % cap(b.buf)
+	if b.buf[idx].Next != nil {
+		t.Fatal("Done transition should store nil Next")
+	}
+}
+
+func TestSampleIntoMatchesSample(t *testing.T) {
+	b := NewReplayBuffer(8)
+	s := make([]float64, 2)
+	for i := 0; i < 8; i++ {
+		s[0] = float64(i)
+		b.Add(Transition{State: s, Action: i % 3, Reward: float64(i)})
+	}
+	// Identical rng streams must yield identical draws: SampleInto preserves
+	// Sample's rng call order, which the golden-equivalence suite depends on.
+	r1 := rand.New(rand.NewSource(9))
+	r2 := rand.New(rand.NewSource(9))
+	want := b.Sample(r1, 5)
+	dst := make([]Transition, 0, 5)
+	got := b.SampleInto(dst, r2, 5)
+	if len(got) != len(want) {
+		t.Fatalf("SampleInto returned %d transitions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Reward != got[i].Reward || want[i].Action != got[i].Action {
+			t.Fatalf("SampleInto draw %d differs from Sample", i)
+		}
+	}
+	if n := testing.AllocsPerRun(20, func() { got = b.SampleInto(got[:0], r2, 5) }); n != 0 {
+		t.Errorf("SampleInto allocates %v per run, want 0", n)
+	}
+}

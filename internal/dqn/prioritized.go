@@ -62,11 +62,12 @@ func (p *PrioritizedReplay) Len() int { return p.size }
 // Cap returns the logical capacity.
 func (p *PrioritizedReplay) Cap() int { return p.capacity }
 
-// Add stores a transition at maximal current priority, evicting the oldest
-// once full.
+// Add stores a copy of the transition at maximal current priority, evicting
+// the oldest once full. Like ReplayBuffer.Add, it copies State/Next into
+// buffer-owned storage so callers may reuse their scratch slices.
 func (p *PrioritizedReplay) Add(t Transition) {
 	idx := p.pos
-	p.data[idx] = t
+	copyTransition(&p.data[idx], t)
 	p.setPriority(idx, p.maxPriority)
 	p.pos = (p.pos + 1) % p.capacity
 	if p.size < p.capacity {

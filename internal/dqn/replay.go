@@ -24,6 +24,13 @@ type Transition struct {
 }
 
 // ReplayBuffer is a fixed-capacity uniform-sampling ring buffer.
+//
+// Ownership: Add copies each transition's State/Next slices into storage the
+// buffer owns (reusing the evicted slot's backing arrays once the ring is
+// full), so callers may reuse their state scratch buffers between steps.
+// Transitions handed out by Sample/SampleInto alias buffer storage and are
+// valid until the underlying slot is overwritten — consume them before the
+// next Add cycle, and do not mutate them.
 type ReplayBuffer struct {
 	buf  []Transition
 	pos  int
@@ -49,14 +56,43 @@ func (b *ReplayBuffer) Len() int {
 	return len(b.buf)
 }
 
-// Add stores a transition, evicting the oldest once full.
+// copyTransition copies src into dst, reusing dst's State/Next backing
+// arrays when their capacity suffices. Nil slices stay nil so Done
+// transitions round-trip unchanged.
+func copyTransition(dst *Transition, src Transition) {
+	dst.State = copyFloats(dst.State, src.State)
+	dst.Next = copyFloats(dst.Next, src.Next)
+	dst.Action = src.Action
+	dst.Reward = src.Reward
+	dst.Done = src.Done
+}
+
+// copyFloats copies src into dst's backing array if it fits, else into a
+// fresh allocation. A nil src yields nil.
+func copyFloats(dst, src []float64) []float64 {
+	if src == nil {
+		return nil
+	}
+	if cap(dst) < len(src) {
+		dst = make([]float64, len(src))
+	}
+	dst = dst[:len(src)]
+	copy(dst, src)
+	return dst
+}
+
+// Add stores a copy of the transition, evicting the oldest once full. Once
+// the ring has wrapped, evicted slots donate their backing arrays to the
+// incoming transition, so steady-state Adds allocate nothing.
 func (b *ReplayBuffer) Add(t Transition) {
 	if b.full {
-		b.buf[b.pos] = t
+		copyTransition(&b.buf[b.pos], t)
 		b.pos = (b.pos + 1) % cap(b.buf)
 		return
 	}
-	b.buf = append(b.buf, t)
+	var slot Transition
+	copyTransition(&slot, t)
+	b.buf = append(b.buf, slot)
 	if len(b.buf) == cap(b.buf) {
 		b.full = true
 		b.pos = 0
@@ -64,16 +100,22 @@ func (b *ReplayBuffer) Add(t Transition) {
 }
 
 // Sample draws n transitions uniformly with replacement. It panics if the
-// buffer is empty.
+// buffer is empty. See the type comment for the aliasing contract.
 func (b *ReplayBuffer) Sample(rng *rand.Rand, n int) []Transition {
+	return b.SampleInto(make([]Transition, 0, n), rng, n)
+}
+
+// SampleInto is Sample appending into caller-provided storage (pass
+// dst[:0] to reuse a previous sample slice); with sufficient capacity it
+// allocates nothing.
+func (b *ReplayBuffer) SampleInto(dst []Transition, rng *rand.Rand, n int) []Transition {
 	if b.Len() == 0 {
 		panic("dqn: Sample from empty replay buffer")
 	}
-	out := make([]Transition, n)
-	for i := range out {
-		out[i] = b.buf[rng.Intn(b.Len())]
+	for i := 0; i < n; i++ {
+		dst = append(dst, b.buf[rng.Intn(b.Len())])
 	}
-	return out
+	return dst
 }
 
 // EpsilonSchedule is a linear exploration decay: ε starts at Start and

@@ -97,8 +97,24 @@ func (e *Env) State() []float64 {
 }
 
 // StateAt returns the observation for minute t without advancing time.
+//
+// Ownership: the returned slice is freshly allocated, owned by the caller,
+// and clamped to zero spare capacity — appending to it (as core does for
+// time features) always reallocates and can never write into Env-owned
+// memory. Hot loops should preallocate once and use StateInto instead.
 func (e *Env) StateAt(t int) []float64 {
-	s := make([]float64, e.StateDim())
+	s := e.StateInto(make([]float64, e.StateDim()), t)
+	return s[:len(s):len(s)]
+}
+
+// StateInto writes the observation for minute t into dst, which must have
+// length e.StateDim(), and returns dst. Every element is overwritten. It
+// allocates nothing, so a caller-owned scratch buffer can be recycled
+// across the ~homes×devices×1440 state builds of a simulated day.
+func (e *Env) StateInto(dst []float64, t int) []float64 {
+	if len(dst) != e.StateDim() {
+		panic(fmt.Sprintf("energy: StateInto dst length %d, want %d", len(dst), e.StateDim()))
+	}
 	norm := e.NormKW
 	if norm <= 0 {
 		norm = e.Device.OnKW
@@ -106,17 +122,21 @@ func (e *Env) StateAt(t int) []float64 {
 	// Predicted window: minutes [t, t+LookAhead).
 	for i := 0; i < e.LookAhead; i++ {
 		if idx := t + i; idx < len(e.Pred) {
-			s[i] = e.Pred[idx] / norm
+			dst[i] = e.Pred[idx] / norm
+		} else {
+			dst[i] = 0
 		}
 	}
 	// Real window: minutes (t-Delay-LookBack, t-Delay], newest last.
 	latest := t - e.SensorDelay
 	for i := 0; i < e.LookBack; i++ {
 		if idx := latest - e.LookBack + 1 + i; idx >= 0 && idx <= latest && idx < len(e.Real) {
-			s[e.LookAhead+i] = e.Real[idx] / norm
+			dst[e.LookAhead+i] = e.Real[idx] / norm
+		} else {
+			dst[e.LookAhead+i] = 0
 		}
 	}
-	return s
+	return dst
 }
 
 // TruthAt returns the ground-truth mode at minute t.

@@ -1,0 +1,80 @@
+package energy
+
+import (
+	"testing"
+)
+
+func stateTestEnv(t *testing.T) *Env {
+	t.Helper()
+	dev := Device{Type: "tv", OnKW: 0.1, StandbyKW: 0.01}
+	pred := make([]float64, 120)
+	real := make([]float64, 120)
+	for i := range pred {
+		pred[i] = 0.01 * float64(i%7)
+		real[i] = 0.01 * float64(i%5)
+	}
+	env, err := NewEnv(dev, pred, real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.LookAhead, env.LookBack = 6, 4
+	return env
+}
+
+// TestStateAtZeroSpareCapacity pins the StateAt ownership contract: the
+// returned slice is clamped to zero spare capacity, so appending to it (as
+// core's time-feature path once did) must reallocate rather than scribble
+// into Env-owned or shared memory.
+func TestStateAtZeroSpareCapacity(t *testing.T) {
+	env := stateTestEnv(t)
+	s := env.StateAt(10)
+	if cap(s) != len(s) {
+		t.Fatalf("StateAt spare capacity %d, want 0", cap(s)-len(s))
+	}
+	orig := append([]float64(nil), s...)
+	grown := append(s, 7, 8)
+	grown[0] = -1 // must not alias s after the forced reallocation
+	if s[0] != orig[0] {
+		t.Fatal("append to StateAt result aliased the original slice")
+	}
+	if s2 := env.StateAt(10); len(s2) != len(orig) {
+		t.Fatal("StateAt length changed")
+	}
+}
+
+func TestStateIntoMatchesStateAt(t *testing.T) {
+	env := stateTestEnv(t)
+	dst := make([]float64, env.StateDim())
+	for _, at := range []int{0, 3, 10, 60, 119} {
+		want := env.StateAt(at)
+		// Dirty the buffer so stale values would show if any element were
+		// skipped (the zero-padding branches must write explicitly).
+		for i := range dst {
+			dst[i] = -42
+		}
+		got := env.StateInto(dst, at)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("StateInto(t=%d)[%d] = %v, want %v", at, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStateIntoAllocFree(t *testing.T) {
+	env := stateTestEnv(t)
+	dst := make([]float64, env.StateDim())
+	if n := testing.AllocsPerRun(50, func() { env.StateInto(dst, 30) }); n != 0 {
+		t.Errorf("StateInto allocates %v per run, want 0", n)
+	}
+}
+
+func TestStateIntoWrongLengthPanics(t *testing.T) {
+	env := stateTestEnv(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StateInto with wrong-length dst did not panic")
+		}
+	}()
+	env.StateInto(make([]float64, env.StateDim()+1), 0)
+}

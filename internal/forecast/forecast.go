@@ -229,6 +229,13 @@ type sgdForecaster struct {
 	// need it to settle; quadratic losses self-decay and use a gentler
 	// schedule.
 	lrDecay float64
+
+	// xRow/predBuf are Predict's reusable scratch: the encoded feature row
+	// and the returned prediction slice. bx/by are TrainEpochs' minibatch
+	// workspaces. See DESIGN.md "Memory model & buffer ownership".
+	xRow    *tensor.Matrix
+	predBuf []float64
+	bx, by  *tensor.Matrix
 }
 
 func (f *sgdForecaster) Name() string          { return string(f.kind) }
@@ -313,13 +320,13 @@ func (f *sgdForecaster) TrainEpochs(series []float64, n int) float64 {
 			if hi > rows {
 				hi = rows
 			}
-			bx := tensor.New(hi-lo, x.Cols)
-			by := tensor.New(hi-lo, y.Cols)
+			f.bx = tensor.EnsureShape(f.bx, hi-lo, x.Cols)
+			f.by = tensor.EnsureShape(f.by, hi-lo, y.Cols)
 			for i := lo; i < hi; i++ {
-				copy(bx.Row(i-lo), x.Row(order[i]))
-				copy(by.Row(i-lo), y.Row(order[i]))
+				copy(f.bx.Row(i-lo), x.Row(order[i]))
+				copy(f.by.Row(i-lo), y.Row(order[i]))
 			}
-			epochLoss += nn.FitBatch(f.model, f.loss, opt, bx, by)
+			epochLoss += nn.FitBatch(f.model, f.loss, opt, f.bx, f.by)
 			if f.decay > 0 {
 				shrink := 1 - f.cfg.LearnRate*f.decay
 				for _, p := range f.model.Params() {
@@ -338,7 +345,9 @@ func (f *sgdForecaster) Fit(series []float64) float64 {
 	return f.TrainEpochs(series, f.cfg.Epochs)
 }
 
-// Predict implements Forecaster.
+// Predict implements Forecaster. The returned slice is forecaster-owned
+// scratch, valid until the next Predict call on this forecaster; callers
+// that retain it must copy (every caller in this repo copies immediately).
 func (f *sgdForecaster) Predict(series []float64, t int) []float64 {
 	if t < f.cfg.Window {
 		panic(fmt.Sprintf("forecast: Predict at t=%d needs at least %d history minutes", t, f.cfg.Window))
@@ -346,10 +355,13 @@ func (f *sgdForecaster) Predict(series []float64, t int) []float64 {
 	if t > len(series) {
 		panic(fmt.Sprintf("forecast: Predict at t=%d beyond series length %d", t, len(series)))
 	}
-	x := tensor.New(1, f.featureDim())
-	f.encode(x.Row(0), series, t)
-	out := f.model.Forward(x)
-	pred := make([]float64, f.cfg.Horizon)
+	f.xRow = tensor.EnsureShape(f.xRow, 1, f.featureDim())
+	f.encode(f.xRow.Row(0), series, t)
+	out := f.model.Forward(f.xRow)
+	if f.predBuf == nil {
+		f.predBuf = make([]float64, f.cfg.Horizon)
+	}
+	pred := f.predBuf
 	for j := range pred {
 		v := out.Data[j] * f.cfg.Scale
 		if v < 0 {

@@ -16,6 +16,9 @@ const KindNaive Kind = "Naive"
 type naiveForecaster struct {
 	cfg   Config
 	model *nn.Sequential // empty; keeps the interface total
+	// predBuf is Predict's reusable output scratch (same ownership contract
+	// as sgdForecaster.Predict: valid until the next Predict call).
+	predBuf []float64
 }
 
 // NewNaive returns the persistence forecaster.
@@ -40,7 +43,10 @@ func (f *naiveForecaster) Predict(series []float64, t int) []float64 {
 	if t < 1 || t > len(series) {
 		panic("forecast: naive Predict needs at least one history sample within the series")
 	}
-	out := make([]float64, f.cfg.Horizon)
+	if f.predBuf == nil {
+		f.predBuf = make([]float64, f.cfg.Horizon)
+	}
+	out := f.predBuf
 	last := series[t-1]
 	if last < 0 {
 		last = 0

@@ -12,26 +12,30 @@ type Activation struct {
 	name  string
 	fn    func(float64) float64
 	deriv func(x, y float64) float64 // derivative given input x and output y
-	x, y  *tensor.Matrix
+	x     *tensor.Matrix
+	// y and dx are layer-owned workspaces, regrown only when the batch
+	// size changes.
+	y, dx *tensor.Matrix
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned matrix is a layer-owned workspace.
 func (a *Activation) Forward(x *tensor.Matrix) *tensor.Matrix {
 	a.x = x
-	a.y = tensor.Apply(x, a.fn)
+	a.y = tensor.EnsureShape(a.y, x.Rows, x.Cols)
+	tensor.ApplyInto(a.y, x, a.fn)
 	return a.y
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned matrix is a layer-owned workspace.
 func (a *Activation) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if a.x == nil {
 		panic("nn: Activation Backward called before Forward")
 	}
-	out := tensor.New(grad.Rows, grad.Cols)
-	for i := range out.Data {
-		out.Data[i] = grad.Data[i] * a.deriv(a.x.Data[i], a.y.Data[i])
+	a.dx = tensor.EnsureShape(a.dx, grad.Rows, grad.Cols)
+	for i := range a.dx.Data {
+		a.dx.Data[i] = grad.Data[i] * a.deriv(a.x.Data[i], a.y.Data[i])
 	}
-	return out
+	return a.dx
 }
 
 // Params implements Layer (activations are parameter-free).

@@ -145,7 +145,14 @@ type Dropout struct {
 	Rate     float64
 	rng      *rand.Rand
 	training bool
-	mask     *tensor.Matrix
+	// mask is reused across steps; maskValid records whether the last
+	// Forward masked (training with Rate > 0) so Backward knows whether to
+	// apply it.
+	mask      *tensor.Matrix
+	maskValid bool
+	// y and dx are layer-owned workspaces, regrown only when the batch
+	// size changes.
+	y, dx *tensor.Matrix
 }
 
 // NewDropout builds a dropout layer with its own RNG stream.
@@ -159,30 +166,38 @@ func NewDropout(rng *rand.Rand, rate float64) *Dropout {
 // SetTraining toggles between training (masking) and evaluation (identity).
 func (d *Dropout) SetTraining(training bool) { d.training = training }
 
-// Forward implements Layer.
+// Forward implements Layer. In training mode the returned matrix is a
+// layer-owned workspace; in evaluation mode it is x itself.
 func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if !d.training || d.Rate == 0 {
-		d.mask = nil
+		d.maskValid = false
 		return x
 	}
 	keep := 1 - d.Rate
-	d.mask = tensor.New(x.Rows, x.Cols)
-	y := tensor.New(x.Rows, x.Cols)
+	d.mask = tensor.EnsureShape(d.mask, x.Rows, x.Cols)
+	d.maskValid = true
+	d.y = tensor.EnsureShape(d.y, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if d.rng.Float64() < keep {
 			d.mask.Data[i] = 1 / keep
-			y.Data[i] = v / keep
+			d.y.Data[i] = v / keep
+		} else {
+			d.mask.Data[i] = 0
+			d.y.Data[i] = 0
 		}
 	}
-	return y
+	return d.y
 }
 
-// Backward implements Layer.
+// Backward implements Layer. When the last Forward masked, the returned
+// matrix is a layer-owned workspace; otherwise it is grad itself.
 func (d *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	if d.mask == nil {
+	if !d.maskValid {
 		return grad
 	}
-	return tensor.Hadamard(grad, d.mask)
+	d.dx = tensor.EnsureShape(d.dx, grad.Rows, grad.Cols)
+	tensor.HadamardInto(d.dx, grad, d.mask)
+	return d.dx
 }
 
 // Params implements Layer.

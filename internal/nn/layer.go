@@ -24,6 +24,13 @@ import (
 // returns dL/d(input), accumulating parameter gradients internally.
 // A Layer is not safe for concurrent use; each federated agent owns its own
 // replica.
+//
+// Buffer ownership: the matrices returned by Forward and Backward are
+// layer-owned workspaces, valid only until the layer's next Forward or
+// Backward call. Callers that need the values longer must copy them
+// (Clone/CopyFrom). In exchange, a steady-state Forward/Backward cycle at a
+// fixed batch size performs zero heap allocations. See DESIGN.md, "Memory
+// model & buffer ownership".
 type Layer interface {
 	// Forward computes the layer output for a batch x.
 	Forward(x *tensor.Matrix) *tensor.Matrix
@@ -46,6 +53,11 @@ type Dense struct {
 	W, B   *tensor.Matrix // W: in x out, B: 1 x out
 	dW, dB *tensor.Matrix
 	x      *tensor.Matrix // cached input
+
+	// Workspaces, regrown only when the batch size changes: y is the
+	// Forward output, dx the Backward input-gradient, dwTmp/dbTmp hold the
+	// per-batch parameter gradients before accumulation into dW/dB.
+	y, dx, dwTmp, dbTmp *tensor.Matrix
 }
 
 // NewDense returns a Dense layer with He-normal weights (suited to the ReLU
@@ -76,27 +88,33 @@ func (d *Dense) In() int { return d.W.Rows }
 // Out returns the layer's output width.
 func (d *Dense) Out() int { return d.W.Cols }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned matrix is a layer-owned workspace.
 func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != d.W.Rows {
 		panic(fmt.Sprintf("nn: Dense forward input width %d, want %d", x.Cols, d.W.Rows))
 	}
 	d.x = x
-	y := tensor.MatMul(x, d.W)
-	y.AddRowVectorInPlace(d.B)
-	return y
+	d.y = tensor.EnsureShape(d.y, x.Rows, d.W.Cols)
+	tensor.MatMulInto(d.y, x, d.W)
+	d.y.AddRowVectorInPlace(d.B)
+	return d.y
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned matrix is a layer-owned workspace.
 func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if d.x == nil {
 		panic("nn: Dense Backward called before Forward")
 	}
 	// dW += xᵀ·grad ; dB += column sums of grad ; dx = grad·Wᵀ
-	dw := tensor.MatMulTransA(d.x, grad)
-	tensor.AddInto(d.dW, d.dW, dw)
-	tensor.AddInto(d.dB, d.dB, grad.ColSums())
-	return tensor.MatMulTransB(grad, d.W)
+	d.dwTmp = tensor.EnsureShape(d.dwTmp, d.W.Rows, d.W.Cols)
+	tensor.MatMulTransAInto(d.dwTmp, d.x, grad)
+	tensor.AddInto(d.dW, d.dW, d.dwTmp)
+	d.dbTmp = tensor.EnsureShape(d.dbTmp, 1, grad.Cols)
+	tensor.ColSumsInto(d.dbTmp, grad)
+	tensor.AddInto(d.dB, d.dB, d.dbTmp)
+	d.dx = tensor.EnsureShape(d.dx, grad.Rows, d.W.Rows)
+	tensor.MatMulTransBInto(d.dx, grad, d.W)
+	return d.dx
 }
 
 // Params implements Layer.

@@ -30,17 +30,24 @@ func lossShapeCheck(name string, pred, target *tensor.Matrix) {
 type MSE struct{}
 
 // Loss implements Loss.
-func (MSE) Loss(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
-	lossShapeCheck("MSE", pred, target)
-	n := float64(pred.Rows)
+func (l MSE) Loss(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
 	grad := tensor.New(pred.Rows, pred.Cols)
+	return l.LossInto(grad, pred, target), grad
+}
+
+// LossInto is Loss writing the gradient into caller-provided storage; grad
+// must be pred-shaped. It allocates nothing.
+func (MSE) LossInto(grad, pred, target *tensor.Matrix) float64 {
+	lossShapeCheck("MSE", pred, target)
+	lossShapeCheck("MSE grad", pred, grad)
+	n := float64(pred.Rows)
 	sum := 0.0
 	for i, p := range pred.Data {
 		d := p - target.Data[i]
 		sum += 0.5 * d * d
 		grad.Data[i] = d / n
 	}
-	return sum / n, grad
+	return sum / n
 }
 
 // Name implements Loss.
@@ -51,10 +58,17 @@ func (MSE) Name() string { return "MSE" }
 type MAE struct{}
 
 // Loss implements Loss.
-func (MAE) Loss(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
-	lossShapeCheck("MAE", pred, target)
-	n := float64(pred.Rows)
+func (l MAE) Loss(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
 	grad := tensor.New(pred.Rows, pred.Cols)
+	return l.LossInto(grad, pred, target), grad
+}
+
+// LossInto is Loss writing the gradient into caller-provided storage; grad
+// must be pred-shaped. It allocates nothing.
+func (MAE) LossInto(grad, pred, target *tensor.Matrix) float64 {
+	lossShapeCheck("MAE", pred, target)
+	lossShapeCheck("MAE grad", pred, grad)
+	n := float64(pred.Rows)
 	sum := 0.0
 	for i, p := range pred.Data {
 		d := p - target.Data[i]
@@ -64,9 +78,11 @@ func (MAE) Loss(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
 			grad.Data[i] = 1 / n
 		case d < 0:
 			grad.Data[i] = -1 / n
+		default:
+			grad.Data[i] = 0
 		}
 	}
-	return sum / n, grad
+	return sum / n
 }
 
 // Name implements Loss.
@@ -89,10 +105,17 @@ func (h Huber) delta() float64 {
 
 // Loss implements Loss.
 func (h Huber) Loss(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	grad := tensor.New(pred.Rows, pred.Cols)
+	return h.LossInto(grad, pred, target), grad
+}
+
+// LossInto is Loss writing the gradient into caller-provided storage; grad
+// must be pred-shaped. It allocates nothing.
+func (h Huber) LossInto(grad, pred, target *tensor.Matrix) float64 {
 	lossShapeCheck("Huber", pred, target)
+	lossShapeCheck("Huber grad", pred, grad)
 	d := h.delta()
 	n := float64(pred.Rows)
-	grad := tensor.New(pred.Rows, pred.Cols)
 	sum := 0.0
 	for i, p := range pred.Data {
 		r := p - target.Data[i]
@@ -108,7 +131,7 @@ func (h Huber) Loss(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
 			}
 		}
 	}
-	return sum / n, grad
+	return sum / n
 }
 
 // Name implements Loss.
@@ -124,8 +147,17 @@ type MaskedHuber struct {
 // Loss computes the Huber loss over masked entries only; the divisor is the
 // number of masked entries (one per transition in a DQN batch).
 func (h MaskedHuber) Loss(pred, target, mask *tensor.Matrix) (float64, *tensor.Matrix) {
+	grad := tensor.New(pred.Rows, pred.Cols)
+	return h.LossInto(grad, pred, target, mask), grad
+}
+
+// LossInto is Loss writing the gradient into caller-provided storage; grad
+// must be pred-shaped (unmasked entries are zeroed). It allocates nothing —
+// the DQN's Learn hot path calls it with a persistent gradient buffer.
+func (h MaskedHuber) LossInto(grad, pred, target, mask *tensor.Matrix) float64 {
 	lossShapeCheck("MaskedHuber", pred, target)
 	lossShapeCheck("MaskedHuber mask", pred, mask)
+	lossShapeCheck("MaskedHuber grad", pred, grad)
 	d := Huber{Delta: h.Delta}.delta()
 	active := 0.0
 	for _, m := range mask.Data {
@@ -136,10 +168,10 @@ func (h MaskedHuber) Loss(pred, target, mask *tensor.Matrix) (float64, *tensor.M
 	if active == 0 {
 		panic("nn: MaskedHuber with empty mask")
 	}
-	grad := tensor.New(pred.Rows, pred.Cols)
 	sum := 0.0
 	for i, p := range pred.Data {
 		if mask.Data[i] == 0 {
+			grad.Data[i] = 0
 			continue
 		}
 		r := p - target.Data[i]
@@ -155,5 +187,5 @@ func (h MaskedHuber) Loss(pred, target, mask *tensor.Matrix) (float64, *tensor.M
 			}
 		}
 	}
-	return sum / active, grad
+	return sum / active
 }

@@ -11,16 +11,19 @@ import (
 // but completes the stack for classification-style extensions, e.g. device
 // mode classifiers trained on the same federated substrate.
 type Softmax struct {
-	y *tensor.Matrix
+	// y and dx are layer-owned workspaces (see the Layer buffer-ownership
+	// contract).
+	y, dx *tensor.Matrix
 }
 
 // NewSoftmax returns a row-wise softmax layer.
 func NewSoftmax() *Softmax { return &Softmax{} }
 
 // Forward implements Layer. Each row is exponentiated against its max for
-// numerical stability and normalized to sum to 1.
+// numerical stability and normalized to sum to 1. The returned matrix is a
+// layer-owned workspace.
 func (s *Softmax) Forward(x *tensor.Matrix) *tensor.Matrix {
-	y := tensor.New(x.Rows, x.Cols)
+	y := tensor.EnsureShape(s.y, x.Rows, x.Cols)
 	for r := 0; r < x.Rows; r++ {
 		row := x.Row(r)
 		out := y.Row(r)
@@ -45,11 +48,13 @@ func (s *Softmax) Forward(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Backward implements Layer: dx_i = y_i·(g_i − Σ_j g_j·y_j) per row.
+// The returned matrix is a layer-owned workspace.
 func (s *Softmax) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if s.y == nil {
 		panic("nn: Softmax Backward called before Forward")
 	}
-	dx := tensor.New(grad.Rows, grad.Cols)
+	dx := tensor.EnsureShape(s.dx, grad.Rows, grad.Cols)
+	s.dx = dx
 	for r := 0; r < grad.Rows; r++ {
 		g := grad.Row(r)
 		y := s.y.Row(r)

@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The workspace refactor promises two things: layer outputs stay numerically
+// identical call over call, and the steady-state Forward/Backward cycle at a
+// fixed batch size performs zero heap allocations.
+
+func TestDenseWorkspaceAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(rng, 10, 8)
+	x := tensor.RandNormal(rng, 4, 10, 0, 1)
+	g := tensor.RandNormal(rng, 4, 8, 0, 1)
+	d.Forward(x)
+	d.Backward(g)
+	if n := testing.AllocsPerRun(20, func() { d.Forward(x) }); n != 0 {
+		t.Errorf("Dense.Forward allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { d.Backward(g) }); n != 0 {
+		t.Errorf("Dense.Backward allocates %v per run, want 0", n)
+	}
+}
+
+func TestSequentialForwardAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mlp := NewMLP(rng, 12, 16, 16, 3)
+	x := tensor.RandNormal(rng, 4, 12, 0, 1)
+	mlp.Forward(x)
+	if n := testing.AllocsPerRun(20, func() { mlp.Forward(x) }); n != 0 {
+		t.Errorf("Sequential.Forward allocates %v per run, want 0", n)
+	}
+	g := tensor.RandNormal(rng, 4, 3, 0, 1)
+	mlp.Backward(g)
+	if n := testing.AllocsPerRun(20, func() { mlp.Backward(g) }); n != 0 {
+		t.Errorf("Sequential.Backward allocates %v per run, want 0", n)
+	}
+}
+
+func TestWorkspaceReuseKeepsResultsIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mlp := NewMLP(rng, 6, 9, 3)
+	x := tensor.RandNormal(rng, 5, 6, 0, 1)
+	first := mlp.Forward(x).Clone()
+	for i := 0; i < 3; i++ {
+		if got := mlp.Forward(x); !got.Equal(first) {
+			t.Fatalf("Forward pass %d differs from first", i+1)
+		}
+	}
+	// Batch-size changes regrow the workspace and still compute correctly:
+	// a 2-row batch must give the row-wise prefix of the 5-row result.
+	x2 := tensor.NewFromSlice(2, 6, append(append([]float64{}, x.Row(0)...), x.Row(1)...))
+	small := mlp.Forward(x2)
+	for c := 0; c < small.Cols; c++ {
+		if small.At(0, c) != first.At(0, c) || small.At(1, c) != first.At(1, c) {
+			t.Fatal("result after batch-size change differs")
+		}
+	}
+	// And back up to the original batch size.
+	if got := mlp.Forward(x); !got.Equal(first) {
+		t.Fatal("result after growing back differs")
+	}
+}
+
+func TestActivationSoftmaxDropoutAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.RandNormal(rng, 4, 6, 0, 1)
+	g := tensor.RandNormal(rng, 4, 6, 0, 1)
+	layers := []struct {
+		name string
+		l    Layer
+	}{
+		{"ReLU", NewReLU()},
+		{"Sigmoid", NewSigmoid()},
+		{"Tanh", NewTanh()},
+		{"Softmax", NewSoftmax()},
+		{"Dropout", NewDropout(rng, 0.3)},
+	}
+	for _, tc := range layers {
+		tc.l.Forward(x)
+		tc.l.Backward(g)
+		if n := testing.AllocsPerRun(20, func() { tc.l.Forward(x) }); n != 0 {
+			t.Errorf("%s.Forward allocates %v per run, want 0", tc.name, n)
+		}
+		if n := testing.AllocsPerRun(20, func() { tc.l.Backward(g) }); n != 0 {
+			t.Errorf("%s.Backward allocates %v per run, want 0", tc.name, n)
+		}
+	}
+}
+
+func TestDropoutEvalModeIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDropout(rng, 0.5)
+	x := tensor.RandNormal(rng, 3, 4, 0, 1)
+	g := tensor.RandNormal(rng, 3, 4, 0, 1)
+	// A training pass first, so a stale mask exists.
+	d.Forward(x)
+	d.SetTraining(false)
+	if got := d.Forward(x); got != x {
+		t.Fatal("eval-mode Forward should return x itself")
+	}
+	if got := d.Backward(g); got != g {
+		t.Fatal("eval-mode Backward should return grad itself (stale mask must not apply)")
+	}
+}
+
+func TestLossIntoMatchesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pred := tensor.RandNormal(rng, 3, 4, 0, 2)
+	target := tensor.RandNormal(rng, 3, 4, 0, 2)
+	grad := tensor.New(3, 4)
+	type intoLoss interface {
+		LossInto(grad, pred, target *tensor.Matrix) float64
+	}
+	for _, l := range []Loss{MSE{}, MAE{}, Huber{Delta: 0.7}} {
+		wantLoss, wantGrad := l.Loss(pred, target)
+		gotLoss := l.(intoLoss).LossInto(grad, pred, target)
+		if gotLoss != wantLoss || !grad.Equal(wantGrad) {
+			t.Errorf("%s: LossInto disagrees with Loss", l.Name())
+		}
+		if n := testing.AllocsPerRun(20, func() { l.(intoLoss).LossInto(grad, pred, target) }); n != 0 {
+			t.Errorf("%s: LossInto allocates %v per run, want 0", l.Name(), n)
+		}
+	}
+	// MaskedHuber takes a mask; check it zeroes unmasked entries of a dirty
+	// gradient buffer.
+	mask := tensor.New(3, 4)
+	mask.Set(0, 1, 1)
+	mask.Set(2, 3, 1)
+	mh := MaskedHuber{Delta: 0.7}
+	wantLoss, wantGrad := mh.Loss(pred, target, mask)
+	for i := range grad.Data {
+		grad.Data[i] = 99
+	}
+	gotLoss := mh.LossInto(grad, pred, target, mask)
+	if gotLoss != wantLoss || !grad.Equal(wantGrad) {
+		t.Error("MaskedHuber: LossInto disagrees with Loss")
+	}
+	if n := testing.AllocsPerRun(20, func() { mh.LossInto(grad, pred, target, mask) }); n != 0 {
+		t.Errorf("MaskedHuber: LossInto allocates %v per run, want 0", n)
+	}
+}

@@ -1,0 +1,147 @@
+package tensor
+
+import "fmt"
+
+// This file holds the destination-passing (“*Into”) kernels and the
+// buffer-reuse helpers that make the training/inference hot path
+// allocation-free. The convention, documented in DESIGN.md (“Memory model &
+// buffer ownership”):
+//
+//   - FooInto(dst, ...) writes the full result into dst and never allocates.
+//     dst must already have the result shape (use EnsureShape to recycle a
+//     workspace). Unless a kernel says otherwise, dst must not alias any
+//     input.
+//   - EnsureShape reshapes a workspace matrix in place, reusing its backing
+//     array whenever capacity allows; the contents after a reuse are
+//     unspecified, so callers must fully overwrite (or Zero) the result.
+
+// EnsureShape returns a rows x cols matrix, reusing m's backing storage when
+// it has sufficient capacity. m may be nil, in which case a fresh matrix is
+// allocated. When storage is reused the element contents are unspecified;
+// callers that read before writing must Zero the result first.
+//
+// The returned pointer is m itself whenever m is non-nil, so the idiomatic
+// workspace pattern is:
+//
+//	w.buf = tensor.EnsureShape(w.buf, rows, cols)
+func EnsureShape(m *Matrix, rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	if m == nil {
+		return New(rows, cols)
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// Reshape reinterprets m as a rows x cols matrix over the same backing
+// storage. The element count must be unchanged; use EnsureShape when the
+// size may change.
+func (m *Matrix) Reshape(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 || rows*cols != m.Rows*m.Cols {
+		panic(fmt.Sprintf("tensor: cannot reshape %dx%d to %dx%d", m.Rows, m.Cols, rows, cols))
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// TransposeInto computes dst = aᵀ. dst must have shape a.Cols x a.Rows and
+// must not alias a.
+func TransposeInto(dst, a *Matrix) {
+	if dst.Rows != a.Cols || dst.Cols != a.Rows {
+		panic(fmt.Sprintf("tensor: TransposeInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, a.Rows))
+	}
+	for r := 0; r < a.Rows; r++ {
+		base := r * a.Cols
+		for c := 0; c < a.Cols; c++ {
+			dst.Data[c*a.Rows+r] = a.Data[base+c]
+		}
+	}
+}
+
+// ScaleInto computes dst = alpha*a elementwise. dst may alias a.
+func ScaleInto(dst, a *Matrix, alpha float64) {
+	shapeMatch("ScaleInto", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = alpha * a.Data[i]
+	}
+}
+
+// AddScalarInto computes dst = a + alpha elementwise. dst may alias a.
+func AddScalarInto(dst, a *Matrix, alpha float64) {
+	shapeMatch("AddScalarInto", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + alpha
+	}
+}
+
+// ApplyInto computes dst = f(a) elementwise. dst may alias a.
+func ApplyInto(dst, a *Matrix, f func(float64) float64) {
+	shapeMatch("ApplyInto", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = f(a.Data[i])
+	}
+}
+
+// ColSumsInto writes the per-column sums of m into the 1 x m.Cols row
+// vector dst.
+func ColSumsInto(dst, m *Matrix) {
+	if dst.Rows != 1 || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: ColSumsInto dst %dx%d, want 1x%d", dst.Rows, dst.Cols, m.Cols))
+	}
+	for c := range dst.Data {
+		dst.Data[c] = 0
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, v := range row {
+			dst.Data[c] += v
+		}
+	}
+}
+
+// ArgmaxRowsInto writes, for each row of m, the column index of that row's
+// maximum (first on ties) into dst, which must have length m.Rows. It
+// returns dst.
+func ArgmaxRowsInto(dst []int, m *Matrix) []int {
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("tensor: ArgmaxRowsInto dst length %d, want %d", len(dst), m.Rows))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		best, bi := row[0], 0
+		for c, v := range row[1:] {
+			if v > best {
+				best, bi = v, c+1
+			}
+		}
+		dst[r] = bi
+	}
+	return dst
+}
+
+// MatVecInto computes dst = a·x where x is treated as a column vector.
+// dst must have length a.Rows and must not alias x.
+func MatVecInto(dst []float64, a *Matrix, x []float64) {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("tensor: MatVecInto dimension mismatch %dx%d · %d", a.Rows, a.Cols, len(x)))
+	}
+	if len(dst) != a.Rows {
+		panic(fmt.Sprintf("tensor: MatVecInto dst length %d, want %d", len(dst), a.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		s := 0.0
+		for k, v := range row {
+			s += v * x[k]
+		}
+		dst[i] = s
+	}
+}

@@ -1,0 +1,168 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEnsureShape(t *testing.T) {
+	// nil input allocates fresh, zeroed storage.
+	m := EnsureShape(nil, 2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("EnsureShape(nil) shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("fresh EnsureShape matrix not zeroed")
+		}
+	}
+	// Shrinking reuses the backing array (same first-element address).
+	m.Data[0] = 42
+	base := &m.Data[0]
+	got := EnsureShape(m, 1, 2)
+	if got != m {
+		t.Fatal("EnsureShape did not return the workspace pointer")
+	}
+	if got.Rows != 1 || got.Cols != 2 || &got.Data[0] != base {
+		t.Fatal("EnsureShape shrink reallocated")
+	}
+	// Growing within capacity also reuses.
+	got = EnsureShape(m, 2, 3)
+	if &got.Data[0] != base {
+		t.Fatal("EnsureShape grow-within-cap reallocated")
+	}
+	// Growing beyond capacity must reallocate to the new size.
+	got = EnsureShape(m, 4, 5)
+	if got.Rows != 4 || got.Cols != 5 || len(got.Data) != 20 {
+		t.Fatalf("EnsureShape grow shape %dx%d len %d", got.Rows, got.Cols, len(got.Data))
+	}
+}
+
+func TestReshape(t *testing.T) {
+	m := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	r := m.Reshape(3, 2)
+	if r != m || r.Rows != 3 || r.Cols != 2 {
+		t.Fatalf("Reshape shape %dx%d", r.Rows, r.Cols)
+	}
+	if r.At(2, 1) != 6 {
+		t.Fatal("Reshape changed element order")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reshape with different element count accepted")
+		}
+	}()
+	m.Reshape(2, 2)
+}
+
+func TestTransposeInto(t *testing.T) {
+	a := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	dst := New(3, 2)
+	TransposeInto(dst, a)
+	if !dst.Equal(Transpose(a)) {
+		t.Fatalf("TransposeInto = %v", dst)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TransposeInto with wrong dst shape accepted")
+		}
+	}()
+	TransposeInto(New(2, 2), a)
+}
+
+func TestScaleAddScalarApplyInto(t *testing.T) {
+	a := NewFromSlice(1, 3, []float64{1, -2, 3})
+	ScaleInto(a, a, 2) // aliasing allowed
+	if !a.Equal(NewFromSlice(1, 3, []float64{2, -4, 6})) {
+		t.Fatalf("ScaleInto = %v", a)
+	}
+	AddScalarInto(a, a, 1)
+	if !a.Equal(NewFromSlice(1, 3, []float64{3, -3, 7})) {
+		t.Fatalf("AddScalarInto = %v", a)
+	}
+	ApplyInto(a, a, func(x float64) float64 { return -x })
+	if !a.Equal(NewFromSlice(1, 3, []float64{-3, 3, -7})) {
+		t.Fatalf("ApplyInto = %v", a)
+	}
+}
+
+func TestColSumsIntoOverwritesDirtyDst(t *testing.T) {
+	m := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	dst := NewFromSlice(1, 2, []float64{99, 99})
+	ColSumsInto(dst, m)
+	if !dst.Equal(NewFromSlice(1, 2, []float64{4, 6})) {
+		t.Fatalf("ColSumsInto did not zero dst first: %v", dst)
+	}
+}
+
+func TestArgmaxRowsInto(t *testing.T) {
+	m := NewFromSlice(2, 3, []float64{1, 5, 2, 9, 0, 9})
+	dst := make([]int, 2)
+	got := ArgmaxRowsInto(dst, m)
+	if got[0] != 1 || got[1] != 0 { // first on ties
+		t.Fatalf("ArgmaxRowsInto = %v, want [1 0]", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ArgmaxRowsInto with wrong dst length accepted")
+		}
+	}()
+	ArgmaxRowsInto(make([]int, 1), m)
+}
+
+func TestMatVecInto(t *testing.T) {
+	a := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	dst := []float64{99, 99}
+	MatVecInto(dst, a, []float64{1, 0, -1})
+	if dst[0] != -2 || dst[1] != -2 {
+		t.Fatalf("MatVecInto = %v, want [-2 -2]", dst)
+	}
+}
+
+// TestTransIntoOverwriteDirtyDst verifies the accumulating transpose kernels
+// fully overwrite recycled (dirty) destinations.
+func TestTransIntoOverwriteDirtyDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := RandNormal(rng, 5, 7, 0, 1)
+	b := RandNormal(rng, 5, 6, 0, 1)
+	dirty := RandNormal(rng, 7, 6, 0, 1)
+	MatMulTransAInto(dirty, a, b)
+	if !dirty.AlmostEqual(MatMul(Transpose(a), b), 1e-12) {
+		t.Fatal("MatMulTransAInto into dirty dst wrong")
+	}
+	c := RandNormal(rng, 6, 7, 0, 1)
+	dirty2 := RandNormal(rng, 5, 6, 0, 1)
+	MatMulTransBInto(dirty2, a, c)
+	if !dirty2.AlmostEqual(MatMul(a, Transpose(c)), 1e-12) {
+		t.Fatal("MatMulTransBInto into dirty dst wrong")
+	}
+}
+
+// Shapes below parallelThreshold so MatMulInto takes the serial path; the
+// goroutine fan-out above it allocates by design.
+func TestInplaceKernelsAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := RandNormal(rng, 16, 24, 0, 1)
+	b := RandNormal(rng, 24, 16, 0, 1)
+	dst := New(16, 16)
+	dstT := New(24, 16)
+	cs := New(1, 24)
+	amax := make([]int, 16)
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"MatMulInto", func() { MatMulInto(dst, a, b) }},
+		{"MatMulTransAInto", func() { MatMulTransAInto(dstT, a, dst) }},
+		{"MatMulTransBInto", func() { MatMulTransBInto(dst, a, a) }},
+		{"TransposeInto", func() { TransposeInto(dstT, a) }},
+		{"ColSumsInto", func() { ColSumsInto(cs, a) }},
+		{"ArgmaxRowsInto", func() { ArgmaxRowsInto(amax, a) }},
+		{"EnsureShapeReuse", func() { EnsureShape(dst, 16, 16) }},
+	}
+	for _, c := range checks {
+		if n := testing.AllocsPerRun(20, c.fn); n != 0 {
+			t.Errorf("%s allocates %v per run, want 0", c.name, n)
+		}
+	}
+}

@@ -84,13 +84,23 @@ func matMulRange(dst, a, b *Matrix, lo, hi int) {
 // MatMulTransB returns a·bᵀ without materializing the transpose.
 // It panics unless a.Cols == b.Cols.
 func MatMulTransB(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	MatMulTransBInto(out, a, b)
+	return out
+}
+
+// MatMulTransBInto computes dst = a·bᵀ without materializing the transpose.
+// dst must have shape a.Rows x b.Rows and must not alias a or b.
+func MatMulTransBInto(dst, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Rows)
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
 	for i := 0; i < a.Rows; i++ {
 		aRow := a.Row(i)
-		outRow := out.Row(i)
+		outRow := dst.Row(i)
 		for j := 0; j < b.Rows; j++ {
 			bRow := b.Row(j)
 			s := 0.0
@@ -100,16 +110,29 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 			outRow[j] = s
 		}
 	}
-	return out
 }
 
 // MatMulTransA returns aᵀ·b without materializing the transpose.
 // It panics unless a.Rows == b.Rows.
 func MatMulTransA(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	MatMulTransAInto(out, a, b)
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ·b without materializing the transpose.
+// dst must have shape a.Cols x b.Cols and must not alias a or b. The full
+// destination is overwritten.
+func MatMulTransAInto(dst, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Cols, b.Cols)
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
 	for r := 0; r < a.Rows; r++ {
 		aRow := a.Row(r)
 		bRow := b.Row(r)
@@ -117,13 +140,12 @@ func MatMulTransA(a, b *Matrix) *Matrix {
 			if av == 0 {
 				continue
 			}
-			outRow := out.Row(i)
+			outRow := dst.Row(i)
 			for j, bv := range bRow {
 				outRow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // MatVec returns the matrix-vector product a·x where x is treated as a
@@ -133,13 +155,6 @@ func MatVec(a *Matrix, x []float64) []float64 {
 		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %dx%d · %d", a.Rows, a.Cols, len(x)))
 	}
 	out := make([]float64, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		row := a.Row(i)
-		s := 0.0
-		for k, v := range row {
-			s += v * x[k]
-		}
-		out[i] = s
-	}
+	MatVecInto(out, a, x)
 	return out
 }

@@ -121,12 +121,7 @@ func (m *Matrix) ApplyInPlace(f func(float64) float64) {
 // Transpose returns a^T.
 func Transpose(a *Matrix) *Matrix {
 	out := New(a.Cols, a.Rows)
-	for r := 0; r < a.Rows; r++ {
-		base := r * a.Cols
-		for c := 0; c < a.Cols; c++ {
-			out.Data[c*a.Rows+r] = a.Data[base+c]
-		}
-	}
+	TransposeInto(out, a)
 	return out
 }
 
@@ -192,18 +187,7 @@ func (m *Matrix) ArgMax() int {
 
 // RowArgMax returns, for each row, the column index of that row's maximum.
 func (m *Matrix) RowArgMax() []int {
-	out := make([]int, m.Rows)
-	for r := 0; r < m.Rows; r++ {
-		row := m.Row(r)
-		best, bi := row[0], 0
-		for c, v := range row[1:] {
-			if v > best {
-				best, bi = v, c+1
-			}
-		}
-		out[r] = bi
-	}
-	return out
+	return ArgmaxRowsInto(make([]int, m.Rows), m)
 }
 
 // Norm2 returns the Frobenius (L2) norm of m.
@@ -257,12 +241,7 @@ func (m *Matrix) AddRowVectorInPlace(v *Matrix) {
 // ColSums returns a 1xC row vector with the sum of each column of m.
 func (m *Matrix) ColSums() *Matrix {
 	out := New(1, m.Cols)
-	for r := 0; r < m.Rows; r++ {
-		row := m.Row(r)
-		for c, v := range row {
-			out.Data[c] += v
-		}
-	}
+	ColSumsInto(out, m)
 	return out
 }
 
