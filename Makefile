@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint verify clean
+.PHONY: all build test race bench throughput lint verify ci clean
 
 all: verify
 
@@ -25,15 +25,28 @@ race:
 # output; the `go test -json` stream is captured to BENCH_hotpath.json so
 # regressions in the zero-allocation contract (DESIGN.md §8) diff cleanly
 # across commits.
-bench:
+bench: throughput
 	$(GO) test -json -bench=. -benchmem -run '^$$' . > BENCH_hotpath.json
 	@sed -n 's/.*"Output":"\(Benchmark[^"]*\)\\n".*/\1/p' BENCH_hotpath.json
 	@echo "wrote BENCH_hotpath.json"
+
+# End-to-end homes × GOMAXPROCS scaling sweep (BENCH_throughput.json).
+# Pass BASELINE=<old BENCH_throughput.json> to embed a before/after
+# comparison in the artifact.
+throughput:
+	$(GO) run ./cmd/pfdrl-bench -throughput -out BENCH_throughput.json \
+		$(if $(BASELINE),-baseline $(BASELINE))
 
 lint:
 	$(GO) vet ./...
 
 verify: build test lint
+
+# Full CI gate: build + vet + tests, then the race-detector pass over the
+# packages with real cross-goroutine traffic (scheduler pool, home-parallel
+# simulation, overlapped federation rounds, sharded matmul).
+ci: verify
+	$(GO) test -race ./internal/core ./internal/fed ./internal/sched ./internal/tensor
 
 clean:
 	$(GO) clean ./...

@@ -1,11 +1,14 @@
 // Command pfdrl-bench regenerates the paper's evaluation figures. Every
 // figure of Section 5 (Figs 2–14) has a driver; select one with -fig or
-// run the whole suite with -fig all.
+// run the whole suite with -fig all. -throughput runs the end-to-end
+// homes × GOMAXPROCS scaling sweep instead (see BENCH_throughput.json).
 //
 // Usage:
 //
 //	pfdrl-bench -fig 9              # method comparison (Fig 9)
 //	pfdrl-bench -fig all -homes 8 -days 10
+//	pfdrl-bench -throughput -out BENCH_throughput.json
+//	pfdrl-bench -fig 9 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -33,8 +37,55 @@ func main() {
 		csvDir = flag.String("csv", "", "also write each figure as CSV into this directory")
 		ablate = flag.String("ablation", "", "run an ablation instead of figures: 'topology' or 'scaling'")
 		svgDir = flag.String("svg", "", "also render each figure as an SVG line chart into this directory")
+
+		throughput = flag.Bool("throughput", false, "run the homes × GOMAXPROCS end-to-end scaling sweep instead of figures")
+		sweepHomes = flag.String("sweep-homes", "2,4,8", "comma-separated home counts for -throughput")
+		sweepProcs = flag.String("sweep-procs", "1,2,4", "comma-separated GOMAXPROCS values for -throughput")
+		sweepDays  = flag.Int("sweep-days", 2, "simulated days per -throughput cell")
+		out        = flag.String("out", "BENCH_throughput.json", "output file for -throughput")
+		baseline   = flag.String("baseline", "", "previous -throughput JSON to embed under \"baseline\" for before/after comparison")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	if *throughput {
+		if err := runThroughputSweep(*sweepHomes, *sweepProcs, *sweepDays, *seed, *out, *baseline); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	sc := experiments.DefaultScale()
 	sc.Seed = *seed

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// throughputCell is one (homes, GOMAXPROCS) measurement of the end-to-end
+// scaling sweep: a full PFDRL simulation at default experiment scale, timed
+// wall-clock. HomeDaysPerSec is the throughput figure the sweep compares
+// across cells — simulated home-days completed per wall second.
+type throughputCell struct {
+	Homes          int     `json:"homes"`
+	Gomaxprocs     int     `json:"gomaxprocs"`
+	Days           int     `json:"days"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	HomeDaysPerSec float64 `json:"home_days_per_sec"`
+	// EMSWallSeconds / EMSCPUSeconds split the run's EMS phase into the
+	// per-wave critical path vs total compute across homes; their ratio is
+	// the achieved home-level parallelism.
+	EMSWallSeconds float64 `json:"ems_wall_seconds"`
+	EMSCPUSeconds  float64 `json:"ems_cpu_seconds"`
+}
+
+// throughputReport is the schema of BENCH_throughput.json.
+type throughputReport struct {
+	// NumCPU is the host's logical core count; on single-core hosts the
+	// GOMAXPROCS axis measures scheduling overhead, not parallel speedup.
+	NumCPU    int              `json:"num_cpu"`
+	GoVersion string           `json:"go_version"`
+	SweepDays int              `json:"sweep_days"`
+	Seed      int64            `json:"seed"`
+	Results   []throughputCell `json:"results"`
+	// Baseline embeds a previous sweep (via -baseline) so one artifact
+	// carries the before/after comparison.
+	Baseline   *throughputReport `json:"baseline,omitempty"`
+	WrittenUTC string            `json:"written_utc"`
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid list entry %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runThroughputSweep measures end-to-end PFDRL day throughput across a
+// homes × GOMAXPROCS grid and writes the result table as JSON. When
+// baselinePath names a previous sweep's JSON, that report is embedded
+// under "baseline" in the output.
+func runThroughputSweep(homesList, procsList string, days int, seed int64, outPath, baselinePath string) error {
+	homes, err := parseIntList(homesList)
+	if err != nil {
+		return err
+	}
+	procs, err := parseIntList(procsList)
+	if err != nil {
+		return err
+	}
+	if days < 1 {
+		return fmt.Errorf("sweep-days must be ≥ 1, got %d", days)
+	}
+
+	rep := throughputReport{
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		SweepDays: days,
+		Seed:      seed,
+	}
+	if baselinePath != "" {
+		blob, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("read baseline: %w", err)
+		}
+		rep.Baseline = &throughputReport{}
+		if err := json.Unmarshal(blob, rep.Baseline); err != nil {
+			return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+		}
+	}
+	origProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(origProcs)
+
+	for _, h := range homes {
+		for _, p := range procs {
+			runtime.GOMAXPROCS(p)
+			cfg := core.DefaultConfig(core.MethodPFDRL)
+			cfg.Homes = h
+			cfg.Days = days
+			cfg.Seed = seed
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			res, err := sys.Run()
+			if err != nil {
+				return err
+			}
+			wall := time.Since(start)
+			cell := throughputCell{
+				Homes:          h,
+				Gomaxprocs:     p,
+				Days:           days,
+				WallSeconds:    wall.Seconds(),
+				HomeDaysPerSec: float64(h*days) / wall.Seconds(),
+				EMSWallSeconds: res.EMSWallTime.Seconds(),
+				EMSCPUSeconds:  (res.EMSTrainTime + res.EMSTestTime).Seconds(),
+			}
+			rep.Results = append(rep.Results, cell)
+			log.Printf("throughput: homes=%d procs=%d  %.2fs wall  %.2f home-days/s",
+				h, p, cell.WallSeconds, cell.HomeDaysPerSec)
+		}
+	}
+	rep.WrittenUTC = time.Now().UTC().Format(time.RFC3339)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", outPath)
+	return nil
+}

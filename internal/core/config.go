@@ -263,10 +263,25 @@ type Result struct {
 	// plateau (Fig 9's "time to best performance").
 	ConvergenceDay int
 
-	// Wall-clock split by phase, plus simulated communication time.
+	// Compute split by phase, plus simulated communication time.
+	//
+	// The four *Time fields are CPU-time sums: each parallel wave of homes
+	// contributes the SUM of its per-home durations, so with H homes running
+	// concurrently these can exceed elapsed wall-clock by up to H×. They are
+	// the quantity the paper's overhead figures compare (total compute per
+	// architecture). The *Wall fields are elapsed-time sums instead: each
+	// wave contributes the duration of its critical path (the slowest home),
+	// plus any non-overlapped federation round time on the orchestrator.
 	ForecastTrainTime, ForecastTestTime time.Duration
 	EMSTrainTime, EMSTestTime           time.Duration
-	ForecastCommTime, EMSCommTime       time.Duration
+	// ForecastTestWallTime covers the daily prediction waves;
+	// ForecastTrainWallTime covers training-bout waves plus the
+	// non-overlapped share of forecast-plane federation; EMSWallTime covers
+	// the hourly EMS waves (test+train interleave within a wave) plus the
+	// non-overlapped share of EMS-plane federation.
+	ForecastTestWallTime, ForecastTrainWallTime time.Duration
+	EMSWallTime                                 time.Duration
+	ForecastCommTime, EMSCommTime               time.Duration
 	// ForecastNetStats / EMSNetStats are the fabric counters.
 	ForecastNetStats, EMSNetStats fednet.Stats
 	// Resilience tallies fault-tolerance telemetry: round participation,

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/fed"
 	"repro/internal/forecast"
 )
 
@@ -284,6 +285,39 @@ func TestFiresInHour(t *testing.T) {
 	// Disabled.
 	if got := firesInHour(0, 60); got != 0 {
 		t.Fatal("disabled schedule fired")
+	}
+}
+
+func TestFiresInHourFractionalPeriods(t *testing.T) {
+	// β = 0.5h: two fires every hour. The first hour of day 0 spans minutes
+	// 1..60 — minute 0 never fires, but minutes 30 and 60 do, so even the
+	// boundary hour bills two rounds.
+	for hourEnd := 60; hourEnd <= 1440; hourEnd += 60 {
+		if got := firesInHour(0.5, hourEnd); got != 2 {
+			t.Fatalf("0.5h period, hour ending %d: %d fires, want 2", hourEnd, got)
+		}
+	}
+	// β = 1.5h: fire instants (90, 180, 270, ...) drift across hours, giving
+	// a repeating 0,1,1 per-hour pattern starting from the first hour.
+	wantPattern := []int{0, 1, 1}
+	for h := 0; h < 24; h++ {
+		hourEnd := (h + 1) * 60
+		if got := firesInHour(1.5, hourEnd); got != wantPattern[h%3] {
+			t.Fatalf("1.5h period, hour ending %d: %d fires, want %d",
+				hourEnd, got, wantPattern[h%3])
+		}
+	}
+	// Hour-by-hour billing must add up to the schedule's own daily total.
+	for _, period := range []float64{0.5, 1.5} {
+		total := 0
+		for hourEnd := 60; hourEnd <= 1440; hourEnd += 60 {
+			total += firesInHour(period, hourEnd)
+		}
+		want := (fed.Schedule{PeriodHours: period}).RoundsPerDay()
+		if total != want {
+			t.Fatalf("period %.1fh: hourly fires sum to %d, RoundsPerDay = %d",
+				period, total, want)
+		}
 	}
 }
 

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/dqn"
@@ -13,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/pecan"
+	"repro/internal/sched"
 )
 
 // rawDayBytes is the wire size of one device-day of raw minute data — what
@@ -47,23 +47,34 @@ func (s *System) Run() (*Result, error) {
 
 	var accBuckets metrics.HourBuckets
 	var savedByHour [24]float64
+	var fcTestDur []time.Duration
 
 	for day := 0; day < cfg.Days; day++ {
 		inEval := day >= evalStart
 
 		// --- Forecast phase: per-hour next-hour predictions for the day.
-		// Homes predict concurrently (each owns its forecasters); accuracy
-		// collection stays serial for deterministic aggregation order.
-		fcTestDur := make([]time.Duration, len(s.homes))
-		s.parallelHomes(func(h *simHome) {
+		// Any β round still aggregating in the background must land first —
+		// prediction reads the very models it installs into.
+		if err := s.joinForecastRounds(timer); err != nil {
+			return nil, err
+		}
+		// (home, device) pairs predict concurrently (each owns its
+		// forecaster); accuracy collection stays serial for deterministic
+		// aggregation order. The timer keeps two series: the per-task sum
+		// (CPU time) and the wave's elapsed time (wall).
+		if fcTestDur == nil {
+			s.ensureHomeDevs()
+			fcTestDur = make([]time.Duration, len(s.homeDevs))
+		}
+		waveStart := time.Now()
+		s.parallelHomeDevices(func(idx int, h *simHome, di int) {
 			start := time.Now()
-			for di, tr := range h.src.Traces {
-				h.predDay[di] = s.predictDay(h, tr, day)
-			}
-			fcTestDur[h.id] = time.Since(start)
+			h.predDay[di] = s.predictDay(h, h.src.Traces[di], day)
+			fcTestDur[idx] = time.Since(start)
 		})
-		for _, d := range fcTestDur {
-			timer.Add("fc-test", d)
+		timer.Add("fc-test.wall", time.Since(waveStart))
+		for i := range s.homeDevs {
+			timer.Add("fc-test", fcTestDur[i])
 		}
 		if inEval {
 			for _, h := range s.homes {
@@ -101,9 +112,11 @@ func (s *System) Run() (*Result, error) {
 			// environments, and RNGs are private, so results are identical
 			// to the serial schedule; aggregation below follows home order
 			// so float summation stays deterministic.
+			emsWave := time.Now()
 			s.parallelHomes(func(h *simHome) {
 				hourStats[h.id] = s.runEMSHour(h, envs[h.id], hour)
 			})
+			timer.Add("ems.wall", time.Since(emsWave))
 			for hi := range s.homes {
 				st := hourStats[hi]
 				perHomeSaved[hi] += st.savedKWh
@@ -125,7 +138,9 @@ func (s *System) Run() (*Result, error) {
 
 			// Local forecaster training bouts.
 			if (hour+1)%cfg.TrainEveryHours == 0 {
-				s.trainForecasters(timer, hourEnd)
+				if err := s.trainForecasters(timer, hourEnd); err != nil {
+					return nil, err
+				}
 			}
 			// Forecast-plane federation (β).
 			if fires := firesInHour(cfg.BetaHours, hourEnd); fires > 0 && cfg.Method.SharesForecast() && cfg.Method != MethodCloud {
@@ -133,11 +148,15 @@ func (s *System) Run() (*Result, error) {
 					return nil, err
 				}
 			}
-			// EMS-plane federation (γ).
+			// EMS-plane federation (γ). The round stays synchronous — the
+			// next minute's action selection reads the averaged DQN — so its
+			// elapsed time is wall time too.
 			if fires := firesInHour(cfg.GammaHours, hourEnd); fires > 0 && cfg.Method.SharesEMS() {
+				t0 := time.Now()
 				if err := s.emsRound(timer, fires); err != nil {
 					return nil, err
 				}
+				timer.Add("ems.wall", time.Since(t0))
 			}
 		}
 
@@ -180,6 +199,11 @@ func (s *System) Run() (*Result, error) {
 		}
 	}
 
+	// A β round begun on the final hour may still be aggregating.
+	if err := s.joinForecastRounds(timer); err != nil {
+		return nil, err
+	}
+
 	// --- Assemble result.
 	res.AccuracyByHour = accBuckets.Means()
 	if len(res.AccuracySamples) > 0 {
@@ -203,6 +227,9 @@ func (s *System) Run() (*Result, error) {
 	res.ForecastTestTime = timer.Get("fc-test")
 	res.EMSTrainTime = timer.Get("ems-train")
 	res.EMSTestTime = timer.Get("ems-test")
+	res.ForecastTestWallTime = timer.Get("fc-test.wall")
+	res.ForecastTrainWallTime = timer.Get("fc-train.wall")
+	res.EMSWallTime = timer.Get("ems.wall")
 	if s.fcNet != nil {
 		res.ForecastNetStats = s.fcNet.Stats()
 		res.ForecastCommTime = res.ForecastNetStats.SimulatedTime
@@ -230,27 +257,89 @@ func (s *System) setNetClock(minute int) {
 	}
 }
 
-// parallelHomes runs fn for every home concurrently and waits. Homes are
-// fully independent between federation rounds (private agents, forecasters,
-// environments, RNG streams), so this preserves serial-run results exactly.
+// parallelHomes runs fn for every home on the shared persistent pool and
+// waits. Homes are fully independent between federation rounds (private
+// agents, forecasters, environments, RNG streams), so this preserves
+// serial-run results exactly. Unlike a goroutine-per-home fan-out, idle
+// workers steal remaining homes, so one slow home cannot strand the wave
+// behind the scheduler.
 func (s *System) parallelHomes(fn func(h *simHome)) {
-	var wg sync.WaitGroup
-	for _, h := range s.homes {
-		wg.Add(1)
-		go func(h *simHome) {
-			defer wg.Done()
-			fn(h)
-		}(h)
+	homes := s.homes
+	sched.Default().ParallelFor(len(homes), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(homes[i])
+		}
+	})
+}
+
+// homeDevice flattens the (home, device) grid into pool tasks for the
+// forecast phases, where every pair is independent work.
+type homeDevice struct {
+	h  *simHome
+	di int
+}
+
+// parallelHomeDevices runs fn for every (home, device) pair on the shared
+// pool and waits; idx is the pair's stable flat index (home-major), usable
+// for result and timing slots without synchronization. Pair-grained tasks
+// shard finer than whole homes, so a home with an expensive device does not
+// serialize its siblings behind it.
+//
+// Forecasters are keyed by device type within a home: when every home's
+// traces carry distinct types (true for generated corpora) each pair owns
+// its forecaster and single-pair grain is safe. A corpus with duplicate
+// types in one home shares a forecaster between pairs, so the wave falls
+// back to home-grained chunks, keeping each home's devices on one worker.
+func (s *System) parallelHomeDevices(fn func(idx int, h *simHome, di int)) {
+	s.ensureHomeDevs()
+	if !s.homeDevGrainSafe {
+		s.parallelHomes(func(h *simHome) {
+			off := s.homeDevOff[h.id]
+			for di := range h.src.Traces {
+				fn(off+di, h, di)
+			}
+		})
+		return
 	}
-	wg.Wait()
+	devs := s.homeDevs
+	sched.Default().ParallelFor(len(devs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i, devs[i].h, devs[i].di)
+		}
+	})
+}
+
+// ensureHomeDevs builds the flattened task grid on first use.
+func (s *System) ensureHomeDevs() {
+	if s.homeDevs != nil {
+		return
+	}
+	s.homeDevGrainSafe = true
+	s.homeDevOff = make([]int, len(s.homes)+1)
+	for hi, h := range s.homes {
+		s.homeDevOff[hi] = len(s.homeDevs)
+		seen := map[string]bool{}
+		for di, tr := range h.src.Traces {
+			if seen[tr.Device.Type] {
+				s.homeDevGrainSafe = false
+			}
+			seen[tr.Device.Type] = true
+			s.homeDevs = append(s.homeDevs, homeDevice{h, di})
+		}
+	}
+	s.homeDevOff[len(s.homes)] = len(s.homeDevs)
 }
 
 // predictDay builds the day's per-minute forecast for one device by
-// chaining 24 next-hour predictions, each made causally from history.
+// chaining 24 next-hour predictions, each made causally from history. All
+// predictable hours go through one batched model forward when the
+// forecaster supports it; batch rows are processed independently by every
+// model, so the output is bit-identical to 24 sequential Predict calls.
 func (s *System) predictDay(h *simHome, tr *pecan.Trace, day int) []float64 {
 	fc := h.fcs[tr.Device.Type]
 	w := fc.Config().Window
 	pred := make([]float64, pecan.MinutesPerDay)
+	var hours, ts []int
 	for hour := 0; hour < 24; hour++ {
 		t := day*pecan.MinutesPerDay + hour*60
 		if t < w {
@@ -261,7 +350,21 @@ func (s *System) predictDay(h *simHome, tr *pecan.Trace, day int) []float64 {
 			}
 			continue
 		}
-		copy(pred[hour*60:(hour+1)*60], fc.Predict(tr.KW, t))
+		hours = append(hours, hour)
+		ts = append(ts, t)
+	}
+	if len(hours) == 0 {
+		return pred
+	}
+	if bp, ok := fc.(forecast.BatchPredictor); ok {
+		rows := bp.PredictBatch(tr.KW, ts)
+		for i, hour := range hours {
+			copy(pred[hour*60:(hour+1)*60], rows.Row(i))
+		}
+		return pred
+	}
+	for i, hour := range hours {
+		copy(pred[hour*60:(hour+1)*60], fc.Predict(tr.KW, ts[i]))
 	}
 	return pred
 }
@@ -338,54 +441,76 @@ func (s *System) runEMSHour(h *simHome, envs []*energy.Env, hour int) emsHourSta
 	return st
 }
 
-// trainForecasters runs one local training bout per home per device on the
-// recent history window ending at absolute minute end. Homes train
-// concurrently; the timer accumulates total compute across homes (the
-// quantity the overhead figures compare).
-func (s *System) trainForecasters(timer *metrics.Timer, end int) {
+// trainForecasters runs one local training bout per (home, device) on the
+// recent history window ending at absolute minute end. Pairs train
+// concurrently on the shared pool; the timer accumulates total compute
+// across tasks ("fc-train", the quantity the overhead figures compare) and
+// the wave's elapsed time ("fc-train.wall").
+func (s *System) trainForecasters(timer *metrics.Timer, end int) error {
+	// Pending β rounds write into the very models this bout trains.
+	if err := s.joinForecastRounds(timer); err != nil {
+		return err
+	}
 	cfg := s.cfg
 	lookback := cfg.TrainLookbackHours * 60
-	durs := make([]time.Duration, len(s.homes))
-	s.parallelHomes(func(h *simHome) {
+	s.ensureHomeDevs()
+	durs := make([]time.Duration, len(s.homeDevs))
+	waveStart := time.Now()
+	s.parallelHomeDevices(func(idx int, h *simHome, di int) {
 		t0 := time.Now()
-		for _, tr := range h.src.Traces {
-			start := end - lookback
-			if start < 0 {
-				start = 0
-			}
-			stop := end
-			if stop > len(tr.KW) {
-				stop = len(tr.KW)
-			}
-			epochs := cfg.TrainBoutEpochs
-			if epochs < 1 {
-				epochs = 1
-			}
-			h.fcs[tr.Device.Type].TrainEpochs(tr.KW[start:stop], epochs)
+		tr := h.src.Traces[di]
+		start := end - lookback
+		if start < 0 {
+			start = 0
 		}
-		durs[h.id] = time.Since(t0)
+		stop := end
+		if stop > len(tr.KW) {
+			stop = len(tr.KW)
+		}
+		epochs := cfg.TrainBoutEpochs
+		if epochs < 1 {
+			epochs = 1
+		}
+		h.fcs[tr.Device.Type].TrainEpochs(tr.KW[start:stop], epochs)
+		durs[idx] = time.Since(t0)
 	})
+	timer.Add("fc-train.wall", time.Since(waveStart))
 	for _, d := range durs {
 		timer.Add("fc-train", d)
 	}
+	return nil
 }
 
 // forecastRound performs one forecast-plane federation round (plus charges
-// any extra sub-hourly fires).
+// any extra sub-hourly fires). For the decentralized method only the
+// transport half runs here; aggregation overlaps the EMS compute that
+// follows, and the result installs at the next joinForecastRounds (before
+// anything reads the forecaster models again).
 func (s *System) forecastRound(timer *metrics.Timer, fires int) error {
-	timer.Start("fc-train")
-	defer timer.Stop("fc-train")
+	if err := s.joinForecastRounds(timer); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	defer func() {
+		d := time.Since(t0)
+		timer.Add("fc-train", d)
+		timer.Add("fc-train.wall", d)
+	}()
 	for _, dt := range s.deviceTypes {
 		var models []*nn.Sequential
 		if s.cfg.Method == MethodPFDRL {
 			for _, h := range s.homes {
 				models = append(models, h.fcs[dt].Model())
 			}
-			rep, err := fed.DecentralizedRound(s.fcNet, models, "fc/"+dt, -1)
-			if err != nil {
-				return err
+			if s.fcRoundWS == nil {
+				s.fcRoundWS = make(map[string]*fed.RoundWorkspace)
 			}
-			s.resil.absorb(rep)
+			ws := s.fcRoundWS[dt]
+			if ws == nil {
+				ws = &fed.RoundWorkspace{}
+				s.fcRoundWS[dt] = ws
+			}
+			s.fcPending = append(s.fcPending, fed.BeginDecentralizedRound(s.fcNet, models, "fc/"+dt, -1, ws))
 		} else { // FL, FRL: star with the hub as pure server
 			models = append(models, s.hubFcs[dt].Model())
 			for _, h := range s.homes {
@@ -406,6 +531,31 @@ func (s *System) forecastRound(timer *metrics.Timer, fires int) error {
 	return nil
 }
 
+// joinForecastRounds lands every in-flight forecast-plane round: waits for
+// background aggregation, installs the staged means into the live
+// forecaster models, and absorbs the round reports. Any code that reads or
+// trains forecaster models joins first; the wait (usually zero — the
+// aggregation finished under the EMS hours) is charged to both fc-train
+// series.
+func (s *System) joinForecastRounds(timer *metrics.Timer) error {
+	if len(s.fcPending) == 0 {
+		return nil
+	}
+	t0 := time.Now()
+	for _, p := range s.fcPending {
+		rep, err := p.Join()
+		if err != nil {
+			return err
+		}
+		s.resil.absorb(rep)
+	}
+	s.fcPending = s.fcPending[:0]
+	d := time.Since(t0)
+	timer.Add("fc-train", d)
+	timer.Add("fc-train.wall", d)
+	return nil
+}
+
 // emsRound performs one EMS-plane federation round: full FedAvg of the DQN
 // through the cloud for FRL, FedPer base-layer averaging over the LAN for
 // PFDRL. Target networks are re-synced to the aggregated online networks.
@@ -419,7 +569,13 @@ func (s *System) emsRound(timer *metrics.Timer, fires int) error {
 			models = append(models, h.agent.Online)
 		}
 		alpha := s.cfg.sharedTrainableLayers()
-		rep, err := fed.DecentralizedRound(s.drlNet, models, "drl", alpha)
+		// Synchronous (the next minute's actions read the averaged DQN),
+		// but routed through the workspace so repeated γ rounds reuse their
+		// marshal, snapshot, and staging buffers.
+		if s.drlWS == nil {
+			s.drlWS = &fed.RoundWorkspace{}
+		}
+		rep, err := fed.BeginDecentralizedRound(s.drlNet, models, "drl", alpha, s.drlWS).Join()
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dqn"
 	"repro/internal/energy"
+	"repro/internal/fed"
 	"repro/internal/fednet"
 	"repro/internal/forecast"
 	"repro/internal/pecan"
@@ -49,6 +50,22 @@ type System struct {
 	// resil accumulates the run's fault-tolerance telemetry; Run resets
 	// it and publishes the final tally in Result.Resilience.
 	resil ResilienceReport
+
+	// homeDevs caches the flattened (home, device) task grid for
+	// parallelHomeDevices; homeDevOff[h] is home h's first flat index, and
+	// homeDevGrainSafe records whether single-pair grain is legal (no home
+	// repeats a device type).
+	homeDevs         []homeDevice
+	homeDevOff       []int
+	homeDevGrainSafe bool
+
+	// fcPending holds forecast-plane federation rounds whose aggregation is
+	// still overlapping EMS compute; fcRoundWS / drlWS are the per-plane
+	// reusable round buffers (fcRoundWS keyed by device type, one round in
+	// flight per key).
+	fcPending []*fed.PendingRound
+	fcRoundWS map[string]*fed.RoundWorkspace
+	drlWS     *fed.RoundWorkspace
 }
 
 // NewSystem generates the corpus and builds all agents for cfg.

@@ -14,7 +14,6 @@
 package fed
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -46,18 +45,22 @@ const WireOverhead = len(wireMagic) + 4
 // MarshalParams serializes a parameter set in wire format: a checksummed
 // header followed by the matrices back to back.
 func MarshalParams(ps []*tensor.Matrix) []byte {
-	var buf bytes.Buffer
-	buf.WriteString(wireMagic)
-	buf.Write(make([]byte, 4)) // checksum placeholder
+	return MarshalParamsInto(nil, ps)
+}
+
+// MarshalParamsInto is MarshalParams appending into a reused buffer: dst is
+// truncated and overwritten, growing only when its capacity is exceeded, and
+// the (possibly re-backed) slice is returned. Callers own the reuse
+// discipline — the buffer must stay untouched while any message carrying it
+// is still in flight (fednet shares payloads, it does not copy them).
+func MarshalParamsInto(dst []byte, ps []*tensor.Matrix) []byte {
+	dst = append(dst[:0], wireMagic...)
+	dst = append(dst, 0, 0, 0, 0) // checksum placeholder
 	for _, p := range ps {
-		if _, err := p.WriteTo(&buf); err != nil {
-			// bytes.Buffer writes cannot fail.
-			panic(fmt.Sprintf("fed: marshal: %v", err))
-		}
+		dst = p.AppendWire(dst)
 	}
-	b := buf.Bytes()
-	binary.LittleEndian.PutUint32(b[len(wireMagic):WireOverhead], crc32.ChecksumIEEE(b[WireOverhead:]))
-	return b
+	binary.LittleEndian.PutUint32(dst[len(wireMagic):WireOverhead], crc32.ChecksumIEEE(dst[WireOverhead:]))
+	return dst
 }
 
 // UnmarshalParamsLike decodes a wire blob into fresh matrices shaped like
@@ -65,29 +68,47 @@ func MarshalParams(ps []*tensor.Matrix) []byte {
 // mismatch, or shape/length mismatch — the validation gate federation
 // rounds use to quarantine corrupt payloads.
 func UnmarshalParamsLike(template []*tensor.Matrix, data []byte) ([]*tensor.Matrix, error) {
+	out := make([]*tensor.Matrix, len(template))
+	for i := range out {
+		out[i] = &tensor.Matrix{}
+	}
+	if err := UnmarshalParamsInto(out, template, data); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// UnmarshalParamsInto is UnmarshalParamsLike decoding into a caller-owned
+// set (reusing each matrix's backing storage when capacity allows) instead
+// of allocating fresh matrices. dst must have the template's length; on
+// error the contents of dst are unspecified and the caller must discard the
+// set.
+func UnmarshalParamsInto(dst, template []*tensor.Matrix, data []byte) error {
+	if len(dst) != len(template) {
+		panic(fmt.Sprintf("fed: UnmarshalParamsInto dst length %d, want %d", len(dst), len(template)))
+	}
 	if len(data) < WireOverhead || string(data[:len(wireMagic)]) != wireMagic {
-		return nil, fmt.Errorf("fed: payload missing wire header")
+		return fmt.Errorf("fed: payload missing wire header")
 	}
 	want := binary.LittleEndian.Uint32(data[len(wireMagic):WireOverhead])
 	if got := crc32.ChecksumIEEE(data[WireOverhead:]); got != want {
-		return nil, fmt.Errorf("fed: payload checksum mismatch (header %08x, body %08x)", want, got)
+		return fmt.Errorf("fed: payload checksum mismatch (header %08x, body %08x)", want, got)
 	}
-	r := bytes.NewReader(data[WireOverhead:])
-	out := make([]*tensor.Matrix, len(template))
+	rest := data[WireOverhead:]
 	for i, tpl := range template {
-		var m tensor.Matrix
-		if _, err := m.ReadFrom(r); err != nil {
-			return nil, fmt.Errorf("fed: decoding param %d: %w", i, err)
+		n, err := dst[i].DecodeInto(rest)
+		if err != nil {
+			return fmt.Errorf("fed: decoding param %d: %w", i, err)
 		}
-		if m.Rows != tpl.Rows || m.Cols != tpl.Cols {
-			return nil, fmt.Errorf("fed: param %d is %dx%d, want %dx%d", i, m.Rows, m.Cols, tpl.Rows, tpl.Cols)
+		if dst[i].Rows != tpl.Rows || dst[i].Cols != tpl.Cols {
+			return fmt.Errorf("fed: param %d is %dx%d, want %dx%d", i, dst[i].Rows, dst[i].Cols, tpl.Rows, tpl.Cols)
 		}
-		out[i] = &m
+		rest = rest[n:]
 	}
-	if r.Len() != 0 {
-		return nil, fmt.Errorf("fed: %d trailing bytes after params", r.Len())
+	if len(rest) != 0 {
+		return fmt.Errorf("fed: %d trailing bytes after params", len(rest))
 	}
-	return out, nil
+	return nil
 }
 
 // paramsClean reports whether a set is free of NaN/Inf — the divergence
@@ -132,52 +153,24 @@ func baseParams(m *nn.Sequential, alpha int) []*tensor.Matrix {
 // agents inside a crash window sit the round out untouched. The returned
 // RoundReport carries the participation stats; the error is reserved for
 // structural misuse (model-count mismatch, topology violation).
+//
+// DecentralizedRound is the synchronous form of BeginDecentralizedRound: it
+// starts the round and immediately joins it.
 func DecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string, alpha int) (RoundReport, error) {
-	var rep RoundReport
-	if net.N() != len(models) {
-		return rep, fmt.Errorf("fed: %d models for %d network agents", len(models), net.N())
-	}
-	n := len(models)
-	if n == 1 {
-		return RoundReport{Agents: 1, MinSets: 1, MaxSets: 1}, nil
-	}
-	live := make([]bool, n)
-	for i := range models {
-		if net.AgentDown(i) {
-			rep.Crashed++
-			continue
-		}
-		live[i] = true
-		rep.Agents++
-	}
-	// Snapshot & broadcast. Snapshots isolate in-flight payloads from any
-	// continued local mutation.
-	snaps := make([][]*tensor.Matrix, n)
-	for i, m := range models {
-		if !live[i] {
-			continue
-		}
-		snaps[i] = nn.CloneParams(baseParams(m, alpha))
-		if err := net.Broadcast(i, kind, MarshalParams(snaps[i])); err != nil {
-			return rep, err
-		}
-	}
-	// Collect & aggregate.
-	for i, m := range models {
-		if !live[i] {
-			continue
-		}
-		base := baseParams(m, alpha)
-		sets := rep.collectSets(net, i, base, kind, snaps[i])
-		rep.countSets(nn.AverageParamSets(base, sets...))
-	}
-	return rep, nil
+	return BeginDecentralizedRound(net, models, kind, alpha, nil).Join()
 }
 
 // collectSets gathers one agent's aggregate inputs: its own snapshot plus
 // every received payload of the right kind, each gated through wire
 // validation and the divergence filter. Exclusions land in the report.
 func (rep *RoundReport) collectSets(net *fednet.Network, agent int, template []*tensor.Matrix, kind string, own []*tensor.Matrix) [][]*tensor.Matrix {
+	return rep.collectFrom(net.Collect(agent), agent, template, kind, own, nil)
+}
+
+// collectFrom is collectSets over an already-drained inbox. With a non-nil
+// workspace each payload decodes into a pooled set (reset the pool between
+// aggregating agents); with nil it allocates fresh matrices per payload.
+func (rep *RoundReport) collectFrom(msgs []fednet.Message, agent int, template []*tensor.Matrix, kind string, own []*tensor.Matrix, ws *RoundWorkspace) [][]*tensor.Matrix {
 	var sets [][]*tensor.Matrix
 	if own != nil {
 		if paramsClean(own) {
@@ -186,11 +179,18 @@ func (rep *RoundReport) collectSets(net *fednet.Network, agent int, template []*
 			rep.reject(agent, agent, kind, "NaN/Inf parameters", false)
 		}
 	}
-	for _, msg := range net.Collect(agent) {
+	for _, msg := range msgs {
 		if msg.Kind != kind {
 			continue
 		}
-		got, err := UnmarshalParamsLike(template, msg.Payload)
+		var got []*tensor.Matrix
+		var err error
+		if ws != nil {
+			got = ws.nextDecodeSet(len(template))
+			err = UnmarshalParamsInto(got, template, msg.Payload)
+		} else {
+			got, err = UnmarshalParamsLike(template, msg.Payload)
+		}
 		if err != nil {
 			rep.reject(agent, msg.From, msg.Kind, err.Error(), true)
 			continue

@@ -270,6 +270,63 @@ func TestScheduleDue(t *testing.T) {
 	}
 }
 
+func TestScheduleFractionalPeriods(t *testing.T) {
+	// β = 0.5h: every 30 minutes, except the simulation's first instant.
+	half := Schedule{PeriodHours: 0.5}
+	if half.Due(0) {
+		t.Fatal("minute 0 fired for 0.5h period")
+	}
+	for _, m := range []int{30, 60, 90, 1440} {
+		if !half.Due(m) {
+			t.Fatalf("0.5h period missed minute %d", m)
+		}
+	}
+	for _, m := range []int{1, 29, 31, 59, 61, 89} {
+		if half.Due(m) {
+			t.Fatalf("0.5h period fired off-boundary at minute %d", m)
+		}
+	}
+	if got := half.RoundsPerDay(); got != 48 {
+		t.Fatalf("0.5h RoundsPerDay = %d, want 48", got)
+	}
+
+	// β = 1.5h: every 90 minutes — the fire instants drift across hour
+	// boundaries (90, 180, 270, ...), which is what the per-hour billing
+	// in core must handle.
+	sesqui := Schedule{PeriodHours: 1.5}
+	if sesqui.Due(0) {
+		t.Fatal("minute 0 fired for 1.5h period")
+	}
+	for _, m := range []int{90, 180, 270, 1440} {
+		if !sesqui.Due(m) {
+			t.Fatalf("1.5h period missed minute %d", m)
+		}
+	}
+	for _, m := range []int{60, 89, 91, 120, 179, 181} {
+		if sesqui.Due(m) {
+			t.Fatalf("1.5h period fired off-boundary at minute %d", m)
+		}
+	}
+	if got := sesqui.RoundsPerDay(); got != 16 {
+		t.Fatalf("1.5h RoundsPerDay = %d, want 16", got)
+	}
+
+	// A full simulated day's worth of Due checks agrees with RoundsPerDay
+	// for both fractional periods.
+	for _, s := range []Schedule{half, sesqui} {
+		fires := 0
+		for m := 1; m <= 1440; m++ {
+			if s.Due(m) {
+				fires++
+			}
+		}
+		if fires != s.RoundsPerDay() {
+			t.Fatalf("period %.1fh: %d fires over a day, RoundsPerDay says %d",
+				s.PeriodHours, fires, s.RoundsPerDay())
+		}
+	}
+}
+
 func TestPropDecentralizedPreservesMean(t *testing.T) {
 	// Invariant: full FedAvg leaves the *mean* of all agents' parameters
 	// unchanged (conservation), for any agent count.

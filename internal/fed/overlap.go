@@ -1,0 +1,211 @@
+package fed
+
+import (
+	"fmt"
+
+	"repro/internal/fednet"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// This file implements overlapped federation rounds: the transport half of a
+// decentralized round (snapshot, marshal, broadcast, inbox drain) runs
+// synchronously on the caller — every fednet interaction stays on the
+// simulation's deterministic clock and RNG — while the aggregation half
+// (unmarshal, validation, averaging) runs in one background goroutine that
+// writes into staged double buffers. Join blocks until aggregation finishes
+// and installs the staged means into the live base layers in agent order.
+//
+// Because the aggregate is computed from immutable snapshots and drained
+// messages, the round's result is bit-identical to the synchronous
+// DecentralizedRound no matter what compute the caller overlaps with it.
+// The one semantic shift is *when* the mean lands in the live model: at
+// Join instead of inside the round call. Callers therefore only overlap a
+// round with work that does not read or train the very models in the round
+// (e.g. forecaster rounds over EMS compute), joining before the next use.
+
+// RoundWorkspace holds the buffers a repeated federation round reuses:
+// per-agent marshal buffers, parameter snapshots, staged aggregation
+// targets, and a pool of decode sets for received payloads. A workspace
+// serves one round at a time — BeginDecentralizedRound panics if the
+// previous round it carries has not been joined, because in-flight message
+// payloads alias the marshal buffers.
+type RoundWorkspace struct {
+	marshal [][]byte
+	snaps   [][]*tensor.Matrix
+	staged  [][]*tensor.Matrix
+
+	decode     [][]*tensor.Matrix
+	decodeUsed int
+
+	inFlight bool
+}
+
+// ensureAgents sizes the per-agent buffer tables for n agents.
+func (ws *RoundWorkspace) ensureAgents(n int) {
+	if len(ws.marshal) < n {
+		ws.marshal = append(ws.marshal, make([][]byte, n-len(ws.marshal))...)
+		ws.snaps = append(ws.snaps, make([][]*tensor.Matrix, n-len(ws.snaps))...)
+		ws.staged = append(ws.staged, make([][]*tensor.Matrix, n-len(ws.staged))...)
+	}
+}
+
+// nextDecodeSet hands out the next pooled decode set, shaped by the decoder
+// itself (DecodeInto resizes in place). The pool is positional: reset
+// decodeUsed to recycle every set once its consumers are done.
+func (ws *RoundWorkspace) nextDecodeSet(n int) []*tensor.Matrix {
+	if ws.decodeUsed == len(ws.decode) {
+		ws.decode = append(ws.decode, nil)
+	}
+	set := ws.decode[ws.decodeUsed]
+	for len(set) < n {
+		set = append(set, &tensor.Matrix{})
+	}
+	set = set[:n]
+	ws.decode[ws.decodeUsed] = set
+	ws.decodeUsed++
+	return set
+}
+
+// ensureParamsLike shapes dst as a reusable deep buffer matching the shapes
+// of like, reusing backing storage whenever capacity allows.
+func ensureParamsLike(dst, like []*tensor.Matrix) []*tensor.Matrix {
+	if cap(dst) < len(like) {
+		dst = make([]*tensor.Matrix, len(like))
+	} else {
+		dst = dst[:len(like)]
+	}
+	for i, p := range like {
+		dst[i] = tensor.EnsureShape(dst[i], p.Rows, p.Cols)
+	}
+	return dst
+}
+
+// PendingRound is a decentralized round whose transport half has completed
+// and whose aggregation half may still be running. Join must be called
+// exactly once per round before the workspace (or the round's models) are
+// used again; it is cheap when aggregation already finished.
+type PendingRound struct {
+	rep  RoundReport
+	err  error
+	done chan struct{}
+	ws   *RoundWorkspace
+
+	agents []int              // live agent indices, ascending
+	bases  [][]*tensor.Matrix // live base-layer params, parallel to agents
+	staged [][]*tensor.Matrix // staged aggregates, parallel to agents
+	used   []int              // sets averaged per agent, parallel to agents
+	joined bool
+}
+
+// BeginDecentralizedRound starts one DFL exchange (see DecentralizedRound
+// for the protocol and degradation semantics) and returns without waiting
+// for aggregation. All network traffic — snapshot broadcast and inbox
+// drain — happens before it returns, so fednet's byte/time accounting and
+// fault RNG advance exactly as in the synchronous round. Averaging then
+// proceeds in the background against staged buffers; the caller may overlap
+// any compute that does not touch the round's models, and must call Join on
+// the result before reading or training them again.
+//
+// ws may be nil for a one-shot round (fresh buffers); passing a workspace
+// across rounds removes the per-round marshal and snapshot allocations.
+func BeginDecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string, alpha int, ws *RoundWorkspace) *PendingRound {
+	p := &PendingRound{done: make(chan struct{})}
+	if net.N() != len(models) {
+		p.err = fmt.Errorf("fed: %d models for %d network agents", len(models), net.N())
+		close(p.done)
+		return p
+	}
+	n := len(models)
+	if n == 1 {
+		p.rep = RoundReport{Agents: 1, MinSets: 1, MaxSets: 1}
+		close(p.done)
+		return p
+	}
+	if ws == nil {
+		ws = &RoundWorkspace{}
+	} else if ws.inFlight {
+		panic("fed: BeginDecentralizedRound: workspace round still pending (Join it first)")
+	}
+	ws.ensureAgents(n)
+	live := make([]bool, n)
+	for i := range models {
+		if net.AgentDown(i) {
+			p.rep.Crashed++
+			continue
+		}
+		live[i] = true
+		p.rep.Agents++
+	}
+	// Snapshot & broadcast. Snapshots isolate in-flight payloads from any
+	// continued local mutation; they live in the workspace so steady-state
+	// rounds allocate nothing here.
+	for i, m := range models {
+		if !live[i] {
+			continue
+		}
+		base := baseParams(m, alpha)
+		ws.snaps[i] = ensureParamsLike(ws.snaps[i], base)
+		nn.CopyParams(ws.snaps[i], base)
+		ws.marshal[i] = MarshalParamsInto(ws.marshal[i], ws.snaps[i])
+		if err := net.Broadcast(i, kind, ws.marshal[i]); err != nil {
+			p.err = err
+			close(p.done)
+			return p
+		}
+	}
+	// Drain every inbox now: Collect is the last fednet interaction, so the
+	// network is back to a quiescent state when Begin returns.
+	msgs := make([][]fednet.Message, n)
+	for i := range models {
+		if !live[i] {
+			continue
+		}
+		msgs[i] = net.Collect(i)
+		base := baseParams(models[i], alpha)
+		p.agents = append(p.agents, i)
+		p.bases = append(p.bases, base)
+		ws.staged[i] = ensureParamsLike(ws.staged[i], base)
+		p.staged = append(p.staged, ws.staged[i])
+	}
+	p.used = make([]int, len(p.agents))
+	p.ws = ws
+	ws.inFlight = true
+	// Aggregate in the background: one goroutine, agents in ascending order,
+	// so rejects and set counts land in the report in the same order the
+	// synchronous round produces.
+	go func() {
+		for idx, i := range p.agents {
+			ws.decodeUsed = 0 // agent idx's sets are consumed before idx+1 decodes
+			sets := p.rep.collectFrom(msgs[i], i, p.bases[idx], kind, ws.snaps[i], ws)
+			p.used[idx] = nn.AverageParamSets(p.staged[idx], sets...)
+		}
+		close(p.done)
+	}()
+	return p
+}
+
+// Join waits for the round's aggregation to finish, installs each staged
+// mean into its agent's live base layers (agents whose aggregate ended up
+// empty keep their parameters, mirroring the synchronous round), and
+// returns the completed report. Calling Join again returns the same result
+// without reinstalling.
+func (p *PendingRound) Join() (RoundReport, error) {
+	<-p.done
+	if p.joined {
+		return p.rep, p.err
+	}
+	p.joined = true
+	if p.err == nil {
+		for idx, base := range p.bases {
+			if p.used[idx] > 0 {
+				nn.CopyParams(base, p.staged[idx])
+			}
+			p.rep.countSets(p.used[idx])
+		}
+	}
+	if p.ws != nil {
+		p.ws.inFlight = false
+	}
+	return p.rep, p.err
+}

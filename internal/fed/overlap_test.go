@@ -1,0 +1,220 @@
+package fed
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/fednet"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestMarshalParamsIntoReusesBuffer(t *testing.T) {
+	m := mlps(1, 31)[0]
+	want := MarshalParams(m.Params())
+	buf := make([]byte, 0, len(want))
+	got := MarshalParamsInto(buf, m.Params())
+	if !bytes.Equal(got, want) {
+		t.Fatal("MarshalParamsInto bytes differ from MarshalParams")
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("MarshalParamsInto reallocated despite sufficient capacity")
+	}
+	// Reuse after mutating the params: same buffer, fresh contents.
+	m.Params()[0].Data[0] += 1
+	got2 := MarshalParamsInto(got, m.Params())
+	if bytes.Equal(got2, want) {
+		t.Fatal("reused buffer did not pick up parameter change")
+	}
+	dec, err := UnmarshalParamsLike(m.Params(), got2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec[0].Equal(m.Params()[0]) {
+		t.Fatal("round trip through reused buffer corrupted params")
+	}
+}
+
+func TestUnmarshalParamsIntoMatchesLike(t *testing.T) {
+	m := mlps(1, 32)[0]
+	blob := MarshalParams(m.Params())
+	pooled := (&RoundWorkspace{}).nextDecodeSet(len(m.Params()))
+	if err := UnmarshalParamsInto(pooled, m.Params(), blob); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range m.Params() {
+		if !p.Equal(pooled[i]) {
+			t.Fatalf("param %d mismatch", i)
+		}
+	}
+	// The same pooled set decodes a second payload in place.
+	m.Params()[1].Data[2] = 7
+	blob2 := MarshalParams(m.Params())
+	if err := UnmarshalParamsInto(pooled, m.Params(), blob2); err != nil {
+		t.Fatal(err)
+	}
+	if pooled[1].Data[2] != 7 {
+		t.Fatal("pooled decode did not refresh contents")
+	}
+	// Corruption still rejected.
+	blob2[len(blob2)-1] ^= 1
+	if err := UnmarshalParamsInto(pooled, m.Params(), blob2); err == nil {
+		t.Fatal("corrupt payload accepted")
+	}
+}
+
+// runTwinRounds runs the synchronous round on one fleet and the overlapped
+// round on an identically-seeded twin fleet over identically-configured
+// networks, returning both reports for comparison. Both fleets must end up
+// bit-identical.
+func runTwinRounds(t *testing.T, cfg fednet.Config, n int, alpha int, ws *RoundWorkspace) (RoundReport, RoundReport) {
+	t.Helper()
+	syncModels, overlapModels := mlps(n, 40), mlps(n, 40)
+	syncNet := fednet.New(n, cfg)
+	overlapNet := fednet.New(n, cfg)
+	wantRep, err := DecentralizedRound(syncNet, syncModels, "m", alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending := BeginDecentralizedRound(overlapNet, overlapModels, "m", alpha, ws)
+	gotRep, err := pending.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range syncModels {
+		pa, pb := syncModels[i].Params(), overlapModels[i].Params()
+		for j := range pa {
+			if !pa[j].Equal(pb[j]) {
+				t.Fatalf("agent %d param %d differs between sync and overlapped round", i, j)
+			}
+		}
+	}
+	return wantRep, gotRep
+}
+
+func TestOverlappedRoundMatchesSync(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		cfg   fednet.Config
+		alpha int
+	}{
+		{"clean", fednet.Config{}, -1},
+		{"personalized", fednet.Config{}, 2},
+		{"drops", fednet.Config{DropProb: 0.3, Seed: 5}, -1},
+		{"corruption", fednet.Config{Seed: 6, Faults: fednet.FaultPlan{CorruptProb: 0.4}}, -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, got := runTwinRounds(t, tc.cfg, 4, tc.alpha, nil)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("report mismatch:\nsync      %+v\noverlapped %+v", want, got)
+			}
+		})
+	}
+}
+
+func TestOverlappedRoundWorkspaceReuse(t *testing.T) {
+	ws := &RoundWorkspace{}
+	for round := 0; round < 3; round++ {
+		want, got := runTwinRounds(t, fednet.Config{}, 3, -1, ws)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("round %d report mismatch with reused workspace", round)
+		}
+	}
+}
+
+func TestOverlappedRoundRejectsNaNPeers(t *testing.T) {
+	n := 3
+	models := mlps(n, 50)
+	models[2].Params()[0].Data[0] = math.NaN()
+	net := fednet.New(n, fednet.Config{})
+	rep, err := BeginDecentralizedRound(net, models, "m", -1, nil).Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Agent 2's set is NaN: rejected everywhere, including its own aggregate.
+	if rep.NaNRejected != n || rep.MinSets != n-1 || rep.MaxSets != n-1 {
+		t.Fatalf("report %+v, want %d NaN rejects and %d-set aggregates", rep, n, n-1)
+	}
+	for _, m := range models {
+		if m.Params()[0].HasNaN() {
+			t.Fatal("NaN leaked into an aggregate")
+		}
+	}
+}
+
+func TestOverlappedRoundOverlapsCompute(t *testing.T) {
+	// The round's models must stay untouched between Begin and Join, but
+	// unrelated compute may proceed. Train a second, unrelated fleet inside
+	// the overlap window; under -race this also proves the aggregation
+	// goroutine shares nothing with caller compute.
+	n := 4
+	roundModels := mlps(n, 60)
+	twin := mlps(n, 60)
+	other := mlps(1, 61)[0]
+	net := fednet.New(n, fednet.Config{})
+	twinNet := fednet.New(n, fednet.Config{})
+
+	pending := BeginDecentralizedRound(net, roundModels, "m", -1, nil)
+	rng := rand.New(rand.NewSource(62))
+	x := tensor.RandNormal(rng, 8, 4, 0, 1)
+	y := tensor.RandNormal(rng, 8, 2, 0, 1)
+	opt := &nn.SGD{LR: 0.01}
+	for i := 0; i < 50; i++ {
+		nn.FitBatch(other, nn.MSE{}, opt, x, y)
+	}
+	if _, err := pending.Join(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := DecentralizedRound(twinNet, twin, "m", -1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range twin {
+		pa, pb := twin[i].Params(), roundModels[i].Params()
+		for j := range pa {
+			if !pa[j].Equal(pb[j]) {
+				t.Fatalf("overlapped compute changed round result (agent %d param %d)", i, j)
+			}
+		}
+	}
+}
+
+func TestBeginPanicsOnUnjoinedWorkspace(t *testing.T) {
+	n := 3
+	models := mlps(n, 70)
+	net := fednet.New(n, fednet.Config{})
+	ws := &RoundWorkspace{}
+	pending := BeginDecentralizedRound(net, models, "m", -1, ws)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second Begin on in-flight workspace did not panic")
+			}
+		}()
+		BeginDecentralizedRound(net, models, "m", -1, ws)
+	}()
+	if _, err := pending.Join(); err != nil {
+		t.Fatal(err)
+	}
+	// After Join the workspace is free again.
+	if _, err := BeginDecentralizedRound(net, models, "m", -1, ws).Join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlappedRoundErrorPaths(t *testing.T) {
+	models := mlps(3, 80)
+	net := fednet.New(2, fednet.Config{})
+	if _, err := BeginDecentralizedRound(net, models, "m", -1, nil).Join(); err == nil {
+		t.Fatal("model-count mismatch accepted")
+	}
+	// Single agent short-circuits.
+	one := fednet.New(1, fednet.Config{})
+	rep, err := BeginDecentralizedRound(one, models[:1], "m", -1, nil).Join()
+	if err != nil || rep.Agents != 1 || rep.MinSets != 1 {
+		t.Fatalf("single-agent round rep %+v err %v", rep, err)
+	}
+}

@@ -105,6 +105,19 @@ type Forecaster interface {
 	Name() string
 }
 
+// BatchPredictor is an optional Forecaster extension: predict several
+// windows of the same series in one model forward. Rows of the result align
+// with ts. Since every model here processes batch rows independently, the
+// returned values are bit-identical to len(ts) separate Predict calls — the
+// batching only amortizes per-call overhead (a big win for the recurrent
+// models, whose per-timestep loop otherwise runs at batch 1).
+type BatchPredictor interface {
+	// PredictBatch returns a len(ts) x Horizon matrix whose r-th row is the
+	// prediction for minutes [ts[r], ts[r]+Horizon). The matrix is
+	// forecaster-owned scratch, valid until the next call.
+	PredictBatch(series []float64, ts []int) *tensor.Matrix
+}
+
 // Kind selects a forecaster algorithm.
 type Kind string
 
@@ -231,11 +244,13 @@ type sgdForecaster struct {
 	lrDecay float64
 
 	// xRow/predBuf are Predict's reusable scratch: the encoded feature row
-	// and the returned prediction slice. bx/by are TrainEpochs' minibatch
-	// workspaces. See DESIGN.md "Memory model & buffer ownership".
-	xRow    *tensor.Matrix
-	predBuf []float64
-	bx, by  *tensor.Matrix
+	// and the returned prediction slice. xBatch/predMat are PredictBatch's
+	// equivalents; bx/by are TrainEpochs' minibatch workspaces. See
+	// DESIGN.md "Memory model & buffer ownership".
+	xRow            *tensor.Matrix
+	predBuf         []float64
+	xBatch, predMat *tensor.Matrix
+	bx, by          *tensor.Matrix
 }
 
 func (f *sgdForecaster) Name() string          { return string(f.kind) }
@@ -370,6 +385,35 @@ func (f *sgdForecaster) Predict(series []float64, t int) []float64 {
 		pred[j] = v
 	}
 	return pred
+}
+
+// PredictBatch implements BatchPredictor: one model forward for all of ts.
+// Scaling and clamping apply the exact per-element operations of Predict,
+// and batch rows flow through every layer independently, so row r equals
+// Predict(series, ts[r]) bit for bit.
+func (f *sgdForecaster) PredictBatch(series []float64, ts []int) *tensor.Matrix {
+	for _, t := range ts {
+		if t < f.cfg.Window {
+			panic(fmt.Sprintf("forecast: PredictBatch at t=%d needs at least %d history minutes", t, f.cfg.Window))
+		}
+		if t > len(series) {
+			panic(fmt.Sprintf("forecast: PredictBatch at t=%d beyond series length %d", t, len(series)))
+		}
+	}
+	f.xBatch = tensor.EnsureShape(f.xBatch, len(ts), f.featureDim())
+	for r, t := range ts {
+		f.encode(f.xBatch.Row(r), series, t)
+	}
+	out := f.model.Forward(f.xBatch)
+	f.predMat = tensor.EnsureShape(f.predMat, len(ts), f.cfg.Horizon)
+	for i, v := range out.Data {
+		v *= f.cfg.Scale
+		if v < 0 {
+			v = 0
+		}
+		f.predMat.Data[i] = v
+	}
+	return f.predMat
 }
 
 // epsilonInsensitive is the linear-SVR loss: max(0, |r|−ε), optimized by

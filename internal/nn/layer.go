@@ -95,9 +95,25 @@ func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
 	}
 	d.x = x
 	d.y = tensor.EnsureShape(d.y, x.Rows, d.W.Cols)
-	tensor.MatMulInto(d.y, x, d.W)
-	d.y.AddRowVectorInPlace(d.B)
+	tensor.DenseForwardInto(d.y, x, d.W, d.B)
 	return d.y
+}
+
+// forwardFused runs this layer and the following activation in one fused
+// sweep (Sequential's Dense→Activation peephole). Both layers' caches end
+// up exactly as if Forward had been called on each in turn — act.x aliases
+// d.y, as it would under separate calls — so the unfused Backward path
+// applies unchanged.
+func (d *Dense) forwardFused(x *tensor.Matrix, act *Activation) *tensor.Matrix {
+	if x.Cols != d.W.Rows {
+		panic(fmt.Sprintf("nn: Dense forward input width %d, want %d", x.Cols, d.W.Rows))
+	}
+	d.x = x
+	d.y = tensor.EnsureShape(d.y, x.Rows, d.W.Cols)
+	act.x = d.y
+	act.y = tensor.EnsureShape(act.y, x.Rows, d.W.Cols)
+	tensor.DenseForwardApplyInto(d.y, act.y, x, d.W, d.B, act.fn)
+	return act.y
 }
 
 // Backward implements Layer. The returned matrix is a layer-owned workspace.
@@ -105,15 +121,14 @@ func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if d.x == nil {
 		panic("nn: Dense Backward called before Forward")
 	}
-	// dW += xᵀ·grad ; dB += column sums of grad ; dx = grad·Wᵀ
+	// dW += xᵀ·grad ; dB += column sums of grad ; dx = grad·Wᵀ — one fused
+	// pass over the gradient rows.
 	d.dwTmp = tensor.EnsureShape(d.dwTmp, d.W.Rows, d.W.Cols)
-	tensor.MatMulTransAInto(d.dwTmp, d.x, grad)
-	tensor.AddInto(d.dW, d.dW, d.dwTmp)
 	d.dbTmp = tensor.EnsureShape(d.dbTmp, 1, grad.Cols)
-	tensor.ColSumsInto(d.dbTmp, grad)
-	tensor.AddInto(d.dB, d.dB, d.dbTmp)
 	d.dx = tensor.EnsureShape(d.dx, grad.Rows, d.W.Rows)
-	tensor.MatMulTransBInto(d.dx, grad, d.W)
+	tensor.DenseBackwardInto(d.dwTmp, d.dbTmp, d.dx, d.x, d.W, grad)
+	tensor.AddInto(d.dW, d.dW, d.dwTmp)
+	tensor.AddInto(d.dB, d.dB, d.dbTmp)
 	return d.dx
 }
 

@@ -28,12 +28,21 @@ type LSTM struct {
 	W, B   *tensor.Matrix
 	dW, dB *tensor.Matrix
 
-	// Per-timestep caches for backpropagation through time.
+	// Per-timestep caches for backpropagation through time. They double as
+	// workspaces: allocated on first use and reshaped in place when the
+	// batch size changes, so steady-state training allocates nothing.
 	zs             []*tensor.Matrix // concatenated [x_t, h_{t-1}]
 	is, fs, gs, os []*tensor.Matrix
 	cs, hs         []*tensor.Matrix // cell and hidden states, index 0..SeqLen (0 = initial)
 	tanhCs         []*tensor.Matrix
 	batch          int
+
+	// Scratch reused across calls: gate pre-activations in Forward;
+	// gradient carriers and per-step parameter gradients in Backward.
+	pre              *tensor.Matrix
+	dxBuf, dhBuf, dc *tensor.Matrix
+	dpre, dz         *tensor.Matrix
+	dwStep, dbStep   *tensor.Matrix
 }
 
 // NewLSTM returns an LSTM over sequences of seqLen steps with inputSize
@@ -57,8 +66,38 @@ func NewLSTM(rng *rand.Rand, inputSize, hidden, seqLen int) *LSTM {
 	return l
 }
 
+// ensureCaches sizes every per-timestep cache and the Forward scratch for
+// the given batch, reusing backing storage whenever capacity allows.
+func (l *LSTM) ensureCaches(b int) {
+	if l.zs == nil {
+		l.zs = make([]*tensor.Matrix, l.SeqLen)
+		l.is = make([]*tensor.Matrix, l.SeqLen)
+		l.fs = make([]*tensor.Matrix, l.SeqLen)
+		l.gs = make([]*tensor.Matrix, l.SeqLen)
+		l.os = make([]*tensor.Matrix, l.SeqLen)
+		l.tanhCs = make([]*tensor.Matrix, l.SeqLen)
+		l.cs = make([]*tensor.Matrix, l.SeqLen+1)
+		l.hs = make([]*tensor.Matrix, l.SeqLen+1)
+	}
+	h := l.Hidden
+	for t := 0; t < l.SeqLen; t++ {
+		l.zs[t] = tensor.EnsureShape(l.zs[t], b, l.InputSize+h)
+		l.is[t] = tensor.EnsureShape(l.is[t], b, h)
+		l.fs[t] = tensor.EnsureShape(l.fs[t], b, h)
+		l.gs[t] = tensor.EnsureShape(l.gs[t], b, h)
+		l.os[t] = tensor.EnsureShape(l.os[t], b, h)
+		l.tanhCs[t] = tensor.EnsureShape(l.tanhCs[t], b, h)
+	}
+	for t := 0; t <= l.SeqLen; t++ {
+		l.cs[t] = tensor.EnsureShape(l.cs[t], b, h)
+		l.hs[t] = tensor.EnsureShape(l.hs[t], b, h)
+	}
+	l.pre = tensor.EnsureShape(l.pre, b, 4*h)
+}
+
 // Forward implements Layer. It unrolls the recurrence over SeqLen steps and
-// returns the final hidden state h_T.
+// returns the final hidden state h_T (a layer-owned workspace, valid until
+// the next Forward call).
 func (l *LSTM) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != l.SeqLen*l.InputSize {
 		panic(fmt.Sprintf("nn: LSTM forward input width %d, want %d", x.Cols, l.SeqLen*l.InputSize))
@@ -66,33 +105,37 @@ func (l *LSTM) Forward(x *tensor.Matrix) *tensor.Matrix {
 	b := x.Rows
 	l.batch = b
 	h := l.Hidden
-	l.zs = make([]*tensor.Matrix, l.SeqLen)
-	l.is = make([]*tensor.Matrix, l.SeqLen)
-	l.fs = make([]*tensor.Matrix, l.SeqLen)
-	l.gs = make([]*tensor.Matrix, l.SeqLen)
-	l.os = make([]*tensor.Matrix, l.SeqLen)
-	l.tanhCs = make([]*tensor.Matrix, l.SeqLen)
-	l.cs = make([]*tensor.Matrix, l.SeqLen+1)
-	l.hs = make([]*tensor.Matrix, l.SeqLen+1)
-	l.cs[0] = tensor.New(b, h)
-	l.hs[0] = tensor.New(b, h)
+	in := l.InputSize
+	l.ensureCaches(b)
+	l.cs[0].Zero()
+	l.hs[0].Zero()
 
 	for t := 0; t < l.SeqLen; t++ {
-		xt := x.SliceCols(t*l.InputSize, (t+1)*l.InputSize)
-		z := tensor.Concat(xt, l.hs[t])
-		pre := tensor.MatMul(z, l.W)
-		pre.AddRowVectorInPlace(l.B)
-
-		it := tensor.New(b, h)
-		ft := tensor.New(b, h)
-		gt := tensor.New(b, h)
-		ot := tensor.New(b, h)
-		ct := tensor.New(b, h)
-		tct := tensor.New(b, h)
-		ht := tensor.New(b, h)
+		// z = [x_t | h_{t-1}], written directly into the reused cache.
+		z := l.zs[t]
+		hPrev := l.hs[t]
+		zw := in + h
 		for r := 0; r < b; r++ {
-			preRow := pre.Row(r)
-			cPrev := l.cs[t].Row(r)
+			zRow := z.Data[r*zw : (r+1)*zw]
+			copy(zRow[:in], x.Data[r*x.Cols+t*in:r*x.Cols+(t+1)*in])
+			copy(zRow[in:], hPrev.Data[r*h:(r+1)*h])
+		}
+		pre := l.pre
+		tensor.DenseForwardInto(pre, z, l.W, l.B)
+
+		it, ft, gt, ot := l.is[t], l.fs[t], l.gs[t], l.os[t]
+		ct, tct, ht := l.cs[t+1], l.tanhCs[t], l.hs[t+1]
+		cPrevM := l.cs[t]
+		for r := 0; r < b; r++ {
+			preRow := pre.Data[r*4*h : (r+1)*4*h]
+			cPrev := cPrevM.Data[r*h : (r+1)*h]
+			iRow := it.Data[r*h : (r+1)*h]
+			fRow := ft.Data[r*h : (r+1)*h]
+			gRow := gt.Data[r*h : (r+1)*h]
+			oRow := ot.Data[r*h : (r+1)*h]
+			cRow := ct.Data[r*h : (r+1)*h]
+			tcRow := tct.Data[r*h : (r+1)*h]
+			hRow := ht.Data[r*h : (r+1)*h]
 			for c := 0; c < h; c++ {
 				iv := sigmoid(preRow[c])
 				fv := sigmoid(preRow[h+c])
@@ -100,24 +143,22 @@ func (l *LSTM) Forward(x *tensor.Matrix) *tensor.Matrix {
 				ov := sigmoid(preRow[3*h+c])
 				cv := fv*cPrev[c] + iv*gv
 				tcv := math.Tanh(cv)
-				it.Row(r)[c] = iv
-				ft.Row(r)[c] = fv
-				gt.Row(r)[c] = gv
-				ot.Row(r)[c] = ov
-				ct.Row(r)[c] = cv
-				tct.Row(r)[c] = tcv
-				ht.Row(r)[c] = ov * tcv
+				iRow[c] = iv
+				fRow[c] = fv
+				gRow[c] = gv
+				oRow[c] = ov
+				cRow[c] = cv
+				tcRow[c] = tcv
+				hRow[c] = ov * tcv
 			}
 		}
-		l.zs[t], l.is[t], l.fs[t], l.gs[t], l.os[t] = z, it, ft, gt, ot
-		l.cs[t+1], l.tanhCs[t], l.hs[t+1] = ct, tct, ht
 	}
 	return l.hs[l.SeqLen]
 }
 
 // Backward implements Layer: backpropagation through time from the gradient
 // on the final hidden state. Returns the gradient with respect to the input
-// window (batch x SeqLen*InputSize).
+// window (batch x SeqLen*InputSize), a layer-owned workspace.
 func (l *LSTM) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if l.zs == nil {
 		panic("nn: LSTM Backward called before Forward")
@@ -126,20 +167,32 @@ func (l *LSTM) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if grad.Rows != b || grad.Cols != h {
 		panic(fmt.Sprintf("nn: LSTM backward grad shape %dx%d, want %dx%d", grad.Rows, grad.Cols, b, h))
 	}
-	dx := tensor.New(b, l.SeqLen*l.InputSize)
-	dh := grad.Clone()
-	dc := tensor.New(b, h)
-	dpre := tensor.New(b, 4*h)
+	in := l.InputSize
+	l.dxBuf = tensor.EnsureShape(l.dxBuf, b, l.SeqLen*in)
+	l.dhBuf = tensor.EnsureShape(l.dhBuf, b, h)
+	l.dc = tensor.EnsureShape(l.dc, b, h)
+	l.dpre = tensor.EnsureShape(l.dpre, b, 4*h)
+	l.dz = tensor.EnsureShape(l.dz, b, in+h)
+	l.dwStep = tensor.EnsureShape(l.dwStep, in+h, 4*h)
+	l.dbStep = tensor.EnsureShape(l.dbStep, 1, 4*h)
+	dx, dh, dc, dpre, dz := l.dxBuf, l.dhBuf, l.dc, l.dpre, l.dz
+	dh.CopyFrom(grad)
+	dc.Zero()
 
 	for t := l.SeqLen - 1; t >= 0; t-- {
 		it, ft, gt, ot := l.is[t], l.fs[t], l.gs[t], l.os[t]
 		tct := l.tanhCs[t]
 		cPrev := l.cs[t]
 		for r := 0; r < b; r++ {
-			dhR, dcR := dh.Row(r), dc.Row(r)
-			iR, fR, gR, oR := it.Row(r), ft.Row(r), gt.Row(r), ot.Row(r)
-			tcR, cpR := tct.Row(r), cPrev.Row(r)
-			dpreR := dpre.Row(r)
+			dhR := dh.Data[r*h : (r+1)*h]
+			dcR := dc.Data[r*h : (r+1)*h]
+			iR := it.Data[r*h : (r+1)*h]
+			fR := ft.Data[r*h : (r+1)*h]
+			gR := gt.Data[r*h : (r+1)*h]
+			oR := ot.Data[r*h : (r+1)*h]
+			tcR := tct.Data[r*h : (r+1)*h]
+			cpR := cPrev.Data[r*h : (r+1)*h]
+			dpreR := dpre.Data[r*4*h : (r+1)*4*h]
 			for c := 0; c < h; c++ {
 				do := dhR[c] * tcR[c]
 				dcTot := dcR[c] + dhR[c]*oR[c]*(1-tcR[c]*tcR[c])
@@ -154,14 +207,15 @@ func (l *LSTM) Backward(grad *tensor.Matrix) *tensor.Matrix {
 			}
 		}
 		// Accumulate parameter gradients and propagate to z = [x_t, h_{t-1}].
-		dwT := tensor.MatMulTransA(l.zs[t], dpre)
-		tensor.AddInto(l.dW, l.dW, dwT)
-		tensor.AddInto(l.dB, l.dB, dpre.ColSums())
-		dz := tensor.MatMulTransB(dpre, l.W)
+		tensor.MatMulTransAInto(l.dwStep, l.zs[t], dpre)
+		tensor.AddInto(l.dW, l.dW, l.dwStep)
+		tensor.ColSumsInto(l.dbStep, dpre)
+		tensor.AddInto(l.dB, l.dB, l.dbStep)
+		tensor.MatMulTransBInto(dz, dpre, l.W)
 		for r := 0; r < b; r++ {
-			dzR := dz.Row(r)
-			copy(dx.Row(r)[t*l.InputSize:(t+1)*l.InputSize], dzR[:l.InputSize])
-			copy(dh.Row(r), dzR[l.InputSize:])
+			dzR := dz.Data[r*(in+h) : (r+1)*(in+h)]
+			copy(dx.Data[r*l.SeqLen*in+t*in:r*l.SeqLen*in+(t+1)*in], dzR[:in])
+			copy(dh.Data[r*h:(r+1)*h], dzR[in:])
 		}
 	}
 	return dx

@@ -21,10 +21,22 @@ func NewSequential(layers ...Layer) *Sequential {
 	return &Sequential{Layers: layers}
 }
 
-// Forward implements Layer by chaining every stage.
+// Forward implements Layer by chaining every stage. Adjacent
+// Dense→Activation pairs — the shape of every hidden layer in both the DQN
+// MLP and the forecaster heads — run through the fused forward kernel,
+// which computes matmul, bias, and activation in one cache-hot sweep. The
+// fusion leaves both layers' caches bit-identical to separate Forward
+// calls, so Backward is unaffected.
 func (s *Sequential) Forward(x *tensor.Matrix) *tensor.Matrix {
-	for _, l := range s.Layers {
-		x = l.Forward(x)
+	for i := 0; i < len(s.Layers); i++ {
+		if d, ok := s.Layers[i].(*Dense); ok && i+1 < len(s.Layers) {
+			if act, ok := s.Layers[i+1].(*Activation); ok {
+				x = d.forwardFused(x, act)
+				i++
+				continue
+			}
+		}
+		x = s.Layers[i].Forward(x)
 	}
 	return x
 }

@@ -1,0 +1,171 @@
+// Package sched provides the persistent work-stealing worker pool that
+// backs every parallel loop in the simulator: the per-wave home fan-out in
+// core and the row sharding inside tensor's large matrix kernels.
+//
+// Before this package each parallel site spawned a fresh goroutine wave per
+// call — roughly 25 waves × homes × days for a run, plus one wave per large
+// matmul. The pool replaces that churn with a fixed set of workers created
+// once, sized by a single GOMAXPROCS snapshot taken at construction (so a
+// mid-run GOMAXPROCS change cannot skew sharding), and fed through a small
+// buffered queue.
+//
+// Scheduling model: ParallelFor splits an index range into grain-sized
+// chunks behind an atomic cursor. The calling goroutine always participates
+// — it claims chunks exactly like a worker — and idle workers are offered
+// the same claim loop with a non-blocking send. Work therefore "steals"
+// itself: whichever goroutine is free next takes the next chunk, so uneven
+// chunk costs (homes with slow devices, rows with different sparsity) no
+// longer straggle a wave behind a fixed pre-partition.
+//
+// Because the caller participates unconditionally, nested ParallelFor calls
+// cannot deadlock: when every worker is busy the inner call simply runs on
+// the caller, inline. Determinism is the call sites' contract — chunks must
+// write disjoint outputs and own their RNG — which keeps results
+// bit-identical to a serial run regardless of which goroutine executes
+// which chunk.
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size set of persistent worker goroutines. The zero value
+// is not usable; construct with NewPool or use Default.
+type Pool struct {
+	size   int
+	jobs   chan func()
+	closed atomic.Bool
+}
+
+// NewPool returns a pool of the given size (minimum 1). A pool of size n
+// runs n-1 background workers: the n-th execution slot is the goroutine
+// that calls ParallelFor, which always participates in its own loop.
+func NewPool(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{size: size, jobs: make(chan func(), 2*size)}
+	for i := 0; i < size-1; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for f := range p.jobs {
+		f()
+	}
+}
+
+// Size returns the pool's execution-slot count, fixed at construction.
+func (p *Pool) Size() int {
+	if p == nil {
+		return 1
+	}
+	return p.size
+}
+
+// Close shuts the pool's background workers down. It must not be called
+// concurrently with ParallelFor. A closed pool still accepts ParallelFor
+// calls but runs them entirely on the caller.
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.jobs)
+	}
+}
+
+// ParallelFor runs fn over the half-open range [0,n) split into chunks of
+// at most grain indices. fn(lo, hi) is invoked with disjoint sub-ranges
+// covering [0,n) exactly once each; invocations may run concurrently on
+// pool workers and on the calling goroutine, so fn must only write state
+// that is private to its index range. ParallelFor returns after every
+// chunk has completed.
+//
+// When the pool has a single slot, n fits in one chunk, or p is nil, fn
+// runs inline as fn(0, n) — the serial fast path used by small kernels.
+func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if p == nil || p.size < 2 || chunks < 2 || p.closed.Load() {
+		fn(0, n)
+		return
+	}
+
+	// Completion is counted in chunks finished, with the last finisher
+	// closing done. Helpers that sit in the queue without ever starting are
+	// then harmless: whenever they do run they find the cursor exhausted
+	// and return without calling fn. (Waiting on helper goroutines instead
+	// would deadlock under nesting — an inner loop could enqueue a helper
+	// that only the already-blocked worker could execute.)
+	var cursor, completed atomic.Int64
+	done := make(chan struct{})
+	run := func() {
+		for {
+			c := cursor.Add(1) - 1
+			if c >= int64(chunks) {
+				return
+			}
+			lo := int(c) * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+			if completed.Add(1) == int64(chunks) {
+				close(done)
+			}
+		}
+	}
+
+	// Offer the claim loop to idle workers without blocking: a full queue
+	// means every worker is already busy, and the caller absorbs the work.
+	helpers := p.size - 1
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+offer:
+	for i := 0; i < helpers; i++ {
+		select {
+		case p.jobs <- run:
+		default:
+			break offer // queue full; the caller absorbs the rest
+		}
+	}
+	run()
+	<-done
+}
+
+// defaultPool holds the process-wide pool, created on first use with a
+// GOMAXPROCS snapshot taken at that moment.
+var defaultPool atomic.Pointer[Pool]
+
+// Default returns the shared process-wide pool, creating it on first call
+// with size = GOMAXPROCS at that instant. Later GOMAXPROCS changes do not
+// affect it; use SetDefaultSize to rebuild it deliberately.
+func Default() *Pool {
+	if p := defaultPool.Load(); p != nil {
+		return p
+	}
+	fresh := NewPool(runtime.GOMAXPROCS(0))
+	if defaultPool.CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	fresh.Close()
+	return defaultPool.Load()
+}
+
+// SetDefaultSize replaces the shared pool with a new one of the given size.
+// It is intended for benchmarks sweeping GOMAXPROCS and must not be called
+// while any ParallelFor on the previous default pool is in flight.
+func SetDefaultSize(size int) {
+	old := defaultPool.Swap(NewPool(size))
+	if old != nil {
+		old.Close()
+	}
+}

@@ -1,0 +1,204 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelForCoversRangeExactlyOnce checks that every index in [0,n) is
+// visited exactly once across a spread of range sizes and grains, including
+// the inline fast paths (n==0, single chunk) and ragged final chunks.
+func TestParallelForCoversRangeExactlyOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, tc := range []struct{ n, grain int }{
+		{0, 1}, {1, 1}, {1, 8}, {7, 1}, {7, 3}, {8, 8}, {9, 8},
+		{100, 1}, {100, 7}, {1000, 64}, {1000, 1000}, {5, 0}, {5, -3},
+	} {
+		counts := make([]int32, tc.n)
+		p.ParallelFor(tc.n, tc.grain, func(lo, hi int) {
+			if lo < 0 || hi > tc.n || lo >= hi {
+				t.Errorf("n=%d grain=%d: bad chunk [%d,%d)", tc.n, tc.grain, lo, hi)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d grain=%d: index %d visited %d times", tc.n, tc.grain, i, c)
+			}
+		}
+	}
+}
+
+// TestParallelForMatchesSerial checks that a reduction computed through the
+// pool (with disjoint per-chunk outputs) is bit-identical to the serial
+// loop, the determinism contract the tensor kernels rely on.
+func TestParallelForMatchesSerial(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	const n = 4096
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = float64(i)*1.25 + 0.5
+	}
+	got := make([]float64, n)
+	p.ParallelFor(n, 37, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			got[i] = float64(i)*1.25 + 0.5
+		}
+	})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestParallelForNested checks that ParallelFor called from inside a
+// ParallelFor chunk completes (caller participation makes nesting
+// deadlock-free even when every worker is busy).
+func TestParallelForNested(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var total atomic.Int64
+	p.ParallelFor(8, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.ParallelFor(16, 1, func(ilo, ihi int) {
+				total.Add(int64(ihi - ilo))
+			})
+		}
+	})
+	if got := total.Load(); got != 8*16 {
+		t.Fatalf("nested ParallelFor covered %d indices, want %d", got, 8*16)
+	}
+}
+
+// TestPoolSizeSnapshot checks the satellite requirement: the pool's shard
+// count is fixed at construction and immune to later GOMAXPROCS changes.
+func TestPoolSizeSnapshot(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+
+	runtime.GOMAXPROCS(2)
+	p := NewPool(runtime.GOMAXPROCS(0))
+	defer p.Close()
+	if p.Size() != 2 {
+		t.Fatalf("pool size = %d, want 2", p.Size())
+	}
+	runtime.GOMAXPROCS(1)
+	if p.Size() != 2 {
+		t.Fatalf("pool size changed to %d after GOMAXPROCS change, want snapshot 2", p.Size())
+	}
+}
+
+// TestPoolSizeFloor checks NewPool clamps to at least one slot.
+func TestPoolSizeFloor(t *testing.T) {
+	p := NewPool(-3)
+	defer p.Close()
+	if p.Size() != 1 {
+		t.Fatalf("NewPool(-3).Size() = %d, want 1", p.Size())
+	}
+	ran := false
+	p.ParallelFor(10, 2, func(lo, hi int) {
+		if lo == 0 && hi == 10 {
+			ran = true
+		}
+	})
+	if !ran {
+		t.Fatal("size-1 pool should run the whole range inline as one chunk")
+	}
+}
+
+// TestNilPoolRunsInline checks the nil receiver degrades to serial.
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Size() != 1 {
+		t.Fatalf("nil pool Size() = %d, want 1", p.Size())
+	}
+	sum := 0
+	p.ParallelFor(5, 2, func(lo, hi int) { sum += hi - lo })
+	if sum != 5 {
+		t.Fatalf("nil pool covered %d indices, want 5", sum)
+	}
+}
+
+// TestClosedPoolRunsInline checks ParallelFor on a closed pool neither
+// panics nor loses work.
+func TestClosedPoolRunsInline(t *testing.T) {
+	p := NewPool(4)
+	p.Close()
+	p.Close() // idempotent
+	var sum atomic.Int64
+	p.ParallelFor(100, 3, func(lo, hi int) { sum.Add(int64(hi - lo)) })
+	if sum.Load() != 100 {
+		t.Fatalf("closed pool covered %d indices, want 100", sum.Load())
+	}
+}
+
+// TestDefaultPoolSingleton checks Default returns a stable pool and that
+// SetDefaultSize swaps it.
+func TestDefaultPoolSingleton(t *testing.T) {
+	a, b := Default(), Default()
+	if a != b {
+		t.Fatal("Default() returned distinct pools")
+	}
+	SetDefaultSize(3)
+	c := Default()
+	if c == a {
+		t.Fatal("SetDefaultSize did not replace the default pool")
+	}
+	if c.Size() != 3 {
+		t.Fatalf("default pool size = %d after SetDefaultSize(3)", c.Size())
+	}
+	// Restore a GOMAXPROCS-sized default for any tests that follow.
+	SetDefaultSize(runtime.GOMAXPROCS(0))
+}
+
+// TestParallelForConcurrentCallers exercises simultaneous ParallelFor calls
+// from many goroutines sharing one pool (the run-loop shape: home-level
+// waves whose chunks issue tensor-level loops). Run with -race.
+func TestParallelForConcurrentCallers(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				var sum atomic.Int64
+				p.ParallelFor(64, 5, func(lo, hi int) { sum.Add(int64(hi - lo)) })
+				if sum.Load() != 64 {
+					t.Errorf("covered %d indices, want 64", sum.Load())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkParallelForSmall(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	for i := 0; i < b.N; i++ {
+		p.ParallelFor(8, 1, func(lo, hi int) {})
+	}
+}
+
+func BenchmarkGoroutineWaveSmall(b *testing.B) {
+	// The pre-pool pattern: fresh goroutines per wave, for comparison.
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for j := 0; j < 8; j++ {
+			wg.Add(1)
+			go func() { defer wg.Done() }()
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,253 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// This file holds the fused dense-layer kernels: matmul + bias (+ optional
+// elementwise activation) in one sweep for the forward pass, and all three
+// backward products (dW, dB, dx) in a single pass over the gradient rows.
+// Fusion removes whole-matrix re-read passes (bias add, activation apply,
+// column sums) that the composed kernels pay separately.
+//
+// Bit-exactness contract: for every output element the fused kernels
+// perform the identical floating-point operations in the identical order as
+// the composed kernels they replace (MatMulInto + AddRowVectorInPlace +
+// ApplyInto forward; MatMulTransAInto + ColSumsInto + MatMulTransBInto
+// backward). Loop fusion only interleaves independent element chains, and
+// the j tiling below never reorders any single element's k-ascending
+// accumulation, so results are bit-identical — the property the core golden
+// tests pin.
+
+// denseTileJ is the output-column tile width of the fused forward kernel.
+// Tiling keeps the streamed weight-row and output-row segments resident in
+// L1 when the output width is large (paper-scale layers), at the cost of
+// re-scanning the input row once per tile. Element-wise summation order is
+// unaffected: tiling partitions j, never k.
+const denseTileJ = 512
+
+// DenseForwardInto computes dst = x·w + bias in one sweep. Shapes:
+// x: batch x in, w: in x out, bias: 1 x out, dst: batch x out. dst must not
+// alias any input. Large products shard batch rows across sched.Default().
+func DenseForwardInto(dst, x, w, bias *Matrix) {
+	denseForwardCheck("DenseForwardInto", dst, x, w, bias)
+	// The serial fast path avoids even the closure allocation: small-batch
+	// training must stay allocation-free (the nn workspace gates).
+	pool, grain := denseRowSharding(x.Rows, x.Cols*w.Cols)
+	if pool == nil {
+		denseForwardRange(dst, nil, x, w, bias, nil, 0, x.Rows)
+		return
+	}
+	pool.ParallelFor(x.Rows, grain, func(lo, hi int) {
+		denseForwardRange(dst, nil, x, w, bias, nil, lo, hi)
+	})
+}
+
+// DenseForwardApplyInto computes the fused forward pass of a dense layer
+// followed by an elementwise activation: pre = x·w + bias and
+// post = fn(pre), in one sweep per row while the row is cache-hot. pre and
+// post must both have shape batch x out, must differ, and must not alias
+// the inputs. fn must be pure: large batches shard rows across the pool and
+// call it concurrently.
+func DenseForwardApplyInto(pre, post, x, w, bias *Matrix, fn func(float64) float64) {
+	denseForwardCheck("DenseForwardApplyInto", pre, x, w, bias)
+	if post.Rows != pre.Rows || post.Cols != pre.Cols {
+		panic(fmt.Sprintf("tensor: DenseForwardApplyInto post shape %dx%d, want %dx%d", post.Rows, post.Cols, pre.Rows, pre.Cols))
+	}
+	pool, grain := denseRowSharding(x.Rows, x.Cols*w.Cols)
+	if pool == nil {
+		denseForwardRange(pre, post, x, w, bias, fn, 0, x.Rows)
+		return
+	}
+	pool.ParallelFor(x.Rows, grain, func(lo, hi int) {
+		denseForwardRange(pre, post, x, w, bias, fn, lo, hi)
+	})
+}
+
+func denseForwardCheck(op string, dst, x, w, bias *Matrix) {
+	if x.Cols != w.Rows {
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %dx%d · %dx%d", op, x.Rows, x.Cols, w.Rows, w.Cols))
+	}
+	if bias.Rows != 1 || bias.Cols != w.Cols {
+		panic(fmt.Sprintf("tensor: %s bias shape %dx%d, want 1x%d", op, bias.Rows, bias.Cols, w.Cols))
+	}
+	if dst.Rows != x.Rows || dst.Cols != w.Cols {
+		panic(fmt.Sprintf("tensor: %s dst shape %dx%d, want %dx%d", op, dst.Rows, dst.Cols, x.Rows, w.Cols))
+	}
+}
+
+// denseRowSharding decides whether a rows-deep dense kernel is worth
+// sharding across the shared pool. It returns (nil, 0) for the serial fast
+// path, else the pool and the row grain to use.
+func denseRowSharding(rows, workPerRow int) (*sched.Pool, int) {
+	pool := sched.Default()
+	if rows*workPerRow < parallelThreshold || pool.Size() < 2 || rows < 2 {
+		return nil, 0
+	}
+	grain := rows / (4 * pool.Size())
+	if grain < 1 {
+		grain = 1
+	}
+	return pool, grain
+}
+
+// denseForwardRange computes rows [lo,hi) of pre = x·w + bias and, when fn
+// is non-nil, post = fn(pre) for the same rows.
+func denseForwardRange(pre, post *Matrix, x, w, bias *Matrix, fn func(float64) float64, lo, hi int) {
+	n, p := x.Cols, w.Cols
+	bRow := bias.Data[:p]
+	for i := lo; i < hi; i++ {
+		outRow := pre.Data[i*p : (i+1)*p]
+		for c := range outRow {
+			outRow[c] = 0
+		}
+		xRow := x.Data[i*n : (i+1)*n]
+		for jt := 0; jt < p; jt += denseTileJ {
+			jhi := jt + denseTileJ
+			if jhi > p {
+				jhi = p
+			}
+			oTile := outRow[jt:jhi]
+			// Two k values per pass, applied as two separate += rounds per
+			// element (s = o+a0·w0, then s+a1·w1): identical k-ascending
+			// accumulation order to the single-k loop, half the output
+			// load/store traffic. The zero-skip mirrors matMulRange.
+			k := 0
+			for ; k+2 <= n; k += 2 {
+				a0, a1 := xRow[k], xRow[k+1]
+				if a0 == 0 && a1 == 0 {
+					continue
+				}
+				if a0 == 0 {
+					w1 := w.Data[(k+1)*p+jt : (k+1)*p+jhi]
+					for j, wv := range w1 {
+						oTile[j] += a1 * wv
+					}
+					continue
+				}
+				if a1 == 0 {
+					w0 := w.Data[k*p+jt : k*p+jhi]
+					for j, wv := range w0 {
+						oTile[j] += a0 * wv
+					}
+					continue
+				}
+				w0 := w.Data[k*p+jt : k*p+jhi]
+				w1 := w.Data[(k+1)*p+jt : (k+1)*p+jhi]
+				for j, wv := range w0 {
+					s := oTile[j] + a0*wv
+					oTile[j] = s + a1*w1[j]
+				}
+			}
+			if k < n {
+				if av := xRow[k]; av != 0 {
+					wTile := w.Data[k*p+jt : k*p+jhi]
+					for j, wv := range wTile {
+						oTile[j] += av * wv
+					}
+				}
+			}
+		}
+		for j, bv := range bRow {
+			outRow[j] += bv
+		}
+		if fn != nil {
+			postRow := post.Data[i*p : (i+1)*p]
+			for j, v := range outRow {
+				postRow[j] = fn(v)
+			}
+		}
+	}
+}
+
+// DenseBackwardInto computes the full backward pass of a dense layer in a
+// single sweep over the gradient rows:
+//
+//	dw = xᵀ·grad   (overwritten; the caller accumulates into its gradient)
+//	db = column sums of grad (overwritten)
+//	dx = grad·wᵀ   (overwritten)
+//
+// Shapes: x: batch x in, w: in x out, grad: batch x out, dw: in x out,
+// db: 1 x out, dx: batch x in. Outputs must not alias each other or any
+// input. The row-major pass reads each grad row exactly once for all three
+// products; per-element accumulation orders match MatMulTransAInto,
+// ColSumsInto and MatMulTransBInto exactly, so the results are
+// bit-identical to the composed kernels.
+func DenseBackwardInto(dw, db, dx, x, w, grad *Matrix) {
+	batch, in, out := x.Rows, x.Cols, w.Cols
+	if grad.Rows != batch || grad.Cols != out {
+		panic(fmt.Sprintf("tensor: DenseBackwardInto grad shape %dx%d, want %dx%d", grad.Rows, grad.Cols, batch, out))
+	}
+	if w.Rows != in {
+		panic(fmt.Sprintf("tensor: DenseBackwardInto weight shape %dx%d, want %dx%d", w.Rows, w.Cols, in, out))
+	}
+	if dw.Rows != in || dw.Cols != out {
+		panic(fmt.Sprintf("tensor: DenseBackwardInto dw shape %dx%d, want %dx%d", dw.Rows, dw.Cols, in, out))
+	}
+	if db.Rows != 1 || db.Cols != out {
+		panic(fmt.Sprintf("tensor: DenseBackwardInto db shape %dx%d, want 1x%d", db.Rows, db.Cols, out))
+	}
+	if dx.Rows != batch || dx.Cols != in {
+		panic(fmt.Sprintf("tensor: DenseBackwardInto dx shape %dx%d, want %dx%d", dx.Rows, dx.Cols, batch, in))
+	}
+	for i := range dw.Data {
+		dw.Data[i] = 0
+	}
+	dbRow := db.Data[:out]
+	for c := range dbRow {
+		dbRow[c] = 0
+	}
+	for r := 0; r < batch; r++ {
+		gRow := grad.Data[r*out : (r+1)*out]
+		xRow := x.Data[r*in : (r+1)*in]
+
+		// db: identical r-outer, j-inner order to ColSumsInto.
+		for j, gv := range gRow {
+			dbRow[j] += gv
+		}
+
+		// dw: identical r-outer accumulation (with the zero-skip on x
+		// values) to MatMulTransAInto.
+		for i, xv := range xRow {
+			if xv == 0 {
+				continue
+			}
+			dwRow := dw.Data[i*out : i*out+out]
+			for j, gv := range gRow {
+				dwRow[j] += xv * gv
+			}
+		}
+
+		// dx: the same k-ascending dot products as MatMulTransBInto, four
+		// independent accumulator chains per pass to hide FP add latency.
+		dxRow := dx.Data[r*in : (r+1)*in]
+		c := 0
+		for ; c+4 <= in; c += 4 {
+			w0 := w.Data[c*out : c*out+out]
+			w1 := w.Data[(c+1)*out : (c+1)*out+out]
+			w2 := w.Data[(c+2)*out : (c+2)*out+out]
+			w3 := w.Data[(c+3)*out : (c+3)*out+out]
+			var s0, s1, s2, s3 float64
+			for k, gv := range gRow {
+				s0 += gv * w0[k]
+				s1 += gv * w1[k]
+				s2 += gv * w2[k]
+				s3 += gv * w3[k]
+			}
+			dxRow[c] = s0
+			dxRow[c+1] = s1
+			dxRow[c+2] = s2
+			dxRow[c+3] = s3
+		}
+		for ; c < in; c++ {
+			wRow := w.Data[c*out : c*out+out]
+			s := 0.0
+			for k, gv := range gRow {
+				s += gv * wRow[k]
+			}
+			dxRow[c] = s
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refDenseForward is the composed reference for the fused forward kernel:
+// MatMulInto + AddRowVectorInPlace, the exact pipeline DenseForwardInto
+// replaces. The fused kernel must match it bit for bit.
+func refDenseForward(x, w, bias *Matrix) *Matrix {
+	out := MatMul(x, w)
+	out.AddRowVectorInPlace(bias)
+	return out
+}
+
+// sprinkleZeros zeroes a deterministic subset of elements so the zero-skip
+// branches of the fused kernels (both-zero, first-zero, second-zero pairs)
+// are all exercised.
+func sprinkleZeros(rng *rand.Rand, m *Matrix, frac float64) {
+	for i := range m.Data {
+		if rng.Float64() < frac {
+			m.Data[i] = 0
+		}
+	}
+}
+
+func TestDenseForwardIntoBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	shapes := []struct{ b, in, out int }{
+		{1, 1, 1},
+		{1, 24, 12},            // odd-free small
+		{3, 7, 5},              // odd in: pair-unroll scalar tail
+		{16, 26, 100},          // forecaster/DQN scale
+		{2, 9, denseTileJ + 3}, // spans a j-tile boundary
+	}
+	for _, s := range shapes {
+		x := RandNormal(rng, s.b, s.in, 0, 1)
+		sprinkleZeros(rng, x, 0.4)
+		w := RandNormal(rng, s.in, s.out, 0, 1)
+		bias := RandNormal(rng, 1, s.out, 0, 1)
+		want := refDenseForward(x, w, bias)
+		got := RandNormal(rng, s.b, s.out, 0, 1) // dirty dst must be overwritten
+		DenseForwardInto(got, x, w, bias)
+		if !got.Equal(want) {
+			t.Errorf("DenseForwardInto %dx%d·%dx%d not bit-identical to composed kernels", s.b, s.in, s.in, s.out)
+		}
+	}
+}
+
+func TestDenseForwardApplyIntoBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	fn := math.Tanh
+	x := RandNormal(rng, 5, 13, 0, 1)
+	sprinkleZeros(rng, x, 0.3)
+	w := RandNormal(rng, 13, 9, 0, 1)
+	bias := RandNormal(rng, 1, 9, 0, 1)
+
+	wantPre := refDenseForward(x, w, bias)
+	wantPost := New(5, 9)
+	ApplyInto(wantPost, wantPre, fn)
+
+	pre, post := New(5, 9), New(5, 9)
+	DenseForwardApplyInto(pre, post, x, w, bias, fn)
+	if !pre.Equal(wantPre) {
+		t.Error("DenseForwardApplyInto pre-activation not bit-identical")
+	}
+	if !post.Equal(wantPost) {
+		t.Error("DenseForwardApplyInto activation not bit-identical")
+	}
+}
+
+func TestDenseBackwardIntoBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	shapes := []struct{ b, in, out int }{
+		{1, 1, 1},
+		{4, 7, 5},
+		{16, 26, 100},
+		{3, 10, 8}, // even rows for the MatMulTransA pair path
+	}
+	for _, s := range shapes {
+		x := RandNormal(rng, s.b, s.in, 0, 1)
+		sprinkleZeros(rng, x, 0.4)
+		w := RandNormal(rng, s.in, s.out, 0, 1)
+		grad := RandNormal(rng, s.b, s.out, 0, 1)
+
+		wantDW := MatMulTransA(x, grad)
+		wantDB := New(1, s.out)
+		ColSumsInto(wantDB, grad)
+		wantDX := MatMulTransB(grad, w)
+
+		dw := RandNormal(rng, s.in, s.out, 0, 1) // dirty outputs must be overwritten
+		db := RandNormal(rng, 1, s.out, 0, 1)
+		dx := RandNormal(rng, s.b, s.in, 0, 1)
+		DenseBackwardInto(dw, db, dx, x, w, grad)
+		if !dw.Equal(wantDW) {
+			t.Errorf("DenseBackwardInto dw (batch=%d in=%d out=%d) not bit-identical to MatMulTransA", s.b, s.in, s.out)
+		}
+		if !db.Equal(wantDB) {
+			t.Errorf("DenseBackwardInto db (batch=%d) not bit-identical to ColSumsInto", s.b)
+		}
+		if !dx.Equal(wantDX) {
+			t.Errorf("DenseBackwardInto dx (batch=%d) not bit-identical to MatMulTransB", s.b)
+		}
+	}
+}
+
+// TestMatMulUnrollBitExact pins the pair/quad-unrolled transpose kernels and
+// the sharded MatMulInto against a straight-line reference with the canonical
+// accumulation order (k-ascending, zero-skip) — the order the golden run
+// tests depend on.
+func TestMatMulUnrollBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, rows := range []int{1, 2, 5, 8} { // odd row counts hit the tail loops
+		a := RandNormal(rng, rows, 11, 0, 1)
+		sprinkleZeros(rng, a, 0.5)
+		b := RandNormal(rng, rows, 6, 0, 1)
+
+		// aᵀ·b reference: r-ascending accumulation with zero-skip on a.
+		want := New(11, 6)
+		for r := 0; r < rows; r++ {
+			for i := 0; i < 11; i++ {
+				av := a.At(r, i)
+				if av == 0 {
+					continue
+				}
+				for j := 0; j < 6; j++ {
+					*wantAt(want, i, j) += av * b.At(r, j)
+				}
+			}
+		}
+		got := New(11, 6)
+		MatMulTransAInto(got, a, b)
+		if !got.Equal(want) {
+			t.Errorf("MatMulTransAInto rows=%d not bit-identical to reference order", rows)
+		}
+
+		// a·bᵀ reference: plain k-ascending dot products.
+		c := RandNormal(rng, 7, 11, 0, 1)
+		wantT := New(rows, 7)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < 7; j++ {
+				s := 0.0
+				for k := 0; k < 11; k++ {
+					s += a.At(i, k) * c.At(j, k)
+				}
+				*wantAt(wantT, i, j) = s
+			}
+		}
+		gotT := New(rows, 7)
+		MatMulTransBInto(gotT, a, c)
+		if !gotT.Equal(wantT) {
+			t.Errorf("MatMulTransBInto rows=%d not bit-identical to reference order", rows)
+		}
+	}
+}
+
+func wantAt(m *Matrix, i, j int) *float64 { return &m.Data[i*m.Cols+j] }
+
+// The fused kernels are on the zero-allocation training hot path; the serial
+// (sub-threshold) branch must not even allocate a closure.
+func TestFusedKernelsAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	x := RandNormal(rng, 16, 26, 0, 1)
+	w := RandNormal(rng, 26, 100, 0, 1)
+	bias := RandNormal(rng, 1, 100, 0, 1)
+	grad := RandNormal(rng, 16, 100, 0, 1)
+	pre, post := New(16, 100), New(16, 100)
+	dw, db, dx := New(26, 100), New(1, 100), New(16, 26)
+	fn := math.Tanh
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"DenseForwardInto", func() { DenseForwardInto(pre, x, w, bias) }},
+		{"DenseForwardApplyInto", func() { DenseForwardApplyInto(pre, post, x, w, bias, fn) }},
+		{"DenseBackwardInto", func() { DenseBackwardInto(dw, db, dx, x, w, grad) }},
+	}
+	for _, c := range checks {
+		if n := testing.AllocsPerRun(20, c.fn); n != 0 {
+			t.Errorf("%s allocates %v per run, want 0", c.name, n)
+		}
+	}
+}

@@ -136,8 +136,30 @@ func MatVecInto(dst []float64, a *Matrix, x []float64) {
 	if len(dst) != a.Rows {
 		panic(fmt.Sprintf("tensor: MatVecInto dst length %d, want %d", len(dst), a.Rows))
 	}
-	for i := 0; i < a.Rows; i++ {
-		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+	// Four rows per pass: four independent accumulator chains hide the FP
+	// add latency while each row's k-ascending order (and therefore its bit
+	// pattern) is unchanged.
+	n := a.Cols
+	i := 0
+	for ; i+4 <= a.Rows; i += 4 {
+		r0 := a.Data[i*n : i*n+n]
+		r1 := a.Data[(i+1)*n : (i+1)*n+n]
+		r2 := a.Data[(i+2)*n : (i+2)*n+n]
+		r3 := a.Data[(i+3)*n : (i+3)*n+n]
+		var s0, s1, s2, s3 float64
+		for k, v := range x {
+			s0 += r0[k] * v
+			s1 += r1[k] * v
+			s2 += r2[k] * v
+			s3 += r3[k] * v
+		}
+		dst[i] = s0
+		dst[i+1] = s1
+		dst[i+2] = s2
+		dst[i+3] = s3
+	}
+	for ; i < a.Rows; i++ {
+		row := a.Data[i*n : i*n+n]
 		s := 0.0
 		for k, v := range row {
 			s += v * x[k]

@@ -2,20 +2,20 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"repro/internal/sched"
 )
 
 // parallelThreshold is the minimum number of multiply-adds below which
-// MatMul stays single-threaded: goroutine fan-out costs more than it saves
+// MatMul stays single-threaded: even pool dispatch costs more than it saves
 // on small shapes (the PFDRL MLP layers are 100x100, right at the edge).
 const parallelThreshold = 64 * 64 * 64
 
 // MatMul returns the matrix product a·b. It panics unless a.Cols == b.Rows.
 //
 // The kernel is an ikj loop order (streaming through b row-wise for cache
-// friendliness) and shards the rows of a across GOMAXPROCS goroutines when
-// the problem is large enough to amortize the fan-out.
+// friendliness) and shards the rows of a across the persistent sched pool
+// when the problem is large enough to amortize the dispatch.
 func MatMul(a, b *Matrix) *Matrix {
 	out := New(a.Rows, b.Cols)
 	MatMulInto(out, a, b)
@@ -24,6 +24,12 @@ func MatMul(a, b *Matrix) *Matrix {
 
 // MatMulInto computes dst = a·b. dst must have shape a.Rows x b.Cols and
 // must not alias a or b.
+//
+// Large products shard rows of a across sched.Default(). The pool's size is
+// snapshotted once at pool creation, so a GOMAXPROCS change mid-run cannot
+// skew the sharding. Row chunks write disjoint slices of dst and each
+// (i,j) element is accumulated in identical k order regardless of the
+// partition, so results are bit-identical to the serial kernel.
 func MatMulInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -32,32 +38,20 @@ func MatMulInto(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulInto dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
 	work := a.Rows * a.Cols * b.Cols
-	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || workers < 2 || a.Rows < 2 {
+	pool := sched.Default()
+	if work < parallelThreshold || pool.Size() < 2 || a.Rows < 2 {
 		matMulRange(dst, a, b, 0, a.Rows)
 		return
 	}
-	if workers > a.Rows {
-		workers = a.Rows
+	// Aim for a few chunks per execution slot so the claim loop can absorb
+	// uneven row costs (zero-skip makes sparse rows cheaper).
+	grain := a.Rows / (4 * pool.Size())
+	if grain < 1 {
+		grain = 1
 	}
-	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRange(dst, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	pool.ParallelFor(a.Rows, grain, func(lo, hi int) {
+		matMulRange(dst, a, b, lo, hi)
+	})
 }
 
 // matMulRange computes rows [lo,hi) of dst = a·b.
@@ -98,11 +92,34 @@ func MatMulTransBInto(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransBInto dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
+	// Each output element is a dot product, a serially-dependent add chain
+	// that leaves the FPU latency-bound. Computing four independent dots per
+	// pass interleaves four chains (and reuses each aRow load) without
+	// touching any single dot's k order, so results stay bit-exact.
+	n, m := a.Cols, b.Rows
 	for i := 0; i < a.Rows; i++ {
-		aRow := a.Row(i)
-		outRow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			bRow := b.Row(j)
+		aRow := a.Data[i*n : (i+1)*n]
+		outRow := dst.Data[i*m : (i+1)*m]
+		j := 0
+		for ; j+4 <= m; j += 4 {
+			b0 := b.Data[j*n : j*n+n]
+			b1 := b.Data[(j+1)*n : (j+1)*n+n]
+			b2 := b.Data[(j+2)*n : (j+2)*n+n]
+			b3 := b.Data[(j+3)*n : (j+3)*n+n]
+			var s0, s1, s2, s3 float64
+			for k, av := range aRow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			outRow[j] = s0
+			outRow[j+1] = s1
+			outRow[j+2] = s2
+			outRow[j+3] = s3
+		}
+		for ; j < m; j++ {
+			bRow := b.Data[j*n : j*n+n]
 			s := 0.0
 			for k, av := range aRow {
 				s += av * bRow[k]
@@ -133,14 +150,48 @@ func MatMulTransAInto(dst, a, b *Matrix) {
 	for i := range dst.Data {
 		dst.Data[i] = 0
 	}
-	for r := 0; r < a.Rows; r++ {
-		aRow := a.Row(r)
-		bRow := b.Row(r)
+	// Two r values per pass, applied as two separate += rounds per element:
+	// identical r-ascending accumulation order (with the zero-skip on a
+	// values), half the destination load/store traffic.
+	n, p := a.Cols, b.Cols
+	r := 0
+	for ; r+2 <= a.Rows; r += 2 {
+		a0Row := a.Data[r*n : (r+1)*n]
+		a1Row := a.Data[(r+1)*n : (r+2)*n]
+		b0Row := b.Data[r*p : (r+1)*p]
+		b1Row := b.Data[(r+1)*p : (r+2)*p]
+		for i, a0 := range a0Row {
+			a1 := a1Row[i]
+			if a0 == 0 && a1 == 0 {
+				continue
+			}
+			outRow := dst.Data[i*p : i*p+p]
+			if a0 == 0 {
+				for j, bv := range b1Row {
+					outRow[j] += a1 * bv
+				}
+				continue
+			}
+			if a1 == 0 {
+				for j, bv := range b0Row {
+					outRow[j] += a0 * bv
+				}
+				continue
+			}
+			for j, bv := range b0Row {
+				s := outRow[j] + a0*bv
+				outRow[j] = s + a1*b1Row[j]
+			}
+		}
+	}
+	for ; r < a.Rows; r++ {
+		aRow := a.Data[r*n : (r+1)*n]
+		bRow := b.Data[r*p : (r+1)*p]
 		for i, av := range aRow {
 			if av == 0 {
 				continue
 			}
-			outRow := dst.Row(i)
+			outRow := dst.Data[i*p : i*p+p]
 			for j, bv := range bRow {
 				outRow[j] += av * bv
 			}

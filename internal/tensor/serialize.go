@@ -65,6 +65,50 @@ func (m *Matrix) ReadFrom(r io.Reader) (int64, error) {
 	return read, nil
 }
 
+// AppendWire appends m's wire encoding to dst and returns the extended
+// slice. It is the allocation-free counterpart of WriteTo for callers that
+// reuse one marshal buffer across rounds.
+func (m *Matrix) AppendWire(dst []byte) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[0:4], uint32(m.Rows))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(m.Cols))
+	dst = append(dst, b[:]...)
+	for _, v := range m.Data {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// DecodeInto decodes one wire-format matrix from the front of data into m,
+// reusing m's backing storage when capacity allows. It returns the number of
+// bytes consumed, so callers can walk a concatenated stream. On error m is
+// left unchanged.
+func (m *Matrix) DecodeInto(data []byte) (int, error) {
+	if len(data) < 8 {
+		return 0, errors.New("tensor: wire data too short for header")
+	}
+	rows := int(binary.LittleEndian.Uint32(data[0:4]))
+	cols := int(binary.LittleEndian.Uint32(data[4:8]))
+	if rows > maxWireDim || cols > maxWireDim {
+		return 0, fmt.Errorf("tensor: wire header claims %dx%d matrix, exceeds limit", rows, cols)
+	}
+	need := 8 + 8*rows*cols
+	if len(data) < need {
+		return 0, fmt.Errorf("tensor: wire data length %d, want %d for %dx%d", len(data), need, rows, cols)
+	}
+	m.Rows, m.Cols = rows, cols
+	if cap(m.Data) >= rows*cols {
+		m.Data = m.Data[:rows*cols]
+	} else {
+		m.Data = make([]float64, rows*cols)
+	}
+	for i := range m.Data {
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8+i*8:]))
+	}
+	return need, nil
+}
+
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (m *Matrix) MarshalBinary() ([]byte, error) {
 	buf := make([]byte, 8+8*len(m.Data))
