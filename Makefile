@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench throughput lint verify ci clean
+.PHONY: all build test race bench throughput bench-comms lint verify ci clean
 
 all: verify
 
@@ -37,6 +37,12 @@ throughput:
 	$(GO) run ./cmd/pfdrl-bench -throughput -out BENCH_throughput.json \
 		$(if $(BASELINE),-baseline $(BASELINE))
 
+# Fleet-size × codec federation comms sweep (BENCH_comms.json): bytes per
+# round, encode/decode ns, aggregation scratch, and round wall time for the
+# PFP1 baseline vs the PFW2 dense/delta/top-k tiers (DESIGN.md §10).
+bench-comms:
+	$(GO) run ./cmd/pfdrl-bench -comms -out BENCH_comms.json
+
 lint:
 	$(GO) vet ./...
 
@@ -44,9 +50,12 @@ verify: build test lint
 
 # Full CI gate: build + vet + tests, then the race-detector pass over the
 # packages with real cross-goroutine traffic (scheduler pool, home-parallel
-# simulation, overlapped federation rounds, sharded matmul).
+# simulation, overlapped federation rounds, sharded matmul, and the wire
+# codec's shared reference store). The core and fed suites include the chaos
+# FaultPlan twins (compressed vs dense under drops/corruption/partitions),
+# so the race build exercises the compressed planes under fault injection.
 ci: verify
-	$(GO) test -race ./internal/core ./internal/fed ./internal/sched ./internal/tensor
+	$(GO) test -race ./internal/core ./internal/fed ./internal/sched ./internal/tensor ./internal/wire
 
 clean:
 	$(GO) clean ./...

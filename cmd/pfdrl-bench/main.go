@@ -1,13 +1,16 @@
 // Command pfdrl-bench regenerates the paper's evaluation figures. Every
 // figure of Section 5 (Figs 2–14) has a driver; select one with -fig or
 // run the whole suite with -fig all. -throughput runs the end-to-end
-// homes × GOMAXPROCS scaling sweep instead (see BENCH_throughput.json).
+// homes × GOMAXPROCS scaling sweep instead (see BENCH_throughput.json);
+// -comms runs the fleet-size × codec federation comms sweep
+// (see BENCH_comms.json).
 //
 // Usage:
 //
 //	pfdrl-bench -fig 9              # method comparison (Fig 9)
 //	pfdrl-bench -fig all -homes 8 -days 10
 //	pfdrl-bench -throughput -out BENCH_throughput.json
+//	pfdrl-bench -comms -out BENCH_comms.json
 //	pfdrl-bench -fig 9 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -42,8 +45,12 @@ func main() {
 		sweepHomes = flag.String("sweep-homes", "2,4,8", "comma-separated home counts for -throughput")
 		sweepProcs = flag.String("sweep-procs", "1,2,4", "comma-separated GOMAXPROCS values for -throughput")
 		sweepDays  = flag.Int("sweep-days", 2, "simulated days per -throughput cell")
-		out        = flag.String("out", "BENCH_throughput.json", "output file for -throughput")
+		out        = flag.String("out", "", "output file (default BENCH_throughput.json / BENCH_comms.json)")
 		baseline   = flag.String("baseline", "", "previous -throughput JSON to embed under \"baseline\" for before/after comparison")
+
+		comms       = flag.Bool("comms", false, "run the fleet-size × codec federation comms sweep instead of figures")
+		commsAgents = flag.String("comms-agents", "4,8,16,32", "comma-separated fleet sizes for -comms")
+		commsRounds = flag.Int("comms-rounds", 9, "federation rounds per -comms cell (round 1 is the dense keyframe)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -81,7 +88,21 @@ func main() {
 	}
 
 	if *throughput {
-		if err := runThroughputSweep(*sweepHomes, *sweepProcs, *sweepDays, *seed, *out, *baseline); err != nil {
+		path := *out
+		if path == "" {
+			path = "BENCH_throughput.json"
+		}
+		if err := runThroughputSweep(*sweepHomes, *sweepProcs, *sweepDays, *seed, path, *baseline); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *comms {
+		path := *out
+		if path == "" {
+			path = "BENCH_comms.json"
+		}
+		if err := runCommsSweep(*commsAgents, *commsRounds, *seed, path); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fednet"
+	"repro/internal/wire"
+)
+
+// interplayConfig is a PFDRL scenario in which both federation planes are
+// busy in the same hours: β fires twice per hour (exercising the refire
+// charge), γ every two hours, under drops, corruption, a partition, and a
+// crash window — the densest comms schedule the simulator supports.
+func interplayConfig(level wire.Level) Config {
+	cfg := goldenConfig(MethodPFDRL)
+	cfg.BetaHours = 0.5
+	cfg.GammaHours = 2
+	cfg.DropProb = 0.1
+	cfg.Retry = fednet.RetryPolicy{MaxAttempts: 3}
+	cfg.FaultPlan = ChaosFaultPlan(cfg.Homes, cfg.Days)
+	cfg.Comms = wire.Options{Level: level}
+	return cfg
+}
+
+// TestBetaGammaInterplayBitExact is the end-to-end twin for the lossless
+// tier: a full PFDRL run on the delta codec — compressed, overlapped
+// forecast rounds and synchronous EMS rounds firing in the same hours,
+// over a chaos fault plan — must be bit-identical to the same run on the
+// dense codec, while paying fewer wire bytes against the same dense
+// baseline.
+func TestBetaGammaInterplayBitExact(t *testing.T) {
+	run := func(level wire.Level) *Result {
+		sys, err := NewSystem(interplayConfig(level))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	dense := run(wire.Dense)
+	delta := run(wire.Delta)
+
+	series := func(r *Result) map[string][]float64 {
+		return map[string][]float64{
+			"DailySavedKWhPerHome": r.DailySavedKWhPerHome,
+			"DailySavedFrac":       r.DailySavedFrac,
+			"DailyMeanReward":      r.DailyMeanReward,
+			"PerHomeSavedKWhFinal": r.PerHomeSavedKWhFinal,
+			"PerHomeRewardFinal":   r.PerHomeRewardFinal,
+			"ForecastAccuracy":     {r.ForecastAccuracy},
+		}
+	}
+	want, got := series(dense), series(delta)
+	for name, w := range want {
+		g := got[name]
+		if len(g) != len(w) {
+			t.Fatalf("%s: %d values vs %d", name, len(g), len(w))
+		}
+		for i := range w {
+			if math.Float64bits(w[i]) != math.Float64bits(g[i]) {
+				t.Errorf("%s[%d]: dense %x, delta %x", name, i, math.Float64bits(w[i]), math.Float64bits(g[i]))
+			}
+		}
+	}
+	// Identical fabric behavior: the codecs change payload bytes, never
+	// message counts, retries, or rejects.
+	if dense.Resilience.Rounds != delta.Resilience.Rounds ||
+		dense.Resilience.DegradedRounds != delta.Resilience.DegradedRounds ||
+		dense.Resilience.CorruptRejected != delta.Resilience.CorruptRejected ||
+		dense.Resilience.Retries != delta.Resilience.Retries {
+		t.Fatalf("resilience drift:\ndense %+v\ndelta %+v", dense.Resilience, delta.Resilience)
+	}
+	// Same dense baseline, smaller bill.
+	for _, plane := range []struct {
+		name         string
+		dense, delta fednet.Stats
+	}{
+		{"forecast", dense.ForecastNetStats, delta.ForecastNetStats},
+		{"ems", dense.EMSNetStats, delta.EMSNetStats},
+	} {
+		if plane.dense.MessagesSent != plane.delta.MessagesSent {
+			t.Fatalf("%s plane message counts differ: %d vs %d", plane.name, plane.dense.MessagesSent, plane.delta.MessagesSent)
+		}
+		if plane.delta.BytesSent >= plane.dense.BytesSent {
+			t.Errorf("%s plane: delta bytes %d not below dense bytes %d", plane.name, plane.delta.BytesSent, plane.dense.BytesSent)
+		}
+	}
+	if delta.ForecastComms.CompressionRatio() <= 1 {
+		t.Errorf("forecast plane delta ratio %.3f, want > 1", delta.ForecastComms.CompressionRatio())
+	}
+	if delta.EMSComms.CompressionRatio() <= 1 {
+		t.Errorf("ems plane delta ratio %.3f, want > 1", delta.EMSComms.CompressionRatio())
+	}
+	// The dense-codec run's ratio sits at ~1: same float payload, only the
+	// envelope differs (PFW2's varint tensor headers shave a few bytes off
+	// the PFP1 baseline).
+	if r := dense.ForecastComms.CompressionRatio(); math.Abs(r-1) > 0.01 {
+		t.Errorf("dense forecast ratio %.6f, want ≈ 1", r)
+	}
+}
+
+// TestResilienceByteSplit checks the per-attempt vs per-message accounting
+// reaches the run-level report: attempts must dominate unique bytes under
+// a lossy fabric with retries, and the gap is the retransmission bill.
+func TestResilienceByteSplit(t *testing.T) {
+	cfg := interplayConfig(wire.Delta)
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Resilience
+	if r.AttemptBytes <= 0 || r.UniqueBytes <= 0 {
+		t.Fatalf("byte split not populated: %+v", r)
+	}
+	if r.AttemptBytes < r.UniqueBytes {
+		t.Fatalf("attempt bytes %d below unique bytes %d", r.AttemptBytes, r.UniqueBytes)
+	}
+	if r.RetransmissionBytes() != r.AttemptBytes-r.UniqueBytes {
+		t.Fatal("RetransmissionBytes inconsistent")
+	}
+	if r.Retries > 0 && r.RetransmissionBytes() == 0 {
+		t.Fatalf("%d retries but no retransmission bytes", r.Retries)
+	}
+	want := res.ForecastNetStats.BytesSent + res.EMSNetStats.BytesSent
+	if r.AttemptBytes != want {
+		t.Fatalf("AttemptBytes %d != plane sum %d", r.AttemptBytes, want)
+	}
+}
+
+// TestTopKRunStaysFinite drives the lossy tier through a full PFDRL run:
+// no bit-identity claim, but the run must complete, stay finite, and beat
+// the 3× byte floor on the planes it compresses.
+func TestTopKRunStaysFinite(t *testing.T) {
+	cfg := goldenConfig(MethodPFDRL)
+	cfg.Comms = wire.Options{Level: wire.TopK, TopKFrac: 0.1}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.DailyMeanReward {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("top-k run produced non-finite reward")
+		}
+	}
+	if math.IsNaN(res.ForecastAccuracy) {
+		t.Fatal("top-k run produced NaN accuracy")
+	}
+	if ratio := res.ForecastComms.CompressionRatio(); ratio < 3 {
+		t.Errorf("top-k forecast plane ratio %.2f, want ≥ 3", ratio)
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fed"
 	"repro/internal/fednet"
 	"repro/internal/forecast"
+	"repro/internal/wire"
 )
 
 // Method selects one of the five EMS architectures of the paper's Table 2.
@@ -125,6 +127,13 @@ type Config struct {
 	// Retry configures send-side retry with backoff on both fabrics.
 	// The zero value is fire-and-forget, the pre-retry behavior.
 	Retry fednet.RetryPolicy
+
+	// Comms selects the wire codec the decentralized federation planes
+	// broadcast parameters with (see internal/wire). The default Delta
+	// level is lossless — runs stay bit-identical to the dense format
+	// while payloads shrink — and wire.TopK opts into lossy sparsified
+	// payloads. Star-topology planes always speak the dense PFP1 format.
+	Comms wire.Options
 }
 
 // DefaultConfig returns an experiment-scale configuration: faithful
@@ -156,6 +165,7 @@ func DefaultConfig(method Method) Config {
 		DQNLearnRate:       0.001,
 		EpsilonDecayDays:   2,
 		SensorDelayMinutes: 15,
+		Comms:              wire.Options{Level: wire.Delta},
 	}
 }
 
@@ -208,6 +218,9 @@ func (c Config) Validate() error {
 		netSize = c.Homes + 1 // hub
 	}
 	if err := c.FaultPlan.Validate(netSize); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.Comms.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	return nil
@@ -284,6 +297,10 @@ type Result struct {
 	ForecastCommTime, EMSCommTime               time.Duration
 	// ForecastNetStats / EMSNetStats are the fabric counters.
 	ForecastNetStats, EMSNetStats fednet.Stats
+	// ForecastComms / EMSComms aggregate each plane's per-round byte
+	// accounting: actual wire bytes vs the dense-format baseline
+	// (CompressionRatio), including sub-period refire charges.
+	ForecastComms, EMSComms fed.CommsTotals
 	// Resilience tallies fault-tolerance telemetry: round participation,
 	// retries, corrupt rejects, partition outage absorbed.
 	Resilience ResilienceReport

@@ -39,6 +39,13 @@ type ResilienceReport struct {
 	// the simulated time spent waiting between attempts.
 	RetryBytes  int64
 	BackoffTime time.Duration
+	// AttemptBytes sums every transmission attempt across both planes
+	// (fednet's BytesSent); UniqueBytes charges each logical message's
+	// payload once, at its first non-blocked attempt. The gap is the
+	// retransmission overhead the fabric actually paid — it can differ
+	// from RetryBytes when a message's first attempt was blocked.
+	AttemptBytes int64
+	UniqueBytes  int64
 
 	// PartitionSeconds is the total scripted link outage the run absorbed,
 	// counted once per physical link (both logical planes share one
@@ -66,6 +73,14 @@ func (r *ResilienceReport) absorbStats(st fednet.Stats) {
 	r.InboxWiped += st.InboxWiped
 	r.RetryBytes += st.RetryBytes
 	r.BackoffTime += st.BackoffTime
+	r.AttemptBytes += st.BytesSent
+	r.UniqueBytes += st.UniqueBytes
+}
+
+// RetransmissionBytes is the wire traffic spent re-sending payloads that
+// had already been charged once (attempt bytes minus unique bytes).
+func (r ResilienceReport) RetransmissionBytes() int64 {
+	return r.AttemptBytes - r.UniqueBytes
 }
 
 // DegradedFrac is the fraction of federation rounds that averaged less

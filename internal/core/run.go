@@ -8,11 +8,14 @@ import (
 	"repro/internal/dqn"
 	"repro/internal/energy"
 	"repro/internal/fed"
+	"repro/internal/fednet"
 	"repro/internal/forecast"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/pecan"
 	"repro/internal/sched"
+	"repro/internal/tensor"
+	"repro/internal/wire"
 )
 
 // rawDayBytes is the wire size of one device-day of raw minute data — what
@@ -243,6 +246,8 @@ func (s *System) Run() (*Result, error) {
 	// Partition outage is a property of the physical link, not of the two
 	// logical planes riding it: count the severed wall-clock once.
 	s.resil.PartitionSeconds = cfg.FaultPlan.PartitionSeconds(cfg.Days * pecan.MinutesPerDay)
+	res.ForecastComms = s.fcCommsTot
+	res.EMSComms = s.emsCommsTot
 	res.Resilience = s.resil
 	return res, nil
 }
@@ -507,7 +512,7 @@ func (s *System) forecastRound(timer *metrics.Timer, fires int) error {
 			}
 			ws := s.fcRoundWS[dt]
 			if ws == nil {
-				ws = &fed.RoundWorkspace{}
+				ws = &fed.RoundWorkspace{Comms: s.fcComms}
 				s.fcRoundWS[dt] = ws
 			}
 			s.fcPending = append(s.fcPending, fed.BeginDecentralizedRound(s.fcNet, models, "fc/"+dt, -1, ws))
@@ -523,12 +528,37 @@ func (s *System) forecastRound(timer *metrics.Timer, fires int) error {
 			// A starved hub (every upload lost or corrupt) skips the
 			// period; spokes keep their local models.
 			s.resil.absorb(rep)
+			s.fcCommsTot.Absorb(rep)
 		}
-		if fires > 1 {
-			s.fcNet.ChargeBroadcastRounds(models[0].WireSize(), fires-1)
-		}
+		chargeRefires(s.fcNet, &s.fcCommsTot, s.fcComms, models[0].Params(), models[0].WireSize(), fires-1)
 	}
 	return nil
+}
+
+// chargeRefires accounts extra sub-period broadcast fires on one plane
+// without re-running the exchange (averaging unchanged parameters is an
+// idempotent no-op, but the fabric cost is real). With a wire codec
+// attached, a refire payload is the closed-form re-broadcast size —
+// wire.RefireSize, a few bytes of zero-run tokens under the delta codec —
+// instead of the full dense blob; the dense baseline still accrues at
+// wire.DenseSize so the savings show up in the plane's CompressionRatio.
+func chargeRefires(net *fednet.Network, tot *fed.CommsTotals, x *wire.Exchange, params []*tensor.Matrix, denseSize, fires int) {
+	if fires <= 0 {
+		return
+	}
+	size := denseSize
+	if x != nil {
+		size = wire.RefireSize(x.Options(), params)
+	}
+	st0 := net.Stats()
+	net.ChargeBroadcastRounds(size, fires)
+	st := net.Stats()
+	sent := st.BytesSent - st0.BytesSent
+	dense := sent
+	if x != nil {
+		dense = int64(st.MessagesSent-st0.MessagesSent) * int64(wire.DenseSize(params))
+	}
+	tot.Add(sent, 0, dense)
 }
 
 // joinForecastRounds lands every in-flight forecast-plane round: waits for
@@ -548,6 +578,7 @@ func (s *System) joinForecastRounds(timer *metrics.Timer) error {
 			return err
 		}
 		s.resil.absorb(rep)
+		s.fcCommsTot.Absorb(rep)
 	}
 	s.fcPending = s.fcPending[:0]
 	d := time.Since(t0)
@@ -573,19 +604,20 @@ func (s *System) emsRound(timer *metrics.Timer, fires int) error {
 		// but routed through the workspace so repeated γ rounds reuse their
 		// marshal, snapshot, and staging buffers.
 		if s.drlWS == nil {
-			s.drlWS = &fed.RoundWorkspace{}
+			s.drlWS = &fed.RoundWorkspace{Comms: s.drlComms}
 		}
 		rep, err := fed.BeginDecentralizedRound(s.drlNet, models, "drl", alpha, s.drlWS).Join()
 		if err != nil {
 			return err
 		}
 		s.resil.absorb(rep)
+		s.emsCommsTot.Absorb(rep)
 		if fires > 1 {
 			shared := models[0].Params()
 			if alpha >= 0 {
 				shared = models[0].ParamsOfTrainableRange(0, alpha)
 			}
-			s.drlNet.ChargeBroadcastRounds(nn.ParamsWireSize(shared), fires-1)
+			chargeRefires(s.drlNet, &s.emsCommsTot, s.drlComms, shared, nn.ParamsWireSize(shared), fires-1)
 		}
 	case MethodFRL:
 		models = append(models, s.hubAgent.Online)
@@ -597,9 +629,8 @@ func (s *System) emsRound(timer *metrics.Timer, fires int) error {
 			return err
 		}
 		s.resil.absorb(rep)
-		if fires > 1 {
-			s.drlNet.ChargeBroadcastRounds(models[0].WireSize(), fires-1)
-		}
+		s.emsCommsTot.Absorb(rep)
+		chargeRefires(s.drlNet, &s.emsCommsTot, nil, nil, models[0].WireSize(), fires-1)
 	default:
 		return fmt.Errorf("core: emsRound called for method %s", s.cfg.Method)
 	}

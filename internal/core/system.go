@@ -10,6 +10,7 @@ import (
 	"repro/internal/fednet"
 	"repro/internal/forecast"
 	"repro/internal/pecan"
+	"repro/internal/wire"
 )
 
 // simHome is one residence's runtime state: its traces, one forecaster per
@@ -66,6 +67,14 @@ type System struct {
 	fcPending []*fed.PendingRound
 	fcRoundWS map[string]*fed.RoundWorkspace
 	drlWS     *fed.RoundWorkspace
+
+	// fcComms / drlComms are the decentralized planes' wire codecs (nil
+	// for star methods, which speak dense PFP1). One Exchange per plane:
+	// its reference store is keyed by (sender, kind), so all device-type
+	// rounds share it safely. fcCommsTot / emsCommsTot accumulate each
+	// plane's per-round byte accounting for Result.
+	fcComms, drlComms       *wire.Exchange
+	fcCommsTot, emsCommsTot fed.CommsTotals
 }
 
 // NewSystem generates the corpus and builds all agents for cfg.
@@ -174,6 +183,8 @@ func NewSystem(cfg Config) (*System, error) {
 	case MethodPFDRL:
 		s.fcNet = fednet.New(cfg.Homes, netCfg(fednet.AllToAll, 2))
 		s.drlNet = fednet.New(cfg.Homes, netCfg(fednet.AllToAll, 3))
+		s.fcComms = wire.NewExchange(cfg.Comms)
+		s.drlComms = wire.NewExchange(cfg.Comms)
 	case MethodCloud, MethodFL:
 		s.fcNet = fednet.New(cfg.Homes+1, netCfg(fednet.Star, 2))
 	case MethodFRL:

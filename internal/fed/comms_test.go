@@ -1,0 +1,249 @@
+package fed
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/fednet"
+	"repro/internal/nn"
+	"repro/internal/wire"
+)
+
+// stripVolatile zeroes the fields that legitimately differ between a dense
+// and a compressed twin round — byte accounting and reject reason strings
+// (the wire codec phrases corruption differently than PFP1) — leaving the
+// participation semantics for exact comparison.
+func stripVolatile(rep RoundReport) RoundReport {
+	rep.BytesSent, rep.BytesReceived, rep.DenseBytes = 0, 0, 0
+	if len(rep.Rejects) == 0 {
+		rep.Rejects = nil
+		return rep
+	}
+	rejects := make([]Reject, len(rep.Rejects))
+	for i, r := range rep.Rejects {
+		r.Reason = ""
+		rejects[i] = r
+	}
+	rep.Rejects = rejects
+	return rep
+}
+
+// requireBitEqual asserts two fleets hold bit-identical parameters
+// (Float64bits comparison, so NaN payloads and signed zeros count too).
+func requireBitEqual(t *testing.T, want, got []*nn.Sequential, ctx string) {
+	t.Helper()
+	for i := range want {
+		pa, pb := want[i].Params(), got[i].Params()
+		for j := range pa {
+			for k := range pa[j].Data {
+				wb := math.Float64bits(pa[j].Data[k])
+				gb := math.Float64bits(pb[j].Data[k])
+				if wb != gb {
+					t.Fatalf("%s: agent %d param %d elem %d: dense %x, compressed %x", ctx, i, j, k, wb, gb)
+				}
+			}
+		}
+	}
+}
+
+// TestCompressedRoundMatchesDense is the twin-fleet equivalence suite for
+// the tentpole claim: a fleet running the lossless compressed plane
+// (delta-coded payloads, streaming O(P) aggregation, overlapped rounds)
+// stays bit-identical to a dense synchronous fleet across multiple rounds,
+// under clean fabric, drops, corruption, partition, crash, and a diverged
+// peer. Reports must agree on every participation stat, and the compressed
+// round's DenseBytes baseline must equal what the dense twin actually paid.
+func TestCompressedRoundMatchesDense(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		cfg   fednet.Config
+		alpha int
+		level wire.Level
+		nan   bool // poison one agent before the final round
+	}{
+		{name: "clean-delta", cfg: fednet.Config{}, alpha: -1, level: wire.Delta},
+		{name: "clean-dense-codec", cfg: fednet.Config{}, alpha: -1, level: wire.Dense},
+		{name: "personalized", cfg: fednet.Config{}, alpha: 2, level: wire.Delta},
+		{name: "drops", cfg: fednet.Config{DropProb: 0.3, Seed: 5}, alpha: -1, level: wire.Delta},
+		{name: "corruption", cfg: fednet.Config{Seed: 6, Faults: fednet.FaultPlan{CorruptProb: 0.4}}, alpha: -1, level: wire.Delta},
+		{name: "partition", cfg: fednet.Config{Faults: fednet.FaultPlan{Partitions: []fednet.Partition{{A: 0, B: 2, EndMin: 9999}}}}, alpha: -1, level: wire.Delta},
+		{name: "crash", cfg: fednet.Config{Faults: fednet.FaultPlan{Crashes: []fednet.CrashWindow{{Agent: 1, EndMin: 9999}}}}, alpha: -1, level: wire.Delta},
+		{name: "diverged-peer", cfg: fednet.Config{}, alpha: -1, level: wire.Delta, nan: true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n, rounds = 4, 3
+			denseModels, wireModels := mlps(n, 40), mlps(n, 40)
+			denseNet, wireNet := fednet.New(n, tc.cfg), fednet.New(n, tc.cfg)
+			ws := &RoundWorkspace{Comms: wire.NewExchange(wire.Options{Level: tc.level})}
+			rng := rand.New(rand.NewSource(99))
+			for r := 0; r < rounds; r++ {
+				if tc.nan && r == rounds-1 {
+					denseModels[2].Params()[0].Data[0] = math.NaN()
+					wireModels[2].Params()[0].Data[0] = math.NaN()
+				}
+				wantRep, err := DecentralizedRound(denseNet, denseModels, "m", tc.alpha)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotRep, err := BeginDecentralizedRound(wireNet, wireModels, "m", tc.alpha, ws).Join()
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireBitEqual(t, denseModels, wireModels, tc.name)
+				if want, got := stripVolatile(wantRep), stripVolatile(gotRep); !reflect.DeepEqual(want, got) {
+					t.Fatalf("round %d report mismatch:\ndense      %+v\ncompressed %+v", r, want, got)
+				}
+				// The compressed round's dense baseline is exact: identical
+				// attempt counts (fault RNG draws are per attempt, blind to
+				// payload size) times the PFP1 payload size the dense twin
+				// actually shipped.
+				if gotRep.DenseBytes != wantRep.BytesSent {
+					t.Fatalf("round %d: DenseBytes %d != dense twin BytesSent %d", r, gotRep.DenseBytes, wantRep.BytesSent)
+				}
+				if wantRep.CompressionRatio() != 1 {
+					t.Fatalf("dense round reports ratio %v, want 1", wantRep.CompressionRatio())
+				}
+				// Drift the fleets identically so later rounds exercise
+				// non-trivial deltas against the reference store.
+				for i := range denseModels {
+					pd, pw := denseModels[i].Params(), wireModels[i].Params()
+					for j := range pd {
+						for k := range pd[j].Data {
+							d := rng.NormFloat64() * 0.05
+							pd[j].Data[k] += d
+							pw[j].Data[k] += d
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaSteadyStateBytes pins the converged-fleet economics: once every
+// agent re-broadcasts unchanged parameters, a delta payload collapses to
+// the closed-form all-zero-run size, and the round's byte bill is exactly
+// messages × ZeroDeltaSize.
+func TestDeltaSteadyStateBytes(t *testing.T) {
+	// n = 2 so the mean is exact arithmetic (x·0.5 + x·0.5 == x): after
+	// round 2 the fleet sits at a bit-exact fixed point, and round 3
+	// re-broadcasts it unchanged. Larger fleets approach the fixed point
+	// but 1/n folding rounds the last bits, keeping deltas tiny, not zero.
+	const n = 2
+	models := mlps(n, 77)
+	net := fednet.New(n, fednet.Config{})
+	ws := &RoundWorkspace{Comms: wire.NewExchange(wire.Options{Level: wire.Delta})}
+	var rep RoundReport
+	for r := 0; r < 3; r++ {
+		var err error
+		rep, err = BeginDecentralizedRound(net, models, "m", -1, ws).Join()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Round 1 keyframes, round 2 carries the snapshot→mean delta, round 3
+	// re-broadcasts the fixed point: every agent already holds the mean.
+	zero := int64(wire.ZeroDeltaSize(models[0].Params()))
+	if want := int64(n * (n - 1) * int(zero)); rep.BytesSent != want {
+		t.Fatalf("steady-state round sent %d bytes, want %d (%d msgs × %d)", rep.BytesSent, want, n*(n-1), zero)
+	}
+	if ratio := rep.CompressionRatio(); ratio < 10 {
+		t.Fatalf("steady-state compression ratio %.1f, want ≥ 10", ratio)
+	}
+	if rep.BytesReceived != rep.BytesSent {
+		t.Fatalf("clean fabric: received %d != sent %d", rep.BytesReceived, rep.BytesSent)
+	}
+}
+
+// TestTopKRoundCompression exercises the lossy tier end to end through
+// federation rounds: bytes must beat the dense baseline by well over the
+// 3× acceptance floor, and the models must stay finite and move toward
+// consensus (lossy, so no bit-identity claim).
+func TestTopKRoundCompression(t *testing.T) {
+	const n = 4
+	models := mlps(n, 120)
+	net := fednet.New(n, fednet.Config{})
+	ws := &RoundWorkspace{Comms: wire.NewExchange(wire.Options{Level: wire.TopK, TopKFrac: 0.05})}
+	rng := rand.New(rand.NewSource(7))
+	var sent, dense int64
+	for r := 0; r < 6; r++ {
+		rep, err := BeginDecentralizedRound(net, models, "m", -1, ws).Join()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MinSets != n {
+			t.Fatalf("round %d degraded: %+v", r, rep)
+		}
+		if r > 0 { // skip the keyframe round; steady state is what we charge for
+			sent += rep.BytesSent
+			dense += rep.DenseBytes
+		}
+		for i := range models {
+			for _, p := range models[i].Params() {
+				if p.HasNaN() {
+					t.Fatalf("round %d: top-k aggregation produced NaN/Inf", r)
+				}
+			}
+			for _, p := range models[i].Params() {
+				for k := range p.Data {
+					p.Data[k] += rng.NormFloat64() * 0.01
+				}
+			}
+		}
+	}
+	if ratio := float64(dense) / float64(sent); ratio < 3 {
+		t.Fatalf("top-k steady-state ratio %.2f, want ≥ 3", ratio)
+	}
+}
+
+// TestKahanFoldRoundClose checks the opt-in compensated fold stays within
+// numerical-noise distance of the dense aggregate (it deliberately trades
+// bit-identity for better summation).
+func TestKahanFoldRoundClose(t *testing.T) {
+	const n = 4
+	denseModels, wireModels := mlps(n, 200), mlps(n, 200)
+	denseNet, wireNet := fednet.New(n, fednet.Config{}), fednet.New(n, fednet.Config{})
+	ws := &RoundWorkspace{Comms: wire.NewExchange(wire.Options{Level: wire.Delta, KahanFold: true})}
+	if _, err := DecentralizedRound(denseNet, denseModels, "m", -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BeginDecentralizedRound(wireNet, wireModels, "m", -1, ws).Join(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range denseModels {
+		pa, pb := denseModels[i].Params(), wireModels[i].Params()
+		for j := range pa {
+			for k := range pa[j].Data {
+				if diff := math.Abs(pa[j].Data[k] - pb[j].Data[k]); diff > 1e-12 {
+					t.Fatalf("agent %d param %d elem %d: kahan fold off by %g", i, j, k, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestCentralizedRoundAccounting pins the star-topology byte fields: the
+// round's bill is a fednet.Stats delta, the hub's and spokes' deliveries
+// are counted, and the dense format reports ratio 1.
+func TestCentralizedRoundAccounting(t *testing.T) {
+	const n = 4
+	models := mlps(n, 300)
+	net := fednet.New(n, fednet.Config{Topology: fednet.Star})
+	rep, err := CentralizedRound(net, models, "m", -1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := int64(len(MarshalParams(models[0].Params())))
+	// 3 uploads + 3 downloads (hub broadcast), all dense PFP1.
+	if want := 6 * blob; rep.BytesSent != want {
+		t.Fatalf("BytesSent %d, want %d", rep.BytesSent, want)
+	}
+	if rep.BytesReceived != rep.BytesSent {
+		t.Fatalf("clean star: received %d != sent %d", rep.BytesReceived, rep.BytesSent)
+	}
+	if rep.DenseBytes != rep.BytesSent || rep.CompressionRatio() != 1 {
+		t.Fatalf("centralized round: DenseBytes %d ratio %v, want bill/1", rep.DenseBytes, rep.CompressionRatio())
+	}
+}

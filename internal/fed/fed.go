@@ -219,8 +219,7 @@ func (rep *RoundReport) collectFrom(msgs []fednet.Message, agent int, template [
 // global model simply keeps its current parameters. The one hard fault
 // left is a server hub whose every upload was rejected — there is nothing
 // to average, and the error says exactly what was lost and why.
-func CentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string, alpha int, hubIsServer bool) (RoundReport, error) {
-	var rep RoundReport
+func CentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string, alpha int, hubIsServer bool) (rep RoundReport, err error) {
 	if net.N() != len(models) {
 		return rep, fmt.Errorf("fed: %d models for %d network agents", len(models), net.N())
 	}
@@ -238,6 +237,15 @@ func CentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string,
 		return rep, nil
 	}
 	rep.Agents = 1
+	// Byte accounting: fednet.Stats delta around the round's transport.
+	// Centralized rounds always speak dense PFP1, so the dense baseline is
+	// the bill itself (ratio 1).
+	st0 := net.Stats()
+	defer func() {
+		st := net.Stats()
+		rep.BytesSent = st.BytesSent - st0.BytesSent
+		rep.DenseBytes = rep.BytesSent
+	}()
 	// Upload.
 	for i := 1; i < n; i++ {
 		if net.AgentDown(i) {
@@ -260,7 +268,13 @@ func CentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string,
 	if !hubIsServer {
 		own = nn.CloneParams(hubBase)
 	}
-	sets := rep.collectSets(net, 0, hubBase, kind, own)
+	inbox := net.Collect(0)
+	for _, msg := range inbox {
+		if msg.Kind == kind {
+			rep.BytesReceived += int64(len(msg.Payload))
+		}
+	}
+	sets := rep.collectFrom(inbox, 0, hubBase, kind, own, nil)
 	rep.countSets(len(sets))
 	if len(sets) == 0 {
 		return rep, fmt.Errorf("fed: hub (kind %q, %d corrupt-rejected, %d NaN-rejected, %d spokes crashed — %s): %w",
@@ -283,6 +297,7 @@ func CentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string,
 			if msg.Kind != kind {
 				continue
 			}
+			rep.BytesReceived += int64(len(msg.Payload))
 			got, err := UnmarshalParamsLike(base, msg.Payload)
 			if err != nil {
 				// The download was corrupted in transit; the spoke keeps

@@ -1,11 +1,13 @@
 package fed
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/fednet"
 	"repro/internal/nn"
 	"repro/internal/tensor"
+	"repro/internal/wire"
 )
 
 // This file implements overlapped federation rounds: the transport half of a
@@ -31,12 +33,28 @@ import (
 // previous round it carries has not been joined, because in-flight message
 // payloads alias the marshal buffers.
 type RoundWorkspace struct {
+	// Comms, when non-nil, switches the workspace's rounds onto the
+	// compressed wire plane: snapshots encode through the Exchange
+	// (delta/top-k coding against each sender's last broadcast) instead
+	// of the dense PFP1 marshal, and aggregation streams each accepted
+	// payload straight into the staged sum — O(P) scratch per agent
+	// instead of decoding every set before averaging. All rounds sharing
+	// one Exchange must share one workspace (or otherwise serialize),
+	// because the Exchange's reference store advances with every encode.
+	// Nil keeps the legacy dense path, bit-for-bit.
+	Comms *wire.Exchange
+
 	marshal [][]byte
 	snaps   [][]*tensor.Matrix
 	staged  [][]*tensor.Matrix
 
 	decode     [][]*tensor.Matrix
 	decodeUsed int
+
+	// foldComp is the Kahan compensation scratch for the streaming fold
+	// (one O(P) buffer — aggregation is sequential per agent, so it is
+	// reused across the fleet). Allocated only when Comms opts in.
+	foldComp [][]float64
 
 	inFlight bool
 }
@@ -65,6 +83,23 @@ func (ws *RoundWorkspace) nextDecodeSet(n int) []*tensor.Matrix {
 	ws.decode[ws.decodeUsed] = set
 	ws.decodeUsed++
 	return set
+}
+
+// ensureComp shapes the Kahan compensation scratch like the given set and
+// zeroes it for a fresh aggregation.
+func (ws *RoundWorkspace) ensureComp(like []*tensor.Matrix) [][]float64 {
+	if cap(ws.foldComp) < len(like) {
+		ws.foldComp = make([][]float64, len(like))
+	}
+	ws.foldComp = ws.foldComp[:len(like)]
+	for i, m := range like {
+		if cap(ws.foldComp[i]) < m.Size() {
+			ws.foldComp[i] = make([]float64, m.Size())
+		}
+		ws.foldComp[i] = ws.foldComp[i][:m.Size()]
+		clear(ws.foldComp[i])
+	}
+	return ws.foldComp
 }
 
 // ensureParamsLike shapes dst as a reusable deep buffer matching the shapes
@@ -139,7 +174,9 @@ func BeginDecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind 
 	}
 	// Snapshot & broadcast. Snapshots isolate in-flight payloads from any
 	// continued local mutation; they live in the workspace so steady-state
-	// rounds allocate nothing here.
+	// rounds allocate nothing here. The fednet.Stats delta around this
+	// transport phase is the round's byte bill.
+	st0 := net.Stats()
 	for i, m := range models {
 		if !live[i] {
 			continue
@@ -147,7 +184,17 @@ func BeginDecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind 
 		base := baseParams(m, alpha)
 		ws.snaps[i] = ensureParamsLike(ws.snaps[i], base)
 		nn.CopyParams(ws.snaps[i], base)
-		ws.marshal[i] = MarshalParamsInto(ws.marshal[i], ws.snaps[i])
+		if ws.Comms != nil {
+			var err error
+			ws.marshal[i], err = ws.Comms.EncodeInto(ws.marshal[i][:0], i, kind, ws.snaps[i])
+			if err != nil {
+				p.err = fmt.Errorf("fed: encoding agent %d params: %w", i, err)
+				close(p.done)
+				return p
+			}
+		} else {
+			ws.marshal[i] = MarshalParamsInto(ws.marshal[i], ws.snaps[i])
+		}
 		if err := net.Broadcast(i, kind, ws.marshal[i]); err != nil {
 			p.err = err
 			close(p.done)
@@ -162,11 +209,26 @@ func BeginDecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind 
 			continue
 		}
 		msgs[i] = net.Collect(i)
+		for _, msg := range msgs[i] {
+			if msg.Kind == kind {
+				p.rep.BytesReceived += int64(len(msg.Payload))
+			}
+		}
 		base := baseParams(models[i], alpha)
 		p.agents = append(p.agents, i)
 		p.bases = append(p.bases, base)
 		ws.staged[i] = ensureParamsLike(ws.staged[i], base)
 		p.staged = append(p.staged, ws.staged[i])
+	}
+	st := net.Stats()
+	p.rep.BytesSent = st.BytesSent - st0.BytesSent
+	if ws.Comms != nil && len(p.bases) > 0 {
+		// Dense baseline: the same attempts carrying PFP1 payloads. The
+		// attempt count is unchanged by payload size (drop/corruption RNG
+		// draws are per attempt), so this is exact, not an estimate.
+		p.rep.DenseBytes = int64(st.MessagesSent-st0.MessagesSent) * int64(wire.DenseSize(p.bases[0]))
+	} else {
+		p.rep.DenseBytes = p.rep.BytesSent
 	}
 	p.used = make([]int, len(p.agents))
 	p.ws = ws
@@ -175,14 +237,81 @@ func BeginDecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind 
 	// so rejects and set counts land in the report in the same order the
 	// synchronous round produces.
 	go func() {
-		for idx, i := range p.agents {
-			ws.decodeUsed = 0 // agent idx's sets are consumed before idx+1 decodes
-			sets := p.rep.collectFrom(msgs[i], i, p.bases[idx], kind, ws.snaps[i], ws)
-			p.used[idx] = nn.AverageParamSets(p.staged[idx], sets...)
+		if ws.Comms != nil {
+			p.aggregateStreaming(msgs, kind, ws)
+		} else {
+			for idx, i := range p.agents {
+				ws.decodeUsed = 0 // agent idx's sets are consumed before idx+1 decodes
+				sets := p.rep.collectFrom(msgs[i], i, p.bases[idx], kind, ws.snaps[i], ws)
+				p.used[idx] = nn.AverageParamSets(p.staged[idx], sets...)
+			}
 		}
 		close(p.done)
 	}()
 	return p
+}
+
+// aggregateStreaming is the compressed-plane aggregation half. Instead of
+// decoding every payload into its own parameter set and averaging the pile
+// (O(N·P) scratch at the aggregator), each accepted payload folds straight
+// into the staged sum, so scratch stays O(P) no matter how many peers
+// contributed. Two passes keep the mean exact: pass 1 validates payloads
+// and fixes the divisor, pass 2 folds the agent's own snapshot first and
+// then the messages in arrival order — exactly the element-order
+// nn.AverageParamSets applies to decoded sets, so the plain fold is
+// bit-identical to the dense path. The opt-in Kahan fold trades that
+// equality for compensated summation.
+func (p *PendingRound) aggregateStreaming(msgs [][]fednet.Message, kind string, ws *RoundWorkspace) {
+	x := ws.Comms
+	kahan := x.Options().KahanFold
+	var accepted []fednet.Message
+	for idx, i := range p.agents {
+		base := p.bases[idx]
+		ownClean := paramsClean(ws.snaps[i])
+		if !ownClean {
+			p.rep.reject(i, i, kind, "NaN/Inf parameters", false)
+		}
+		accepted = accepted[:0]
+		for _, msg := range msgs[i] {
+			if msg.Kind != kind {
+				continue
+			}
+			if err := x.Validate(msg.From, kind, base, msg.Payload); err != nil {
+				p.rep.reject(i, msg.From, msg.Kind, err.Error(), !errors.Is(err, wire.ErrDiverged))
+				continue
+			}
+			accepted = append(accepted, msg)
+		}
+		total := len(accepted)
+		if ownClean {
+			total++
+		}
+		p.used[idx] = total
+		if total == 0 {
+			continue
+		}
+		inv := 1.0 / float64(total)
+		staged := p.staged[idx]
+		for _, m := range staged {
+			m.Zero()
+		}
+		var comp [][]float64
+		if kahan {
+			comp = ws.ensureComp(base)
+		}
+		if ownClean {
+			wire.FoldLocal(staged, comp, ws.snaps[i], inv)
+		}
+		for _, msg := range accepted {
+			if err := x.FoldInto(staged, comp, msg.From, kind, msg.Payload, inv); err != nil {
+				// Validate guaranteed this fold would succeed; failing here
+				// is a codec bug, not a fabric fault — fail the round loudly
+				// rather than install a half-folded aggregate.
+				p.err = fmt.Errorf("fed: folding payload from agent %d: %w", msg.From, err)
+				return
+			}
+		}
+	}
 }
 
 // Join waits for the round's aggregation to finish, installs each staged

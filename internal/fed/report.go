@@ -46,9 +46,64 @@ type RoundReport struct {
 	// Rejects details every exclusion.
 	Rejects []Reject
 
+	// BytesSent is what the round's transport phase actually put on the
+	// wire (every attempt, retries included), taken as a fednet.Stats
+	// delta around the broadcast/drain. BytesReceived counts the payload
+	// bytes that reached aggregating agents on this round's kind.
+	// DenseBytes is what the same attempts would have cost in the dense
+	// PFP1 format — the compression baseline. With no wire.Exchange
+	// attached, DenseBytes == BytesSent and the ratio is 1.
+	BytesSent     int64
+	BytesReceived int64
+	DenseBytes    int64
+
 	// counted marks that MinSets/MaxSets have been seeded (0 is a valid
 	// aggregate size, so the zero value cannot serve as the sentinel).
 	counted bool
+}
+
+// CompressionRatio is DenseBytes / BytesSent: how many times cheaper the
+// round's transport was than the dense baseline. A round that moved no
+// bytes (single agent, everyone crashed) reports 1.
+func (r RoundReport) CompressionRatio() float64 {
+	if r.BytesSent <= 0 {
+		return 1
+	}
+	return float64(r.DenseBytes) / float64(r.BytesSent)
+}
+
+// CommsTotals accumulates the byte accounting of many rounds — one plane's
+// (forecaster or EMS) communication bill over a whole run.
+type CommsTotals struct {
+	Rounds        int
+	BytesSent     int64
+	BytesReceived int64
+	DenseBytes    int64
+}
+
+// Absorb folds one round's byte accounting into the totals.
+func (c *CommsTotals) Absorb(rep RoundReport) {
+	c.Rounds++
+	c.BytesSent += rep.BytesSent
+	c.BytesReceived += rep.BytesReceived
+	c.DenseBytes += rep.DenseBytes
+}
+
+// Add folds pre-aggregated byte counts (e.g. refire charges accounted
+// outside a round call) into the totals without counting a round.
+func (c *CommsTotals) Add(sent, received, dense int64) {
+	c.BytesSent += sent
+	c.BytesReceived += received
+	c.DenseBytes += dense
+}
+
+// CompressionRatio is the run-level DenseBytes / BytesSent (1 when no
+// bytes moved).
+func (c CommsTotals) CompressionRatio() float64 {
+	if c.BytesSent <= 0 {
+		return 1
+	}
+	return float64(c.DenseBytes) / float64(c.BytesSent)
 }
 
 // Degraded reports whether the round fell short of full participation.

@@ -35,7 +35,8 @@ func TestFaultScenarios(t *testing.T) {
 					t.Fatalf("agent 1 got %d messages, want 2", got)
 				}
 			},
-			want: Stats{MessagesSent: 3, MessagesBlocked: 2, BytesSent: 30,
+			want: Stats{MessagesSent: 3, MessagesBlocked: 2, UniqueMessages: 3,
+				BytesSent: 30, UniqueBytes: 30,
 				SimulatedTime: 3 * (time.Millisecond + 10*time.Microsecond)},
 		},
 		{
@@ -46,7 +47,7 @@ func TestFaultScenarios(t *testing.T) {
 				mustSend(t, nw, 0, 1, payload) // 3× transfer time
 				mustSend(t, nw, 1, 0, payload) // 1× transfer time
 			},
-			want: Stats{MessagesSent: 2, BytesSent: 20,
+			want: Stats{MessagesSent: 2, UniqueMessages: 2, BytesSent: 20, UniqueBytes: 20,
 				SimulatedTime: 4 * (time.Millisecond + 10*time.Microsecond)},
 		},
 		{
@@ -73,7 +74,8 @@ func TestFaultScenarios(t *testing.T) {
 					t.Fatalf("after restart agent 1 has %d messages, want 1", got)
 				}
 			},
-			want: Stats{MessagesSent: 2, MessagesBlocked: 2, InboxWiped: 1, BytesSent: 20,
+			want: Stats{MessagesSent: 2, MessagesBlocked: 2, InboxWiped: 1,
+				UniqueMessages: 2, BytesSent: 20, UniqueBytes: 20,
 				SimulatedTime: 2 * (time.Millisecond + 10*time.Microsecond)},
 		},
 		{
@@ -91,7 +93,8 @@ func TestFaultScenarios(t *testing.T) {
 					t.Fatalf("payload differs by %d bits, want exactly 1", diff)
 				}
 			},
-			want: Stats{MessagesSent: 1, MessagesCorrupted: 1, BytesSent: 10,
+			want: Stats{MessagesSent: 1, MessagesCorrupted: 1, UniqueMessages: 1,
+				BytesSent: 10, UniqueBytes: 10,
 				SimulatedTime: time.Millisecond + 10*time.Microsecond},
 		},
 		{
@@ -109,7 +112,8 @@ func TestFaultScenarios(t *testing.T) {
 				}
 			},
 			want: Stats{MessagesSent: 3, MessagesDropped: 3, Retries: 2, GaveUp: 1,
-				BytesSent: 30, RetryBytes: 20, BackoffTime: 15 * time.Millisecond,
+				UniqueMessages: 1, BytesSent: 30, RetryBytes: 20, UniqueBytes: 10,
+				BackoffTime:   15 * time.Millisecond,
 				SimulatedTime: 3*(time.Millisecond+10*time.Microsecond) + 15*time.Millisecond},
 		},
 		{
@@ -125,7 +129,8 @@ func TestFaultScenarios(t *testing.T) {
 				}
 			},
 			want: Stats{MessagesSent: 3, MessagesDropped: 3, Retries: 1, GaveUp: 2,
-				BytesSent: 30, RetryBytes: 10, BackoffTime: 5 * time.Millisecond,
+				UniqueMessages: 2, BytesSent: 30, RetryBytes: 10, UniqueBytes: 20,
+				BackoffTime:   5 * time.Millisecond,
 				SimulatedTime: 3*(time.Millisecond+10*time.Microsecond) + 5*time.Millisecond},
 		},
 		{

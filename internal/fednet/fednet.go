@@ -123,9 +123,22 @@ type Stats struct {
 	// entering a crash window.
 	InboxWiped int
 
+	// UniqueMessages counts logical messages that reached the wire at
+	// least once — each is charged exactly once, at its first non-blocked
+	// attempt, regardless of how many retries it took. MessagesSent −
+	// UniqueMessages is therefore the pure retransmit count, and it can
+	// differ from Retries: a message whose first attempt was blocked by a
+	// partition consumes a retry for its first actual transmission.
+	UniqueMessages int
+
 	BytesSent int64
 	// RetryBytes is the share of BytesSent spent on retry attempts.
 	RetryBytes int64
+	// UniqueBytes is the per-message counterpart of the per-attempt
+	// BytesSent: each logical message's payload counted once. The gap
+	// BytesSent − UniqueBytes is the retransmission overhead the fabric
+	// actually paid for drops and corruption re-sends.
+	UniqueBytes int64
 	// SimulatedTime is the accumulated serialized transfer time of all
 	// messages (the denominator experiments divide by agents or rounds),
 	// including straggler inflation and retry backoff waits.
@@ -267,6 +280,13 @@ func (nw *Network) attempt(from, to int, kind string, payload []byte, retry bool
 	return attemptDelivered
 }
 
+// chargeUnique records one logical message's single per-message charge.
+// Caller holds nw.mu.
+func (nw *Network) chargeUnique(payload []byte) {
+	nw.stats.UniqueMessages++
+	nw.stats.UniqueBytes += int64(len(payload))
+}
+
 // sendReliable drives the acked transport for one message: attempts with
 // exponential backoff until delivery, attempt exhaustion, or (when budget
 // is non-nil) backoff-budget exhaustion. Reports whether the message was
@@ -274,8 +294,14 @@ func (nw *Network) attempt(from, to int, kind string, payload []byte, retry bool
 func (nw *Network) sendReliable(from, to int, kind string, payload []byte, budget *time.Duration) bool {
 	r := nw.cfg.Retry.withDefaults()
 	backoff := r.Backoff
+	wired := false
 	for att := 0; att < r.MaxAttempts; att++ {
-		if nw.attempt(from, to, kind, payload, att > 0) == attemptDelivered {
+		out := nw.attempt(from, to, kind, payload, att > 0)
+		if out != attemptBlocked && !wired {
+			wired = true
+			nw.chargeUnique(payload)
+		}
+		if out == attemptDelivered {
 			return true
 		}
 		if att+1 >= r.MaxAttempts {
@@ -310,7 +336,9 @@ func (nw *Network) Send(from, to int, kind string, payload []byte) error {
 	}
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	nw.attempt(from, to, kind, payload, false)
+	if nw.attempt(from, to, kind, payload, false) != attemptBlocked {
+		nw.chargeUnique(payload)
+	}
 	return nil
 }
 
@@ -474,6 +502,8 @@ func (nw *Network) ChargeBroadcastRounds(bytes, rounds int) {
 	defer nw.mu.Unlock()
 	nw.stats.MessagesSent += rounds * msgs
 	nw.stats.BytesSent += int64(rounds * msgs * bytes)
+	nw.stats.UniqueMessages += rounds * msgs
+	nw.stats.UniqueBytes += int64(rounds * msgs * bytes)
 	nw.stats.SimulatedTime += time.Duration(rounds*msgs) * nw.TransferTime(bytes)
 }
 

@@ -292,3 +292,79 @@ func TestCollectPendingPanicOnBadAgent(t *testing.T) {
 		}()
 	}
 }
+
+// TestUniqueVsAttemptAccounting pins the per-message / per-attempt split:
+// BytesSent charges every attempt that reaches the wire, UniqueBytes each
+// logical message exactly once, and their gap is the retransmission
+// overhead.
+func TestUniqueVsAttemptAccounting(t *testing.T) {
+	// Clean fabric: the two views agree.
+	nw := New(3, Config{})
+	if err := nw.Broadcast(0, "k", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	st := nw.Stats()
+	if st.UniqueMessages != 2 || st.UniqueBytes != 20 ||
+		st.UniqueMessages != st.MessagesSent || st.UniqueBytes != st.BytesSent {
+		t.Fatalf("clean fabric split disagrees: %+v", st)
+	}
+
+	// Drop + retry: the retransmit is charged per-attempt but not
+	// per-message. Scan for a seed whose first draw drops.
+	seed := int64(-1)
+	for s := int64(0); s < 64; s++ {
+		probe := New(2, Config{DropProb: 0.5, Seed: s,
+			Retry: RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond}})
+		_ = probe.Send(0, 1, "k", []byte("x"))
+		if probe.Stats().MessagesDropped != 1 {
+			continue
+		}
+		probe = New(2, Config{DropProb: 0.5, Seed: s,
+			Retry: RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond}})
+		if ok, _ := probe.SendReliable(0, 1, "k", []byte("x")); ok {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no drop-then-deliver seed in scan range")
+	}
+	nw = New(2, Config{DropProb: 0.5, Seed: seed,
+		Retry: RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond}})
+	ok, err := nw.SendReliable(0, 1, "k", []byte("xyz"))
+	if err != nil || !ok {
+		t.Fatalf("delivery failed: ok=%v err=%v", ok, err)
+	}
+	st = nw.Stats()
+	if st.UniqueMessages != 1 || st.UniqueBytes != 3 {
+		t.Fatalf("retried message charged per-message more than once: %+v", st)
+	}
+	if st.MessagesSent != 2 || st.BytesSent != 6 {
+		t.Fatalf("attempt counters missed the retransmit: %+v", st)
+	}
+	if gap := st.BytesSent - st.UniqueBytes; gap != 3 || gap != st.RetryBytes {
+		t.Fatalf("retransmit gap %d, want 3 (= RetryBytes %d)", gap, st.RetryBytes)
+	}
+
+	// Fully blocked link: nothing reaches the wire, so neither view (nor
+	// the unique counters) charges anything.
+	nw = New(2, Config{
+		Faults: FaultPlan{Partitions: []Partition{{A: 0, B: 1, StartMin: 0, EndMin: 10}}},
+		Retry:  RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond},
+	})
+	if _, err := nw.SendReliable(0, 1, "k", []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	st = nw.Stats()
+	if st.UniqueMessages != 0 || st.UniqueBytes != 0 || st.BytesSent != 0 || st.MessagesBlocked != 2 {
+		t.Fatalf("blocked link leaked charges: %+v", st)
+	}
+
+	// Synthetic re-fire charges count once per synthetic message.
+	nw = New(3, Config{})
+	nw.ChargeBroadcastRounds(50, 2)
+	st = nw.Stats()
+	if st.UniqueMessages != st.MessagesSent || st.UniqueBytes != st.BytesSent || st.UniqueMessages != 12 {
+		t.Fatalf("synthetic charge split disagrees: %+v", st)
+	}
+}

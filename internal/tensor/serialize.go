@@ -13,9 +13,14 @@ import (
 //	uint32 rows | uint32 cols | rows*cols float64 (little-endian IEEE 754)
 //
 // This is what federated agents broadcast: it is compact, versionless, and
-// decodable without reflection. maxWireDim bounds each dimension to guard
-// decoders against corrupt or adversarial headers.
-const maxWireDim = 1 << 24
+// decodable without reflection. maxWireDim bounds each dimension and
+// maxWireElems the element product, guarding decoders against corrupt or
+// adversarial headers: a flipped header bit must produce an error, never a
+// multi-terabyte allocation attempt.
+const (
+	maxWireDim   = 1 << 24
+	maxWireElems = 1 << 28
+)
 
 // WriteTo serializes m to w in the binary wire format.
 // It returns the number of bytes written.
@@ -48,7 +53,7 @@ func (m *Matrix) ReadFrom(r io.Reader) (int64, error) {
 	}
 	rows := int(binary.LittleEndian.Uint32(hdr[0:4]))
 	cols := int(binary.LittleEndian.Uint32(hdr[4:8]))
-	if rows > maxWireDim || cols > maxWireDim {
+	if rows > maxWireDim || cols > maxWireDim || rows*cols > maxWireElems {
 		return read, fmt.Errorf("tensor: wire header claims %dx%d matrix, exceeds limit", rows, cols)
 	}
 	buf := make([]byte, 8*rows*cols)

@@ -1,0 +1,171 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+// edgeMatrices covers the shapes and values the wire codec must survive:
+// empty rows/cols, single elements, and the full non-finite bit space.
+func edgeMatrices() []*Matrix {
+	specials := New(2, 4)
+	specials.Data = []float64{
+		math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1),
+		math.MaxFloat64, -math.SmallestNonzeroFloat64, 1.5, 0,
+	}
+	return []*Matrix{
+		New(0, 7),
+		New(3, 0),
+		New(0, 0),
+		New(1, 1),
+		specials,
+	}
+}
+
+// TestWireEdgeRoundTrip checks every serialize surface round-trips the
+// edge matrices bit-exactly: AppendWire/DecodeInto, MarshalBinary/
+// UnmarshalBinary, and WriteTo/ReadFrom.
+func TestWireEdgeRoundTrip(t *testing.T) {
+	for _, m := range edgeMatrices() {
+		wire := m.AppendWire(nil)
+		if len(wire) != m.WireSize() {
+			t.Fatalf("%dx%d: AppendWire %d bytes, WireSize %d", m.Rows, m.Cols, len(wire), m.WireSize())
+		}
+
+		var dec Matrix
+		n, err := dec.DecodeInto(wire)
+		if err != nil || n != len(wire) {
+			t.Fatalf("%dx%d: DecodeInto n=%d err=%v", m.Rows, m.Cols, n, err)
+		}
+		requireBits(t, m, &dec, "DecodeInto")
+
+		blob, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dec2 Matrix
+		if err := dec2.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("%dx%d: UnmarshalBinary: %v", m.Rows, m.Cols, err)
+		}
+		requireBits(t, m, &dec2, "UnmarshalBinary")
+
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var dec3 Matrix
+		if _, err := dec3.ReadFrom(&buf); err != nil {
+			t.Fatalf("%dx%d: ReadFrom: %v", m.Rows, m.Cols, err)
+		}
+		requireBits(t, m, &dec3, "ReadFrom")
+	}
+}
+
+func requireBits(t *testing.T, want, got *Matrix, ctx string) {
+	t.Helper()
+	if want.Rows != got.Rows || want.Cols != got.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", ctx, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+			t.Fatalf("%s: elem %d bits %x, want %x", ctx, i,
+				math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]))
+		}
+	}
+}
+
+// TestWireTruncationRejected walks every proper prefix of a wire blob
+// through both buffer decoders: each must error (never panic) and leave
+// the destination untouched.
+func TestWireTruncationRejected(t *testing.T) {
+	m := New(3, 5)
+	for i := range m.Data {
+		m.Data[i] = float64(i) * 1.25
+	}
+	wire := m.AppendWire(nil)
+	for cut := 0; cut < len(wire); cut++ {
+		var dec Matrix
+		dec.Rows, dec.Cols, dec.Data = 9, 9, []float64{42}
+		if _, err := dec.DecodeInto(wire[:cut]); err == nil {
+			t.Fatalf("DecodeInto accepted %d/%d bytes", cut, len(wire))
+		}
+		if dec.Rows != 9 || dec.Cols != 9 || dec.Data[0] != 42 {
+			t.Fatalf("DecodeInto mutated dst on %d-byte truncation", cut)
+		}
+		var dec2 Matrix
+		if err := dec2.UnmarshalBinary(wire[:cut]); err == nil {
+			t.Fatalf("UnmarshalBinary accepted %d/%d bytes", cut, len(wire))
+		}
+		var dec3 Matrix
+		if _, err := dec3.ReadFrom(bytes.NewReader(wire[:cut])); err == nil {
+			t.Fatalf("ReadFrom accepted %d/%d bytes", cut, len(wire))
+		}
+	}
+	// Trailing garbage is fine for DecodeInto (stream decoding) but must be
+	// an error for the exact-length UnmarshalBinary.
+	if err := new(Matrix).UnmarshalBinary(append(wire, 0)); err == nil {
+		t.Fatal("UnmarshalBinary accepted trailing byte")
+	}
+	if n, err := new(Matrix).DecodeInto(append(wire, 0xAB)); err != nil || n != len(wire) {
+		t.Fatalf("DecodeInto on stream: n=%d err=%v", n, err)
+	}
+}
+
+// TestWireHostileHeaders pins the allocation guards: headers claiming
+// oversized dimensions — or dimensions that individually pass the check
+// while their product is absurd — must error before any allocation.
+func TestWireHostileHeaders(t *testing.T) {
+	hdr := func(rows, cols uint32) []byte {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint32(b[0:4], rows)
+		binary.LittleEndian.PutUint32(b[4:8], cols)
+		return b
+	}
+	for _, tc := range [][2]uint32{
+		{1 << 25, 1},         // single dim too large
+		{1, 1 << 25},         // other dim too large
+		{1 << 24, 1 << 24},   // dims legal, product = 2^48 elements
+		{1 << 20, 1 << 12},   // product just past maxWireElems
+		{0xFFFFFFFF, 0xFFFF}, // adversarial extremes
+	} {
+		data := hdr(tc[0], tc[1])
+		if _, err := new(Matrix).ReadFrom(bytes.NewReader(data)); err == nil ||
+			!strings.Contains(err.Error(), "exceeds limit") {
+			t.Fatalf("ReadFrom %dx%d: err=%v, want limit rejection", tc[0], tc[1], err)
+		}
+		// The buffer decoders are additionally shielded by the length
+		// check; the point here is error-not-panic.
+		if _, err := new(Matrix).DecodeInto(data); err == nil {
+			t.Fatalf("DecodeInto %dx%d accepted", tc[0], tc[1])
+		}
+		if err := new(Matrix).UnmarshalBinary(data); err == nil {
+			t.Fatalf("UnmarshalBinary %dx%d accepted", tc[0], tc[1])
+		}
+	}
+}
+
+// FuzzMatrixDecodeInto throws arbitrary bytes at the stream decoder: it
+// must error or decode — never panic — and anything it accepts must
+// re-encode to the exact consumed bytes.
+func FuzzMatrixDecodeInto(f *testing.F) {
+	f.Add(New(2, 3).AppendWire(nil))
+	f.Add(edgeMatrices()[4].AppendWire(nil))
+	f.Add([]byte{})
+	f.Add(make([]byte, 8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Matrix
+		n, err := m.DecodeInto(data)
+		if err != nil {
+			return
+		}
+		if n < 8 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if back := m.AppendWire(nil); !bytes.Equal(back, data[:n]) {
+			t.Fatal("re-encode differs from consumed bytes")
+		}
+	})
+}

@@ -1,0 +1,366 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// This file holds the three body codecs. All bodies open with a varint
+// tensor count, then per-tensor varint rows and cols; what follows depends
+// on the codec:
+//
+//	dense:  size raw little-endian float64s
+//	delta:  varint nsegs, then per segment varint byteLen + token stream
+//	topk:   float64 scale, varint k, then k × (varint index-gap, int16 q)
+//
+// Delta token stream, per segment of up to segElems elements:
+//
+//	token == 0:  varint run-length of zero deltas (keys unchanged)
+//	token  > 0:  one element; delta = unzigzag(token)
+//
+// zigzag(d) == 0 iff d == 0, so the zero token is unambiguous. Keys are the
+// monotone order-preserving mapping of the float64 bits (keyOf), and deltas
+// are wrapping int64 differences of consecutive epochs' keys — lossless for
+// every bit pattern including NaN payloads (which the receiver then rejects
+// by value, exactly like the dense path does).
+
+// --- dense ----------------------------------------------------------------
+
+// appendDenseBody appends the raw float64 body for params.
+func appendDenseBody(dst []byte, params []*tensor.Matrix) []byte {
+	dst = appendUvarint(dst, uint64(len(params)))
+	for _, p := range params {
+		dst = appendUvarint(dst, uint64(p.Rows))
+		dst = appendUvarint(dst, uint64(p.Cols))
+		for _, v := range p.Data {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// denseTensorBody returns the raw value bytes of tensor i in a dense body,
+// validating shape headers as it walks. Returns the remaining buffer too.
+func splitDenseTensor(i int, body []byte, tpl *tensor.Matrix) (vals, rest []byte, err error) {
+	rows, n, err := readUvarint(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	body = body[n:]
+	cols, n, err := readUvarint(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	body = body[n:]
+	if err := shapesMatch(i, rows, cols, tpl); err != nil {
+		return nil, nil, err
+	}
+	need := 8 * tpl.Size()
+	if len(body) < need {
+		return nil, nil, fmt.Errorf("wire: tensor %d dense body truncated (%d bytes, want %d)", i, len(body), need)
+	}
+	return body[:need], body[need:], nil
+}
+
+// --- delta ----------------------------------------------------------------
+
+// appendDeltaBody appends the delta body for params against refKeys
+// (previous epoch's keys), writing each element's new key into newKeys.
+// scratch buffers the per-segment token stream so its varint length can be
+// written first; the (possibly grown) scratch is returned for reuse.
+func appendDeltaBody(dst []byte, params []*tensor.Matrix, refKeys, newKeys [][]uint64, scratch []byte) ([]byte, []byte) {
+	dst = appendUvarint(dst, uint64(len(params)))
+	for ti, p := range params {
+		elems := p.Size()
+		segs := (elems + segElems - 1) / segElems
+		dst = appendUvarint(dst, uint64(p.Rows))
+		dst = appendUvarint(dst, uint64(p.Cols))
+		dst = appendUvarint(dst, uint64(segs))
+		ref, keys := refKeys[ti], newKeys[ti]
+		for s := 0; s < segs; s++ {
+			lo, hi := s*segElems, min((s+1)*segElems, elems)
+			scratch = scratch[:0]
+			zeroRun := 0
+			flush := func() {
+				if zeroRun > 0 {
+					scratch = append(scratch, 0)
+					scratch = appendUvarint(scratch, uint64(zeroRun))
+					zeroRun = 0
+				}
+			}
+			for j := lo; j < hi; j++ {
+				k := keyOf(math.Float64bits(p.Data[j]))
+				keys[j] = k
+				d := int64(k - ref[j])
+				if d == 0 {
+					zeroRun++
+					continue
+				}
+				flush()
+				scratch = appendUvarint(scratch, zigzag(d))
+			}
+			flush()
+			dst = appendUvarint(dst, uint64(len(scratch)))
+			dst = append(dst, scratch...)
+		}
+	}
+	return dst, scratch
+}
+
+// deltaSegs describes one tensor's segment layout inside a delta body:
+// offs[s]..offs[s]+lens[s] is segment s's token stream within raw.
+type deltaTensor struct {
+	raw  []byte
+	offs []int
+	lens []int
+}
+
+// splitDeltaTensor walks tensor i's header and segment length table,
+// returning its layout and the remaining buffer.
+func splitDeltaTensor(i int, body []byte, tpl *tensor.Matrix) (deltaTensor, []byte, error) {
+	var dt deltaTensor
+	rows, n, err := readUvarint(body)
+	if err != nil {
+		return dt, nil, err
+	}
+	body = body[n:]
+	cols, n, err := readUvarint(body)
+	if err != nil {
+		return dt, nil, err
+	}
+	body = body[n:]
+	if err := shapesMatch(i, rows, cols, tpl); err != nil {
+		return dt, nil, err
+	}
+	elems := tpl.Size()
+	wantSegs := (elems + segElems - 1) / segElems
+	segs, n, err := readUvarint(body)
+	if err != nil {
+		return dt, nil, err
+	}
+	body = body[n:]
+	if int(segs) != wantSegs {
+		return dt, nil, fmt.Errorf("wire: tensor %d has %d segments, want %d", i, segs, wantSegs)
+	}
+	dt.offs = make([]int, wantSegs)
+	dt.lens = make([]int, wantSegs)
+	off := 0
+	start := body
+	for s := 0; s < wantSegs; s++ {
+		segLen, n, err := readUvarint(body)
+		if err != nil {
+			return dt, nil, err
+		}
+		body = body[n:]
+		off += n
+		if uint64(len(body)) < segLen {
+			return dt, nil, fmt.Errorf("wire: tensor %d segment %d truncated (%d bytes, want %d)", i, s, len(body), segLen)
+		}
+		dt.offs[s] = off
+		dt.lens[s] = int(segLen)
+		body = body[segLen:]
+		off += int(segLen)
+	}
+	dt.raw = start[:off]
+	return dt, body, nil
+}
+
+// walkDeltaSeg iterates one segment's token stream, calling emit with each
+// element's reconstructed key. count is the segment's element count.
+func walkDeltaSeg(tokens []byte, ref []uint64, count int, emit func(j int, key uint64)) error {
+	j := 0
+	for len(tokens) > 0 {
+		t, n, err := readUvarint(tokens)
+		if err != nil {
+			return err
+		}
+		tokens = tokens[n:]
+		if t == 0 {
+			run, n, err := readUvarint(tokens)
+			if err != nil {
+				return err
+			}
+			tokens = tokens[n:]
+			if run == 0 || run > uint64(count-j) {
+				return fmt.Errorf("wire: zero run of %d exceeds segment remainder %d", run, count-j)
+			}
+			for r := 0; r < int(run); r++ {
+				emit(j, ref[j])
+				j++
+			}
+			continue
+		}
+		if j >= count {
+			return fmt.Errorf("wire: segment token overruns %d elements", count)
+		}
+		emit(j, ref[j]+uint64(unzigzag(t)))
+		j++
+	}
+	if j != count {
+		return fmt.Errorf("wire: segment decoded %d of %d elements", j, count)
+	}
+	return nil
+}
+
+// --- top-k ----------------------------------------------------------------
+
+// appendTopKBody appends the sparsified body. For each tensor it selects
+// the k = ⌈frac·size⌉ largest |param − ref| corrections, quantizes them to
+// int16 against a per-tensor scale, and advances ref exactly as the
+// receiver will reconstruct it. The error-feedback residual is the tracked
+// discrepancy param − ref itself: everything a round does not send — the
+// unselected mass and what quantization rounds away — stays in the
+// reference gap and feeds the next round's selection, so nothing is lost,
+// and (unlike an explicitly accumulated residual on top of the gap) it is
+// never counted twice. refVals is the previous epoch's reconstructed
+// reference; newRef receives this epoch's. absScratch is reused across
+// calls.
+func appendTopKBody(dst []byte, params []*tensor.Matrix, refVals, newRef [][]float64, frac float64, absScratch []float64) ([]byte, []float64) {
+	dst = appendUvarint(dst, uint64(len(params)))
+	for ti, p := range params {
+		elems := p.Size()
+		dst = appendUvarint(dst, uint64(p.Rows))
+		dst = appendUvarint(dst, uint64(p.Cols))
+		ref, nref := refVals[ti], newRef[ti]
+
+		k := 0
+		if elems > 0 {
+			k = int(math.Ceil(frac * float64(elems)))
+			if k < 1 {
+				k = 1
+			}
+			if k > elems {
+				k = elems
+			}
+		}
+		if cap(absScratch) < elems {
+			absScratch = make([]float64, elems)
+		}
+		abs := absScratch[:elems]
+		for j := 0; j < elems; j++ {
+			abs[j] = math.Abs(p.Data[j] - ref[j])
+		}
+		thr, maxAbs := 0.0, 0.0
+		if elems > 0 {
+			sorted := append([]float64(nil), abs...)
+			sort.Float64s(sorted)
+			thr = sorted[elems-k]
+			maxAbs = sorted[elems-1]
+		}
+		scale := maxAbs / math.MaxInt16
+		if scale == 0 || math.IsInf(scale, 0) || math.IsNaN(scale) {
+			// Nothing changed (or degenerate): send an empty correction.
+			copy(nref, ref)
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(0))
+			dst = appendUvarint(dst, 0)
+			continue
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(scale))
+		// Selection in index order: strictly-above-threshold entries are
+		// always in (there are at most k−1 of them, since thr is the k-th
+		// largest magnitude); at-threshold ties fill the remaining quota
+		// deterministically, earliest index first. Exactly k entries ship.
+		above := 0
+		for j := 0; j < elems; j++ {
+			if abs[j] > thr {
+				above++
+			}
+		}
+		tieQuota := k - above
+		dst = appendUvarint(dst, uint64(k))
+		prev := 0
+		for j := 0; j < elems; j++ {
+			d := p.Data[j] - ref[j]
+			pick := abs[j] > thr
+			if !pick && abs[j] == thr && tieQuota > 0 {
+				pick = true
+				tieQuota--
+			}
+			if !pick {
+				nref[j] = ref[j]
+				continue
+			}
+			q := int64(math.Round(d / scale))
+			if q > math.MaxInt16 {
+				q = math.MaxInt16
+			} else if q < -math.MaxInt16 {
+				q = -math.MaxInt16
+			}
+			applied := scale * float64(q)
+			nref[j] = ref[j] + applied
+			dst = appendUvarint(dst, uint64(j-prev))
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(int16(q)))
+			prev = j + 1
+		}
+	}
+	return dst, absScratch
+}
+
+// topKTensor is the parsed view of one tensor's sparse correction.
+type topKTensor struct {
+	scale float64
+	// idx/q are the selected indices and quantized corrections.
+	idx []int
+	q   []int16
+}
+
+// splitTopKTensor parses tensor i's sparse header and entries, validating
+// index monotonicity and bounds, and returns the remaining buffer.
+func splitTopKTensor(i int, body []byte, tpl *tensor.Matrix) (topKTensor, []byte, error) {
+	var tk topKTensor
+	rows, n, err := readUvarint(body)
+	if err != nil {
+		return tk, nil, err
+	}
+	body = body[n:]
+	cols, n, err := readUvarint(body)
+	if err != nil {
+		return tk, nil, err
+	}
+	body = body[n:]
+	if err := shapesMatch(i, rows, cols, tpl); err != nil {
+		return tk, nil, err
+	}
+	if len(body) < 8 {
+		return tk, nil, fmt.Errorf("wire: tensor %d top-k scale truncated", i)
+	}
+	tk.scale = math.Float64frombits(binary.LittleEndian.Uint64(body))
+	body = body[8:]
+	if math.IsNaN(tk.scale) || math.IsInf(tk.scale, 0) || tk.scale < 0 {
+		return tk, nil, fmt.Errorf("wire: tensor %d top-k scale %v invalid", i, tk.scale)
+	}
+	k, n, err := readUvarint(body)
+	if err != nil {
+		return tk, nil, err
+	}
+	body = body[n:]
+	elems := tpl.Size()
+	if k > uint64(elems) {
+		return tk, nil, fmt.Errorf("wire: tensor %d sends %d corrections for %d elements", i, k, elems)
+	}
+	tk.idx = make([]int, k)
+	tk.q = make([]int16, k)
+	at := -1
+	for e := 0; e < int(k); e++ {
+		gap, n, err := readUvarint(body)
+		if err != nil {
+			return tk, nil, err
+		}
+		body = body[n:]
+		at += 1 + int(gap)
+		if at >= elems {
+			return tk, nil, fmt.Errorf("wire: tensor %d correction index %d out of range %d", i, at, elems)
+		}
+		if len(body) < 2 {
+			return tk, nil, fmt.Errorf("wire: tensor %d correction %d truncated", i, e)
+		}
+		tk.idx[e] = at
+		tk.q[e] = int16(binary.LittleEndian.Uint16(body))
+		body = body[2:]
+	}
+	return tk, body, nil
+}

@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// fuzzFixture builds an exchange with an established two-epoch stream so
+// delta payloads have a live reference to decode against, and returns a
+// genuine epoch-1 payload as seed material.
+func fuzzFixture(level Level) (*Exchange, []*tensor.Matrix, []byte) {
+	rng := rand.New(rand.NewSource(99))
+	x := NewExchange(Options{Level: level})
+	params := randParams(rng, [][2]int{{7, 23}, {1, 23}})
+	payload, err := x.EncodeInto(nil, 0, "fc", params)
+	if err != nil {
+		panic(err)
+	}
+	perturb(rng, params, 0.4)
+	payload, err = x.EncodeInto(payload[:0], 0, "fc", params)
+	if err != nil {
+		panic(err)
+	}
+	return x, params, append([]byte(nil), payload...)
+}
+
+// FuzzValidatePayload throws arbitrary bytes at the full decode surface —
+// Validate, FoldInto, DecodeInto, across all three codec levels — and
+// requires errors, never panics, for anything that is not the genuine
+// payload. It also re-seals mutated bodies with a valid checksum so the
+// structural validators underneath the CRC get exercised, not just the CRC.
+func FuzzValidatePayload(f *testing.F) {
+	_, _, deltaSeed := fuzzFixture(Delta)
+	_, _, denseSeed := fuzzFixture(Dense)
+	_, _, topkSeed := fuzzFixture(TopK)
+	f.Add(deltaSeed)
+	f.Add(denseSeed)
+	f.Add(topkSeed)
+	f.Add([]byte{})
+	f.Add([]byte("PFW2"))
+	f.Add(deltaSeed[:len(deltaSeed)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, level := range []Level{Dense, Delta, TopK} {
+			x, params, _ := fuzzFixture(level)
+			staged := likeSet(params)
+			dst := likeSet(params)
+
+			check := func(payload []byte) {
+				err := x.Validate(0, "fc", params, payload)
+				if err != nil && !errors.Is(err, ErrDiverged) {
+					return // corrupt: rejected, as required
+				}
+				// Accepted (or merely diverged): folding and decoding the
+				// same payload must then succeed.
+				if err := x.FoldInto(staged, nil, 0, "fc", payload, 0.5); err != nil {
+					t.Fatalf("Validate accepted but FoldInto failed: %v", err)
+				}
+				if err := x.DecodeInto(dst, 0, "fc", payload); err != nil {
+					t.Fatalf("Validate accepted but DecodeInto failed: %v", err)
+				}
+			}
+
+			check(data)
+			// Re-seal the mutated bytes as a structurally addressed payload:
+			// keep the fuzzed header fields and body, fix magic + checksum.
+			if len(data) >= headerSize {
+				sealed := append([]byte(nil), data...)
+				copy(sealed, magic)
+				if sealed[4] > byte(CodecTopK) {
+					sealed[4] %= 3
+				}
+				finishHeader(sealed, 0)
+				check(sealed)
+			}
+		}
+	})
+}
+
+// FuzzDeltaRoundTrip fuzzes parameter values themselves (as raw bits) and
+// checks encode→decode is identity on every bit pattern, including the
+// NaN/Inf space.
+func FuzzDeltaRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(1), uint64(math.MaxUint64))
+	f.Add(math.Float64bits(1.5), math.Float64bits(math.Inf(-1)), math.Float64bits(math.NaN()))
+	f.Fuzz(func(t *testing.T, a, b, c uint64) {
+		x := NewExchange(Options{Level: Delta})
+		params := []*tensor.Matrix{tensor.New(1, 3)}
+		params[0].Data[0] = math.Float64frombits(a)
+		params[0].Data[1] = math.Float64frombits(b)
+		params[0].Data[2] = math.Float64frombits(c)
+		var payload []byte
+		for epoch := 0; epoch < 3; epoch++ {
+			var err error
+			payload, err = x.EncodeInto(payload[:0], 0, "fc", params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := likeSet(params)
+			if err := x.DecodeInto(dst, 0, "fc", payload); err != nil {
+				t.Fatal(err)
+			}
+			bitsEqual(t, dst, params, "fuzz round trip")
+			// rotate the values so later epochs exercise non-zero deltas
+			params[0].Data[0], params[0].Data[1], params[0].Data[2] = params[0].Data[1], params[0].Data[2], params[0].Data[0]
+		}
+	})
+}

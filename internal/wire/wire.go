@@ -1,0 +1,325 @@
+// Package wire implements the versioned compression codec the federation
+// planes broadcast parameters with. The dense PFP1 format (fed.MarshalParams)
+// ships every float64 raw — O(P) · 8 bytes per message, N·(N−1) messages per
+// decentralized round. This package replaces the payload body with a
+// delta-coded stream against the sender's previous broadcast:
+//
+//	magic "PFW2" | codec | flags | epoch | crc32 | body
+//
+// Three codec tiers share the envelope:
+//
+//   - CodecDense: raw little-endian float64 bits. Used for keyframes (a
+//     sender's first broadcast of a kind, or any payload containing NaN/Inf,
+//     which the delta tiers cannot represent compactly) and as the explicit
+//     Dense level.
+//   - CodecDelta (the lossless default): per-tensor, each element's IEEE-754
+//     bits are mapped to a monotone total-order key, subtracted from the
+//     previous broadcast's key, zig-zag coded, and varint packed. Runs of
+//     zero deltas (untouched parameters, converged re-broadcasts) collapse
+//     to a 2–3 byte token. Tensors are split into fixed-size segments with a
+//     byte-length table so decode can proceed segment-parallel. Decoding
+//     reproduces the sender's float64 bits exactly.
+//   - CodecTopK (opt-in, lossy): value-domain top-k sparsification with
+//     int16 quantization and sender-side error-feedback residuals. Receivers
+//     reconstruct ref + scale·q at the selected indices and keep the
+//     reference elsewhere.
+//
+// Delta decoding needs the sender's previous broadcast. Exchange keeps that
+// reference per (sender, kind), double-buffered and epoch-tagged, shared
+// between the encode and decode sides of the in-process fabric — the
+// simulator's stand-in for each receiver's reference cache (a real
+// deployment stores the same O(P) per peer it already receives; the epoch
+// tag is what lets it detect staleness and reject instead of corrupting).
+// Payload bytes, not reference distribution, are what the fabric accounts.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/tensor"
+)
+
+// Codec identifies the payload body encoding.
+type Codec byte
+
+const (
+	// CodecDense is the raw float64 body (keyframes and the Dense level).
+	CodecDense Codec = 0
+	// CodecDelta is the lossless zig-zag varint delta body.
+	CodecDelta Codec = 1
+	// CodecTopK is the lossy sparsified, quantized body.
+	CodecTopK Codec = 2
+)
+
+// Level selects the compression tier a fleet runs with.
+type Level int
+
+const (
+	// Dense disables compression: every payload is a raw keyframe.
+	Dense Level = iota
+	// Delta is the lossless default: keyframe first, bit-exact deltas after.
+	Delta
+	// TopK is the lossy tier: top-k + int16 quantization with error
+	// feedback. Not bit-stable against the dense run; opt-in only.
+	TopK
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case Delta:
+		return "delta"
+	case TopK:
+		return "topk"
+	default:
+		return "dense"
+	}
+}
+
+// Options configures an Exchange.
+type Options struct {
+	// Level picks the codec tier. The zero value is Dense (no compression,
+	// the pre-PFW2 behavior byte-for-value).
+	Level Level
+	// TopKFrac is the fraction of elements CodecTopK transmits per tensor
+	// (default 0.1, clamped to at least one element).
+	TopKFrac float64
+	// KahanFold enables compensated summation in FoldInto's accumulator.
+	// Off by default: the plain fold replays the dense aggregation
+	// arithmetic bit-for-bit, which is what keeps compressed rounds
+	// bit-identical to dense rounds. Kahan is for large-N fleets that
+	// prefer accuracy over dense-run equivalence.
+	KahanFold bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopKFrac <= 0 || o.TopKFrac > 1 {
+		o.TopKFrac = 0.1
+	}
+	return o
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.Level < Dense || o.Level > TopK {
+		return fmt.Errorf("wire: unknown level %d", int(o.Level))
+	}
+	if o.TopKFrac < 0 || o.TopKFrac > 1 {
+		return fmt.Errorf("wire: TopKFrac %v outside [0,1]", o.TopKFrac)
+	}
+	return nil
+}
+
+const (
+	magic = "PFW2"
+	// headerSize = magic + codec + flags + epoch(4) + crc32(4).
+	headerSize = 4 + 1 + 1 + 4 + 4
+	// crcOff is the checksum's offset; it covers everything after itself.
+	crcOff = 4 + 1 + 1 + 4
+
+	// flagDelta marks a body coded against the sender's previous epoch.
+	flagDelta = 1 << 0
+
+	// segElems is the delta codec's segment width: segments decode (and
+	// fold) independently, so sched.ParallelFor can overlap decoding one
+	// segment with accumulating another.
+	segElems = 4096
+
+	// maxWireDim bounds decoded tensor dimensions, mirroring tensor's
+	// serialize guard against corrupt or adversarial headers.
+	maxWireDim = 1 << 24
+)
+
+// ErrDiverged marks a payload whose decoded values contain NaN/Inf. It is
+// the one decode failure that is not wire corruption: the sender's model
+// diverged, and federation rounds count it separately.
+var ErrDiverged = errors.New("NaN/Inf parameters")
+
+// --- bit-level primitives -------------------------------------------------
+
+// keyOf maps IEEE-754 bits onto a monotone total-order key: the key order
+// equals the value order (negatives below positives, magnitude order within
+// each sign), so two numerically close floats have numerically close keys
+// and their difference zig-zag packs small.
+func keyOf(bits uint64) uint64 {
+	if bits>>63 == 1 {
+		return ^bits
+	}
+	return bits | 1<<63
+}
+
+// bitsOf inverts keyOf.
+func bitsOf(key uint64) uint64 {
+	if key>>63 == 1 {
+		return key &^ (1 << 63)
+	}
+	return ^key
+}
+
+// zigzag folds a signed delta into an unsigned varint-friendly value.
+func zigzag(d int64) uint64 { return uint64((d << 1) ^ (d >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendUvarint appends x in LEB128.
+func appendUvarint(dst []byte, x uint64) []byte {
+	return binary.AppendUvarint(dst, x)
+}
+
+// uvarintLen returns the encoded length of x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// readUvarint decodes a varint from data, returning the value and bytes
+// consumed, or an error on truncation/overflow.
+func readUvarint(data []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, errors.New("wire: truncated or overlong varint")
+	}
+	return v, n, nil
+}
+
+// isNaNInfBits reports whether bits encode NaN or ±Inf.
+func isNaNInfBits(bits uint64) bool { return bits>>52&0x7FF == 0x7FF }
+
+// --- header ---------------------------------------------------------------
+
+// header is the decoded PFW2 envelope.
+type header struct {
+	codec Codec
+	flags byte
+	epoch uint32
+	body  []byte
+}
+
+// parseHeader validates the envelope and checksum and returns the body.
+func parseHeader(payload []byte) (header, error) {
+	var h header
+	if len(payload) < headerSize || string(payload[:4]) != magic {
+		return h, errors.New("wire: payload missing PFW2 header")
+	}
+	h.codec = Codec(payload[4])
+	h.flags = payload[5]
+	h.epoch = binary.LittleEndian.Uint32(payload[6:10])
+	want := binary.LittleEndian.Uint32(payload[crcOff : crcOff+4])
+	body := payload[headerSize:]
+	// The checksum covers codec/flags/epoch too: a bit flip in the envelope
+	// must be caught, not just one in the body.
+	got := crc32.ChecksumIEEE(payload[4:crcOff])
+	got = crc32.Update(got, crc32.IEEETable, body)
+	if got != want {
+		return h, fmt.Errorf("wire: payload checksum mismatch (header %08x, body %08x)", want, got)
+	}
+	if h.codec > CodecTopK {
+		return h, fmt.Errorf("wire: unknown codec %d", h.codec)
+	}
+	h.body = body
+	return h, nil
+}
+
+// appendHeader appends the envelope with a zero checksum placeholder;
+// finishHeader seals it once the body is in place.
+func appendHeader(dst []byte, codec Codec, flags byte, epoch uint32) []byte {
+	dst = append(dst, magic...)
+	dst = append(dst, byte(codec), flags)
+	dst = binary.LittleEndian.AppendUint32(dst, epoch)
+	return binary.LittleEndian.AppendUint32(dst, 0)
+}
+
+// finishHeader computes the checksum over everything after it. start is the
+// payload's offset in dst (the envelope began there).
+func finishHeader(dst []byte, start int) {
+	sum := crc32.ChecksumIEEE(dst[start+4 : start+crcOff])
+	sum = crc32.Update(sum, crc32.IEEETable, dst[start+headerSize:])
+	binary.LittleEndian.PutUint32(dst[start+crcOff:start+crcOff+4], sum)
+}
+
+// --- shape walking --------------------------------------------------------
+
+// shapesMatch verifies a decoded (rows, cols) against the template.
+func shapesMatch(i int, rows, cols uint64, tpl *tensor.Matrix) error {
+	if rows > maxWireDim || cols > maxWireDim {
+		return fmt.Errorf("wire: tensor %d header claims %dx%d, exceeds limit", i, rows, cols)
+	}
+	if int(rows) != tpl.Rows || int(cols) != tpl.Cols {
+		return fmt.Errorf("wire: tensor %d is %dx%d, want %dx%d", i, rows, cols, tpl.Rows, tpl.Cols)
+	}
+	return nil
+}
+
+// DenseSize returns the PFP1 dense wire size of a parameter set — the
+// baseline the compression ratio is measured against: fed's envelope (magic
+// + crc32) plus each matrix's raw encoding.
+func DenseSize(template []*tensor.Matrix) int {
+	n := 8 // PFP1 magic + checksum
+	for _, p := range template {
+		n += 8 + 8*p.Size()
+	}
+	return n
+}
+
+// zeroRunSegSize returns the encoded size of one all-zero-delta segment of
+// n elements: the zero token plus the run length.
+func zeroRunSegSize(n int) int { return 1 + uvarintLen(uint64(n)) }
+
+// ZeroDeltaSize returns the CodecDelta payload size for a broadcast whose
+// parameters are unchanged since the previous one — every segment collapses
+// to a single zero-run token. The simulation charges this for idempotent
+// sub-period re-fires instead of the dense size.
+func ZeroDeltaSize(template []*tensor.Matrix) int {
+	n := headerSize + uvarintLen(uint64(len(template)))
+	for _, p := range template {
+		elems := p.Size()
+		segs := (elems + segElems - 1) / segElems
+		n += uvarintLen(uint64(p.Rows)) + uvarintLen(uint64(p.Cols)) + uvarintLen(uint64(segs))
+		for s := 0; s < segs; s++ {
+			cnt := segElems
+			if s == segs-1 {
+				cnt = elems - s*segElems
+			}
+			seg := zeroRunSegSize(cnt)
+			n += uvarintLen(uint64(seg)) + seg
+		}
+	}
+	return n
+}
+
+// RefireSize returns the bytes one idempotent re-broadcast costs under the
+// given options: the dense size when compression is off, the all-zero delta
+// (or empty top-k) payload when it is on.
+func RefireSize(opts Options, template []*tensor.Matrix) int {
+	switch opts.Level {
+	case Delta:
+		return ZeroDeltaSize(template)
+	case TopK:
+		n := headerSize + uvarintLen(uint64(len(template)))
+		for _, p := range template {
+			n += uvarintLen(uint64(p.Rows)) + uvarintLen(uint64(p.Cols)) + 8 + uvarintLen(0)
+		}
+		return n
+	default:
+		return DenseSize(template)
+	}
+}
+
+// paramsHaveNaN reports whether any value in the set is NaN/Inf — the
+// encoder's keyframe-fallback test (delta tiers assume finite values).
+func paramsHaveNaN(params []*tensor.Matrix) bool {
+	for _, p := range params {
+		if p.HasNaN() {
+			return true
+		}
+	}
+	return false
+}
