@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench throughput bench-comms lint verify ci clean
+.PHONY: all build test race bench throughput bench-comms telemetry-smoke lint verify ci clean
 
 all: verify
 
@@ -24,9 +24,11 @@ race:
 # Hot-path benchmark run. -benchmem makes B/op and allocs/op part of the
 # output; the `go test -json` stream is captured to BENCH_hotpath.json so
 # regressions in the zero-allocation contract (DESIGN.md §8) diff cleanly
-# across commits.
+# across commits. The first line of the artifact is the benchmeta header
+# (schema + toolchain + host + commit), keeping the stream valid JSONL.
 bench: throughput
-	$(GO) test -json -bench=. -benchmem -run '^$$' . > BENCH_hotpath.json
+	$(GO) run ./cmd/pfdrl-bench -benchmeta hotpath > BENCH_hotpath.json
+	$(GO) test -json -bench=. -benchmem -run '^$$' . >> BENCH_hotpath.json
 	@sed -n 's/.*"Output":"\(Benchmark[^"]*\)\\n".*/\1/p' BENCH_hotpath.json
 	@echo "wrote BENCH_hotpath.json"
 
@@ -43,6 +45,13 @@ throughput:
 bench-comms:
 	$(GO) run ./cmd/pfdrl-bench -comms -out BENCH_comms.json
 
+# Observability gate: boot a small run with the live telemetry server,
+# scrape /metrics, /healthz, and /debug/trace, and assert the key series
+# from every instrumented plane plus the JSONL journal. Build-tagged out of
+# the normal test run because it shells out to `go run`.
+telemetry-smoke:
+	$(GO) test -tags telemetry_smoke -count=1 -v ./internal/telemetry/smoke
+
 lint:
 	$(GO) vet ./...
 
@@ -50,12 +59,14 @@ verify: build test lint
 
 # Full CI gate: build + vet + tests, then the race-detector pass over the
 # packages with real cross-goroutine traffic (scheduler pool, home-parallel
-# simulation, overlapped federation rounds, sharded matmul, and the wire
-# codec's shared reference store). The core and fed suites include the chaos
-# FaultPlan twins (compressed vs dense under drops/corruption/partitions),
-# so the race build exercises the compressed planes under fault injection.
+# simulation, overlapped federation rounds, sharded matmul, the wire
+# codec's shared reference store, and the telemetry instruments updated
+# from all of them). The core and fed suites include the chaos FaultPlan
+# twins (compressed vs dense under drops/corruption/partitions), so the
+# race build exercises the compressed planes under fault injection.
 ci: verify
-	$(GO) test -race ./internal/core ./internal/fed ./internal/sched ./internal/tensor ./internal/wire
+	$(GO) vet ./...
+	$(GO) test -race ./internal/core ./internal/fed ./internal/sched ./internal/tensor ./internal/wire ./internal/telemetry
 
 clean:
 	$(GO) clean ./...

@@ -6,9 +6,9 @@ import (
 	"log"
 	"math/rand"
 	"os"
-	"runtime"
 	"time"
 
+	"repro/internal/benchmeta"
 	"repro/internal/fed"
 	"repro/internal/fednet"
 	"repro/internal/nn"
@@ -51,12 +51,10 @@ type commsCell struct {
 
 // commsReport is the schema of BENCH_comms.json.
 type commsReport struct {
-	NumCPU     int         `json:"num_cpu"`
-	GoVersion  string      `json:"go_version"`
-	Seed       int64       `json:"seed"`
-	Rounds     int         `json:"rounds"`
-	Results    []commsCell `json:"results"`
-	WrittenUTC string      `json:"written_utc"`
+	Meta    benchmeta.Meta `json:"meta"`
+	Seed    int64          `json:"seed"`
+	Rounds  int            `json:"rounds"`
+	Results []commsCell    `json:"results"`
 }
 
 // commsTier is one codec configuration of the sweep. A nil exchange factory
@@ -246,10 +244,9 @@ func runCommsSweep(agentsList string, rounds int, seed int64, outPath string) er
 	}
 
 	rep := commsReport{
-		NumCPU:    runtime.NumCPU(),
-		GoVersion: runtime.Version(),
-		Seed:      seed,
-		Rounds:    rounds,
+		Meta:   benchmeta.Collect("comms", 2),
+		Seed:   seed,
+		Rounds: rounds,
 	}
 	for _, n := range agents {
 		if n < 2 {
@@ -266,8 +263,6 @@ func runCommsSweep(agentsList string, rounds int, seed int64, outPath string) er
 				cell.EncodeNsPerPayload, cell.DecodeNsPerPayload, cell.AggScratchFloats)
 		}
 	}
-	rep.WrittenUTC = time.Now().UTC().Format(time.RFC3339)
-
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchmeta"
 	"repro/internal/experiments"
 	"repro/internal/plot"
 )
@@ -54,8 +56,24 @@ func main() {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+
+		metaOnly = flag.String("benchmeta", "", "print one benchmeta JSON line for this artifact schema (hotpath, throughput, comms) and exit")
 	)
 	flag.Parse()
+
+	if *metaOnly != "" {
+		// Emitted as the first line of `go test -json`-style artifact streams
+		// (the Makefile bench target), giving JSONL files the same header the
+		// structured reports embed.
+		blob, err := json.Marshal(struct {
+			Meta benchmeta.Meta `json:"meta"`
+		}{benchmeta.Collect(*metaOnly, 2)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(blob))
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchmeta"
 	"repro/internal/core"
 )
 
@@ -32,17 +33,13 @@ type throughputCell struct {
 
 // throughputReport is the schema of BENCH_throughput.json.
 type throughputReport struct {
-	// NumCPU is the host's logical core count; on single-core hosts the
-	// GOMAXPROCS axis measures scheduling overhead, not parallel speedup.
-	NumCPU    int              `json:"num_cpu"`
-	GoVersion string           `json:"go_version"`
+	Meta      benchmeta.Meta   `json:"meta"`
 	SweepDays int              `json:"sweep_days"`
 	Seed      int64            `json:"seed"`
 	Results   []throughputCell `json:"results"`
 	// Baseline embeds a previous sweep (via -baseline) so one artifact
 	// carries the before/after comparison.
-	Baseline   *throughputReport `json:"baseline,omitempty"`
-	WrittenUTC string            `json:"written_utc"`
+	Baseline *throughputReport `json:"baseline,omitempty"`
 }
 
 func parseIntList(s string) ([]int, error) {
@@ -75,8 +72,7 @@ func runThroughputSweep(homesList, procsList string, days int, seed int64, outPa
 	}
 
 	rep := throughputReport{
-		NumCPU:    runtime.NumCPU(),
-		GoVersion: runtime.Version(),
+		Meta:      benchmeta.Collect("throughput", 2),
 		SweepDays: days,
 		Seed:      seed,
 	}
@@ -124,8 +120,6 @@ func runThroughputSweep(homesList, procsList string, days int, seed int64, outPa
 				h, p, cell.WallSeconds, cell.HomeDaysPerSec)
 		}
 	}
-	rep.WrittenUTC = time.Now().UTC().Format(time.RFC3339)
-
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

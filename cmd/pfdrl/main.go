@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fednet"
 	"repro/internal/forecast"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +40,9 @@ func main() {
 		drop     = flag.Float64("drop", 0, "per-message drop probability on the fabric")
 		retries  = flag.Int("retries", 0, "delivery attempts per message (>1 enables the acked transport)")
 		chaos    = flag.Bool("chaos", false, "inject an aggressive scripted fault plan (partition, straggler, corruption, crash)")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/trace, and pprof on this address (e.g. 127.0.0.1:8080; :0 picks a port)")
+		telLing  = flag.Duration("telemetry-linger", 0, "keep the telemetry server alive this long after the run finishes")
+		journal  = flag.String("journal", "", "stream a JSONL run journal (one record per simulated hour and federation round) to this file")
 	)
 	flag.Parse()
 
@@ -65,6 +70,37 @@ func main() {
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Telemetry is opt-in: without these flags no sink exists and the run
+	// takes the uninstrumented (bit-identical, allocation-free) path.
+	var sink *telemetry.Sink
+	if *telAddr != "" || *journal != "" {
+		sink = telemetry.NewSink()
+		if *journal != "" {
+			jf, err := os.Create(*journal)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer func() {
+				if err := sink.Journal.Err(); err != nil {
+					log.Printf("journal: %v", err)
+				}
+				if err := jf.Close(); err != nil {
+					log.Printf("journal: %v", err)
+				}
+			}()
+			sink.Journal = telemetry.NewJournal(jf)
+		}
+		if *telAddr != "" {
+			srv, bound, err := sink.ListenAndServe(*telAddr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer srv.Close()
+			fmt.Printf("telemetry: serving on %s\n", bound)
+		}
+		sys.AttachTelemetry(sink)
 	}
 	if *loadFrom != "" {
 		f, err := os.Open(*loadFrom)
@@ -96,18 +132,11 @@ func main() {
 	fmt.Printf("time: fc-train %v, fc-test %v, ems-train %v, ems-test %v\n",
 		res.ForecastTrainTime.Round(1e6), res.ForecastTestTime.Round(1e6),
 		res.EMSTrainTime.Round(1e6), res.EMSTestTime.Round(1e6))
-	if res.ForecastNetStats.MessagesSent > 0 {
-		fmt.Printf("forecast comm: %d msgs, %.2f MB, %v simulated\n",
-			res.ForecastNetStats.MessagesSent, float64(res.ForecastNetStats.BytesSent)/1e6,
-			res.ForecastCommTime.Round(1e6))
-	}
-	if res.EMSNetStats.MessagesSent > 0 {
-		fmt.Printf("EMS comm: %d msgs, %.2f MB, %v simulated\n",
-			res.EMSNetStats.MessagesSent, float64(res.EMSNetStats.BytesSent)/1e6,
-			res.EMSCommTime.Round(1e6))
+	for _, line := range res.CommsLines() {
+		fmt.Println(line)
 	}
 	if *chaos || *drop > 0 || *retries > 1 {
-		fmt.Printf("resilience: %s\n", res.Resilience)
+		fmt.Println(res.ResilienceLine())
 	}
 	if *saveTo != "" {
 		f, err := os.Create(*saveTo)
@@ -122,5 +151,8 @@ func main() {
 		}
 		fmt.Printf("saved models to %s\n", *saveTo)
 	}
-	os.Exit(0)
+	if *telAddr != "" && *telLing > 0 {
+		fmt.Printf("telemetry: lingering %v for scrapes\n", *telLing)
+		time.Sleep(*telLing)
+	}
 }

@@ -13,36 +13,7 @@ import (
 	"log"
 
 	"repro/internal/core"
-	"repro/internal/fed"
 )
-
-// commsLine summarizes a run's federation traffic: per-round wire bytes and
-// the compression ratio against the dense baseline, per plane. Local runs
-// (no fabric) return "".
-func commsLine(res *core.Result) string {
-	line := ""
-	for _, plane := range []struct {
-		name string
-		tot  fed.CommsTotals
-	}{
-		{"forecast", res.ForecastComms},
-		{"ems", res.EMSComms},
-	} {
-		if plane.tot.Rounds == 0 {
-			continue
-		}
-		if line != "" {
-			line += ", "
-		}
-		perRound := float64(plane.tot.BytesSent) / float64(plane.tot.Rounds) / 1024
-		line += fmt.Sprintf("%s %.1f KiB/round over %d rounds (%.2fx vs dense)",
-			plane.name, perRound, plane.tot.Rounds, plane.tot.CompressionRatio())
-	}
-	if line == "" {
-		return ""
-	}
-	return "comms: " + line
-}
 
 func main() {
 	fmt.Println("Neighborhood: 6 non-IID homes, 6 days, five EMS architectures")
@@ -71,7 +42,7 @@ func main() {
 		fmt.Printf("%-7s %14.3f %15.1f%% %13d %12.2f\n",
 			m, res.DailySavedKWhPerHome[last], 100*res.DailySavedFrac[last],
 			res.ConvergenceDay+1, res.DailyMeanReward[last])
-		if line := commsLine(res); line != "" {
+		for _, line := range res.CommsLines() {
 			fmt.Printf("        %s\n", line)
 		}
 	}

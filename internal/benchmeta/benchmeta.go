@@ -1,0 +1,68 @@
+// Package benchmeta stamps benchmark artifacts with a shared schema and
+// run-metadata header, so every BENCH_*.json records which schema revision,
+// toolchain, host shape, and commit produced it. Without the stamp,
+// artifacts from different machines or commits diff as if the code
+// regressed when only the environment changed.
+package benchmeta
+
+import (
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// Meta is the header common to every benchmark artifact.
+type Meta struct {
+	// Schema names the artifact kind ("hotpath", "throughput", "comms");
+	// SchemaVersion increments when that artifact's layout changes shape.
+	Schema        string `json:"schema"`
+	SchemaVersion int    `json:"schema_version"`
+
+	GoVersion  string `json:"go_version"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+	// NumCPU is the host's logical core count; on single-core hosts a
+	// GOMAXPROCS sweep measures scheduling overhead, not parallel speedup.
+	NumCPU int    `json:"num_cpu"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// Commit is the producing commit (short hash), "unknown" when neither
+	// build info nor a git checkout can supply one.
+	Commit     string `json:"commit"`
+	WrittenUTC string `json:"written_utc"`
+}
+
+// Collect builds the header for one artifact schema at version v.
+func Collect(schema string, v int) Meta {
+	return Meta{
+		Schema:        schema,
+		SchemaVersion: v,
+		GoVersion:     runtime.Version(),
+		Gomaxprocs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Commit:        commit(),
+		WrittenUTC:    time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// commit resolves the producing commit: the binary's embedded VCS stamp
+// when present (release builds), else the working tree's HEAD (the common
+// `go run` path, which embeds no VCS info), else "unknown".
+func commit() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				return s.Value[:12]
+			}
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		if h := strings.TrimSpace(string(out)); h != "" {
+			return h
+		}
+	}
+	return "unknown"
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fed"
+	"repro/internal/fednet"
+)
+
+// CommsLines summarizes each federation plane's traffic as one printable
+// line per active plane: fabric totals (messages, megabytes, simulated wire
+// time) plus, when the plane ran federation rounds, the per-round cost and
+// compression ratio against the dense baseline. Planes with no traffic are
+// omitted; Local runs return nil. Both CLI front-ends print these verbatim
+// so the two reports cannot drift apart.
+func (r *Result) CommsLines() []string {
+	var lines []string
+	for _, p := range []struct {
+		name string
+		st   fednet.Stats
+		simT time.Duration
+		tot  fed.CommsTotals
+	}{
+		{"forecast", r.ForecastNetStats, r.ForecastCommTime, r.ForecastComms},
+		{"ems", r.EMSNetStats, r.EMSCommTime, r.EMSComms},
+	} {
+		if p.st.MessagesSent == 0 && p.tot.Rounds == 0 {
+			continue
+		}
+		line := fmt.Sprintf("%s comm: %d msgs, %.2f MB, %v simulated",
+			p.name, p.st.MessagesSent, float64(p.st.BytesSent)/1e6, p.simT.Round(time.Millisecond))
+		if p.tot.Rounds > 0 {
+			perRound := float64(p.tot.BytesSent) / float64(p.tot.Rounds) / 1024
+			line += fmt.Sprintf("; %.1f KiB/round over %d rounds (%.2fx vs dense)",
+				perRound, p.tot.Rounds, p.tot.CompressionRatio())
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// ResilienceLine renders the run's fault-tolerance tally as one line.
+func (r *Result) ResilienceLine() string {
+	return "resilience: " + r.Resilience.String()
+}

@@ -120,6 +120,7 @@ func (s *System) Run() (*Result, error) {
 				hourStats[h.id] = s.runEMSHour(h, envs[h.id], hour)
 			})
 			timer.Add("ems.wall", time.Since(emsWave))
+			var hourTot emsHourStats
 			for hi := range s.homes {
 				st := hourStats[hi]
 				perHomeSaved[hi] += st.savedKWh
@@ -128,6 +129,10 @@ func (s *System) Run() (*Result, error) {
 				perHomeSteps[hi] += st.steps
 				dayReward += st.rewardSum
 				daySteps += st.steps
+				hourTot.savedKWh += st.savedKWh
+				hourTot.standbyKWh += st.standbyKWh
+				hourTot.rewardSum += st.rewardSum
+				hourTot.steps += st.steps
 				if inEval {
 					savedByHour[hour] += st.savedKWh
 				}
@@ -138,6 +143,8 @@ func (s *System) Run() (*Result, error) {
 			// Advance the fabric clocks so FaultPlan windows (partitions,
 			// crashes) track simulated time.
 			s.setNetClock(hourEnd)
+			s.noteClock(hourEnd)
+			s.noteHour(day, hour, hourTot, perHomeSaved, perHomeStandby)
 
 			// Local forecaster training bouts.
 			if (hour+1)%cfg.TrainEveryHours == 0 {
@@ -512,7 +519,7 @@ func (s *System) forecastRound(timer *metrics.Timer, fires int) error {
 			}
 			ws := s.fcRoundWS[dt]
 			if ws == nil {
-				ws = &fed.RoundWorkspace{Comms: s.fcComms}
+				ws = &fed.RoundWorkspace{Comms: s.fcComms, Tel: s.fcRoundTel}
 				s.fcRoundWS[dt] = ws
 			}
 			s.fcPending = append(s.fcPending, fed.BeginDecentralizedRound(s.fcNet, models, "fc/"+dt, -1, ws))
@@ -529,6 +536,7 @@ func (s *System) forecastRound(timer *metrics.Timer, fires int) error {
 			// period; spokes keep their local models.
 			s.resil.absorb(rep)
 			s.fcCommsTot.Absorb(rep)
+			s.noteRound("forecast", rep)
 		}
 		chargeRefires(s.fcNet, &s.fcCommsTot, s.fcComms, models[0].Params(), models[0].WireSize(), fires-1)
 	}
@@ -579,6 +587,7 @@ func (s *System) joinForecastRounds(timer *metrics.Timer) error {
 		}
 		s.resil.absorb(rep)
 		s.fcCommsTot.Absorb(rep)
+		s.noteRound("forecast", rep)
 	}
 	s.fcPending = s.fcPending[:0]
 	d := time.Since(t0)
@@ -604,7 +613,7 @@ func (s *System) emsRound(timer *metrics.Timer, fires int) error {
 		// but routed through the workspace so repeated γ rounds reuse their
 		// marshal, snapshot, and staging buffers.
 		if s.drlWS == nil {
-			s.drlWS = &fed.RoundWorkspace{Comms: s.drlComms}
+			s.drlWS = &fed.RoundWorkspace{Comms: s.drlComms, Tel: s.drlRoundTel}
 		}
 		rep, err := fed.BeginDecentralizedRound(s.drlNet, models, "drl", alpha, s.drlWS).Join()
 		if err != nil {
@@ -612,6 +621,7 @@ func (s *System) emsRound(timer *metrics.Timer, fires int) error {
 		}
 		s.resil.absorb(rep)
 		s.emsCommsTot.Absorb(rep)
+		s.noteRound("ems", rep)
 		if fires > 1 {
 			shared := models[0].Params()
 			if alpha >= 0 {
@@ -630,6 +640,7 @@ func (s *System) emsRound(timer *metrics.Timer, fires int) error {
 		}
 		s.resil.absorb(rep)
 		s.emsCommsTot.Absorb(rep)
+		s.noteRound("ems", rep)
 		chargeRefires(s.drlNet, &s.emsCommsTot, nil, nil, models[0].WireSize(), fires-1)
 	default:
 		return fmt.Errorf("core: emsRound called for method %s", s.cfg.Method)

@@ -75,6 +75,12 @@ type System struct {
 	// plane's per-round byte accounting for Result.
 	fcComms, drlComms       *wire.Exchange
 	fcCommsTot, emsCommsTot fed.CommsTotals
+
+	// tel is the simulation-level telemetry bound by AttachTelemetry (nil =
+	// off); fcRoundTel / drlRoundTel are the per-plane round instruments the
+	// lazily created workspaces pick up.
+	tel                     *sysTel
+	fcRoundTel, drlRoundTel *fed.RoundTelemetry
 }
 
 // NewSystem generates the corpus and builds all agents for cfg.

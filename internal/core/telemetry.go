@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fed"
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+)
+
+// sysTel holds the simulation-level instruments. It exists only on systems
+// that called AttachTelemetry; everywhere else s.tel is nil and every hook
+// below returns immediately, leaving the run bit-identical to an
+// uninstrumented one (telemetry reads simulation state, never feeds it).
+type sysTel struct {
+	sink *telemetry.Sink
+
+	simDay    *telemetry.Gauge
+	simHour   *telemetry.Gauge
+	simMinute *telemetry.Gauge
+
+	hours      *telemetry.Counter
+	steps      *telemetry.Counter
+	savedKWh   *telemetry.Gauge
+	standbyKWh *telemetry.Gauge
+	meanReward *telemetry.Gauge
+
+	homeSaved   []*telemetry.Gauge
+	homeStandby []*telemetry.Gauge
+
+	// minute mirrors the fabric clock for journal records and spans.
+	minute int
+}
+
+// AttachTelemetry binds the system — its scheduler pool, both federation
+// fabrics, every DQN agent, and the round workspaces — to a telemetry sink.
+// Call before Run; a nil sink is a no-op. Telemetry is strictly
+// observational: an attached run produces bit-identical results.
+func (s *System) AttachTelemetry(sink *telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	t := &sysTel{
+		sink:       sink,
+		simDay:     sink.Gauge("pfdrl_core_sim_day", "current simulated day (0-based)"),
+		simHour:    sink.Gauge("pfdrl_core_sim_hour", "current simulated hour of day"),
+		simMinute:  sink.Gauge("pfdrl_core_sim_minutes", "absolute simulated minutes elapsed"),
+		hours:      sink.Counter("pfdrl_core_hours_total", "simulated home-hours completed"),
+		steps:      sink.Counter("pfdrl_core_ems_steps_total", "EMS decisions taken across all homes"),
+		savedKWh:   sink.Gauge("pfdrl_core_saved_kwh", "cumulative standby energy switched off, all homes"),
+		standbyKWh: sink.Gauge("pfdrl_core_standby_kwh", "cumulative standby energy available to save, all homes"),
+		meanReward: sink.Gauge("pfdrl_core_mean_reward", "mean EMS reward over the last simulated hour"),
+	}
+	for hi := range s.homes {
+		t.homeSaved = append(t.homeSaved, sink.Gauge(
+			fmt.Sprintf(`pfdrl_core_home_saved_kwh{home="%d"}`, hi),
+			"cumulative standby energy switched off per home"))
+		t.homeStandby = append(t.homeStandby, sink.Gauge(
+			fmt.Sprintf(`pfdrl_core_home_standby_kwh{home="%d"}`, hi),
+			"cumulative standby energy available to save per home"))
+	}
+	s.tel = t
+
+	sched.Default().Instrument(sink)
+	if s.fcNet != nil {
+		s.fcNet.Instrument(sink, "forecast")
+	}
+	if s.drlNet != nil {
+		s.drlNet.Instrument(sink, "ems")
+	}
+	// Round workspaces are created lazily by forecastRound/emsRound; they
+	// pick these up at construction.
+	s.fcRoundTel = fed.NewRoundTelemetry(sink, "forecast")
+	s.drlRoundTel = fed.NewRoundTelemetry(sink, "ems")
+
+	// One loss histogram and learn-step counter shared by the fleet (the
+	// instruments are atomic, and home waves run concurrently); epsilon and
+	// replay occupancy are deterministic per agent, so home 0 stands in.
+	loss := sink.Histogram("pfdrl_dqn_loss", "per-minibatch Huber loss across all agents",
+		telemetry.ExpBuckets(1e-5, 10, 10))
+	steps := sink.Counter("pfdrl_dqn_learn_steps_total", "gradient updates across all agents")
+	eps := sink.Gauge("pfdrl_dqn_epsilon", "exploration rate of agent 0")
+	replay := sink.Gauge("pfdrl_dqn_replay_occupancy", "replay-buffer fill of agent 0")
+	for hi, h := range s.homes {
+		if hi == 0 {
+			h.agent.Instrument(loss, steps, eps, replay)
+		} else {
+			h.agent.Instrument(loss, steps, nil, nil)
+		}
+	}
+}
+
+// hourRecord is the journal's per-simulated-hour line.
+type hourRecord struct {
+	Type       string  `json:"type"` // "hour"
+	Day        int     `json:"day"`
+	Hour       int     `json:"hour"`
+	SimMinute  int     `json:"sim_minute"`
+	Steps      int     `json:"steps"`
+	SavedKWh   float64 `json:"saved_kwh"`
+	StandbyKWh float64 `json:"standby_kwh"`
+	MeanReward float64 `json:"mean_reward"`
+}
+
+// roundRecord is the journal's per-federation-round line.
+type roundRecord struct {
+	Type       string  `json:"type"` // "round"
+	Plane      string  `json:"plane"`
+	SimMinute  int     `json:"sim_minute"`
+	Agents     int     `json:"agents"`
+	Crashed    int     `json:"crashed"`
+	Rejected   int     `json:"rejected"`
+	BytesSent  int64   `json:"bytes_sent"`
+	DenseBytes int64   `json:"dense_bytes"`
+	Ratio      float64 `json:"compression_ratio"`
+}
+
+// noteClock mirrors the simulated clock into the gauges and the journal
+// anchor.
+func (s *System) noteClock(minute int) {
+	if s.tel == nil {
+		return
+	}
+	s.tel.minute = minute
+	s.tel.simMinute.Set(float64(minute))
+}
+
+// noteHour publishes one completed simulated hour: progress gauges,
+// cumulative energy (fleet and per home), and a journal line.
+func (s *System) noteHour(day, hour int, st emsHourStats, perHomeSaved, perHomeStandby []float64) {
+	t := s.tel
+	if t == nil {
+		return
+	}
+	t.simDay.Set(float64(day))
+	t.simHour.Set(float64(hour))
+	t.hours.Add(int64(len(s.homes)))
+	t.steps.Add(int64(st.steps))
+	t.savedKWh.Add(st.savedKWh)
+	t.standbyKWh.Add(st.standbyKWh)
+	mean := 0.0
+	if st.steps > 0 {
+		mean = st.rewardSum / float64(st.steps)
+	}
+	t.meanReward.Set(mean)
+	for hi := range s.homes {
+		t.homeSaved[hi].Set(perHomeSaved[hi])
+		t.homeStandby[hi].Set(perHomeStandby[hi])
+	}
+	t.sink.Emit(hourRecord{
+		Type:       "hour",
+		Day:        day,
+		Hour:       hour,
+		SimMinute:  t.minute,
+		Steps:      st.steps,
+		SavedKWh:   st.savedKWh,
+		StandbyKWh: st.standbyKWh,
+		MeanReward: mean,
+	})
+}
+
+// noteRound journals one absorbed federation round report (decentralized
+// and centralized alike — the absorb sites in run.go call it).
+func (s *System) noteRound(plane string, rep fed.RoundReport) {
+	t := s.tel
+	if t == nil {
+		return
+	}
+	t.sink.Emit(roundRecord{
+		Type:       "round",
+		Plane:      plane,
+		SimMinute:  t.minute,
+		Agents:     rep.Agents,
+		Crashed:    rep.Crashed,
+		Rejected:   rep.CorruptRejected + rep.NaNRejected,
+		BytesSent:  rep.BytesSent,
+		DenseBytes: rep.DenseBytes,
+		Ratio:      rep.CompressionRatio(),
+	})
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// runGoldenWithSink runs the golden scenario with an optional telemetry sink
+// attached and returns the result plus the serialized model checkpoint.
+func runGoldenWithSink(t *testing.T, m Method, sink *telemetry.Sink) (*Result, []byte) {
+	t.Helper()
+	sys, err := NewSystem(goldenConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AttachTelemetry(sink)
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.SaveModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestTelemetryRunBitIdentical is the observability purity gate: attaching a
+// full sink (registry + tracer + journal) must not perturb the simulation.
+// Every result series is compared at the IEEE-754 bit level, and the saved
+// model checkpoints must be byte-identical — telemetry reads state, never
+// feeds it.
+func TestTelemetryRunBitIdentical(t *testing.T) {
+	for _, m := range []Method{MethodLocal, MethodPFDRL} {
+		plain, plainCkpt := runGoldenWithSink(t, m, nil)
+
+		sink := telemetry.NewSink()
+		var journal bytes.Buffer
+		sink.Journal = telemetry.NewJournal(&journal)
+		inst, instCkpt := runGoldenWithSink(t, m, sink)
+
+		series := map[string][2][]float64{
+			"DailySavedKWhPerHome":  {plain.DailySavedKWhPerHome, inst.DailySavedKWhPerHome},
+			"DailySavedFrac":        {plain.DailySavedFrac, inst.DailySavedFrac},
+			"DailyMeanReward":       {plain.DailyMeanReward, inst.DailyMeanReward},
+			"PerHomeSavedKWhFinal":  {plain.PerHomeSavedKWhFinal, inst.PerHomeSavedKWhFinal},
+			"PerHomeSavedFracFinal": {plain.PerHomeSavedFracFinal, inst.PerHomeSavedFracFinal},
+			"PerHomeRewardFinal":    {plain.PerHomeRewardFinal, inst.PerHomeRewardFinal},
+			"AccuracySamples":       {plain.AccuracySamples, inst.AccuracySamples},
+			"ForecastAccuracy":      {{plain.ForecastAccuracy}, {inst.ForecastAccuracy}},
+			"AccuracyByHour":        {plain.AccuracyByHour[:], inst.AccuracyByHour[:]},
+			"SavedByHour":           {plain.SavedByHour[:], inst.SavedByHour[:]},
+		}
+		for name, pair := range series {
+			want, got := pair[0], pair[1]
+			if len(want) != len(got) {
+				t.Errorf("%s %s: %d values with telemetry, %d without", m, name, len(got), len(want))
+				continue
+			}
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Errorf("%s %s[%d]: telemetry run drifted: %v vs %v", m, name, i, got[i], want[i])
+				}
+			}
+		}
+		if plain.ConvergenceDay != inst.ConvergenceDay {
+			t.Errorf("%s ConvergenceDay: %d vs %d", m, inst.ConvergenceDay, plain.ConvergenceDay)
+		}
+		// Checkpoint round-trip under telemetry: the trained weights — the
+		// entire learned state — serialize to the exact same bytes.
+		if !bytes.Equal(plainCkpt, instCkpt) {
+			t.Errorf("%s: model checkpoint differs between instrumented and plain runs", m)
+		}
+		if err := sink.Journal.Err(); err != nil {
+			t.Errorf("%s: journal error: %v", m, err)
+		}
+	}
+}
+
+// TestTelemetryJournalContent checks the JSONL journal a golden PFDRL run
+// writes: one hour record per simulated home-hour-of-day, federation round
+// records for both planes, and internally consistent fields.
+func TestTelemetryJournalContent(t *testing.T) {
+	sink := telemetry.NewSink()
+	var journal bytes.Buffer
+	sink.Journal = telemetry.NewJournal(&journal)
+	res, _ := runGoldenWithSink(t, MethodPFDRL, sink)
+
+	hours := 0
+	rounds := map[string]int{}
+	var lastMinute int
+	dec := json.NewDecoder(&journal)
+	for dec.More() {
+		var rec struct {
+			Type      string `json:"type"`
+			Day       int    `json:"day"`
+			Hour      int    `json:"hour"`
+			SimMinute int    `json:"sim_minute"`
+			Steps     int    `json:"steps"`
+			Plane     string `json:"plane"`
+			Agents    int    `json:"agents"`
+		}
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("journal record %d: %v", hours+rounds["forecast"]+rounds["ems"], err)
+		}
+		switch rec.Type {
+		case "hour":
+			wantDay, wantHour := hours/24, hours%24
+			if rec.Day != wantDay || rec.Hour != wantHour {
+				t.Fatalf("hour record %d is day %d hour %d, want %d/%d",
+					hours, rec.Day, rec.Hour, wantDay, wantHour)
+			}
+			if rec.SimMinute < lastMinute {
+				t.Fatalf("hour record %d: sim_minute went backwards (%d after %d)",
+					hours, rec.SimMinute, lastMinute)
+			}
+			lastMinute = rec.SimMinute
+			hours++
+		case "round":
+			if rec.Agents != res.Config.Homes {
+				t.Fatalf("round record has %d agents, want %d", rec.Agents, res.Config.Homes)
+			}
+			rounds[rec.Plane]++
+		default:
+			t.Fatalf("unknown journal record type %q", rec.Type)
+		}
+	}
+	if want := res.Config.Days * 24; hours != want {
+		t.Errorf("journal has %d hour records, want %d", hours, want)
+	}
+	if rounds["forecast"] == 0 || rounds["ems"] == 0 {
+		t.Errorf("journal rounds by plane = %v, want both forecast and ems", rounds)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -114,6 +115,12 @@ type Agent struct {
 	nextOnline    *tensor.Matrix
 	target, mask  *tensor.Matrix
 	grad          *tensor.Matrix
+
+	// Telemetry handles bound by Instrument; all nil (free no-ops) by
+	// default.
+	telLoss           *telemetry.Histogram
+	telSteps          *telemetry.Counter
+	telEps, telReplay *telemetry.Gauge
 }
 
 // New builds an agent from cfg (panics if StateDim is unset).
@@ -291,6 +298,10 @@ func (a *Agent) Learn() float64 {
 	if a.learnSteps%a.cfg.TargetReplace == 0 {
 		a.SyncTarget()
 	}
+	a.telLoss.Observe(loss)
+	a.telSteps.Inc()
+	a.telEps.Set(a.Epsilon())
+	a.telReplay.Set(float64(a.buf.Len()))
 	return loss
 }
 

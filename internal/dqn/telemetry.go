@@ -1,0 +1,16 @@
+package dqn
+
+import "repro/internal/telemetry"
+
+// Instrument attaches telemetry handles updated at the end of every
+// successful Learn call: the minibatch loss sample, the learn-step counter,
+// and the current epsilon / replay-occupancy gauges. Any handle may be nil
+// (nil instrument methods are no-ops), so sharing one loss histogram across
+// a fleet while giving only one agent the epsilon gauge costs nothing
+// extra. Uninstrumented agents pay four nil checks per Learn.
+func (a *Agent) Instrument(loss *telemetry.Histogram, steps *telemetry.Counter, eps, replay *telemetry.Gauge) {
+	a.telLoss = loss
+	a.telSteps = steps
+	a.telEps = eps
+	a.telReplay = replay
+}

@@ -3,6 +3,7 @@ package fed
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/fednet"
 	"repro/internal/nn"
@@ -43,6 +44,11 @@ type RoundWorkspace struct {
 	// because the Exchange's reference store advances with every encode.
 	// Nil keeps the legacy dense path, bit-for-bit.
 	Comms *wire.Exchange
+
+	// Tel, when non-nil, reports every round this workspace carries —
+	// duration, fold time, join wait, and the report counters — to its
+	// telemetry sink. Nil is free.
+	Tel *RoundTelemetry
 
 	marshal [][]byte
 	snaps   [][]*tensor.Matrix
@@ -131,6 +137,9 @@ type PendingRound struct {
 	staged [][]*tensor.Matrix // staged aggregates, parallel to agents
 	used   []int              // sets averaged per agent, parallel to agents
 	joined bool
+
+	tel   *RoundTelemetry
+	begin time.Time
 }
 
 // BeginDecentralizedRound starts one DFL exchange (see DecentralizedRound
@@ -146,6 +155,10 @@ type PendingRound struct {
 // across rounds removes the per-round marshal and snapshot allocations.
 func BeginDecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string, alpha int, ws *RoundWorkspace) *PendingRound {
 	p := &PendingRound{done: make(chan struct{})}
+	if ws != nil && ws.Tel != nil {
+		p.tel = ws.Tel
+		p.begin = time.Now()
+	}
 	if net.N() != len(models) {
 		p.err = fmt.Errorf("fed: %d models for %d network agents", len(models), net.N())
 		close(p.done)
@@ -237,6 +250,10 @@ func BeginDecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind 
 	// so rejects and set counts land in the report in the same order the
 	// synchronous round produces.
 	go func() {
+		var foldStart time.Time
+		if p.tel != nil {
+			foldStart = time.Now()
+		}
 		if ws.Comms != nil {
 			p.aggregateStreaming(msgs, kind, ws)
 		} else {
@@ -245,6 +262,9 @@ func BeginDecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind 
 				sets := p.rep.collectFrom(msgs[i], i, p.bases[idx], kind, ws.snaps[i], ws)
 				p.used[idx] = nn.AverageParamSets(p.staged[idx], sets...)
 			}
+		}
+		if p.tel != nil {
+			p.tel.observeFold(time.Since(foldStart))
 		}
 		close(p.done)
 	}()
@@ -320,11 +340,18 @@ func (p *PendingRound) aggregateStreaming(msgs [][]fednet.Message, kind string, 
 // returns the completed report. Calling Join again returns the same result
 // without reinstalling.
 func (p *PendingRound) Join() (RoundReport, error) {
+	var waitStart time.Time
+	if p.tel != nil {
+		waitStart = time.Now()
+	}
 	<-p.done
 	if p.joined {
 		return p.rep, p.err
 	}
 	p.joined = true
+	if p.tel != nil {
+		p.tel.observeJoin(p.begin, time.Since(waitStart), p.rep)
+	}
 	if p.err == nil {
 		for idx, base := range p.bases {
 			if p.used[idx] > 0 {

@@ -1,0 +1,87 @@
+package fed
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// RoundTelemetry observes the lifecycle of overlapped federation rounds on
+// one plane: how long a full round takes from transport start to staged
+// aggregate, how much of that the background fold consumed, and how long
+// Join had to block for aggregation that had not finished when the caller
+// came back. A nil *RoundTelemetry (the default on a zero workspace) makes
+// every hook a no-op.
+type RoundTelemetry struct {
+	sink     *telemetry.Sink
+	spanName string
+
+	rounds     *telemetry.Counter
+	agents     *telemetry.Counter
+	crashed    *telemetry.Counter
+	rejected   *telemetry.Counter
+	bytesSent  *telemetry.Counter
+	denseBytes *telemetry.Counter
+
+	roundDur *telemetry.Histogram
+	foldDur  *telemetry.Histogram
+	joinWait *telemetry.Histogram
+}
+
+// NewRoundTelemetry builds the per-plane round instruments on sink
+// (nil sink → nil telemetry, all hooks no-ops). Attach the result to a
+// RoundWorkspace.Tel so the rounds it carries report themselves.
+func NewRoundTelemetry(sink *telemetry.Sink, plane string) *RoundTelemetry {
+	if sink == nil {
+		return nil
+	}
+	name := func(base string) string {
+		return fmt.Sprintf(`%s{plane=%q}`, base, plane)
+	}
+	return &RoundTelemetry{
+		sink:       sink,
+		spanName:   "fed.round." + plane,
+		rounds:     sink.Counter(name("pfdrl_fed_rounds_total"), "federation rounds completed"),
+		agents:     sink.Counter(name("pfdrl_fed_round_agents_total"), "live agents summed over rounds"),
+		crashed:    sink.Counter(name("pfdrl_fed_round_crashed_total"), "agents skipped while inside a crash window, summed over rounds"),
+		rejected:   sink.Counter(name("pfdrl_fed_round_rejected_total"), "parameter sets rejected by validation (corruption or NaN/Inf)"),
+		bytesSent:  sink.Counter(name("pfdrl_fed_round_bytes_sent_total"), "wire bytes charged to completed rounds"),
+		denseBytes: sink.Counter(name("pfdrl_fed_round_dense_bytes_total"), "bytes the same rounds would have cost on the dense PFP1 plane"),
+		roundDur:   sink.Histogram(name("pfdrl_fed_round_seconds"), "wall-clock from transport start to joined aggregate", telemetry.DurationBuckets()),
+		foldDur:    sink.Histogram(name("pfdrl_fed_fold_seconds"), "wall-clock of the background aggregation fold", telemetry.DurationBuckets()),
+		joinWait:   sink.Histogram(name("pfdrl_fed_join_wait_seconds"), "time Join blocked waiting for aggregation", telemetry.DurationBuckets()),
+	}
+}
+
+// observeFold records the background aggregation's duration.
+func (t *RoundTelemetry) observeFold(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.foldDur.Observe(d.Seconds())
+}
+
+// observeJoin records one completed round: the join wait, the full round
+// duration, and the report's counters.
+func (t *RoundTelemetry) observeJoin(begin time.Time, wait time.Duration, rep RoundReport) {
+	if t == nil {
+		return
+	}
+	t.joinWait.Observe(wait.Seconds())
+	dur := time.Since(begin)
+	t.roundDur.Observe(dur.Seconds())
+	t.rounds.Inc()
+	t.agents.Add(int64(rep.Agents))
+	t.crashed.Add(int64(rep.Crashed))
+	t.rejected.Add(int64(rep.CorruptRejected + rep.NaNRejected))
+	t.bytesSent.Add(rep.BytesSent)
+	t.denseBytes.Add(rep.DenseBytes)
+	t.sink.Record(telemetry.Span{
+		Name:      t.spanName,
+		Start:     begin,
+		Dur:       dur,
+		SimMinute: -1,
+		N:         rep.BytesSent,
+	})
+}

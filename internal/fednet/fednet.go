@@ -161,6 +161,9 @@ type Network struct {
 	// evaluated against it.
 	now   int
 	stats Stats
+	// tel mirrors stats into live telemetry counters; the zero value (all
+	// nil handles) is the uninstrumented state.
+	tel netTel
 }
 
 // New creates a network of n agents. For Star topology, agent 0 is the hub.
@@ -256,17 +259,22 @@ const (
 func (nw *Network) attempt(from, to int, kind string, payload []byte, retry bool) attemptOutcome {
 	if nw.cfg.Faults.blocked(from, to, nw.now) {
 		nw.stats.MessagesBlocked++
+		nw.tel.blocked.Inc()
 		return attemptBlocked
 	}
 	nw.stats.MessagesSent++
 	nw.stats.BytesSent += int64(len(payload))
 	nw.stats.SimulatedTime += nw.transferFor(from, len(payload))
+	nw.tel.attempts.Inc()
+	nw.tel.bytes.Add(int64(len(payload)))
 	if retry {
 		nw.stats.Retries++
 		nw.stats.RetryBytes += int64(len(payload))
+		nw.tel.retries.Inc()
 	}
 	if nw.cfg.DropProb > 0 && nw.rng.Float64() < nw.cfg.DropProb {
 		nw.stats.MessagesDropped++
+		nw.tel.dropped.Inc()
 		return attemptDropped
 	}
 	if p := nw.cfg.Faults.CorruptProb; p > 0 && len(payload) > 0 && nw.crng.Float64() < p {
@@ -275,6 +283,7 @@ func (nw *Network) attempt(from, to int, kind string, payload []byte, retry bool
 		corrupted[bit/8] ^= 1 << (bit % 8)
 		payload = corrupted
 		nw.stats.MessagesCorrupted++
+		nw.tel.corrupted.Inc()
 	}
 	nw.inboxes[to] = append(nw.inboxes[to], Message{From: from, To: to, Kind: kind, Payload: payload})
 	return attemptDelivered
@@ -285,6 +294,7 @@ func (nw *Network) attempt(from, to int, kind string, payload []byte, retry bool
 func (nw *Network) chargeUnique(payload []byte) {
 	nw.stats.UniqueMessages++
 	nw.stats.UniqueBytes += int64(len(payload))
+	nw.tel.unique.Inc()
 }
 
 // sendReliable drives the acked transport for one message: attempts with
@@ -321,6 +331,7 @@ func (nw *Network) sendReliable(from, to int, kind string, payload []byte, budge
 		// Fire-and-forget sends cannot tell they failed; only the acked
 		// transport knows it gave up.
 		nw.stats.GaveUp++
+		nw.tel.gaveUp.Inc()
 	}
 	return false
 }
@@ -505,6 +516,9 @@ func (nw *Network) ChargeBroadcastRounds(bytes, rounds int) {
 	nw.stats.UniqueMessages += rounds * msgs
 	nw.stats.UniqueBytes += int64(rounds * msgs * bytes)
 	nw.stats.SimulatedTime += time.Duration(rounds*msgs) * nw.TransferTime(bytes)
+	nw.tel.attempts.Add(int64(rounds * msgs))
+	nw.tel.unique.Add(int64(rounds * msgs))
+	nw.tel.bytes.Add(int64(rounds * msgs * bytes))
 }
 
 // BroadcastRoundTime estimates the simulated wall-clock of one synchronous

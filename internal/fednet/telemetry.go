@@ -1,0 +1,47 @@
+package fednet
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// netTel holds the fabric's instrument handles. The zero value (all nil)
+// is the uninstrumented state: every handle method no-ops on nil, so
+// attempt/sendReliable call them unconditionally.
+type netTel struct {
+	attempts  *telemetry.Counter
+	unique    *telemetry.Counter
+	retries   *telemetry.Counter
+	dropped   *telemetry.Counter
+	blocked   *telemetry.Counter
+	corrupted *telemetry.Counter
+	gaveUp    *telemetry.Counter
+	bytes     *telemetry.Counter
+}
+
+// Instrument binds the network to a telemetry sink under a plane label
+// ("forecast", "ems", ...). Counters mirror the Stats fields live so a
+// scrape mid-round sees current traffic without waiting for a Stats
+// snapshot. A nil sink detaches.
+func (nw *Network) Instrument(sink *telemetry.Sink, plane string) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if sink == nil {
+		nw.tel = netTel{}
+		return
+	}
+	name := func(base string) string {
+		return fmt.Sprintf(`%s{plane=%q}`, base, plane)
+	}
+	nw.tel = netTel{
+		attempts:  sink.Counter(name("pfdrl_fednet_attempts_total"), "delivery attempts that reached the wire, retries included"),
+		unique:    sink.Counter(name("pfdrl_fednet_messages_total"), "logical messages that reached the wire at least once"),
+		retries:   sink.Counter(name("pfdrl_fednet_retries_total"), "delivery attempts after the first on the acked transport"),
+		dropped:   sink.Counter(name("pfdrl_fednet_dropped_total"), "attempts lost to the drop process"),
+		blocked:   sink.Counter(name("pfdrl_fednet_blocked_total"), "sends suppressed by a partition or crash window"),
+		corrupted: sink.Counter(name("pfdrl_fednet_corrupted_total"), "delivered payloads that suffered a fault-plan bit flip"),
+		gaveUp:    sink.Counter(name("pfdrl_fednet_gaveup_total"), "deliveries abandoned after exhausting retries or backoff budget"),
+		bytes:     sink.Counter(name("pfdrl_fednet_bytes_sent_total"), "payload bytes charged to the wire, retries included"),
+	}
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests pin the package's behavior on degenerate input — empty slices
+// and NaN samples. The contracts asserted here are the ones the harness
+// already relies on (a run with no samples summarizes to zeros, an empty CDF
+// is identically 0); the NaN cases document propagation so a future "clean
+// the input" change shows up as an explicit test edit, not a silent shift.
+
+func TestSummarizeNaN(t *testing.T) {
+	s := Summarize([]float64{1, math.NaN(), 3})
+	if s.N != 3 {
+		t.Fatalf("N = %d, want 3", s.N)
+	}
+	// NaN poisons the accumulated moments — Summarize does not filter.
+	if !math.IsNaN(s.Mean) || !math.IsNaN(s.Std) {
+		t.Fatalf("NaN input should propagate: mean=%v std=%v", s.Mean, s.Std)
+	}
+	// Min/Max track via < and > comparisons, which are false against NaN, so
+	// a later NaN leaves the finite extremes in place.
+	if s.Min != 1 || s.Max != 3 {
+		t.Fatalf("finite extremes disturbed by NaN: min=%v max=%v", s.Min, s.Max)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if len(c.Xs) != 0 || len(c.Ps) != 0 {
+		t.Fatalf("empty CDF holds data: %+v", c)
+	}
+	for _, x := range []float64{-1, 0, 1e9} {
+		if got := c.At(x); got != 0 {
+			t.Fatalf("empty CDF At(%v) = %v, want 0", x, got)
+		}
+	}
+	grid := c.SampleAt([]float64{0, 1, 2})
+	for i, p := range grid {
+		if p != 0 {
+			t.Fatalf("empty CDF SampleAt[%d] = %v, want 0", i, p)
+		}
+	}
+}
+
+func TestCDFNaN(t *testing.T) {
+	// sort.Float64s orders NaN before all other values, so a NaN sample
+	// lands at the front and shifts every finite probability up by 1/n.
+	c := NewCDF([]float64{2, math.NaN(), 1})
+	if !math.IsNaN(c.Xs[0]) {
+		t.Fatalf("NaN sample not sorted first: %v", c.Xs)
+	}
+	if got := c.At(1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("At(1) with a NaN sample = %v, want 2/3", got)
+	}
+	// Querying at NaN finds no bucket boundary (every comparison is false)
+	// and falls through to the full mass.
+	if got := c.At(math.NaN()); got != 1 {
+		t.Fatalf("At(NaN) = %v, want 1 (documented fall-through)", got)
+	}
+}
+
+func TestHourBucketsNegativeMinutes(t *testing.T) {
+	var h HourBuckets
+	// Go integer division truncates toward zero: minute -30 is still "hour
+	// 0", a full negative hour wraps to 23.
+	h.Add(-30, 2)
+	h.Add(-61, 8)
+	if h.Count[0] != 1 || h.Sum[0] != 2 {
+		t.Fatalf("minute -30 landed in %v", h.Count)
+	}
+	if h.Count[23] != 1 || h.Sum[23] != 8 {
+		t.Fatalf("minute -61 landed in %v", h.Count)
+	}
+}
+
+func TestConvergenceDayDegenerate(t *testing.T) {
+	// tail larger than the series clamps to the whole series.
+	if got := ConvergenceDay([]float64{1, 2}, 0.5, 99); got != 0 {
+		t.Fatalf("clamped tail: got day %d, want 0", got)
+	}
+	// tail < 1 clamps to 1 (plateau = last value).
+	if got := ConvergenceDay([]float64{0, 10}, 0.9, 0); got != 1 {
+		t.Fatalf("tail 0: got day %d, want 1", got)
+	}
+	// An all-NaN series never satisfies v >= threshold; the fallback is the
+	// final index, matching the never-converged contract.
+	nan := math.NaN()
+	if got := ConvergenceDay([]float64{nan, nan, nan}, 0.9, 2); got != 2 {
+		t.Fatalf("all-NaN series: got day %d, want 2", got)
+	}
+}

@@ -36,6 +36,9 @@ type Pool struct {
 	size   int
 	jobs   chan func()
 	closed atomic.Bool
+	// tel is nil unless Instrument attached a telemetry sink; ParallelFor
+	// pays one atomic load to check it.
+	tel atomic.Pointer[poolTel]
 }
 
 // NewPool returns a pool of the given size (minimum 1). A pool of size n
@@ -93,7 +96,16 @@ func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
 	}
 	chunks := (n + grain - 1) / grain
 	if p == nil || p.size < 2 || chunks < 2 || p.closed.Load() {
+		if p != nil {
+			if tel := p.tel.Load(); tel != nil {
+				tel.inline.Inc()
+			}
+		}
 		fn(0, n)
+		return
+	}
+	if tel := p.tel.Load(); tel != nil {
+		p.parallelForTel(tel, n, grain, chunks, fn)
 		return
 	}
 

@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// poolTel holds the pool's instrument handles, bound once by Instrument.
+// Holding them behind one atomic pointer keeps the uninstrumented
+// ParallelFor path at a single pointer load.
+type poolTel struct {
+	sink    *telemetry.Sink
+	waves   *telemetry.Counter
+	chunks  *telemetry.Counter
+	steals  *telemetry.Counter
+	inline  *telemetry.Counter
+	queue   *telemetry.Gauge
+	waveDur *telemetry.Histogram
+}
+
+// Instrument binds the pool to a telemetry sink. Subsequent ParallelFor
+// calls count waves, chunks, and steals (chunks executed by a helper worker
+// rather than the calling goroutine), export the job-queue depth, and
+// record one span per multi-chunk wave. A nil sink detaches.
+func (p *Pool) Instrument(sink *telemetry.Sink) {
+	if p == nil {
+		return
+	}
+	if sink == nil {
+		p.tel.Store(nil)
+		return
+	}
+	p.tel.Store(&poolTel{
+		sink:    sink,
+		waves:   sink.Counter("pfdrl_sched_waves_total", "parallel waves dispatched by the worker pool"),
+		chunks:  sink.Counter("pfdrl_sched_chunks_total", "work chunks executed across all waves"),
+		steals:  sink.Counter("pfdrl_sched_steals_total", "chunks executed by a helper worker instead of the calling goroutine"),
+		inline:  sink.Counter("pfdrl_sched_inline_total", "ParallelFor calls that ran serially on the caller"),
+		queue:   sink.Gauge("pfdrl_sched_queue_depth", "buffered jobs waiting in the pool queue at last wave start"),
+		waveDur: sink.Histogram("pfdrl_sched_wave_seconds", "wall-clock duration of parallel waves", telemetry.DurationBuckets()),
+	})
+}
+
+// parallelForTel is the instrumented twin of ParallelFor's parallel branch.
+// It mirrors the claim-loop scheduling exactly — same cursor/completion
+// protocol, same non-blocking helper offers — and layers counters and a
+// wave span on top. Kept separate so the uninstrumented path pays only the
+// atomic tel load.
+func (p *Pool) parallelForTel(tel *poolTel, n, grain, chunks int, fn func(lo, hi int)) {
+	tel.waves.Inc()
+	tel.chunks.Add(int64(chunks))
+	tel.queue.Set(float64(len(p.jobs)))
+	start := time.Now()
+
+	var cursor, completed atomic.Int64
+	done := make(chan struct{})
+	claim := func(helper bool) {
+		for {
+			c := cursor.Add(1) - 1
+			if c >= int64(chunks) {
+				return
+			}
+			if helper {
+				tel.steals.Inc()
+			}
+			lo := int(c) * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+			if completed.Add(1) == int64(chunks) {
+				close(done)
+			}
+		}
+	}
+	helperRun := func() { claim(true) }
+
+	helpers := p.size - 1
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+offer:
+	for i := 0; i < helpers; i++ {
+		select {
+		case p.jobs <- helperRun:
+		default:
+			break offer
+		}
+	}
+	claim(false)
+	<-done
+
+	dur := time.Since(start)
+	tel.waveDur.Observe(dur.Seconds())
+	tel.sink.Record(telemetry.Span{
+		Name:      "sched.wave",
+		Start:     start,
+		Dur:       dur,
+		SimMinute: -1,
+		N:         int64(chunks),
+	})
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Journal streams one JSON record per line to a writer — the run journal
+// that replays a simulation's per-hour/per-round timeline offline. Records
+// are flushed as they are emitted (the cadence is one record per simulated
+// hour or federation round, so the syscall cost is negligible and a killed
+// process loses at most the record in flight).
+type Journal struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJournal wraps w as a JSONL journal.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: w, enc: json.NewEncoder(w)}
+}
+
+// Emit appends one record as a JSON line. After the first write error the
+// journal goes quiet and holds the error for Err — telemetry must never
+// abort a simulation. No-op on a nil receiver.
+func (j *Journal) Emit(record any) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(record)
+}
+
+// Err returns the first write error, if any (nil on a nil receiver).
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

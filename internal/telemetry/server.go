@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Handler returns the introspection endpoints for a sink:
+//
+//	/metrics      Prometheus text exposition of every registered instrument
+//	/healthz      liveness JSON (status, uptime, runtime facts)
+//	/debug/trace  the tracer's retained spans, oldest first, as JSON
+//	/debug/pprof  the standard net/http/pprof family
+//
+// The handler is safe to serve while the simulation runs: every read takes
+// a consistent snapshot without blocking instrument updates.
+func (s *Sink) Handler() http.Handler {
+	started := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if s != nil && s.Registry != nil {
+			_ = s.Registry.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(started).Seconds(),
+			"go_version":     runtime.Version(),
+			"gomaxprocs":     runtime.GOMAXPROCS(0),
+			"num_goroutine":  runtime.NumGoroutine(),
+		})
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var spans []Span
+		var total uint64
+		if s != nil {
+			spans = s.Tracer.Snapshot()
+			total = s.Tracer.Total()
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"total_recorded": total,
+			"retained":       len(spans),
+			"spans":          spans,
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe binds addr (":0" picks a free port), serves the sink's
+// Handler in a background goroutine, and returns the server plus the bound
+// address. Callers own shutdown (srv.Close or srv.Shutdown).
+func (s *Sink) ListenAndServe(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

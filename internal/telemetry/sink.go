@@ -1,0 +1,67 @@
+package telemetry
+
+// Sink bundles the three telemetry outputs — instrument registry, span
+// tracer, run journal — behind one nil-safe handle. A nil *Sink is the
+// "telemetry off" state: every accessor returns a nil instrument (whose
+// methods are no-ops) and Record/Emit do nothing, so instrumented code
+// never branches on configuration.
+type Sink struct {
+	Registry *Registry
+	Tracer   *Tracer
+	// Journal is optional even on a live sink (metrics without a journal
+	// file). Attach with AttachJournal or set directly before use.
+	Journal *Journal
+}
+
+// DefaultTraceSpans is the ring capacity NewSink gives its tracer.
+const DefaultTraceSpans = 512
+
+// NewSink returns a live sink with an empty registry and a
+// DefaultTraceSpans-deep tracer.
+func NewSink() *Sink {
+	return &Sink{Registry: NewRegistry(), Tracer: NewTracer(DefaultTraceSpans)}
+}
+
+// Counter registers/fetches a counter (nil on a nil sink).
+func (s *Sink) Counter(name, help string) *Counter {
+	if s == nil || s.Registry == nil {
+		return nil
+	}
+	return s.Registry.Counter(name, help)
+}
+
+// Gauge registers/fetches a gauge (nil on a nil sink).
+func (s *Sink) Gauge(name, help string) *Gauge {
+	if s == nil || s.Registry == nil {
+		return nil
+	}
+	return s.Registry.Gauge(name, help)
+}
+
+// Histogram registers/fetches a histogram (nil on a nil sink).
+func (s *Sink) Histogram(name, help string, bounds []float64) *Histogram {
+	if s == nil || s.Registry == nil {
+		return nil
+	}
+	return s.Registry.Histogram(name, help, bounds)
+}
+
+// Record traces a span (no-op on a nil sink).
+func (s *Sink) Record(span Span) {
+	if s == nil {
+		return
+	}
+	s.Tracer.Record(span)
+}
+
+// Emit writes one journal record (no-op on a nil sink or absent journal).
+func (s *Sink) Emit(record any) {
+	if s == nil {
+		return
+	}
+	s.Journal.Emit(record)
+}
+
+// Active reports whether the sink traces spans — instrumented sites use it
+// to skip the time.Now() bracketing a span needs when telemetry is off.
+func (s *Sink) Active() bool { return s != nil }

@@ -1,0 +1,191 @@
+//go:build telemetry_smoke
+
+// Package smoke boots the real pfdrl binary with telemetry enabled and
+// scrapes its live endpoints — the `make telemetry-smoke` gate. It is
+// build-tagged out of the ordinary test run because it shells out to
+// `go run` and takes seconds, not milliseconds.
+package smoke
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+func TestTelemetrySmoke(t *testing.T) {
+	root := repoRoot(t)
+	tmp := t.TempDir()
+	journal := filepath.Join(tmp, "run.jsonl")
+
+	// Build and exec the binary directly (not `go run`): killing the
+	// process at teardown must reach pfdrl itself, not a wrapper that
+	// leaves it lingering with our stderr.
+	bin := filepath.Join(tmp, "pfdrl")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/pfdrl")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pfdrl: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-homes", "2", "-devices", "2", "-days", "1", "-forecast", "LR",
+		"-telemetry-addr", "127.0.0.1:0",
+		"-telemetry-linger", "30s",
+		"-journal", journal,
+	)
+	cmd.Dir = root
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+
+	// The bound address is printed before the simulation starts; the linger
+	// line marks the run (and the journal) complete while the server stays
+	// up for scraping.
+	addrRe := regexp.MustCompile(`telemetry: serving on (\S+)`)
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	lingerCh := make(chan struct{})
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+			if strings.Contains(line, "telemetry: lingering") {
+				close(lingerCh)
+			}
+		}
+		_, _ = io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case addr = <-addrCh:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("timed out waiting for the telemetry server to announce its address")
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		var lastErr error
+		for i := 0; i < 20; i++ {
+			resp, err := http.Get("http://" + addr + path)
+			if err == nil {
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr == nil && resp.StatusCode == 200 {
+					return string(body)
+				}
+				lastErr = fmt.Errorf("%s: status %d (%v)", path, resp.StatusCode, rerr)
+			} else {
+				lastErr = err
+			}
+			time.Sleep(500 * time.Millisecond)
+		}
+		t.Fatalf("GET %s never succeeded: %v", path, lastErr)
+		return ""
+	}
+
+	if body := get("/healthz"); !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("/healthz = %s", body)
+	}
+
+	// Wait for the short run to finish (the linger keeps the server up), so
+	// the scrape sees every plane's series populated and the journal is
+	// fully written.
+	select {
+	case <-lingerCh:
+	case <-time.After(3 * time.Minute):
+		t.Fatal("timed out waiting for the run to finish")
+	}
+	metrics := get("/metrics")
+	for _, series := range []string{
+		"pfdrl_sched_", // scheduler plane (waves or inline)
+		`pfdrl_fednet_bytes_sent_total{plane="forecast"}`,
+		`pfdrl_fednet_bytes_sent_total{plane="ems"}`,
+		`pfdrl_fed_rounds_total{plane="forecast"}`,
+		`pfdrl_fed_rounds_total{plane="ems"}`,
+		"pfdrl_dqn_learn_steps_total",
+		"pfdrl_dqn_loss_bucket",
+		"pfdrl_core_ems_steps_total",
+		"pfdrl_core_saved_kwh",
+	} {
+		if !strings.Contains(metrics, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+
+	var trace struct {
+		TotalRecorded uint64 `json:"total_recorded"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/trace")), &trace); err != nil {
+		t.Fatalf("/debug/trace: %v", err)
+	}
+	if trace.TotalRecorded == 0 {
+		t.Error("/debug/trace recorded no spans")
+	}
+
+	// The journal flushes per record; after a full day it must hold 24 hour
+	// records and at least one round record.
+	blob, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hours, rounds := 0, 0
+	for _, line := range strings.Split(strings.TrimSpace(string(blob)), "\n") {
+		var rec struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		switch rec.Type {
+		case "hour":
+			hours++
+		case "round":
+			rounds++
+		}
+	}
+	if hours != 24 || rounds == 0 {
+		t.Errorf("journal has %d hour and %d round records, want 24 and ≥1", hours, rounds)
+	}
+}

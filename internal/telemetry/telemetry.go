@@ -1,0 +1,316 @@
+// Package telemetry is the simulator's observability plane: a lock-cheap
+// instrument registry (counters, gauges, fixed-bucket histograms), a
+// span-style tracer with a bounded ring-buffer journal, a JSONL run-journal
+// writer, and an HTTP server exposing all of it live (/metrics in
+// Prometheus text format, /healthz, /debug/trace, net/http/pprof).
+//
+// The design contract every instrumented hot path relies on:
+//
+//   - Nil safety. Every instrument method — Counter.Add, Gauge.Set,
+//     Histogram.Observe, Tracer.Record, Journal.Emit, and every Sink
+//     accessor — is a no-op on a nil receiver. Instrumented code holds
+//     possibly-nil handles and calls them unconditionally; with telemetry
+//     off the whole path costs one nil check per call and allocates
+//     nothing, so the simulation stays bit-identical to an uninstrumented
+//     build (the golden suite and the AllocsPerRun gates still pass).
+//   - Race cleanliness. Updates are single atomic operations (CAS loops
+//     for float accumulation); reads for exposition take consistent
+//     snapshots. Homes training in parallel may hit one shared histogram.
+//   - Zero-alloc updates. No instrument update allocates: counters and
+//     gauges are one atomic word, histogram buckets are pre-sized at
+//     registration, spans copy into a pre-allocated ring.
+//
+// Registration (cold path) goes through a Registry keyed by the full
+// Prometheus-style name, labels included: registering the same name twice
+// returns the same instrument, so independent subsystems can share series.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 instrument.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 instrument that can be set or accumulated.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add accumulates d with a CAS loop (safe from concurrent adders).
+// No-op on a nil receiver.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket-layout histogram: bounds are ascending bucket
+// upper limits, with an implicit +Inf overflow bucket. The layout is fixed
+// at registration so Observe is a bounded linear scan over a handful of
+// bounds plus three atomic updates — no allocation, no lock.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample. NaN samples are discarded (a NaN would poison
+// the running sum and serve no diagnostic purpose). No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of recorded samples (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// ExpBuckets returns n ascending bounds starting at start, each factor times
+// the previous — the standard layout for latencies and byte sizes.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets needs start > 0, factor > 1, n ≥ 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n ascending bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("telemetry: LinearBuckets needs width > 0, n ≥ 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// DurationBuckets is the default seconds layout for span-ish durations:
+// 100µs to ~100s, exponential.
+func DurationBuckets() []float64 { return ExpBuckets(1e-4, 4, 11) }
+
+// instrument kinds, for registration conflict detection and TYPE lines.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// entry is one registered instrument.
+type entry struct {
+	name string // full series name, labels included
+	base string // name up to any '{' — the metric family
+	help string
+	kind string
+	inst any
+}
+
+// Registry holds named instruments and renders them in Prometheus text
+// exposition format. Registration is mutex-guarded (cold path); instrument
+// updates never touch the registry.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	byName  map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*entry{}}
+}
+
+// splitName separates a full series name into its family base and label
+// block ({...}, possibly empty).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// register returns the existing instrument for name or records a new one.
+// It panics when the same name is re-registered as a different kind — that
+// is a wiring bug, not a runtime condition.
+func (r *Registry) register(name, help, kind string, mk func() any) any {
+	base, _ := splitName(name)
+	if base == "" {
+		panic("telemetry: empty instrument name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: %q already registered as %s, not %s", name, e.kind, kind))
+		}
+		return e.inst
+	}
+	e := &entry{name: name, base: base, help: help, kind: kind, inst: mk()}
+	r.entries = append(r.entries, e)
+	r.byName[name] = e
+	return e.inst
+}
+
+// Counter registers (or returns the existing) counter under name. The name
+// may carry a Prometheus label block: `pfdrl_x_total{plane="fc"}`.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or returns the existing) histogram under name with
+// the given ascending bucket bounds (the +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending", name))
+	}
+	return r.register(name, help, kindHistogram, func() any {
+		h := &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.buckets = make([]atomic.Int64, len(h.bounds)+1)
+		return h
+	}).(*Histogram)
+}
+
+// withLabel splices an extra label (e.g. le="0.5") into a full series name.
+func withLabel(name, label string) string {
+	base, labels := splitName(name)
+	if labels == "" {
+		return base + "{" + label + "}"
+	}
+	return base + "{" + labels[1:len(labels)-1] + "," + label + "}"
+}
+
+// WritePrometheus renders every registered instrument in Prometheus text
+// exposition format, in registration order, with one HELP/TYPE header per
+// metric family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if !seen[e.base] {
+			seen[e.base] = true
+			if e.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", e.base, e.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", e.base, e.kind)
+		}
+		switch inst := e.inst.(type) {
+		case *Counter:
+			fmt.Fprintf(bw, "%s %d\n", e.name, inst.Value())
+		case *Gauge:
+			fmt.Fprintf(bw, "%s %g\n", e.name, inst.Value())
+		case *Histogram:
+			cum := int64(0)
+			for i, b := range inst.bounds {
+				cum += inst.buckets[i].Load()
+				fmt.Fprintf(bw, "%s %d\n", withLabel(e.base+"_bucket"+e.name[len(e.base):], fmt.Sprintf("le=%q", formatBound(b))), cum)
+			}
+			cum += inst.buckets[len(inst.bounds)].Load()
+			fmt.Fprintf(bw, "%s %d\n", withLabel(e.base+"_bucket"+e.name[len(e.base):], `le="+Inf"`), cum)
+			fmt.Fprintf(bw, "%s_sum%s %g\n", e.base, e.name[len(e.base):], inst.Sum())
+			fmt.Fprintf(bw, "%s_count%s %d\n", e.base, e.name[len(e.base):], inst.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do.
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", b), "0"), ".")
+}

@@ -1,0 +1,342 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every instrument and sink method must no-op on nil receivers: this is
+	// the contract that lets hot paths hold possibly-nil handles.
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	var j *Journal
+	var s *Sink
+	c.Add(3)
+	c.Inc()
+	g.Set(1)
+	g.Add(2)
+	h.Observe(5)
+	tr.Record(Span{Name: "x"})
+	j.Emit(map[string]int{"a": 1})
+	s.Record(Span{Name: "y"})
+	s.Emit("z")
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if tr.Total() != 0 || tr.Snapshot() != nil || j.Err() != nil {
+		t.Fatal("nil tracer/journal must read as empty")
+	}
+	if s.Counter("a", "") != nil || s.Gauge("b", "") != nil || s.Histogram("c", "", []float64{1}) != nil {
+		t.Fatal("nil sink must hand out nil instruments")
+	}
+	if s.Active() {
+		t.Fatal("nil sink must report inactive")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "a counter")
+	c.Add(2)
+	c.Inc()
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	g := r.Gauge("x_gauge", "a gauge")
+	g.Set(1.5)
+	g.Add(0.25)
+	if g.Value() != 1.75 {
+		t.Fatalf("gauge = %v, want 1.75", g.Value())
+	}
+	// Same name returns the same instrument.
+	if r.Counter("x_total", "") != c {
+		t.Fatal("re-registration must return the existing counter")
+	}
+	// Same name as a different kind panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("kind conflict must panic")
+			}
+		}()
+		r.Gauge("x_total", "")
+	}()
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50, math.NaN()} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5 (NaN discarded)", h.Count())
+	}
+	if got := h.Sum(); got != 56.05 {
+		t.Fatalf("sum = %v, want 56.05", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_sum 56.05",
+		"lat_seconds_count 5",
+		"# TYPE lat_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1e-4, 10, 3)
+	want := []float64{1e-4, 1e-3, 1e-2}
+	for i := range want {
+		if math.Abs(exp[i]-want[i]) > 1e-15 {
+			t.Fatalf("ExpBuckets[%d] = %v, want %v", i, exp[i], want[i])
+		}
+	}
+	lin := LinearBuckets(0, 5, 3)
+	if lin[0] != 0 || lin[1] != 5 || lin[2] != 10 {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+	db := DurationBuckets()
+	if len(db) == 0 || db[0] != 1e-4 {
+		t.Fatalf("DurationBuckets = %v", db)
+	}
+}
+
+func TestPrometheusLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`bytes_total{plane="fc"}`, "bytes").Add(10)
+	r.Counter(`bytes_total{plane="ems"}`, "bytes").Add(20)
+	r.Histogram(`round_seconds{plane="fc"}`, "round dur", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# TYPE bytes_total counter") != 1 {
+		t.Errorf("family header must be emitted once:\n%s", out)
+	}
+	for _, want := range []string{
+		`bytes_total{plane="fc"} 10`,
+		`bytes_total{plane="ems"} 20`,
+		`round_seconds_bucket{plane="fc",le="1"} 1`,
+		`round_seconds_sum{plane="fc"} 0.5`,
+		`round_seconds_count{plane="fc"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Record(Span{Name: "s", N: int64(i)})
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 || tr.Total() != 6 {
+		t.Fatalf("retained %d (total %d), want 4 (6)", len(spans), tr.Total())
+	}
+	for i, s := range spans {
+		if s.N != int64(i+2) {
+			t.Fatalf("span %d has N=%d, want %d (oldest-first order)", i, s.N, i+2)
+		}
+	}
+	// Partially filled ring snapshots only what was recorded.
+	tr2 := NewTracer(8)
+	tr2.Record(Span{N: 42})
+	if got := tr2.Snapshot(); len(got) != 1 || got[0].N != 42 {
+		t.Fatalf("partial snapshot = %v", got)
+	}
+}
+
+func TestJournal(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Emit(map[string]any{"type": "hour", "day": 0, "hour": 3})
+	j.Emit(map[string]any{"type": "round", "plane": "fc"})
+	if j.Err() != nil {
+		t.Fatal(j.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("journal has %d lines, want 2", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["type"] != "hour" || rec["hour"] != float64(3) {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+// failWriter fails after the first write.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 {
+		return 0, &json.UnsupportedValueError{}
+	}
+	return len(p), nil
+}
+
+func TestJournalSticksOnError(t *testing.T) {
+	j := NewJournal(&failWriter{})
+	j.Emit("a")
+	j.Emit("b")
+	if j.Err() == nil {
+		t.Fatal("journal must retain the first write error")
+	}
+	j.Emit("c") // must not panic or overwrite the error
+}
+
+func TestConcurrentUpdatesAndExposition(t *testing.T) {
+	// Race-clean contract: many writers on one instrument set while the
+	// exposition path reads. Run under -race (make ci does).
+	s := NewSink()
+	c := s.Counter("conc_total", "")
+	g := s.Gauge("conc_gauge", "")
+	h := s.Histogram("conc_hist", "", []float64{1, 10, 100})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 200))
+				s.Record(Span{Name: "w", N: int64(w)})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			_ = s.Registry.WritePrometheus(&buf)
+			_ = s.Tracer.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Fatalf("gauge = %v, want 8000 (CAS accumulation must not lose adds)", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestObserveAllocFree(t *testing.T) {
+	s := NewSink()
+	c := s.Counter("alloc_total", "")
+	g := s.Gauge("alloc_gauge", "")
+	h := s.Histogram("alloc_hist", "", DurationBuckets())
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(3.14)
+		h.Observe(0.01)
+	}); n != 0 {
+		t.Errorf("instrument updates allocate %v per run, want 0", n)
+	}
+	tr := NewTracer(16)
+	span := Span{Name: "s", Start: time.Now(), Dur: time.Millisecond}
+	if n := testing.AllocsPerRun(100, func() { tr.Record(span) }); n != 0 {
+		t.Errorf("Tracer.Record allocates %v per run, want 0", n)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := NewSink()
+	s.Counter("pfdrl_test_total", "help text").Add(7)
+	s.Record(Span{Name: "round", SimMinute: 60, Dur: 2 * time.Millisecond})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, buf.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "pfdrl_test_total 7") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("/healthz = %d: %s", code, body)
+	}
+	code, body := get("/debug/trace")
+	if code != 200 {
+		t.Fatalf("/debug/trace = %d", code)
+	}
+	var trace struct {
+		TotalRecorded uint64 `json:"total_recorded"`
+		Spans         []Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatal(err)
+	}
+	if trace.TotalRecorded != 1 || len(trace.Spans) != 1 || trace.Spans[0].Name != "round" {
+		t.Errorf("trace payload = %s", body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	s := NewSink()
+	s.Counter("up_total", "").Inc()
+	srv, addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "up_total 1") {
+		t.Errorf("served metrics missing series:\n%s", buf.String())
+	}
+}

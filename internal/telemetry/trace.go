@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one traced unit of work: a federation round, a scheduler wave, a
+// simulated hour. Start is wall-clock; SimMinute anchors the span on the
+// simulation's own timeline (-1 when not applicable); N carries one
+// span-kind-specific magnitude (bytes for rounds, tasks for waves, steps
+// for hours).
+type Span struct {
+	Name      string        `json:"name"`
+	Start     time.Time     `json:"start"`
+	Dur       time.Duration `json:"dur_ns"`
+	SimMinute int           `json:"sim_minute"`
+	N         int64         `json:"n,omitempty"`
+}
+
+// Tracer keeps the most recent spans in a fixed-capacity ring buffer.
+// Record copies the span into a pre-allocated slot under a short mutex —
+// no allocation, bounded memory no matter how long the run.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	total uint64
+}
+
+// NewTracer returns a tracer retaining the last capacity spans (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// Record stores a span, overwriting the oldest once the ring is full.
+// No-op on a nil receiver.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.total%uint64(len(t.ring))] = s
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns the number of spans ever recorded (0 on a nil receiver).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot returns the retained spans oldest-first. The slice is freshly
+// allocated and owned by the caller (nil on a nil receiver).
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.total
+	capacity := uint64(len(t.ring))
+	if n > capacity {
+		out := make([]Span, capacity)
+		first := n % capacity // oldest slot
+		copy(out, t.ring[first:])
+		copy(out[capacity-first:], t.ring[:first])
+		return out
+	}
+	return append([]Span(nil), t.ring[:n]...)
+}
