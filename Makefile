@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench throughput bench-comms telemetry-smoke lint verify ci clean
+.PHONY: all build test race bench throughput bench-comms bench-topology telemetry-smoke lint verify ci clean
 
 all: verify
 
@@ -45,6 +45,15 @@ throughput:
 bench-comms:
 	$(GO) run ./cmd/pfdrl-bench -comms -out BENCH_comms.json
 
+# Fleet-size × federation-topology sweep (BENCH_topology.json): message
+# and byte bills per round (measured vs closed-form) for all-to-all vs
+# sampled gossip vs cluster aggregation up to thousands of homes, plus
+# end-to-end 8-home throughput per topology (DESIGN.md §12). Override the
+# cells with TOPO_HOMES=... (the ci run uses a reduced sweep).
+bench-topology:
+	$(GO) run ./cmd/pfdrl-bench -topology -out BENCH_topology.json \
+		$(if $(TOPO_HOMES),-topo-homes $(TOPO_HOMES))
+
 # Observability gate: boot a small run with the live telemetry server,
 # scrape /metrics, /healthz, and /debug/trace, and assert the key series
 # from every instrumented plane plus the JSONL journal. Build-tagged out of
@@ -60,13 +69,17 @@ verify: build test lint
 # Full CI gate: build + vet + tests, then the race-detector pass over the
 # packages with real cross-goroutine traffic (scheduler pool, home-parallel
 # simulation, overlapped federation rounds, sharded matmul, the wire
-# codec's shared reference store, and the telemetry instruments updated
-# from all of them). The core and fed suites include the chaos FaultPlan
-# twins (compressed vs dense under drops/corruption/partitions), so the
-# race build exercises the compressed planes under fault injection.
+# codec's shared reference store, the fednet fabrics the sampled/cluster
+# topologies route through, and the telemetry instruments updated from all
+# of them). The core and fed suites include the chaos FaultPlan twins
+# (compressed vs dense under drops/corruption/partitions), so the race
+# build exercises the compressed planes under fault injection. A reduced
+# topology sweep then regenerates BENCH_topology.json so message-count
+# regressions against the closed forms fail the gate.
 ci: verify
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core ./internal/fed ./internal/sched ./internal/tensor ./internal/wire ./internal/telemetry
+	$(GO) test -race ./internal/core ./internal/fed ./internal/fednet ./internal/sched ./internal/tensor ./internal/wire ./internal/telemetry
+	$(MAKE) bench-topology TOPO_HOMES=64,256
 
 clean:
 	$(GO) clean ./...

@@ -3,7 +3,8 @@
 // run the whole suite with -fig all. -throughput runs the end-to-end
 // homes × GOMAXPROCS scaling sweep instead (see BENCH_throughput.json);
 // -comms runs the fleet-size × codec federation comms sweep
-// (see BENCH_comms.json).
+// (see BENCH_comms.json); -topology runs the fleet-size ×
+// federation-topology sweep (see BENCH_topology.json).
 //
 // Usage:
 //
@@ -11,6 +12,7 @@
 //	pfdrl-bench -fig all -homes 8 -days 10
 //	pfdrl-bench -throughput -out BENCH_throughput.json
 //	pfdrl-bench -comms -out BENCH_comms.json
+//	pfdrl-bench -topology -topo-homes 256,1024,4096 -out BENCH_topology.json
 //	pfdrl-bench -fig 9 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -54,10 +56,17 @@ func main() {
 		commsAgents = flag.String("comms-agents", "4,8,16,32", "comma-separated fleet sizes for -comms")
 		commsRounds = flag.Int("comms-rounds", 9, "federation rounds per -comms cell (round 1 is the dense keyframe)")
 
+		topology    = flag.Bool("topology", false, "run the fleet-size × federation-topology sweep instead of figures")
+		topoHomes   = flag.String("topo-homes", "256,1024,4096", "comma-separated fleet sizes for -topology round cells")
+		topoK       = flag.Int("topo-k", 8, "peers sampled per round for -topology sampled cells")
+		topoCluster = flag.Int("topo-cluster", 64, "homes per cluster for -topology cluster cells")
+		topoRounds  = flag.Int("topo-rounds", 3, "federation rounds per -topology round cell")
+		topoDays    = flag.Int("topo-sim-days", 2, "simulated days per -topology end-to-end cell")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 
-		metaOnly = flag.String("benchmeta", "", "print one benchmeta JSON line for this artifact schema (hotpath, throughput, comms) and exit")
+		metaOnly = flag.String("benchmeta", "", "print one benchmeta JSON line for this artifact schema (hotpath, throughput, comms, topology) and exit")
 	)
 	flag.Parse()
 
@@ -121,6 +130,16 @@ func main() {
 			path = "BENCH_comms.json"
 		}
 		if err := runCommsSweep(*commsAgents, *commsRounds, *seed, path); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *topology {
+		path := *out
+		if path == "" {
+			path = "BENCH_topology.json"
+		}
+		if err := runTopologySweep(*topoHomes, *topoK, *topoCluster, *topoRounds, *topoDays, *seed, path); err != nil {
 			log.Fatal(err)
 		}
 		return

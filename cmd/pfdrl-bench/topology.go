@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/benchmeta"
+	"repro/internal/core"
+	"repro/internal/fed"
+	"repro/internal/fednet"
+	"repro/internal/nn"
+)
+
+// topoRoundCell is one (topology, fleet size) measurement of the
+// federation-round sweep: repeated rounds over a clean fabric with a
+// small drifted model, measuring the per-round message and byte bill
+// against the closed-form prediction, plus how fast the fleet's
+// parameter spread collapses. These cells isolate the transport and
+// aggregation cost — no simulation rides along — which is what lets the
+// sweep reach thousands of homes.
+type topoRoundCell struct {
+	Topology string `json:"topology"`
+	Agents   int    `json:"agents"`
+	// K is the gossip sample size (sampled cells only); ClusterSize the
+	// grouping width (cluster cells only).
+	K           int `json:"k,omitempty"`
+	ClusterSize int `json:"cluster_size,omitempty"`
+	Rounds      int `json:"rounds"`
+	// MessagesPerRound is the measured mean wire bill;
+	// PredictedMessages is the fabric's closed form (n(n−1) all-to-all,
+	// n·k sampled, (n−C)+C(C−1)+C′ cluster). The two must agree.
+	MessagesPerRound  float64 `json:"messages_per_round"`
+	PredictedMessages int     `json:"predicted_messages"`
+	BytesPerRound     float64 `json:"bytes_per_round"`
+	RoundWallNs       float64 `json:"round_wall_ns"`
+	// SpreadBefore / SpreadAfter bracket the consensus progress: the
+	// fleet is perturbed once, then federated for Rounds rounds.
+	SpreadBefore float64 `json:"spread_before"`
+	SpreadAfter  float64 `json:"spread_after"`
+}
+
+// topoSimCell is one end-to-end PFDRL simulation under a topology at
+// small fleet scale — the guard that alternative fabrics do not tax the
+// full pipeline (acceptance: within ~10% of all-to-all at 8 homes).
+type topoSimCell struct {
+	Topology       string  `json:"topology"`
+	Homes          int     `json:"homes"`
+	Days           int     `json:"days"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	HomeDaysPerSec float64 `json:"home_days_per_sec"`
+	// MessagesSent sums both federation planes' fabric counters.
+	MessagesSent int `json:"messages_sent"`
+}
+
+// topologyReport is the schema of BENCH_topology.json.
+type topologyReport struct {
+	Meta   benchmeta.Meta  `json:"meta"`
+	Seed   int64           `json:"seed"`
+	Rounds []topoRoundCell `json:"rounds"`
+	Sims   []topoSimCell   `json:"sims"`
+}
+
+// topoFleet builds n identically-initialized small MLPs (every home
+// starts from one shared init, as in the simulator) and perturbs each
+// with its own noise stream so the fleet starts the sweep disagreeing.
+func topoFleet(n int, seed int64) []*nn.Sequential {
+	models := make([]*nn.Sequential, n)
+	for i := range models {
+		models[i] = nn.NewMLP(rand.New(rand.NewSource(seed)), 8, 16, 16, 4)
+		drift := rand.New(rand.NewSource(seed + 1000 + int64(i)))
+		for _, p := range models[i].Params() {
+			for j := range p.Data {
+				p.Data[j] *= 1 + drift.NormFloat64()*1e-2
+			}
+		}
+	}
+	return models
+}
+
+// measureTopoRoundCell federates one perturbed fleet for `rounds` rounds
+// over the given fabric and reports the measured traffic and spread.
+func measureTopoRoundCell(topo string, n, k, clusterSize, rounds int, seed int64) (topoRoundCell, error) {
+	cfg := fednet.Config{Topology: fednet.AllToAll, Seed: seed}
+	cell := topoRoundCell{Topology: topo, Agents: n, Rounds: rounds}
+	switch topo {
+	case core.TopoSampled:
+		cfg.Topology, cfg.SampleK = fednet.Sampled, k
+		cell.K = k
+	case core.TopoCluster:
+		cfg.Topology, cfg.ClusterSize = fednet.Cluster, clusterSize
+		cell.ClusterSize = clusterSize
+	}
+	net, err := fednet.NewChecked(n, cfg)
+	if err != nil {
+		return cell, fmt.Errorf("topology %s n=%d: %w", topo, n, err)
+	}
+	cell.PredictedMessages = net.RoundMessages()
+
+	models := topoFleet(n, seed)
+	cell.SpreadBefore = fed.GossipDisagreement(models, -1)
+	ws := &fed.RoundWorkspace{}
+	st0 := net.Stats()
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		var rep fed.RoundReport
+		var err error
+		switch topo {
+		case core.TopoSampled:
+			rep, err = fed.BeginSampledGossipRound(net, models, "bench", -1, ws).Join()
+		case core.TopoCluster:
+			rep, err = fed.ClusterRound(net, models, "bench", -1, ws)
+		default:
+			rep, err = fed.BeginDecentralizedRound(net, models, "bench", -1, ws).Join()
+		}
+		if err != nil {
+			return cell, fmt.Errorf("topology %s n=%d round %d: %w", topo, n, r+1, err)
+		}
+		if rep.Degraded() {
+			return cell, fmt.Errorf("topology %s n=%d round %d degraded on a clean fabric", topo, n, r+1)
+		}
+	}
+	wall := time.Since(start)
+	st := net.Stats()
+	cell.MessagesPerRound = float64(st.MessagesSent-st0.MessagesSent) / float64(rounds)
+	cell.BytesPerRound = float64(st.BytesSent-st0.BytesSent) / float64(rounds)
+	cell.RoundWallNs = float64(wall.Nanoseconds()) / float64(rounds)
+	cell.SpreadAfter = fed.GossipDisagreement(models, -1)
+	return cell, nil
+}
+
+// measureTopoSimCell runs a full default-scale PFDRL simulation with the
+// given fabric on both planes and reports end-to-end throughput.
+func measureTopoSimCell(topo string, homes, days, k, clusterSize int, seed int64) (topoSimCell, error) {
+	cfg := core.DefaultConfig(core.MethodPFDRL)
+	cfg.Homes = homes
+	cfg.Days = days
+	cfg.Seed = seed
+	switch topo {
+	case core.TopoSampled:
+		if k > homes/2 {
+			k = homes / 2 // keep the graph genuinely sparse at small fleets
+		}
+		cfg.Topology = core.TopologySpec{Kind: topo, K: k}
+	case core.TopoCluster:
+		if clusterSize > homes/2 {
+			clusterSize = homes / 2 // keep ≥ 2 clusters so the summary hop runs
+		}
+		cfg.Topology = core.TopologySpec{Kind: topo, ClusterSize: clusterSize}
+	}
+	cell := topoSimCell{Topology: topo, Homes: homes, Days: days}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return cell, err
+	}
+	start := time.Now()
+	res, err := sys.Run()
+	if err != nil {
+		return cell, err
+	}
+	wall := time.Since(start)
+	cell.WallSeconds = wall.Seconds()
+	cell.HomeDaysPerSec = float64(homes*days) / wall.Seconds()
+	cell.MessagesSent = res.ForecastNetStats.MessagesSent + res.EMSNetStats.MessagesSent
+	return cell, nil
+}
+
+// runTopologySweep measures message complexity and round cost across
+// topology × fleet-size cells, plus end-to-end throughput at small
+// scale, and writes BENCH_topology.json. The all-to-all reference is
+// capped at allToAllCap agents — its O(N²) rounds are the cost the
+// alternatives exist to avoid.
+func runTopologySweep(homesList string, k, clusterSize, rounds, simDays int, seed int64, outPath string) error {
+	fleets, err := parseIntList(homesList)
+	if err != nil {
+		return err
+	}
+	if rounds < 1 {
+		return fmt.Errorf("topo-rounds must be ≥ 1, got %d", rounds)
+	}
+	const allToAllCap = 1024
+
+	rep := topologyReport{
+		Meta: benchmeta.Collect("topology", 2),
+		Seed: seed,
+	}
+	topos := []string{core.TopoAllToAll, core.TopoSampled, core.TopoCluster}
+	for _, n := range fleets {
+		for _, topo := range topos {
+			if topo == core.TopoAllToAll && n > allToAllCap {
+				log.Printf("topology: skipping all-to-all at n=%d (reference capped at %d)", n, allToAllCap)
+				continue
+			}
+			cell, err := measureTopoRoundCell(topo, n, k, clusterSize, rounds, seed)
+			if err != nil {
+				return err
+			}
+			rep.Rounds = append(rep.Rounds, cell)
+			log.Printf("topology: n=%-5d %-10s  %9.0f msg/round (predicted %9d)  %10.0f B/round  %8.2fms/round  spread %.2e → %.2e",
+				n, topo, cell.MessagesPerRound, cell.PredictedMessages, cell.BytesPerRound,
+				cell.RoundWallNs/1e6, cell.SpreadBefore, cell.SpreadAfter)
+		}
+	}
+	const simHomes = 8
+	for _, topo := range topos {
+		cell, err := measureTopoSimCell(topo, simHomes, simDays, k, clusterSize, seed)
+		if err != nil {
+			return err
+		}
+		rep.Sims = append(rep.Sims, cell)
+		log.Printf("topology: sim homes=%d %-10s  %.2fs wall  %.2f home-days/s  %d messages",
+			simHomes, topo, cell.WallSeconds, cell.HomeDaysPerSec, cell.MessagesSent)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", outPath)
+	return nil
+}

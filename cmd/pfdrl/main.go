@@ -37,6 +37,10 @@ func main() {
 		paper    = flag.Bool("paper-scale", false, "use the paper's full model sizes (slow)")
 		saveTo   = flag.String("save", "", "write a model checkpoint here after the run")
 		loadFrom = flag.String("load", "", "restore a model checkpoint before the run")
+		topo     = flag.String("topology", "", "federation fabric for the PFDRL planes: all-to-all (default), sampled, or cluster")
+		topoK    = flag.Int("topo-k", 8, "peers sampled per round (with -topology sampled)")
+		clSize   = flag.Int("cluster-size", 8, "homes per cluster (with -topology cluster)")
+		emsTopo  = flag.String("ems-topology", "", "override the EMS (γ) plane's fabric independently")
 		drop     = flag.Float64("drop", 0, "per-message drop probability on the fabric")
 		retries  = flag.Int("retries", 0, "delivery attempts per message (>1 enables the acked transport)")
 		chaos    = flag.Bool("chaos", false, "inject an aggressive scripted fault plan (partition, straggler, corruption, crash)")
@@ -59,6 +63,21 @@ func main() {
 		cfg = cfg.PaperScale()
 		cfg.Alpha = *alpha
 	}
+	// Kinds the spec doesn't know pass through so Config.Validate can name
+	// them in its error.
+	specFor := func(kind string) core.TopologySpec {
+		switch kind {
+		case core.TopoSampled:
+			return core.TopologySpec{Kind: kind, K: *topoK}
+		case core.TopoCluster:
+			return core.TopologySpec{Kind: kind, ClusterSize: *clSize}
+		case "":
+			return core.TopologySpec{}
+		}
+		return core.TopologySpec{Kind: kind}
+	}
+	cfg.Topology = specFor(*topo)
+	cfg.EMSTopology = specFor(*emsTopo)
 	cfg.DropProb = *drop
 	if *retries > 1 {
 		cfg.Retry = fednet.RetryPolicy{MaxAttempts: *retries}

@@ -134,6 +134,14 @@ type Config struct {
 	// while payloads shrink — and wire.TopK opts into lossy sparsified
 	// payloads. Star-topology planes always speak the dense PFP1 format.
 	Comms wire.Options
+
+	// Topology selects the decentralized planes' federation fabric
+	// (PFDRL only): the zero value keeps the paper's all-to-all
+	// broadcast; sampled gossip and cluster aggregation scale to large
+	// fleets with sub-quadratic message counts. EMSTopology, when set,
+	// overrides the EMS (γ) plane independently — e.g. cluster the slow
+	// forecaster plane while the DQN plane keeps sampled gossip.
+	Topology, EMSTopology TopologySpec
 }
 
 // DefaultConfig returns an experiment-scale configuration: faithful
@@ -222,6 +230,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.Comms.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.validateTopologies(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -522,7 +522,23 @@ func (s *System) forecastRound(timer *metrics.Timer, fires int) error {
 				ws = &fed.RoundWorkspace{Comms: s.fcComms, Tel: s.fcRoundTel}
 				s.fcRoundWS[dt] = ws
 			}
-			s.fcPending = append(s.fcPending, fed.BeginDecentralizedRound(s.fcNet, models, "fc/"+dt, -1, ws))
+			switch s.fcNet.Config().Topology {
+			case fednet.Sampled:
+				s.fcPending = append(s.fcPending, fed.BeginSampledGossipRound(s.fcNet, models, "fc/"+dt, -1, ws))
+			case fednet.Cluster:
+				// The cluster reduction is synchronous (members must hear
+				// the download before training resumes), so it lands here
+				// rather than through fcPending.
+				rep, err := fed.ClusterRound(s.fcNet, models, "fc/"+dt, -1, ws)
+				if err != nil {
+					return err
+				}
+				s.resil.absorb(rep)
+				s.fcCommsTot.Absorb(rep)
+				s.noteRound("forecast", rep)
+			default:
+				s.fcPending = append(s.fcPending, fed.BeginDecentralizedRound(s.fcNet, models, "fc/"+dt, -1, ws))
+			}
 		} else { // FL, FRL: star with the hub as pure server
 			models = append(models, s.hubFcs[dt].Model())
 			for _, h := range s.homes {
@@ -615,7 +631,16 @@ func (s *System) emsRound(timer *metrics.Timer, fires int) error {
 		if s.drlWS == nil {
 			s.drlWS = &fed.RoundWorkspace{Comms: s.drlComms, Tel: s.drlRoundTel}
 		}
-		rep, err := fed.BeginDecentralizedRound(s.drlNet, models, "drl", alpha, s.drlWS).Join()
+		var rep fed.RoundReport
+		var err error
+		switch s.drlNet.Config().Topology {
+		case fednet.Sampled:
+			rep, err = fed.BeginSampledGossipRound(s.drlNet, models, "drl", alpha, s.drlWS).Join()
+		case fednet.Cluster:
+			rep, err = fed.ClusterRound(s.drlNet, models, "drl", alpha, s.drlWS)
+		default:
+			rep, err = fed.BeginDecentralizedRound(s.drlNet, models, "drl", alpha, s.drlWS).Join()
+		}
 		if err != nil {
 			return err
 		}

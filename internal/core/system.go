@@ -187,8 +187,12 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	switch cfg.Method {
 	case MethodPFDRL:
-		s.fcNet = fednet.New(cfg.Homes, netCfg(fednet.AllToAll, 2))
-		s.drlNet = fednet.New(cfg.Homes, netCfg(fednet.AllToAll, 3))
+		fcCfg := netCfg(fednet.AllToAll, 2)
+		cfg.Topology.apply(&fcCfg)
+		drlCfg := netCfg(fednet.AllToAll, 3)
+		cfg.emsTopology().apply(&drlCfg)
+		s.fcNet = fednet.New(cfg.Homes, fcCfg)
+		s.drlNet = fednet.New(cfg.Homes, drlCfg)
 		s.fcComms = wire.NewExchange(cfg.Comms)
 		s.drlComms = wire.NewExchange(cfg.Comms)
 	case MethodCloud, MethodFL:

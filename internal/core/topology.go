@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fednet"
+)
+
+// Topology kind names accepted by TopologySpec (and the CLI's -topology
+// flags). The empty string means "inherit": the plane keeps the method's
+// native fabric (all-to-all for PFDRL).
+const (
+	TopoAllToAll = "all-to-all"
+	TopoSampled  = "sampled"
+	TopoCluster  = "cluster"
+)
+
+// TopologySpec selects a federation fabric for a decentralized plane.
+// PFDRL's paper form is all-to-all broadcast (the zero value); sampled
+// gossip and hierarchical cluster aggregation trade a slower per-round
+// consensus for sub-quadratic message complexity at fleet scale (see
+// DESIGN.md §12 for the cost table).
+type TopologySpec struct {
+	// Kind is one of "", TopoAllToAll, TopoSampled, TopoCluster.
+	Kind string
+	// K is the per-round peer sample size (sampled only).
+	K int
+	// ClusterSize groups homes into contiguous clusters of this size
+	// (cluster only; the last cluster takes the remainder).
+	ClusterSize int
+}
+
+// IsZero reports whether the spec inherits the method's native fabric.
+func (t TopologySpec) IsZero() bool { return t == (TopologySpec{}) }
+
+// apply overlays the spec onto a fednet config built for the all-to-all
+// default. Call validate first; apply assumes a known Kind.
+func (t TopologySpec) apply(nc *fednet.Config) {
+	switch t.Kind {
+	case TopoSampled:
+		nc.Topology = fednet.Sampled
+		nc.SampleK = t.K
+	case TopoCluster:
+		nc.Topology = fednet.Cluster
+		nc.ClusterSize = t.ClusterSize
+	}
+}
+
+// validate checks the spec against a fleet of n homes, delegating the
+// numeric constraints (k bounds, cluster shapes) to fednet so the CLI,
+// core, and fabric agree on one rule set.
+func (t TopologySpec) validate(n int) error {
+	switch t.Kind {
+	case "", TopoAllToAll:
+		if t.K != 0 || t.ClusterSize != 0 {
+			return fmt.Errorf("core: topology %q takes no K/ClusterSize (have K=%d ClusterSize=%d)",
+				TopoAllToAll, t.K, t.ClusterSize)
+		}
+		return nil
+	case TopoSampled, TopoCluster:
+		nc := fednet.Config{Topology: fednet.AllToAll}
+		t.apply(&nc)
+		if err := nc.ValidateTopology(n); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		return nil
+	}
+	return fmt.Errorf("core: unknown topology kind %q (want %q, %q, or %q)",
+		t.Kind, TopoAllToAll, TopoSampled, TopoCluster)
+}
+
+// emsTopology resolves the EMS (γ) plane's spec: EMSTopology when set,
+// else the shared Topology.
+func (c Config) emsTopology() TopologySpec {
+	if !c.EMSTopology.IsZero() {
+		return c.EMSTopology
+	}
+	return c.Topology
+}
+
+// validateTopologies checks both planes' specs for the configured method.
+func (c Config) validateTopologies() error {
+	if c.Topology.IsZero() && c.EMSTopology.IsZero() {
+		return nil
+	}
+	if c.Method != MethodPFDRL {
+		return fmt.Errorf("core: topology selection applies to the decentralized method %s, not %s",
+			MethodPFDRL, c.Method)
+	}
+	if err := c.Topology.validate(c.Homes); err != nil {
+		return fmt.Errorf("%w (forecast plane)", err)
+	}
+	if err := c.EMSTopology.validate(c.Homes); err != nil {
+		return fmt.Errorf("%w (EMS plane)", err)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/fednet"
+)
+
+// topoConfig is tinyConfig at a fleet size where sampled gossip and
+// clustering are both legal.
+func topoConfig() Config {
+	cfg := tinyConfig(MethodPFDRL)
+	cfg.Homes = 6
+	return cfg
+}
+
+func TestTopologySpecValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Config)
+		ok    bool
+		typed bool // invalid specs surface fednet.ErrTopology
+	}{
+		{name: "default all-to-all", mut: func(c *Config) {}, ok: true},
+		{name: "explicit all-to-all", mut: func(c *Config) { c.Topology = TopologySpec{Kind: TopoAllToAll} }, ok: true},
+		{name: "sampled k=2", mut: func(c *Config) { c.Topology = TopologySpec{Kind: TopoSampled, K: 2} }, ok: true},
+		{name: "cluster size 3", mut: func(c *Config) { c.Topology = TopologySpec{Kind: TopoCluster, ClusterSize: 3} }, ok: true},
+		{name: "ems override", mut: func(c *Config) {
+			c.Topology = TopologySpec{Kind: TopoSampled, K: 2}
+			c.EMSTopology = TopologySpec{Kind: TopoCluster, ClusterSize: 2}
+		}, ok: true},
+		{name: "unknown kind", mut: func(c *Config) { c.Topology = TopologySpec{Kind: "mesh"} }},
+		{name: "sampled k=0", mut: func(c *Config) { c.Topology = TopologySpec{Kind: TopoSampled} }, typed: true},
+		{name: "sampled k=homes", mut: func(c *Config) { c.Topology = TopologySpec{Kind: TopoSampled, K: 6} }, typed: true},
+		{name: "cluster no size", mut: func(c *Config) { c.Topology = TopologySpec{Kind: TopoCluster} }, typed: true},
+		{name: "all-to-all with k", mut: func(c *Config) { c.Topology = TopologySpec{Kind: TopoAllToAll, K: 3} }},
+		{name: "ems override bad", mut: func(c *Config) {
+			c.EMSTopology = TopologySpec{Kind: TopoSampled, K: 9}
+		}, typed: true},
+		{name: "non-decentralized method", mut: func(c *Config) {
+			c.Method = MethodFL
+			c.Topology = TopologySpec{Kind: TopoSampled, K: 2}
+		}},
+	}
+	for _, tc := range cases {
+		c := topoConfig()
+		tc.mut(&c)
+		err := c.Validate()
+		if tc.ok {
+			if err != nil {
+				t.Fatalf("%s: rejected: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if tc.typed && !errors.Is(err, fednet.ErrTopology) {
+			t.Fatalf("%s: error not fednet.ErrTopology: %v", tc.name, err)
+		}
+		if _, nerr := NewSystem(c); nerr == nil {
+			t.Fatalf("%s: NewSystem accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestSystemAppliesTopologySpecs(t *testing.T) {
+	cfg := topoConfig()
+	cfg.Topology = TopologySpec{Kind: TopoSampled, K: 2}
+	cfg.EMSTopology = TopologySpec{Kind: TopoCluster, ClusterSize: 3}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.fcNet.Config(); got.Topology != fednet.Sampled || got.SampleK != 2 {
+		t.Fatalf("forecast fabric %v k=%d, want sampled k=2", got.Topology, got.SampleK)
+	}
+	if got := s.drlNet.Config(); got.Topology != fednet.Cluster || got.ClusterSize != 3 {
+		t.Fatalf("EMS fabric %v size=%d, want cluster size=3", got.Topology, got.ClusterSize)
+	}
+
+	// Without the override, the EMS plane inherits the shared spec.
+	cfg.EMSTopology = TopologySpec{}
+	s, err = NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.drlNet.Config(); got.Topology != fednet.Sampled || got.SampleK != 2 {
+		t.Fatalf("EMS fabric %v, want inherited sampled k=2", got.Topology)
+	}
+}
+
+// TestTopologyRunsDeterministic runs the full simulation twice per
+// topology and demands identical Results — the topology layer must not
+// leak nondeterminism (map iteration, shared RNGs) into the pipeline.
+// It also checks the fabrics actually carried the expected traffic shape.
+func TestTopologyRunsDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec TopologySpec
+	}{
+		{"sampled", TopologySpec{Kind: TopoSampled, K: 2}},
+		{"cluster", TopologySpec{Kind: TopoCluster, ClusterSize: 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := topoConfig()
+			cfg.Topology = tc.spec
+			a, b := mustRun(t, cfg), mustRun(t, cfg)
+			// Durations are wall clock; everything simulated must match.
+			if !reflect.DeepEqual(a.DailySavedKWhPerHome, b.DailySavedKWhPerHome) ||
+				!reflect.DeepEqual(a.PerHomeSavedKWhFinal, b.PerHomeSavedKWhFinal) ||
+				!reflect.DeepEqual(a.AccuracySamples, b.AccuracySamples) {
+				t.Fatal("twin runs diverged on simulated outcomes")
+			}
+			if a.ForecastNetStats != b.ForecastNetStats || a.EMSNetStats != b.EMSNetStats {
+				t.Fatal("twin runs diverged on fabric stats")
+			}
+			if a.Resilience != b.Resilience || a.ForecastComms != b.ForecastComms || a.EMSComms != b.EMSComms {
+				t.Fatal("twin runs diverged on round accounting")
+			}
+			if a.ForecastNetStats.MessagesSent == 0 || a.EMSNetStats.MessagesSent == 0 {
+				t.Fatal("topology run moved no messages")
+			}
+			// Both fabrics must undercut all-to-all's n(n−1) per round.
+			allToAll := mustRun(t, topoConfig())
+			if a.ForecastNetStats.MessagesSent >= allToAll.ForecastNetStats.MessagesSent {
+				t.Fatalf("%s sent %d forecast messages, all-to-all %d",
+					tc.name, a.ForecastNetStats.MessagesSent, allToAll.ForecastNetStats.MessagesSent)
+			}
+			if a.Resilience.DegradedRounds != 0 {
+				t.Fatalf("clean %s run reported %d degraded rounds", tc.name, a.Resilience.DegradedRounds)
+			}
+		})
+	}
+}

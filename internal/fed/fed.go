@@ -244,6 +244,7 @@ func CentralizedRound(net *fednet.Network, models []*nn.Sequential, kind string,
 	defer func() {
 		st := net.Stats()
 		rep.BytesSent = st.BytesSent - st0.BytesSent
+		rep.Messages = st.MessagesSent - st0.MessagesSent
 		rep.DenseBytes = rep.BytesSent
 	}()
 	// Upload.

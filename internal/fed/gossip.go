@@ -38,6 +38,7 @@ func GossipRound(net *fednet.Network, models []*nn.Sequential, kind string, alph
 	if n == 1 {
 		return RoundReport{Agents: 1, MinSets: 1, MaxSets: 1}, nil
 	}
+	rep.PartialExchange = true
 	live := make([]bool, n)
 	for i := range models {
 		if net.AgentDown(i) {
@@ -47,6 +48,7 @@ func GossipRound(net *fednet.Network, models []*nn.Sequential, kind string, alph
 		live[i] = true
 		rep.Agents++
 	}
+	st0 := net.Stats()
 	snaps := make([][]*tensor.Matrix, n)
 	for i, m := range models {
 		if !live[i] {
@@ -57,13 +59,23 @@ func GossipRound(net *fednet.Network, models []*nn.Sequential, kind string, alph
 			return rep, err
 		}
 	}
+	st := net.Stats()
+	rep.BytesSent = st.BytesSent - st0.BytesSent
+	rep.Messages = st.MessagesSent - st0.MessagesSent
+	rep.DenseBytes = rep.BytesSent
 	var starved []int
 	for i, m := range models {
 		if !live[i] {
 			continue
 		}
 		base := baseParams(m, alpha)
-		sets := rep.collectSets(net, i, base, kind, snaps[i])
+		inbox := net.Collect(i)
+		for _, msg := range inbox {
+			if msg.Kind == kind {
+				rep.BytesReceived += int64(len(msg.Payload))
+			}
+		}
+		sets := rep.collectFrom(inbox, i, base, kind, snaps[i], nil)
 		rep.countSets(nn.AverageParamSets(base, sets...))
 		if len(sets) == 0 {
 			starved = append(starved, i)

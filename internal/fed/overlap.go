@@ -176,6 +176,8 @@ func BeginDecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind 
 		panic("fed: BeginDecentralizedRound: workspace round still pending (Join it first)")
 	}
 	ws.ensureAgents(n)
+	topo := net.Config().Topology
+	p.rep.PartialExchange = topo == fednet.Ring || topo == fednet.Sampled
 	live := make([]bool, n)
 	for i := range models {
 		if net.AgentDown(i) {
@@ -235,6 +237,7 @@ func BeginDecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind 
 	}
 	st := net.Stats()
 	p.rep.BytesSent = st.BytesSent - st0.BytesSent
+	p.rep.Messages = st.MessagesSent - st0.MessagesSent
 	if ws.Comms != nil && len(p.bases) > 0 {
 		// Dense baseline: the same attempts carrying PFP1 payloads. The
 		// attempt count is unchanged by payload size (drop/corruption RNG

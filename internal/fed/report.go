@@ -46,6 +46,19 @@ type RoundReport struct {
 	// Rejects details every exclusion.
 	Rejects []Reject
 
+	// PartialExchange marks a round whose protocol never promises full
+	// participation — ring and sampled gossip, where each agent averages
+	// only its (sampled) neighborhood by design. Degraded then means an
+	// agent folded *zero* sets, not fewer than the fleet.
+	PartialExchange bool
+
+	// Messages counts the wire attempts the round's transport phase made
+	// (retries included), taken as a fednet.Stats delta like the byte
+	// fields. The topology suites pin it against the closed forms —
+	// N·(N−1) all-to-all, N·k sampled, (N−C)+C·(C−1)+C′ cluster — on a
+	// drop-free fabric.
+	Messages int
+
 	// BytesSent is what the round's transport phase actually put on the
 	// wire (every attempt, retries included), taken as a fednet.Stats
 	// delta around the broadcast/drain. BytesReceived counts the payload
@@ -106,10 +119,17 @@ func (c CommsTotals) CompressionRatio() float64 {
 	return float64(c.DenseBytes) / float64(c.BytesSent)
 }
 
-// Degraded reports whether the round fell short of full participation.
+// Degraded reports whether the round fell short of the participation its
+// protocol promises: the full fleet for broadcast and cluster rounds, at
+// least each agent's own set for partial exchanges (ring/sampled gossip).
 func (r RoundReport) Degraded() bool {
-	return r.Crashed > 0 || r.CorruptRejected > 0 || r.NaNRejected > 0 ||
-		(r.Agents > 0 && r.MinSets < r.Agents)
+	if r.Crashed > 0 || r.CorruptRejected > 0 || r.NaNRejected > 0 {
+		return true
+	}
+	if r.PartialExchange {
+		return r.Agents > 0 && r.MinSets < 1
+	}
+	return r.Agents > 0 && r.MinSets < r.Agents
 }
 
 // rejectsFor formats the rejects concerning one aggregating agent, for

@@ -1,0 +1,295 @@
+package fed
+
+// Chaos-interaction suite for the topology layer (extends the
+// resilience_test pattern): sampled and cluster rounds under FaultPlan
+// partitions, crashes, corruption, and stragglers must degrade through
+// the existing graceful paths — quarantined payloads, kept parameters,
+// sat-out agents — with RoundReport outcomes that are exactly predictable
+// from the deterministic topology and fault script.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fednet"
+	"repro/internal/nn"
+)
+
+// cloneFleetParams deep-copies every model's full parameter set for
+// before/after comparisons.
+func cloneFleetParams(models []*nn.Sequential) [][]float64 {
+	out := make([][]float64, len(models))
+	for i, m := range models {
+		for _, p := range m.Params() {
+			out[i] = append(out[i], p.Data...)
+		}
+	}
+	return out
+}
+
+// requireUnchanged asserts the listed agents hold bit-identical parameters
+// to the snapshot taken before the round.
+func requireUnchanged(t *testing.T, models []*nn.Sequential, before [][]float64, agents []int, ctx string) {
+	t.Helper()
+	for _, i := range agents {
+		k := 0
+		for j, p := range models[i].Params() {
+			for e := range p.Data {
+				if math.Float64bits(p.Data[e]) != math.Float64bits(before[i][k]) {
+					t.Fatalf("%s: agent %d param %d elem %d changed", ctx, i, j, e)
+				}
+				k++
+			}
+		}
+	}
+}
+
+// TestSampledRoundPartitionDeterministic predicts a partitioned sampled
+// round exactly: the expected per-agent aggregate sizes and the message
+// count follow from the deterministically sampled peer graph minus the
+// severed link, and a twin fleet under the same script stays
+// bit-identical.
+func TestSampledRoundPartitionDeterministic(t *testing.T) {
+	const n, k = 8, 3
+	cfg := fednet.Config{
+		Topology: fednet.Sampled, SampleK: k, Seed: 3,
+		Faults: fednet.FaultPlan{Partitions: []fednet.Partition{{A: 0, B: 2, EndMin: 9999}}},
+	}
+	// Scout the epoch-1 graph (the round advances the epoch before
+	// broadcasting) on a scratch network with the same seed.
+	scout := fednet.New(n, fednet.Config{Topology: fednet.Sampled, SampleK: k, Seed: 3})
+	scout.AdvanceRoundEpoch()
+	indegree := make([]int, n)
+	blockedSends := 0
+	for s := 0; s < n; s++ {
+		for _, to := range scout.SampledPeers(s) {
+			cut := (s == 0 && to == 2) || (s == 2 && to == 0)
+			if cut {
+				blockedSends++
+				continue
+			}
+			indegree[to]++
+		}
+	}
+	wantMin, wantMax := n, 0
+	for i := 0; i < n; i++ {
+		sets := 1 + indegree[i] // own snapshot + what the graph delivers
+		if sets < wantMin {
+			wantMin = sets
+		}
+		if sets > wantMax {
+			wantMax = sets
+		}
+	}
+	if blockedSends == 0 {
+		t.Fatal("seed 3 epoch 1 never crosses the 0–2 link; pick a different seed")
+	}
+
+	modelsA, modelsB := mlps(n, 80), mlps(n, 80)
+	netA, netB := fednet.New(n, cfg), fednet.New(n, cfg)
+	repA, err := SampledGossipRound(netA, modelsA, "m", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := SampledGossipRound(netB, modelsB, "m", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitEqual(t, modelsA, modelsB, "partitioned sampled twins")
+	if repA.MinSets != repB.MinSets || repA.Messages != repB.Messages {
+		t.Fatalf("twin reports diverged: %+v vs %+v", repA, repB)
+	}
+	if repA.MinSets != wantMin || repA.MaxSets != wantMax {
+		t.Fatalf("sets [%d,%d], predicted [%d,%d]", repA.MinSets, repA.MaxSets, wantMin, wantMax)
+	}
+	// Blocked sends fail fast: they are counted in Stats.MessagesBlocked,
+	// not in the round's wire messages.
+	if want := n*k - blockedSends; repA.Messages != want {
+		t.Fatalf("messages %d, want n·k − blocked = %d", repA.Messages, want)
+	}
+	if st := netA.Stats(); st.MessagesBlocked != blockedSends {
+		t.Fatalf("MessagesBlocked %d, want %d", st.MessagesBlocked, blockedSends)
+	}
+	if repA.Crashed != 0 || repA.Agents != n || len(repA.Rejects) != 0 {
+		t.Fatalf("partition produced unexpected report %+v", repA)
+	}
+}
+
+// TestClusterRoundCrashedAggregator pins the blast radius of losing a
+// cluster head: its members sit the round out bit-untouched (counting
+// zero sets), while the surviving cluster still completes a local
+// aggregation, and the message count shrinks to that cluster's traffic.
+func TestClusterRoundCrashedAggregator(t *testing.T) {
+	const n = 8
+	models := mlps(n, 81)
+	net := fednet.New(n, fednet.Config{
+		Topology: fednet.Cluster, ClusterSize: 4,
+		Faults: fednet.FaultPlan{Crashes: []fednet.CrashWindow{{Agent: 0, EndMin: 9999}}},
+	})
+	before := cloneFleetParams(models)
+	rep, err := ClusterRound(net, models, "m", -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster {0,1,2,3} is headless: members 1–3 keep their parameters.
+	requireUnchanged(t, models, before, []int{1, 2, 3}, "headless cluster")
+	if rep.Crashed != 1 || rep.Agents != n-1 {
+		t.Fatalf("participation %d live / %d crashed, want %d / 1", rep.Agents, rep.Crashed, n-1)
+	}
+	// Headless members count zero; cluster {4..7} aggregates its 4 members
+	// (no other summaries exist).
+	if rep.MinSets != 0 || rep.MaxSets != 4 {
+		t.Fatalf("sets [%d,%d], want [0,4]", rep.MinSets, rep.MaxSets)
+	}
+	// Traffic: 3 uploads in the live cluster + 0 summaries (no live peer
+	// aggregator) + 1 multicast download.
+	if rep.Messages != 4 {
+		t.Fatalf("messages %d, want 4", rep.Messages)
+	}
+	if !rep.Degraded() {
+		t.Fatal("headless-cluster round must read as degraded")
+	}
+	// The live cluster agreed on its local mean.
+	for i := 5; i < 8; i++ {
+		pa, pb := models[4].Params(), models[i].Params()
+		for j := range pa {
+			for e := range pa[j].Data {
+				if math.Float64bits(pa[j].Data[e]) != math.Float64bits(pb[j].Data[e]) {
+					t.Fatalf("live cluster disagrees: agents 4 and %d", i)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterRoundCorruptionQuarantine runs a cluster round through a
+// fabric corrupting every payload: the CRC/codec gates must quarantine
+// every hop — uploads, summaries, downloads — leaving the entire fleet
+// bit-untouched, with the rejects itemized per receiving agent.
+func TestClusterRoundCorruptionQuarantine(t *testing.T) {
+	const n = 8
+	models := mlps(n, 82)
+	net := fednet.New(n, fednet.Config{
+		Topology: fednet.Cluster, ClusterSize: 4, Seed: 9,
+		Faults: fednet.FaultPlan{CorruptProb: 1},
+	})
+	before := cloneFleetParams(models)
+	rep, err := ClusterRound(net, models, "m", -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	// Aggregators fold only their own clean snapshot (a 1-set mean is the
+	// identity), members reject the corrupted download: nobody moves.
+	requireUnchanged(t, models, before, all, "all-corrupt cluster round")
+	// Every hop rejected: 6 uploads + 2 summaries + 2 multicast downloads
+	// heard by 3 members each.
+	if want := 6 + 2 + 6; rep.CorruptRejected != want || len(rep.Rejects) != want {
+		t.Fatalf("corrupt-rejected %d (%d records), want %d", rep.CorruptRejected, len(rep.Rejects), want)
+	}
+	if rep.MinSets != 0 || rep.MaxSets != 1 {
+		t.Fatalf("sets [%d,%d], want [0,1]", rep.MinSets, rep.MaxSets)
+	}
+	if !rep.Degraded() {
+		t.Fatal("fully corrupted round must read as degraded")
+	}
+	if rep.NaNRejected != 0 {
+		t.Fatalf("NaN rejects %d on a corruption-only fabric", rep.NaNRejected)
+	}
+}
+
+// TestClusterRoundMemberPartition severs one member↔aggregator link: the
+// member's upload is blocked and it misses the download, keeping its
+// parameters, while both clusters otherwise aggregate; the global
+// estimates simply under-represent the cut member.
+func TestClusterRoundMemberPartition(t *testing.T) {
+	const n = 8
+	models := mlps(n, 83)
+	net := fednet.New(n, fednet.Config{
+		Topology: fednet.Cluster, ClusterSize: 4,
+		Faults: fednet.FaultPlan{Partitions: []fednet.Partition{{A: 0, B: 1, EndMin: 9999}}},
+	})
+	before := cloneFleetParams(models)
+	rep, err := ClusterRound(net, models, "m", -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireUnchanged(t, models, before, []int{1}, "partitioned member")
+	// Cluster 0 reduces 3 sets (agg + members 2,3), cluster 1 all 4; both
+	// fold both summaries, so every reached agent represents 7 originals.
+	if rep.MinSets != 0 || rep.MaxSets != 7 {
+		t.Fatalf("sets [%d,%d], want [0,7]", rep.MinSets, rep.MaxSets)
+	}
+	// Traffic: 5 uploads (one blocked) + 2 summaries + 2 downloads.
+	if rep.Messages != 9 {
+		t.Fatalf("messages %d, want 9", rep.Messages)
+	}
+	if rep.Crashed != 0 || len(rep.Rejects) != 0 {
+		t.Fatalf("partition produced rejects or crash counts: %+v", rep)
+	}
+	if !rep.Degraded() {
+		t.Fatal("member cut from its aggregator must read as degraded")
+	}
+}
+
+// TestClusterRoundDivergedMember poisons one member's parameters: the
+// upload is withheld at the source (divergence filter), the cluster mean
+// excludes it, and the download still reaches and repairs the diverged
+// member — the aggregation hierarchy doubles as NaN containment.
+func TestClusterRoundDivergedMember(t *testing.T) {
+	const n = 8
+	models := mlps(n, 84)
+	models[1].Params()[0].Data[0] = nan()
+	net := fednet.New(n, fednet.Config{Topology: fednet.Cluster, ClusterSize: 4})
+	rep, err := ClusterRound(net, models, "m", -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NaNRejected != 1 || rep.CorruptRejected != 0 {
+		t.Fatalf("rejects %d NaN / %d corrupt, want 1 / 0", rep.NaNRejected, rep.CorruptRejected)
+	}
+	// The poisoned member installed the clean global estimate: 7 originals
+	// represented everywhere, and no NaN survives anywhere in the fleet.
+	if rep.MinSets != 7 || rep.MaxSets != 7 {
+		t.Fatalf("sets [%d,%d], want [7,7]", rep.MinSets, rep.MaxSets)
+	}
+	for i, m := range models {
+		for _, p := range m.Params() {
+			if p.HasNaN() {
+				t.Fatalf("agent %d still carries NaN after the round", i)
+			}
+		}
+	}
+}
+
+// TestSampledRoundStragglerDeterministic checks stragglers cost only
+// simulated time: a fleet with an 8× straggler produces bit-identical
+// parameters and an identical report to a fault-free twin, while the
+// fabric clock shows the inflation.
+func TestSampledRoundStragglerDeterministic(t *testing.T) {
+	const n, k = 8, 3
+	base := fednet.Config{Topology: fednet.Sampled, SampleK: k, Seed: 4}
+	slow := base
+	slow.Faults = fednet.FaultPlan{Stragglers: []fednet.Straggler{{Agent: 7, Factor: 8}}}
+	fastModels, slowModels := mlps(n, 85), mlps(n, 85)
+	fastNet, slowNet := fednet.New(n, base), fednet.New(n, slow)
+	fastRep, err := SampledGossipRound(fastNet, fastModels, "m", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowRep, err := SampledGossipRound(slowNet, slowModels, "m", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitEqual(t, fastModels, slowModels, "straggler twin")
+	if fastRep.Messages != slowRep.Messages || fastRep.MinSets != slowRep.MinSets || fastRep.MaxSets != slowRep.MaxSets {
+		t.Fatalf("straggler changed participation: %+v vs %+v", fastRep, slowRep)
+	}
+	if fastNet.Stats().SimulatedTime >= slowNet.Stats().SimulatedTime {
+		t.Fatalf("straggler fabric not slower: %v vs %v",
+			fastNet.Stats().SimulatedTime, slowNet.Stats().SimulatedTime)
+	}
+}

@@ -40,6 +40,15 @@ const (
 	// the classic low-degree gossip fabric, trading per-round convergence
 	// for O(n) instead of O(n²) messages per round.
 	Ring
+	// Sampled is random-k gossip: each agent may send only to the k peers
+	// drawn deterministically for it at the current round epoch (see
+	// topology.go), giving n·k messages per round instead of n·(n−1).
+	Sampled
+	// Cluster is hierarchical aggregation: agents are grouped into
+	// clusters, each headed by an aggregator (its first member). Members
+	// exchange only with their aggregator; aggregators exchange with each
+	// other. One round costs (n−C) + C·(C−1) + C′ messages for C clusters.
+	Cluster
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +58,10 @@ func (t Topology) String() string {
 		return "star"
 	case Ring:
 		return "ring"
+	case Sampled:
+		return "sampled"
+	case Cluster:
+		return "cluster"
 	default:
 		return "all-to-all"
 	}
@@ -75,6 +88,22 @@ type Config struct {
 	// Retry configures the acked transport used by Broadcast and
 	// SendReliable. The zero value is fire-and-forget (one attempt).
 	Retry RetryPolicy
+
+	// SampleK is the per-agent fan-out under the Sampled topology: each
+	// agent exchanges with exactly SampleK peers per round epoch. Must be
+	// in [1, n−1]; ignored by other topologies.
+	SampleK int
+	// Clusters is the explicit cluster assignment under the Cluster
+	// topology: each inner slice lists one cluster's members, the first of
+	// which is its aggregator. Every agent must appear in exactly one
+	// cluster. When empty, agents are grouped contiguously into clusters
+	// of ClusterSize instead.
+	Clusters [][]int
+	// ClusterSize groups agents contiguously ([0..s), [s..2s), ...) when
+	// Clusters is empty; the last cluster may be smaller. Each cluster's
+	// lowest-numbered agent is its aggregator. Ignored by other
+	// topologies and when Clusters is set.
+	ClusterSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -164,29 +193,56 @@ type Network struct {
 	// tel mirrors stats into live telemetry counters; the zero value (all
 	// nil handles) is the uninstrumented state.
 	tel netTel
+
+	// topoEpoch is the Sampled topology's round counter; peers holds each
+	// agent's current-epoch sampled fan-out (see topology.go).
+	topoEpoch int
+	peers     [][]int
+	// clusters / clusterOf are the Cluster topology's normalized member
+	// lists (first member = aggregator) and agent → cluster map. Immutable
+	// after construction.
+	clusters  [][]int
+	clusterOf []int
 }
 
 // New creates a network of n agents. For Star topology, agent 0 is the hub.
-// It panics on an invalid FaultPlan (out-of-range agents), matching the
-// constructor's n < 1 contract.
+// It panics on an invalid FaultPlan (out-of-range agents) or topology
+// configuration, matching the constructor's n < 1 contract. Callers
+// handling user-supplied topology configuration should prefer NewChecked.
 func New(n int, cfg Config) *Network {
+	nw, err := NewChecked(n, cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return nw
+}
+
+// NewChecked is New returning configuration problems as errors instead of
+// panicking: topology failures wrap ErrTopology, so user-facing config
+// paths can surface them as typed validation errors.
+func NewChecked(n int, cfg Config) (*Network, error) {
 	if n < 1 {
-		panic(fmt.Sprintf("fednet: need at least 1 agent, got %d", n))
+		return nil, fmt.Errorf("fednet: need at least 1 agent, got %d", n)
 	}
 	if err := cfg.Faults.Validate(n); err != nil {
-		panic(err.Error())
+		return nil, err
+	}
+	if err := cfg.ValidateTopology(n); err != nil {
+		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	fseed := cfg.Faults.Seed
 	if fseed == 0 {
 		fseed = cfg.Seed + 0x5eed
 	}
-	return &Network{
+	nw := &Network{
 		cfg:     cfg,
 		inboxes: make([][]Message, n),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		crng:    rand.New(rand.NewSource(fseed)),
 	}
+	nw.initTopology()
+	return nw, nil
 }
 
 // N returns the number of agents.
@@ -212,26 +268,47 @@ func (nw *Network) checkSend(from, to int) error {
 	if from == to {
 		return fmt.Errorf("fednet: agent %d sending to itself", from)
 	}
-	if nw.cfg.Topology == Star && from != 0 && to != 0 {
-		return fmt.Errorf("fednet: star topology forbids %d -> %d (spoke to spoke)", from, to)
-	}
-	if nw.cfg.Topology == Ring && !nw.ringAdjacent(from, to) {
-		return fmt.Errorf("fednet: ring topology forbids %d -> %d (non-adjacent)", from, to)
+	switch nw.cfg.Topology {
+	case Star:
+		if from != 0 && to != 0 {
+			return fmt.Errorf("fednet: star topology forbids %d -> %d (spoke to spoke)", from, to)
+		}
+	case Ring:
+		if !nw.ringAdjacent(from, to) {
+			return fmt.Errorf("fednet: ring topology forbids %d -> %d (non-adjacent)", from, to)
+		}
+	case Sampled:
+		nw.mu.Lock()
+		ok := nw.sampledPermitted(from, to)
+		epoch := nw.topoEpoch
+		nw.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("fednet: sampled topology forbids %d -> %d (not a sampled peer at epoch %d)", from, to, epoch)
+		}
+	case Cluster:
+		if !nw.clusterPermitted(from, to) {
+			return fmt.Errorf("fednet: cluster topology forbids %d -> %d (neither member↔aggregator nor aggregator↔aggregator)", from, to)
+		}
 	}
 	return nil
 }
 
 // permitted reports whether the topology allows a from→to message; it is
-// the Broadcast-side filter matching checkSend's error cases.
+// the Broadcast-side filter matching checkSend's error cases. Caller
+// holds nw.mu (the Sampled peer sets are replaced under it).
 func (nw *Network) permitted(from, to int) bool {
 	if from == to {
 		return false
 	}
-	if nw.cfg.Topology == Star && from != 0 && to != 0 {
-		return false
-	}
-	if nw.cfg.Topology == Ring && !nw.ringAdjacent(from, to) {
-		return false
+	switch nw.cfg.Topology {
+	case Star:
+		return from == 0 || to == 0
+	case Ring:
+		return nw.ringAdjacent(from, to)
+	case Sampled:
+		return nw.sampledPermitted(from, to)
+	case Cluster:
+		return nw.clusterPermitted(from, to)
 	}
 	return true
 }
@@ -388,6 +465,14 @@ func (nw *Network) Broadcast(from int, kind string, payload []byte) error {
 	}
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
+	if nw.cfg.Topology == Sampled {
+		// Walk the k-element peer set directly instead of scanning all n
+		// agents — keeps a sampled broadcast O(k), not O(n), per sender.
+		for _, to := range nw.peers[from] {
+			nw.sendReliable(from, to, kind, payload, budget)
+		}
+		return nil
+	}
 	for to := 0; to < nw.N(); to++ {
 		if !nw.permitted(from, to) {
 			continue
@@ -495,20 +580,14 @@ func (nw *Network) checkEndpoint(a int) error {
 // exchange would be an idempotent no-op (averaging identical parameters),
 // but the fabric cost is real and must appear in the overhead figures.
 //
-// One round counts n·(n−1) messages under AllToAll and 2·(n−1) under Star
-// (upload plus redistribution).
+// One round counts RoundMessages() messages: n·(n−1) under AllToAll,
+// 2·(n−1) under Star (upload plus redistribution), n·k under Sampled,
+// (n−C) + C·(C−1) + C′ under Cluster.
 func (nw *Network) ChargeBroadcastRounds(bytes, rounds int) {
 	if rounds <= 0 || nw.N() <= 1 {
 		return
 	}
-	n := nw.N()
-	msgs := n * (n - 1)
-	switch nw.cfg.Topology {
-	case Star:
-		msgs = 2 * (n - 1)
-	case Ring:
-		msgs = 2 * n
-	}
+	msgs := nw.RoundMessages()
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	nw.stats.MessagesSent += rounds * msgs
@@ -530,14 +609,23 @@ func (nw *Network) ChargeBroadcastRounds(bytes, rounds int) {
 //     (n−1)·transfer(bytes).
 //   - Star with n agents (hub + n−1 spokes): spokes upload in parallel
 //     (one transfer), then the hub re-distributes serially to n−1 spokes.
+//   - Sampled: each sends to its k peers serially ⇒ k·transfer(bytes).
+//   - Cluster with C clusters of ≤ m members: parallel uploads (one
+//     transfer), each aggregator sends C−1 summaries serially, one
+//     multicast download ⇒ (C+1)·transfer(bytes).
 func (nw *Network) BroadcastRoundTime(bytes int) time.Duration {
 	n := nw.N()
 	if n <= 1 {
 		return 0
 	}
 	t := nw.TransferTime(bytes)
-	if nw.cfg.Topology == Star {
+	switch nw.cfg.Topology {
+	case Star:
 		return t + time.Duration(n-1)*t
+	case Sampled:
+		return time.Duration(nw.cfg.SampleK) * t
+	case Cluster:
+		return time.Duration(len(nw.clusters)+1) * t
 	}
 	return time.Duration(n-1) * t
 }

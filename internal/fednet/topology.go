@@ -1,0 +1,413 @@
+package fednet
+
+// Scalable federation topologies (DESIGN.md §12). The paper's LAN is
+// all-to-all — O(n²) messages per round — which caps the fleet size the
+// simulator (and any real deployment) can push through a round. Two
+// sub-quadratic fabrics lift that wall:
+//
+//   - Sampled: random-k gossip. Every round epoch, each agent draws k
+//     peers deterministically from (Seed, epoch, agent) and may send only
+//     to them. One exchange round moves exactly n·k messages; resampling
+//     every epoch keeps the union graph expander-like, so repeated rounds
+//     still drive the fleet to consensus.
+//   - Cluster: hierarchical aggregation (Briggs et al.'s clustered FL for
+//     residential fleets). Agents are grouped into clusters, each with an
+//     aggregator (its first member). Members speak only to their
+//     aggregator over the shared in-building segment; aggregators speak
+//     to each other over routed links. One round moves
+//     (n−C) + C·(C−1) + C′ messages for C clusters (C′ of them with ≥ 2
+//     members): uploads, summary exchange, and one multicast download per
+//     multi-member cluster.
+//
+// All sampling and grouping is a pure function of the Config — no draw
+// touches the drop/corruption RNG streams — so twin networks built from
+// one Config route identically, which is what the deterministic topology
+// test suites pin.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrTopology marks an invalid topology configuration: a sampled fan-out
+// that cannot be satisfied, a malformed cluster assignment, and so on.
+// Every validation failure wraps it, so callers can errors.Is-match the
+// whole family.
+var ErrTopology = errors.New("fednet: invalid topology configuration")
+
+// ValidateTopology checks the topology-specific configuration against a
+// fleet of n agents. It never panics; every failure wraps ErrTopology.
+// Kinds without extra configuration (AllToAll, Star, Ring) always pass.
+func (c Config) ValidateTopology(n int) error {
+	if n < 1 {
+		return fmt.Errorf("%w: need at least 1 agent, got %d", ErrTopology, n)
+	}
+	switch c.Topology {
+	case Sampled:
+		if c.SampleK < 1 {
+			return fmt.Errorf("%w: sampled gossip needs SampleK ≥ 1, got %d", ErrTopology, c.SampleK)
+		}
+		if n < 2 {
+			return fmt.Errorf("%w: sampled gossip needs ≥ 2 agents, got %d", ErrTopology, n)
+		}
+		if c.SampleK >= n {
+			return fmt.Errorf("%w: SampleK %d must be < fleet size %d (an agent cannot sample itself)", ErrTopology, c.SampleK, n)
+		}
+	case Cluster:
+		if _, _, err := c.clusterSpec(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clusterSpec normalizes the cluster assignment for n agents: the cluster
+// member lists (each cluster's first member is its aggregator) and the
+// agent → cluster index map. Explicit Clusters win; otherwise agents are
+// grouped contiguously into clusters of ClusterSize (the last cluster may
+// be smaller). Every failure wraps ErrTopology.
+func (c Config) clusterSpec(n int) (clusters [][]int, clusterOf []int, err error) {
+	if len(c.Clusters) == 0 {
+		if c.ClusterSize < 1 {
+			return nil, nil, fmt.Errorf("%w: cluster topology needs ClusterSize ≥ 1 (or explicit Clusters), got %d", ErrTopology, c.ClusterSize)
+		}
+		clusterOf = make([]int, n)
+		for start := 0; start < n; start += c.ClusterSize {
+			end := start + c.ClusterSize
+			if end > n {
+				end = n
+			}
+			members := make([]int, 0, end-start)
+			for a := start; a < end; a++ {
+				clusterOf[a] = len(clusters)
+				members = append(members, a)
+			}
+			clusters = append(clusters, members)
+		}
+		return clusters, clusterOf, nil
+	}
+	clusterOf = make([]int, n)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	clusters = make([][]int, 0, len(c.Clusters))
+	for ci, members := range c.Clusters {
+		if len(members) == 0 {
+			return nil, nil, fmt.Errorf("%w: cluster %d is empty", ErrTopology, ci)
+		}
+		copied := make([]int, len(members))
+		for mi, a := range members {
+			if a < 0 || a >= n {
+				return nil, nil, fmt.Errorf("%w: cluster %d member %d out of range [0,%d)", ErrTopology, ci, a, n)
+			}
+			if clusterOf[a] != -1 {
+				return nil, nil, fmt.Errorf("%w: agent %d assigned to clusters %d and %d", ErrTopology, a, clusterOf[a], ci)
+			}
+			clusterOf[a] = ci
+			copied[mi] = a
+		}
+		clusters = append(clusters, copied)
+	}
+	for a, ci := range clusterOf {
+		if ci == -1 {
+			return nil, nil, fmt.Errorf("%w: agent %d belongs to no cluster", ErrTopology, a)
+		}
+	}
+	return clusters, clusterOf, nil
+}
+
+// topoSeed mixes (seed, epoch, agent) into one RNG seed (splitmix64-style
+// finalizer). The sampling stream is independent of the drop and
+// corruption RNGs, so adding or removing topology draws never perturbs the
+// fault processes — the property the twin-fleet determinism tests rely on.
+func topoSeed(seed int64, epoch, agent int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(epoch+1) + 0xBF58476D1CE4E5B9*uint64(agent+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// samplePeers draws k distinct peers for one agent at one epoch — a pure
+// function of (seed, epoch, agent, n, k). Small fan-outs use rejection
+// sampling (O(k) expected); dense fan-outs fall back to a partial
+// Fisher–Yates shuffle over the candidate list.
+func samplePeers(seed int64, epoch, agent, n, k int) []int {
+	rng := rand.New(rand.NewSource(topoSeed(seed, epoch, agent)))
+	peers := make([]int, 0, k)
+	if k <= (n-1)/2 {
+		seen := make(map[int]bool, k)
+		for len(peers) < k {
+			p := rng.Intn(n)
+			if p == agent || seen[p] {
+				continue
+			}
+			seen[p] = true
+			peers = append(peers, p)
+		}
+		return peers
+	}
+	cands := make([]int, 0, n-1)
+	for a := 0; a < n; a++ {
+		if a != agent {
+			cands = append(cands, a)
+		}
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(cands)-i)
+		cands[i], cands[j] = cands[j], cands[i]
+	}
+	return append(peers, cands[:k]...)
+}
+
+// initTopology precomputes the routing state New needs: the cluster
+// normalization and the epoch-0 peer samples. Caller guarantees the
+// config already validated.
+func (nw *Network) initTopology() {
+	switch nw.cfg.Topology {
+	case Sampled:
+		nw.resamplePeersLocked()
+	case Cluster:
+		clusters, clusterOf, err := nw.cfg.clusterSpec(nw.N())
+		if err != nil {
+			// New validated the config; reaching here is a programming error.
+			panic(err.Error())
+		}
+		nw.clusters, nw.clusterOf = clusters, clusterOf
+	}
+}
+
+// resamplePeersLocked redraws every agent's peer set for the current
+// epoch. Caller holds nw.mu (or is the constructor).
+func (nw *Network) resamplePeersLocked() {
+	n := nw.N()
+	if nw.peers == nil {
+		nw.peers = make([][]int, n)
+	}
+	for a := 0; a < n; a++ {
+		nw.peers[a] = samplePeers(nw.cfg.Seed, nw.topoEpoch, a, n, nw.cfg.SampleK)
+	}
+}
+
+// AdvanceRoundEpoch moves the Sampled topology to its next round epoch,
+// redrawing every agent's k peers. Federation rounds call it once per
+// exchange so successive rounds mix over fresh random graphs. It is a
+// no-op for other topologies.
+func (nw *Network) AdvanceRoundEpoch() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.topoEpoch++
+	if nw.cfg.Topology == Sampled {
+		nw.resamplePeersLocked()
+	}
+}
+
+// RoundEpoch returns the current topology round epoch (0 before any
+// AdvanceRoundEpoch).
+func (nw *Network) RoundEpoch() int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.topoEpoch
+}
+
+// SampledPeers returns the agent's current-epoch sampled peer set under
+// the Sampled topology (nil otherwise). The slice is shared — callers
+// must not modify it.
+func (nw *Network) SampledPeers(agent int) []int {
+	if err := nw.checkEndpoint(agent); err != nil {
+		panic(err)
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.cfg.Topology != Sampled {
+		return nil
+	}
+	return nw.peers[agent]
+}
+
+// sampledPermitted reports whether from may send to to at the current
+// epoch: to must be in from's sampled peer set. Caller need not hold
+// nw.mu for reads of peers because the slice is replaced, not mutated —
+// but all call sites hold it anyway via the send paths.
+func (nw *Network) sampledPermitted(from, to int) bool {
+	for _, p := range nw.peers[from] {
+		if p == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Clusters returns the normalized cluster member lists under the Cluster
+// topology (nil otherwise). Each cluster's first member is its
+// aggregator. The slices are shared — callers must not modify them.
+func (nw *Network) Clusters() [][]int {
+	if nw.cfg.Topology != Cluster {
+		return nil
+	}
+	return nw.clusters
+}
+
+// ClusterOf returns the agent's cluster index under the Cluster topology
+// (-1 otherwise).
+func (nw *Network) ClusterOf(agent int) int {
+	if err := nw.checkEndpoint(agent); err != nil {
+		panic(err)
+	}
+	if nw.cfg.Topology != Cluster {
+		return -1
+	}
+	return nw.clusterOf[agent]
+}
+
+// Aggregator returns the aggregator agent of one cluster.
+func (nw *Network) Aggregator(cluster int) int {
+	if cluster < 0 || cluster >= len(nw.clusters) {
+		panic(fmt.Sprintf("fednet: cluster %d out of range [0,%d)", cluster, len(nw.clusters)))
+	}
+	return nw.clusters[cluster][0]
+}
+
+// isAggregator reports whether the agent heads its cluster.
+func (nw *Network) isAggregator(a int) bool {
+	return nw.clusters[nw.clusterOf[a]][0] == a
+}
+
+// clusterPermitted reports whether from may send to to under the Cluster
+// topology: member ↔ own aggregator on the shared segment, aggregator ↔
+// aggregator on the routed mesh.
+func (nw *Network) clusterPermitted(from, to int) bool {
+	if nw.clusterOf[from] == nw.clusterOf[to] {
+		return nw.isAggregator(from) || nw.isAggregator(to)
+	}
+	return nw.isAggregator(from) && nw.isAggregator(to)
+}
+
+// RoundMessages returns the message count of one full parameter-exchange
+// round under the network's topology — the closed forms the
+// message-complexity tests and ChargeBroadcastRounds share (DESIGN.md
+// §12). For Cluster it is uploads (n−C) + summary exchange C·(C−1) + one
+// multicast download per multi-member cluster.
+func (nw *Network) RoundMessages() int {
+	n := nw.N()
+	if n <= 1 {
+		return 0
+	}
+	switch nw.cfg.Topology {
+	case Star:
+		return 2 * (n - 1)
+	case Ring:
+		return 2 * n
+	case Sampled:
+		return n * nw.cfg.SampleK
+	case Cluster:
+		c := len(nw.clusters)
+		multi := 0
+		for _, members := range nw.clusters {
+			if len(members) > 1 {
+				multi++
+			}
+		}
+		return (n - c) + c*(c-1) + multi
+	default:
+		return n * (n - 1)
+	}
+}
+
+// Multicast delivers one payload from an agent to several permitted peers
+// over a shared medium: the transmission is charged once — one message,
+// one payload of bytes, one drop and one corruption draw — no matter how
+// many recipients hear it. It models the intra-cluster download leg,
+// where an aggregator's single link-layer transmission reaches every
+// member of its building segment.
+//
+// Per-link partitions and crash windows still gate each recipient
+// individually: blocked recipients miss the transmission without
+// affecting the others. An attempt with no reachable recipient is a
+// blocked send (no bytes move). With a multi-attempt RetryPolicy, a
+// dropped or fully blocked transmission is retried with backoff like
+// SendReliable. It reports whether at least one recipient received the
+// payload.
+func (nw *Network) Multicast(from int, tos []int, kind string, payload []byte) (bool, error) {
+	if err := nw.checkEndpoint(from); err != nil {
+		return false, err
+	}
+	for _, to := range tos {
+		if err := nw.checkSend(from, to); err != nil {
+			return false, err
+		}
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	r := nw.cfg.Retry.withDefaults()
+	backoff := r.Backoff
+	wired := false
+	for att := 0; att < r.MaxAttempts; att++ {
+		retry := att > 0
+		reachable := nw.reachable(from, tos)
+		if len(reachable) == 0 {
+			nw.stats.MessagesBlocked++
+			nw.tel.blocked.Inc()
+		} else {
+			nw.stats.MessagesSent++
+			nw.stats.BytesSent += int64(len(payload))
+			nw.stats.SimulatedTime += nw.transferFor(from, len(payload))
+			nw.tel.attempts.Inc()
+			nw.tel.bytes.Add(int64(len(payload)))
+			if retry {
+				nw.stats.Retries++
+				nw.stats.RetryBytes += int64(len(payload))
+				nw.tel.retries.Inc()
+			}
+			if !wired {
+				wired = true
+				nw.chargeUnique(payload)
+			}
+			if !(nw.cfg.DropProb > 0 && nw.rng.Float64() < nw.cfg.DropProb) {
+				delivered := payload
+				if p := nw.cfg.Faults.CorruptProb; p > 0 && len(payload) > 0 && nw.crng.Float64() < p {
+					corrupted := append([]byte(nil), payload...)
+					bit := nw.crng.Intn(len(corrupted) * 8)
+					corrupted[bit/8] ^= 1 << (bit % 8)
+					delivered = corrupted
+					nw.stats.MessagesCorrupted++
+					nw.tel.corrupted.Inc()
+				}
+				for _, to := range reachable {
+					nw.inboxes[to] = append(nw.inboxes[to], Message{From: from, To: to, Kind: kind, Payload: delivered})
+				}
+				return true, nil
+			}
+			nw.stats.MessagesDropped++
+			nw.tel.dropped.Inc()
+		}
+		if att+1 >= r.MaxAttempts {
+			break
+		}
+		nw.stats.BackoffTime += backoff
+		nw.stats.SimulatedTime += backoff
+		backoff = time.Duration(float64(backoff) * r.BackoffFactor)
+	}
+	if r.MaxAttempts > 1 {
+		nw.stats.GaveUp++
+		nw.tel.gaveUp.Inc()
+	}
+	return false, nil
+}
+
+// reachable filters the recipient list down to agents whose link from
+// `from` is not severed by a partition or crash window right now. Caller
+// holds nw.mu.
+func (nw *Network) reachable(from int, tos []int) []int {
+	out := make([]int, 0, len(tos))
+	for _, to := range tos {
+		if !nw.cfg.Faults.blocked(from, to, nw.now) {
+			out = append(out, to)
+		}
+	}
+	return out
+}

@@ -1,0 +1,412 @@
+package fednet
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestTopologyValidation is the edge-case table the issue pins: bad
+// sampled fan-outs, malformed cluster assignments, and degenerate fleets
+// must come back as typed errors (ErrTopology) from NewChecked — no
+// panics, no silent acceptance — while the valid shapes construct.
+func TestTopologyValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int
+		cfg  Config
+		ok   bool
+	}{
+		{name: "sampled-k-zero", n: 4, cfg: Config{Topology: Sampled}},
+		{name: "sampled-k-negative", n: 4, cfg: Config{Topology: Sampled, SampleK: -1}},
+		{name: "sampled-k-equals-fleet", n: 4, cfg: Config{Topology: Sampled, SampleK: 4}},
+		{name: "sampled-k-exceeds-fleet", n: 4, cfg: Config{Topology: Sampled, SampleK: 9}},
+		{name: "sampled-single-home", n: 1, cfg: Config{Topology: Sampled, SampleK: 1}},
+		{name: "sampled-valid", n: 4, cfg: Config{Topology: Sampled, SampleK: 3}, ok: true},
+		{name: "sampled-valid-k1", n: 2, cfg: Config{Topology: Sampled, SampleK: 1}, ok: true},
+		{name: "cluster-no-size", n: 4, cfg: Config{Topology: Cluster}},
+		{name: "cluster-negative-size", n: 4, cfg: Config{Topology: Cluster, ClusterSize: -2}},
+		{name: "cluster-empty-cluster", n: 4, cfg: Config{Topology: Cluster, Clusters: [][]int{{0, 1}, {}, {2, 3}}}},
+		{name: "cluster-duplicate-agent", n: 4, cfg: Config{Topology: Cluster, Clusters: [][]int{{0, 1}, {1, 2, 3}}}},
+		{name: "cluster-duplicate-within", n: 4, cfg: Config{Topology: Cluster, Clusters: [][]int{{0, 1, 1}, {2, 3}}}},
+		{name: "cluster-agent-out-of-range", n: 4, cfg: Config{Topology: Cluster, Clusters: [][]int{{0, 1}, {2, 7}}}},
+		{name: "cluster-agent-negative", n: 4, cfg: Config{Topology: Cluster, Clusters: [][]int{{0, -1}, {2, 3}}}},
+		{name: "cluster-unassigned-agent", n: 4, cfg: Config{Topology: Cluster, Clusters: [][]int{{0, 1}, {2}}}},
+		{name: "cluster-valid-explicit", n: 4, cfg: Config{Topology: Cluster, Clusters: [][]int{{3, 0}, {1, 2}}}, ok: true},
+		{name: "cluster-valid-sized", n: 5, cfg: Config{Topology: Cluster, ClusterSize: 2}, ok: true},
+		{name: "cluster-single-home", n: 1, cfg: Config{Topology: Cluster, ClusterSize: 1}, ok: true},
+		{name: "cluster-size-exceeds-fleet", n: 3, cfg: Config{Topology: Cluster, ClusterSize: 8}, ok: true},
+		{name: "all-to-all-single-home", n: 1, cfg: Config{}, ok: true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nw, err := NewChecked(tc.n, tc.cfg)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("NewChecked: unexpected error %v", err)
+				}
+				if nw == nil {
+					t.Fatal("NewChecked returned nil network without error")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("NewChecked accepted an invalid topology config")
+			}
+			if !errors.Is(err, ErrTopology) {
+				t.Fatalf("error %v does not wrap ErrTopology", err)
+			}
+			// New must refuse the same config by panicking, matching its
+			// n < 1 contract.
+			defer func() {
+				if recover() == nil {
+					t.Fatal("New did not panic on an invalid topology config")
+				}
+			}()
+			New(tc.n, tc.cfg)
+		})
+	}
+}
+
+// TestSampledPeersDeterministic pins the sampling law: peer sets are a
+// pure function of (Seed, epoch, agent), so twin networks agree at every
+// epoch, re-deriving an epoch reproduces it, and each set holds exactly k
+// distinct peers excluding the owner.
+func TestSampledPeersDeterministic(t *testing.T) {
+	const n, k, epochs = 16, 4, 5
+	cfg := Config{Topology: Sampled, SampleK: k, Seed: 1}
+	a, b := New(n, cfg), New(n, cfg)
+	history := make([][][]int, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		epoch := make([][]int, n)
+		for i := 0; i < n; i++ {
+			pa, pb := a.SampledPeers(i), b.SampledPeers(i)
+			if !reflect.DeepEqual(pa, pb) {
+				t.Fatalf("epoch %d agent %d: twins disagree: %v vs %v", e, i, pa, pb)
+			}
+			if len(pa) != k {
+				t.Fatalf("epoch %d agent %d: %d peers, want %d", e, i, len(pa), k)
+			}
+			seen := map[int]bool{}
+			for _, p := range pa {
+				if p == i {
+					t.Fatalf("epoch %d agent %d sampled itself", e, i)
+				}
+				if p < 0 || p >= n {
+					t.Fatalf("epoch %d agent %d sampled out-of-range peer %d", e, i, p)
+				}
+				if seen[p] {
+					t.Fatalf("epoch %d agent %d sampled duplicate peer %d", e, i, p)
+				}
+				seen[p] = true
+			}
+			epoch[i] = append([]int(nil), pa...)
+		}
+		history = append(history, epoch)
+		a.AdvanceRoundEpoch()
+		b.AdvanceRoundEpoch()
+	}
+	// Resampling must actually change the graph between epochs (with n=16,
+	// k=4, identical consecutive samplings for all 16 agents would be
+	// astronomically unlikely — a frozen epoch counter is the real risk).
+	changed := false
+	for e := 1; e < epochs && !changed; e++ {
+		changed = !reflect.DeepEqual(history[e-1], history[e])
+	}
+	if !changed {
+		t.Fatal("peer sets never changed across epochs")
+	}
+	// Drop and fault draws must not perturb sampling: a network that
+	// consumed RNG on traffic still samples the same peers at each epoch.
+	c := New(n, Config{Topology: Sampled, SampleK: k, Seed: 1, DropProb: 0.5})
+	for i := 0; i < n; i++ {
+		for _, to := range c.SampledPeers(i) {
+			if err := c.Send(i, to, "x", []byte{1, 2, 3}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.AdvanceRoundEpoch()
+	for i := 0; i < n; i++ {
+		if got, want := c.SampledPeers(i), history[1][i]; !reflect.DeepEqual(got, want) {
+			t.Fatalf("agent %d epoch 1 peers perturbed by traffic: %v vs %v", i, got, want)
+		}
+	}
+}
+
+// TestSampledRouting checks the permission surface: sends to sampled
+// peers pass, sends to anyone else fail, and a broadcast reaches exactly
+// the k sampled peers.
+func TestSampledRouting(t *testing.T) {
+	const n, k = 8, 3
+	nw := New(n, Config{Topology: Sampled, SampleK: k, Seed: 2})
+	peers := map[int]bool{}
+	for _, p := range nw.SampledPeers(0) {
+		peers[p] = true
+	}
+	for to := 1; to < n; to++ {
+		err := nw.Send(0, to, "x", []byte{1})
+		if peers[to] && err != nil {
+			t.Fatalf("send to sampled peer %d failed: %v", to, err)
+		}
+		if !peers[to] && err == nil {
+			t.Fatalf("send to non-peer %d was allowed", to)
+		}
+	}
+	nw.ResetStats()
+	for i := 0; i < n; i++ {
+		if err := nw.Broadcast(i, "x", []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := nw.Stats().MessagesSent; got != n*k {
+		t.Fatalf("sampled broadcast round sent %d messages, want n·k = %d", got, n*k)
+	}
+	// The push graph is directed: i sampling j does not license j → i.
+	for i := 0; i < n; i++ {
+		for _, j := range nw.SampledPeers(i) {
+			back := false
+			for _, p := range nw.SampledPeers(j) {
+				if p == i {
+					back = true
+				}
+			}
+			if !back {
+				if err := nw.Send(j, i, "x", []byte{1}); err == nil {
+					t.Fatalf("reverse send %d -> %d allowed without sampling", j, i)
+				}
+				return
+			}
+		}
+	}
+}
+
+// TestClusterRouting checks the two-level permission surface: member ↔
+// own aggregator and aggregator ↔ aggregator pass; member ↔ member and
+// cross-cluster member links fail.
+func TestClusterRouting(t *testing.T) {
+	// Clusters {0,1,2} and {3,4,5}: aggregators 0 and 3.
+	nw := New(6, Config{Topology: Cluster, ClusterSize: 3})
+	if got := nw.Clusters(); !reflect.DeepEqual(got, [][]int{{0, 1, 2}, {3, 4, 5}}) {
+		t.Fatalf("contiguous clustering = %v", got)
+	}
+	if nw.Aggregator(0) != 0 || nw.Aggregator(1) != 3 {
+		t.Fatalf("aggregators = %d, %d, want 0, 3", nw.Aggregator(0), nw.Aggregator(1))
+	}
+	if nw.ClusterOf(4) != 1 || nw.ClusterOf(2) != 0 {
+		t.Fatalf("ClusterOf = %d, %d, want 1, 0", nw.ClusterOf(4), nw.ClusterOf(2))
+	}
+	allow := [][2]int{{1, 0}, {0, 1}, {2, 0}, {4, 3}, {0, 3}, {3, 0}}
+	deny := [][2]int{{1, 2}, {4, 5}, {1, 3}, {1, 4}, {5, 0}, {0, 4}}
+	for _, p := range allow {
+		if err := nw.Send(p[0], p[1], "x", []byte{1}); err != nil {
+			t.Fatalf("cluster send %d -> %d rejected: %v", p[0], p[1], err)
+		}
+	}
+	for _, p := range deny {
+		if err := nw.Send(p[0], p[1], "x", []byte{1}); err == nil {
+			t.Fatalf("cluster send %d -> %d allowed", p[0], p[1])
+		}
+	}
+}
+
+// TestRoundMessagesClosedForms pins the per-topology message-complexity
+// formulas RoundMessages (and through it ChargeBroadcastRounds) report.
+func TestRoundMessagesClosedForms(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int
+		cfg  Config
+		want int
+	}{
+		{name: "all-to-all", n: 8, cfg: Config{}, want: 8 * 7},
+		{name: "star", n: 8, cfg: Config{Topology: Star}, want: 2 * 7},
+		{name: "ring", n: 8, cfg: Config{Topology: Ring}, want: 16},
+		{name: "sampled", n: 8, cfg: Config{Topology: Sampled, SampleK: 3}, want: 8 * 3},
+		// 8 homes in clusters of 3 → C = 3 ({0,1,2},{3,4,5},{6,7}):
+		// 5 uploads + 3·2 summaries + 3 multicast downloads.
+		{name: "cluster", n: 8, cfg: Config{Topology: Cluster, ClusterSize: 3}, want: 5 + 6 + 3},
+		// Singleton clusters have no uploads or downloads: a pure
+		// aggregator mesh.
+		{name: "cluster-singletons", n: 4, cfg: Config{Topology: Cluster, ClusterSize: 1}, want: 4 * 3},
+		{name: "single-home", n: 1, cfg: Config{}, want: 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nw := New(tc.n, tc.cfg)
+			if got := nw.RoundMessages(); got != tc.want {
+				t.Fatalf("RoundMessages = %d, want %d", got, tc.want)
+			}
+			nw.ChargeBroadcastRounds(10, 2)
+			if got := nw.Stats().MessagesSent; got != 2*tc.want {
+				t.Fatalf("ChargeBroadcastRounds charged %d messages, want %d", got, 2*tc.want)
+			}
+		})
+	}
+}
+
+// TestMulticastAccounting pins the shared-medium semantics: one charged
+// transmission regardless of fan-out, per-recipient partition gating, and
+// blocked/dropped handling under retry.
+func TestMulticastAccounting(t *testing.T) {
+	payload := []byte{1, 2, 3, 4}
+	t.Run("clean", func(t *testing.T) {
+		nw := New(4, Config{Topology: Cluster, ClusterSize: 4})
+		ok, err := nw.Multicast(0, []int{1, 2, 3}, "dl", payload)
+		if err != nil || !ok {
+			t.Fatalf("multicast = %v, %v", ok, err)
+		}
+		st := nw.Stats()
+		if st.MessagesSent != 1 || st.BytesSent != int64(len(payload)) {
+			t.Fatalf("charged %d msgs / %d bytes, want 1 / %d", st.MessagesSent, st.BytesSent, len(payload))
+		}
+		if st.UniqueMessages != 1 || st.UniqueBytes != int64(len(payload)) {
+			t.Fatalf("unique charge %d / %d, want 1 / %d", st.UniqueMessages, st.UniqueBytes, len(payload))
+		}
+		for to := 1; to < 4; to++ {
+			if nw.Pending(to) != 1 {
+				t.Fatalf("recipient %d has %d pending, want 1", to, nw.Pending(to))
+			}
+		}
+	})
+	t.Run("partitioned-recipient", func(t *testing.T) {
+		nw := New(4, Config{Topology: Cluster, ClusterSize: 4,
+			Faults: FaultPlan{Partitions: []Partition{{A: 0, B: 2, EndMin: 9999}}}})
+		ok, err := nw.Multicast(0, []int{1, 2, 3}, "dl", payload)
+		if err != nil || !ok {
+			t.Fatalf("multicast = %v, %v", ok, err)
+		}
+		if got := []int{nw.Pending(1), nw.Pending(2), nw.Pending(3)}; !reflect.DeepEqual(got, []int{1, 0, 1}) {
+			t.Fatalf("pending = %v, want [1 0 1] (partitioned recipient misses)", got)
+		}
+		if st := nw.Stats(); st.MessagesSent != 1 {
+			t.Fatalf("charged %d msgs, want 1 (partition gates receipt, not the transmission)", st.MessagesSent)
+		}
+	})
+	t.Run("all-blocked", func(t *testing.T) {
+		nw := New(4, Config{Topology: Cluster, ClusterSize: 4,
+			Faults: FaultPlan{Crashes: []CrashWindow{{Agent: 1, EndMin: 9999}, {Agent: 2, EndMin: 9999}, {Agent: 3, EndMin: 9999}}}})
+		ok, err := nw.Multicast(0, []int{1, 2, 3}, "dl", payload)
+		if err != nil || ok {
+			t.Fatalf("multicast to all-crashed recipients = %v, %v, want false, nil", ok, err)
+		}
+		st := nw.Stats()
+		if st.MessagesSent != 0 || st.BytesSent != 0 || st.MessagesBlocked != 1 {
+			t.Fatalf("all-blocked multicast charged %d msgs / %d bytes / %d blocked", st.MessagesSent, st.BytesSent, st.MessagesBlocked)
+		}
+	})
+	t.Run("dropped-then-retried", func(t *testing.T) {
+		// DropProb 1 with 3 attempts: every attempt drops, each charged.
+		nw := New(4, Config{Topology: Cluster, ClusterSize: 4, DropProb: 1,
+			Retry: RetryPolicy{MaxAttempts: 3}})
+		ok, err := nw.Multicast(0, []int{1, 2, 3}, "dl", payload)
+		if err != nil || ok {
+			t.Fatalf("multicast = %v, %v, want false, nil", ok, err)
+		}
+		st := nw.Stats()
+		if st.MessagesSent != 3 || st.MessagesDropped != 3 || st.Retries != 2 || st.GaveUp != 1 {
+			t.Fatalf("retry accounting = %+v", st)
+		}
+		if st.UniqueMessages != 1 {
+			t.Fatalf("unique messages = %d, want 1", st.UniqueMessages)
+		}
+	})
+	t.Run("topology-violation", func(t *testing.T) {
+		// Agent 1 is not an aggregator; multicasting across clusters must
+		// fail as a typed routing error before anything is charged.
+		nw := New(6, Config{Topology: Cluster, ClusterSize: 3})
+		if _, err := nw.Multicast(1, []int{4}, "dl", payload); err == nil {
+			t.Fatal("cross-cluster member multicast was allowed")
+		}
+		if st := nw.Stats(); st.MessagesSent != 0 || st.MessagesBlocked != 0 {
+			t.Fatalf("failed multicast still charged: %+v", st)
+		}
+	})
+}
+
+// FuzzTopologyConfig throws arbitrary topology configurations at
+// NewChecked: it must never panic, every rejection must wrap ErrTopology,
+// and every acceptance must yield structurally sound routing state (peer
+// sets of size k without self/duplicates; clusters that partition the
+// fleet).
+func FuzzTopologyConfig(f *testing.F) {
+	f.Add(4, 0, 2, 2, []byte{})
+	f.Add(1, 1, 1, 0, []byte{})
+	f.Add(8, 1, 9, 3, []byte{0, 1, 2})
+	f.Add(6, 2, 0, 0, []byte{3, 0, 255, 1, 2, 4, 5})
+	f.Add(16, 2, 3, 5, []byte{0, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, n, topo, k, clusterSize int, clusterBytes []byte) {
+		if n < 1 || n > 64 {
+			n = (n%64+64)%64 + 1
+		}
+		cfg := Config{
+			Topology:    []Topology{AllToAll, Sampled, Cluster}[((topo%3)+3)%3],
+			SampleK:     k,
+			ClusterSize: clusterSize,
+		}
+		// Decode clusterBytes into an explicit assignment: 255 starts a new
+		// cluster, anything else appends an agent index (possibly invalid —
+		// that's the point).
+		if len(clusterBytes) > 0 {
+			cur := []int{}
+			for _, b := range clusterBytes {
+				if b == 255 {
+					cfg.Clusters = append(cfg.Clusters, cur)
+					cur = []int{}
+					continue
+				}
+				cur = append(cur, int(b))
+			}
+			cfg.Clusters = append(cfg.Clusters, cur)
+		}
+		nw, err := NewChecked(n, cfg)
+		if err != nil {
+			if !errors.Is(err, ErrTopology) {
+				t.Fatalf("rejection not typed: %v", err)
+			}
+			return
+		}
+		switch cfg.Topology {
+		case Sampled:
+			for a := 0; a < n; a++ {
+				peers := nw.SampledPeers(a)
+				if len(peers) != cfg.SampleK {
+					t.Fatalf("agent %d: %d peers, want %d", a, len(peers), cfg.SampleK)
+				}
+				seen := map[int]bool{}
+				for _, p := range peers {
+					if p == a || p < 0 || p >= n || seen[p] {
+						t.Fatalf("agent %d: malformed peer set %v", a, peers)
+					}
+					seen[p] = true
+				}
+			}
+			nw.AdvanceRoundEpoch()
+			if nw.RoundEpoch() != 1 {
+				t.Fatalf("epoch = %d after one advance", nw.RoundEpoch())
+			}
+		case Cluster:
+			assigned := make([]bool, n)
+			for ci, members := range nw.Clusters() {
+				if len(members) == 0 {
+					t.Fatalf("accepted config has empty cluster %d", ci)
+				}
+				for _, a := range members {
+					if a < 0 || a >= n || assigned[a] {
+						t.Fatalf("cluster %d: malformed members %v", ci, members)
+					}
+					assigned[a] = true
+				}
+				if nw.Aggregator(ci) != members[0] {
+					t.Fatalf("cluster %d aggregator %d != first member %d", ci, nw.Aggregator(ci), members[0])
+				}
+			}
+			for a, ok := range assigned {
+				if !ok {
+					t.Fatalf("agent %d unassigned in accepted config", a)
+				}
+			}
+		}
+		if msgs := nw.RoundMessages(); msgs < 0 {
+			t.Fatalf("RoundMessages = %d", msgs)
+		}
+	})
+}
