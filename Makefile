@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench throughput bench-comms bench-topology telemetry-smoke lint verify ci clean
+.PHONY: all build test race bench throughput bench-comms bench-topology telemetry-smoke serve-smoke lint verify ci clean
 
 all: verify
 
@@ -61,6 +61,16 @@ bench-topology:
 telemetry-smoke:
 	$(GO) test -tags telemetry_smoke -count=1 -v ./internal/telemetry/smoke
 
+# Service-mode gate: interrupt a batch run to mint a resumable seed
+# snapshot (exercising the SIGINT graceful-shutdown path end to end),
+# warm-start the daemon from it on :0, hit every /v1 endpoint, retune a
+# live knob, wait for a checkpoint rotation, SIGTERM, and resume the
+# final checkpoint. Also pins the CLI's cross-flag diagnostics.
+# Build-tagged out of the normal test run because it compiles and execs
+# the binary.
+serve-smoke:
+	$(GO) test -tags serve_smoke -count=1 -v ./internal/serve/smoke
+
 lint:
 	$(GO) vet ./...
 
@@ -73,13 +83,18 @@ verify: build test lint
 # topologies route through, and the telemetry instruments updated from all
 # of them). The core and fed suites include the chaos FaultPlan twins
 # (compressed vs dense under drops/corruption/partitions), so the race
-# build exercises the compressed planes under fault injection. A reduced
-# topology sweep then regenerates BENCH_topology.json so message-count
-# regressions against the closed forms fail the gate.
+# build exercises the compressed planes under fault injection. The serve
+# daemon and the counting RNG it snapshots join the race list because the
+# daemon's HTTP handlers race its background stepping loop by design. A
+# reduced topology sweep then regenerates BENCH_topology.json so
+# message-count regressions against the closed forms fail the gate, and
+# the serve smoke drives the full daemon lifecycle through the real
+# binary.
 ci: verify
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core ./internal/fed ./internal/fednet ./internal/sched ./internal/tensor ./internal/wire ./internal/telemetry
+	$(GO) test -race ./internal/core ./internal/fed ./internal/fednet ./internal/rng ./internal/sched ./internal/serve ./internal/tensor ./internal/wire ./internal/telemetry
 	$(MAKE) bench-topology TOPO_HOMES=64,256
+	$(MAKE) serve-smoke
 
 clean:
 	$(GO) clean ./...

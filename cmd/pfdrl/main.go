@@ -1,22 +1,33 @@
 // Command pfdrl runs one residential energy-management simulation — the
-// paper's PFDRL system or any of the four baselines — and prints the daily
-// savings trajectory plus the final summary.
+// paper's PFDRL system or any of the four baselines — either as a batch
+// run that prints the daily savings trajectory and final summary, or as a
+// long-running service daemon (-serve) that steps the fleet in the
+// background while serving per-home forecasts and control plans over HTTP.
 //
 // Usage:
 //
 //	pfdrl -method PFDRL -homes 8 -days 12 -alpha 6 -beta 12 -gamma 12
+//	pfdrl -days 4 -snapshot fleet.ckpt              # batch, resumable snapshot
+//	pfdrl -serve -load fleet.ckpt -checkpoint live.ckpt -telemetry-addr :8800
 package main
 
 import (
+	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fednet"
 	"repro/internal/forecast"
+	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
 
@@ -35,8 +46,9 @@ func main() {
 		gamma    = flag.Float64("gamma", 12, "DRL broadcast period γ in hours")
 		fcKind   = flag.String("forecast", "LSTM", "forecaster: LR, SVM, BP, or LSTM")
 		paper    = flag.Bool("paper-scale", false, "use the paper's full model sizes (slow)")
-		saveTo   = flag.String("save", "", "write a model checkpoint here after the run")
-		loadFrom = flag.String("load", "", "restore a model checkpoint before the run")
+		saveTo   = flag.String("save", "", "write a models-only checkpoint here after the run (batch mode)")
+		loadFrom = flag.String("load", "", "restore a checkpoint before running: models-only in batch mode, a full-fleet snapshot in serve mode")
+		snapTo   = flag.String("snapshot", "", "write a full-fleet snapshot here after the run — or at interruption — for later -serve warm-start (batch mode)")
 		topo     = flag.String("topology", "", "federation fabric for the PFDRL planes: all-to-all (default), sampled, or cluster")
 		topoK    = flag.Int("topo-k", 8, "peers sampled per round (with -topology sampled)")
 		clSize   = flag.Int("cluster-size", 8, "homes per cluster (with -topology cluster)")
@@ -47,8 +59,35 @@ func main() {
 		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/trace, and pprof on this address (e.g. 127.0.0.1:8080; :0 picks a port)")
 		telLing  = flag.Duration("telemetry-linger", 0, "keep the telemetry server alive this long after the run finishes")
 		journal  = flag.String("journal", "", "stream a JSONL run journal (one record per simulated hour and federation round) to this file")
+
+		serveMode = flag.Bool("serve", false, "run as a long-lived daemon: step the fleet in the background and serve /v1/forecast, /v1/plan, /v1/fleet/status, /v1/config over HTTP")
+		ckptPath  = flag.String("checkpoint", "", "serve mode: rotate full-fleet snapshots to this path and write a final one on shutdown")
+		ckptEvery = flag.Int("checkpoint-every", 24, "serve mode: snapshot every N simulated hours")
+		stepInt   = flag.Duration("step-interval", time.Second, "serve mode: wall-clock pace of one simulated hour")
 	)
 	flag.Parse()
+
+	// Cross-flag validation: name the conflict and the fix, before any
+	// work starts.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *serveMode {
+		if set["days"] {
+			log.Fatal("-days applies to batch runs; serve mode takes its horizon from the defaults or the loaded snapshot (drop -days)")
+		}
+		if set["save"] {
+			log.Fatal("-save (models-only) is batch-only; serve mode checkpoints full-fleet snapshots via -checkpoint")
+		}
+		if set["snapshot"] {
+			log.Fatal("-snapshot is batch-only; serve mode rotates snapshots continuously via -checkpoint")
+		}
+	} else {
+		for _, f := range []string{"checkpoint", "checkpoint-every", "step-interval"} {
+			if set[f] {
+				log.Fatalf("-%s requires -serve (batch runs write a one-shot snapshot with -snapshot instead)", f)
+			}
+		}
+	}
 
 	cfg := core.DefaultConfig(core.Method(*method))
 	cfg.Homes = *homes
@@ -86,33 +125,83 @@ func main() {
 		cfg.FaultPlan = core.ChaosFaultPlan(cfg.Homes, cfg.Days)
 	}
 
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Telemetry is opt-in: without these flags no sink exists and the run
-	// takes the uninstrumented (bit-identical, allocation-free) path.
+	// Telemetry is opt-in in batch mode: without these flags no sink exists
+	// and the run takes the uninstrumented (bit-identical, allocation-free)
+	// path. Serve mode always builds a sink — the HTTP API rides its mux.
 	var sink *telemetry.Sink
-	if *telAddr != "" || *journal != "" {
+	closeJournal := func() {}
+	if *telAddr != "" || *journal != "" || *serveMode {
 		sink = telemetry.NewSink()
 		if *journal != "" {
 			jf, err := os.Create(*journal)
 			if err != nil {
 				log.Fatal(err)
 			}
-			defer func() {
-				if err := sink.Journal.Err(); err != nil {
-					log.Printf("journal: %v", err)
-				}
-				if err := jf.Close(); err != nil {
-					log.Printf("journal: %v", err)
-				}
-			}()
-			sink.Journal = telemetry.NewJournal(jf)
+			// The journal is buffered; closeJournal flushes and syncs it
+			// exactly once, so both the normal exit path and the signal
+			// path leave complete records on disk.
+			bw := bufio.NewWriter(jf)
+			sink.Journal = telemetry.NewJournal(bw)
+			var once sync.Once
+			closeJournal = func() {
+				once.Do(func() {
+					if err := sink.Journal.Err(); err != nil {
+						log.Printf("journal: %v", err)
+					}
+					if err := bw.Flush(); err != nil {
+						log.Printf("journal: %v", err)
+					}
+					if err := jf.Sync(); err != nil {
+						log.Printf("journal: %v", err)
+					}
+					if err := jf.Close(); err != nil {
+						log.Printf("journal: %v", err)
+					}
+				})
+			}
+			defer closeJournal()
 		}
-		if *telAddr != "" {
-			srv, bound, err := sink.ListenAndServe(*telAddr)
+	}
+
+	if *serveMode {
+		runServe(cfg, sink, closeJournal, serveFlags{
+			loadFrom:  *loadFrom,
+			telAddr:   *telAddr,
+			ckptPath:  *ckptPath,
+			ckptEvery: *ckptEvery,
+			stepInt:   *stepInt,
+		})
+		return
+	}
+	runBatch(cfg, sink, closeJournal, batchFlags{
+		loadFrom: *loadFrom,
+		saveTo:   *saveTo,
+		snapTo:   *snapTo,
+		telAddr:  *telAddr,
+		telLing:  *telLing,
+		chaosish: *chaos || *drop > 0 || *retries > 1,
+	})
+}
+
+type batchFlags struct {
+	loadFrom, saveTo, snapTo string
+	telAddr                  string
+	telLing                  time.Duration
+	chaosish                 bool
+}
+
+// runBatch is the classic one-shot simulation, now driven hour by hour
+// through the stepwise engine so SIGINT/SIGTERM can land between steps:
+// the loop stops cleanly, the journal flushes, and -snapshot (when set)
+// captures the interrupted fleet for a later warm start.
+func runBatch(cfg core.Config, sink *telemetry.Sink, closeJournal func(), fl batchFlags) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sink != nil {
+		if fl.telAddr != "" {
+			srv, bound, err := sink.ListenAndServe(fl.telAddr)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -121,24 +210,46 @@ func main() {
 		}
 		sys.AttachTelemetry(sink)
 	}
-	if *loadFrom != "" {
-		f, err := os.Open(*loadFrom)
+	if fl.loadFrom != "" {
+		f, err := os.Open(fl.loadFrom)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := sys.LoadModels(f); err != nil {
+		err = sys.LoadModels(f)
+		f.Close()
+		if errors.Is(err, core.ErrSnapshotCheckpoint) {
+			log.Fatalf("%s is a full-fleet snapshot; warm-start it with -serve -load %s (batch -load takes models-only checkpoints from -save)",
+				fl.loadFrom, fl.loadFrom)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("restored models from %s\n", *loadFrom)
+		fmt.Printf("restored models from %s\n", fl.loadFrom)
 	}
 	fmt.Printf("method=%s homes=%d days=%d devices/home=%d α=%d β=%gh γ=%gh forecaster=%s\n",
 		cfg.Method, cfg.Homes, cfg.Days, cfg.DevicesPerHome, cfg.Alpha, cfg.BetaHours, cfg.GammaHours, cfg.ForecastKind)
 
-	res, err := sys.Run()
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	eng := core.NewEngine(sys)
+	for !eng.Done() && ctx.Err() == nil {
+		if err := eng.StepHour(); err != nil {
+			closeJournal()
+			log.Fatal(err)
+		}
+	}
+	if ctx.Err() != nil {
+		stop() // restore default handling: a second signal kills immediately
+		fmt.Printf("\ninterrupted at day %d hour %d; flushing\n", eng.Day(), eng.Hour())
+		writeSnapshotFile(eng, fl.snapTo)
+		closeJournal()
+		os.Exit(130)
+	}
+
+	res, err := eng.Finish()
 	if err != nil {
+		closeJournal()
 		log.Fatal(err)
 	}
 
@@ -154,11 +265,11 @@ func main() {
 	for _, line := range res.CommsLines() {
 		fmt.Println(line)
 	}
-	if *chaos || *drop > 0 || *retries > 1 {
+	if fl.chaosish {
 		fmt.Println(res.ResilienceLine())
 	}
-	if *saveTo != "" {
-		f, err := os.Create(*saveTo)
+	if fl.saveTo != "" {
+		f, err := os.Create(fl.saveTo)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -168,10 +279,101 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("saved models to %s\n", *saveTo)
+		fmt.Printf("saved models to %s\n", fl.saveTo)
 	}
-	if *telAddr != "" && *telLing > 0 {
-		fmt.Printf("telemetry: lingering %v for scrapes\n", *telLing)
-		time.Sleep(*telLing)
+	writeSnapshotFile(eng, fl.snapTo)
+	// Flush the journal before lingering: scrapers read it while the
+	// telemetry server stays up.
+	closeJournal()
+	if fl.telAddr != "" && fl.telLing > 0 {
+		fmt.Printf("telemetry: lingering %v for scrapes\n", fl.telLing)
+		time.Sleep(fl.telLing)
 	}
+}
+
+// writeSnapshotFile writes a full-fleet snapshot to path (no-op when "").
+func writeSnapshotFile(eng *core.Engine, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.WriteSnapshot(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved full-fleet snapshot to %s (day %d hour %d)\n", path, eng.Day(), eng.Hour())
+}
+
+type serveFlags struct {
+	loadFrom  string
+	telAddr   string
+	ckptPath  string
+	ckptEvery int
+	stepInt   time.Duration
+}
+
+// runServe boots the daemon: warm-start from a snapshot or a fresh fleet,
+// mount the /v1 API beside the telemetry endpoints, step in the
+// background, and shut down cleanly on SIGINT/SIGTERM — final snapshot,
+// flushed journal, exit 0.
+func runServe(cfg core.Config, sink *telemetry.Sink, closeJournal func(), fl serveFlags) {
+	var eng *core.Engine
+	if fl.loadFrom != "" {
+		f, err := os.Open(fl.loadFrom)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err = core.ResumeEngine(f)
+		f.Close()
+		if errors.Is(err, core.ErrModelsOnlyCheckpoint) {
+			log.Fatalf("%s is a models-only checkpoint (from -save); serve mode warm-starts from a full-fleet snapshot — produce one with a batch run's -snapshot, or start -serve without -load",
+				fl.loadFrom)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		rcfg := eng.System().Config()
+		fmt.Printf("serve: resumed fleet from %s (method=%s homes=%d day %d hour %d of %d days)\n",
+			fl.loadFrom, rcfg.Method, rcfg.Homes, eng.Day(), eng.Hour(), rcfg.Days)
+	} else {
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = core.NewEngine(sys)
+		fmt.Printf("serve: fresh fleet (method=%s homes=%d days=%d)\n", cfg.Method, cfg.Homes, cfg.Days)
+	}
+	eng.System().AttachTelemetry(sink)
+
+	daemon := serve.New(eng, sink, serve.Options{
+		StepInterval:    fl.stepInt,
+		CheckpointPath:  fl.ckptPath,
+		CheckpointEvery: fl.ckptEvery,
+	})
+	addr := fl.telAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	mux := sink.Mux()
+	daemon.Routes(mux)
+	srv, bound, err := sink.ListenAndServeHandler(addr, mux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("serve: listening on %s (step interval %v)\n", bound, fl.stepInt)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := daemon.Run(ctx); err != nil {
+		closeJournal()
+		log.Fatal(err)
+	}
+	fmt.Println("serve: shutting down")
+	closeJournal()
 }

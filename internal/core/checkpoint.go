@@ -2,39 +2,191 @@ package core
 
 import (
 	"encoding/binary"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"reflect"
 	"sort"
 )
 
-// Checkpointing serializes every trained model in the system — each home's
-// per-device forecasters and its DQN online network — so a simulation can
-// be resumed or a trained fleet shipped. The format is versioned and
-// self-describing enough to reject mismatched systems:
+// Checkpointing comes in two kinds, sharing one self-describing container:
 //
-//	magic "PFDR" | u32 version | u32 homes | u32 deviceTypes
-//	per home: per device type (sorted): forecaster params
-//	          DQN online params
+//	magic "PFDR" | u32 version | version-specific header | body
 //
-// Replay memories and exploration state are deliberately not serialized:
-// a checkpoint captures the learned policy/forecast state, not the
-// transient training state.
+// Versions:
+//
+//	v1 (legacy, read-only): u32 homes | u32 deviceTypes, then model
+//	   parameters. Written by older builds; still loadable.
+//	v2 (models): u32 cfgLen | cfgJSON, then model parameters — each home's
+//	   per-device forecasters and its DQN online network. The embedded
+//	   Config lets LoadModels explain exactly which knob differs instead
+//	   of failing mid-stream on a shape mismatch.
+//	v3 (full-fleet snapshot, see snapshot.go): u32 cfgLen | cfgJSON, then
+//	   a gob-encoded snapshot of the complete engine/system state —
+//	   clock, RNG stream positions, replay memories, optimizer moments,
+//	   fabric state, codec references. A v3 checkpoint resumes a run
+//	   bit-identically; a v2 checkpoint ships a trained policy.
+//
+// LoadModels accepts v1/v2 and rejects v3 with ErrSnapshotCheckpoint;
+// ResumeEngine accepts only v3 and rejects v1/v2 with
+// ErrModelsOnlyCheckpoint. The CLI maps both sentinels to actionable
+// messages.
 
 const (
-	checkpointMagic   = "PFDR"
-	checkpointVersion = 1
+	checkpointMagic = "PFDR"
+
+	versionModelsLegacy = 1
+	versionModels       = 2
+	versionSnapshot     = 3
+
+	// maxConfigJSON bounds the embedded-config length a reader will trust,
+	// so a corrupt or truncated header fails with a clear error instead of
+	// a giant allocation.
+	maxConfigJSON = 1 << 20
 )
 
-// SaveModels writes all model parameters to w.
-func (s *System) SaveModels(w io.Writer) error {
-	var hdr [16]byte
+// ErrSnapshotCheckpoint is returned by LoadModels when handed a v3
+// full-fleet snapshot (use ResumeEngine for those).
+var ErrSnapshotCheckpoint = errors.New("core: checkpoint is a full-fleet snapshot, not a models-only checkpoint")
+
+// ErrModelsOnlyCheckpoint is returned by ResumeEngine when handed a v1/v2
+// models-only checkpoint (use LoadModels for those).
+var ErrModelsOnlyCheckpoint = errors.New("core: checkpoint is models-only, not a full-fleet snapshot")
+
+// ConfigMismatchError reports the first configuration field on which a
+// checkpoint and the receiving system disagree.
+type ConfigMismatchError struct {
+	Field      string
+	Checkpoint any
+	System     any
+}
+
+func (e *ConfigMismatchError) Error() string {
+	return fmt.Sprintf("core: checkpoint %s is %v, system has %v", e.Field, e.Checkpoint, e.System)
+}
+
+// writeHeader writes the v2/v3 container header: magic, version, and the
+// JSON-encoded configuration.
+func writeHeader(w io.Writer, version uint32, cfg Config) error {
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return fmt.Errorf("core: encoding checkpoint config: %w", err)
+	}
+	var hdr [12]byte
 	copy(hdr[:4], checkpointMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], checkpointVersion)
-	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(s.homes)))
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(s.deviceTypes)))
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(cfgJSON)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("core: writing checkpoint header: %w", err)
 	}
+	if _, err := w.Write(cfgJSON); err != nil {
+		return fmt.Errorf("core: writing checkpoint config: %w", err)
+	}
+	return nil
+}
+
+// checkpointHeader is the parsed container header of any version.
+type checkpointHeader struct {
+	version uint32
+	// cfg/haveCfg carry the embedded configuration (v2/v3 only).
+	cfg     Config
+	haveCfg bool
+	// homes/deviceTypes carry the v1 legacy counts.
+	homes, deviceTypes int
+}
+
+// readHeader parses the container header of any supported version.
+func readHeader(r io.Reader) (checkpointHeader, error) {
+	var h checkpointHeader
+	var fixed [8]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return h, fmt.Errorf("core: reading checkpoint header: %w", err)
+	}
+	if string(fixed[:4]) != checkpointMagic {
+		return h, fmt.Errorf("core: not a PFDRL checkpoint (magic %q)", fixed[:4])
+	}
+	h.version = binary.LittleEndian.Uint32(fixed[4:8])
+	switch h.version {
+	case versionModelsLegacy:
+		var counts [8]byte
+		if _, err := io.ReadFull(r, counts[:]); err != nil {
+			return h, fmt.Errorf("core: reading legacy checkpoint header: %w", err)
+		}
+		h.homes = int(binary.LittleEndian.Uint32(counts[0:4]))
+		h.deviceTypes = int(binary.LittleEndian.Uint32(counts[4:8]))
+	case versionModels, versionSnapshot:
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return h, fmt.Errorf("core: reading checkpoint config length: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxConfigJSON {
+			return h, fmt.Errorf("core: checkpoint config length %d is implausible (corrupt header?)", n)
+		}
+		cfgJSON := make([]byte, n)
+		if _, err := io.ReadFull(r, cfgJSON); err != nil {
+			return h, fmt.Errorf("core: reading checkpoint config: %w", err)
+		}
+		if err := json.Unmarshal(cfgJSON, &h.cfg); err != nil {
+			return h, fmt.Errorf("core: decoding checkpoint config: %w", err)
+		}
+		h.haveCfg = true
+	default:
+		return h, fmt.Errorf("core: checkpoint version %d, want %d–%d", h.version, versionModelsLegacy, versionSnapshot)
+	}
+	return h, nil
+}
+
+// modelCompatErr returns the first model-affecting field on which the
+// checkpoint's configuration and the system's disagree, or nil. Knobs that
+// do not change model shapes or identities (periods, fault plans, comms
+// codecs, day counts) are deliberately not compared: a policy trained
+// under one schedule is loadable under another.
+func modelCompatErr(ck, sys Config) error {
+	type field struct {
+		name     string
+		ck, sys  any
+		mismatch bool
+	}
+	kind := func(c Config) any {
+		if c.ForecastKind == "" {
+			return "LSTM(default)"
+		}
+		return c.ForecastKind
+	}
+	fields := []field{
+		{"Homes", ck.Homes, sys.Homes, ck.Homes != sys.Homes},
+		{"DevicesPerHome", ck.DevicesPerHome, sys.DevicesPerHome, ck.DevicesPerHome != sys.DevicesPerHome},
+		{"Alpha", ck.Alpha, sys.Alpha, ck.Alpha != sys.Alpha},
+		{"ForecastKind", kind(ck), kind(sys), ck.ForecastKind != sys.ForecastKind},
+		{"ForecastWindow", ck.ForecastWindow, sys.ForecastWindow, ck.ForecastWindow != sys.ForecastWindow},
+		{"ForecastHidden", ck.ForecastHidden, sys.ForecastHidden, ck.ForecastHidden != sys.ForecastHidden},
+		{"DQNHidden", ck.DQNHidden, sys.DQNHidden, !reflect.DeepEqual(ck.DQNHidden, sys.DQNHidden)},
+		{"LookAhead", ck.LookAhead, sys.LookAhead, ck.LookAhead != sys.LookAhead},
+		{"LookBack", ck.LookBack, sys.LookBack, ck.LookBack != sys.LookBack},
+		{"TimeFeatures", ck.TimeFeatures, sys.TimeFeatures, ck.TimeFeatures != sys.TimeFeatures},
+	}
+	for _, f := range fields {
+		if f.mismatch {
+			return &ConfigMismatchError{Field: f.name, Checkpoint: f.ck, System: f.sys}
+		}
+	}
+	return nil
+}
+
+// SaveModels writes all model parameters to w in the v2 format.
+func (s *System) SaveModels(w io.Writer) error {
+	if err := writeHeader(w, versionModels, s.cfg); err != nil {
+		return err
+	}
+	return s.writeModelParams(w)
+}
+
+// writeModelParams streams every home's forecaster and DQN parameters in
+// the deterministic (home, sorted device type) order both model formats
+// share.
+func (s *System) writeModelParams(w io.Writer) error {
 	types := append([]string(nil), s.deviceTypes...)
 	sort.Strings(types)
 	for _, h := range s.homes {
@@ -55,25 +207,30 @@ func (s *System) SaveModels(w io.Writer) error {
 }
 
 // LoadModels restores model parameters written by SaveModels into this
-// system. The receiving system must have the same home count, device
-// types, and architectures. Target networks are synced to the restored
-// online networks.
+// system. v2 checkpoints carry their configuration, so a mismatched load
+// fails up front with a ConfigMismatchError naming the offending field;
+// legacy v1 checkpoints are still accepted with the old count checks.
+// Handing it a full-fleet snapshot fails with ErrSnapshotCheckpoint.
+// Target networks are synced to the restored online networks.
 func (s *System) LoadModels(r io.Reader) error {
-	var hdr [16]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return fmt.Errorf("core: reading checkpoint header: %w", err)
+	hdr, err := readHeader(r)
+	if err != nil {
+		return err
 	}
-	if string(hdr[:4]) != checkpointMagic {
-		return fmt.Errorf("core: not a PFDRL checkpoint (magic %q)", hdr[:4])
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != checkpointVersion {
-		return fmt.Errorf("core: checkpoint version %d, want %d", v, checkpointVersion)
-	}
-	if n := binary.LittleEndian.Uint32(hdr[8:12]); int(n) != len(s.homes) {
-		return fmt.Errorf("core: checkpoint has %d homes, system has %d", n, len(s.homes))
-	}
-	if n := binary.LittleEndian.Uint32(hdr[12:16]); int(n) != len(s.deviceTypes) {
-		return fmt.Errorf("core: checkpoint has %d device types, system has %d", n, len(s.deviceTypes))
+	switch hdr.version {
+	case versionModelsLegacy:
+		if hdr.homes != len(s.homes) {
+			return fmt.Errorf("core: checkpoint has %d homes, system has %d", hdr.homes, len(s.homes))
+		}
+		if hdr.deviceTypes != len(s.deviceTypes) {
+			return fmt.Errorf("core: checkpoint has %d device types, system has %d", hdr.deviceTypes, len(s.deviceTypes))
+		}
+	case versionModels:
+		if err := modelCompatErr(hdr.cfg, s.cfg); err != nil {
+			return err
+		}
+	case versionSnapshot:
+		return ErrSnapshotCheckpoint
 	}
 	types := append([]string(nil), s.deviceTypes...)
 	sort.Strings(types)

@@ -2,7 +2,11 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"testing"
+
+	"repro/internal/forecast"
 )
 
 func TestCheckpointRoundTrip(t *testing.T) {
@@ -84,5 +88,176 @@ func TestCheckpointRejectsMismatch(t *testing.T) {
 	e, _ := NewSystem(cfg)
 	if err := e.LoadModels(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
 		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+// TestCheckpointConfigMismatchIsTyped pins the v2 format's diagnostic
+// contract: a mismatched load fails up front with a ConfigMismatchError
+// naming the exact field, before any parameter bytes are consumed.
+func TestCheckpointConfigMismatchIsTyped(t *testing.T) {
+	cfg := tinyConfig(MethodPFDRL)
+	src, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.SaveModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		field  string
+		mutate func(*Config)
+	}{
+		{"Homes", func(c *Config) { c.Homes++ }},
+		{"DevicesPerHome", func(c *Config) { c.DevicesPerHome++ }},
+		{"Alpha", func(c *Config) { c.Alpha++ }},
+		{"ForecastKind", func(c *Config) { c.ForecastKind = forecast.KindBP }},
+		{"DQNHidden", func(c *Config) { c.DQNHidden = []int{7, 7} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.field, func(t *testing.T) {
+			other := cfg
+			tc.mutate(&other)
+			sys, err := NewSystem(other)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = sys.LoadModels(bytes.NewReader(buf.Bytes()))
+			var mm *ConfigMismatchError
+			if !errors.As(err, &mm) {
+				t.Fatalf("want ConfigMismatchError, got %v", err)
+			}
+			if mm.Field != tc.field {
+				t.Fatalf("mismatch reported on %q, want %q (error: %v)", mm.Field, tc.field, mm)
+			}
+		})
+	}
+}
+
+// TestCheckpointCorruptHeaders exercises the header parser's failure
+// modes: truncation inside each header section and an implausible
+// config length (the corrupt-header case).
+func TestCheckpointCorruptHeaders(t *testing.T) {
+	cfg := tinyConfig(MethodPFDRL)
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.SaveModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	cuts := []struct {
+		name string
+		n    int
+	}{
+		{"empty", 0},
+		{"mid-magic", 2},
+		{"after-magic", 4},
+		{"mid-version", 6},
+		{"after-version", 8},
+		{"mid-config-length", 10},
+		{"mid-config", 20},
+	}
+	for _, c := range cuts {
+		t.Run("truncated-"+c.name, func(t *testing.T) {
+			fresh, _ := NewSystem(cfg)
+			if err := fresh.LoadModels(bytes.NewReader(full[:c.n])); err == nil {
+				t.Fatalf("truncation at byte %d accepted", c.n)
+			}
+		})
+	}
+
+	t.Run("implausible-config-length", func(t *testing.T) {
+		corrupt := append([]byte(nil), full...)
+		binary.LittleEndian.PutUint32(corrupt[8:12], 1<<30)
+		fresh, _ := NewSystem(cfg)
+		if err := fresh.LoadModels(bytes.NewReader(corrupt)); err == nil {
+			t.Fatal("implausible config length accepted")
+		}
+	})
+
+	t.Run("unknown-version", func(t *testing.T) {
+		corrupt := append([]byte(nil), full...)
+		binary.LittleEndian.PutUint32(corrupt[4:8], 99)
+		fresh, _ := NewSystem(cfg)
+		if err := fresh.LoadModels(bytes.NewReader(corrupt)); err == nil {
+			t.Fatal("unknown version accepted")
+		}
+	})
+}
+
+// TestCheckpointKindSentinels pins the cross-kind sentinels: LoadModels
+// refuses a full-fleet snapshot with ErrSnapshotCheckpoint, ResumeEngine
+// refuses a models-only checkpoint with ErrModelsOnlyCheckpoint.
+func TestCheckpointKindSentinels(t *testing.T) {
+	cfg := tinyConfig(MethodPFDRL)
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models bytes.Buffer
+	if err := sys.SaveModels(&models); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeEngine(bytes.NewReader(models.Bytes())); !errors.Is(err, ErrModelsOnlyCheckpoint) {
+		t.Fatalf("ResumeEngine on models checkpoint: %v, want ErrModelsOnlyCheckpoint", err)
+	}
+
+	eng := NewEngine(sys)
+	if err := eng.StepHour(); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := eng.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := NewSystem(cfg)
+	if err := fresh.LoadModels(bytes.NewReader(snap.Bytes())); !errors.Is(err, ErrSnapshotCheckpoint) {
+		t.Fatalf("LoadModels on snapshot: %v, want ErrSnapshotCheckpoint", err)
+	}
+}
+
+// TestLegacyV1CheckpointStillLoads pins backward compatibility: a v1
+// stream (count-only header) hand-assembled from a v2 body still loads.
+func TestLegacyV1CheckpointStillLoads(t *testing.T) {
+	cfg := tinyConfig(MethodPFDRL)
+	src, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := src.SaveModels(&v2); err != nil {
+		t.Fatal(err)
+	}
+	// Parse past the v2 header to find where the parameter stream starts.
+	cfgLen := binary.LittleEndian.Uint32(v2.Bytes()[8:12])
+	params := v2.Bytes()[12+cfgLen:]
+
+	var v1 bytes.Buffer
+	v1.WriteString(checkpointMagic)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], versionModelsLegacy)
+	v1.Write(u32[:])
+	binary.LittleEndian.PutUint32(u32[:], uint32(cfg.Homes))
+	v1.Write(u32[:])
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(src.deviceTypes)))
+	v1.Write(u32[:])
+	v1.Write(params)
+
+	fresh, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadModels(bytes.NewReader(v1.Bytes())); err != nil {
+		t.Fatalf("legacy v1 checkpoint rejected: %v", err)
+	}
+	for j, p := range src.homes[0].agent.Online.Params() {
+		if !p.Equal(fresh.homes[0].agent.Online.Params()[j]) {
+			t.Fatalf("home 0 agent param %d differs after legacy load", j)
+		}
 	}
 }

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// wallClockFields lists the Result fields measured in host wall-clock —
+// the only fields legitimately different between two equivalent runs.
+// Simulated time (ForecastCommTime, EMSCommTime, NetStats.SimulatedTime,
+// Resilience.BackoffTime) is deterministic and IS compared.
+var wallClockFields = map[string]bool{
+	"ForecastTrainTime":     true,
+	"ForecastTestTime":      true,
+	"EMSTrainTime":          true,
+	"EMSTestTime":           true,
+	"ForecastTestWallTime":  true,
+	"ForecastTrainWallTime": true,
+	"EMSWallTime":           true,
+}
+
+// assertResultsEqual compares every deterministic Result field bitwise.
+func assertResultsEqual(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	wv, gv := reflect.ValueOf(*want), reflect.ValueOf(*got)
+	rt := wv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if wallClockFields[f.Name] {
+			continue
+		}
+		if !reflect.DeepEqual(wv.Field(i).Interface(), gv.Field(i).Interface()) {
+			t.Errorf("%s: Result.%s differs:\n  want %v\n  got  %v",
+				label, f.Name, wv.Field(i).Interface(), gv.Field(i).Interface())
+		}
+	}
+}
+
+// engineConfigs is the equivalence matrix: methods × topology × codec.
+func engineConfigs() map[string]Config {
+	sampled := tinyConfig(MethodPFDRL)
+	sampled.Topology = TopologySpec{Kind: TopoSampled, K: 2}
+	topk := tinyConfig(MethodPFDRL)
+	topk.Comms = wire.Options{Level: wire.TopK, TopKFrac: 0.3}
+	cluster := tinyConfig(MethodPFDRL)
+	cluster.Topology = TopologySpec{Kind: TopoCluster, ClusterSize: 2}
+	return map[string]Config{
+		"Local":         tinyConfig(MethodLocal),
+		"FRL":           tinyConfig(MethodFRL),
+		"PFDRL":         tinyConfig(MethodPFDRL),
+		"PFDRL-sampled": sampled,
+		"PFDRL-cluster": cluster,
+		"PFDRL-topk":    topk,
+	}
+}
+
+// TestRunEqualsStepwise pins the tentpole refactor's contract: the batch
+// Run() driver and a manual hour-by-hour StepHour loop produce bitwise
+// identical Results across methods, topologies, and codecs.
+func TestRunEqualsStepwise(t *testing.T) {
+	for name, cfg := range engineConfigs() {
+		t.Run(name, func(t *testing.T) {
+			want := mustRun(t, cfg)
+
+			s, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := NewEngine(s)
+			hours := 0
+			for !eng.Done() {
+				if err := eng.StepHour(); err != nil {
+					t.Fatalf("hour %d: %v", hours, err)
+				}
+				hours++
+			}
+			if want := cfg.Days * 24; hours != want {
+				t.Fatalf("stepped %d hours, want %d", hours, want)
+			}
+			got, err := eng.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsEqual(t, name, want, got)
+		})
+	}
+}
+
+// TestEngineClockAndGuards covers the clock accessors and the terminal
+// error states.
+func TestEngineClockAndGuards(t *testing.T) {
+	cfg := tinyConfig(MethodLocal)
+	cfg.Days = 1
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(s)
+	if _, err := eng.Finish(); err == nil {
+		t.Fatal("Finish before stepping should fail")
+	}
+	if err := eng.StepHour(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Day() != 0 || eng.Hour() != 1 || eng.Minute() != 60 {
+		t.Fatalf("clock at day %d hour %d minute %d after one step", eng.Day(), eng.Hour(), eng.Minute())
+	}
+	if err := eng.StepDay(); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Done() {
+		t.Fatal("engine should be done after 1 day")
+	}
+	if err := eng.StepHour(); err != ErrEngineDone {
+		t.Fatalf("StepHour past the end: %v, want ErrEngineDone", err)
+	}
+	if _, err := eng.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Finished() {
+		t.Fatal("Finished() false after Finish")
+	}
+	if err := eng.StepDay(); err != ErrEngineFinished {
+		t.Fatalf("StepDay after Finish: %v, want ErrEngineFinished", err)
+	}
+	if _, err := eng.Finish(); err != nil {
+		t.Fatalf("Finish should be idempotent: %v", err)
+	}
+}
+
+// stepTo advances the engine by n hours.
+func stepTo(t *testing.T, eng *Engine, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := eng.StepHour(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+// finishAll steps the engine to the end and finishes it.
+func finishAll(t *testing.T, eng *Engine) *Result {
+	t.Helper()
+	for !eng.Done() {
+		if err := eng.StepHour(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSnapshotResumeRoundTrip is the warm-start proof: an engine
+// snapshotted mid-run (both mid-day, with β rounds potentially in flight,
+// and at a day boundary) resumes into a fresh process-equivalent engine
+// that finishes bitwise identical to the uninterrupted run — and the
+// snapshot itself does not perturb the donor run.
+func TestSnapshotResumeRoundTrip(t *testing.T) {
+	for name, cfg := range engineConfigs() {
+		// Off-period schedules so rounds are pending at odd hours.
+		cfg.BetaHours, cfg.GammaHours = 5, 7
+		for _, cut := range []struct {
+			name  string
+			hours int
+		}{
+			{"mid-day", 24 + 13},
+			{"day-boundary", 48},
+		} {
+			t.Run(name+"/"+cut.name, func(t *testing.T) {
+				want := mustRun(t, cfg)
+
+				s, err := NewSystem(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				donor := NewEngine(s)
+				stepTo(t, donor, cut.hours)
+				var buf bytes.Buffer
+				if err := donor.WriteSnapshot(&buf); err != nil {
+					t.Fatal(err)
+				}
+				snapshot := append([]byte(nil), buf.Bytes()...)
+
+				// The donor continues unperturbed by having been snapshotted.
+				assertResultsEqual(t, "donor", want, finishAll(t, donor))
+
+				resumed, err := ResumeEngine(bytes.NewReader(snapshot))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resumed.Day()*24+resumed.Hour() != cut.hours {
+					t.Fatalf("resumed clock at day %d hour %d, want %d hours in",
+						resumed.Day(), resumed.Hour(), cut.hours)
+				}
+				assertResultsEqual(t, "resumed", want, finishAll(t, resumed))
+			})
+		}
+	}
+}
+
+// TestSnapshotOfFinishedEngine round-trips a completed run: the restored
+// engine reports Finished and returns the identical cached Result.
+func TestSnapshotOfFinishedEngine(t *testing.T) {
+	cfg := tinyConfig(MethodPFDRL)
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(s)
+	want := finishAll(t, eng)
+	var buf bytes.Buffer
+	if err := eng.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Finished() {
+		t.Fatal("resumed engine should be finished")
+	}
+	got, err := resumed.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, "finished", want, got)
+}
+
+// TestServeQueriesDoNotPerturbRun pins the daemon's core guarantee:
+// interleaving forecast and plan queries between steps leaves the
+// simulation bit-identical (Greedy draws no RNG, prediction writes only
+// scratch).
+func TestServeQueriesDoNotPerturbRun(t *testing.T) {
+	cfg := tinyConfig(MethodPFDRL)
+	want := mustRun(t, cfg)
+
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(s)
+	hour := 0
+	for !eng.Done() {
+		if hour%5 == 0 {
+			for home := 0; home < cfg.Homes; home++ {
+				if _, err := eng.ForecastNextHour(home); err != nil {
+					t.Fatalf("forecast home %d: %v", home, err)
+				}
+				if _, err := eng.PlanNextHour(home); err != nil {
+					t.Fatalf("plan home %d: %v", home, err)
+				}
+			}
+		}
+		if err := eng.StepHour(); err != nil {
+			t.Fatal(err)
+		}
+		hour++
+	}
+	got, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, "interleaved", want, got)
+
+	// Queries keep answering after the run completes (clamped clock).
+	fcs, err := eng.ForecastNextHour(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fcs) != cfg.DevicesPerHome {
+		t.Fatalf("finished forecast returned %d devices, want %d", len(fcs), cfg.DevicesPerHome)
+	}
+	plans, err := eng.PlanNextHour(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		if len(p.Actions) != 60 {
+			t.Fatalf("%s plan has %d actions, want 60", p.DeviceType, len(p.Actions))
+		}
+	}
+	if _, err := eng.ForecastNextHour(cfg.Homes); err == nil {
+		t.Fatal("out-of-range home accepted")
+	}
+}
+
+// TestApplyLiveSettings covers the daemon's reconfiguration path:
+// validation failures leave state untouched; period, fan-out, and codec
+// changes land and are reflected by LiveSettings.
+func TestApplyLiveSettings(t *testing.T) {
+	cfg := tinyConfig(MethodPFDRL)
+	cfg.Topology = TopologySpec{Kind: TopoSampled, K: 2}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := s.LiveSettings()
+	if ls.BetaHours != cfg.BetaHours || ls.TopologyK != 2 || ls.CommsLevel != "delta" {
+		t.Fatalf("initial settings: %+v", ls)
+	}
+
+	bad := ls
+	bad.BetaHours = 0
+	if err := s.ApplyLiveSettings(bad); err == nil {
+		t.Fatal("zero β accepted")
+	}
+	bad = ls
+	bad.TopologyK = 99
+	if err := s.ApplyLiveSettings(bad); err == nil {
+		t.Fatal("out-of-range K accepted")
+	}
+	bad = ls
+	bad.CommsLevel = "zstd"
+	if err := s.ApplyLiveSettings(bad); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	if got := s.LiveSettings(); got != ls {
+		t.Fatalf("failed applies mutated settings: %+v vs %+v", got, ls)
+	}
+
+	ls.BetaHours, ls.GammaHours = 6, 8
+	ls.TopologyK = 1
+	ls.CommsLevel = "topk"
+	ls.TopKFrac = 0.25
+	if err := s.ApplyLiveSettings(ls); err != nil {
+		t.Fatal(err)
+	}
+	got := s.LiveSettings()
+	if got.BetaHours != 6 || got.GammaHours != 8 || got.TopologyK != 1 ||
+		got.CommsLevel != "topk" || got.TopKFrac != 0.25 {
+		t.Fatalf("settings not applied: %+v", got)
+	}
+	// The retuned system still runs.
+	eng := NewEngine(s)
+	stepTo(t, eng, 24)
+
+	// Local has no fabric or codec: those knobs must be rejected.
+	local, err := NewSystem(tinyConfig(MethodLocal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lls := local.LiveSettings()
+	lls.TopologyK = 2
+	if err := local.ApplyLiveSettings(lls); err == nil {
+		t.Fatal("topology_k accepted without a sampled fabric")
+	}
+	lls.TopologyK = 0
+	lls.CommsLevel = "dense"
+	if err := local.ApplyLiveSettings(lls); err == nil {
+		t.Fatal("comms_level accepted without a codec")
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fednet"
+	"repro/internal/wire"
+)
+
+// LiveSettings is the subset of Config a long-running daemon may retune
+// between steps without rebuilding the system: the two federation periods,
+// the sampled-gossip fan-out, and the wire codec. Everything else —
+// corpus shape, model architectures, seeds — is fixed at construction.
+type LiveSettings struct {
+	// BetaHours / GammaHours are the forecast and DQN broadcast periods.
+	// The engine reads them at each hour boundary, so a change takes
+	// effect at the next simulated hour.
+	BetaHours  float64 `json:"beta_hours"`
+	GammaHours float64 `json:"gamma_hours"`
+	// TopologyK is the per-round peer sample size; present only when a
+	// plane runs the sampled-gossip fabric (0 otherwise, and 0 in a POST
+	// leaves it unchanged).
+	TopologyK int `json:"topology_k,omitempty"`
+	// CommsLevel is the decentralized planes' codec tier ("dense",
+	// "delta", "topk"); empty when the method has no codec, and empty in
+	// a POST leaves the codec unchanged.
+	CommsLevel string `json:"comms_level,omitempty"`
+	// TopKFrac is the TopK tier's transmitted fraction (meaningful only
+	// with CommsLevel "topk"; 0 keeps the codec default).
+	TopKFrac float64 `json:"topk_frac,omitempty"`
+}
+
+// LiveSettings returns the current values of the retunable knobs.
+func (s *System) LiveSettings() LiveSettings {
+	ls := LiveSettings{
+		BetaHours:  s.cfg.BetaHours,
+		GammaHours: s.cfg.GammaHours,
+	}
+	if s.fcNet != nil && s.fcNet.Config().Topology == fednet.Sampled {
+		ls.TopologyK = s.fcNet.Config().SampleK
+	} else if s.drlNet != nil && s.drlNet.Config().Topology == fednet.Sampled {
+		ls.TopologyK = s.drlNet.Config().SampleK
+	}
+	if s.fcComms != nil {
+		ls.CommsLevel = s.fcComms.Options().Level.String()
+		ls.TopKFrac = s.fcComms.Options().TopKFrac
+	}
+	return ls
+}
+
+// ApplyLiveSettings validates and installs new values for the retunable
+// knobs. Period changes land in s.cfg (the engine reads them live); a
+// fan-out change redraws the sampled planes' peer sets; a codec change
+// swaps in fresh Exchanges on both decentralized planes — their first
+// post-swap broadcast is a natural dense keyframe, so lossless tiers stay
+// lossless across the transition. Errors leave all knobs unchanged.
+func (s *System) ApplyLiveSettings(ls LiveSettings) error {
+	if ls.BetaHours <= 0 || ls.GammaHours <= 0 {
+		return fmt.Errorf("core: broadcast periods must be positive (β=%g γ=%g)", ls.BetaHours, ls.GammaHours)
+	}
+	sampledPlanes := 0
+	if s.fcNet != nil && s.fcNet.Config().Topology == fednet.Sampled {
+		sampledPlanes++
+	}
+	if s.drlNet != nil && s.drlNet.Config().Topology == fednet.Sampled {
+		sampledPlanes++
+	}
+	if ls.TopologyK != 0 && sampledPlanes == 0 {
+		return fmt.Errorf("core: topology_k applies only to the sampled-gossip fabric (method %s, topology %q)",
+			s.cfg.Method, s.cfg.Topology.Kind)
+	}
+	var newOpts *wire.Options
+	if ls.CommsLevel != "" {
+		if s.fcComms == nil {
+			return fmt.Errorf("core: comms_level applies only to the decentralized planes (method %s has no codec)", s.cfg.Method)
+		}
+		level, err := wire.ParseLevel(ls.CommsLevel)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		opts := s.fcComms.Options()
+		opts.Level = level
+		if ls.TopKFrac != 0 {
+			opts.TopKFrac = ls.TopKFrac
+		}
+		if err := opts.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		cur := s.fcComms.Options()
+		if opts != cur {
+			newOpts = &opts
+		}
+	} else if ls.TopKFrac != 0 {
+		return fmt.Errorf("core: topk_frac requires comms_level")
+	}
+
+	// Validation done — install. Fan-out first (SetSampleK re-validates
+	// the bound against each plane's size).
+	if ls.TopologyK != 0 {
+		if s.fcNet != nil && s.fcNet.Config().Topology == fednet.Sampled {
+			if err := s.fcNet.SetSampleK(ls.TopologyK); err != nil {
+				return fmt.Errorf("core: forecast plane: %w", err)
+			}
+			s.cfg.Topology.K = ls.TopologyK
+		}
+		if s.drlNet != nil && s.drlNet.Config().Topology == fednet.Sampled {
+			if err := s.drlNet.SetSampleK(ls.TopologyK); err != nil {
+				return fmt.Errorf("core: EMS plane: %w", err)
+			}
+			if !s.cfg.EMSTopology.IsZero() {
+				s.cfg.EMSTopology.K = ls.TopologyK
+			}
+		}
+	}
+	s.cfg.BetaHours = ls.BetaHours
+	s.cfg.GammaHours = ls.GammaHours
+	if newOpts != nil {
+		s.swapExchanges(*newOpts)
+	}
+	return nil
+}
+
+// swapExchanges replaces both decentralized planes' wire codecs with fresh
+// Exchanges running opts, carrying the cumulative codec counters over and
+// re-pointing every round workspace at the new exchanges. The fresh
+// reference stores mean each stream's next broadcast is a dense keyframe —
+// the codec's normal cold-start path, so decoders need no special casing.
+func (s *System) swapExchanges(opts wire.Options) {
+	carry := func(old *wire.Exchange) *wire.Exchange {
+		x := wire.NewExchange(opts)
+		if old != nil {
+			_ = x.RestoreState(wire.ExchangeState{Stats: old.Stats()})
+		}
+		return x
+	}
+	s.fcComms = carry(s.fcComms)
+	s.drlComms = carry(s.drlComms)
+	for _, ws := range s.fcRoundWS {
+		ws.Comms = s.fcComms
+	}
+	if s.drlWS != nil {
+		s.drlWS.Comms = s.drlComms
+	}
+	s.cfg.Comms = opts
+}

@@ -35,228 +35,17 @@ func firesInHour(periodHours float64, hourEnd int) int {
 	return fires
 }
 
-// Run simulates cfg.Days days and returns the collected Result.
+// Run simulates cfg.Days days and returns the collected Result. It is a
+// thin driver over the stepwise Engine — NewEngine, StepDay until done,
+// Finish — and the twin-run tests pin it bit-identical to manual stepping.
 func (s *System) Run() (*Result, error) {
-	cfg := s.cfg
-	res := &Result{Method: cfg.Method, Config: cfg}
-	timer := metrics.NewTimer()
-	s.resil = ResilienceReport{}
-
-	evalDays := cfg.Days / 4
-	if evalDays < 1 {
-		evalDays = 1
-	}
-	evalStart := cfg.Days - evalDays
-
-	var accBuckets metrics.HourBuckets
-	var savedByHour [24]float64
-	var fcTestDur []time.Duration
-
-	for day := 0; day < cfg.Days; day++ {
-		inEval := day >= evalStart
-
-		// --- Forecast phase: per-hour next-hour predictions for the day.
-		// Any β round still aggregating in the background must land first —
-		// prediction reads the very models it installs into.
-		if err := s.joinForecastRounds(timer); err != nil {
+	eng := NewEngine(s)
+	for !eng.Done() {
+		if err := eng.StepDay(); err != nil {
 			return nil, err
 		}
-		// (home, device) pairs predict concurrently (each owns its
-		// forecaster); accuracy collection stays serial for deterministic
-		// aggregation order. The timer keeps two series: the per-task sum
-		// (CPU time) and the wave's elapsed time (wall).
-		if fcTestDur == nil {
-			s.ensureHomeDevs()
-			fcTestDur = make([]time.Duration, len(s.homeDevs))
-		}
-		waveStart := time.Now()
-		s.parallelHomeDevices(func(idx int, h *simHome, di int) {
-			start := time.Now()
-			h.predDay[di] = s.predictDay(h, h.src.Traces[di], day)
-			fcTestDur[idx] = time.Since(start)
-		})
-		timer.Add("fc-test.wall", time.Since(waveStart))
-		for i := range s.homeDevs {
-			timer.Add("fc-test", fcTestDur[i])
-		}
-		if inEval {
-			for _, h := range s.homes {
-				s.collectAccuracy(res, &accBuckets, h, day)
-			}
-		}
-
-		// --- EMS + local training, hour by hour.
-		daySaved, dayStandby := 0.0, 0.0
-		envs := make([][]*energy.Env, len(s.homes))
-		for hi, h := range s.homes {
-			envs[hi] = make([]*energy.Env, len(h.src.Traces))
-			for di, tr := range h.src.Traces {
-				env, err := energy.NewEnv(tr.Device, h.predDay[di], tr.Day(day))
-				if err != nil {
-					return nil, fmt.Errorf("core: home %d %s: %w", h.id, tr.Device.Type, err)
-				}
-				env.LookAhead, env.LookBack = cfg.LookAhead, cfg.LookBack
-				env.SensorDelay = cfg.SensorDelayMinutes
-				if nom := s.nominalKW[tr.Device.Type]; nom > 0 {
-					env.NormKW = nom
-				}
-				envs[hi][di] = env
-			}
-		}
-		perHomeSaved := make([]float64, len(s.homes))
-		perHomeStandby := make([]float64, len(s.homes))
-		perHomeReward := make([]float64, len(s.homes))
-		perHomeSteps := make([]int, len(s.homes))
-		dayReward, daySteps := 0.0, 0
-
-		hourStats := make([]emsHourStats, len(s.homes))
-		for hour := 0; hour < 24; hour++ {
-			// Homes run their EMS hour concurrently: each home's agent,
-			// environments, and RNGs are private, so results are identical
-			// to the serial schedule; aggregation below follows home order
-			// so float summation stays deterministic.
-			emsWave := time.Now()
-			s.parallelHomes(func(h *simHome) {
-				hourStats[h.id] = s.runEMSHour(h, envs[h.id], hour)
-			})
-			timer.Add("ems.wall", time.Since(emsWave))
-			var hourTot emsHourStats
-			for hi := range s.homes {
-				st := hourStats[hi]
-				perHomeSaved[hi] += st.savedKWh
-				perHomeStandby[hi] += st.standbyKWh
-				perHomeReward[hi] += st.rewardSum
-				perHomeSteps[hi] += st.steps
-				dayReward += st.rewardSum
-				daySteps += st.steps
-				hourTot.savedKWh += st.savedKWh
-				hourTot.standbyKWh += st.standbyKWh
-				hourTot.rewardSum += st.rewardSum
-				hourTot.steps += st.steps
-				if inEval {
-					savedByHour[hour] += st.savedKWh
-				}
-				timer.Add("ems-test", st.testDur)
-				timer.Add("ems-train", st.trainDur)
-			}
-			hourEnd := day*pecan.MinutesPerDay + (hour+1)*60
-			// Advance the fabric clocks so FaultPlan windows (partitions,
-			// crashes) track simulated time.
-			s.setNetClock(hourEnd)
-			s.noteClock(hourEnd)
-			s.noteHour(day, hour, hourTot, perHomeSaved, perHomeStandby)
-
-			// Local forecaster training bouts.
-			if (hour+1)%cfg.TrainEveryHours == 0 {
-				if err := s.trainForecasters(timer, hourEnd); err != nil {
-					return nil, err
-				}
-			}
-			// Forecast-plane federation (β).
-			if fires := firesInHour(cfg.BetaHours, hourEnd); fires > 0 && cfg.Method.SharesForecast() && cfg.Method != MethodCloud {
-				if err := s.forecastRound(timer, fires); err != nil {
-					return nil, err
-				}
-			}
-			// EMS-plane federation (γ). The round stays synchronous — the
-			// next minute's action selection reads the averaged DQN — so its
-			// elapsed time is wall time too.
-			if fires := firesInHour(cfg.GammaHours, hourEnd); fires > 0 && cfg.Method.SharesEMS() {
-				t0 := time.Now()
-				if err := s.emsRound(timer, fires); err != nil {
-					return nil, err
-				}
-				timer.Add("ems.wall", time.Since(t0))
-			}
-		}
-
-		// Cloud raw-data training happens nightly.
-		if cfg.Method == MethodCloud {
-			s.cloudDay(timer, day)
-		}
-
-		for hi := range s.homes {
-			daySaved += perHomeSaved[hi]
-			dayStandby += perHomeStandby[hi]
-		}
-		res.DailySavedKWhPerHome = append(res.DailySavedKWhPerHome, daySaved/float64(len(s.homes)))
-		frac := 0.0
-		if dayStandby > 0 {
-			frac = daySaved / dayStandby
-		}
-		res.DailySavedFrac = append(res.DailySavedFrac, frac)
-		if daySteps == 0 {
-			// Guarded here rather than silently emitting NaN: a zero-step day
-			// means the configuration yielded no EMS decisions at all.
-			return nil, fmt.Errorf("core: day %d produced no EMS steps; check Homes (%d) and DevicesPerHome (%d)",
-				day, cfg.Homes, cfg.DevicesPerHome)
-		}
-		res.DailyMeanReward = append(res.DailyMeanReward, dayReward/float64(daySteps))
-		if day == cfg.Days-1 {
-			res.PerHomeSavedKWhFinal = perHomeSaved
-			for hi := range s.homes {
-				f := 0.0
-				if perHomeStandby[hi] > 0 {
-					f = perHomeSaved[hi] / perHomeStandby[hi]
-				}
-				res.PerHomeSavedFracFinal = append(res.PerHomeSavedFracFinal, f)
-				rw := 0.0
-				if perHomeSteps[hi] > 0 {
-					rw = perHomeReward[hi] / float64(perHomeSteps[hi])
-				}
-				res.PerHomeRewardFinal = append(res.PerHomeRewardFinal, rw)
-			}
-		}
 	}
-
-	// A β round begun on the final hour may still be aggregating.
-	if err := s.joinForecastRounds(timer); err != nil {
-		return nil, err
-	}
-
-	// --- Assemble result.
-	res.AccuracyByHour = accBuckets.Means()
-	if len(res.AccuracySamples) > 0 {
-		sum := 0.0
-		for _, a := range res.AccuracySamples {
-			sum += a
-		}
-		res.ForecastAccuracy = sum / float64(len(res.AccuracySamples))
-	}
-	norm := float64(len(s.homes) * evalDays)
-	for i := range savedByHour {
-		res.SavedByHour[i] = savedByHour[i] / norm
-	}
-	tail := cfg.Days / 5
-	if tail < 1 {
-		tail = 1
-	}
-	res.ConvergenceDay = metrics.ConvergenceDay(res.DailySavedFrac, 0.9, tail)
-
-	res.ForecastTrainTime = timer.Get("fc-train")
-	res.ForecastTestTime = timer.Get("fc-test")
-	res.EMSTrainTime = timer.Get("ems-train")
-	res.EMSTestTime = timer.Get("ems-test")
-	res.ForecastTestWallTime = timer.Get("fc-test.wall")
-	res.ForecastTrainWallTime = timer.Get("fc-train.wall")
-	res.EMSWallTime = timer.Get("ems.wall")
-	if s.fcNet != nil {
-		res.ForecastNetStats = s.fcNet.Stats()
-		res.ForecastCommTime = res.ForecastNetStats.SimulatedTime
-		s.resil.absorbStats(res.ForecastNetStats)
-	}
-	if s.drlNet != nil {
-		res.EMSNetStats = s.drlNet.Stats()
-		res.EMSCommTime = res.EMSNetStats.SimulatedTime
-		s.resil.absorbStats(res.EMSNetStats)
-	}
-	// Partition outage is a property of the physical link, not of the two
-	// logical planes riding it: count the severed wall-clock once.
-	s.resil.PartitionSeconds = cfg.FaultPlan.PartitionSeconds(cfg.Days * pecan.MinutesPerDay)
-	res.ForecastComms = s.fcCommsTot
-	res.EMSComms = s.emsCommsTot
-	res.Resilience = s.resil
-	return res, nil
+	return eng.Finish()
 }
 
 // setNetClock advances both fabric clocks to the given simulated minute.

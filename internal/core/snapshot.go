@@ -1,0 +1,349 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/dqn"
+	"repro/internal/fed"
+	"repro/internal/fednet"
+	"repro/internal/forecast"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// The v3 full-fleet snapshot captures everything a bit-identical resume
+// needs: the engine clock and accumulators, every home's forecaster
+// parameters and training counters, every agent's complete training state
+// (networks, optimizer moments, replay memory, RNG stream positions), both
+// federation fabrics (clocks, undelivered inboxes, fault-RNG positions),
+// and both wire codecs' delta references. The container header (see
+// checkpoint.go) embeds the Config, so ResumeEngine reconstructs the
+// System from the snapshot alone — no separate configuration is required,
+// and none can disagree.
+//
+// What is deliberately NOT serialized:
+//   - Environments: core never calls Env.Step, so a day's environments are
+//     a pure function of (predDay, dataset, day) and are rebuilt.
+//   - Wall-clock timers: Result's *Time/*Wall fields measure host compute;
+//     a resumed run restarts them at zero. All simulated-time and byte
+//     accounting (NetStats, CommsTotals, Resilience) IS carried.
+//   - In-flight β rounds: WriteSnapshot joins them first. Joining early is
+//     value-identical — the aggregation result does not depend on when the
+//     join happens, only the overlap timing does.
+
+// forecasterSnap is one forecaster's serializable state: parameters plus
+// the training-bout counter that drives its learning-rate decay. (The
+// per-bout shuffle RNG is seeded fresh every TrainEpochs call, so the
+// counter is the only persistent training state.)
+type forecasterSnap struct {
+	DeviceType string
+	Params     []*tensor.Matrix
+	EpochsSeen int
+}
+
+// homeSnap is one home's serializable state.
+type homeSnap struct {
+	Forecasters []forecasterSnap // sorted by device type
+	Agent       dqn.AgentState
+	// PredDay is the home's current-day forecast per device, present while
+	// the snapshot was taken mid-day (DayPrepared).
+	PredDay [][]float64
+}
+
+// snapshotBody is the gob-encoded payload of a v3 checkpoint.
+type snapshotBody struct {
+	// Engine clock and flags.
+	Day, Hour   int
+	DayPrepared bool
+	Finished    bool
+
+	// Engine accumulators.
+	AccBuckets  metrics.HourBuckets
+	SavedByHour [24]float64
+	Result      *Result
+
+	// Per-day accumulators, valid while DayPrepared.
+	PerHomeSaved   []float64
+	PerHomeStandby []float64
+	PerHomeReward  []float64
+	PerHomeSteps   []int
+	DayReward      float64
+	DaySteps       int
+
+	// Fleet state.
+	Homes    []homeSnap
+	HubFcs   []forecasterSnap // sorted by device type; star methods only
+	HubAgent *dqn.AgentState  // FRL only
+
+	// Fabric and codec state.
+	FcNet, DrlNet           *fednet.NetState
+	FcExchange, DrlExchange *wire.ExchangeState
+
+	// Accounting.
+	FcCommsTot, EMSCommsTot fed.CommsTotals
+	Resil                   ResilienceReport
+}
+
+// snapForecaster captures one forecaster's parameters and counters.
+func snapForecaster(dt string, fc forecast.Forecaster) forecasterSnap {
+	fs := forecasterSnap{DeviceType: dt}
+	for _, p := range fc.Model().Params() {
+		fs.Params = append(fs.Params, p.Clone())
+	}
+	if c, ok := fc.(forecast.TrainStateCarrier); ok {
+		fs.EpochsSeen = c.EpochsSeen()
+	}
+	return fs
+}
+
+// restoreForecaster installs a forecasterSnap into a live forecaster.
+func restoreForecaster(home int, fs forecasterSnap, fc forecast.Forecaster) error {
+	params := fc.Model().Params()
+	if len(fs.Params) != len(params) {
+		return fmt.Errorf("core: home %d %s: snapshot has %d parameter tensors, forecaster has %d",
+			home, fs.DeviceType, len(fs.Params), len(params))
+	}
+	for i, p := range fs.Params {
+		if p.Rows != params[i].Rows || p.Cols != params[i].Cols {
+			return fmt.Errorf("core: home %d %s: snapshot tensor %d is %dx%d, forecaster wants %dx%d",
+				home, fs.DeviceType, i, p.Rows, p.Cols, params[i].Rows, params[i].Cols)
+		}
+	}
+	for i, p := range fs.Params {
+		params[i].CopyFrom(p)
+	}
+	if c, ok := fc.(forecast.TrainStateCarrier); ok {
+		c.SetEpochsSeen(fs.EpochsSeen)
+	}
+	return nil
+}
+
+// sortedTypes returns the system's device types in the deterministic order
+// every serialized form uses.
+func (s *System) sortedTypes() []string {
+	types := append([]string(nil), s.deviceTypes...)
+	sort.Strings(types)
+	return types
+}
+
+// WriteSnapshot serializes the complete engine and fleet state as a v3
+// checkpoint. Any β round still aggregating is joined first (the staged
+// means install into the forecaster models before they are captured), so
+// a snapshot never carries an in-flight round.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	s := e.sys
+	if err := s.joinForecastRounds(e.timer); err != nil {
+		return fmt.Errorf("core: landing pending rounds before snapshot: %w", err)
+	}
+	body := snapshotBody{
+		Day:         e.day,
+		Hour:        e.hour,
+		DayPrepared: e.dayPrepared,
+		Finished:    e.finished,
+		AccBuckets:  e.accBuckets,
+		SavedByHour: e.savedByHour,
+		Result:      e.res,
+		FcCommsTot:  s.fcCommsTot,
+		EMSCommsTot: s.emsCommsTot,
+		Resil:       s.resil,
+	}
+	if e.dayPrepared {
+		body.PerHomeSaved = append([]float64(nil), e.perHomeSaved...)
+		body.PerHomeStandby = append([]float64(nil), e.perHomeStandby...)
+		body.PerHomeReward = append([]float64(nil), e.perHomeReward...)
+		body.PerHomeSteps = append([]int(nil), e.perHomeSteps...)
+		body.DayReward = e.dayReward
+		body.DaySteps = e.daySteps
+	}
+	types := s.sortedTypes()
+	for _, h := range s.homes {
+		hs := homeSnap{Agent: h.agent.StateSnapshot()}
+		for _, dt := range types {
+			fc, ok := h.fcs[dt]
+			if !ok {
+				return fmt.Errorf("core: home %d missing forecaster for %q", h.id, dt)
+			}
+			hs.Forecasters = append(hs.Forecasters, snapForecaster(dt, fc))
+		}
+		if e.dayPrepared {
+			hs.PredDay = make([][]float64, len(h.predDay))
+			for di, pd := range h.predDay {
+				hs.PredDay[di] = append([]float64(nil), pd...)
+			}
+		}
+		body.Homes = append(body.Homes, hs)
+	}
+	for _, dt := range types {
+		if fc, ok := s.hubFcs[dt]; ok {
+			body.HubFcs = append(body.HubFcs, snapForecaster(dt, fc))
+		}
+	}
+	if s.hubAgent != nil {
+		st := s.hubAgent.StateSnapshot()
+		body.HubAgent = &st
+	}
+	if s.fcNet != nil {
+		st := s.fcNet.StateSnapshot()
+		body.FcNet = &st
+	}
+	if s.drlNet != nil {
+		st := s.drlNet.StateSnapshot()
+		body.DrlNet = &st
+	}
+	if s.fcComms != nil {
+		st := s.fcComms.StateSnapshot()
+		body.FcExchange = &st
+	}
+	if s.drlComms != nil {
+		st := s.drlComms.StateSnapshot()
+		body.DrlExchange = &st
+	}
+
+	if err := writeHeader(w, versionSnapshot, s.cfg); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(&body); err != nil {
+		return fmt.Errorf("core: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// ResumeEngine reconstructs a stepwise engine from a v3 snapshot: it
+// rebuilds the System from the embedded Config (same corpus, same
+// architectures), then installs every piece of serialized state. The
+// resumed engine continues the original run bit-for-bit — the round-trip
+// tests in engine_test.go pin this. Handing it a models-only checkpoint
+// fails with ErrModelsOnlyCheckpoint.
+func ResumeEngine(r io.Reader) (*Engine, error) {
+	hdr, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	switch hdr.version {
+	case versionModelsLegacy, versionModels:
+		return nil, ErrModelsOnlyCheckpoint
+	case versionSnapshot:
+	default:
+		return nil, fmt.Errorf("core: checkpoint version %d cannot resume", hdr.version)
+	}
+	var body snapshotBody
+	if err := gob.NewDecoder(r).Decode(&body); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	s, err := NewSystem(hdr.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuilding system from snapshot config: %w", err)
+	}
+	e := NewEngine(s)
+	if len(body.Homes) != len(s.homes) {
+		return nil, fmt.Errorf("core: snapshot has %d homes, rebuilt system has %d", len(body.Homes), len(s.homes))
+	}
+
+	types := s.sortedTypes()
+	for hi, h := range s.homes {
+		hs := body.Homes[hi]
+		if len(hs.Forecasters) != len(types) {
+			return nil, fmt.Errorf("core: home %d snapshot has %d forecasters, system has %d device types",
+				hi, len(hs.Forecasters), len(types))
+		}
+		for i, dt := range types {
+			fs := hs.Forecasters[i]
+			if fs.DeviceType != dt {
+				return nil, fmt.Errorf("core: home %d forecaster %d is %q, want %q", hi, i, fs.DeviceType, dt)
+			}
+			fc, ok := h.fcs[dt]
+			if !ok {
+				return nil, fmt.Errorf("core: home %d missing forecaster for %q", hi, dt)
+			}
+			if err := restoreForecaster(hi, fs, fc); err != nil {
+				return nil, err
+			}
+		}
+		if err := h.agent.RestoreState(hs.Agent); err != nil {
+			return nil, fmt.Errorf("core: home %d: %w", hi, err)
+		}
+		if body.DayPrepared {
+			if len(hs.PredDay) != len(h.predDay) {
+				return nil, fmt.Errorf("core: home %d snapshot has %d device forecasts, system has %d devices",
+					hi, len(hs.PredDay), len(h.predDay))
+			}
+			for di, pd := range hs.PredDay {
+				h.predDay[di] = append([]float64(nil), pd...)
+			}
+		}
+	}
+	for _, fs := range body.HubFcs {
+		fc, ok := s.hubFcs[fs.DeviceType]
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot carries hub forecaster %q, system has none", fs.DeviceType)
+		}
+		if err := restoreForecaster(-1, fs, fc); err != nil {
+			return nil, err
+		}
+	}
+	if body.HubAgent != nil {
+		if s.hubAgent == nil {
+			return nil, fmt.Errorf("core: snapshot carries a hub agent, system has none")
+		}
+		if err := s.hubAgent.RestoreState(*body.HubAgent); err != nil {
+			return nil, fmt.Errorf("core: hub agent: %w", err)
+		}
+	}
+	if body.FcNet != nil {
+		if s.fcNet == nil {
+			return nil, fmt.Errorf("core: snapshot carries forecast-fabric state, system has no fabric")
+		}
+		if err := s.fcNet.RestoreState(*body.FcNet); err != nil {
+			return nil, err
+		}
+	}
+	if body.DrlNet != nil {
+		if s.drlNet == nil {
+			return nil, fmt.Errorf("core: snapshot carries EMS-fabric state, system has no fabric")
+		}
+		if err := s.drlNet.RestoreState(*body.DrlNet); err != nil {
+			return nil, err
+		}
+	}
+	if body.FcExchange != nil && s.fcComms != nil {
+		if err := s.fcComms.RestoreState(*body.FcExchange); err != nil {
+			return nil, err
+		}
+	}
+	if body.DrlExchange != nil && s.drlComms != nil {
+		if err := s.drlComms.RestoreState(*body.DrlExchange); err != nil {
+			return nil, err
+		}
+	}
+	s.fcCommsTot = body.FcCommsTot
+	s.emsCommsTot = body.EMSCommsTot
+	s.resil = body.Resil
+
+	e.day, e.hour = body.Day, body.Hour
+	e.dayPrepared = body.DayPrepared
+	e.finished = body.Finished
+	e.accBuckets = body.AccBuckets
+	e.savedByHour = body.SavedByHour
+	if body.Result != nil {
+		e.res = body.Result
+	}
+	if body.DayPrepared {
+		envs, err := s.buildDayEnvs(body.Day)
+		if err != nil {
+			return nil, fmt.Errorf("core: rebuilding day %d environments: %w", body.Day, err)
+		}
+		e.envs = envs
+		e.perHomeSaved = append([]float64(nil), body.PerHomeSaved...)
+		e.perHomeStandby = append([]float64(nil), body.PerHomeStandby...)
+		e.perHomeReward = append([]float64(nil), body.PerHomeReward...)
+		e.perHomeSteps = append([]int(nil), body.PerHomeSteps...)
+		e.dayReward = body.DayReward
+		e.daySteps = body.DaySteps
+		e.hourStats = make([]emsHourStats, len(s.homes))
+	}
+	return e, nil
+}

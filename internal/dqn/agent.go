@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/nn"
+	"repro/internal/rng"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
@@ -97,9 +98,13 @@ type Agent struct {
 	Online, Target *nn.Sequential
 	buf            *ReplayBuffer
 	opt            nn.Optimizer
-	rng            *rand.Rand
-	learnSteps     int
-	actSteps       int
+	// src is the counting source behind rng: exploration and replay
+	// sampling draw through it unchanged, and its draw count is the
+	// stream's checkpointable state (see StateSnapshot / RestoreState).
+	src        *rng.Source
+	rng        *rand.Rand
+	learnSteps int
+	actSteps   int
 
 	// onlineParams/onlineGrads/targetParams cache the (architecture-stable)
 	// parameter lists so the hot path never rebuilds them.
@@ -130,7 +135,7 @@ func New(cfg Config) *Agent {
 	if initSeed == 0 {
 		initSeed = cfg.Seed
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := rng.NewSource(cfg.Seed)
 	widths := append([]int{cfg.StateDim}, cfg.Hidden...)
 	widths = append(widths, cfg.Actions)
 	online := nn.NewMLP(rand.New(rand.NewSource(initSeed)), widths...)
@@ -142,7 +147,8 @@ func New(cfg Config) *Agent {
 		Target:       target,
 		buf:          NewReplayBuffer(cfg.MemoryCapacity),
 		opt:          &nn.Adam{LR: cfg.LearnRate, Clip: 5},
-		rng:          rng,
+		src:          src,
+		rng:          rand.New(src),
 		onlineParams: online.Params(),
 		onlineGrads:  online.Grads(),
 		targetParams: target.Params(),

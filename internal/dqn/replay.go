@@ -118,6 +118,48 @@ func (b *ReplayBuffer) SampleInto(dst []Transition, rng *rand.Rand, n int) []Tra
 	return dst
 }
 
+// cloneTransition deep-copies a transition.
+func cloneTransition(t Transition) Transition {
+	var c Transition
+	copyTransition(&c, t)
+	return c
+}
+
+// Snapshot returns a deep copy of the ring's contents and cursor, for
+// checkpointing. Restoring it with Restore reproduces the exact eviction
+// and sampling order the buffer would have had without the round-trip.
+func (b *ReplayBuffer) Snapshot() (buf []Transition, pos int, full bool) {
+	buf = make([]Transition, len(b.buf))
+	for i, t := range b.buf {
+		buf[i] = cloneTransition(t)
+	}
+	return buf, b.pos, b.full
+}
+
+// Restore replaces the ring's contents with a deep copy of a Snapshot.
+// The snapshot must fit the buffer's capacity and describe a consistent
+// ring (full ⇒ len == cap and pos in range; not full ⇒ pos == 0).
+func (b *ReplayBuffer) Restore(buf []Transition, pos int, full bool) error {
+	c := cap(b.buf)
+	if len(buf) > c {
+		return fmt.Errorf("dqn: replay snapshot holds %d transitions, capacity is %d", len(buf), c)
+	}
+	if full && (len(buf) != c || pos < 0 || pos >= c) {
+		return fmt.Errorf("dqn: inconsistent full replay snapshot (len %d, cap %d, pos %d)", len(buf), c, pos)
+	}
+	if !full && pos != 0 {
+		return fmt.Errorf("dqn: inconsistent partial replay snapshot (pos %d)", pos)
+	}
+	b.buf = b.buf[:0]
+	for _, t := range buf {
+		var slot Transition
+		copyTransition(&slot, t)
+		b.buf = append(b.buf, slot)
+	}
+	b.pos, b.full = pos, full
+	return nil
+}
+
 // EpsilonSchedule is a linear exploration decay: ε starts at Start and
 // anneals to End over DecaySteps action selections.
 type EpsilonSchedule struct {

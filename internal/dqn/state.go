@@ -1,0 +1,106 @@
+package dqn
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// AgentState is the full serializable training state of one Agent — not
+// just the learned policy (SaveModels territory) but everything a
+// bit-identical resume needs: both networks, the optimizer moments, the
+// replay ring, the exploration/learn counters, and the RNG draw count.
+// All fields are exported plain data, so the struct gob-encodes directly.
+type AgentState struct {
+	ActSteps   int
+	LearnSteps int
+	// RNGDraws is the exploration/sampling stream's position; restore
+	// re-seeds from the agent's configured Seed and fast-forwards.
+	RNGDraws uint64
+
+	Online, Target []*tensor.Matrix
+
+	// AdamM/AdamV/AdamT mirror the optimizer's moment estimates; nil
+	// moments mean the optimizer has not stepped yet.
+	AdamM, AdamV []*tensor.Matrix
+	AdamT        int
+
+	ReplayBuf  []Transition
+	ReplayPos  int
+	ReplayFull bool
+}
+
+// StateSnapshot captures the agent's full training state as deep copies.
+func (a *Agent) StateSnapshot() AgentState {
+	st := AgentState{
+		ActSteps:   a.actSteps,
+		LearnSteps: a.learnSteps,
+		RNGDraws:   a.src.Draws(),
+	}
+	for _, p := range a.onlineParams {
+		st.Online = append(st.Online, p.Clone())
+	}
+	for _, p := range a.targetParams {
+		st.Target = append(st.Target, p.Clone())
+	}
+	if adam, ok := a.opt.(*nn.Adam); ok {
+		st.AdamM, st.AdamV, st.AdamT = adam.StateSnapshot()
+	}
+	st.ReplayBuf, st.ReplayPos, st.ReplayFull = a.buf.Snapshot()
+	return st
+}
+
+// RestoreState installs a StateSnapshot into this agent, which must have
+// the same architecture and capacity the snapshot was taken from. On
+// success the agent continues the original run bit-for-bit: the RNG stream
+// is fast-forwarded to the recorded draw, replay sampling sees the same
+// ring, and the optimizer resumes with its exact moments.
+func (a *Agent) RestoreState(st AgentState) error {
+	if err := copyParamSet("online", a.onlineParams, st.Online); err != nil {
+		return err
+	}
+	if err := copyParamSet("target", a.targetParams, st.Target); err != nil {
+		return err
+	}
+	if adam, ok := a.opt.(*nn.Adam); ok {
+		if st.AdamM != nil && len(st.AdamM) != len(a.onlineParams) {
+			return fmt.Errorf("dqn: snapshot carries %d Adam moments, agent has %d parameters",
+				len(st.AdamM), len(a.onlineParams))
+		}
+		if err := adam.RestoreState(st.AdamM, st.AdamV, st.AdamT); err != nil {
+			return fmt.Errorf("dqn: %w", err)
+		}
+	} else if st.AdamM != nil {
+		return fmt.Errorf("dqn: snapshot carries Adam state but agent uses %s", a.opt.Name())
+	}
+	if err := a.buf.Restore(st.ReplayBuf, st.ReplayPos, st.ReplayFull); err != nil {
+		return err
+	}
+	for _, tr := range st.ReplayBuf {
+		if len(tr.State) != a.cfg.StateDim || (!tr.Done && len(tr.Next) != a.cfg.StateDim) {
+			return fmt.Errorf("dqn: snapshot transition state dim %d, agent wants %d", len(tr.State), a.cfg.StateDim)
+		}
+	}
+	a.actSteps = st.ActSteps
+	a.learnSteps = st.LearnSteps
+	a.src.SeekTo(st.RNGDraws)
+	return nil
+}
+
+// copyParamSet copies src matrices into dst, validating count and shapes.
+func copyParamSet(what string, dst, src []*tensor.Matrix) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("dqn: snapshot has %d %s tensors, agent has %d", len(src), what, len(dst))
+	}
+	for i, m := range src {
+		if m.Rows != dst[i].Rows || m.Cols != dst[i].Cols {
+			return fmt.Errorf("dqn: snapshot %s tensor %d is %dx%d, agent wants %dx%d",
+				what, i, m.Rows, m.Cols, dst[i].Rows, dst[i].Cols)
+		}
+	}
+	for i, m := range src {
+		dst[i].CopyFrom(m)
+	}
+	return nil
+}

@@ -25,6 +25,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // Topology selects who may talk to whom.
@@ -183,7 +185,11 @@ type Network struct {
 
 	mu      sync.Mutex
 	inboxes [][]Message
-	rng     *rand.Rand
+	// dropSrc/corrSrc are the counting sources behind rng and crng: the
+	// drop and corruption processes draw through them unchanged, and
+	// their draw counts are the streams' checkpointable state.
+	dropSrc, corrSrc *rng.Source
+	rng              *rand.Rand
 	// crng drives FaultPlan corruption independently of the drop process.
 	crng *rand.Rand
 	// now is the simulated clock in minutes; FaultPlan windows are
@@ -235,11 +241,15 @@ func NewChecked(n int, cfg Config) (*Network, error) {
 	if fseed == 0 {
 		fseed = cfg.Seed + 0x5eed
 	}
+	dropSrc := rng.NewSource(cfg.Seed)
+	corrSrc := rng.NewSource(fseed)
 	nw := &Network{
 		cfg:     cfg,
 		inboxes: make([][]Message, n),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		crng:    rand.New(rand.NewSource(fseed)),
+		dropSrc: dropSrc,
+		corrSrc: corrSrc,
+		rng:     rand.New(dropSrc),
+		crng:    rand.New(corrSrc),
 	}
 	nw.initTopology()
 	return nw, nil

@@ -1,0 +1,101 @@
+package fednet
+
+import "fmt"
+
+// NetState is the serializable runtime state of a Network: the simulated
+// clock, the topology round epoch, the drop/corruption RNG positions, the
+// cumulative counters, and every undelivered inbox message. It is plain
+// exported data, so it gob-encodes directly. The immutable parts — agent
+// count, Config, cluster layout — are not here: a restore target is
+// reconstructed from the same configuration first.
+type NetState struct {
+	Now       int
+	TopoEpoch int
+	// DropDraws / CorrDraws are the rng/crng stream positions; restore
+	// re-seeds from the configured seeds and fast-forwards.
+	DropDraws, CorrDraws uint64
+	Stats                Stats
+	Inboxes              [][]Message
+}
+
+// StateSnapshot captures the network's runtime state. Inbox messages are
+// deep-copied (payloads included), so later fabric traffic cannot alias
+// into the snapshot.
+func (nw *Network) StateSnapshot() NetState {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	st := NetState{
+		Now:       nw.now,
+		TopoEpoch: nw.topoEpoch,
+		DropDraws: nw.dropSrc.Draws(),
+		CorrDraws: nw.corrSrc.Draws(),
+		Stats:     nw.stats,
+		Inboxes:   make([][]Message, len(nw.inboxes)),
+	}
+	for a, box := range nw.inboxes {
+		if len(box) == 0 {
+			continue
+		}
+		cp := make([]Message, len(box))
+		for i, m := range box {
+			m.Payload = append([]byte(nil), m.Payload...)
+			cp[i] = m
+		}
+		st.Inboxes[a] = cp
+	}
+	return st
+}
+
+// RestoreState installs a StateSnapshot taken from a network with the same
+// agent count and configuration. The RNG streams are re-seeded and
+// fast-forwarded to their recorded draws, so subsequent drop/corruption
+// decisions continue the original sequences bit-for-bit; under the Sampled
+// topology the peer sets are re-drawn for the restored epoch.
+func (nw *Network) RestoreState(st NetState) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if len(st.Inboxes) != 0 && len(st.Inboxes) != len(nw.inboxes) {
+		return fmt.Errorf("fednet: snapshot has %d inboxes, network has %d agents", len(st.Inboxes), len(nw.inboxes))
+	}
+	if st.TopoEpoch < 0 {
+		return fmt.Errorf("fednet: snapshot topology epoch %d < 0", st.TopoEpoch)
+	}
+	nw.now = st.Now
+	nw.topoEpoch = st.TopoEpoch
+	nw.stats = st.Stats
+	nw.dropSrc.SeekTo(st.DropDraws)
+	nw.corrSrc.SeekTo(st.CorrDraws)
+	for a := range nw.inboxes {
+		nw.inboxes[a] = nil
+		if len(st.Inboxes) == 0 || len(st.Inboxes[a]) == 0 {
+			continue
+		}
+		cp := make([]Message, len(st.Inboxes[a]))
+		for i, m := range st.Inboxes[a] {
+			m.Payload = append([]byte(nil), m.Payload...)
+			cp[i] = m
+		}
+		nw.inboxes[a] = cp
+	}
+	if nw.cfg.Topology == Sampled {
+		nw.resamplePeersLocked()
+	}
+	return nil
+}
+
+// SetSampleK retunes the Sampled topology's per-agent fan-out mid-stream
+// (the daemon's live-reconfiguration path) and redraws the current epoch's
+// peer sets. It errors for other topologies or an out-of-range k.
+func (nw *Network) SetSampleK(k int) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.cfg.Topology != Sampled {
+		return fmt.Errorf("fednet: SetSampleK on %s topology", nw.cfg.Topology)
+	}
+	if n := nw.N(); k < 1 || k > n-1 {
+		return fmt.Errorf("fednet: SampleK %d outside [1,%d]", k, nw.N()-1)
+	}
+	nw.cfg.SampleK = k
+	nw.resamplePeersLocked()
+	return nil
+}

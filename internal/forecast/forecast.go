@@ -105,6 +105,19 @@ type Forecaster interface {
 	Name() string
 }
 
+// TrainStateCarrier is an optional Forecaster extension exposing the only
+// cross-call training state the SGD forecasters keep: the completed-epoch
+// counter driving the hyperbolic learning-rate decay. (TrainEpochs seeds a
+// fresh shuffle RNG per call, so there is no PRNG position to persist.)
+// Checkpoints save and restore it so a resumed forecaster continues the
+// exact decay schedule.
+type TrainStateCarrier interface {
+	// EpochsSeen returns the number of completed training epochs.
+	EpochsSeen() int
+	// SetEpochsSeen overwrites the completed-epoch counter.
+	SetEpochsSeen(n int)
+}
+
 // BatchPredictor is an optional Forecaster extension: predict several
 // windows of the same series in one model forward. Rows of the result align
 // with ts. Since every model here processes batch rows independently, the
@@ -256,6 +269,12 @@ type sgdForecaster struct {
 func (f *sgdForecaster) Name() string          { return string(f.kind) }
 func (f *sgdForecaster) Config() Config        { return f.cfg }
 func (f *sgdForecaster) Model() *nn.Sequential { return f.model }
+
+// EpochsSeen implements TrainStateCarrier.
+func (f *sgdForecaster) EpochsSeen() int { return f.epochsSeen }
+
+// SetEpochsSeen implements TrainStateCarrier.
+func (f *sgdForecaster) SetEpochsSeen(n int) { f.epochsSeen = n }
 
 // featureDim returns the model input width.
 func (f *sgdForecaster) featureDim() int {

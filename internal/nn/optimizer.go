@@ -170,3 +170,45 @@ func (o *Adam) Step(params, grads []*tensor.Matrix) {
 
 // Name implements Optimizer.
 func (o *Adam) Name() string { return fmt.Sprintf("Adam(lr=%g)", o.LR) }
+
+// StateSnapshot returns deep copies of the optimizer's first/second moment
+// estimates and its step counter, for checkpointing. A fresh optimizer
+// (no Step yet) returns nil moments and t=0.
+func (o *Adam) StateSnapshot() (m, v []*tensor.Matrix, t int) {
+	if o.m == nil {
+		return nil, nil, o.t
+	}
+	m = make([]*tensor.Matrix, len(o.m))
+	v = make([]*tensor.Matrix, len(o.v))
+	for i := range o.m {
+		m[i] = o.m[i].Clone()
+		v[i] = o.v[i].Clone()
+	}
+	return m, v, o.t
+}
+
+// RestoreState installs moment estimates captured by StateSnapshot (deep
+// copied in, so the caller keeps ownership of m and v). Passing nil
+// moments resets the optimizer to its fresh state. Moment shapes must
+// agree pairwise; the next Step's parameter list must match them.
+func (o *Adam) RestoreState(m, v []*tensor.Matrix, t int) error {
+	if (m == nil) != (v == nil) || len(m) != len(v) {
+		return fmt.Errorf("nn: Adam moments mismatched (%d m vs %d v)", len(m), len(v))
+	}
+	if m == nil {
+		o.m, o.v, o.t = nil, nil, t
+		return nil
+	}
+	nm := make([]*tensor.Matrix, len(m))
+	nv := make([]*tensor.Matrix, len(v))
+	for i := range m {
+		if m[i].Rows != v[i].Rows || m[i].Cols != v[i].Cols {
+			return fmt.Errorf("nn: Adam moment %d shape mismatch %dx%d vs %dx%d",
+				i, m[i].Rows, m[i].Cols, v[i].Rows, v[i].Cols)
+		}
+		nm[i] = m[i].Clone()
+		nv[i] = v[i].Clone()
+	}
+	o.m, o.v, o.t = nm, nv, t
+	return nil
+}

@@ -1,0 +1,328 @@
+// Package serve hosts a simulation fleet as a long-running daemon: the
+// stepwise core.Engine advances in the background on a configurable pace
+// while an HTTP API serves per-home forecasts and device plans, exposes
+// and retunes the live federation knobs, and rotates full-fleet
+// checkpoints for crash recovery and warm starts.
+//
+// Concurrency model: one mutex serializes everything that touches the
+// engine — background stepping, query endpoints, reconfiguration, and
+// checkpointing. Queries are perturbation-free by construction (greedy
+// policy reads, scratch-only forecasts; see core's inspect tests), so
+// holding the lock briefly between steps is all the isolation needed.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Options configures a Daemon.
+type Options struct {
+	// StepInterval is the wall-clock pace of background stepping: one
+	// simulated hour per interval. 0 defaults to one second.
+	StepInterval time.Duration
+	// CheckpointPath, when set, receives a full-fleet snapshot every
+	// CheckpointEvery simulated hours and once more on shutdown. Writes
+	// are atomic (tmp + rename), so a crash never leaves a torn file.
+	CheckpointPath string
+	// CheckpointEvery is the rotation period in simulated hours
+	// (default 24 — nightly at the default pace).
+	CheckpointEvery int
+	// Log receives daemon progress lines; nil uses the standard logger.
+	Log *log.Logger
+}
+
+// Daemon is a running service instance over one engine.
+type Daemon struct {
+	mu   sync.Mutex
+	eng  *core.Engine
+	sink *telemetry.Sink
+	opts Options
+	log  *log.Logger
+
+	hoursSinceCkpt int
+	checkpoints    int
+	lastCkptAt     time.Time
+}
+
+// New builds a daemon over an engine — freshly constructed or resumed
+// from a snapshot. sink may be nil.
+func New(eng *core.Engine, sink *telemetry.Sink, opts Options) *Daemon {
+	if opts.StepInterval <= 0 {
+		opts.StepInterval = time.Second
+	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 24
+	}
+	lg := opts.Log
+	if lg == nil {
+		lg = log.Default()
+	}
+	return &Daemon{eng: eng, sink: sink, opts: opts, log: lg}
+}
+
+// FleetStatus is the /v1/fleet/status payload.
+type FleetStatus struct {
+	Method   string `json:"method"`
+	Homes    int    `json:"homes"`
+	Days     int    `json:"days"`
+	Day      int    `json:"day"`
+	Hour     int    `json:"hour"`
+	Minute   int    `json:"minute"`
+	Done     bool   `json:"done"`
+	Finished bool   `json:"finished"`
+
+	StepIntervalMS int `json:"step_interval_ms"`
+
+	CheckpointPath  string    `json:"checkpoint_path,omitempty"`
+	CheckpointEvery int       `json:"checkpoint_every_hours,omitempty"`
+	Checkpoints     int       `json:"checkpoints_written"`
+	LastCheckpoint  time.Time `json:"last_checkpoint,omitempty"`
+
+	Settings core.LiveSettings `json:"settings"`
+}
+
+// Routes registers the daemon's API on mux:
+//
+//	GET  /v1/fleet/status   clock, progress, checkpoint state, live knobs
+//	GET  /v1/forecast/{home} next-hour per-device load forecast
+//	GET  /v1/plan/{home}     next-hour per-device greedy control plan
+//	GET  /v1/config          current live-retunable settings
+//	POST /v1/config          apply new settings (JSON LiveSettings body)
+//	POST /v1/checkpoint      write a full-fleet snapshot now
+func (d *Daemon) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/fleet/status", d.handleStatus)
+	mux.HandleFunc("GET /v1/forecast/{home}", d.handleForecast)
+	mux.HandleFunc("GET /v1/plan/{home}", d.handlePlan)
+	mux.HandleFunc("GET /v1/config", d.handleConfigGet)
+	mux.HandleFunc("POST /v1/config", d.handleConfigPost)
+	mux.HandleFunc("POST /v1/checkpoint", d.handleCheckpoint)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	cfg := d.eng.System().Config()
+	st := FleetStatus{
+		Method:          string(cfg.Method),
+		Homes:           cfg.Homes,
+		Days:            cfg.Days,
+		Day:             d.eng.Day(),
+		Hour:            d.eng.Hour(),
+		Minute:          d.eng.Minute(),
+		Done:            d.eng.Done(),
+		Finished:        d.eng.Finished(),
+		StepIntervalMS:  int(d.opts.StepInterval / time.Millisecond),
+		CheckpointPath:  d.opts.CheckpointPath,
+		CheckpointEvery: d.opts.CheckpointEvery,
+		Checkpoints:     d.checkpoints,
+		LastCheckpoint:  d.lastCkptAt,
+		Settings:        d.eng.System().LiveSettings(),
+	}
+	d.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// homeParam parses the {home} path segment.
+func homeParam(r *http.Request) (int, error) {
+	home, err := strconv.Atoi(r.PathValue("home"))
+	if err != nil {
+		return 0, fmt.Errorf("serve: home %q is not an integer", r.PathValue("home"))
+	}
+	return home, nil
+}
+
+func (d *Daemon) handleForecast(w http.ResponseWriter, r *http.Request) {
+	home, err := homeParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	d.mu.Lock()
+	fcs, err := d.eng.ForecastNextHour(home)
+	d.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"home": home, "forecasts": fcs})
+}
+
+func (d *Daemon) handlePlan(w http.ResponseWriter, r *http.Request) {
+	home, err := homeParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	d.mu.Lock()
+	plans, err := d.eng.PlanNextHour(home)
+	d.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"home": home, "plans": plans})
+}
+
+func (d *Daemon) handleConfigGet(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	ls := d.eng.System().LiveSettings()
+	d.mu.Unlock()
+	writeJSON(w, http.StatusOK, ls)
+}
+
+func (d *Daemon) handleConfigPost(w http.ResponseWriter, r *http.Request) {
+	var ls core.LiveSettings
+	if err := json.NewDecoder(r.Body).Decode(&ls); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding settings: %w", err))
+		return
+	}
+	d.mu.Lock()
+	err := d.eng.System().ApplyLiveSettings(ls)
+	applied := d.eng.System().LiveSettings()
+	d.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	d.log.Printf("serve: settings applied: β=%gh γ=%gh k=%d codec=%s",
+		applied.BetaHours, applied.GammaHours, applied.TopologyK, applied.CommsLevel)
+	writeJSON(w, http.StatusOK, applied)
+}
+
+func (d *Daemon) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if d.opts.CheckpointPath == "" {
+		writeError(w, http.StatusConflict, errors.New("serve: no checkpoint path configured"))
+		return
+	}
+	d.mu.Lock()
+	err := d.writeCheckpointLocked()
+	n := d.checkpoints
+	d.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"path": d.opts.CheckpointPath, "checkpoints_written": n})
+}
+
+// writeCheckpointLocked snapshots the fleet atomically: the snapshot is
+// written to a sibling temp file and renamed over the target, so readers
+// never observe a torn checkpoint. Caller holds d.mu.
+func (d *Daemon) writeCheckpointLocked() error {
+	path := d.opts.CheckpointPath
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := d.eng.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("serve: installing checkpoint: %w", err)
+	}
+	d.checkpoints++
+	d.hoursSinceCkpt = 0
+	d.lastCkptAt = time.Now()
+	return nil
+}
+
+// Run steps the engine one simulated hour per StepInterval until the
+// context is cancelled, checkpointing every CheckpointEvery hours. When
+// the run completes it assembles the Result, logs the headline numbers,
+// and keeps serving the trained fleet. On cancellation it writes a final
+// checkpoint (if configured) and returns nil; any engine error is
+// returned after a best-effort final checkpoint.
+func (d *Daemon) Run(ctx context.Context) error {
+	ticker := time.NewTicker(d.opts.StepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return d.finalCheckpoint(nil)
+		case <-ticker.C:
+			if err := d.stepOnce(); err != nil {
+				return d.finalCheckpoint(err)
+			}
+		}
+	}
+}
+
+// stepOnce advances one simulated hour (or finishes the run) under the
+// daemon lock.
+func (d *Daemon) stepOnce() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.eng.Done() {
+		if !d.eng.Finished() {
+			res, err := d.eng.Finish()
+			if err != nil {
+				return err
+			}
+			d.log.Printf("serve: run complete: %d days, forecast accuracy %.3f, convergence day %d; serving trained fleet",
+				len(res.DailySavedKWhPerHome), res.ForecastAccuracy, res.ConvergenceDay+1)
+		}
+		return nil
+	}
+	if err := d.eng.StepHour(); err != nil {
+		return err
+	}
+	d.hoursSinceCkpt++
+	if d.opts.CheckpointPath != "" && d.hoursSinceCkpt >= d.opts.CheckpointEvery {
+		if err := d.writeCheckpointLocked(); err != nil {
+			// A failed rotation should not kill the run; the next period
+			// retries and the shutdown path writes a final snapshot.
+			d.log.Printf("serve: checkpoint rotation failed: %v", err)
+		}
+	}
+	return nil
+}
+
+// finalCheckpoint writes the shutdown snapshot and flushes telemetry,
+// preferring the step error (if any) over a checkpoint error.
+func (d *Daemon) finalCheckpoint(stepErr error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.opts.CheckpointPath != "" {
+		if err := d.writeCheckpointLocked(); err != nil {
+			d.log.Printf("serve: final checkpoint failed: %v", err)
+			if stepErr == nil {
+				stepErr = err
+			}
+		} else {
+			d.log.Printf("serve: final checkpoint written to %s (day %d hour %d)",
+				d.opts.CheckpointPath, d.eng.Day(), d.eng.Hour())
+		}
+	}
+	return stepErr
+}

@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/forecast"
+)
+
+// tinyEngine builds a small fast fleet for daemon tests.
+func tinyEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	cfg := core.DefaultConfig(core.MethodPFDRL)
+	cfg.Homes = 3
+	cfg.Days = 2
+	cfg.DevicesPerHome = 2
+	cfg.ForecastKind = forecast.KindLR
+	cfg.ForecastWindow = 16
+	cfg.DQNHidden = []int{12, 12}
+	cfg.Alpha = 1
+	cfg.LookAhead, cfg.LookBack = 4, 4
+	cfg.LearnEveryMinutes = 20
+	cfg.DQNBatch = 8
+	cfg.TrainEveryHours = 8
+	s, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewEngine(s)
+}
+
+// newTestDaemon wires a daemon and its API into an httptest server.
+func newTestDaemon(t *testing.T, opts Options) (*Daemon, *httptest.Server) {
+	t.Helper()
+	opts.Log = log.New(io.Discard, "", 0)
+	d := New(tinyEngine(t), nil, opts)
+	mux := http.NewServeMux()
+	d.Routes(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return d, srv
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestDaemonEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "fleet.ckpt")
+	d, srv := newTestDaemon(t, Options{CheckpointPath: ckpt, CheckpointEvery: 5, StepInterval: time.Millisecond})
+
+	var st FleetStatus
+	getJSON(t, srv.URL+"/v1/fleet/status", &st)
+	if st.Method != "PFDRL" || st.Homes != 3 || st.Day != 0 || st.Done {
+		t.Fatalf("fresh status: %+v", st)
+	}
+	if st.Settings.CommsLevel != "delta" {
+		t.Fatalf("settings not surfaced: %+v", st.Settings)
+	}
+
+	// Step a few hours directly, then query forecasts and plans.
+	for i := 0; i < 3; i++ {
+		if err := d.stepOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var fc struct {
+		Home      int                   `json:"home"`
+		Forecasts []core.DeviceForecast `json:"forecasts"`
+	}
+	getJSON(t, srv.URL+"/v1/forecast/1", &fc)
+	if fc.Home != 1 || len(fc.Forecasts) != 2 {
+		t.Fatalf("forecast payload: %+v", fc)
+	}
+	for _, f := range fc.Forecasts {
+		if len(f.PredKW) != 60 || f.Minute != 3*60 {
+			t.Fatalf("forecast device %s: minute %d, %d preds", f.DeviceType, f.Minute, len(f.PredKW))
+		}
+	}
+	var plan struct {
+		Plans []core.DevicePlan `json:"plans"`
+	}
+	getJSON(t, srv.URL+"/v1/plan/0", &plan)
+	if len(plan.Plans) != 2 || len(plan.Plans[0].Actions) != 60 {
+		t.Fatalf("plan payload: %+v", plan)
+	}
+
+	// Bad home values.
+	if resp := getJSON(t, srv.URL+"/v1/forecast/99", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("out-of-range home: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/v1/plan/abc", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-integer home: %d", resp.StatusCode)
+	}
+}
+
+func TestDaemonConfigRoundTrip(t *testing.T) {
+	_, srv := newTestDaemon(t, Options{StepInterval: time.Millisecond})
+
+	var ls core.LiveSettings
+	getJSON(t, srv.URL+"/v1/config", &ls)
+	ls.BetaHours, ls.GammaHours = 6, 9
+	body, _ := json.Marshal(ls)
+	resp, err := http.Post(srv.URL+"/v1/config", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied core.LiveSettings
+	if err := json.NewDecoder(resp.Body).Decode(&applied); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || applied.BetaHours != 6 || applied.GammaHours != 9 {
+		t.Fatalf("apply: status %d, %+v", resp.StatusCode, applied)
+	}
+
+	// Invalid settings are rejected with 422 and leave state unchanged.
+	bad := applied
+	bad.BetaHours = -1
+	body, _ = json.Marshal(bad)
+	resp, err = http.Post(srv.URL+"/v1/config", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid settings: status %d", resp.StatusCode)
+	}
+	getJSON(t, srv.URL+"/v1/config", &ls)
+	if ls.BetaHours != 6 {
+		t.Fatalf("rejected apply mutated settings: %+v", ls)
+	}
+}
+
+func TestDaemonCheckpointRotationAndResume(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "fleet.ckpt")
+	d, srv := newTestDaemon(t, Options{CheckpointPath: ckpt, CheckpointEvery: 4, StepInterval: time.Millisecond})
+
+	// 9 hours → two rotations (hours 4 and 8).
+	for i := 0; i < 9; i++ {
+		if err := d.stepOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var st FleetStatus
+	getJSON(t, srv.URL+"/v1/fleet/status", &st)
+	if st.Checkpoints != 2 {
+		t.Fatalf("checkpoints written: %d, want 2", st.Checkpoints)
+	}
+
+	// On-demand checkpoint, then resume it and verify the clock.
+	resp, err := http.Post(srv.URL+"/v1/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint POST: %d", resp.StatusCode)
+	}
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	eng, err := core.ResumeEngine(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Day() != 0 || eng.Hour() != 9 {
+		t.Fatalf("resumed clock: day %d hour %d, want 0/9", eng.Day(), eng.Hour())
+	}
+}
+
+func TestDaemonRunStepsAndShutsDown(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "fleet.ckpt")
+	d, srv := newTestDaemon(t, Options{CheckpointPath: ckpt, CheckpointEvery: 100, StepInterval: time.Millisecond})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+
+	// Wait for background stepping to make progress.
+	deadline := time.Now().Add(10 * time.Second)
+	var st FleetStatus
+	for {
+		getJSON(t, srv.URL+"/v1/fleet/status", &st)
+		if st.Minute >= 2*60 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no stepping progress: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	// Shutdown wrote a final checkpoint that resumes cleanly.
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := core.ResumeEngine(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonServesFinishedFleet(t *testing.T) {
+	d, srv := newTestDaemon(t, Options{StepInterval: time.Millisecond})
+	for !d.eng.Done() {
+		if err := d.stepOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One more step finishes the run; further steps are no-ops.
+	for i := 0; i < 2; i++ {
+		if err := d.stepOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var st FleetStatus
+	getJSON(t, srv.URL+"/v1/fleet/status", &st)
+	if !st.Done || !st.Finished {
+		t.Fatalf("finished status: %+v", st)
+	}
+	var fc struct {
+		Forecasts []core.DeviceForecast `json:"forecasts"`
+	}
+	getJSON(t, srv.URL+"/v1/forecast/0", &fc)
+	if len(fc.Forecasts) == 0 {
+		t.Fatal("finished fleet stopped serving forecasts")
+	}
+	var plan struct {
+		Plans []core.DevicePlan `json:"plans"`
+	}
+	getJSON(t, srv.URL+"/v1/plan/2", &plan)
+	if len(plan.Plans) == 0 {
+		t.Fatal("finished fleet stopped serving plans")
+	}
+}

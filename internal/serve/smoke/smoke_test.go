@@ -1,0 +1,397 @@
+//go:build serve_smoke
+
+// Package smoke boots the real pfdrl binary in service mode and drives
+// its lifecycle end to end — the `make serve-smoke` gate: interrupt a
+// batch run to produce a resumable seed snapshot, warm-start the daemon
+// from it, hit every /v1 endpoint, retune a live knob, wait for a
+// checkpoint rotation, SIGTERM it, and prove the final checkpoint
+// resumes. Build-tagged out of the ordinary test run because it compiles
+// and execs the binary.
+package smoke
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// buildBinary compiles cmd/pfdrl into dir and returns its path.
+func buildBinary(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "pfdrl")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/pfdrl")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pfdrl: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// lineWatcher scans a process's stdout, fanning matched lines to channels.
+type lineWatcher struct {
+	matches chan string
+	re      *regexp.Regexp
+}
+
+func watchLines(r io.Reader, re *regexp.Regexp, echo *strings.Builder) *lineWatcher {
+	w := &lineWatcher{matches: make(chan string, 16), re: re}
+	sc := bufio.NewScanner(r)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if echo != nil {
+				echo.WriteString(line + "\n")
+			}
+			if m := re.FindStringSubmatch(line); m != nil {
+				w.matches <- m[len(m)-1]
+			}
+		}
+		close(w.matches)
+	}()
+	return w
+}
+
+func (w *lineWatcher) wait(t *testing.T, what string) string {
+	t.Helper()
+	select {
+	case m, ok := <-w.matches:
+		if !ok {
+			t.Fatalf("stdout closed before %s", what)
+		}
+		return m
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	return ""
+}
+
+// interruptBatchRun starts a long batch run and SIGINTs it once stepping
+// has begun, returning the seed snapshot path. This is also the e2e check
+// of the batch graceful-shutdown path: exit code 130, flushed journal,
+// resumable snapshot.
+func interruptBatchRun(t *testing.T, bin, dir string) string {
+	t.Helper()
+	seed := filepath.Join(dir, "seed.ckpt")
+	journal := filepath.Join(dir, "run.jsonl")
+	cmd := exec.Command(bin,
+		"-homes", "2", "-devices", "2", "-days", "30", "-forecast", "LR",
+		"-snapshot", seed, "-journal", journal,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	// The banner prints before stepping starts; give the engine a moment
+	// to get into the run (30 LR days take seconds), then interrupt.
+	var echo strings.Builder
+	w := watchLines(stdout, regexp.MustCompile(`^method=`), &echo)
+	w.wait(t, "the batch run banner")
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 130 {
+		t.Fatalf("interrupted batch run: err=%v, want exit code 130\nstdout:\n%s", err, echo.String())
+	}
+	if !strings.Contains(echo.String(), "interrupted at day") {
+		t.Fatalf("no interruption banner in stdout:\n%s", echo.String())
+	}
+
+	// The journal flushed whole records despite the interruption.
+	blob, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("interrupted run flushed an empty journal")
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+	}
+
+	// The seed snapshot resumes and is mid-run.
+	eng := resumeFile(t, seed)
+	if eng.Done() {
+		t.Fatal("seed snapshot is already done; interruption landed too late")
+	}
+	t.Logf("seed snapshot at day %d hour %d, journal %d records", eng.Day(), eng.Hour(), len(lines))
+	return seed
+}
+
+func resumeFile(t *testing.T, path string) *core.Engine {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	eng, err := core.ResumeEngine(f)
+	if err != nil {
+		t.Fatalf("resuming %s: %v", path, err)
+	}
+	return eng
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < 20; i++ {
+		resp, err := http.Get(url)
+		if err == nil {
+			if resp.StatusCode == http.StatusOK {
+				err = json.NewDecoder(resp.Body).Decode(into)
+				resp.Body.Close()
+				if err == nil {
+					return
+				}
+				lastErr = err
+			} else {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				lastErr = fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, body)
+			}
+		} else {
+			lastErr = err
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	t.Fatalf("GET %s never succeeded: %v", url, lastErr)
+}
+
+func TestServeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	bin := buildBinary(t, dir)
+	seed := interruptBatchRun(t, bin, dir)
+	live := filepath.Join(dir, "live.ckpt")
+
+	cmd := exec.Command(bin,
+		"-serve", "-load", seed,
+		"-telemetry-addr", "127.0.0.1:0",
+		"-checkpoint", live, "-checkpoint-every", "1",
+		"-step-interval", "50ms",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+
+	var echo strings.Builder
+	w := watchLines(stdout, regexp.MustCompile(`serve: listening on (\S+)`), &echo)
+	addr := w.wait(t, "the daemon to announce its address")
+	base := "http://" + addr
+
+	// Status reflects the warm start: the clock picks up where the seed
+	// snapshot left off, not at zero.
+	seedEng := resumeFile(t, seed)
+	var st struct {
+		Method      string `json:"method"`
+		Homes       int    `json:"homes"`
+		Minute      int    `json:"minute"`
+		Done        bool   `json:"done"`
+		Checkpoints int    `json:"checkpoints_written"`
+		Settings    struct {
+			BetaHours float64 `json:"beta_hours"`
+		} `json:"settings"`
+	}
+	getJSON(t, base+"/v1/fleet/status", &st)
+	if st.Method != "PFDRL" || st.Homes != 2 {
+		t.Fatalf("status: %+v", st)
+	}
+	if st.Minute < seedEng.Minute() {
+		t.Fatalf("daemon clock %d behind seed snapshot %d — warm start failed", st.Minute, seedEng.Minute())
+	}
+
+	// Forecast and plan for every home; bad homes rejected.
+	for home := 0; home < 2; home++ {
+		var fc struct {
+			Forecasts []core.DeviceForecast `json:"forecasts"`
+		}
+		getJSON(t, fmt.Sprintf("%s/v1/forecast/%d", base, home), &fc)
+		if len(fc.Forecasts) != 2 || len(fc.Forecasts[0].PredKW) != 60 {
+			t.Fatalf("home %d forecast: %+v", home, fc)
+		}
+		var plan struct {
+			Plans []core.DevicePlan `json:"plans"`
+		}
+		getJSON(t, fmt.Sprintf("%s/v1/plan/%d", base, home), &plan)
+		if len(plan.Plans) != 2 || len(plan.Plans[0].Actions) != 60 {
+			t.Fatalf("home %d plan: %+v", home, plan)
+		}
+	}
+	if resp, err := http.Get(base + "/v1/forecast/99"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("out-of-range home: %v %v", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Telemetry rides the same server.
+	var health struct {
+		Status string `json:"status"`
+	}
+	getJSON(t, base+"/healthz", &health)
+	if health.Status != "ok" {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	// Live reconfiguration round-trips.
+	var ls core.LiveSettings
+	getJSON(t, base+"/v1/config", &ls)
+	ls.BetaHours = 6
+	body, _ := json.Marshal(ls)
+	resp, err := http.Post(base+"/v1/config", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("config POST: %d", resp.StatusCode)
+	}
+	getJSON(t, base+"/v1/fleet/status", &st)
+	if st.Settings.BetaHours != 6 {
+		t.Fatalf("retuned β not visible in status: %+v", st)
+	}
+
+	// With -checkpoint-every 1 at a 50ms pace, a rotation lands quickly.
+	deadline := time.Now().Add(time.Minute)
+	for st.Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint rotation observed")
+		}
+		time.Sleep(100 * time.Millisecond)
+		getJSON(t, base+"/v1/fleet/status", &st)
+	}
+
+	// Graceful shutdown: SIGTERM → final checkpoint → exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitCh := make(chan error, 1)
+	go func() { waitCh <- cmd.Wait() }()
+	select {
+	case err := <-waitCh:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\nstdout:\n%s", err, echo.String())
+		}
+	case <-time.After(time.Minute):
+		t.Fatalf("daemon did not exit on SIGTERM\nstdout:\n%s", echo.String())
+	}
+
+	// The final checkpoint resumes, at or past the seed's clock.
+	finalEng := resumeFile(t, live)
+	if finalEng.Minute() < seedEng.Minute() {
+		t.Fatalf("final checkpoint clock %d behind seed %d", finalEng.Minute(), seedEng.Minute())
+	}
+	t.Logf("daemon stepped %d→%d minutes, %d checkpoints", seedEng.Minute(), finalEng.Minute(), st.Checkpoints)
+}
+
+// TestServeFlagValidation pins the CLI's cross-flag diagnostics: every
+// conflicting combination fails fast with an actionable message instead
+// of a surprising run.
+func TestServeFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	bin := buildBinary(t, dir)
+
+	// A models-only checkpoint for the -serve -load mismatch case.
+	models := filepath.Join(dir, "models.ckpt")
+	save := exec.Command(bin,
+		"-homes", "2", "-devices", "2", "-days", "1", "-forecast", "LR",
+		"-save", models,
+	)
+	if out, err := save.CombinedOutput(); err != nil {
+		t.Fatalf("producing models checkpoint: %v\n%s", err, out)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"serve-days", []string{"-serve", "-days", "4"}, "-days applies to batch runs"},
+		{"serve-save", []string{"-serve", "-save", "x.ckpt"}, "-save (models-only) is batch-only"},
+		{"serve-snapshot", []string{"-serve", "-snapshot", "x.ckpt"}, "-snapshot is batch-only"},
+		{"batch-checkpoint", []string{"-checkpoint", "x.ckpt"}, "-checkpoint requires -serve"},
+		{"batch-step-interval", []string{"-step-interval", "1s"}, "-step-interval requires -serve"},
+		{"serve-load-models", []string{"-serve", "-load", models}, "models-only checkpoint"},
+		{"batch-load-snapshot", nil, "full-fleet snapshot"}, // args filled below
+	}
+
+	// A tiny full snapshot for the batch -load mismatch case.
+	snap := filepath.Join(dir, "snap.ckpt")
+	snapCmd := exec.Command(bin,
+		"-homes", "2", "-devices", "2", "-days", "1", "-forecast", "LR",
+		"-snapshot", snap,
+	)
+	if out, err := snapCmd.CombinedOutput(); err != nil {
+		t.Fatalf("producing snapshot: %v\n%s", err, out)
+	}
+	cases[len(cases)-1].args = []string{
+		"-homes", "2", "-devices", "2", "-days", "1", "-forecast", "LR",
+		"-load", snap,
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(bin, tc.args...)
+			out, err := cmd.CombinedOutput()
+			if err == nil {
+				t.Fatalf("conflicting flags accepted\n%s", out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("diagnostic missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}

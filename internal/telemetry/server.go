@@ -19,7 +19,12 @@ import (
 //
 // The handler is safe to serve while the simulation runs: every read takes
 // a consistent snapshot without blocking instrument updates.
-func (s *Sink) Handler() http.Handler {
+func (s *Sink) Handler() http.Handler { return s.Mux() }
+
+// Mux returns the introspection endpoints as a concrete *http.ServeMux so
+// hosts can register additional routes on the same server — the serve
+// daemon mounts its /v1/* API beside /metrics and /debug this way.
+func (s *Sink) Mux() *http.ServeMux {
 	started := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -64,11 +69,17 @@ func (s *Sink) Handler() http.Handler {
 // Handler in a background goroutine, and returns the server plus the bound
 // address. Callers own shutdown (srv.Close or srv.Shutdown).
 func (s *Sink) ListenAndServe(addr string) (*http.Server, string, error) {
+	return s.ListenAndServeHandler(addr, s.Handler())
+}
+
+// ListenAndServeHandler is ListenAndServe with a caller-supplied handler —
+// typically the sink's Mux extended with extra routes.
+func (s *Sink) ListenAndServeHandler(addr string, h http.Handler) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: s.Handler()}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr().String(), nil
 }

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StreamState is one broadcast stream's serializable reference: the latest
+// epoch's reconstruction buffers. Only the current buffer is persisted —
+// the next encode of epoch e+1 codes against buffer e%2, and every decoder
+// of e+1 resolves its reference to the same buffer, so the stale parity
+// slot never matters across a checkpoint boundary (checkpoints are taken
+// between rounds, when no round is in flight).
+type StreamState struct {
+	Sender int
+	Kind   string
+	Epoch  uint32
+	// Keys carries the Delta tier's bit-key reference; Vals the TopK
+	// tier's value reference (doubling as the error-feedback carry).
+	// Only the tier the exchange runs allocates.
+	Keys [][]uint64
+	Vals [][]float64
+}
+
+// ExchangeState is an Exchange's serializable codec state: every stream's
+// current reference plus the cumulative codec counters.
+type ExchangeState struct {
+	Streams []StreamState
+	Stats   Stats
+}
+
+// StateSnapshot captures the exchange's reference store as deep copies,
+// streams sorted by (sender, kind) for deterministic serialization. The
+// caller must not overlap it with in-flight encodes or decodes (the round
+// machinery's join-before-begin contract provides that ordering).
+func (x *Exchange) StateSnapshot() ExchangeState {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	st := ExchangeState{Stats: x.Stats()}
+	for id, rs := range x.refs {
+		cur := int(rs.lastEpoch % 2)
+		if !rs.have[cur] || rs.epochAt[cur] != rs.lastEpoch {
+			// A stream that never completed an encode has nothing to
+			// reference; skip it (the next encode keyframes anyway).
+			continue
+		}
+		s := StreamState{Sender: id.sender, Kind: id.kind, Epoch: rs.lastEpoch}
+		for _, k := range rs.keys[cur] {
+			s.Keys = append(s.Keys, append([]uint64(nil), k...))
+		}
+		for _, v := range rs.vals[cur] {
+			s.Vals = append(s.Vals, append([]float64(nil), v...))
+		}
+		st.Streams = append(st.Streams, s)
+	}
+	sort.Slice(st.Streams, func(i, j int) bool {
+		a, b := st.Streams[i], st.Streams[j]
+		if a.Sender != b.Sender {
+			return a.Sender < b.Sender
+		}
+		return a.Kind < b.Kind
+	})
+	return st
+}
+
+// RestoreState replaces the exchange's reference store with a snapshot's
+// streams (deep copied in) and its counters. After a restore, the next
+// encode on a stream produces the exact payload bytes the original
+// exchange would have produced, and decoders resolve references
+// identically — the property the snapshot round-trip tests pin.
+func (x *Exchange) RestoreState(st ExchangeState) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	refs := make(map[refID]*refState, len(st.Streams))
+	for _, s := range st.Streams {
+		id := refID{s.Sender, s.Kind}
+		if _, dup := refs[id]; dup {
+			return fmt.Errorf("wire: duplicate snapshot stream (sender %d, kind %q)", s.Sender, s.Kind)
+		}
+		rs := &refState{lastEpoch: s.Epoch}
+		cur := int(s.Epoch % 2)
+		rs.have[cur] = true
+		rs.epochAt[cur] = s.Epoch
+		for _, k := range s.Keys {
+			rs.keys[cur] = append(rs.keys[cur], append([]uint64(nil), k...))
+		}
+		for _, v := range s.Vals {
+			rs.vals[cur] = append(rs.vals[cur], append([]float64(nil), v...))
+		}
+		refs[id] = rs
+	}
+	x.refs = refs
+	x.payloadsEncoded.Store(st.Stats.PayloadsEncoded)
+	x.payloadsDecoded.Store(st.Stats.PayloadsDecoded)
+	x.bytesEncoded.Store(st.Stats.BytesEncoded)
+	x.denseBytes.Store(st.Stats.DenseBytes)
+	return nil
+}

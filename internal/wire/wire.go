@@ -79,6 +79,20 @@ func (l Level) String() string {
 	}
 }
 
+// ParseLevel maps a level's String() form back to the Level — the inverse
+// the CLI and the daemon's live-reconfiguration endpoint need.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "dense":
+		return Dense, nil
+	case "delta":
+		return Delta, nil
+	case "topk":
+		return TopK, nil
+	}
+	return Dense, fmt.Errorf("wire: unknown codec level %q (want dense, delta, or topk)", s)
+}
+
 // Options configures an Exchange.
 type Options struct {
 	// Level picks the codec tier. The zero value is Dense (no compression,
