@@ -34,9 +34,14 @@ bench: throughput
 
 # End-to-end homes × GOMAXPROCS scaling sweep (BENCH_throughput.json).
 # Pass BASELINE=<old BENCH_throughput.json> to embed a before/after
-# comparison in the artifact.
+# comparison in the artifact. The scaling gate fails the target when any
+# ≥8-home GOMAXPROCS=4 cell's parallel efficiency (throughput vs the same
+# fleet at P=1) drops below EFF_FLOOR — the recorded floor the adaptive
+# scheduling grain must hold. Override with EFF_FLOOR=0 to disable.
+EFF_FLOOR ?= 0.90
 throughput:
 	$(GO) run ./cmd/pfdrl-bench -throughput -out BENCH_throughput.json \
+		-efficiency-floor $(EFF_FLOOR) \
 		$(if $(BASELINE),-baseline $(BASELINE))
 
 # Fleet-size × codec federation comms sweep (BENCH_comms.json): bytes per
@@ -78,8 +83,9 @@ verify: build test lint
 
 # Full CI gate: build + vet + tests, then the race-detector pass over the
 # packages with real cross-goroutine traffic (scheduler pool, home-parallel
-# simulation, overlapped federation rounds, sharded matmul, the wire
-# codec's shared reference store, the fednet fabrics the sampled/cluster
+# simulation, overlapped federation rounds, sharded matmul and the
+# fleet-batched nn/forecast kernels dispatched over it, the wire codec's
+# shared reference store, the fednet fabrics the sampled/cluster
 # topologies route through, and the telemetry instruments updated from all
 # of them). The core and fed suites include the chaos FaultPlan twins
 # (compressed vs dense under drops/corruption/partitions), so the race
@@ -92,7 +98,7 @@ verify: build test lint
 # binary.
 ci: verify
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core ./internal/fed ./internal/fednet ./internal/rng ./internal/sched ./internal/serve ./internal/tensor ./internal/wire ./internal/telemetry
+	$(GO) test -race ./internal/core ./internal/fed ./internal/fednet ./internal/forecast ./internal/nn ./internal/rng ./internal/sched ./internal/serve ./internal/tensor ./internal/wire ./internal/telemetry
 	$(MAKE) bench-topology TOPO_HOMES=64,256
 	$(MAKE) serve-smoke
 

@@ -51,6 +51,7 @@ func main() {
 		sweepDays  = flag.Int("sweep-days", 2, "simulated days per -throughput cell")
 		out        = flag.String("out", "", "output file (default BENCH_throughput.json / BENCH_comms.json)")
 		baseline   = flag.String("baseline", "", "previous -throughput JSON to embed under \"baseline\" for before/after comparison")
+		effFloor   = flag.Float64("efficiency-floor", 0, "fail -throughput if any ≥8-home GOMAXPROCS=4 cell's parallel efficiency drops below this (0 disables the gate)")
 
 		comms       = flag.Bool("comms", false, "run the fleet-size × codec federation comms sweep instead of figures")
 		commsAgents = flag.String("comms-agents", "4,8,16,32", "comma-separated fleet sizes for -comms")
@@ -119,7 +120,7 @@ func main() {
 		if path == "" {
 			path = "BENCH_throughput.json"
 		}
-		if err := runThroughputSweep(*sweepHomes, *sweepProcs, *sweepDays, *seed, path, *baseline); err != nil {
+		if err := runThroughputSweep(*sweepHomes, *sweepProcs, *sweepDays, *seed, path, *baseline, *effFloor); err != nil {
 			log.Fatal(err)
 		}
 		return

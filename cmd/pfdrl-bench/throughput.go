@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/benchmeta"
 	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // throughputCell is one (homes, GOMAXPROCS) measurement of the end-to-end
@@ -24,6 +25,12 @@ type throughputCell struct {
 	Days           int     `json:"days"`
 	WallSeconds    float64 `json:"wall_seconds"`
 	HomeDaysPerSec float64 `json:"home_days_per_sec"`
+	// ParallelEfficiency is this cell's HomeDaysPerSec divided by the same
+	// fleet size's throughput at the sweep's lowest GOMAXPROCS (the serial
+	// anchor when the sweep includes P=1). 1.0 means added processors cost
+	// nothing; below 1.0 means parallel hand-off overhead ate throughput —
+	// the regression the adaptive scheduling grain exists to prevent.
+	ParallelEfficiency float64 `json:"parallel_efficiency"`
 	// EMSWallSeconds / EMSCPUSeconds split the run's EMS phase into the
 	// per-wave critical path vs total compute across homes; their ratio is
 	// the achieved home-level parallelism.
@@ -31,12 +38,16 @@ type throughputCell struct {
 	EMSCPUSeconds  float64 `json:"ems_cpu_seconds"`
 }
 
-// throughputReport is the schema of BENCH_throughput.json.
+// throughputReport is the schema of BENCH_throughput.json. Schema v3 adds
+// the sweep axes (sweep_homes / sweep_procs, the actual GOMAXPROCS list
+// measured) and per-cell parallel_efficiency.
 type throughputReport struct {
-	Meta      benchmeta.Meta   `json:"meta"`
-	SweepDays int              `json:"sweep_days"`
-	Seed      int64            `json:"seed"`
-	Results   []throughputCell `json:"results"`
+	Meta       benchmeta.Meta   `json:"meta"`
+	SweepDays  int              `json:"sweep_days"`
+	Seed       int64            `json:"seed"`
+	SweepHomes []int            `json:"sweep_homes"`
+	SweepProcs []int            `json:"sweep_procs"`
+	Results    []throughputCell `json:"results"`
 	// Baseline embeds a previous sweep (via -baseline) so one artifact
 	// carries the before/after comparison.
 	Baseline *throughputReport `json:"baseline,omitempty"`
@@ -55,10 +66,14 @@ func parseIntList(s string) ([]int, error) {
 }
 
 // runThroughputSweep measures end-to-end PFDRL day throughput across a
-// homes × GOMAXPROCS grid and writes the result table as JSON. When
-// baselinePath names a previous sweep's JSON, that report is embedded
-// under "baseline" in the output.
-func runThroughputSweep(homesList, procsList string, days int, seed int64, outPath, baselinePath string) error {
+// homes × GOMAXPROCS grid and writes the result table as JSON. Each cell
+// resizes both GOMAXPROCS and the shared scheduler pool, so the simulation
+// actually runs at the cell's parallelism. When baselinePath names a
+// previous sweep's JSON, that report is embedded under "baseline" in the
+// output. A positive effFloor arms the scaling gate: after the artifact is
+// written, any 8-homes-or-larger cell at GOMAXPROCS=4 whose parallel
+// efficiency fell below the floor fails the run.
+func runThroughputSweep(homesList, procsList string, days int, seed int64, outPath, baselinePath string, effFloor float64) error {
 	homes, err := parseIntList(homesList)
 	if err != nil {
 		return err
@@ -72,9 +87,11 @@ func runThroughputSweep(homesList, procsList string, days int, seed int64, outPa
 	}
 
 	rep := throughputReport{
-		Meta:      benchmeta.Collect("throughput", 2),
-		SweepDays: days,
-		Seed:      seed,
+		Meta:       benchmeta.Collect("throughput", 3),
+		SweepDays:  days,
+		Seed:       seed,
+		SweepHomes: homes,
+		SweepProcs: procs,
 	}
 	if baselinePath != "" {
 		blob, err := os.ReadFile(baselinePath)
@@ -87,11 +104,18 @@ func runThroughputSweep(homesList, procsList string, days int, seed int64, outPa
 		}
 	}
 	origProcs := runtime.GOMAXPROCS(0)
-	defer runtime.GOMAXPROCS(origProcs)
+	defer func() {
+		runtime.GOMAXPROCS(origProcs)
+		sched.SetDefaultSize(origProcs)
+	}()
 
 	for _, h := range homes {
 		for _, p := range procs {
 			runtime.GOMAXPROCS(p)
+			// Resize the shared worker pool too — GOMAXPROCS alone only
+			// caps OS threads; the pool's size is what the simulation's
+			// parallel waves actually fan out over.
+			sched.SetDefaultSize(p)
 			cfg := core.DefaultConfig(core.MethodPFDRL)
 			cfg.Homes = h
 			cfg.Days = days
@@ -120,6 +144,21 @@ func runThroughputSweep(homesList, procsList string, days int, seed int64, outPa
 				h, p, cell.WallSeconds, cell.HomeDaysPerSec)
 		}
 	}
+
+	// Parallel efficiency: each cell against its fleet size's lowest-procs
+	// anchor (P=1 in the default sweep).
+	anchor := map[int]float64{}
+	for _, c := range rep.Results {
+		if c.Gomaxprocs == procs[0] {
+			anchor[c.Homes] = c.HomeDaysPerSec
+		}
+	}
+	for i := range rep.Results {
+		if a := anchor[rep.Results[i].Homes]; a > 0 {
+			rep.Results[i].ParallelEfficiency = rep.Results[i].HomeDaysPerSec / a
+		}
+	}
+
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -129,5 +168,15 @@ func runThroughputSweep(homesList, procsList string, days int, seed int64, outPa
 		return err
 	}
 	log.Printf("wrote %s", outPath)
+
+	if effFloor > 0 {
+		for _, c := range rep.Results {
+			if c.Homes >= 8 && c.Gomaxprocs == 4 && c.ParallelEfficiency > 0 && c.ParallelEfficiency < effFloor {
+				return fmt.Errorf("scaling gate: homes=%d procs=%d parallel efficiency %.3f below floor %.3f",
+					c.Homes, c.Gomaxprocs, c.ParallelEfficiency, effFloor)
+			}
+		}
+		log.Printf("scaling gate passed (floor %.2f)", effFloor)
+	}
 	return nil
 }

@@ -135,6 +135,13 @@ type Config struct {
 	// payloads. Star-topology planes always speak the dense PFP1 format.
 	Comms wire.Options
 
+	// DisableFleetBatch forces the per-home forecaster compute path,
+	// bypassing the fleet-batched kernels that train and query every home's
+	// same-type forecaster through one multi-home dispatch. The two paths
+	// are bit-identical (the fleet-batch equivalence tests pin it); the knob
+	// exists for those twin tests and for A/B timing.
+	DisableFleetBatch bool
+
 	// Topology selects the decentralized planes' federation fabric
 	// (PFDRL only): the zero value keeps the paper's all-to-all
 	// broadcast; sampled gossip and cluster aggregation scale to large

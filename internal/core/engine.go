@@ -49,7 +49,6 @@ type Engine struct {
 
 	accBuckets  metrics.HourBuckets
 	savedByHour [24]float64
-	fcTestDur   []time.Duration
 
 	// Per-day state, valid while dayPrepared.
 	envs           [][]*energy.Env
@@ -168,24 +167,15 @@ func (e *Engine) beginDay() error {
 	if err := s.joinForecastRounds(e.timer); err != nil {
 		return err
 	}
-	// (home, device) pairs predict concurrently (each owns its
-	// forecaster); accuracy collection stays serial for deterministic
-	// aggregation order. The timer keeps two series: the per-task sum
-	// (CPU time) and the wave's elapsed time (wall).
-	if e.fcTestDur == nil {
-		s.ensureHomeDevs()
-		e.fcTestDur = make([]time.Duration, len(s.homeDevs))
-	}
+	// The prediction wave runs fleet-batched when the forecaster kind
+	// supports it (one multi-home forward per device type) and falls back
+	// to concurrent per-pair prediction otherwise; accuracy collection
+	// stays serial for deterministic aggregation order. The timer keeps two
+	// series: the per-task sum (CPU time) and the wave's elapsed time
+	// (wall).
 	waveStart := time.Now()
-	s.parallelHomeDevices(func(idx int, h *simHome, di int) {
-		start := time.Now()
-		h.predDay[di] = s.predictDay(h, h.src.Traces[di], day)
-		e.fcTestDur[idx] = time.Since(start)
-	})
+	s.predictDayWave(e.timer, day)
 	e.timer.Add("fc-test.wall", time.Since(waveStart))
-	for i := range s.homeDevs {
-		e.timer.Add("fc-test", e.fcTestDur[i])
-	}
 	if e.inEval() {
 		for _, h := range s.homes {
 			s.collectAccuracy(e.res, &e.accBuckets, h, day)

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/forecast"
+)
+
+// fleetBatchConfigs extends the methods × topology × codec equivalence
+// matrix with the forecaster kinds that exercise every fleet layer kernel
+// (recurrent LSTM/GRU fleets, the BP dense stack) and with TCN, whose
+// Conv1D stack cannot fleet and must take the kind-wide per-pair fallback.
+func fleetBatchConfigs() map[string]Config {
+	cfgs := engineConfigs()
+	kinds := map[string]forecast.Kind{
+		"PFDRL-lstm": forecast.KindLSTM,
+		"FRL-gru":    forecast.KindGRU,
+		"Local-bp":   forecast.KindBP,
+		"Local-tcn":  forecast.KindTCN,
+	}
+	methods := map[string]Method{
+		"PFDRL-lstm": MethodPFDRL,
+		"FRL-gru":    MethodFRL,
+		"Local-bp":   MethodLocal,
+		"Local-tcn":  MethodLocal,
+	}
+	for name, kind := range kinds {
+		cfg := tinyConfig(methods[name])
+		cfg.ForecastKind = kind
+		cfg.ForecastHidden = 6
+		cfg.Homes, cfg.Days = 2, 2
+		cfgs[name] = cfg
+	}
+	return cfgs
+}
+
+// TestFleetBatchEquivalence is the tentpole's contract: the fleet-batched
+// forecast plane and the per-home path produce bitwise identical Results
+// across methods, topologies, codecs, and forecaster kinds. Config is
+// normalized for the knob itself before comparison — it is the one field
+// that legitimately differs between the twins.
+func TestFleetBatchEquivalence(t *testing.T) {
+	for name, cfg := range fleetBatchConfigs() {
+		t.Run(name, func(t *testing.T) {
+			batched := mustRun(t, cfg)
+
+			solo := cfg
+			solo.DisableFleetBatch = true
+			want := mustRun(t, solo)
+
+			batched.Config.DisableFleetBatch = true
+			assertResultsEqual(t, name, want, batched)
+		})
+	}
+}
+
+// TestFleetBatchSnapshotResume proves v3 snapshots taken mid-run on the
+// fleet-batched path resume bit-identically — both back onto the batched
+// path and onto the per-home path. The snapshot carries only member state
+// (forecaster parameters and counters); the fleet groups hold none of
+// their own, so either compute path continues the same run.
+func TestFleetBatchSnapshotResume(t *testing.T) {
+	cfg := tinyConfig(MethodPFDRL)
+	cfg.ForecastKind = forecast.KindLSTM
+	cfg.ForecastHidden = 6
+	cfg.Homes, cfg.Days = 2, 2
+	// Off-period schedules so federation rounds are pending at odd hours.
+	cfg.BetaHours, cfg.GammaHours = 5, 7
+	want := mustRun(t, cfg)
+
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor := NewEngine(s)
+	stepTo(t, donor, 13) // mid-day, mid-training
+	var buf bytes.Buffer
+	if err := donor.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), buf.Bytes()...)
+	assertResultsEqual(t, "donor", want, finishAll(t, donor))
+
+	resumed, err := ResumeEngine(bytes.NewReader(snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, "resumed-batched", want, finishAll(t, resumed))
+
+	// Cross-path resume: the same snapshot continued on the per-home path
+	// must land on the same bits (the batched run's checkpoints are not
+	// tied to the batched kernels).
+	crossed, err := ResumeEngine(bytes.NewReader(snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossed.sys.cfg.DisableFleetBatch = true
+	assertResultsEqual(t, "resumed-per-home", want, finishAll(t, crossed))
+}
+
+// TestFleetBatchFallbackTriggers pins when the fleet cache must stay
+// empty: the knob, an unfleetable kind, and duplicate device types within
+// a home (simulated by marking the grain unsafe).
+func TestFleetBatchFallbackTriggers(t *testing.T) {
+	build := func(mut func(*Config)) *System {
+		cfg := tinyConfig(MethodLocal)
+		mut(&cfg)
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := build(func(c *Config) {})
+	s.ensureFcFleets()
+	if len(s.fcFleets) == 0 {
+		t.Fatal("LR fleet should batch")
+	}
+	if got := len(s.fcFleets[0].pairs); got != s.cfg.Homes {
+		t.Fatalf("group spans %d homes, want %d", got, s.cfg.Homes)
+	}
+
+	s = build(func(c *Config) { c.DisableFleetBatch = true })
+	s.ensureFcFleets()
+	if len(s.fcFleets) != 0 {
+		t.Fatal("DisableFleetBatch must keep the cache empty")
+	}
+
+	s = build(func(c *Config) { c.ForecastKind = forecast.KindTCN })
+	s.ensureFcFleets()
+	if len(s.fcFleets) != 0 {
+		t.Fatal("TCN cannot fleet; cache must stay empty")
+	}
+
+	s = build(func(c *Config) {})
+	s.ensureHomeDevs()
+	s.homeDevGrainSafe = false // duplicate device types share a forecaster
+	s.ensureFcFleets()
+	if len(s.fcFleets) != 0 {
+		t.Fatal("grain-unsafe corpus must keep the cache empty")
+	}
+}

@@ -103,7 +103,7 @@ func (e *Engine) PlanNextHour(home int) ([]DevicePlan, error) {
 		homeEnvs = built
 	}
 
-	obs := make([]float64, len(h.obs))
+	obs := make([]float64, len(h.obsNext))
 	out := make([]DevicePlan, 0, len(h.src.Traces))
 	for di, tr := range h.src.Traces {
 		env := homeEnvs[di]

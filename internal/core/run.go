@@ -66,7 +66,7 @@ func (s *System) setNetClock(minute int) {
 // behind the scheduler.
 func (s *System) parallelHomes(fn func(h *simHome)) {
 	homes := s.homes
-	sched.Default().ParallelFor(len(homes), 1, func(lo, hi int) {
+	sched.Default().ParallelForCost(&s.homeCost, len(homes), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(homes[i])
 		}
@@ -103,7 +103,7 @@ func (s *System) parallelHomeDevices(fn func(idx int, h *simHome, di int)) {
 		return
 	}
 	devs := s.homeDevs
-	sched.Default().ParallelFor(len(devs), 1, func(lo, hi int) {
+	sched.Default().ParallelForCost(&s.homeDevCost, len(devs), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(i, devs[i].h, devs[i].di)
 		}
@@ -129,6 +129,138 @@ func (s *System) ensureHomeDevs() {
 		}
 	}
 	s.homeDevOff[len(s.homes)] = len(s.homeDevs)
+}
+
+// fcFleetGroup is one device type's fleet-batched compute group: every
+// home owning that type, in home order, behind one forecast.HomeBatch that
+// trains and queries all of their forecasters through fleet kernels.
+type fcFleetGroup struct {
+	dt     string
+	hb     *forecast.HomeBatch
+	pairs  []homeDevice
+	window int
+	series [][]float64 // reusable per-wave member series list
+}
+
+// ensureFcFleets lazily builds the forecast plane's fleet-batched groups.
+// Construction is all-or-nothing: HomeBatch refuses members only for
+// kind-wide reasons (an architecture fleet kernels cannot express, e.g.
+// TCN's Conv1D stack), so on any error the cache stays empty and every
+// forecast wave takes the per-pair path. The cache also stays empty when
+// DisableFleetBatch is set, or when a home repeats a device type — its
+// pairs would share one forecaster, breaking member lockstep.
+//
+// The groups hold no model state of their own: HomeBatch gathers live
+// member parameters before every batched op and scatters updates back, so
+// federation rounds and snapshot restores that rewrite member parameters
+// between waves are picked up automatically.
+func (s *System) ensureFcFleets() {
+	if s.fcFleetsBuilt {
+		return
+	}
+	s.fcFleetsBuilt = true
+	if s.cfg.DisableFleetBatch {
+		return
+	}
+	s.ensureHomeDevs()
+	if !s.homeDevGrainSafe {
+		return
+	}
+	byType := map[string][]homeDevice{}
+	for _, hd := range s.homeDevs {
+		dt := hd.h.src.Traces[hd.di].Device.Type
+		byType[dt] = append(byType[dt], hd)
+	}
+	var groups []*fcFleetGroup
+	for _, dt := range s.deviceTypes {
+		pairs := byType[dt]
+		if len(pairs) == 0 {
+			continue
+		}
+		fcs := make([]forecast.Forecaster, len(pairs))
+		for i, p := range pairs {
+			fcs[i] = p.h.fcs[dt]
+		}
+		hb, err := forecast.NewHomeBatch(fcs)
+		if err != nil {
+			return
+		}
+		groups = append(groups, &fcFleetGroup{
+			dt: dt, hb: hb, pairs: pairs,
+			window: fcs[0].Config().Window,
+			series: make([][]float64, len(pairs)),
+		})
+	}
+	s.fcFleets = groups
+}
+
+// predictDayWave fills every home's predDay for the given day, charging
+// per-task compute to the timer's "fc-test" series (the caller times the
+// wave's wall clock). With fleet batching available, each device type is
+// one batched multi-home forward; otherwise every (home, device) pair
+// predicts concurrently on the pool.
+func (s *System) predictDayWave(timer *metrics.Timer, day int) {
+	s.ensureFcFleets()
+	if len(s.fcFleets) > 0 {
+		for _, g := range s.fcFleets {
+			t0 := time.Now()
+			s.predictGroupDay(g, day)
+			timer.Add("fc-test", time.Since(t0))
+		}
+		return
+	}
+	s.ensureHomeDevs()
+	if s.pairDurs == nil {
+		s.pairDurs = make([]time.Duration, len(s.homeDevs))
+	}
+	s.parallelHomeDevices(func(idx int, h *simHome, di int) {
+		start := time.Now()
+		h.predDay[di] = s.predictDay(h, h.src.Traces[di], day)
+		s.pairDurs[idx] = time.Since(start)
+	})
+	for _, d := range s.pairDurs {
+		timer.Add("fc-test", d)
+	}
+}
+
+// predictGroupDay builds the day's per-minute forecasts for every member
+// of one fleet group through a single batched model forward — the
+// multi-home analogue of predictDay, bit-identical to it member by member
+// (HomeBatch.PredictBatch item i matches member i's Predict exactly).
+func (s *System) predictGroupDay(g *fcFleetGroup, day int) {
+	var hours, ts []int
+	for hour := 0; hour < 24; hour++ {
+		if t := day*pecan.MinutesPerDay + hour*60; t >= g.window {
+			hours = append(hours, hour)
+			ts = append(ts, t)
+		}
+	}
+	for i, p := range g.pairs {
+		tr := p.h.src.Traces[p.di]
+		pred := make([]float64, pecan.MinutesPerDay)
+		for hour := 0; hour < 24; hour++ {
+			if day*pecan.MinutesPerDay+hour*60 < g.window {
+				// No history yet (first window of day 0): assume standby,
+				// the dominant mode — same fallback as predictDay.
+				for m := 0; m < 60; m++ {
+					pred[hour*60+m] = tr.Device.StandbyKW
+				}
+			}
+		}
+		p.h.predDay[p.di] = pred
+		g.series[i] = tr.KW
+	}
+	if len(hours) == 0 {
+		return
+	}
+	rows := g.hb.PredictBatch(g.series, ts)
+	for mi, p := range g.pairs {
+		pred := p.h.predDay[p.di]
+		item := rows.Item(mi)
+		for i, hour := range hours {
+			copy(pred[hour*60:(hour+1)*60], item.Row(i))
+		}
+	}
 }
 
 // predictDay builds the day's per-minute forecast for one device by
@@ -203,14 +335,21 @@ func (s *System) runEMSHour(h *simHome, envs []*energy.Env, hour int) emsHourSta
 	cfg := s.cfg
 	var st emsHourStats
 	for m := hour * 60; m < (hour+1)*60; m++ {
-		for _, env := range envs {
-			t0 := time.Now()
-			// h.obs / h.obsNext are home-owned scratch reused every minute;
-			// Observe's replay buffer copies what it keeps (see DESIGN.md
-			// "Memory model & buffer ownership").
-			state := s.stateInto(h.obs, env, m)
-			action := energy.Mode(h.agent.SelectAction(state))
-			st.testDur += time.Since(t0)
+		// One decision batch per minute: every device's observation fills
+		// its own row of h.stateRows (home-owned scratch; Observe's replay
+		// buffer copies what it keeps, see DESIGN.md "Memory model & buffer
+		// ownership"), then the agent resolves all ε-greedy decisions with a
+		// single batched greedy forward — bit-identical to per-device
+		// SelectAction calls (see dqn.Agent.SelectActions).
+		t0 := time.Now()
+		for ei, env := range envs {
+			s.stateInto(h.stateRows.Row(ei), env, m)
+		}
+		h.agent.SelectActions(h.stateRows, h.actions)
+		st.testDur += time.Since(t0)
+		for ei, env := range envs {
+			state := h.stateRows.Row(ei)
+			action := energy.Mode(h.actions[ei])
 
 			truth := env.TruthAt(m)
 			r := energy.Reward(truth, action)
@@ -254,12 +393,11 @@ func (s *System) trainForecasters(timer *metrics.Timer, end int) error {
 	}
 	cfg := s.cfg
 	lookback := cfg.TrainLookbackHours * 60
-	s.ensureHomeDevs()
-	durs := make([]time.Duration, len(s.homeDevs))
-	waveStart := time.Now()
-	s.parallelHomeDevices(func(idx int, h *simHome, di int) {
-		t0 := time.Now()
-		tr := h.src.Traces[di]
+	epochs := cfg.TrainBoutEpochs
+	if epochs < 1 {
+		epochs = 1
+	}
+	window := func(tr *pecan.Trace) []float64 {
 		start := end - lookback
 		if start < 0 {
 			start = 0
@@ -268,15 +406,43 @@ func (s *System) trainForecasters(timer *metrics.Timer, end int) error {
 		if stop > len(tr.KW) {
 			stop = len(tr.KW)
 		}
-		epochs := cfg.TrainBoutEpochs
-		if epochs < 1 {
-			epochs = 1
+		return tr.KW[start:stop]
+	}
+	s.ensureHomeDevs()
+	waveStart := time.Now()
+	s.ensureFcFleets()
+	if len(s.fcFleets) > 0 {
+		// Fleet-batched bout: one lockstep TrainEpochs per device type,
+		// every member's epochs riding the same batched kernel dispatches.
+		for _, g := range s.fcFleets {
+			t0 := time.Now()
+			for i, p := range g.pairs {
+				g.series[i] = window(p.h.src.Traces[p.di])
+			}
+			if _, ok := g.hb.TrainEpochs(g.series, epochs); !ok {
+				// Ragged member windows (uneven trace lengths): the lockstep
+				// path declined before mutating anything; train member by
+				// member instead.
+				for i, p := range g.pairs {
+					p.h.fcs[g.dt].TrainEpochs(g.series[i], epochs)
+				}
+			}
+			timer.Add("fc-train", time.Since(t0))
 		}
-		h.fcs[tr.Device.Type].TrainEpochs(tr.KW[start:stop], epochs)
-		durs[idx] = time.Since(t0)
+		timer.Add("fc-train.wall", time.Since(waveStart))
+		return nil
+	}
+	if s.pairDurs == nil {
+		s.pairDurs = make([]time.Duration, len(s.homeDevs))
+	}
+	s.parallelHomeDevices(func(idx int, h *simHome, di int) {
+		t0 := time.Now()
+		tr := h.src.Traces[di]
+		h.fcs[tr.Device.Type].TrainEpochs(window(tr), epochs)
+		s.pairDurs[idx] = time.Since(t0)
 	})
 	timer.Add("fc-train.wall", time.Since(waveStart))
-	for _, d := range durs {
+	for _, d := range s.pairDurs {
 		timer.Add("fc-train", d)
 	}
 	return nil

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/dqn"
 	"repro/internal/energy"
@@ -10,6 +11,8 @@ import (
 	"repro/internal/fednet"
 	"repro/internal/forecast"
 	"repro/internal/pecan"
+	"repro/internal/sched"
+	"repro/internal/tensor"
 	"repro/internal/wire"
 )
 
@@ -22,11 +25,16 @@ type simHome struct {
 	agent *dqn.Agent
 	// predDay[devIdx] holds the current day's hour-by-hour forecast.
 	predDay [][]float64
-	// obs/obsNext are the home's reusable observation scratch buffers
-	// (stateDim wide). stateInto fills them each EMS minute; the agent's
-	// replay buffer copies what it keeps, so reuse is safe. Each home owns
-	// its pair, which keeps the home-parallel simulation race-free.
-	obs, obsNext []float64
+	// stateRows/actions are the home's per-minute decision batch: one
+	// observation row and one action slot per device environment, filled in
+	// device order each minute and resolved through the agent's batched
+	// ε-greedy selection. obsNext is the next-state scratch (stateDim wide).
+	// stateInto fills these each EMS minute; the agent's replay buffer
+	// copies what it keeps, so reuse is safe. Each home owns its set, which
+	// keeps the home-parallel simulation race-free.
+	stateRows *tensor.Matrix
+	actions   []int
+	obsNext   []float64
 }
 
 // System is a constructed simulation ready to Run.
@@ -59,6 +67,22 @@ type System struct {
 	homeDevs         []homeDevice
 	homeDevOff       []int
 	homeDevGrainSafe bool
+
+	// fcFleets caches the forecast plane's fleet-batched compute groups:
+	// one forecast.HomeBatch per device type over every home owning that
+	// type (see run.go ensureFcFleets). Built lazily on the first forecast
+	// wave; empty when DisableFleetBatch is set, a home repeats a device
+	// type, or the forecaster kind cannot fleet — the per-pair path runs
+	// then. pairDurs is the per-pair wave timing scratch the fallback waves
+	// reuse (predict and train waves never overlap).
+	fcFleets      []*fcFleetGroup
+	fcFleetsBuilt bool
+	pairDurs      []time.Duration
+
+	// homeCost / homeDevCost are the measured-cost models the parallel
+	// waves use to pick chunk grain — and to skip pool hand-off entirely
+	// when a wave is too small to amortize it (see sched.ParallelForCost).
+	homeCost, homeDevCost sched.CostModel
 
 	// fcPending holds forecast-plane federation rounds whose aggregation is
 	// still overlapping EMS compute; fcRoundWS / drlWS are the per-plane
@@ -149,9 +173,10 @@ func NewSystem(cfg Config) (*System, error) {
 				Seed:     cfg.Seed + int64(1000+hi),
 				InitSeed: cfg.Seed + 500,
 			}),
-			predDay: make([][]float64, len(ph.Traces)),
-			obs:     make([]float64, stateDim),
-			obsNext: make([]float64, stateDim),
+			predDay:   make([][]float64, len(ph.Traces)),
+			stateRows: tensor.New(len(ph.Traces), stateDim),
+			actions:   make([]int, len(ph.Traces)),
+			obsNext:   make([]float64, stateDim),
 		}
 		for _, tr := range ph.Traces {
 			// All homes share one initialization per device type (the

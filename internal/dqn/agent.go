@@ -112,9 +112,10 @@ type Agent struct {
 
 	// Reusable hot-path buffers (see DESIGN.md "Memory model & buffer
 	// ownership"): actRow is the persistent 1-row scratch SelectAction
-	// evaluates through; the rest are Learn's minibatch workspaces, sized
-	// once at the first full batch.
+	// evaluates through, actBatch the SelectActions gather buffer; the rest
+	// are Learn's minibatch workspaces, sized once at the first full batch.
 	actRow        *tensor.Matrix
+	actBatch      *tensor.Matrix
 	batch         []Transition
 	states, nexts *tensor.Matrix
 	nextOnline    *tensor.Matrix
@@ -209,6 +210,63 @@ func (a *Agent) SelectAction(state []float64) int {
 		return a.rng.Intn(a.cfg.Actions)
 	}
 	return a.Greedy(state)
+}
+
+// SelectActions runs the ε-greedy policy over a batch of pending decisions
+// — states.Row(i) is decision i's observation, in decision order — filling
+// out[i] with each chosen action. It is bit-identical to calling
+// SelectAction on every row sequentially: the ε schedule and the RNG draw
+// sequence advance row by row first (greedy evaluation consumes no
+// randomness), and the greedy rows then evaluate through one batched
+// forward pass, whose row-level kernels match the single-row path exactly.
+// Batching the forward amortizes the per-call layer walk and dispatch over
+// every device of a home deciding in the same simulated minute.
+func (a *Agent) SelectActions(states *tensor.Matrix, out []int) []int {
+	if states.Cols != a.cfg.StateDim {
+		panic(fmt.Sprintf("dqn: state dim %d, want %d", states.Cols, a.cfg.StateDim))
+	}
+	n := states.Rows
+	if len(out) != n {
+		panic(fmt.Sprintf("dqn: SelectActions got %d output slots for %d states", len(out), n))
+	}
+	greedy := 0
+	for i := 0; i < n; i++ {
+		eps := a.Epsilon()
+		a.actSteps++
+		if a.rng.Float64() < eps {
+			out[i] = a.rng.Intn(a.cfg.Actions)
+		} else {
+			out[i] = -1 // greedy, resolved below
+			greedy++
+		}
+	}
+	if greedy == 0 {
+		return out
+	}
+	a.actBatch = tensor.EnsureShape(a.actBatch, greedy, a.cfg.StateDim)
+	r := 0
+	for i := 0; i < n; i++ {
+		if out[i] < 0 {
+			copy(a.actBatch.Row(r), states.Row(i))
+			r++
+		}
+	}
+	q := a.Online.Forward(a.actBatch)
+	r = 0
+	for i := 0; i < n; i++ {
+		if out[i] < 0 {
+			row := q.Row(r)
+			best, bi := row[0], 0
+			for c, v := range row[1:] {
+				if v > best {
+					best, bi = v, c+1
+				}
+			}
+			out[i] = bi
+			r++
+		}
+	}
+	return out
 }
 
 // Observe stores a transition in replay memory. The buffer copies t.State

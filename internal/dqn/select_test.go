@@ -1,0 +1,68 @@
+package dqn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestSelectActionsMatchesSequential pins the batched ε-greedy path against
+// per-state SelectAction calls on a twin agent: same actions, same RNG
+// stream position, same ε schedule, across many minutes and under learning
+// (so the networks the greedy rows evaluate are non-trivial).
+func TestSelectActionsMatchesSequential(t *testing.T) {
+	mk := func() *Agent {
+		return New(Config{
+			StateDim: 6,
+			Hidden:   []int{10, 10},
+			Seed:     42,
+			Epsilon:  EpsilonSchedule{Start: 0.6, End: 0.05, DecaySteps: 80},
+		})
+	}
+	batched, serial := mk(), mk()
+	rng := rand.New(rand.NewSource(9))
+	const devices = 4
+	states := tensor.New(devices, 6)
+	out := make([]int, devices)
+	for minute := 0; minute < 60; minute++ {
+		for i := range states.Data {
+			states.Data[i] = rng.NormFloat64()
+		}
+		batched.SelectActions(states, out)
+		for i := 0; i < devices; i++ {
+			want := serial.SelectAction(states.Row(i))
+			if out[i] != want {
+				t.Fatalf("minute %d device %d: batched action %d, serial %d", minute, i, out[i], want)
+			}
+		}
+		// Feed both agents identical transitions and learn, so later minutes
+		// select through trained (and still identical) networks.
+		for i := 0; i < devices; i++ {
+			tr := Transition{
+				State:  append([]float64(nil), states.Row(i)...),
+				Action: out[i],
+				Reward: float64(out[i]) - 1,
+				Next:   append([]float64(nil), states.Row((i+1)%devices)...),
+			}
+			batched.Observe(tr)
+			serial.Observe(tr)
+		}
+		batched.Learn()
+		serial.Learn()
+	}
+	if batched.actSteps != serial.actSteps {
+		t.Fatalf("actSteps diverged: %d vs %d", batched.actSteps, serial.actSteps)
+	}
+}
+
+// TestSelectActionsShapeChecks pins the panic contracts.
+func TestSelectActionsShapeChecks(t *testing.T) {
+	a := New(Config{StateDim: 4, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched out length should panic")
+		}
+	}()
+	a.SelectActions(tensor.New(2, 4), make([]int, 3))
+}

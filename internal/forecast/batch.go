@@ -1,0 +1,273 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// HomeBatch trains and queries N per-home forecasters of the same kind and
+// architecture through one nn.Fleet: every forward/backward becomes a
+// fleet-batched kernel dispatch over all homes instead of N tiny per-home
+// passes. This is the forecast-plane compute shape the federation implies —
+// the same device type in different residences runs structurally identical
+// models in lockstep, differing only in parameters, normalization scale,
+// and local data.
+//
+// Everything observable is bit-identical to running the member forecasters
+// one by one: per-member RNG streams, shuffle orders, learning-rate decay
+// schedules, loss values, SVM weight-decay shrinks, and parameter updates
+// are all computed per member in the member's own order, on fleet slab
+// views. The fleet Gathers live member parameters before every batched op
+// (federation rounds install averaged weights into the members between
+// bouts) and Scatters updates back afterwards.
+//
+// Members whose architectures cannot fleet (TCN's Conv1D stacks, the Naive
+// baseline) fail NewHomeBatch with an error; callers keep the per-home
+// path as fallback.
+type HomeBatch struct {
+	members []*sgdForecaster
+	fleet   *nn.Fleet
+	kind    Kind
+
+	// Per-member optimizers persist across TrainEpochs calls like the
+	// member path's per-call SGD values (stateless, so a fresh value per
+	// call is equivalent; kept here to avoid re-allocating).
+	opts []*nn.SGD
+
+	// Training scratch, regrown only when shapes change.
+	xAll, yAll *tensor.Batched // full design matrices, one item per member
+	bx, by     *tensor.Batched // minibatch slabs
+	grad       *tensor.Batched // loss gradients
+	orders     [][]int
+	rngs       []*rand.Rand
+	losses     []float64
+
+	// Prediction scratch.
+	predX, predOut *tensor.Batched
+}
+
+// NewHomeBatch builds a batched trainer over the given forecasters. All
+// members must be SGD forecasters of the same kind with identical Window,
+// Horizon, Batch, and Stride (per-member Scale, learning schedule state,
+// and parameters may differ). Returns an error when the members cannot
+// share fleet kernels — the caller falls back to the per-home path.
+func NewHomeBatch(fcs []Forecaster) (*HomeBatch, error) {
+	if len(fcs) == 0 {
+		return nil, fmt.Errorf("forecast: HomeBatch needs at least one member")
+	}
+	hb := &HomeBatch{}
+	for i, fc := range fcs {
+		sf, ok := fc.(*sgdForecaster)
+		if !ok {
+			return nil, fmt.Errorf("forecast: HomeBatch member %d (%s) is not an SGD forecaster", i, fc.Name())
+		}
+		if i == 0 {
+			hb.kind = sf.kind
+		} else {
+			ref := hb.members[0]
+			if sf.kind != ref.kind {
+				return nil, fmt.Errorf("forecast: HomeBatch member %d kind %s, want %s", i, sf.kind, ref.kind)
+			}
+			if sf.cfg.Window != ref.cfg.Window || sf.cfg.Horizon != ref.cfg.Horizon ||
+				sf.cfg.Batch != ref.cfg.Batch || sf.cfg.Stride != ref.cfg.Stride {
+				return nil, fmt.Errorf("forecast: HomeBatch member %d window/horizon/batch/stride mismatch", i)
+			}
+		}
+		hb.members = append(hb.members, sf)
+	}
+	models := make([]*nn.Sequential, len(hb.members))
+	for i, m := range hb.members {
+		models[i] = m.model
+	}
+	fleet, err := nn.NewFleet(models)
+	if err != nil {
+		return nil, err
+	}
+	hb.fleet = fleet
+	n := len(hb.members)
+	hb.opts = make([]*nn.SGD, n)
+	for i := range hb.opts {
+		hb.opts[i] = &nn.SGD{Clip: 1}
+	}
+	hb.orders = make([][]int, n)
+	hb.rngs = make([]*rand.Rand, n)
+	hb.losses = make([]float64, n)
+	return hb, nil
+}
+
+// Len returns the number of member forecasters.
+func (hb *HomeBatch) Len() int { return len(hb.members) }
+
+// Kind returns the members' shared algorithm kind.
+func (hb *HomeBatch) Kind() Kind { return hb.kind }
+
+// PredictBatch predicts minutes [t, t+Horizon) for every member and every
+// t in ts, in one fleet forward: the returned batch's item i row r is
+// bit-identical to member i's Predict(seriesList[i], ts[r]). The batch is
+// HomeBatch-owned scratch, valid until the next PredictBatch call.
+func (hb *HomeBatch) PredictBatch(seriesList [][]float64, ts []int) *tensor.Batched {
+	if len(seriesList) != len(hb.members) {
+		panic(fmt.Sprintf("forecast: HomeBatch PredictBatch got %d series for %d members", len(seriesList), len(hb.members)))
+	}
+	n := len(hb.members)
+	ref := hb.members[0]
+	feat, horizon := ref.featureDim(), ref.cfg.Horizon
+	for i, m := range hb.members {
+		for _, t := range ts {
+			if t < m.cfg.Window {
+				panic(fmt.Sprintf("forecast: PredictBatch at t=%d needs at least %d history minutes", t, m.cfg.Window))
+			}
+			if t > len(seriesList[i]) {
+				panic(fmt.Sprintf("forecast: PredictBatch at t=%d beyond series length %d", t, len(seriesList[i])))
+			}
+		}
+	}
+	hb.predX = tensor.EnsureBatched(hb.predX, n, len(ts), feat)
+	for i, m := range hb.members {
+		item := hb.predX.Item(i)
+		for r, t := range ts {
+			m.encode(item.Row(r), seriesList[i], t)
+		}
+	}
+	hb.fleet.Gather()
+	out := hb.fleet.Forward(hb.predX)
+	hb.predOut = tensor.EnsureBatched(hb.predOut, n, len(ts), horizon)
+	for i, m := range hb.members {
+		src := out.Item(i).Data
+		dst := hb.predOut.Item(i).Data
+		scale := m.cfg.Scale
+		for j, v := range src {
+			v *= scale
+			if v < 0 {
+				v = 0
+			}
+			dst[j] = v
+		}
+	}
+	return hb.predOut
+}
+
+// TrainEpochs runs n SGD epochs for every member on its own series,
+// batching all members' forward/backward passes through the fleet. The
+// returned slice holds each member's final-epoch mean loss, exactly what
+// member i's own TrainEpochs(seriesList[i], n) would return (bit-identical
+// losses and parameters).
+//
+// ok is false when the members' window counts diverge (different series
+// lengths): minibatch boundaries would differ and the members cannot run
+// in lockstep. Nothing has been mutated in that case — the caller must run
+// the per-member fallback.
+func (hb *HomeBatch) TrainEpochs(seriesList [][]float64, n int) (losses []float64, ok bool) {
+	if len(seriesList) != len(hb.members) {
+		panic(fmt.Sprintf("forecast: HomeBatch TrainEpochs got %d series for %d members", len(seriesList), len(hb.members)))
+	}
+	N := len(hb.members)
+	ref := hb.members[0]
+	feat, horizon, batchSize := ref.featureDim(), ref.cfg.Horizon, ref.cfg.Batch
+
+	// Window starts must agree across members before anything mutates.
+	rows := -1
+	startsPer := make([][]int, N)
+	for i, m := range hb.members {
+		w, h, stride := m.cfg.Window, m.cfg.Horizon, m.cfg.Stride
+		var starts []int
+		for t := w; t+h <= len(seriesList[i]); t += stride {
+			starts = append(starts, t)
+		}
+		startsPer[i] = starts
+		if i == 0 {
+			rows = len(starts)
+		} else if len(starts) != rows {
+			return nil, false
+		}
+	}
+	if rows == 0 {
+		// Matches the per-member path: no training, NaN loss.
+		for i := range hb.losses {
+			hb.losses[i] = math.NaN()
+		}
+		return hb.losses, true
+	}
+
+	// Encode the design matrices straight into the fleet slabs, one item
+	// per member — the same encode/target fills as sgdForecaster.windows.
+	hb.xAll = tensor.EnsureBatched(hb.xAll, N, rows, feat)
+	hb.yAll = tensor.EnsureBatched(hb.yAll, N, rows, horizon)
+	for i, m := range hb.members {
+		xi, yi := hb.xAll.Item(i), hb.yAll.Item(i)
+		for r, t := range startsPer[i] {
+			m.encode(xi.Row(r), seriesList[i], t)
+			yRow := yi.Row(r)
+			for j := 0; j < horizon; j++ {
+				yRow[j] = seriesList[i][t+j] / m.cfg.Scale
+			}
+		}
+		hb.rngs[i] = rand.New(rand.NewSource(m.cfg.Seed ^ 0x5eed))
+		if hb.orders[i] == nil || len(hb.orders[i]) != rows {
+			hb.orders[i] = make([]int, rows)
+		}
+		for r := range hb.orders[i] {
+			hb.orders[i][r] = r
+		}
+	}
+
+	hb.fleet.Gather()
+	for e := 0; e < n; e++ {
+		for i, m := range hb.members {
+			hb.opts[i].LR = m.cfg.LearnRate / (1 + m.lrDecay*float64(m.epochsSeen))
+			m.epochsSeen++
+			order := hb.orders[i]
+			hb.rngs[i].Shuffle(rows, func(a, b int) { order[a], order[b] = order[b], order[a] })
+			hb.losses[i] = 0
+		}
+		batches := 0
+		for lo := 0; lo < rows; lo += batchSize {
+			hi := lo + batchSize
+			if hi > rows {
+				hi = rows
+			}
+			b := hi - lo
+			hb.bx = tensor.EnsureBatched(hb.bx, N, b, feat)
+			hb.by = tensor.EnsureBatched(hb.by, N, b, horizon)
+			for i := 0; i < N; i++ {
+				xi, yi := hb.xAll.Item(i), hb.yAll.Item(i)
+				bxi, byi := hb.bx.Item(i), hb.by.Item(i)
+				order := hb.orders[i]
+				for r := lo; r < hi; r++ {
+					copy(bxi.Row(r-lo), xi.Row(order[r]))
+					copy(byi.Row(r-lo), yi.Row(order[r]))
+				}
+			}
+			// FitBatch, fleet-wide: zero grads, batched forward, per-member
+			// loss, batched backward, per-member optimizer step on slab views.
+			hb.fleet.ZeroGrads()
+			pred := hb.fleet.Forward(hb.bx)
+			hb.grad = tensor.EnsureBatched(hb.grad, N, b, horizon)
+			for i, m := range hb.members {
+				l, g := m.loss.Loss(pred.Item(i), hb.by.Item(i))
+				hb.losses[i] += l
+				hb.grad.Item(i).CopyFrom(g)
+			}
+			hb.fleet.Backward(hb.grad)
+			for i, m := range hb.members {
+				hb.opts[i].Step(hb.fleet.SlabParams(i), hb.fleet.SlabGrads(i))
+				if m.decay > 0 {
+					shrink := 1 - m.cfg.LearnRate*m.decay
+					for _, p := range hb.fleet.SlabParams(i) {
+						p.ScaleInPlace(shrink)
+					}
+				}
+			}
+			batches++
+		}
+		for i := range hb.losses {
+			hb.losses[i] /= float64(batches)
+		}
+	}
+	hb.fleet.Scatter()
+	return hb.losses, true
+}

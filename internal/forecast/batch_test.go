@@ -1,0 +1,189 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// batchKinds are the fleet-capable forecaster kinds (TCN's Conv1D stack
+// and the Naive baseline fall back to the per-home path).
+var batchKinds = []Kind{KindLR, KindSVM, KindBP, KindLSTM, KindGRU}
+
+func batchCfg(scale float64) Config {
+	return Config{
+		Window:    24,
+		Horizon:   30,
+		Scale:     scale,
+		LearnRate: 0.05,
+		Epochs:    2,
+		Batch:     8,
+		Stride:    5,
+		Hidden:    6,
+		Seed:      11,
+	}
+}
+
+// syntheticSeries builds a deterministic per-member load trace.
+func syntheticSeries(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]float64, n)
+	for i := range s {
+		base := 0.8 + 0.6*math.Sin(2*math.Pi*float64(i%1440)/1440)
+		s[i] = base + 0.2*rng.Float64()
+		if rng.Intn(17) == 0 {
+			s[i] = 0 // exact zeros exercise the kernels' zero-skip
+		}
+	}
+	return s
+}
+
+func buildPair(t *testing.T, kind Kind, n int) (batch []Forecaster, solo []Forecaster) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		cfg := batchCfg(1.0 + 0.5*float64(i)) // per-member Scale differs, like per-home OnKW
+		batch = append(batch, MustNew(kind, cfg))
+		solo = append(solo, MustNew(kind, cfg))
+	}
+	return batch, solo
+}
+
+// TestHomeBatchTrainMatchesPerMember trains twin fleets — one through
+// HomeBatch, one member by member — and pins losses, parameters, and
+// subsequent predictions bitwise, across kinds and fleet sizes 1/3/8.
+func TestHomeBatchTrainMatchesPerMember(t *testing.T) {
+	for _, kind := range batchKinds {
+		for _, n := range []int{1, 3, 8} {
+			batchFcs, soloFcs := buildPair(t, kind, n)
+			hb, err := NewHomeBatch(batchFcs)
+			if err != nil {
+				t.Fatalf("%s × %d: NewHomeBatch: %v", kind, n, err)
+			}
+			series := make([][]float64, n)
+			for i := range series {
+				series[i] = syntheticSeries(400, int64(1000+i))
+			}
+
+			// Two bouts, like the engine's repeated train-every-4h bouts, so
+			// the epochsSeen-driven LR decay schedule is exercised across calls.
+			for bout := 0; bout < 2; bout++ {
+				losses, ok := hb.TrainEpochs(series, 2)
+				if !ok {
+					t.Fatalf("%s × %d: TrainEpochs fell back unexpectedly", kind, n)
+				}
+				for i, fc := range soloFcs {
+					want := fc.TrainEpochs(series[i], 2)
+					if math.Float64bits(losses[i]) != math.Float64bits(want) {
+						t.Fatalf("%s × %d bout %d member %d: loss %v vs %v", kind, n, bout, i, losses[i], want)
+					}
+				}
+			}
+			for i := range batchFcs {
+				bp := batchFcs[i].Model().Params()
+				sp := soloFcs[i].Model().Params()
+				for pi := range bp {
+					for j := range bp[pi].Data {
+						if math.Float64bits(bp[pi].Data[j]) != math.Float64bits(sp[pi].Data[j]) {
+							t.Fatalf("%s × %d member %d param %d[%d]: %v vs %v", kind, n, i, pi, j, bp[pi].Data[j], sp[pi].Data[j])
+						}
+					}
+				}
+				// Training state carried identically.
+				if batchFcs[i].(TrainStateCarrier).EpochsSeen() != soloFcs[i].(TrainStateCarrier).EpochsSeen() {
+					t.Fatalf("%s member %d: epochsSeen diverged", kind, i)
+				}
+			}
+
+			// Predictions after training match per-member PredictBatch.
+			ts := []int{100, 160, 220}
+			got := hb.PredictBatch(series, ts)
+			for i, fc := range soloFcs {
+				want := fc.(BatchPredictor).PredictBatch(series[i], ts)
+				for j := range want.Data {
+					if math.Float64bits(got.Item(i).Data[j]) != math.Float64bits(want.Data[j]) {
+						t.Fatalf("%s × %d member %d pred[%d]: %v vs %v", kind, n, i, j, got.Item(i).Data[j], want.Data[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHomeBatchShortSeries checks the no-windows path returns NaN losses
+// without touching training state, like the per-member path.
+func TestHomeBatchShortSeries(t *testing.T) {
+	fcs, _ := buildPair(t, KindLR, 2)
+	hb, err := NewHomeBatch(fcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := [][]float64{make([]float64, 10), make([]float64, 10)}
+	losses, ok := hb.TrainEpochs(short, 3)
+	if !ok {
+		t.Fatal("equal-length short series should not fall back")
+	}
+	for i, l := range losses {
+		if !math.IsNaN(l) {
+			t.Fatalf("member %d loss = %v, want NaN", i, l)
+		}
+	}
+	if fcs[0].(TrainStateCarrier).EpochsSeen() != 0 {
+		t.Fatal("no-window training must not advance epochsSeen")
+	}
+}
+
+// TestHomeBatchRaggedFallback checks diverging window counts reject the
+// lockstep path without mutating anything.
+func TestHomeBatchRaggedFallback(t *testing.T) {
+	fcs, _ := buildPair(t, KindBP, 2)
+	hb, err := NewHomeBatch(fcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ragged := [][]float64{syntheticSeries(400, 1), syntheticSeries(200, 2)}
+	before := append([]float64(nil), fcs[0].Model().Params()[0].Data...)
+	if _, ok := hb.TrainEpochs(ragged, 1); ok {
+		t.Fatal("ragged series should fall back")
+	}
+	after := fcs[0].Model().Params()[0].Data
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("fallback must not mutate parameters")
+		}
+	}
+	if fcs[0].(TrainStateCarrier).EpochsSeen() != 0 {
+		t.Fatal("fallback must not advance epochsSeen")
+	}
+}
+
+// TestHomeBatchRejectsIncompatibleMembers checks the constructor-level
+// fallback triggers: mixed kinds, mismatched shapes, non-SGD members,
+// unfleetable architectures.
+func TestHomeBatchRejectsIncompatibleMembers(t *testing.T) {
+	if _, err := NewHomeBatch(nil); err == nil {
+		t.Fatal("empty member list should error")
+	}
+	lr := MustNew(KindLR, batchCfg(1))
+	bp := MustNew(KindBP, batchCfg(1))
+	if _, err := NewHomeBatch([]Forecaster{lr, bp}); err == nil {
+		t.Fatal("mixed kinds should error")
+	}
+	other := batchCfg(1)
+	other.Window = 30
+	if _, err := NewHomeBatch([]Forecaster{lr, MustNew(KindLR, other)}); err == nil {
+		t.Fatal("window mismatch should error")
+	}
+	if _, err := NewHomeBatch([]Forecaster{NewNaive(batchCfg(1))}); err == nil {
+		t.Fatal("naive forecaster should error")
+	}
+	tcnCfg := batchCfg(1)
+	tcn := MustNew(KindTCN, tcnCfg)
+	if _, err := NewHomeBatch([]Forecaster{tcn}); err == nil {
+		t.Fatal("TCN should error (Conv1D is not fleetable)")
+	}
+	hiddenMismatch := batchCfg(1)
+	hiddenMismatch.Hidden = 12
+	if _, err := NewHomeBatch([]Forecaster{MustNew(KindLSTM, batchCfg(1)), MustNew(KindLSTM, hiddenMismatch)}); err == nil {
+		t.Fatal("hidden-width mismatch should error")
+	}
+}

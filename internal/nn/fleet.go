@@ -1,0 +1,779 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Fleet runs N architecturally identical Sequential models through shared
+// fleet-batched kernels: one tensor.Batched dispatch per layer stage per
+// step instead of N per-model kernel calls. It is the compute vehicle
+// behind forecast.HomeBatch — all homes sharing a device-type model
+// architecture train and predict in lockstep.
+//
+// The fleet owns packed parameter/gradient slabs (tensor.Batched,
+// fleet-major). Members keep owning their parameters: Gather() packs the
+// live member matrices into the slabs before a batched op (required because
+// federation rounds install averaged parameters into the member models
+// between bouts), and ScatterGrads()/Scatter() copy gradients or updated
+// parameters back. SlabParams/SlabGrads expose per-member views in exactly
+// Sequential.Params() order so a member's own optimizer can step on slab
+// data directly.
+//
+// Bit-exactness contract: Forward/Backward reproduce member-by-member the
+// identical floating-point operations in the identical order as calling
+// Sequential.Forward/Backward on each member (including the
+// Dense→Activation fusion peephole), because every row routes through the
+// same row kernels and the per-member loops mirror the layer code
+// statement for statement. The fleet golden tests pin this bitwise.
+//
+// A Fleet is not safe for concurrent use, same as the member models.
+type Fleet struct {
+	N       int
+	members []*Sequential
+	layers  []fleetLayer // aligned 1:1 with members' Layers
+}
+
+// fleetLayer is one layer position across all fleet members.
+type fleetLayer interface {
+	// gather packs member n's parameters into the slabs (no-op for
+	// parameter-free layers).
+	gather(n int)
+	// scatter copies slab parameters back into member n's matrices.
+	scatter(n int)
+	// scatterGrads overwrites member n's gradient matrices from the slabs.
+	scatterGrads(n int)
+	forward(x *tensor.Batched) *tensor.Batched
+	backward(grad *tensor.Batched) *tensor.Batched
+	zeroGrads()
+	// slabParams/slabGrads return per-member slab views in the member
+	// layer's Params()/Grads() order (nil for parameter-free layers).
+	slabParams(n int) []*tensor.Matrix
+	slabGrads(n int) []*tensor.Matrix
+}
+
+// NewFleet builds a fleet over the given members. Every member must have
+// the same layer sequence with identical shapes; supported layer kinds are
+// Dense, Activation, LSTM, and GRU. Any other layer (Conv1D/TCN stacks,
+// Softmax, Dropout) returns an error — callers fall back to the per-model
+// path, which stays fully supported.
+func NewFleet(members []*Sequential) (*Fleet, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("nn: NewFleet needs at least one member")
+	}
+	ref := members[0]
+	for i, m := range members[1:] {
+		if len(m.Layers) != len(ref.Layers) {
+			return nil, fmt.Errorf("nn: fleet member %d has %d layers, member 0 has %d", i+1, len(m.Layers), len(ref.Layers))
+		}
+	}
+	f := &Fleet{N: len(members), members: members}
+	for li, l := range ref.Layers {
+		var fl fleetLayer
+		var err error
+		switch ref := l.(type) {
+		case *Dense:
+			fl, err = newFleetDense(members, li, ref)
+		case *Activation:
+			fl, err = newFleetActivation(members, li, ref)
+		case *LSTM:
+			fl, err = newFleetLSTM(members, li, ref)
+		case *GRU:
+			fl, err = newFleetGRU(members, li, ref)
+		default:
+			err = fmt.Errorf("nn: fleet does not support layer %s", l.Name())
+		}
+		if err != nil {
+			return nil, err
+		}
+		f.layers = append(f.layers, fl)
+	}
+	return f, nil
+}
+
+// Members returns the fleet's member models in index order.
+func (f *Fleet) Members() []*Sequential { return f.members }
+
+// Gather packs every member's current parameters into the fleet slabs.
+// Call it before a batched op whenever members' parameters may have changed
+// outside the fleet (federation rounds, per-model training, checkpoints).
+func (f *Fleet) Gather() {
+	for _, fl := range f.layers {
+		for n := 0; n < f.N; n++ {
+			fl.gather(n)
+		}
+	}
+}
+
+// Scatter copies the slab parameters back into every member's matrices.
+// Call it after stepping an optimizer on slab views so the members (the
+// source of truth for federation and checkpoints) see the updates.
+func (f *Fleet) Scatter() {
+	for _, fl := range f.layers {
+		for n := 0; n < f.N; n++ {
+			fl.scatter(n)
+		}
+	}
+}
+
+// ScatterGrads overwrites every member's gradient matrices from the fleet
+// slabs, so a member's own optimizer state (e.g. the DQN's Adam moments)
+// can step exactly as if the member had run its own backward pass.
+func (f *Fleet) ScatterGrads() {
+	for _, fl := range f.layers {
+		for n := 0; n < f.N; n++ {
+			fl.scatterGrads(n)
+		}
+	}
+}
+
+// SlabParams returns member n's parameter views into the fleet slabs, in
+// Sequential.Params() order.
+func (f *Fleet) SlabParams(n int) []*tensor.Matrix {
+	var out []*tensor.Matrix
+	for _, fl := range f.layers {
+		out = append(out, fl.slabParams(n)...)
+	}
+	return out
+}
+
+// SlabGrads returns member n's gradient views into the fleet slabs, in
+// Sequential.Grads() order.
+func (f *Fleet) SlabGrads(n int) []*tensor.Matrix {
+	var out []*tensor.Matrix
+	for _, fl := range f.layers {
+		out = append(out, fl.slabGrads(n)...)
+	}
+	return out
+}
+
+// ZeroGrads clears the fleet gradient slabs.
+func (f *Fleet) ZeroGrads() {
+	for _, fl := range f.layers {
+		fl.zeroGrads()
+	}
+}
+
+// Forward runs the batched forward pass. x holds one input batch per
+// member (same batch size for all members). The returned batch is a
+// fleet-owned workspace, valid until the next Forward call. The
+// Dense→Activation fusion peephole mirrors Sequential.Forward.
+func (f *Fleet) Forward(x *tensor.Batched) *tensor.Batched {
+	if x.N != f.N {
+		panic(fmt.Sprintf("nn: fleet Forward batch N=%d, fleet N=%d", x.N, f.N))
+	}
+	for i := 0; i < len(f.layers); i++ {
+		if d, ok := f.layers[i].(*fleetDense); ok && i+1 < len(f.layers) {
+			if act, ok := f.layers[i+1].(*fleetActivation); ok {
+				x = d.forwardFused(x, act)
+				i++
+				continue
+			}
+		}
+		x = f.layers[i].forward(x)
+	}
+	return x
+}
+
+// Backward runs the batched backward pass, accumulating parameter
+// gradients into the fleet slabs. Returns the input gradient (fleet-owned
+// workspace).
+func (f *Fleet) Backward(grad *tensor.Batched) *tensor.Batched {
+	for i := len(f.layers) - 1; i >= 0; i-- {
+		grad = f.layers[i].backward(grad)
+	}
+	return grad
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+
+type fleetDense struct {
+	members []*Dense
+	in, out int
+
+	w, b, dw, db *tensor.Batched
+	x            *tensor.Batched
+	y, dx        *tensor.Batched
+	dwTmp, dbTmp *tensor.Batched
+}
+
+func newFleetDense(members []*Sequential, li int, ref *Dense) (*fleetDense, error) {
+	fd := &fleetDense{in: ref.In(), out: ref.Out()}
+	for mi, m := range members {
+		d, ok := m.Layers[li].(*Dense)
+		if !ok {
+			return nil, fmt.Errorf("nn: fleet member %d layer %d is %s, want Dense", mi, li, m.Layers[li].Name())
+		}
+		if d.In() != fd.in || d.Out() != fd.out {
+			return nil, fmt.Errorf("nn: fleet member %d Dense %dx%d, want %dx%d", mi, d.In(), d.Out(), fd.in, fd.out)
+		}
+		fd.members = append(fd.members, d)
+	}
+	n := len(members)
+	fd.w = tensor.NewBatched(n, fd.in, fd.out)
+	fd.b = tensor.NewBatched(n, 1, fd.out)
+	fd.dw = tensor.NewBatched(n, fd.in, fd.out)
+	fd.db = tensor.NewBatched(n, 1, fd.out)
+	return fd, nil
+}
+
+func (fd *fleetDense) gather(n int) {
+	fd.w.Item(n).CopyFrom(fd.members[n].W)
+	fd.b.Item(n).CopyFrom(fd.members[n].B)
+}
+
+func (fd *fleetDense) scatter(n int) {
+	fd.members[n].W.CopyFrom(fd.w.Item(n))
+	fd.members[n].B.CopyFrom(fd.b.Item(n))
+}
+
+func (fd *fleetDense) scatterGrads(n int) {
+	fd.members[n].dW.CopyFrom(fd.dw.Item(n))
+	fd.members[n].dB.CopyFrom(fd.db.Item(n))
+}
+
+func (fd *fleetDense) slabParams(n int) []*tensor.Matrix {
+	return []*tensor.Matrix{fd.w.Item(n), fd.b.Item(n)}
+}
+
+func (fd *fleetDense) slabGrads(n int) []*tensor.Matrix {
+	return []*tensor.Matrix{fd.dw.Item(n), fd.db.Item(n)}
+}
+
+func (fd *fleetDense) zeroGrads() {
+	fd.dw.Zero()
+	fd.db.Zero()
+}
+
+func (fd *fleetDense) forward(x *tensor.Batched) *tensor.Batched {
+	fd.x = x
+	fd.y = tensor.EnsureBatched(fd.y, x.N, x.Rows, fd.out)
+	tensor.BatchedDenseForwardInto(fd.y, x, fd.w, fd.b)
+	return fd.y
+}
+
+// forwardFused mirrors Dense.forwardFused: matmul + bias + activation in
+// one sweep, with both layers' caches set exactly as separate calls would.
+func (fd *fleetDense) forwardFused(x *tensor.Batched, act *fleetActivation) *tensor.Batched {
+	fd.x = x
+	fd.y = tensor.EnsureBatched(fd.y, x.N, x.Rows, fd.out)
+	act.x = fd.y
+	act.y = tensor.EnsureBatched(act.y, x.N, x.Rows, fd.out)
+	tensor.BatchedDenseForwardApplyInto(fd.y, act.y, x, fd.w, fd.b, act.fn)
+	return act.y
+}
+
+func (fd *fleetDense) backward(grad *tensor.Batched) *tensor.Batched {
+	if fd.x == nil {
+		panic("nn: fleet Dense backward before forward")
+	}
+	fd.dwTmp = tensor.EnsureBatched(fd.dwTmp, grad.N, fd.in, fd.out)
+	fd.dbTmp = tensor.EnsureBatched(fd.dbTmp, grad.N, 1, fd.out)
+	fd.dx = tensor.EnsureBatched(fd.dx, grad.N, grad.Rows, fd.in)
+	tensor.BatchedDenseBackwardInto(fd.dwTmp, fd.dbTmp, fd.dx, fd.x, fd.w, grad)
+	tensor.BatchedAccumulate(fd.dw, fd.dwTmp)
+	tensor.BatchedAccumulate(fd.db, fd.dbTmp)
+	return fd.dx
+}
+
+// ---------------------------------------------------------------------------
+// Activation
+
+type fleetActivation struct {
+	fn    func(float64) float64
+	deriv func(x, y float64) float64
+	x, y  *tensor.Batched
+	dx    *tensor.Batched
+}
+
+func newFleetActivation(members []*Sequential, li int, ref *Activation) (*fleetActivation, error) {
+	for mi, m := range members {
+		a, ok := m.Layers[li].(*Activation)
+		if !ok {
+			return nil, fmt.Errorf("nn: fleet member %d layer %d is %s, want %s", mi, li, m.Layers[li].Name(), ref.Name())
+		}
+		if a.Name() != ref.Name() {
+			return nil, fmt.Errorf("nn: fleet member %d activation %s, want %s", mi, a.Name(), ref.Name())
+		}
+	}
+	// Activation functions are pure and identical across members; member 0's
+	// closures serve the whole fleet.
+	return &fleetActivation{fn: ref.fn, deriv: ref.deriv}, nil
+}
+
+func (fa *fleetActivation) gather(int)                      {}
+func (fa *fleetActivation) scatter(int)                     {}
+func (fa *fleetActivation) scatterGrads(int)                {}
+func (fa *fleetActivation) slabParams(int) []*tensor.Matrix { return nil }
+func (fa *fleetActivation) slabGrads(int) []*tensor.Matrix  { return nil }
+func (fa *fleetActivation) zeroGrads()                      {}
+
+func (fa *fleetActivation) forward(x *tensor.Batched) *tensor.Batched {
+	fa.x = x
+	fa.y = tensor.EnsureBatched(fa.y, x.N, x.Rows, x.Cols)
+	tensor.BatchedApplyInto(fa.y, x, fa.fn)
+	return fa.y
+}
+
+func (fa *fleetActivation) backward(grad *tensor.Batched) *tensor.Batched {
+	if fa.x == nil {
+		panic("nn: fleet Activation backward before forward")
+	}
+	fa.dx = tensor.EnsureBatched(fa.dx, grad.N, grad.Rows, grad.Cols)
+	for i := range fa.dx.Data {
+		fa.dx.Data[i] = grad.Data[i] * fa.deriv(fa.x.Data[i], fa.y.Data[i])
+	}
+	return fa.dx
+}
+
+// ---------------------------------------------------------------------------
+// LSTM
+
+type fleetLSTM struct {
+	members            []*LSTM
+	in, hidden, seqLen int
+
+	w, b, dw, db *tensor.Batched
+
+	// Per-timestep caches, fleet-major mirrors of LSTM's caches.
+	zs             []*tensor.Batched
+	is, fs, gs, os []*tensor.Batched
+	cs, hs         []*tensor.Batched
+	tanhCs         []*tensor.Batched
+	batch          int
+
+	pre              *tensor.Batched
+	dxBuf, dhBuf, dc *tensor.Batched
+	dpre, dz         *tensor.Batched
+	dwStep, dbStep   *tensor.Batched
+}
+
+func newFleetLSTM(members []*Sequential, li int, ref *LSTM) (*fleetLSTM, error) {
+	fl := &fleetLSTM{in: ref.InputSize, hidden: ref.Hidden, seqLen: ref.SeqLen}
+	for mi, m := range members {
+		l, ok := m.Layers[li].(*LSTM)
+		if !ok {
+			return nil, fmt.Errorf("nn: fleet member %d layer %d is %s, want LSTM", mi, li, m.Layers[li].Name())
+		}
+		if l.InputSize != fl.in || l.Hidden != fl.hidden || l.SeqLen != fl.seqLen {
+			return nil, fmt.Errorf("nn: fleet member %d %s, want LSTM(in=%d,h=%d,T=%d)", mi, l.Name(), fl.in, fl.hidden, fl.seqLen)
+		}
+		fl.members = append(fl.members, l)
+	}
+	n := len(members)
+	fl.w = tensor.NewBatched(n, fl.in+fl.hidden, 4*fl.hidden)
+	fl.b = tensor.NewBatched(n, 1, 4*fl.hidden)
+	fl.dw = tensor.NewBatched(n, fl.in+fl.hidden, 4*fl.hidden)
+	fl.db = tensor.NewBatched(n, 1, 4*fl.hidden)
+	return fl, nil
+}
+
+func (fl *fleetLSTM) gather(n int) {
+	fl.w.Item(n).CopyFrom(fl.members[n].W)
+	fl.b.Item(n).CopyFrom(fl.members[n].B)
+}
+
+func (fl *fleetLSTM) scatter(n int) {
+	fl.members[n].W.CopyFrom(fl.w.Item(n))
+	fl.members[n].B.CopyFrom(fl.b.Item(n))
+}
+
+func (fl *fleetLSTM) scatterGrads(n int) {
+	fl.members[n].dW.CopyFrom(fl.dw.Item(n))
+	fl.members[n].dB.CopyFrom(fl.db.Item(n))
+}
+
+func (fl *fleetLSTM) slabParams(n int) []*tensor.Matrix {
+	return []*tensor.Matrix{fl.w.Item(n), fl.b.Item(n)}
+}
+
+func (fl *fleetLSTM) slabGrads(n int) []*tensor.Matrix {
+	return []*tensor.Matrix{fl.dw.Item(n), fl.db.Item(n)}
+}
+
+func (fl *fleetLSTM) zeroGrads() {
+	fl.dw.Zero()
+	fl.db.Zero()
+}
+
+func (fl *fleetLSTM) ensureCaches(n, b int) {
+	if fl.zs == nil {
+		fl.zs = make([]*tensor.Batched, fl.seqLen)
+		fl.is = make([]*tensor.Batched, fl.seqLen)
+		fl.fs = make([]*tensor.Batched, fl.seqLen)
+		fl.gs = make([]*tensor.Batched, fl.seqLen)
+		fl.os = make([]*tensor.Batched, fl.seqLen)
+		fl.tanhCs = make([]*tensor.Batched, fl.seqLen)
+		fl.cs = make([]*tensor.Batched, fl.seqLen+1)
+		fl.hs = make([]*tensor.Batched, fl.seqLen+1)
+	}
+	h := fl.hidden
+	for t := 0; t < fl.seqLen; t++ {
+		fl.zs[t] = tensor.EnsureBatched(fl.zs[t], n, b, fl.in+h)
+		fl.is[t] = tensor.EnsureBatched(fl.is[t], n, b, h)
+		fl.fs[t] = tensor.EnsureBatched(fl.fs[t], n, b, h)
+		fl.gs[t] = tensor.EnsureBatched(fl.gs[t], n, b, h)
+		fl.os[t] = tensor.EnsureBatched(fl.os[t], n, b, h)
+		fl.tanhCs[t] = tensor.EnsureBatched(fl.tanhCs[t], n, b, h)
+	}
+	for t := 0; t <= fl.seqLen; t++ {
+		fl.cs[t] = tensor.EnsureBatched(fl.cs[t], n, b, h)
+		fl.hs[t] = tensor.EnsureBatched(fl.hs[t], n, b, h)
+	}
+	fl.pre = tensor.EnsureBatched(fl.pre, n, b, 4*h)
+}
+
+// forward mirrors LSTM.Forward with flat (member,row) indexing: row fr of a
+// fleet slab is member fr/b's row fr%b, so the assembly copies and the
+// elementwise gate loop are the member code verbatim, while the gate
+// matmul is one batched dense call for the whole fleet per timestep.
+func (fl *fleetLSTM) forward(x *tensor.Batched) *tensor.Batched {
+	if x.Cols != fl.seqLen*fl.in {
+		panic(fmt.Sprintf("nn: fleet LSTM forward input width %d, want %d", x.Cols, fl.seqLen*fl.in))
+	}
+	b := x.Rows
+	fl.batch = b
+	h, in := fl.hidden, fl.in
+	rows := x.N * b
+	fl.ensureCaches(x.N, b)
+	fl.cs[0].Zero()
+	fl.hs[0].Zero()
+
+	for t := 0; t < fl.seqLen; t++ {
+		z := fl.zs[t]
+		hPrev := fl.hs[t]
+		zw := in + h
+		for fr := 0; fr < rows; fr++ {
+			zRow := z.Data[fr*zw : (fr+1)*zw]
+			copy(zRow[:in], x.Data[fr*x.Cols+t*in:fr*x.Cols+(t+1)*in])
+			copy(zRow[in:], hPrev.Data[fr*h:(fr+1)*h])
+		}
+		pre := fl.pre
+		tensor.BatchedDenseForwardInto(pre, z, fl.w, fl.b)
+
+		it, ft, gt, ot := fl.is[t], fl.fs[t], fl.gs[t], fl.os[t]
+		ct, tct, ht := fl.cs[t+1], fl.tanhCs[t], fl.hs[t+1]
+		cPrevM := fl.cs[t]
+		for fr := 0; fr < rows; fr++ {
+			preRow := pre.Data[fr*4*h : (fr+1)*4*h]
+			cPrev := cPrevM.Data[fr*h : (fr+1)*h]
+			iRow := it.Data[fr*h : (fr+1)*h]
+			fRow := ft.Data[fr*h : (fr+1)*h]
+			gRow := gt.Data[fr*h : (fr+1)*h]
+			oRow := ot.Data[fr*h : (fr+1)*h]
+			cRow := ct.Data[fr*h : (fr+1)*h]
+			tcRow := tct.Data[fr*h : (fr+1)*h]
+			hRow := ht.Data[fr*h : (fr+1)*h]
+			for c := 0; c < h; c++ {
+				iv := sigmoid(preRow[c])
+				fv := sigmoid(preRow[h+c])
+				gv := math.Tanh(preRow[2*h+c])
+				ov := sigmoid(preRow[3*h+c])
+				cv := fv*cPrev[c] + iv*gv
+				tcv := math.Tanh(cv)
+				iRow[c] = iv
+				fRow[c] = fv
+				gRow[c] = gv
+				oRow[c] = ov
+				cRow[c] = cv
+				tcRow[c] = tcv
+				hRow[c] = ov * tcv
+			}
+		}
+	}
+	return fl.hs[fl.seqLen]
+}
+
+// backward mirrors LSTM.Backward. The per-timestep parameter-gradient
+// products keep the member structure exactly — per-member dwStep/dbStep
+// computed then accumulated in one add — because folding the accumulation
+// into the product would change floating-point association.
+func (fl *fleetLSTM) backward(grad *tensor.Batched) *tensor.Batched {
+	if fl.zs == nil {
+		panic("nn: fleet LSTM backward before forward")
+	}
+	b, h, in := fl.batch, fl.hidden, fl.in
+	if grad.Rows != b || grad.Cols != h {
+		panic(fmt.Sprintf("nn: fleet LSTM backward grad shape %dx%d, want %dx%d", grad.Rows, grad.Cols, b, h))
+	}
+	n := grad.N
+	rows := n * b
+	fl.dxBuf = tensor.EnsureBatched(fl.dxBuf, n, b, fl.seqLen*in)
+	fl.dhBuf = tensor.EnsureBatched(fl.dhBuf, n, b, h)
+	fl.dc = tensor.EnsureBatched(fl.dc, n, b, h)
+	fl.dpre = tensor.EnsureBatched(fl.dpre, n, b, 4*h)
+	fl.dz = tensor.EnsureBatched(fl.dz, n, b, in+h)
+	fl.dwStep = tensor.EnsureBatched(fl.dwStep, n, in+h, 4*h)
+	fl.dbStep = tensor.EnsureBatched(fl.dbStep, n, 1, 4*h)
+	dx, dh, dc, dpre, dz := fl.dxBuf, fl.dhBuf, fl.dc, fl.dpre, fl.dz
+	copy(dh.Data, grad.Data)
+	dc.Zero()
+
+	for t := fl.seqLen - 1; t >= 0; t-- {
+		it, ft, gt, ot := fl.is[t], fl.fs[t], fl.gs[t], fl.os[t]
+		tct := fl.tanhCs[t]
+		cPrev := fl.cs[t]
+		for fr := 0; fr < rows; fr++ {
+			dhR := dh.Data[fr*h : (fr+1)*h]
+			dcR := dc.Data[fr*h : (fr+1)*h]
+			iR := it.Data[fr*h : (fr+1)*h]
+			fR := ft.Data[fr*h : (fr+1)*h]
+			gR := gt.Data[fr*h : (fr+1)*h]
+			oR := ot.Data[fr*h : (fr+1)*h]
+			tcR := tct.Data[fr*h : (fr+1)*h]
+			cpR := cPrev.Data[fr*h : (fr+1)*h]
+			dpreR := dpre.Data[fr*4*h : (fr+1)*4*h]
+			for c := 0; c < h; c++ {
+				do := dhR[c] * tcR[c]
+				dcTot := dcR[c] + dhR[c]*oR[c]*(1-tcR[c]*tcR[c])
+				di := dcTot * gR[c]
+				df := dcTot * cpR[c]
+				dg := dcTot * iR[c]
+				dpreR[c] = di * iR[c] * (1 - iR[c])
+				dpreR[h+c] = df * fR[c] * (1 - fR[c])
+				dpreR[2*h+c] = dg * (1 - gR[c]*gR[c])
+				dpreR[3*h+c] = do * oR[c] * (1 - oR[c])
+				dcR[c] = dcTot * fR[c]
+			}
+		}
+		tensor.BatchedMatMulTransAInto(fl.dwStep, fl.zs[t], dpre)
+		tensor.BatchedAccumulate(fl.dw, fl.dwStep)
+		tensor.BatchedColSumsInto(fl.dbStep, dpre)
+		tensor.BatchedAccumulate(fl.db, fl.dbStep)
+		tensor.BatchedMatMulTransBInto(dz, dpre, fl.w)
+		for fr := 0; fr < rows; fr++ {
+			dzR := dz.Data[fr*(in+h) : (fr+1)*(in+h)]
+			copy(dx.Data[fr*fl.seqLen*in+t*in:fr*fl.seqLen*in+(t+1)*in], dzR[:in])
+			copy(dh.Data[fr*h:(fr+1)*h], dzR[in:])
+		}
+	}
+	return dx
+}
+
+// ---------------------------------------------------------------------------
+// GRU
+
+type fleetGRU struct {
+	members            []*GRU
+	in, hidden, seqLen int
+
+	w, b, dw, db *tensor.Batched
+
+	xRef       *tensor.Batched
+	hs         []*tensor.Batched
+	zs, rs, ns []*tensor.Batched
+	batch      int
+
+	dxBuf, dhBuf, dhNext *tensor.Batched
+}
+
+func newFleetGRU(members []*Sequential, li int, ref *GRU) (*fleetGRU, error) {
+	fg := &fleetGRU{in: ref.InputSize, hidden: ref.Hidden, seqLen: ref.SeqLen}
+	for mi, m := range members {
+		g, ok := m.Layers[li].(*GRU)
+		if !ok {
+			return nil, fmt.Errorf("nn: fleet member %d layer %d is %s, want GRU", mi, li, m.Layers[li].Name())
+		}
+		if g.InputSize != fg.in || g.Hidden != fg.hidden || g.SeqLen != fg.seqLen {
+			return nil, fmt.Errorf("nn: fleet member %d %s, want GRU(in=%d,h=%d,T=%d)", mi, g.Name(), fg.in, fg.hidden, fg.seqLen)
+		}
+		fg.members = append(fg.members, g)
+	}
+	n := len(members)
+	fg.w = tensor.NewBatched(n, fg.in+fg.hidden, 3*fg.hidden)
+	fg.b = tensor.NewBatched(n, 1, 3*fg.hidden)
+	fg.dw = tensor.NewBatched(n, fg.in+fg.hidden, 3*fg.hidden)
+	fg.db = tensor.NewBatched(n, 1, 3*fg.hidden)
+	return fg, nil
+}
+
+func (fg *fleetGRU) gather(n int) {
+	fg.w.Item(n).CopyFrom(fg.members[n].W)
+	fg.b.Item(n).CopyFrom(fg.members[n].B)
+}
+
+func (fg *fleetGRU) scatter(n int) {
+	fg.members[n].W.CopyFrom(fg.w.Item(n))
+	fg.members[n].B.CopyFrom(fg.b.Item(n))
+}
+
+func (fg *fleetGRU) scatterGrads(n int) {
+	fg.members[n].dW.CopyFrom(fg.dw.Item(n))
+	fg.members[n].dB.CopyFrom(fg.db.Item(n))
+}
+
+func (fg *fleetGRU) slabParams(n int) []*tensor.Matrix {
+	return []*tensor.Matrix{fg.w.Item(n), fg.b.Item(n)}
+}
+
+func (fg *fleetGRU) slabGrads(n int) []*tensor.Matrix {
+	return []*tensor.Matrix{fg.dw.Item(n), fg.db.Item(n)}
+}
+
+func (fg *fleetGRU) zeroGrads() {
+	fg.dw.Zero()
+	fg.db.Zero()
+}
+
+// forward mirrors GRU.Forward: the same scalar gate loops, with the member
+// weight slab selected per flat row. The batching win for GRU is the
+// single dispatch and contiguous fleet memory, not a kernel change.
+func (fg *fleetGRU) forward(x *tensor.Batched) *tensor.Batched {
+	if x.Cols != fg.seqLen*fg.in {
+		panic(fmt.Sprintf("nn: fleet GRU forward input width %d, want %d", x.Cols, fg.seqLen*fg.in))
+	}
+	b, h, in := x.Rows, fg.hidden, fg.in
+	fg.batch = b
+	fg.xRef = x
+	n := x.N
+	rows := n * b
+	if fg.hs == nil {
+		fg.zs = make([]*tensor.Batched, fg.seqLen)
+		fg.rs = make([]*tensor.Batched, fg.seqLen)
+		fg.ns = make([]*tensor.Batched, fg.seqLen)
+		fg.hs = make([]*tensor.Batched, fg.seqLen+1)
+	}
+	for t := 0; t < fg.seqLen; t++ {
+		fg.zs[t] = tensor.EnsureBatched(fg.zs[t], n, b, h)
+		fg.rs[t] = tensor.EnsureBatched(fg.rs[t], n, b, h)
+		fg.ns[t] = tensor.EnsureBatched(fg.ns[t], n, b, h)
+	}
+	for t := 0; t <= fg.seqLen; t++ {
+		fg.hs[t] = tensor.EnsureBatched(fg.hs[t], n, b, h)
+	}
+	fg.hs[0].Zero()
+
+	wStride := (in + h) * 3 * h
+	for t := 0; t < fg.seqLen; t++ {
+		zt, rt, nt, ht := fg.zs[t], fg.rs[t], fg.ns[t], fg.hs[t+1]
+		hPrevM := fg.hs[t]
+		for fr := 0; fr < rows; fr++ {
+			m := fr / b
+			wData := fg.w.Data[m*wStride : (m+1)*wStride]
+			bData := fg.b.Data[m*3*h : (m+1)*3*h]
+			xr := x.Data[fr*x.Cols+t*in : fr*x.Cols+(t+1)*in]
+			hPrev := hPrevM.Data[fr*h : (fr+1)*h]
+			zRow := zt.Data[fr*h : (fr+1)*h]
+			rRow := rt.Data[fr*h : (fr+1)*h]
+			nRow := nt.Data[fr*h : (fr+1)*h]
+			hRow := ht.Data[fr*h : (fr+1)*h]
+			for c := 0; c < h; c++ {
+				var preZ, preR float64
+				preZ = bData[c]
+				preR = bData[h+c]
+				for k, xv := range xr {
+					preZ += xv * wData[k*3*h+c]
+					preR += xv * wData[k*3*h+h+c]
+				}
+				for k, hv := range hPrev {
+					preZ += hv * wData[(in+k)*3*h+c]
+					preR += hv * wData[(in+k)*3*h+h+c]
+				}
+				zRow[c] = sigmoid(preZ)
+				rRow[c] = sigmoid(preR)
+			}
+			for c := 0; c < h; c++ {
+				preN := bData[2*h+c]
+				for k, xv := range xr {
+					preN += xv * wData[k*3*h+2*h+c]
+				}
+				for k, hv := range hPrev {
+					preN += rRow[k] * hv * wData[(in+k)*3*h+2*h+c]
+				}
+				nv := math.Tanh(preN)
+				nRow[c] = nv
+				zv := zRow[c]
+				hRow[c] = (1-zv)*nv + zv*hPrev[c]
+			}
+		}
+	}
+	return fg.hs[fg.seqLen]
+}
+
+// backward mirrors GRU.Backward statement for statement, accumulating into
+// the member's gradient slab. Rows of one member run in their original
+// serial order (the scalar loop accumulates into shared dW/dB).
+func (fg *fleetGRU) backward(grad *tensor.Batched) *tensor.Batched {
+	if fg.xRef == nil {
+		panic("nn: fleet GRU backward before forward")
+	}
+	b, h, in := fg.batch, fg.hidden, fg.in
+	if grad.Rows != b || grad.Cols != h {
+		panic(fmt.Sprintf("nn: fleet GRU backward grad shape %dx%d, want %dx%d", grad.Rows, grad.Cols, b, h))
+	}
+	n := grad.N
+	rows := n * b
+	x := fg.xRef
+	fg.dxBuf = tensor.EnsureBatched(fg.dxBuf, n, b, fg.seqLen*in)
+	fg.dxBuf.Zero()
+	fg.dhBuf = tensor.EnsureBatched(fg.dhBuf, n, b, h)
+	fg.dhNext = tensor.EnsureBatched(fg.dhNext, n, b, h)
+	dx := fg.dxBuf
+	dh := fg.dhBuf
+	dhNext := fg.dhNext
+	copy(dh.Data, grad.Data)
+
+	wStride := (in + h) * 3 * h
+	for t := fg.seqLen - 1; t >= 0; t-- {
+		zt, rt, nt := fg.zs[t], fg.rs[t], fg.ns[t]
+		hPrevM := fg.hs[t]
+		dhNext.Zero()
+		for fr := 0; fr < rows; fr++ {
+			m := fr / b
+			wData := fg.w.Data[m*wStride : (m+1)*wStride]
+			dwData := fg.dw.Data[m*wStride : (m+1)*wStride]
+			dbData := fg.db.Data[m*3*h : (m+1)*3*h]
+			dhR := dh.Data[fr*h : (fr+1)*h]
+			zR := zt.Data[fr*h : (fr+1)*h]
+			rR := rt.Data[fr*h : (fr+1)*h]
+			nR := nt.Data[fr*h : (fr+1)*h]
+			hpR := hPrevM.Data[fr*h : (fr+1)*h]
+			xR := x.Data[fr*x.Cols+t*in : fr*x.Cols+(t+1)*in]
+			dxR := dx.Data[fr*fg.seqLen*in+t*in : fr*fg.seqLen*in+(t+1)*in]
+			dhN := dhNext.Data[fr*h : (fr+1)*h]
+
+			for c := 0; c < h; c++ {
+				dht := dhR[c]
+				dz := dht * (hpR[c] - nR[c])
+				dn := dht * (1 - zR[c])
+				dhN[c] += dht * zR[c]
+
+				dpreZ := dz * zR[c] * (1 - zR[c])
+				dpreN := dn * (1 - nR[c]*nR[c])
+
+				dbData[c] += dpreZ
+				dbData[2*h+c] += dpreN
+				for k, xv := range xR {
+					dwData[k*3*h+c] += xv * dpreZ
+					dwData[k*3*h+2*h+c] += xv * dpreN
+					dxR[k] += dpreZ*wData[k*3*h+c] + dpreN*wData[k*3*h+2*h+c]
+				}
+				for k := 0; k < h; k++ {
+					hv := hpR[k]
+					dwData[(in+k)*3*h+c] += hv * dpreZ
+					dwData[(in+k)*3*h+2*h+c] += rR[k] * hv * dpreN
+					dhN[k] += dpreZ * wData[(in+k)*3*h+c]
+					grk := dpreN * wData[(in+k)*3*h+2*h+c]
+					dhN[k] += grk * rR[k]
+					drk := grk * hv
+					dpreR := drk * rR[k] * (1 - rR[k])
+					dbData[h+k] += dpreR
+					for kk, xv := range xR {
+						dwData[kk*3*h+h+k] += xv * dpreR
+						dxR[kk] += dpreR * wData[kk*3*h+h+k]
+					}
+					for kk := 0; kk < h; kk++ {
+						dwData[(in+kk)*3*h+h+k] += hpR[kk] * dpreR
+						dhN[kk] += dpreR * wData[(in+kk)*3*h+h+k]
+					}
+				}
+			}
+		}
+		dh, dhNext = dhNext, dh
+		fg.dhBuf, fg.dhNext = dh, dhNext
+	}
+	return dx
+}

@@ -1,0 +1,238 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// fleetArch builds one member model of the named architecture — the four
+// shapes the forecaster plane actually uses (LR/SVM single dense, BP
+// dense+sigmoid stack, LSTM and GRU regressors).
+func fleetArch(t *testing.T, kind string, rng *rand.Rand) (*Sequential, int, int) {
+	t.Helper()
+	switch kind {
+	case "linear":
+		return NewSequential(NewDenseXavier(rng, 11, 4)), 11, 4
+	case "bp":
+		return NewSequential(
+			NewDenseXavier(rng, 11, 9),
+			NewSigmoid(),
+			NewDenseXavier(rng, 9, 4),
+		), 11, 4
+	case "lstm":
+		return NewSequential(
+			NewLSTM(rng, 3, 6, 5),
+			NewDenseXavier(rng, 6, 4),
+		), 15, 4
+	case "gru":
+		return NewSequential(
+			NewGRU(rng, 3, 6, 5),
+			NewDenseXavier(rng, 6, 4),
+		), 15, 4
+	}
+	t.Fatalf("unknown arch %q", kind)
+	return nil, 0, 0
+}
+
+var fleetArchs = []string{"linear", "bp", "lstm", "gru"}
+
+func buildFleet(t *testing.T, kind string, n int) (*Fleet, []*Sequential, int, int) {
+	t.Helper()
+	members := make([]*Sequential, n)
+	var in, out int
+	for i := range members {
+		// Distinct seeds: fleet members are per-home models with different
+		// parameters (per-home data shifts them apart immediately even when
+		// they start from a shared init).
+		m, mi, mo := fleetArch(t, kind, rand.New(rand.NewSource(int64(100*i+7))))
+		members[i], in, out = m, mi, mo
+	}
+	f, err := NewFleet(members)
+	if err != nil {
+		t.Fatalf("NewFleet(%s × %d): %v", kind, n, err)
+	}
+	return f, members, in, out
+}
+
+func fillBatchedInputs(x *tensor.Batched, seed int64, hostile bool) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range x.Data {
+		switch rng.Intn(10) {
+		case 0:
+			x.Data[i] = 0
+		case 1:
+			if hostile {
+				x.Data[i] = math.NaN()
+			} else {
+				x.Data[i] = rng.NormFloat64()
+			}
+		default:
+			x.Data[i] = rng.NormFloat64()
+		}
+	}
+}
+
+func requireBitsEqual(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: element %d got %v want %v (bit mismatch)", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestFleetForwardBackwardMatchesPerMember pins fleet Forward outputs,
+// input gradients, and scattered parameter gradients bitwise against the
+// per-member Sequential path, across all four architectures, fleet sizes
+// 1/3/8, and hostile (NaN) inputs.
+func TestFleetForwardBackwardMatchesPerMember(t *testing.T) {
+	const batch = 4
+	for _, kind := range fleetArchs {
+		for _, n := range []int{1, 3, 8} {
+			for _, hostile := range []bool{false, true} {
+				f, members, in, out := buildFleet(t, kind, n)
+				x := tensor.NewBatched(n, batch, in)
+				fillBatchedInputs(x, int64(17*n+len(kind)), hostile)
+				grad := tensor.NewBatched(n, batch, out)
+				fillBatchedInputs(grad, int64(23*n+len(kind)), hostile)
+
+				f.Gather()
+				f.ZeroGrads()
+				pred := f.Forward(x)
+				dx := f.Backward(grad)
+				f.ScatterGrads()
+
+				for i, m := range members {
+					m.ZeroGrads()
+					wantPred := m.Forward(x.Item(i))
+					wantDx := m.Backward(grad.Item(i))
+					requireBitsEqual(t, kind+" pred", pred.Item(i).Data, wantPred.Data)
+					requireBitsEqual(t, kind+" dx", dx.Item(i).Data, wantDx.Data)
+					memberGrads := m.Grads()
+					slabGrads := f.SlabGrads(i)
+					if len(memberGrads) != len(slabGrads) {
+						t.Fatalf("%s: grad count %d vs %d", kind, len(slabGrads), len(memberGrads))
+					}
+					for gi := range memberGrads {
+						requireBitsEqual(t, kind+" grad", slabGrads[gi].Data, memberGrads[gi].Data)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFleetTrainStepMatchesFitBatch runs several SGD steps through the
+// fleet (forward, loss, backward, optimizer on slab views, scatter) and
+// pins the resulting member parameters bitwise against per-member FitBatch
+// — the exact sequence forecast.HomeBatch.TrainEpochs uses.
+func TestFleetTrainStepMatchesFitBatch(t *testing.T) {
+	const batch, steps = 4, 3
+	for _, kind := range fleetArchs {
+		for _, n := range []int{1, 3} {
+			fleetF, fleetMembers, in, out := buildFleet(t, kind, n)
+			_, soloMembers, _, _ := buildFleet(t, kind, n) // identical seeds → identical params
+
+			x := tensor.NewBatched(n, batch, in)
+			fillBatchedInputs(x, int64(31*n+len(kind)), false)
+			y := tensor.NewBatched(n, batch, out)
+			fillBatchedInputs(y, int64(37*n+len(kind)), false)
+
+			loss := MSE{}
+			grad := tensor.NewBatched(n, batch, out)
+			fleetLosses := make([]float64, n)
+			for step := 0; step < steps; step++ {
+				// Fleet path: one batched fwd/bwd, per-member loss + SGD on
+				// slab views, then scatter back into the members.
+				fleetF.Gather()
+				fleetF.ZeroGrads()
+				pred := fleetF.Forward(x)
+				for i := 0; i < n; i++ {
+					l, g := loss.Loss(pred.Item(i), y.Item(i))
+					fleetLosses[i] = l
+					grad.Item(i).CopyFrom(g)
+				}
+				fleetF.Backward(grad)
+				for i := 0; i < n; i++ {
+					opt := &SGD{LR: 0.05, Clip: 1}
+					opt.Step(fleetF.SlabParams(i), fleetF.SlabGrads(i))
+				}
+				fleetF.Scatter()
+
+				for i, m := range soloMembers {
+					opt := &SGD{LR: 0.05, Clip: 1}
+					wantLoss := FitBatch(m, loss, opt, x.Item(i), y.Item(i))
+					if math.Float64bits(wantLoss) != math.Float64bits(fleetLosses[i]) {
+						t.Fatalf("%s n=%d step %d member %d: loss %v vs %v", kind, n, step, i, fleetLosses[i], wantLoss)
+					}
+				}
+			}
+			for i := range fleetMembers {
+				fp := fleetMembers[i].Params()
+				sp := soloMembers[i].Params()
+				for pi := range fp {
+					requireBitsEqual(t, kind+" trained params", fp[pi].Data, sp[pi].Data)
+				}
+			}
+		}
+	}
+}
+
+// TestFleetGatherScatterRoundTrip checks Gather→Scatter is the identity
+// and that Scatter propagates slab edits into members.
+func TestFleetGatherScatterRoundTrip(t *testing.T) {
+	f, members, _, _ := buildFleet(t, "lstm", 3)
+	before := make([][]float64, 0)
+	for _, m := range members {
+		for _, p := range m.Params() {
+			before = append(before, append([]float64(nil), p.Data...))
+		}
+	}
+	f.Gather()
+	f.Scatter()
+	idx := 0
+	for _, m := range members {
+		for _, p := range m.Params() {
+			requireBitsEqual(t, "round-trip", p.Data, before[idx])
+			idx++
+		}
+	}
+	f.SlabParams(1)[0].Data[0] = 42
+	f.Scatter()
+	if members[1].Params()[0].Data[0] != 42 {
+		t.Fatal("Scatter did not propagate slab edit to member")
+	}
+}
+
+// TestNewFleetRejectsMismatches checks the fallback-triggering error paths:
+// empty fleets, unsupported layers, and architecture mismatches.
+func TestNewFleetRejectsMismatches(t *testing.T) {
+	if _, err := NewFleet(nil); err == nil {
+		t.Fatal("NewFleet(nil) should error")
+	}
+	rng := rand.New(rand.NewSource(1))
+	withSoftmax := NewSequential(NewDenseXavier(rng, 4, 3), NewSoftmax())
+	if _, err := NewFleet([]*Sequential{withSoftmax}); err == nil {
+		t.Fatal("unsupported layer should error")
+	}
+	a := NewSequential(NewDenseXavier(rng, 4, 3))
+	b := NewSequential(NewDenseXavier(rng, 4, 5))
+	if _, err := NewFleet([]*Sequential{a, b}); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+	c := NewSequential(NewDenseXavier(rng, 4, 3), NewSigmoid())
+	if _, err := NewFleet([]*Sequential{a, c}); err == nil {
+		t.Fatal("layer count mismatch should error")
+	}
+	d := NewSequential(NewLSTM(rng, 1, 3, 4))
+	e := NewSequential(NewLSTM(rng, 1, 3, 5))
+	if _, err := NewFleet([]*Sequential{d, e}); err == nil {
+		t.Fatal("LSTM seqLen mismatch should error")
+	}
+}

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// CostModel is an exponentially-weighted moving average of the measured
+// cost, in nanoseconds, of one abstract work unit at a parallel call site.
+// Each site (a tensor kernel family, the per-home wave in core) owns one
+// model; ParallelForCost consults it to derive a chunk grain that targets
+// roughly targetChunkNs of work per hand-off instead of a hand-tuned
+// constant.
+//
+// The estimate is stored as float64 bits in one atomic word, so concurrent
+// waves may race on updates; a lost update only delays convergence of the
+// estimate and can never affect results — grain choice changes only how
+// [0,n) is partitioned across goroutines, never the per-index computation.
+type CostModel struct {
+	nsPerUnit atomic.Uint64 // float64 bits; 0 means "no measurement yet"
+}
+
+const (
+	// targetChunkNs is the amount of work one chunk should carry so the
+	// per-chunk hand-off (channel send + worker wake + two atomics, ~1-20µs
+	// depending on contention) stays in the low single-digit percents.
+	targetChunkNs = 100_000 // 100µs
+
+	// serialBelowNs is the projected total below which ParallelForCost does
+	// not bother with the pool at all: less than two target chunks of work
+	// cannot amortize even one hand-off.
+	serialBelowNs = 2 * targetChunkNs
+
+	// costEWMAAlpha is the update weight for new measurements. High enough
+	// to track phase changes (train bouts vs predict waves), low enough to
+	// ride out timer jitter on micro-waves.
+	costEWMAAlpha = 0.25
+)
+
+// Estimate returns the current ns-per-unit estimate, or 0 when the model
+// has not observed a measurement yet.
+func (c *CostModel) Estimate() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.nsPerUnit.Load())
+}
+
+// Observe folds a measured elapsed duration for `units` work units into the
+// moving average. Non-positive inputs are ignored.
+func (c *CostModel) Observe(elapsed time.Duration, units float64) {
+	if c == nil || units <= 0 || elapsed <= 0 {
+		return
+	}
+	sample := float64(elapsed.Nanoseconds()) / units
+	for {
+		oldBits := c.nsPerUnit.Load()
+		old := math.Float64frombits(oldBits)
+		next := sample
+		if old > 0 {
+			next = old + costEWMAAlpha*(sample-old)
+		}
+		if c.nsPerUnit.CompareAndSwap(oldBits, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// ParallelForCost runs fn over [0,n) like ParallelFor, but derives the
+// chunk grain from the cost model instead of a caller-supplied constant.
+// workPerItem scales the model's abstract unit to this call: a matmul site
+// passes madds-per-row, a per-home wave passes 1.
+//
+// Decision ladder, in order:
+//   - no pool parallelism available → inline (and the run is measured, so
+//     the first call doubles as the model's bootstrap probe);
+//   - no estimate yet → serial bootstrap probe;
+//   - projected total work below serialBelowNs → serial (the fast path that
+//     removes the small-fleet hand-off tax);
+//   - otherwise grain = targetChunkNs / projected-ns-per-item, clamped so
+//     at least two chunks exist, run through the normal claim loop.
+//
+// Every run — serial or parallel — feeds its measured wall time back into
+// the model. Parallel measurements are scaled by the slots plausibly used
+// so the stored unit cost stays an estimate of *serial* cost; the scaling
+// is approximate, but the model only steers partitioning, never results.
+func (p *Pool) ParallelForCost(cm *CostModel, n, workPerItem int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workPerItem < 1 {
+		workPerItem = 1
+	}
+	units := float64(n) * float64(workPerItem)
+
+	runSerial := func() {
+		if p != nil {
+			if tel := p.tel.Load(); tel != nil {
+				tel.inline.Inc()
+			}
+		}
+		start := time.Now()
+		fn(0, n)
+		cm.Observe(time.Since(start), units)
+	}
+
+	if p == nil || p.size < 2 || p.closed.Load() {
+		runSerial()
+		return
+	}
+	perItemNs := cm.Estimate() * float64(workPerItem)
+	if perItemNs <= 0 {
+		// Bootstrap probe: measure one serial run before trusting any grain.
+		runSerial()
+		return
+	}
+	totalNs := perItemNs * float64(n)
+	if totalNs < serialBelowNs {
+		runSerial()
+		return
+	}
+	grain := int(targetChunkNs / perItemNs)
+	if grain < 1 {
+		grain = 1
+	}
+	maxGrain := (n + 1) / 2 // keep at least two chunks once we decided to go parallel
+	if grain > maxGrain {
+		grain = maxGrain
+	}
+	chunks := (n + grain - 1) / grain
+	start := time.Now()
+	p.ParallelFor(n, grain, fn)
+	slots := chunks
+	if slots > p.size {
+		slots = p.size
+	}
+	cm.Observe(time.Duration(float64(time.Since(start).Nanoseconds())*float64(slots)), units)
+}

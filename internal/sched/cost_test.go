@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestParallelForCostCoversRangeExactlyOnce checks the adaptive entry point
+// visits every index exactly once across range sizes, work weights, and
+// model states (cold bootstrap, cheap-serial, expensive-parallel).
+func TestParallelForCostCoversRangeExactlyOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, tc := range []struct{ n, work int }{
+		{0, 1}, {1, 1}, {2, 1}, {7, 3}, {100, 0}, {1000, 64}, {5, -3},
+	} {
+		var cm CostModel
+		// Run several times so the same table row exercises bootstrap,
+		// serial-by-estimate, and (for large work) the parallel branch.
+		for iter := 0; iter < 3; iter++ {
+			counts := make([]int32, tc.n)
+			p.ParallelForCost(&cm, tc.n, tc.work, func(lo, hi int) {
+				if lo < 0 || hi > tc.n || lo >= hi {
+					t.Errorf("n=%d work=%d: bad chunk [%d,%d)", tc.n, tc.work, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("n=%d work=%d iter=%d: index %d visited %d times", tc.n, tc.work, iter, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelForCostSerialWhenCheap checks that once the model has seen a
+// cheap workload, later calls stay on the caller (the small-fleet fast
+// path): with a measured cost of ~ns per item, 8 items project far below
+// serialBelowNs and must not touch the pool.
+func TestParallelForCostSerialWhenCheap(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var cm CostModel
+	cm.Observe(8*time.Nanosecond, 8) // 1ns/unit
+	ran := false
+	p.ParallelForCost(&cm, 8, 1, func(lo, hi int) {
+		if lo == 0 && hi == 8 {
+			ran = true
+		}
+	})
+	if !ran {
+		t.Fatal("cheap projected work should run as one inline chunk")
+	}
+}
+
+// TestParallelForCostParallelWhenExpensive checks that a model primed with
+// an expensive per-item cost splits the range into more than one chunk.
+func TestParallelForCostParallelWhenExpensive(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var cm CostModel
+	cm.Observe(time.Duration(16)*time.Millisecond, 16) // 1ms/item
+	var chunks atomic.Int64
+	var total atomic.Int64
+	p.ParallelForCost(&cm, 16, 1, func(lo, hi int) {
+		chunks.Add(1)
+		total.Add(int64(hi - lo))
+	})
+	if total.Load() != 16 {
+		t.Fatalf("covered %d indices, want 16", total.Load())
+	}
+	if chunks.Load() < 2 {
+		t.Fatalf("expensive projected work ran in %d chunk(s), want >= 2", chunks.Load())
+	}
+}
+
+// TestCostModelObserve checks bootstrap seeding, EWMA movement toward new
+// samples, and rejection of degenerate inputs.
+func TestCostModelObserve(t *testing.T) {
+	var cm CostModel
+	if cm.Estimate() != 0 {
+		t.Fatalf("fresh model estimate = %v, want 0", cm.Estimate())
+	}
+	cm.Observe(1000*time.Nanosecond, 10)
+	if got := cm.Estimate(); got != 100 {
+		t.Fatalf("bootstrap estimate = %v ns/unit, want 100", got)
+	}
+	cm.Observe(2000*time.Nanosecond, 10) // sample 200, EWMA moves 25% of the gap
+	if got := cm.Estimate(); got != 125 {
+		t.Fatalf("post-EWMA estimate = %v ns/unit, want 125", got)
+	}
+	cm.Observe(-time.Second, 10)
+	cm.Observe(time.Second, 0)
+	cm.Observe(time.Second, -5)
+	if got := cm.Estimate(); got != 125 {
+		t.Fatalf("degenerate observations moved estimate to %v, want 125", got)
+	}
+	var nilModel *CostModel
+	if nilModel.Estimate() != 0 {
+		t.Fatal("nil model Estimate should be 0")
+	}
+	nilModel.Observe(time.Second, 1) // must not panic
+}
+
+// TestParallelForCostNilAndClosedPools checks the degraded paths still
+// cover the range and still feed the model (so a later healthy pool starts
+// with a warm estimate).
+func TestParallelForCostNilAndClosedPools(t *testing.T) {
+	var nilPool *Pool
+	var cm CostModel
+	sum := 0
+	nilPool.ParallelForCost(&cm, 5, 1, func(lo, hi int) { sum += hi - lo })
+	if sum != 5 {
+		t.Fatalf("nil pool covered %d indices, want 5", sum)
+	}
+	if cm.Estimate() <= 0 {
+		t.Fatal("nil-pool run should still feed the cost model")
+	}
+
+	closed := NewPool(4)
+	closed.Close()
+	var sum2 atomic.Int64
+	closed.ParallelForCost(&cm, 100, 3, func(lo, hi int) { sum2.Add(int64(hi - lo)) })
+	if sum2.Load() != 100 {
+		t.Fatalf("closed pool covered %d indices, want 100", sum2.Load())
+	}
+}
+
+// TestParallelForCostConcurrent hammers one model from many goroutines;
+// run with -race to check the atomic CAS update loop.
+func TestParallelForCostConcurrent(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var cm CostModel
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				var sum atomic.Int64
+				p.ParallelForCost(&cm, 64, 5, func(lo, hi int) { sum.Add(int64(hi - lo)) })
+				if sum.Load() != 64 {
+					t.Errorf("covered %d indices, want 64", sum.Load())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkParallelForGrain sweeps the chunk grain for a fixed synthetic
+// workload (64k items of ~15ns spin each, roughly a small dense row) to pin
+// the serial/parallel crossover that targetChunkNs encodes. Grain 0 runs
+// the loop serially outside the pool as the floor.
+func BenchmarkParallelForGrain(b *testing.B) {
+	const n = 1 << 16
+	work := func(lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += float64(i) * 1.0000001
+		}
+		sink = s
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			work(0, n)
+		}
+	})
+	p := NewPool(4)
+	defer p.Close()
+	for _, grain := range []int{64, 256, 1024, 4096, 16384, 65536} {
+		b.Run("grain="+itoa(grain), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.ParallelFor(n, grain, work)
+			}
+		})
+	}
+	b.Run("cost-adaptive", func(b *testing.B) {
+		var cm CostModel
+		for i := 0; i < b.N; i++ {
+			p.ParallelForCost(&cm, n, 1, work)
+		}
+	})
+}
+
+var sink float64
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,275 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Batched is a fleet of N equally-shaped matrices packed into one
+// contiguous fleet-major buffer: item n occupies
+// Data[n*Rows*Cols : (n+1)*Rows*Cols], itself row-major. It is the memory
+// layout behind the fleet-batched forecaster kernels: per-home parameters,
+// activations, and gradients become strided 3-D views over one slab, so a
+// wave over all homes is one pool dispatch over flat rows instead of N tiny
+// per-home kernel calls.
+//
+// Bit-exactness: every batched kernel below routes each output row through
+// the same row-level kernel as the per-matrix path (or applies the
+// per-matrix kernel verbatim to an item view), and items never mix — so
+// batched results are bit-identical to running the per-matrix kernels N
+// times, the contract the fleet golden tests pin.
+type Batched struct {
+	N, Rows, Cols int
+	// Data holds the N items back to back, each row-major.
+	Data []float64
+	// views caches one Matrix header per item so Item(n) is allocation-free
+	// after the first call. Rebuilt by EnsureBatched on reshape.
+	views []Matrix
+}
+
+// NewBatched returns a zero-initialized batch of n rows x cols matrices.
+func NewBatched(n, rows, cols int) *Batched {
+	if n < 0 || rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid batched shape %dx%dx%d", n, rows, cols))
+	}
+	return &Batched{N: n, Rows: rows, Cols: cols, Data: make([]float64, n*rows*cols)}
+}
+
+// EnsureBatched reshapes b to n x rows x cols, reusing the backing slice
+// when capacity allows (contents become undefined). A nil b allocates
+// fresh. Returns b for chaining.
+func EnsureBatched(b *Batched, n, rows, cols int) *Batched {
+	if b == nil {
+		return NewBatched(n, rows, cols)
+	}
+	need := n * rows * cols
+	if cap(b.Data) < need {
+		b.Data = make([]float64, need)
+	}
+	b.Data = b.Data[:need]
+	if b.N != n || b.Rows != rows || b.Cols != cols {
+		b.N, b.Rows, b.Cols = n, rows, cols
+		b.views = nil
+	}
+	return b
+}
+
+// Item returns a Matrix view of item n, sharing b's backing storage.
+// The returned pointer stays valid and stable until the next EnsureBatched
+// reshape; writes through it are writes into the slab. The first Item call
+// after a reshape materializes the view cache and must not race with other
+// Item calls; the batched kernels materialize before fanning out.
+func (b *Batched) Item(n int) *Matrix {
+	if n < 0 || n >= b.N {
+		panic(fmt.Sprintf("tensor: batched item %d out of range [0,%d)", n, b.N))
+	}
+	b.ensureViews()
+	return &b.views[n]
+}
+
+func (b *Batched) ensureViews() {
+	if b.views != nil {
+		return
+	}
+	stride := b.Rows * b.Cols
+	b.views = make([]Matrix, b.N)
+	for i := 0; i < b.N; i++ {
+		b.views[i] = Matrix{Rows: b.Rows, Cols: b.Cols, Data: b.Data[i*stride : (i+1)*stride : (i+1)*stride]}
+	}
+}
+
+// Zero sets every element of the batch to 0.
+func (b *Batched) Zero() {
+	for i := range b.Data {
+		b.Data[i] = 0
+	}
+}
+
+func batchedShapeCheck(op string, b *Batched, n, rows, cols int) {
+	if b.N != n || b.Rows != rows || b.Cols != cols {
+		panic(fmt.Sprintf("tensor: %s shape %dx%dx%d, want %dx%dx%d", op, b.N, b.Rows, b.Cols, n, rows, cols))
+	}
+}
+
+// Per-kernel-family cost models for the adaptive grain decisions. The unit
+// is one multiply-add, so one model serves all shapes a family sees.
+var (
+	batchedMatMulCost   sched.CostModel
+	batchedDenseFwdCost sched.CostModel
+	batchedDenseBwdCost sched.CostModel
+)
+
+// BatchedMatMulInto computes dst[n] = a[n]·b[n] for every item. Shapes:
+// a: N x r x k, b: N x k x c, dst: N x r x c. dst must not alias a or b.
+// Items shard across the pool with an adaptive grain; each item runs the
+// exact serial matMulRange kernel, so results are bit-identical to N
+// MatMulInto calls.
+func BatchedMatMulInto(dst, a, b *Batched) {
+	if a.N != b.N || a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: BatchedMatMulInto inner mismatch %dx%dx%d · %dx%dx%d", a.N, a.Rows, a.Cols, b.N, b.Rows, b.Cols))
+	}
+	batchedShapeCheck("BatchedMatMulInto dst", dst, a.N, a.Rows, b.Cols)
+	if a.N == 0 {
+		return
+	}
+	dst.ensureViews()
+	a.ensureViews()
+	b.ensureViews()
+	perItem := a.Rows * a.Cols * b.Cols
+	sched.Default().ParallelForCost(&batchedMatMulCost, a.N, perItem, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			matMulRange(dst.Item(n), a.Item(n), b.Item(n), 0, a.Rows)
+		}
+	})
+}
+
+// BatchedDenseForwardInto computes dst[n] = x[n]·w[n] + bias[n] for every
+// item: the fleet form of DenseForwardInto. Shapes: x: N x batch x in,
+// w: N x in x out, bias: N x 1 x out, dst: N x batch x out. Rows shard flat
+// across items (a chunk may straddle item boundaries); each row runs
+// denseForwardRow against its item's weight slab.
+func BatchedDenseForwardInto(dst, x, w, bias *Batched) {
+	batchedDenseForward("BatchedDenseForwardInto", dst, nil, x, w, bias, nil)
+}
+
+// BatchedDenseForwardApplyInto is the fleet form of DenseForwardApplyInto:
+// pre[n] = x[n]·w[n] + bias[n] and post[n] = fn(pre[n]) in the same sweep.
+// fn must be pure; rows may run concurrently.
+func BatchedDenseForwardApplyInto(pre, post, x, w, bias *Batched, fn func(float64) float64) {
+	if post.N != pre.N || post.Rows != pre.Rows || post.Cols != pre.Cols {
+		panic(fmt.Sprintf("tensor: BatchedDenseForwardApplyInto post shape %dx%dx%d, want %dx%dx%d", post.N, post.Rows, post.Cols, pre.N, pre.Rows, pre.Cols))
+	}
+	batchedDenseForward("BatchedDenseForwardApplyInto", pre, post, x, w, bias, fn)
+}
+
+func batchedDenseForward(op string, pre, post, x, w, bias *Batched, fn func(float64) float64) {
+	if x.N != w.N || x.Cols != w.Rows {
+		panic(fmt.Sprintf("tensor: %s inner mismatch %dx%dx%d · %dx%dx%d", op, x.N, x.Rows, x.Cols, w.N, w.Rows, w.Cols))
+	}
+	batchedShapeCheck(op+" bias", bias, x.N, 1, w.Cols)
+	batchedShapeCheck(op+" dst", pre, x.N, x.Rows, w.Cols)
+	if x.N == 0 || x.Rows == 0 {
+		return
+	}
+	in, out := x.Cols, w.Cols
+	rows := x.N * x.Rows
+	wStride, bStride := in*out, out
+	sched.Default().ParallelForCost(&batchedDenseFwdCost, rows, in*out, func(lo, hi int) {
+		for fr := lo; fr < hi; fr++ {
+			n := fr / x.Rows
+			var postRow []float64
+			if fn != nil {
+				postRow = post.Data[fr*out : (fr+1)*out]
+			}
+			denseForwardRow(
+				pre.Data[fr*out:(fr+1)*out],
+				postRow,
+				x.Data[fr*in:(fr+1)*in],
+				w.Data[n*wStride:(n+1)*wStride],
+				bias.Data[n*bStride:(n+1)*bStride],
+				out, fn)
+		}
+	})
+}
+
+// BatchedDenseBackwardInto computes the full dense backward pass per item:
+// dw[n] = x[n]ᵀ·grad[n] (overwritten), db[n] = column sums of grad[n]
+// (overwritten), dx[n] = grad[n]·w[n]ᵀ. Items shard across the pool; each
+// item runs the exact DenseBackwardInto kernel on slab views, so per-item
+// results are bit-identical to the per-model path.
+func BatchedDenseBackwardInto(dw, db, dx, x, w, grad *Batched) {
+	if x.N != w.N || grad.N != x.N {
+		panic(fmt.Sprintf("tensor: BatchedDenseBackwardInto fleet mismatch x=%d w=%d grad=%d", x.N, w.N, grad.N))
+	}
+	batchedShapeCheck("BatchedDenseBackwardInto dw", dw, x.N, x.Cols, w.Cols)
+	batchedShapeCheck("BatchedDenseBackwardInto db", db, x.N, 1, w.Cols)
+	batchedShapeCheck("BatchedDenseBackwardInto dx", dx, x.N, x.Rows, x.Cols)
+	if x.N == 0 {
+		return
+	}
+	for _, b := range []*Batched{dw, db, dx, x, w, grad} {
+		b.ensureViews()
+	}
+	perItem := 3 * x.Rows * x.Cols * w.Cols
+	sched.Default().ParallelForCost(&batchedDenseBwdCost, x.N, perItem, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			DenseBackwardInto(dw.Item(n), db.Item(n), dx.Item(n), x.Item(n), w.Item(n), grad.Item(n))
+		}
+	})
+}
+
+// BatchedMatMulTransAInto computes dst[n] = a[n]ᵀ·b[n] for every item,
+// overwriting dst. Each item runs the exact MatMulTransAInto kernel on slab
+// views; items shard across the pool.
+func BatchedMatMulTransAInto(dst, a, b *Batched) {
+	if a.N != b.N || a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: BatchedMatMulTransAInto inner mismatch (%dx%dx%d)ᵀ · %dx%dx%d", a.N, a.Rows, a.Cols, b.N, b.Rows, b.Cols))
+	}
+	batchedShapeCheck("BatchedMatMulTransAInto dst", dst, a.N, a.Cols, b.Cols)
+	if a.N == 0 {
+		return
+	}
+	dst.ensureViews()
+	a.ensureViews()
+	b.ensureViews()
+	perItem := a.Rows * a.Cols * b.Cols
+	sched.Default().ParallelForCost(&batchedMatMulCost, a.N, perItem, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			MatMulTransAInto(dst.Item(n), a.Item(n), b.Item(n))
+		}
+	})
+}
+
+// BatchedMatMulTransBInto computes dst[n] = a[n]·b[n]ᵀ for every item,
+// overwriting dst. Each item runs the exact MatMulTransBInto kernel on slab
+// views; items shard across the pool.
+func BatchedMatMulTransBInto(dst, a, b *Batched) {
+	if a.N != b.N || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: BatchedMatMulTransBInto inner mismatch %dx%dx%d · (%dx%dx%d)ᵀ", a.N, a.Rows, a.Cols, b.N, b.Rows, b.Cols))
+	}
+	batchedShapeCheck("BatchedMatMulTransBInto dst", dst, a.N, a.Rows, b.Rows)
+	if a.N == 0 {
+		return
+	}
+	dst.ensureViews()
+	a.ensureViews()
+	b.ensureViews()
+	perItem := a.Rows * a.Cols * b.Rows
+	sched.Default().ParallelForCost(&batchedMatMulCost, a.N, perItem, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			MatMulTransBInto(dst.Item(n), a.Item(n), b.Item(n))
+		}
+	})
+}
+
+// BatchedColSumsInto computes dst[n] = column sums of a[n] for every item.
+// dst must be N x 1 x a.Cols. Runs serially: the work is one read pass.
+func BatchedColSumsInto(dst, a *Batched) {
+	batchedShapeCheck("BatchedColSumsInto dst", dst, a.N, 1, a.Cols)
+	a.ensureViews()
+	dst.ensureViews()
+	for n := 0; n < a.N; n++ {
+		ColSumsInto(dst.Item(n), a.Item(n))
+	}
+}
+
+// BatchedAccumulate computes dst += src elementwise over the whole slab:
+// the fleet form of the AddInto gradient-accumulation step. Per-element
+// adds are independent, so one flat pass is bit-identical to N per-item
+// AddInto calls.
+func BatchedAccumulate(dst, src *Batched) {
+	batchedShapeCheck("BatchedAccumulate src", src, dst.N, dst.Rows, dst.Cols)
+	for i, v := range src.Data {
+		dst.Data[i] += v
+	}
+}
+
+// BatchedApplyInto computes dst[n] = fn(a[n]) elementwise over the whole
+// slab. dst and a may be the same batch.
+func BatchedApplyInto(dst, a *Batched, fn func(float64) float64) {
+	batchedShapeCheck("BatchedApplyInto dst", dst, a.N, a.Rows, a.Cols)
+	for i, v := range a.Data {
+		dst.Data[i] = fn(v)
+	}
+}

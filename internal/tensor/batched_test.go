@@ -1,0 +1,197 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func fillRand(data []float64, rng *rand.Rand) {
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+}
+
+// seedBatch fills a batch with per-item pseudo-random values, sprinkling
+// exact zeros (to exercise the zero-skip paths) and, when hostile is set,
+// NaN and ±Inf values (the zero-skip interacts with non-finite values:
+// skipping 0·Inf differs from computing it, so batched and per-item paths
+// must make the identical skip decisions).
+func seedBatch(b *Batched, rng *rand.Rand, hostile bool) {
+	fillRand(b.Data, rng)
+	for i := range b.Data {
+		switch rng.Intn(8) {
+		case 0:
+			b.Data[i] = 0
+		case 1:
+			if hostile {
+				switch rng.Intn(3) {
+				case 0:
+					b.Data[i] = math.NaN()
+				case 1:
+					b.Data[i] = math.Inf(1)
+				default:
+					b.Data[i] = math.Inf(-1)
+				}
+			}
+		}
+	}
+}
+
+// bitsEqual compares element-wise at the bit level so NaN payloads and
+// signed zeros count too.
+func bitsEqual(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: element %d got %v (bits %#x) want %v (bits %#x)",
+				label, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+var fleetSizes = []int{1, 3, 8}
+
+// TestBatchedMatMulMatchesPerItem pins BatchedMatMulInto against N separate
+// MatMulInto calls, bit-exact, including hostile inputs.
+func TestBatchedMatMulMatchesPerItem(t *testing.T) {
+	for _, n := range fleetSizes {
+		for _, hostile := range []bool{false, true} {
+			rng := rand.New(rand.NewSource(int64(41*n + 7)))
+			a := NewBatched(n, 5, 9)
+			b := NewBatched(n, 9, 4)
+			seedBatch(a, rng, hostile)
+			seedBatch(b, rng, hostile)
+			dst := NewBatched(n, 5, 4)
+			BatchedMatMulInto(dst, a, b)
+			for i := 0; i < n; i++ {
+				want := New(5, 4)
+				MatMulInto(want, a.Item(i), b.Item(i))
+				bitsEqual(t, "matmul", dst.Item(i).Data, want.Data)
+			}
+		}
+	}
+}
+
+// TestBatchedDenseForwardMatchesPerItem pins the fleet dense forward (plain
+// and fused-activation forms) against DenseForwardInto/DenseForwardApplyInto
+// per item, across fleet sizes and hostile inputs.
+func TestBatchedDenseForwardMatchesPerItem(t *testing.T) {
+	act := func(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+	for _, n := range fleetSizes {
+		for _, hostile := range []bool{false, true} {
+			rng := rand.New(rand.NewSource(int64(97*n + 3)))
+			const batch, in, out = 6, 15, 48
+			x := NewBatched(n, batch, in)
+			w := NewBatched(n, in, out)
+			bias := NewBatched(n, 1, out)
+			seedBatch(x, rng, hostile)
+			seedBatch(w, rng, hostile)
+			seedBatch(bias, rng, hostile)
+
+			dst := NewBatched(n, batch, out)
+			BatchedDenseForwardInto(dst, x, w, bias)
+			pre := NewBatched(n, batch, out)
+			post := NewBatched(n, batch, out)
+			BatchedDenseForwardApplyInto(pre, post, x, w, bias, act)
+
+			for i := 0; i < n; i++ {
+				want := New(batch, out)
+				DenseForwardInto(want, x.Item(i), w.Item(i), bias.Item(i))
+				bitsEqual(t, "dense fwd", dst.Item(i).Data, want.Data)
+
+				wantPre, wantPost := New(batch, out), New(batch, out)
+				DenseForwardApplyInto(wantPre, wantPost, x.Item(i), w.Item(i), bias.Item(i), act)
+				bitsEqual(t, "dense fwd pre", pre.Item(i).Data, wantPre.Data)
+				bitsEqual(t, "dense fwd post", post.Item(i).Data, wantPost.Data)
+			}
+		}
+	}
+}
+
+// TestBatchedDenseBackwardMatchesPerItem pins the fleet dense backward
+// against DenseBackwardInto per item.
+func TestBatchedDenseBackwardMatchesPerItem(t *testing.T) {
+	for _, n := range fleetSizes {
+		for _, hostile := range []bool{false, true} {
+			rng := rand.New(rand.NewSource(int64(13*n + 29)))
+			const batch, in, out = 7, 10, 12
+			x := NewBatched(n, batch, in)
+			w := NewBatched(n, in, out)
+			grad := NewBatched(n, batch, out)
+			seedBatch(x, rng, hostile)
+			seedBatch(w, rng, hostile)
+			seedBatch(grad, rng, hostile)
+
+			dw := NewBatched(n, in, out)
+			db := NewBatched(n, 1, out)
+			dx := NewBatched(n, batch, in)
+			BatchedDenseBackwardInto(dw, db, dx, x, w, grad)
+
+			for i := 0; i < n; i++ {
+				wdw, wdb, wdx := New(in, out), New(1, out), New(batch, in)
+				DenseBackwardInto(wdw, wdb, wdx, x.Item(i), w.Item(i), grad.Item(i))
+				bitsEqual(t, "dw", dw.Item(i).Data, wdw.Data)
+				bitsEqual(t, "db", db.Item(i).Data, wdb.Data)
+				bitsEqual(t, "dx", dx.Item(i).Data, wdx.Data)
+			}
+		}
+	}
+}
+
+// TestBatchedItemViewsAlias checks Item returns writable aliasing views
+// with stable pointers, and that EnsureBatched rebuilds them on reshape.
+func TestBatchedItemViewsAlias(t *testing.T) {
+	b := NewBatched(3, 2, 2)
+	v := b.Item(1)
+	v.Data[0] = 42
+	if b.Data[1*4+0] != 42 {
+		t.Fatal("Item view does not alias the slab")
+	}
+	if b.Item(1) != v {
+		t.Fatal("Item pointer not stable between calls")
+	}
+	b2 := EnsureBatched(b, 2, 3, 3)
+	if b2 != b {
+		t.Fatal("EnsureBatched should reuse the receiver")
+	}
+	if len(b.Data) != 2*3*3 {
+		t.Fatalf("EnsureBatched len = %d, want 18", len(b.Data))
+	}
+	v2 := b.Item(1)
+	if v2.Rows != 3 || v2.Cols != 3 {
+		t.Fatalf("post-reshape view shape %dx%d, want 3x3", v2.Rows, v2.Cols)
+	}
+	if EnsureBatched(nil, 1, 2, 2) == nil {
+		t.Fatal("EnsureBatched(nil, ...) should allocate")
+	}
+}
+
+// TestBatchedApplyInto checks the elementwise helper covers the whole slab
+// and supports in-place application.
+func TestBatchedApplyInto(t *testing.T) {
+	a := NewBatched(2, 2, 3)
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+	}
+	dst := NewBatched(2, 2, 3)
+	BatchedApplyInto(dst, a, func(v float64) float64 { return 2 * v })
+	for i := range dst.Data {
+		if dst.Data[i] != 2*float64(i) {
+			t.Fatalf("element %d = %v, want %v", i, dst.Data[i], 2*float64(i))
+		}
+	}
+	BatchedApplyInto(a, a, func(v float64) float64 { return v + 1 })
+	if a.Data[5] != 6 {
+		t.Fatalf("in-place apply got %v, want 6", a.Data[5])
+	}
+	a.Zero()
+	for i := range a.Data {
+		if a.Data[i] != 0 {
+			t.Fatal("Zero left nonzero element")
+		}
+	}
+}

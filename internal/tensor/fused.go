@@ -99,65 +99,75 @@ func denseForwardRange(pre, post *Matrix, x, w, bias *Matrix, fn func(float64) f
 	n, p := x.Cols, w.Cols
 	bRow := bias.Data[:p]
 	for i := lo; i < hi; i++ {
-		outRow := pre.Data[i*p : (i+1)*p]
-		for c := range outRow {
-			outRow[c] = 0
-		}
-		xRow := x.Data[i*n : (i+1)*n]
-		for jt := 0; jt < p; jt += denseTileJ {
-			jhi := jt + denseTileJ
-			if jhi > p {
-				jhi = p
-			}
-			oTile := outRow[jt:jhi]
-			// Two k values per pass, applied as two separate += rounds per
-			// element (s = o+a0·w0, then s+a1·w1): identical k-ascending
-			// accumulation order to the single-k loop, half the output
-			// load/store traffic. The zero-skip mirrors matMulRange.
-			k := 0
-			for ; k+2 <= n; k += 2 {
-				a0, a1 := xRow[k], xRow[k+1]
-				if a0 == 0 && a1 == 0 {
-					continue
-				}
-				if a0 == 0 {
-					w1 := w.Data[(k+1)*p+jt : (k+1)*p+jhi]
-					for j, wv := range w1 {
-						oTile[j] += a1 * wv
-					}
-					continue
-				}
-				if a1 == 0 {
-					w0 := w.Data[k*p+jt : k*p+jhi]
-					for j, wv := range w0 {
-						oTile[j] += a0 * wv
-					}
-					continue
-				}
-				w0 := w.Data[k*p+jt : k*p+jhi]
-				w1 := w.Data[(k+1)*p+jt : (k+1)*p+jhi]
-				for j, wv := range w0 {
-					s := oTile[j] + a0*wv
-					oTile[j] = s + a1*w1[j]
-				}
-			}
-			if k < n {
-				if av := xRow[k]; av != 0 {
-					wTile := w.Data[k*p+jt : k*p+jhi]
-					for j, wv := range wTile {
-						oTile[j] += av * wv
-					}
-				}
-			}
-		}
-		for j, bv := range bRow {
-			outRow[j] += bv
-		}
+		var postRow []float64
 		if fn != nil {
-			postRow := post.Data[i*p : (i+1)*p]
-			for j, v := range outRow {
-				postRow[j] = fn(v)
+			postRow = post.Data[i*p : (i+1)*p]
+		}
+		denseForwardRow(pre.Data[i*p:(i+1)*p], postRow, x.Data[i*n:(i+1)*n], w.Data, bRow, p, fn)
+	}
+}
+
+// denseForwardRow computes one output row outRow = xRow·w + bRow and, when
+// fn is non-nil, postRow = fn(outRow). It is the single row-level kernel
+// shared by the per-model and fleet-batched dense forward paths, which is
+// what makes the two paths bit-identical by construction.
+func denseForwardRow(outRow, postRow, xRow, wData, bRow []float64, p int, fn func(float64) float64) {
+	n := len(xRow)
+	for c := range outRow {
+		outRow[c] = 0
+	}
+	for jt := 0; jt < p; jt += denseTileJ {
+		jhi := jt + denseTileJ
+		if jhi > p {
+			jhi = p
+		}
+		oTile := outRow[jt:jhi]
+		// Two k values per pass, applied as two separate += rounds per
+		// element (s = o+a0·w0, then s+a1·w1): identical k-ascending
+		// accumulation order to the single-k loop, half the output
+		// load/store traffic. The zero-skip mirrors matMulRange.
+		k := 0
+		for ; k+2 <= n; k += 2 {
+			a0, a1 := xRow[k], xRow[k+1]
+			if a0 == 0 && a1 == 0 {
+				continue
 			}
+			if a0 == 0 {
+				w1 := wData[(k+1)*p+jt : (k+1)*p+jhi]
+				for j, wv := range w1 {
+					oTile[j] += a1 * wv
+				}
+				continue
+			}
+			if a1 == 0 {
+				w0 := wData[k*p+jt : k*p+jhi]
+				for j, wv := range w0 {
+					oTile[j] += a0 * wv
+				}
+				continue
+			}
+			w0 := wData[k*p+jt : k*p+jhi]
+			w1 := wData[(k+1)*p+jt : (k+1)*p+jhi]
+			for j, wv := range w0 {
+				s := oTile[j] + a0*wv
+				oTile[j] = s + a1*w1[j]
+			}
+		}
+		if k < n {
+			if av := xRow[k]; av != 0 {
+				wTile := wData[k*p+jt : k*p+jhi]
+				for j, wv := range wTile {
+					oTile[j] += av * wv
+				}
+			}
+		}
+	}
+	for j, bv := range bRow {
+		outRow[j] += bv
+	}
+	if fn != nil {
+		for j, v := range outRow {
+			postRow[j] = fn(v)
 		}
 	}
 }
