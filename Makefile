@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench throughput bench-comms bench-topology telemetry-smoke serve-smoke lint verify ci clean
+.PHONY: all build test race bench throughput bench-comms bench-topology bench-store telemetry-smoke serve-smoke lint verify ci clean
 
 all: verify
 
@@ -59,6 +59,18 @@ bench-topology:
 	$(GO) run ./cmd/pfdrl-bench -topology -out BENCH_topology.json \
 		$(if $(TOPO_HOMES),-topo-homes $(TOPO_HOMES))
 
+# Compressed trace-store sweep (BENCH_store.json): block-codec bytes/point
+# and encode/decode throughput on quantized and full-precision corpora, plus
+# the raw-vs-store resident-heap sweep up to STORE_XL homes (DESIGN.md §15).
+# Hard gates inside the driver fail the target if the quantized corpus
+# exceeds 2 bytes/point, decode drops below 100 MB/s, or the heap reduction
+# at 1024 homes falls under 4×. Override cells with STORE_HOMES=... (the
+# ci run uses a reduced sweep).
+bench-store:
+	$(GO) run ./cmd/pfdrl-bench -store -out BENCH_store.json \
+		$(if $(STORE_HOMES),-store-homes $(STORE_HOMES)) \
+		$(if $(STORE_XL),-store-xl $(STORE_XL))
+
 # Observability gate: boot a small run with the live telemetry server,
 # scrape /metrics, /healthz, and /debug/trace, and assert the key series
 # from every instrumented plane plus the JSONL journal. Build-tagged out of
@@ -91,15 +103,20 @@ verify: build test lint
 # (compressed vs dense under drops/corruption/partitions), so the race
 # build exercises the compressed planes under fault injection. The serve
 # daemon and the counting RNG it snapshots join the race list because the
-# daemon's HTTP handlers race its background stepping loop by design. A
-# reduced topology sweep then regenerates BENCH_topology.json so
-# message-count regressions against the closed forms fail the gate, and
-# the serve smoke drives the full daemon lifecycle through the real
-# binary.
+# daemon's HTTP handlers race its background stepping loop by design. The
+# store and pecan packages join it because every parallel plane (fleet
+# batching, group prediction, cloud training) now decodes compressed
+# blocks into per-trace scratch concurrently. A reduced topology sweep
+# then regenerates BENCH_topology.json so message-count regressions
+# against the closed forms fail the gate, a reduced store sweep
+# regenerates BENCH_store.json so codec or memory regressions fail it
+# too, and the serve smoke drives the full daemon lifecycle through the
+# real binary.
 ci: verify
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core ./internal/fed ./internal/fednet ./internal/forecast ./internal/nn ./internal/rng ./internal/sched ./internal/serve ./internal/tensor ./internal/wire ./internal/telemetry
+	$(GO) test -race ./internal/core ./internal/fed ./internal/fednet ./internal/forecast ./internal/nn ./internal/pecan ./internal/rng ./internal/sched ./internal/serve ./internal/store ./internal/tensor ./internal/wire ./internal/telemetry
 	$(MAKE) bench-topology TOPO_HOMES=64,256
+	$(MAKE) bench-store STORE_HOMES=64,256 STORE_XL=0
 	$(MAKE) serve-smoke
 
 clean:

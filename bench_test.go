@@ -249,10 +249,11 @@ func BenchmarkForecastLSTMPredictHour(b *testing.B) {
 	cfg := forecast.DefaultConfig(tr.Device.OnKW)
 	cfg.Window, cfg.Hidden = 60, 32
 	f := forecast.MustNew(forecast.KindLSTM, cfg)
-	f.TrainEpochs(tr.KW, 1)
+	kw := tr.MaterializeKW()
+	f.TrainEpochs(kw, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = f.Predict(tr.KW, 1440)
+		_ = f.Predict(kw, 1440)
 	}
 }
 

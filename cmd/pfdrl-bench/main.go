@@ -4,7 +4,8 @@
 // homes × GOMAXPROCS scaling sweep instead (see BENCH_throughput.json);
 // -comms runs the fleet-size × codec federation comms sweep
 // (see BENCH_comms.json); -topology runs the fleet-size ×
-// federation-topology sweep (see BENCH_topology.json).
+// federation-topology sweep (see BENCH_topology.json); -store runs the
+// compressed trace-store codec + memory sweep (see BENCH_store.json).
 //
 // Usage:
 //
@@ -13,6 +14,7 @@
 //	pfdrl-bench -throughput -out BENCH_throughput.json
 //	pfdrl-bench -comms -out BENCH_comms.json
 //	pfdrl-bench -topology -topo-homes 256,1024,4096 -out BENCH_topology.json
+//	pfdrl-bench -store -store-homes 64,256,1024 -out BENCH_store.json
 //	pfdrl-bench -fig 9 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -64,10 +66,17 @@ func main() {
 		topoRounds  = flag.Int("topo-rounds", 3, "federation rounds per -topology round cell")
 		topoDays    = flag.Int("topo-sim-days", 2, "simulated days per -topology end-to-end cell")
 
+		storeSweep = flag.Bool("store", false, "run the compressed trace-store codec + memory sweep instead of figures")
+		storeHomes = flag.String("store-homes", "64,256,1024", "comma-separated fleet sizes for the -store memory sweep")
+		storeXL    = flag.Int("store-xl", 4096, "extra store-only fleet size for -store (0 disables)")
+		storeDevs  = flag.Int("store-devices", 3, "devices per home for -store corpora")
+		storeDays  = flag.Int("store-days", 4, "days per trace for -store corpora")
+		storeRes   = flag.Float64("store-res", 0.001, "meter resolution in kW for -store corpora (the 1 W feed real hardware reports)")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 
-		metaOnly = flag.String("benchmeta", "", "print one benchmeta JSON line for this artifact schema (hotpath, throughput, comms, topology) and exit")
+		metaOnly = flag.String("benchmeta", "", "print one benchmeta JSON line for this artifact schema (hotpath, throughput, comms, topology, store) and exit")
 	)
 	flag.Parse()
 
@@ -131,6 +140,16 @@ func main() {
 			path = "BENCH_comms.json"
 		}
 		if err := runCommsSweep(*commsAgents, *commsRounds, *seed, path); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *storeSweep {
+		path := *out
+		if path == "" {
+			path = "BENCH_store.json"
+		}
+		if err := runStoreSweep(*storeHomes, *storeXL, *storeDevs, *storeDays, *storeRes, *seed, path); err != nil {
 			log.Fatal(err)
 		}
 		return

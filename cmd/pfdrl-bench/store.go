@@ -1,0 +1,225 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/benchmeta"
+	"repro/internal/pecan"
+	"repro/internal/store"
+)
+
+// Acceptance gates for the -store sweep (see EXPERIMENTS.md "Trace
+// storage"). The bytes/point gate applies to the meter-quantized corpus —
+// full-precision synthetic noise carries ~52 random mantissa bits per
+// sample, which no lossless codec can remove, and the honest unquantized
+// number is reported alongside.
+const (
+	storeGateBytesPerPoint = 2.0
+	storeGateDecodeMBps    = 100.0
+	storeGateMemRatio      = 4.0
+	storeGateMemHomes      = 1024
+)
+
+// storeCodecCell characterizes the block codec on one corpus flavor:
+// compression ratio against the 8-byte float64 baseline and single-core
+// encode/decode throughput over the raw sample bytes.
+type storeCodecCell struct {
+	// Resolution is the meter quantization in kW (0 = full precision).
+	ResolutionKW float64 `json:"resolution_kw"`
+	Samples      int     `json:"samples"`
+	// BytesPerPoint is compressed KW bytes per sample (raw baseline: 8).
+	BytesPerPoint float64 `json:"bytes_per_point"`
+	// BytesPerPointFull adds the RLE mode labels (raw baseline: 16).
+	BytesPerPointFull float64 `json:"bytes_per_point_full"`
+	EncodeMBps        float64 `json:"encode_mb_per_s"`
+	DecodeMBps        float64 `json:"decode_mb_per_s"`
+}
+
+// storeMemCell is one generation-sweep measurement: resident heap growth
+// attributable to holding the corpus, per backing.
+type storeMemCell struct {
+	Homes   int  `json:"homes"`
+	Devices int  `json:"devices"`
+	Days    int  `json:"days"`
+	Raw     bool `json:"raw"`
+	// HeapBytes is the runtime.MemStats HeapAlloc delta across generation
+	// (after a full GC on both sides) — the resident-corpus proxy.
+	HeapBytes int64 `json:"heap_bytes"`
+	// StorageBytes is the corpus's own accounting of trace storage.
+	StorageBytes int     `json:"storage_bytes"`
+	WallSeconds  float64 `json:"wall_seconds"`
+}
+
+// storeReport is the schema of BENCH_store.json.
+type storeReport struct {
+	Meta  benchmeta.Meta   `json:"meta"`
+	Seed  int64            `json:"seed"`
+	Codec []storeCodecCell `json:"codec"`
+	Mem   []storeMemCell   `json:"mem"`
+	// MemRatioAtGate is raw/store resident heap at the gate fleet size.
+	MemRatioAtGate float64 `json:"mem_ratio_at_gate"`
+}
+
+// heapAfterGC returns HeapAlloc after forcing a collection, so live-set
+// deltas are not polluted by garbage awaiting sweep.
+func heapAfterGC() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// measureStoreCodecCell re-encodes and re-decodes a small corpus to time
+// the codec in isolation from generation.
+func measureStoreCodecCell(seed int64, devices, days int, res float64) (storeCodecCell, error) {
+	ds := pecan.Generate(pecan.Config{
+		Seed: seed, Homes: 64, Days: days, DevicesPerHome: devices,
+		MeterResolutionKW: res,
+	})
+	cell := storeCodecCell{ResolutionKW: res}
+	kwBytes, fullBytes := 0, 0
+	var encNs, decNs int64
+	var block []byte
+	day := make([]float64, pecan.MinutesPerDay)
+	for _, h := range ds.Homes {
+		for _, tr := range h.Traces {
+			cell.Samples += tr.Len()
+			kwBytes += tr.Series().StorageBytes()
+			fullBytes += tr.StorageBytes()
+			kw := tr.MaterializeKW()
+			for off := 0; off < len(kw); off += pecan.MinutesPerDay {
+				stop := off + pecan.MinutesPerDay
+				if stop > len(kw) {
+					stop = len(kw)
+				}
+				t0 := time.Now()
+				var err error
+				block, err = store.EncodeBlockQuantized(block[:0], kw[off:stop], res)
+				encNs += time.Since(t0).Nanoseconds()
+				if err != nil {
+					return cell, err
+				}
+				t0 = time.Now()
+				out, err := store.DecodeBlock(block, pecan.MinutesPerDay, day[:0])
+				decNs += time.Since(t0).Nanoseconds()
+				if err != nil {
+					return cell, err
+				}
+				for i, v := range out {
+					if v != kw[off+i] {
+						return cell, fmt.Errorf("store codec not bit-exact at sample %d", off+i)
+					}
+				}
+			}
+		}
+	}
+	rawMB := float64(8*cell.Samples) / (1 << 20)
+	cell.BytesPerPoint = float64(kwBytes) / float64(cell.Samples)
+	cell.BytesPerPointFull = float64(fullBytes) / float64(cell.Samples)
+	cell.EncodeMBps = rawMB / (float64(encNs) / 1e9)
+	cell.DecodeMBps = rawMB / (float64(decNs) / 1e9)
+	return cell, nil
+}
+
+// measureStoreMemCell generates one corpus and attributes resident heap to
+// it. The GC fences on both sides keep transient generation garbage out of
+// the delta, so the number tracks what stays live — the whole point of the
+// compressed backing.
+func measureStoreMemCell(seed int64, homes, devices, days int, raw bool, res float64) storeMemCell {
+	cell := storeMemCell{Homes: homes, Devices: devices, Days: days, Raw: raw}
+	before := heapAfterGC()
+	t0 := time.Now()
+	ds := pecan.Generate(pecan.Config{
+		Seed: seed, Homes: homes, Days: days, DevicesPerHome: devices,
+		RawTraces: raw, MeterResolutionKW: res,
+	})
+	cell.WallSeconds = time.Since(t0).Seconds()
+	cell.HeapBytes = heapAfterGC() - before
+	cell.StorageBytes = ds.StorageBytes()
+	runtime.KeepAlive(ds)
+	return cell
+}
+
+// runStoreSweep measures the compressed columnar trace store: codec
+// bytes/point and throughput on quantized and full-precision corpora, and
+// the generation memory sweep raw-vs-store up to xlHomes. Gates fail the
+// run if compression, decode speed, or the memory reduction regress.
+func runStoreSweep(homesList string, xlHomes, devices, days int, res float64, seed int64, outPath string) error {
+	fleets, err := parseIntList(homesList)
+	if err != nil {
+		return fmt.Errorf("store-homes: %w", err)
+	}
+	if devices < 1 || days < 1 {
+		return fmt.Errorf("store sweep needs ≥1 device and day, got %d/%d", devices, days)
+	}
+	rep := storeReport{
+		Meta: benchmeta.Collect("store", 1),
+		Seed: seed,
+	}
+
+	for _, r := range []float64{res, 0} {
+		cell, err := measureStoreCodecCell(seed, devices, days, r)
+		if err != nil {
+			return err
+		}
+		rep.Codec = append(rep.Codec, cell)
+		log.Printf("store: codec res=%-6g  %6.3f B/pt kw (%6.3f with modes)  enc %7.1f MB/s  dec %7.1f MB/s  (%d samples)",
+			r, cell.BytesPerPoint, cell.BytesPerPointFull, cell.EncodeMBps, cell.DecodeMBps, cell.Samples)
+	}
+
+	memAt := map[int]map[bool]int64{}
+	for _, n := range fleets {
+		for _, raw := range []bool{true, false} {
+			cell := measureStoreMemCell(seed, n, devices, days, raw, res)
+			rep.Mem = append(rep.Mem, cell)
+			if memAt[n] == nil {
+				memAt[n] = map[bool]int64{}
+			}
+			memAt[n][raw] = cell.HeapBytes
+			log.Printf("store: mem homes=%-5d raw=%-5v  heap %8.2f MB  storage %8.2f MB  gen %6.2fs",
+				n, raw, float64(cell.HeapBytes)/(1<<20), float64(cell.StorageBytes)/(1<<20), cell.WallSeconds)
+		}
+	}
+	if xlHomes > 0 {
+		// Store-only extra point: the raw twin at this scale is exactly the
+		// eager footprint the store exists to avoid holding.
+		cell := measureStoreMemCell(seed, xlHomes, devices, days, false, res)
+		rep.Mem = append(rep.Mem, cell)
+		log.Printf("store: mem homes=%-5d raw=false  heap %8.2f MB  storage %8.2f MB  gen %6.2fs (store-only)",
+			xlHomes, float64(cell.HeapBytes)/(1<<20), float64(cell.StorageBytes)/(1<<20), cell.WallSeconds)
+	}
+
+	// Gates.
+	quant := rep.Codec[0]
+	if quant.BytesPerPoint > storeGateBytesPerPoint {
+		return fmt.Errorf("store gate: %.3f bytes/point on the quantized corpus exceeds %.1f",
+			quant.BytesPerPoint, storeGateBytesPerPoint)
+	}
+	if quant.DecodeMBps < storeGateDecodeMBps {
+		return fmt.Errorf("store gate: decode %.1f MB/s below %.0f MB/s", quant.DecodeMBps, storeGateDecodeMBps)
+	}
+	if m := memAt[storeGateMemHomes]; m != nil && m[false] > 0 {
+		rep.MemRatioAtGate = float64(m[true]) / float64(m[false])
+		if rep.MemRatioAtGate < storeGateMemRatio {
+			return fmt.Errorf("store gate: raw/store heap ratio %.2f at %d homes below %.0f×",
+				rep.MemRatioAtGate, storeGateMemHomes, storeGateMemRatio)
+		}
+		log.Printf("store: heap ratio raw/store at %d homes: %.1f×", storeGateMemHomes, rep.MemRatioAtGate)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", outPath)
+	return nil
+}

@@ -59,6 +59,7 @@ func main() {
 		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/trace, and pprof on this address (e.g. 127.0.0.1:8080; :0 picks a port)")
 		telLing  = flag.Duration("telemetry-linger", 0, "keep the telemetry server alive this long after the run finishes")
 		journal  = flag.String("journal", "", "stream a JSONL run journal (one record per simulated hour and federation round) to this file")
+		rawTr    = flag.Bool("raw-traces", false, "keep load traces as eager raw slices instead of the compressed columnar store (bit-identical; for A/B memory timing)")
 
 		serveMode = flag.Bool("serve", false, "run as a long-lived daemon: step the fleet in the background and serve /v1/forecast, /v1/plan, /v1/fleet/status, /v1/config over HTTP")
 		ckptPath  = flag.String("checkpoint", "", "serve mode: rotate full-fleet snapshots to this path and write a final one on shutdown")
@@ -98,6 +99,7 @@ func main() {
 	cfg.BetaHours = *beta
 	cfg.GammaHours = *gamma
 	cfg.ForecastKind = forecast.Kind(*fcKind)
+	cfg.RawTraces = *rawTr
 	if *paper {
 		cfg = cfg.PaperScale()
 		cfg.Alpha = *alpha

@@ -135,6 +135,14 @@ type Config struct {
 	// payloads. Star-topology planes always speak the dense PFP1 format.
 	Comms wire.Options
 
+	// RawTraces opts the generated corpus out of the compressed columnar
+	// trace store (internal/store): every trace keeps its samples as one
+	// eager []float64 instead of lazily-decoded per-day blocks. The two
+	// backings are bit-identical sample for sample and run for run (the
+	// storage equivalence tests pin it); the knob exists for those twin
+	// tests and for A/B memory measurements.
+	RawTraces bool
+
 	// DisableFleetBatch forces the per-home forecaster compute path,
 	// bypassing the fleet-batched kernels that train and query every home's
 	// same-type forecaster through one multi-home dispatch. The two paths

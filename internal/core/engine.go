@@ -220,7 +220,10 @@ func (s *System) buildHomeDayEnvs(h *simHome, day int) ([]*energy.Env, error) {
 	cfg := s.cfg
 	envs := make([]*energy.Env, len(h.src.Traces))
 	for di, tr := range h.src.Traces {
-		env, err := energy.NewEnv(tr.Device, h.predDay[di], tr.Day(day))
+		// Env retains the truth slice for the whole day, so it gets the
+		// home-owned stable copy, not the trace's shared decoded-day cache.
+		h.envDay[di] = tr.DayInto(day, h.envDay[di])
+		env, err := energy.NewEnv(tr.Device, h.predDay[di], h.envDay[di])
 		if err != nil {
 			return nil, fmt.Errorf("core: home %d %s: %w", h.id, tr.Device.Type, err)
 		}

@@ -63,7 +63,13 @@ func (e *Engine) ForecastNextHour(home int) ([]DeviceForecast, error) {
 				pred[m] = tr.Device.StandbyKW
 			}
 		} else {
-			copy(pred, fc.Predict(tr.KW, t))
+			// Day-aligned history window (bit-exact: the offset is a
+			// multiple of MinutesPerDay, so phase features are unchanged).
+			// Decoding writes only trace-local scratch, preserving the
+			// perturbation-free guarantee — decode is deterministic and the
+			// simulation never reads that scratch across calls.
+			series, off := tr.DayWithHistory(day, fc.Config().Window)
+			copy(pred, fc.Predict(series, t-off))
 		}
 		out = append(out, DeviceForecast{DeviceType: tr.Device.Type, Minute: t, PredKW: pred})
 	}

@@ -235,6 +235,7 @@ func (s *System) predictGroupDay(g *fcFleetGroup, day int) {
 			ts = append(ts, t)
 		}
 	}
+	off := 0
 	for i, p := range g.pairs {
 		tr := p.h.src.Traces[p.di]
 		pred := make([]float64, pecan.MinutesPerDay)
@@ -248,10 +249,18 @@ func (s *System) predictGroupDay(g *fcFleetGroup, day int) {
 			}
 		}
 		p.h.predDay[p.di] = pred
-		g.series[i] = tr.KW
+		// Day-aligned history window: the offset depends only on (day,
+		// g.window) and the backing, both uniform across the group, so one
+		// shared shift below serves every member.
+		g.series[i], off = tr.DayWithHistory(day, g.window)
 	}
 	if len(hours) == 0 {
 		return
+	}
+	if off != 0 {
+		for i := range ts {
+			ts[i] -= off
+		}
 	}
 	rows := g.hb.PredictBatch(g.series, ts)
 	for mi, p := range g.pairs {
@@ -289,15 +298,25 @@ func (s *System) predictDay(h *simHome, tr *pecan.Trace, day int) []float64 {
 	if len(hours) == 0 {
 		return pred
 	}
+	// The day-aligned history window is bit-exact versus handing over the
+	// whole series: the offset is a multiple of MinutesPerDay, so the
+	// forecaster's minute-of-day phase features are unchanged, and (with t
+	// already ≥ w) every lag read stays inside the window.
+	series, off := tr.DayWithHistory(day, w)
+	if off != 0 {
+		for i := range ts {
+			ts[i] -= off
+		}
+	}
 	if bp, ok := fc.(forecast.BatchPredictor); ok {
-		rows := bp.PredictBatch(tr.KW, ts)
+		rows := bp.PredictBatch(series, ts)
 		for i, hour := range hours {
 			copy(pred[hour*60:(hour+1)*60], rows.Row(i))
 		}
 		return pred
 	}
 	for i, hour := range hours {
-		copy(pred[hour*60:(hour+1)*60], fc.Predict(tr.KW, ts[i]))
+		copy(pred[hour*60:(hour+1)*60], fc.Predict(series, ts[i]))
 	}
 	return pred
 }
@@ -403,10 +422,14 @@ func (s *System) trainForecasters(timer *metrics.Timer, end int) error {
 			start = 0
 		}
 		stop := end
-		if stop > len(tr.KW) {
-			stop = len(tr.KW)
+		if stop > tr.Len() {
+			stop = tr.Len()
 		}
-		return tr.KW[start:stop]
+		// Training reads the window with relative phases, so a materialized
+		// copy is bit-equivalent to the old whole-series slice. Each trace
+		// owns its Window scratch, so the fleet path can hold every member's
+		// window at once and the home-parallel path stays race-free.
+		return tr.Window(start, stop)
 	}
 	s.ensureHomeDevs()
 	waveStart := time.Now()
@@ -670,7 +693,7 @@ func (s *System) cloudDay(timer *metrics.Timer, day int) {
 			if epochs < 1 {
 				epochs = 1
 			}
-			global.TrainEpochs(tr.KW[start:end], epochs)
+			global.TrainEpochs(tr.Window(start, end), epochs)
 		}
 		// Model download to every home.
 		payload := fed.MarshalParams(global.Model().Params())

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pecan"
+)
+
+// TestStorageBackingEquivalence is the trace-store tentpole's contract at
+// the system level: a full simulation over store-backed traces (the
+// default) is bitwise identical to one over eager raw slices, across every
+// method × topology × codec configuration the engine equivalence matrix
+// covers. Config is normalized for the knob itself before comparison — it
+// is the one field that legitimately differs between the twins.
+func TestStorageBackingEquivalence(t *testing.T) {
+	for name, cfg := range engineConfigs() {
+		t.Run(name, func(t *testing.T) {
+			stored := mustRun(t, cfg)
+
+			raw := cfg
+			raw.RawTraces = true
+			want := mustRun(t, raw)
+
+			stored.Config.RawTraces = true
+			assertResultsEqual(t, name, want, stored)
+		})
+	}
+}
+
+// TestStorageCompressesCorpus sanity-checks the memory story end to end:
+// the system's resident trace storage under the default backing must be a
+// fraction of the raw representation's.
+func TestStorageCompressesCorpus(t *testing.T) {
+	cfg := tinyConfig(MethodLocal)
+	cfg.Homes, cfg.Days = 4, 4
+	stored, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := cfg
+	raw.RawTraces = true
+	eager, err := NewSystem(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, rb := stored.ds.StorageBytes(), eager.ds.StorageBytes()
+	if sb*2 >= rb {
+		t.Fatalf("store backing %d bytes vs raw %d: expected at least 2x smaller", sb, rb)
+	}
+}
+
+// TestSimulateFromImportedCSV is the importer's end-to-end fixture: a
+// Dataport-shaped CSV export ingested into compressed blocks must drive a
+// full simulation. (Bit-equality with the originating run is out of reach
+// by design — the CSV format carries readings, not each home's perturbed
+// device signature — so the fixture pins viability plus determinism: two
+// simulations over the same imported corpus are bitwise identical.)
+func TestSimulateFromImportedCSV(t *testing.T) {
+	cfg := tinyConfig(MethodPFDRL)
+	direct, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var export bytes.Buffer
+	if err := direct.Dataset().WriteCSV(&export); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := pecan.ReadCSV(bytes.NewReader(export.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range imported.Homes {
+		for _, tr := range h.Traces {
+			if tr.Series().StorageBytes() >= 8*tr.Len() {
+				t.Fatalf("imported trace not compressed: %d bytes for %d samples",
+					tr.Series().StorageBytes(), tr.Len())
+			}
+		}
+	}
+
+	runImported := func() *Result {
+		t.Helper()
+		sys, err := NewSystemFromDataset(cfg, imported)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	got := runImported()
+	if got.Config.Homes != cfg.Homes || got.Config.Days != cfg.Days {
+		t.Fatalf("imported run shape %d homes × %d days, want %d × %d",
+			got.Config.Homes, got.Config.Days, cfg.Homes, cfg.Days)
+	}
+	if len(got.DailySavedKWhPerHome) != cfg.Days || len(got.AccuracySamples) == 0 {
+		t.Fatalf("imported run degenerate: %d daily rows, %d accuracy samples",
+			len(got.DailySavedKWhPerHome), len(got.AccuracySamples))
+	}
+
+	imported2, err := pecan.ReadCSV(bytes.NewReader(export.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported = imported2
+	assertResultsEqual(t, "imported-csv determinism", got, runImported())
+}
+
+func TestNewSystemFromDatasetRejectsEmpty(t *testing.T) {
+	if _, err := NewSystemFromDataset(tinyConfig(MethodLocal), &pecan.Dataset{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}

@@ -25,6 +25,11 @@ type simHome struct {
 	agent *dqn.Agent
 	// predDay[devIdx] holds the current day's hour-by-hour forecast.
 	predDay [][]float64
+	// envDay[devIdx] is the home-owned stable copy of the current day's
+	// true load that the device environments read all day. Store-backed
+	// traces decode into it; Env retains the slice, so it cannot come from
+	// the trace's shared day cache.
+	envDay [][]float64
 	// stateRows/actions are the home's per-minute decision batch: one
 	// observation row and one action slot per device environment, filled in
 	// device order each minute and resolved through the agent's batched
@@ -117,8 +122,57 @@ func NewSystem(cfg Config) (*System, error) {
 		Homes:          cfg.Homes,
 		Days:           cfg.Days,
 		DevicesPerHome: cfg.DevicesPerHome,
+		RawTraces:      cfg.RawTraces,
 	})
-	s := &System{cfg: cfg, ds: ds, deviceTypes: ds.DeviceTypes(), nominalKW: map[string]float64{}}
+	return buildSystem(cfg, ds)
+}
+
+// NewSystemFromDataset builds a simulation over an ingested corpus (e.g. a
+// Dataport-shaped export read with pecan.ReadCSV or pecan.ReadJSONL)
+// instead of generating one. The dataset's shape overrides cfg.Homes,
+// cfg.Days (clamped to the shortest trace's whole days), and — when unset —
+// cfg.DevicesPerHome; everything else in cfg applies as usual.
+func NewSystemFromDataset(cfg Config, ds *pecan.Dataset) (*System, error) {
+	if ds == nil || len(ds.Homes) == 0 {
+		return nil, fmt.Errorf("core: dataset has no homes")
+	}
+	cfg.Homes = len(ds.Homes)
+	days := -1
+	for _, h := range ds.Homes {
+		for _, tr := range h.Traces {
+			if d := tr.Days(); days < 0 || d < days {
+				days = d
+			}
+		}
+	}
+	if days <= 0 {
+		return nil, fmt.Errorf("core: dataset traces shorter than one day")
+	}
+	cfg.Days = days
+	if cfg.DevicesPerHome <= 0 {
+		cfg.DevicesPerHome = len(ds.Homes[0].Traces)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return buildSystem(cfg, ds)
+}
+
+// buildSystem wires forecasters, agents, and fabrics over a ready corpus.
+func buildSystem(cfg Config, ds *pecan.Dataset) (*System, error) {
+	// First-seen union across homes: generated corpora share one library
+	// subset (home 0 covers it), imported ones may be ragged.
+	var deviceTypes []string
+	seen := map[string]bool{}
+	for _, h := range ds.Homes {
+		for _, tr := range h.Traces {
+			if !seen[tr.Device.Type] {
+				seen[tr.Device.Type] = true
+				deviceTypes = append(deviceTypes, tr.Device.Type)
+			}
+		}
+	}
+	s := &System{cfg: cfg, ds: ds, deviceTypes: deviceTypes, nominalKW: map[string]float64{}}
 	for _, p := range pecan.StandardDevices() {
 		s.nominalKW[p.Device.Type] = p.Device.OnKW
 	}
@@ -174,6 +228,7 @@ func NewSystem(cfg Config) (*System, error) {
 				InitSeed: cfg.Seed + 500,
 			}),
 			predDay:   make([][]float64, len(ph.Traces)),
+			envDay:    make([][]float64, len(ph.Traces)),
 			stateRows: tensor.New(len(ph.Traces), stateDim),
 			actions:   make([]int, len(ph.Traces)),
 			obsNext:   make([]float64, stateDim),

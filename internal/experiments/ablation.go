@@ -98,7 +98,7 @@ func runDFLWithTopology(sc Scale, topo fednet.Topology) (float64, fednet.Stats, 
 						if start < 0 {
 							start = 0
 						}
-						fcs[hi][tr.Device.Type].TrainEpochs(tr.KW[start:hourEnd], 1)
+						fcs[hi][tr.Device.Type].TrainEpochs(tr.Window(start, hourEnd), 1)
 					}
 				}
 			}
@@ -129,7 +129,8 @@ func predictDayNoTimer(fc forecast.Forecaster, tr *pecan.Trace, day int) []float
 			}
 			continue
 		}
-		copy(pred[hour*60:(hour+1)*60], fc.Predict(tr.KW, t))
+		series, off := tr.DayWithHistory(day, w)
+		copy(pred[hour*60:(hour+1)*60], fc.Predict(series, t-off))
 	}
 	return pred
 }

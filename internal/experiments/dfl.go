@@ -131,7 +131,7 @@ func RunDFL(opts DFLOptions) (*DFLResult, error) {
 							if start < 0 {
 								start = 0
 							}
-							fcs[hi][tr.Device.Type].TrainEpochs(tr.KW[start:hourEnd], boutEpochs(sc))
+							fcs[hi][tr.Device.Type].TrainEpochs(tr.Window(start, hourEnd), boutEpochs(sc))
 						}
 					}
 					timer.Stop("train")
@@ -191,7 +191,8 @@ func predictDayWith(timer *metrics.Timer, fc forecast.Forecaster, tr *pecan.Trac
 			}
 			continue
 		}
-		copy(pred[hour*60:(hour+1)*60], fc.Predict(tr.KW, t))
+		series, off := tr.DayWithHistory(day, w)
+		copy(pred[hour*60:(hour+1)*60], fc.Predict(series, t-off))
 	}
 	return pred
 }

@@ -23,7 +23,7 @@ func smallConfig() Config {
 
 func testSeries(days int) []float64 {
 	ds := pecan.Generate(pecan.Config{Seed: 21, Homes: 1, Days: days, DevicesPerHome: 1})
-	return ds.Homes[0].Traces[0].KW
+	return ds.Homes[0].Traces[0].MaterializeKW()
 }
 
 func TestNewAllKinds(t *testing.T) {

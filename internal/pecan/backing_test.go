@@ -1,0 +1,257 @@
+package pecan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/energy"
+)
+
+// assertTracesBitIdentical compares every sample and label of two traces
+// through the public accessors, bit for bit.
+func assertTracesBitIdentical(t *testing.T, label string, a, b *Trace) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: length %d vs %d", label, a.Len(), b.Len())
+	}
+	ka, kb := a.MaterializeKW(), b.MaterializeKW()
+	ma, mb := a.MaterializeModes(), b.MaterializeModes()
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("%s: kw[%d] = %v vs %v", label, i, ka[i], kb[i])
+		}
+		if ma[i] != mb[i] {
+			t.Fatalf("%s: mode[%d] = %v vs %v", label, i, ma[i], mb[i])
+		}
+	}
+}
+
+// TestBackingEquivalence is the storage tentpole's core guarantee at the
+// pecan layer: the store-backed default and RawTraces produce bit-identical
+// corpora, with and without meter quantization, and the per-day accessors
+// agree with the materialized view.
+func TestBackingEquivalence(t *testing.T) {
+	for _, res := range []float64{0, 0.001} {
+		base := Config{Seed: 21, Homes: 3, Days: 3, DevicesPerHome: 2, VacationProb: 0.5, MeterResolutionKW: res}
+		raw := base
+		raw.RawTraces = true
+		dsStore, dsRaw := Generate(base), Generate(raw)
+		for hi := range dsStore.Homes {
+			for ti := range dsStore.Homes[hi].Traces {
+				st, rw := dsStore.Homes[hi].Traces[ti], dsRaw.Homes[hi].Traces[ti]
+				assertTracesBitIdentical(t, "generate", st, rw)
+				for d := 0; d < st.Days(); d++ {
+					sd, rd := st.Day(d), rw.Day(d)
+					for i := range sd {
+						if sd[i] != rd[i] {
+							t.Fatalf("day %d minute %d: %v vs %v (res=%v)", d, i, sd[i], rd[i], res)
+						}
+					}
+				}
+			}
+		}
+		if dsStore.StorageBytes() >= dsRaw.StorageBytes() {
+			t.Fatalf("store backing not smaller: %d vs %d bytes (res=%v)",
+				dsStore.StorageBytes(), dsRaw.StorageBytes(), res)
+		}
+	}
+}
+
+// TestDayAccessorsAgree exercises the lazy decoder's cache and scratch paths
+// against the materialized truth, including interleaved eviction.
+func TestDayAccessorsAgree(t *testing.T) {
+	ds := Generate(Config{Seed: 6, Homes: 1, Days: 5, DevicesPerHome: 1})
+	tr := ds.Homes[0].Traces[0]
+	whole := append([]float64(nil), tr.MaterializeKW()...)
+
+	// Interleave day reads so the 2-slot cache evicts.
+	for _, d := range []int{0, 3, 1, 4, 0, 2, 4, 1} {
+		day := tr.Day(d)
+		for i, v := range day {
+			if v != whole[d*MinutesPerDay+i] {
+				t.Fatalf("Day(%d)[%d] = %v, want %v", d, i, v, whole[d*MinutesPerDay+i])
+			}
+		}
+	}
+
+	// DayInto must survive later accessor calls.
+	snap := tr.DayInto(2, nil)
+	tr.Day(0)
+	tr.Day(1)
+	tr.Day(3)
+	for i, v := range snap {
+		if v != whole[2*MinutesPerDay+i] {
+			t.Fatalf("DayInto snapshot clobbered at %d", i)
+		}
+	}
+
+	// Windows across block boundaries.
+	for _, w := range [][2]int{{0, 1}, {100, 1440}, {1439, 1441}, {1000, 4000}, {0, 5 * MinutesPerDay}} {
+		got := tr.Window(w[0], w[1])
+		if len(got) != w[1]-w[0] {
+			t.Fatalf("Window(%d,%d) length %d", w[0], w[1], len(got))
+		}
+		for i, v := range got {
+			if v != whole[w[0]+i] {
+				t.Fatalf("Window(%d,%d)[%d] = %v, want %v", w[0], w[1], i, v, whole[w[0]+i])
+			}
+		}
+	}
+
+	// DayWithHistory: day-aligned offset, covers the demanded lookback.
+	for _, c := range []struct{ d, back int }{{0, 0}, {0, 500}, {2, 1440}, {4, 3000}, {3, 1}} {
+		series, off := tr.DayWithHistory(c.d, c.back)
+		if off%MinutesPerDay != 0 {
+			t.Fatalf("DayWithHistory(%d,%d) offset %d not day-aligned", c.d, c.back, off)
+		}
+		start := c.d*MinutesPerDay - c.back
+		if start < 0 {
+			start = 0
+		}
+		if off > start {
+			t.Fatalf("DayWithHistory(%d,%d) offset %d misses lookback to %d", c.d, c.back, off, start)
+		}
+		if off+len(series) < (c.d+1)*MinutesPerDay {
+			t.Fatalf("DayWithHistory(%d,%d) window ends at %d, day ends at %d",
+				c.d, c.back, off+len(series), (c.d+1)*MinutesPerDay)
+		}
+		for i, v := range series {
+			if v != whole[off+i] {
+				t.Fatalf("DayWithHistory(%d,%d)[%d] = %v, want %v", c.d, c.back, i, v, whole[off+i])
+			}
+		}
+	}
+}
+
+// TestMeterResolutionQuantizes checks the quantization knob actually snaps
+// readings to the grid and shrinks storage.
+func TestMeterResolutionQuantizes(t *testing.T) {
+	full := Generate(Config{Seed: 13, Homes: 1, Days: 2, DevicesPerHome: 2})
+	quant := Generate(Config{Seed: 13, Homes: 1, Days: 2, DevicesPerHome: 2, MeterResolutionKW: 0.001})
+	for ti := range quant.Homes[0].Traces {
+		for _, v := range quant.Homes[0].Traces[ti].MaterializeKW() {
+			snapped := float64(int64(v*1000+0.5)) / 1000
+			if v < 0 || v-snapped > 1e-12 || snapped-v > 1e-12 {
+				t.Fatalf("reading %v not on 1 W grid", v)
+			}
+		}
+	}
+	if q, f := quant.StorageBytes(), full.StorageBytes(); q >= f {
+		t.Fatalf("quantized corpus should compress better: %d vs %d bytes", q, f)
+	}
+}
+
+func TestTraceBuilderRejectsBadSamples(t *testing.T) {
+	dev := StandardDevices()[0].Device
+	for _, raw := range []bool{false, true} {
+		b := NewTraceBuilder(dev, Config{RawTraces: raw})
+		if err := b.Add(nan(), energy.On); err == nil {
+			t.Fatalf("raw=%v: NaN accepted", raw)
+		}
+		if err := b.Add(0.1, energy.Mode(7)); err == nil {
+			t.Fatalf("raw=%v: unknown mode accepted", raw)
+		}
+		if err := b.Add(0.1, energy.On); err != nil {
+			t.Fatalf("raw=%v: good sample rejected after bad ones: %v", raw, err)
+		}
+		tr, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != 1 {
+			t.Fatalf("raw=%v: rejected samples leaked into trace (len %d)", raw, tr.Len())
+		}
+		if err := b.Add(0.1, energy.On); err == nil {
+			t.Fatalf("raw=%v: Add after Finish accepted", raw)
+		}
+		if _, err := b.Finish(); err == nil {
+			t.Fatalf("raw=%v: double Finish accepted", raw)
+		}
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+// TestReadJSONL covers the Dataport-shaped JSONL path: explicit modes,
+// classifier-derived modes, and the hardening errors.
+func TestReadJSONL(t *testing.T) {
+	input := strings.Join([]string{
+		`{"home_id":4,"archetype":"worker","device":"tv","minute":0,"kw":0.1,"mode":"on"}`,
+		`{"home_id":4,"archetype":"worker","device":"tv","minute":1,"kw":0.005}`,
+		``,
+		`{"home_id":7,"device":"mystery","minute":0,"kw":0.0,"mode":"off"}`,
+		`{"home_id":4,"archetype":"worker","device":"tv","minute":2,"kw":0.0}`,
+	}, "\n")
+	ds, err := ReadJSONL(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Homes) != 2 || ds.Homes[0].ID != 4 || ds.Homes[1].ID != 7 {
+		t.Fatalf("homes parsed wrong: %+v", ds.Homes)
+	}
+	tv := ds.Homes[0].TraceByType("tv")
+	if tv == nil || tv.Len() != 3 {
+		t.Fatal("tv trace missing or wrong length")
+	}
+	modes := tv.MaterializeModes()
+	// Minute 1 and 2 had no label: 0.005 kW sits in the tv's standby band,
+	// 0 kW is off — the classifier must have filled them in.
+	want := []energy.Mode{energy.On, energy.Standby, energy.Off}
+	for i, m := range want {
+		if modes[i] != m {
+			t.Fatalf("mode[%d] = %v, want %v", i, modes[i], m)
+		}
+	}
+	if ds.Homes[1].Traces[0].Device.Type != "mystery" {
+		t.Fatal("unknown device type lost")
+	}
+
+	for name, bad := range map[string]string{
+		"garbage":       `not json`,
+		"out of order":  `{"home_id":0,"device":"tv","minute":3,"kw":0.1}`,
+		"bad kw":        `{"home_id":0,"device":"tv","minute":0,"kw":"oops"}`,
+		"overflow kw":   `{"home_id":0,"device":"tv","minute":0,"kw":1e999}`,
+		"unknown mode":  `{"home_id":0,"device":"tv","minute":0,"kw":0.1,"mode":"sleeping"}`,
+		"oversize line": `{"home_id":0,"device":"` + strings.Repeat("x", maxJSONLLine) + `","minute":0,"kw":0.1}`,
+	} {
+		if _, err := ReadJSONL(strings.NewReader(bad)); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+// TestImportedCorpusSimulatable: an imported corpus must expose the same
+// accessor surface generation does — days, windows, history — so core can
+// simulate straight off ingested real data.
+func TestImportedCorpusSimulatable(t *testing.T) {
+	src := Generate(Config{Seed: 5, Homes: 2, Days: 2, DevicesPerHome: 2})
+	var buf bytes.Buffer
+	if err := src.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Config.Homes != 2 || ds.Config.Days != 2 {
+		t.Fatalf("imported config %+v", ds.Config)
+	}
+	for _, h := range ds.Homes {
+		for _, tr := range h.Traces {
+			if tr.Days() != 2 {
+				t.Fatalf("imported trace has %d days", tr.Days())
+			}
+			series, off := tr.DayWithHistory(1, 60)
+			if off%MinutesPerDay != 0 || off+len(series) < 2*MinutesPerDay {
+				t.Fatalf("imported DayWithHistory broken: off=%d len=%d", off, len(series))
+			}
+			if got := len(tr.Window(MinutesPerDay-30, MinutesPerDay+30)); got != 60 {
+				t.Fatalf("imported Window length %d", got)
+			}
+		}
+	}
+}

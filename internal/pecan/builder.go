@@ -1,0 +1,118 @@
+package pecan
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/energy"
+	"repro/internal/store"
+)
+
+// TraceBuilder streams (kw, mode) samples into a Trace one minute at a
+// time, so generation and ingestion never hold more than one decoded day
+// per trace: the store-backed path seals a compressed KW block and an RLE
+// mode block every MinutesPerDay samples, and the raw path simply appends.
+// Quantization (Config.MeterResolutionKW) is applied here, identically for
+// both backings, which is what keeps the RawTraces knob bit-exact under
+// every configuration.
+type TraceBuilder struct {
+	dev      energy.Device
+	raw      bool
+	res      float64
+	finished bool
+
+	// Raw backing.
+	kw    []float64
+	modes []energy.Mode
+
+	// Store backing.
+	s        *store.Series
+	rle      [][]byte
+	dayModes []energy.Mode
+}
+
+// NewTraceBuilder starts a trace for one device under cfg's storage knobs.
+func NewTraceBuilder(dev energy.Device, cfg Config) *TraceBuilder {
+	b := &TraceBuilder{dev: dev, raw: cfg.RawTraces, res: cfg.MeterResolutionKW}
+	if !b.raw {
+		// Quantized samples sit on the n·res grid by construction (Add
+		// rounds onto it), so the store can use its grid block encoding.
+		b.s = store.NewSeriesQuantized(MinutesPerDay, cfg.MeterResolutionKW)
+		b.dayModes = make([]energy.Mode, 0, MinutesPerDay)
+	}
+	return b
+}
+
+// Reserve hints the expected total sample count (raw backing preallocates).
+func (b *TraceBuilder) Reserve(n int) {
+	if b.raw && cap(b.kw) < n {
+		b.kw = append(make([]float64, 0, n), b.kw...)
+		b.modes = append(make([]energy.Mode, 0, n), b.modes...)
+	}
+}
+
+// Add appends one minute sample. Non-finite kw readings are rejected with
+// store.ErrNonFinite before touching any state.
+func (b *TraceBuilder) Add(kw float64, m energy.Mode) error {
+	if b.finished {
+		return fmt.Errorf("pecan: TraceBuilder used after Finish")
+	}
+	if math.IsNaN(kw) || math.IsInf(kw, 0) {
+		return fmt.Errorf("pecan: sample %d: %w", b.len(), store.ErrNonFinite)
+	}
+	if m < 0 || int(m) >= energy.NumModes {
+		return fmt.Errorf("pecan: sample %d: unknown mode %d", b.len(), m)
+	}
+	if b.res > 0 {
+		kw = math.Round(kw/b.res) * b.res
+	}
+	if b.raw {
+		b.kw = append(b.kw, kw)
+		b.modes = append(b.modes, m)
+		return nil
+	}
+	if err := b.s.Append(kw); err != nil {
+		return err
+	}
+	b.dayModes = append(b.dayModes, m)
+	if len(b.dayModes) == MinutesPerDay {
+		b.sealModeDay()
+	}
+	return nil
+}
+
+func (b *TraceBuilder) sealModeDay() {
+	b.rle = append(b.rle, appendModeRLE(nil, b.dayModes))
+	b.dayModes = b.dayModes[:0]
+}
+
+func (b *TraceBuilder) len() int {
+	if b.raw {
+		return len(b.kw)
+	}
+	return b.s.Len()
+}
+
+// Finish seals any partial final day and returns the built Trace.
+func (b *TraceBuilder) Finish() (*Trace, error) {
+	if b.finished {
+		return nil, fmt.Errorf("pecan: TraceBuilder finished twice")
+	}
+	b.finished = true
+	if b.raw {
+		return &Trace{
+			Device: b.dev,
+			kw:     rawSeries(b.kw),
+			modes:  modeStore{raw: b.modes, n: len(b.modes)},
+		}, nil
+	}
+	if len(b.dayModes) > 0 {
+		b.sealModeDay()
+	}
+	b.s.Seal()
+	return &Trace{
+		Device: b.dev,
+		kw:     newStoredSeries(b.s),
+		modes:  modeStore{rle: b.rle, n: b.s.Len()},
+	}, nil
+}

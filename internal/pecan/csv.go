@@ -16,35 +16,59 @@ import (
 //	home_id,archetype,device,minute,kw,mode
 func (ds *Dataset) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	defer cw.Flush()
 	if err := cw.Write([]string{"home_id", "archetype", "device", "minute", "kw", "mode"}); err != nil {
 		return err
 	}
+	// Per-trace materialization scratch, reused so store-backed corpora
+	// stream out at one decoded trace of transient memory.
+	var kwBuf []float64
+	var modeBuf []energy.Mode
 	for _, h := range ds.Homes {
 		for _, tr := range h.Traces {
-			for i, kw := range tr.KW {
+			kw := tr.kw.Materialize(kwBuf)
+			modes := tr.modes.materialize(modeBuf)
+			for i, v := range kw {
 				rec := []string{
 					strconv.Itoa(h.ID),
 					h.Archetype.Name,
 					tr.Device.Type,
 					strconv.Itoa(i),
-					strconv.FormatFloat(kw, 'g', -1, 64),
-					tr.TrueModes[i].String(),
+					strconv.FormatFloat(v, 'g', -1, 64),
+					modes[i].String(),
 				}
 				if err := cw.Write(rec); err != nil {
 					return err
 				}
 			}
+			if tr.modes.raw == nil {
+				kwBuf, modeBuf = kw, modes
+			}
 		}
 	}
+	// One final flush, then surface the writer's sticky error — a deferred
+	// second Flush would swallow short writes on a full disk.
 	cw.Flush()
 	return cw.Error()
 }
 
-// ReadCSV parses a corpus written by WriteCSV. Device electrical signatures
-// are looked up from the standard library by type name.
+// ReadCSV parses a corpus written by WriteCSV (or exported Dataport-shaped
+// data in the same long format), streaming every (home, device) series
+// straight into compressed day blocks — the raw samples are never
+// materialized corpus-wide. Device electrical signatures are looked up
+// from the standard library by type name.
+//
+// The reader is strict about the things hostile or mangled exports get
+// wrong: rows must carry exactly the header's 6 fields, each trace's
+// minute column must count 0,1,2,... in order (interleaving across traces
+// is fine), kW readings must be finite, and mode labels must be known.
 func ReadCSV(r io.Reader) (*Dataset, error) {
+	return readCSVAs(r, Config{})
+}
+
+// readCSVAs is ReadCSV with storage knobs (tests import both backings).
+func readCSVAs(r io.Reader, cfg Config) (*Dataset, error) {
 	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("pecan: reading CSV header: %w", err)
@@ -62,26 +86,34 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		home int
 		dev  string
 	}
-	traces := map[key]*Trace{}
+	builders := map[key]*TraceBuilder{}
+	var keys []key
+	byHome := map[int][]key{}
+	line := 1
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
+		line++
 		if err != nil {
 			return nil, fmt.Errorf("pecan: reading CSV: %w", err)
 		}
 		hid, err := strconv.Atoi(rec[0])
 		if err != nil {
-			return nil, fmt.Errorf("pecan: bad home_id %q: %w", rec[0], err)
+			return nil, fmt.Errorf("pecan: line %d: bad home_id %q: %w", line, rec[0], err)
+		}
+		minute, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("pecan: line %d: bad minute %q: %w", line, rec[3], err)
 		}
 		kw, err := strconv.ParseFloat(rec[4], 64)
 		if err != nil {
-			return nil, fmt.Errorf("pecan: bad kw %q: %w", rec[4], err)
+			return nil, fmt.Errorf("pecan: line %d: bad kw %q: %w", line, rec[4], err)
 		}
 		mode, err := parseMode(rec[5])
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("pecan: line %d: %w", line, err)
 		}
 		h, ok := homes[hid]
 		if !ok {
@@ -90,22 +122,38 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 			order = append(order, hid)
 		}
 		k := key{hid, rec[2]}
-		tr, ok := traces[k]
+		b, ok := builders[k]
 		if !ok {
 			dev, found := devByType[rec[2]]
 			if !found {
 				dev = energy.Device{Type: rec[2], StandbyKW: 0.005, OnKW: 0.1}
 			}
-			tr = &Trace{Device: dev}
-			traces[k] = tr
+			b = NewTraceBuilder(dev, cfg)
+			builders[k] = b
+			keys = append(keys, k)
+			byHome[hid] = append(byHome[hid], k)
+		}
+		// The fixed-stride store has no per-sample timestamps; the minute
+		// column must therefore count each trace's samples contiguously.
+		if minute != b.len() {
+			return nil, fmt.Errorf("pecan: line %d: home %d %s minute %d out of order (want %d)",
+				line, hid, rec[2], minute, b.len())
+		}
+		if err := b.Add(kw, mode); err != nil {
+			return nil, fmt.Errorf("pecan: line %d: %w", line, err)
+		}
+	}
+	ds := &Dataset{Config: cfg}
+	for _, hid := range order {
+		h := homes[hid]
+		for _, k := range byHome[hid] {
+			tr, err := builders[k].Finish()
+			if err != nil {
+				return nil, fmt.Errorf("pecan: home %d %s: %w", k.home, k.dev, err)
+			}
 			h.Traces = append(h.Traces, tr)
 		}
-		tr.KW = append(tr.KW, kw)
-		tr.TrueModes = append(tr.TrueModes, mode)
-	}
-	ds := &Dataset{}
-	for _, hid := range order {
-		ds.Homes = append(ds.Homes, homes[hid])
+		ds.Homes = append(ds.Homes, h)
 	}
 	if len(ds.Homes) > 0 && len(ds.Homes[0].Traces) > 0 {
 		ds.Config.Homes = len(ds.Homes)

@@ -1,0 +1,75 @@
+package pecan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV throws arbitrary bytes at the Dataport importer and requires
+// clean errors, never panics and never pathological allocation, for
+// anything that is not a well-formed corpus. Seeds cover a genuine export
+// plus the hostile shapes real mangled data takes: truncated rows,
+// non-finite readings, out-of-order minutes, unknown modes.
+func FuzzReadCSV(f *testing.F) {
+	ds := Generate(Config{Seed: 31, Homes: 1, Days: 1, DevicesPerHome: 2})
+	var genuine bytes.Buffer
+	if err := ds.WriteCSV(&genuine); err != nil {
+		f.Fatal(err)
+	}
+	header := "home_id,archetype,device,minute,kw,mode\n"
+	f.Add(genuine.Bytes())
+	f.Add([]byte(genuine.String()[:genuine.Len()/2]))
+	f.Add([]byte(header))
+	f.Add([]byte(header + "0,worker,tv,0,0.1\n"))                 // truncated row
+	f.Add([]byte(header + "0,worker,tv,0,NaN,on\n"))              // non-finite reading
+	f.Add([]byte(header + "0,worker,tv,0,-Inf,standby\n"))        // non-finite reading
+	f.Add([]byte(header + "0,worker,tv,7,0.1,on\n"))              // out-of-order minute
+	f.Add([]byte(header + "0,worker,tv,0,0.1,defrosting\n"))      // unknown mode
+	f.Add([]byte(header + "99999999999999999999,w,tv,0,0,off\n")) // overflow home_id
+	f.Add([]byte{})
+	f.Add([]byte("\xff\xfe\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly, as required
+		}
+		// Accepted input must yield a self-consistent dataset: every trace
+		// readable end to end through the accessors.
+		for _, h := range back.Homes {
+			for _, tr := range h.Traces {
+				if kw := tr.MaterializeKW(); len(kw) != tr.Len() {
+					t.Fatalf("trace len %d but %d samples materialized", tr.Len(), len(kw))
+				}
+				if modes := tr.MaterializeModes(); len(modes) != tr.Len() {
+					t.Fatalf("trace len %d but %d modes materialized", tr.Len(), len(modes))
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadJSONL is the same contract for the JSON-lines importer.
+func FuzzReadJSONL(f *testing.F) {
+	f.Add(`{"home_id":0,"device":"tv","minute":0,"kw":0.1,"mode":"on"}`)
+	f.Add(`{"home_id":0,"device":"tv","minute":0,"kw":0.1}` + "\n" +
+		`{"home_id":0,"device":"tv","minute":1,"kw":0.2}`)
+	f.Add(`{"home_id":0,"device":"tv","minute":5,"kw":0.1}`)
+	f.Add(`{"home_id":0,"device":"tv","minute":0,"kw":"NaN"}`)
+	f.Add(`{broken`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		ds, err := ReadJSONL(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		for _, h := range ds.Homes {
+			for _, tr := range h.Traces {
+				if kw := tr.MaterializeKW(); len(kw) != tr.Len() {
+					t.Fatalf("trace len %d but %d samples materialized", tr.Len(), len(kw))
+				}
+			}
+		}
+	})
+}

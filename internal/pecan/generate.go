@@ -36,6 +36,23 @@ type Config struct {
 	// unplugged. Vacations are the main non-stationarity in real traces —
 	// a forecaster trained on occupied days faces empty-home days.
 	VacationProb float64
+
+	// RawTraces opts out of the compressed columnar trace store: every
+	// trace keeps its samples as one eager []float64 plus a flat mode
+	// slice, the original representation. The default (false) streams
+	// generation into per-day compressed blocks (internal/store) that
+	// decode lazily; the two backings are bit-identical sample for sample,
+	// so the knob exists for twin equivalence tests and A/B memory timing.
+	RawTraces bool
+	// MeterResolutionKW rounds every reading to this resolution (in kW,
+	// e.g. 0.001 for a 1 W meter feed) before storage — the quantization
+	// real metering hardware applies. 0 keeps full float64 precision and
+	// reproduces pre-store corpora bit for bit. Applied identically on raw
+	// and store-backed paths, so RawTraces stays an equivalence knob under
+	// any resolution. Quantized corpora compress far better: full-precision
+	// synthetic noise carries ~52 random mantissa bits per sample, which no
+	// lossless codec can remove.
+	MeterResolutionKW float64
 }
 
 func (c Config) withDefaults() Config {
@@ -51,25 +68,69 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Trace is one device's minute-resolution consumption series.
+// Trace is one device's minute-resolution consumption series. Its samples
+// live behind a Series (raw slice or compressed day blocks, see series.go);
+// the accessors below are the only way in, and their slice-lifetime rules
+// are documented on the Series interface.
 type Trace struct {
 	// Device is the electrical signature used for mode classification.
 	Device energy.Device
-	// KW holds Days*MinutesPerDay consumption samples.
-	KW []float64
-	// TrueModes holds the generator's ground-truth mode per minute. The
-	// learning pipeline never sees this (it classifies from KW); tests use
-	// it to verify classification fidelity.
-	TrueModes []energy.Mode
+	kw     Series
+	modes  modeStore
 }
 
-// Day returns the KW samples of day d (aliasing the trace storage).
-func (tr *Trace) Day(d int) []float64 {
-	return tr.KW[d*MinutesPerDay : (d+1)*MinutesPerDay]
+// Len returns the number of KW samples in the trace.
+func (tr *Trace) Len() int { return tr.kw.Len() }
+
+// Day returns the KW samples of day d. The slice is valid until a later
+// Day call on this trace evicts it from the decoded-day cache (raw-backed
+// traces alias their storage and stay valid forever).
+func (tr *Trace) Day(d int) []float64 { return tr.kw.Day(d) }
+
+// DayInto returns a stable snapshot of day d that survives subsequent
+// accessor calls: raw-backed traces alias their immutable storage, store-
+// backed traces decode into dst (grown as needed). Use this when the day
+// is retained — e.g. environment construction.
+func (tr *Trace) DayInto(d int, dst []float64) []float64 { return tr.kw.DayInto(d, dst) }
+
+// DayWithHistory returns a day-aligned window covering day d plus at least
+// minBack preceding samples (clamped to the trace start) and the absolute
+// minute offset of the window's first element. Because the offset is a
+// multiple of MinutesPerDay, forecaster time features computed from
+// window-relative minutes equal the absolute ones — Predict(series, t-off)
+// is bit-identical to Predict(wholeTrace, t).
+func (tr *Trace) DayWithHistory(d, minBack int) ([]float64, int) {
+	return tr.kw.DayWithHistory(d, minBack)
 }
+
+// Window materializes KW samples [start, stop). The slice is valid until
+// the next Window call on this trace.
+func (tr *Trace) Window(start, stop int) []float64 { return tr.kw.Window(start, stop) }
+
+// MaterializeKW expands the whole series into one contiguous slice
+// (raw-backed traces alias; store-backed traces allocate and decode).
+// Tests and offline tools use it; simulation hot paths read days.
+func (tr *Trace) MaterializeKW() []float64 { return tr.kw.Materialize(nil) }
+
+// ModeDayInto returns day d's ground-truth modes, decoding into dst for
+// store-backed traces. The learning pipeline never sees these labels (it
+// classifies from KW); tests use them to verify classification fidelity.
+func (tr *Trace) ModeDayInto(d int, dst []energy.Mode) []energy.Mode {
+	return tr.modes.dayInto(d, dst)
+}
+
+// MaterializeModes expands the whole ground-truth mode series.
+func (tr *Trace) MaterializeModes() []energy.Mode { return tr.modes.materialize(nil) }
+
+// StorageBytes is the trace's resident sample+label storage: 16 bytes per
+// sample raw, or the compressed block bytes when store-backed.
+func (tr *Trace) StorageBytes() int { return tr.kw.StorageBytes() + tr.modes.storageBytes() }
+
+// Series exposes the KW backing (benchmarks inspect compression ratios).
+func (tr *Trace) Series() Series { return tr.kw }
 
 // Days returns the number of whole days in the trace.
-func (tr *Trace) Days() int { return len(tr.KW) / MinutesPerDay }
+func (tr *Trace) Days() int { return tr.Len() / MinutesPerDay }
 
 // Home is one residence: an archetype plus its device traces.
 type Home struct {
@@ -96,8 +157,20 @@ type Dataset struct {
 	Homes  []*Home
 }
 
+// StorageBytes sums the corpus's resident trace storage.
+func (ds *Dataset) StorageBytes() int {
+	total := 0
+	for _, h := range ds.Homes {
+		for _, tr := range h.Traces {
+			total += tr.StorageBytes()
+		}
+	}
+	return total
+}
+
 // Generate synthesizes a corpus per Config. It is deterministic in the
-// configuration.
+// configuration: the store-backed default and RawTraces produce the same
+// sample bits in the same RNG order, differing only in representation.
 func Generate(cfg Config) *Dataset {
 	cfg = cfg.withDefaults()
 	profiles := StandardDevices()
@@ -151,8 +224,12 @@ func mix(a, b, c int64) int64 {
 // window gets a fixed shift (archetype shift + jittered personal offset):
 // the *same* home behaves consistently day over day — that is the signal
 // forecasters learn — while different homes differ (non-IID).
+//
+// Samples stream minute by minute through a TraceBuilder, so under the
+// store backing a finished day is immediately sealed into a compressed
+// block and peak memory stays at one decoded day per trace rather than the
+// whole corpus. The RNG draw order is exactly the eager version's.
 func synthTrace(devRng, homeRng *rand.Rand, prof DeviceProfile, arch Archetype, vacation []bool, cfg Config) *Trace {
-	n := cfg.Days * MinutesPerDay
 	// Per-home electrical heterogeneity: the same appliance class draws
 	// different standby/on power in different homes (different models,
 	// ages, firmware). This is the statistical heterogeneity the paper's
@@ -162,11 +239,8 @@ func synthTrace(devRng, homeRng *rand.Rand, prof DeviceProfile, arch Archetype, 
 	dev := prof.Device
 	dev.StandbyKW *= 0.85 + 0.35*homeRng.Float64() // U[0.85, 1.20)
 	dev.OnKW *= 0.90 + 0.22*homeRng.Float64()      // U[0.90, 1.12)
-	tr := &Trace{
-		Device:    dev,
-		KW:        make([]float64, n),
-		TrueModes: make([]energy.Mode, n),
-	}
+	b := NewTraceBuilder(dev, cfg)
+	b.Reserve(cfg.Days * MinutesPerDay)
 	// Per-home window realization: archetype shift + personal jitter.
 	windows := make([]UsageWindow, len(prof.Windows))
 	for i, w := range prof.Windows {
@@ -188,7 +262,6 @@ func synthTrace(devRng, homeRng *rand.Rand, prof DeviceProfile, arch Archetype, 
 		away := day < len(vacation) && vacation[day]
 		onLeft := 0 // remaining minutes of the current ON episode
 		for m := 0; m < MinutesPerDay; m++ {
-			idx := day*MinutesPerDay + m
 			var mode energy.Mode
 			switch {
 			case away:
@@ -222,9 +295,16 @@ func synthTrace(devRng, homeRng *rand.Rand, prof DeviceProfile, arch Archetype, 
 					}
 				}
 			}
-			tr.TrueModes[idx] = mode
-			tr.KW[idx] = noisyLevel(devRng, dev, mode, cfg.NoiseFrac)
+			if err := b.Add(noisyLevel(devRng, dev, mode, cfg.NoiseFrac), mode); err != nil {
+				// noisyLevel is finite by construction and the mode enum is
+				// closed; a failure here is a generator bug, not data.
+				panic(fmt.Sprintf("pecan: synthTrace: %v", err))
+			}
 		}
+	}
+	tr, err := b.Finish()
+	if err != nil {
+		panic(fmt.Sprintf("pecan: synthTrace: %v", err))
 	}
 	return tr
 }
@@ -289,11 +369,13 @@ func clampMinute(m int) int {
 }
 
 // SplitTrainTest splits a trace in time: the first frac of days for
-// training, the remainder for testing (the paper uses 80/20).
+// training, the remainder for testing (the paper uses 80/20). Store-backed
+// traces materialize once; raw traces alias their storage as before.
 func (tr *Trace) SplitTrainTest(frac float64) (train, test []float64) {
 	if frac <= 0 || frac >= 1 {
 		panic(fmt.Sprintf("pecan: split fraction %v outside (0,1)", frac))
 	}
+	kw := tr.MaterializeKW()
 	days := tr.Days()
 	var cut int
 	if days >= 2 {
@@ -302,20 +384,20 @@ func (tr *Trace) SplitTrainTest(frac float64) (train, test []float64) {
 		if cut < MinutesPerDay {
 			cut = MinutesPerDay
 		}
-		if cut > len(tr.KW)-MinutesPerDay {
-			cut = len(tr.KW) - MinutesPerDay
+		if cut > len(kw)-MinutesPerDay {
+			cut = len(kw) - MinutesPerDay
 		}
 	} else {
 		// Single-day trace: sample-aligned split, never empty.
-		cut = int(float64(len(tr.KW)) * frac)
+		cut = int(float64(len(kw)) * frac)
 		if cut < 1 {
 			cut = 1
 		}
-		if cut > len(tr.KW)-1 {
-			cut = len(tr.KW) - 1
+		if cut > len(kw)-1 {
+			cut = len(kw) - 1
 		}
 	}
-	return tr.KW[:cut], tr.KW[cut:]
+	return kw[:cut], kw[cut:]
 }
 
 // DeviceTypes lists the distinct device types in the dataset, in library
@@ -332,15 +414,26 @@ func (ds *Dataset) DeviceTypes() []string {
 }
 
 // TotalStandbyKWh sums the ground-truth standby energy of the whole corpus;
-// the "available to save" denominator in the savings experiments.
+// the "available to save" denominator in the savings experiments. Scratch
+// buffers are reused across traces so store-backed corpora stay at one
+// materialized trace of transient memory.
 func (ds *Dataset) TotalStandbyKWh() float64 {
 	total := 0.0
+	var kwBuf []float64
+	var modeBuf []energy.Mode
 	for _, h := range ds.Homes {
 		for _, tr := range h.Traces {
-			for i, m := range tr.TrueModes {
+			kw := tr.kw.Materialize(kwBuf)
+			modes := tr.modes.materialize(modeBuf)
+			for i, m := range modes {
 				if m == energy.Standby {
-					total += tr.KW[i] / 60
+					total += kw[i] / 60
 				}
+			}
+			// Raw backings alias their storage (Materialize ignores the
+			// scratch); only adopt the buffers the store path filled.
+			if tr.modes.raw == nil {
+				kwBuf, modeBuf = kw, modes
 			}
 		}
 	}

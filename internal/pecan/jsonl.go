@@ -1,0 +1,118 @@
+package pecan
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/energy"
+)
+
+// maxJSONLLine bounds one record's size so a hostile stream cannot force
+// an unbounded token allocation.
+const maxJSONLLine = 1 << 16
+
+// jsonlRecord is one Dataport-shaped JSON-lines sample. Mode is optional:
+// real exports carry only the reading, and the device's electrical
+// signature classifies it — the same classifier the learning pipeline uses.
+type jsonlRecord struct {
+	HomeID    int     `json:"home_id"`
+	Archetype string  `json:"archetype"`
+	Device    string  `json:"device"`
+	Minute    int     `json:"minute"`
+	KW        float64 `json:"kw"`
+	Mode      string  `json:"mode"`
+}
+
+// ReadJSONL parses a JSON-lines corpus (one object per line with home_id,
+// device, minute, kw, and optional mode/archetype fields), streaming each
+// (home, device) series into compressed day blocks exactly like ReadCSV.
+// The same strictness applies: per-trace minutes must count 0,1,2,... and
+// readings must be finite. Blank lines are skipped.
+func ReadJSONL(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 4096), maxJSONLLine)
+	homes := map[int]*Home{}
+	var order []int
+	type key struct {
+		home int
+		dev  string
+	}
+	builders := map[key]*TraceBuilder{}
+	byHome := map[int][]key{}
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec jsonlRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("pecan: jsonl line %d: %w", line, err)
+		}
+		h, ok := homes[rec.HomeID]
+		if !ok {
+			h = &Home{ID: rec.HomeID, Archetype: Archetype{Name: rec.Archetype}}
+			homes[rec.HomeID] = h
+			order = append(order, rec.HomeID)
+		}
+		k := key{rec.HomeID, rec.Device}
+		b, ok := builders[k]
+		if !ok {
+			dev, found := deviceByType(rec.Device)
+			if !found {
+				dev = energy.Device{Type: rec.Device, StandbyKW: 0.005, OnKW: 0.1}
+			}
+			b = NewTraceBuilder(dev, Config{})
+			builders[k] = b
+			byHome[rec.HomeID] = append(byHome[rec.HomeID], k)
+		}
+		if rec.Minute != b.len() {
+			return nil, fmt.Errorf("pecan: jsonl line %d: home %d %s minute %d out of order (want %d)",
+				line, rec.HomeID, rec.Device, rec.Minute, b.len())
+		}
+		mode := b.dev.ClassifyMode(rec.KW)
+		if rec.Mode != "" {
+			m, err := parseMode(rec.Mode)
+			if err != nil {
+				return nil, fmt.Errorf("pecan: jsonl line %d: %w", line, err)
+			}
+			mode = m
+		}
+		if err := b.Add(rec.KW, mode); err != nil {
+			return nil, fmt.Errorf("pecan: jsonl line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pecan: reading jsonl: %w", err)
+	}
+	ds := &Dataset{}
+	for _, hid := range order {
+		h := homes[hid]
+		for _, k := range byHome[hid] {
+			tr, err := builders[k].Finish()
+			if err != nil {
+				return nil, fmt.Errorf("pecan: home %d %s: %w", k.home, k.dev, err)
+			}
+			h.Traces = append(h.Traces, tr)
+		}
+		ds.Homes = append(ds.Homes, h)
+	}
+	if len(ds.Homes) > 0 && len(ds.Homes[0].Traces) > 0 {
+		ds.Config.Homes = len(ds.Homes)
+		ds.Config.Days = ds.Homes[0].Traces[0].Days()
+	}
+	return ds, nil
+}
+
+// deviceByType looks up a standard device signature by type name.
+func deviceByType(devType string) (energy.Device, bool) {
+	for _, p := range StandardDevices() {
+		if p.Device.Type == devType {
+			return p.Device, true
+		}
+	}
+	return energy.Device{}, false
+}

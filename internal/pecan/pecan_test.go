@@ -19,8 +19,8 @@ func TestGenerateShape(t *testing.T) {
 			t.Fatalf("home %d has %d traces, want %d", h.ID, len(h.Traces), lib)
 		}
 		for _, tr := range h.Traces {
-			if len(tr.KW) != 2*MinutesPerDay || len(tr.TrueModes) != 2*MinutesPerDay {
-				t.Fatalf("trace length %d, want %d", len(tr.KW), 2*MinutesPerDay)
+			if tr.Len() != 2*MinutesPerDay || len(tr.MaterializeModes()) != 2*MinutesPerDay {
+				t.Fatalf("trace length %d, want %d", tr.Len(), 2*MinutesPerDay)
 			}
 			if tr.Days() != 2 {
 				t.Fatalf("Days() = %d", tr.Days())
@@ -35,17 +35,20 @@ func TestGenerateDeterministic(t *testing.T) {
 	for hi := range a.Homes {
 		for ti := range a.Homes[hi].Traces {
 			ta, tb := a.Homes[hi].Traces[ti], b.Homes[hi].Traces[ti]
-			for i := range ta.KW {
-				if ta.KW[i] != tb.KW[i] || ta.TrueModes[i] != tb.TrueModes[i] {
+			ka, kb := ta.MaterializeKW(), tb.MaterializeKW()
+			ma, mb := ta.MaterializeModes(), tb.MaterializeModes()
+			for i := range ka {
+				if ka[i] != kb[i] || ma[i] != mb[i] {
 					t.Fatalf("non-deterministic at home %d trace %d idx %d", hi, ti, i)
 				}
 			}
 		}
 	}
 	c := Generate(Config{Seed: 43, Homes: 2, Days: 1})
+	ka, kc := a.Homes[0].Traces[0].MaterializeKW(), c.Homes[0].Traces[0].MaterializeKW()
 	same := true
-	for i := range a.Homes[0].Traces[0].KW {
-		if a.Homes[0].Traces[0].KW[i] != c.Homes[0].Traces[0].KW[i] {
+	for i := range ka {
+		if ka[i] != kc[i] {
 			same = false
 			break
 		}
@@ -72,11 +75,12 @@ func TestClassificationMatchesGroundTruth(t *testing.T) {
 	ds := Generate(Config{Seed: 7, Homes: 2, Days: 2})
 	for _, h := range ds.Homes {
 		for _, tr := range h.Traces {
-			got := tr.Device.ClassifySeries(tr.KW)
-			for i, m := range tr.TrueModes {
+			kw := tr.MaterializeKW()
+			got := tr.Device.ClassifySeries(kw)
+			for i, m := range tr.MaterializeModes() {
 				if got[i] != m {
 					t.Fatalf("home %d %s minute %d: classified %v, truth %v (kw=%v)",
-						h.ID, tr.Device.Type, i, got[i], m, tr.KW[i])
+						h.ID, tr.Device.Type, i, got[i], m, kw[i])
 				}
 			}
 		}
@@ -88,7 +92,7 @@ func TestAllThreeModesPresent(t *testing.T) {
 	var seen [3]bool
 	for _, h := range ds.Homes {
 		for _, tr := range h.Traces {
-			for _, m := range tr.TrueModes {
+			for _, m := range tr.MaterializeModes() {
 				seen[m] = true
 			}
 		}
@@ -105,7 +109,7 @@ func TestStandbyDominatesIdleTime(t *testing.T) {
 	counts := map[energy.Mode]int{}
 	for _, h := range ds.Homes {
 		for _, tr := range h.Traces {
-			for _, m := range tr.TrueModes {
+			for _, m := range tr.MaterializeModes() {
 				counts[m]++
 			}
 		}
@@ -121,7 +125,7 @@ func TestDiurnalStructure(t *testing.T) {
 	var nightOn, eveningOn int
 	for _, h := range ds.Homes {
 		for _, tr := range h.Traces {
-			for i, m := range tr.TrueModes {
+			for i, m := range tr.MaterializeModes() {
 				if m != energy.On {
 					continue
 				}
@@ -147,7 +151,7 @@ func TestNonIIDAcrossArchetypes(t *testing.T) {
 	onCenter := func(h *Home) float64 {
 		sum, n := 0.0, 0
 		for _, tr := range h.Traces {
-			for i, m := range tr.TrueModes {
+			for i, m := range tr.MaterializeModes() {
 				if m == energy.On {
 					sum += float64(i % MinutesPerDay)
 					n++
@@ -232,6 +236,10 @@ func TestStandardDevicesValid(t *testing.T) {
 	}
 }
 
+// TestCSVRoundTrip pins the importer end to end: a generated corpus written
+// with WriteCSV and re-ingested with ReadCSV must carry bit-identical KW
+// samples and mode labels, even though the reader re-compresses every trace
+// into day blocks as it streams.
 func TestCSVRoundTrip(t *testing.T) {
 	ds := Generate(Config{Seed: 2, Homes: 2, Days: 1, DevicesPerHome: 2})
 	var buf bytes.Buffer
@@ -255,8 +263,13 @@ func TestCSVRoundTrip(t *testing.T) {
 			if btr.Device.Type != tr.Device.Type {
 				t.Fatalf("device order changed")
 			}
-			for i := range tr.KW {
-				if tr.KW[i] != btr.KW[i] || tr.TrueModes[i] != btr.TrueModes[i] {
+			kw, bkw := tr.MaterializeKW(), btr.MaterializeKW()
+			modes, bmodes := tr.MaterializeModes(), btr.MaterializeModes()
+			if len(bkw) != len(kw) {
+				t.Fatalf("round-trip length %d, want %d", len(bkw), len(kw))
+			}
+			for i := range kw {
+				if kw[i] != bkw[i] || modes[i] != bmodes[i] {
 					t.Fatalf("CSV round-trip mismatch home %d trace %d idx %d", hi, ti, i)
 				}
 			}
@@ -278,6 +291,15 @@ func TestReadCSVErrors(t *testing.T) {
 	if _, err := ReadCSV(bytes.NewBufferString(good + "0,worker,tv,0,0.1,sleeping\n")); err == nil {
 		t.Fatal("bad mode accepted")
 	}
+	if _, err := ReadCSV(bytes.NewBufferString(good + "0,worker,tv,5,0.1,on\n")); err == nil {
+		t.Fatal("out-of-order minute accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString(good + "0,worker,tv,0,NaN,on\n")); err == nil {
+		t.Fatal("NaN reading accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString(good + "0,worker,tv,0,+Inf,on\n")); err == nil {
+		t.Fatal("Inf reading accepted")
+	}
 }
 
 func TestPropKWNonNegativeAndBounded(t *testing.T) {
@@ -285,7 +307,7 @@ func TestPropKWNonNegativeAndBounded(t *testing.T) {
 		ds := Generate(Config{Seed: seed, Homes: 1, Days: 1, DevicesPerHome: 2})
 		for _, tr := range ds.Homes[0].Traces {
 			limit := tr.Device.OnKW * 1.1
-			for _, kw := range tr.KW {
+			for _, kw := range tr.MaterializeKW() {
 				if kw < 0 || kw > limit {
 					return false
 				}

@@ -13,7 +13,7 @@ func onMinutes(ds *Dataset, devType string) int {
 		if tr == nil {
 			continue
 		}
-		for _, m := range tr.TrueModes {
+		for _, m := range tr.MaterializeModes() {
 			if m == energy.On {
 				n++
 			}
@@ -42,8 +42,9 @@ func TestSeasonalityDisabledByDefault(t *testing.T) {
 	b := Generate(Config{Seed: 5, Homes: 1, Days: 2, StartMonth: 0})
 	for ti := range a.Homes[0].Traces {
 		ta, tb := a.Homes[0].Traces[ti], b.Homes[0].Traces[ti]
-		for i := range ta.KW {
-			if ta.KW[i] != tb.KW[i] {
+		ka, kb := ta.MaterializeKW(), tb.MaterializeKW()
+		for i := range ka {
+			if ka[i] != kb[i] {
 				t.Fatal("StartMonth 0 should be identical to unset")
 			}
 		}
@@ -77,8 +78,8 @@ func TestVacationDays(t *testing.T) {
 			anyVacation = true
 			// No device usage on away days.
 			for _, tr := range h.Traces {
-				for m := 0; m < MinutesPerDay; m++ {
-					if tr.TrueModes[d*MinutesPerDay+m] == energy.On {
+				for _, md := range tr.ModeDayInto(d, nil) {
+					if md == energy.On {
 						t.Fatalf("home %d device %s ON during vacation day %d", h.ID, tr.Device.Type, d)
 					}
 				}

@@ -1,0 +1,292 @@
+package pecan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+
+	"repro/internal/energy"
+	"repro/internal/store"
+)
+
+// Series is the storage behind a Trace's KW samples. Two implementations
+// exist: the eager raw slice (the original representation, selected with
+// Config.RawTraces) and a lazy decoder over internal/store's compressed
+// day blocks (the default). Both return the exact same IEEE-754 bit
+// patterns for every sample — the simulation is pinned bit-identical
+// across the two backings — so the choice is purely a memory/CPU trade.
+//
+// Slice lifetime contract: Day reuses a small decoded-day cache, and
+// DayWithHistory / Window reuse per-series scratch buffers, so a returned
+// slice is valid only until the next call of the same accessor on the same
+// trace. DayInto is the stable variant for callers that retain the day
+// (environment construction). None of the accessors are safe for
+// concurrent use on one trace; distinct traces are fully independent —
+// which matches how core's parallel waves shard work.
+type Series interface {
+	// Len returns the total number of samples.
+	Len() int
+	// Day returns day d's MinutesPerDay samples. The slice is valid until
+	// a later Day call on this series evicts it (raw: aliases, always valid).
+	Day(d int) []float64
+	// DayInto returns a stable snapshot of day d: the raw backing aliases
+	// (its storage never mutates), the store backing decodes into dst
+	// (grown as needed). The result survives subsequent accessor calls.
+	DayInto(d int, dst []float64) []float64
+	// DayWithHistory returns a day-aligned window covering day d plus at
+	// least minBack preceding samples (clamped to the series start), and
+	// the absolute sample offset of the window's first element. The offset
+	// is a multiple of MinutesPerDay, so minute-of-day phase features
+	// computed from window-relative indices match absolute ones.
+	DayWithHistory(d, minBack int) ([]float64, int)
+	// Window materializes samples [start, stop).
+	Window(start, stop int) []float64
+	// Materialize returns the whole series as one contiguous slice
+	// (raw: aliases; store-backed: decodes into dst, grown as needed).
+	Materialize(dst []float64) []float64
+	// StorageBytes is the resident size of the sample storage.
+	StorageBytes() int
+}
+
+// rawSeries is the eager representation: one flat slice.
+type rawSeries []float64
+
+func (r rawSeries) Len() int                             { return len(r) }
+func (r rawSeries) Day(d int) []float64                  { return r[d*MinutesPerDay : (d+1)*MinutesPerDay] }
+func (r rawSeries) DayInto(d int, _ []float64) []float64 { return r.Day(d) }
+func (r rawSeries) DayWithHistory(d, minBack int) ([]float64, int) {
+	// The full series at offset 0 satisfies any history demand and is what
+	// pre-store code passed to forecasters; returning it keeps the raw path
+	// literally identical to the original call shapes.
+	return r, 0
+}
+func (r rawSeries) Window(start, stop int) []float64  { return r[start:stop] }
+func (r rawSeries) Materialize(_ []float64) []float64 { return r }
+func (r rawSeries) StorageBytes() int                 { return 8 * len(r) }
+
+// storedSeries lazily decodes day blocks out of a store.Series. The
+// two-slot day cache covers the simulation's access pattern (environment
+// truth and accuracy collection revisit the same day repeatedly); the
+// history and window scratches bound per-trace decoded memory at a few
+// days regardless of trace length.
+type storedSeries struct {
+	s     *store.Series
+	cache [2]struct {
+		day int
+		buf []float64
+	}
+	next int       // round-robin eviction cursor
+	hist []float64 // DayWithHistory scratch
+	win  []float64 // Window scratch
+}
+
+func newStoredSeries(s *store.Series) *storedSeries {
+	ss := &storedSeries{s: s}
+	ss.cache[0].day = -1
+	ss.cache[1].day = -1
+	return ss
+}
+
+func (ss *storedSeries) Len() int { return ss.s.Len() }
+
+func (ss *storedSeries) Day(d int) []float64 {
+	for i := range ss.cache {
+		if ss.cache[i].day == d {
+			return ss.cache[i].buf
+		}
+	}
+	slot := &ss.cache[ss.next]
+	ss.next = (ss.next + 1) % len(ss.cache)
+	out, err := ss.s.DecodeBlockInto(d, slot.buf)
+	if err != nil {
+		panic(fmt.Sprintf("pecan: day %d decode failed on self-encoded series: %v", d, err))
+	}
+	slot.day, slot.buf = d, out
+	return out
+}
+
+func (ss *storedSeries) DayInto(d int, dst []float64) []float64 {
+	for i := range ss.cache {
+		if ss.cache[i].day == d {
+			src := ss.cache[i].buf
+			if cap(dst) < len(src) {
+				dst = make([]float64, len(src))
+			}
+			dst = dst[:len(src)]
+			copy(dst, src)
+			return dst
+		}
+	}
+	out, err := ss.s.DecodeBlockInto(d, dst)
+	if err != nil {
+		panic(fmt.Sprintf("pecan: day %d decode failed on self-encoded series: %v", d, err))
+	}
+	return out
+}
+
+// materializeRange decodes blocks [fromBlock, toBlock) contiguously into
+// dst (grown as needed). Fixed stride makes the layout arithmetic: block b
+// starts at (b-fromBlock)*MinutesPerDay within dst.
+func (ss *storedSeries) materializeRange(fromBlock, toBlock int, dst []float64) []float64 {
+	need := 0
+	for b := fromBlock; b < toBlock; b++ {
+		need += ss.s.BlockSamples(b)
+	}
+	if cap(dst) < need {
+		dst = make([]float64, need)
+	}
+	dst = dst[:need]
+	off := 0
+	for b := fromBlock; b < toBlock; b++ {
+		cnt := ss.s.BlockSamples(b)
+		if _, err := ss.s.DecodeBlockInto(b, dst[off:off:off+cnt]); err != nil {
+			panic(fmt.Sprintf("pecan: block %d decode failed on self-encoded series: %v", b, err))
+		}
+		off += cnt
+	}
+	return dst
+}
+
+func (ss *storedSeries) DayWithHistory(d, minBack int) ([]float64, int) {
+	backDays := 0
+	if minBack > 0 {
+		backDays = (minBack + MinutesPerDay - 1) / MinutesPerDay
+	}
+	from := d - backDays
+	if from < 0 {
+		from = 0
+	}
+	ss.hist = ss.materializeRange(from, d+1, ss.hist)
+	return ss.hist, from * MinutesPerDay
+}
+
+func (ss *storedSeries) Window(start, stop int) []float64 {
+	if start >= stop {
+		return nil
+	}
+	from := start / MinutesPerDay
+	to := (stop-1)/MinutesPerDay + 1
+	ss.win = ss.materializeRange(from, to, ss.win)
+	base := from * MinutesPerDay
+	return ss.win[start-base : stop-base]
+}
+
+func (ss *storedSeries) Materialize(dst []float64) []float64 {
+	return ss.materializeRange(0, ss.s.NumBlocks(), dst)
+}
+
+func (ss *storedSeries) StorageBytes() int { return ss.s.CompressedBytes() }
+
+// modeBytes is the resident size of one energy.Mode (a Go int).
+const modeBytes = strconv.IntSize / 8
+
+// modeStore holds a trace's ground-truth mode labels in the representation
+// matching its KW backing: a flat slice for raw traces, or per-day
+// run-length blocks for store-backed traces (modes are three-valued and
+// extremely runny — a day is typically a handful of (mode, run) pairs, so
+// RLE keeps the 8-bytes-per-sample labels from dominating resident memory
+// once the KW samples are compressed).
+type modeStore struct {
+	raw []energy.Mode
+	rle [][]byte
+	n   int
+}
+
+// appendModeRLE encodes one day of modes as (mode byte, uvarint run) pairs.
+func appendModeRLE(dst []byte, modes []energy.Mode) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	for i := 0; i < len(modes); {
+		m := modes[i]
+		j := i + 1
+		for j < len(modes) && modes[j] == m {
+			j++
+		}
+		dst = append(dst, byte(m))
+		n := binary.PutUvarint(tmp[:], uint64(j-i))
+		dst = append(dst, tmp[:n]...)
+		i = j
+	}
+	return dst
+}
+
+// decodeModeRLE expands one RLE day block into dst, which must hold
+// exactly want samples when done.
+func decodeModeRLE(block []byte, dst []energy.Mode, want int) ([]energy.Mode, error) {
+	if cap(dst) < want {
+		dst = make([]energy.Mode, want)
+	}
+	dst = dst[:want]
+	i := 0
+	for off := 0; off < len(block); {
+		m := energy.Mode(block[off])
+		if m < 0 || int(m) >= energy.NumModes {
+			return nil, fmt.Errorf("pecan: mode block carries unknown mode %d", m)
+		}
+		run, n := binary.Uvarint(block[off+1:])
+		if n <= 0 || run == 0 || i+int(run) > want {
+			return nil, fmt.Errorf("pecan: mode block run corrupt at byte %d", off)
+		}
+		off += 1 + n
+		for j := 0; j < int(run); j++ {
+			dst[i+j] = m
+		}
+		i += int(run)
+	}
+	if i != want {
+		return nil, fmt.Errorf("pecan: mode block holds %d samples, want %d", i, want)
+	}
+	return dst, nil
+}
+
+func (ms *modeStore) len() int { return ms.n }
+
+// dayInto returns day d's modes, decoding into dst for RLE storage
+// (raw storage aliases).
+func (ms *modeStore) dayInto(d int, dst []energy.Mode) []energy.Mode {
+	if ms.raw != nil {
+		return ms.raw[d*MinutesPerDay : (d+1)*MinutesPerDay]
+	}
+	want := MinutesPerDay
+	if last := d == len(ms.rle)-1; last && ms.n%MinutesPerDay != 0 {
+		want = ms.n % MinutesPerDay
+	}
+	out, err := decodeModeRLE(ms.rle[d], dst, want)
+	if err != nil {
+		panic(fmt.Sprintf("pecan: day %d mode decode failed on self-encoded trace: %v", d, err))
+	}
+	return out
+}
+
+// materialize expands the whole label series (raw storage aliases).
+func (ms *modeStore) materialize(dst []energy.Mode) []energy.Mode {
+	if ms.raw != nil {
+		return ms.raw
+	}
+	if cap(dst) < ms.n {
+		dst = make([]energy.Mode, ms.n)
+	}
+	dst = dst[:ms.n]
+	off := 0
+	for d := range ms.rle {
+		want := MinutesPerDay
+		if off+want > ms.n {
+			want = ms.n - off
+		}
+		if _, err := decodeModeRLE(ms.rle[d], dst[off:off:off+want], want); err != nil {
+			panic(fmt.Sprintf("pecan: day %d mode decode failed on self-encoded trace: %v", d, err))
+		}
+		off += want
+	}
+	return dst
+}
+
+func (ms *modeStore) storageBytes() int {
+	if ms.raw != nil {
+		return modeBytes * len(ms.raw)
+	}
+	total := 0
+	for _, b := range ms.rle {
+		total += len(b)
+	}
+	return total
+}

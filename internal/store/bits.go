@@ -1,0 +1,82 @@
+package store
+
+// Bit-stream primitives for the block codec. internal/wire's streams are
+// byte-granular (varints, zero-run bytes); the Gorilla-style value codec
+// needs sub-byte tokens, so the store carries its own minimal pair. Both
+// sides address bits MSB-first within each byte, which keeps the encoded
+// stream independent of host endianness.
+
+// bitWriter appends bits to a growing byte buffer, MSB-first.
+type bitWriter struct {
+	buf []byte
+	// free is the number of unwritten low-order bits in buf's last byte;
+	// 0 means the last byte is full (or buf is empty).
+	free uint
+}
+
+// writeBits appends the low n bits of v (n ≤ 64), most significant first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	v <<= 64 - n // left-align the payload
+	for n > 0 {
+		if w.free == 0 {
+			w.buf = append(w.buf, 0)
+			w.free = 8
+		}
+		take := n
+		if take > w.free {
+			take = w.free
+		}
+		w.buf[len(w.buf)-1] |= byte(v>>(64-take)) << (w.free - take)
+		v <<= take
+		n -= take
+		w.free -= take
+	}
+}
+
+// writeBit appends a single bit.
+func (w *bitWriter) writeBit(b uint64) { w.writeBits(b&1, 1) }
+
+// bitLen returns the number of bits written so far.
+func (w *bitWriter) bitLen() int { return len(w.buf)*8 - int(w.free) }
+
+// reset clears the writer for reuse, keeping the buffer capacity.
+func (w *bitWriter) reset() {
+	w.buf = w.buf[:0]
+	w.free = 0
+}
+
+// bitReader consumes bits from a byte slice, MSB-first. Reads past the end
+// fail with errShort rather than panicking — truncated blocks are a data
+// error, not a programming error.
+type bitReader struct {
+	buf []byte
+	pos uint64 // bit cursor
+}
+
+// readBits returns the next n bits (n ≤ 64) as the low bits of a uint64.
+func (r *bitReader) readBits(n uint) (uint64, bool) {
+	if r.pos+uint64(n) > uint64(len(r.buf))*8 {
+		return 0, false
+	}
+	var v uint64
+	for n > 0 {
+		byteIdx := r.pos >> 3
+		bitOff := uint(r.pos & 7) // bits already consumed in this byte
+		avail := 8 - bitOff
+		take := n
+		if take > avail {
+			take = avail
+		}
+		chunk := uint64(r.buf[byteIdx]>>(avail-take)) & ((1 << take) - 1)
+		v = v<<take | chunk
+		r.pos += uint64(take)
+		n -= take
+	}
+	return v, true
+}
+
+// readBit returns the next single bit.
+func (r *bitReader) readBit() (uint64, bool) { return r.readBits(1) }

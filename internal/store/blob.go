@@ -1,0 +1,155 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Blob format ("PFS1"): a whole corpus of compressed series in one
+// mmap-friendly byte stream. The header and block directory are
+// fixed-layout little-endian so a reader can locate any (series, block)
+// payload by arithmetic alone, and ReadBlob slices block payloads directly
+// out of the input buffer — no payload copies, decode stays lazy.
+//
+//	magic    "PFS1"                       4 bytes
+//	version  u16 (= 1)                    2
+//	reserved u16 (= 0)                    2
+//	blockLen u32                          4
+//	nSeries  u32                          4
+//	per series:  nSamples u64, nBlocks u32
+//	directory:   byteLen u32 per block (series-major order)
+//	payload:     the blocks, concatenated in directory order
+const (
+	blobMagic   = "PFS1"
+	blobVersion = 1
+)
+
+// maxBlobSeries bounds the header's declared series count so a corrupt
+// header cannot force a huge directory allocation before validation.
+const maxBlobSeries = 1 << 24
+
+// WriteBlob serializes the series set. Every series must be fully sealed
+// (Seal any partial tail first) and share the same block length.
+func WriteBlob(w io.Writer, series []*Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("store: blob needs at least one series")
+	}
+	blockLen := series[0].blockLen
+	var hdr [16]byte
+	copy(hdr[:4], blobMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], blobVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(blockLen))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(series)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [12]byte
+	for i, s := range series {
+		if s.blockLen != blockLen {
+			return fmt.Errorf("store: series %d block length %d, blob uses %d", i, s.blockLen, blockLen)
+		}
+		if pending := len(s.cur); pending != 0 {
+			return fmt.Errorf("store: series %d has %d unsealed samples; Seal before WriteBlob", i, pending)
+		}
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(s.n))
+		binary.LittleEndian.PutUint32(buf[8:12], uint32(len(s.blocks)))
+		if _, err := w.Write(buf[:12]); err != nil {
+			return err
+		}
+	}
+	for _, s := range series {
+		for _, b := range s.blocks {
+			binary.LittleEndian.PutUint32(buf[0:4], uint32(len(b)))
+			if _, err := w.Write(buf[:4]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range series {
+		for _, b := range s.blocks {
+			if _, err := w.Write(b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadBlob parses a blob, slicing every block payload out of data without
+// copying — data must stay alive (and unmodified) as long as the returned
+// series are in use. Sample counts are revalidated against each block's own
+// header, so a truncated or bit-flipped directory fails here with
+// ErrCorrupt rather than at first decode.
+func ReadBlob(data []byte) ([]*Series, error) {
+	if len(data) < 16 {
+		return nil, corruptf("blob header truncated (%d bytes)", len(data))
+	}
+	if string(data[:4]) != blobMagic {
+		return nil, corruptf("blob magic %q, want %q", data[:4], blobMagic)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != blobVersion {
+		return nil, corruptf("blob version %d, want %d", v, blobVersion)
+	}
+	blockLen := int(binary.LittleEndian.Uint32(data[8:12]))
+	nSeries := int(binary.LittleEndian.Uint32(data[12:16]))
+	if blockLen <= 0 {
+		return nil, corruptf("blob block length %d", blockLen)
+	}
+	if nSeries <= 0 || nSeries > maxBlobSeries {
+		return nil, corruptf("blob declares %d series", nSeries)
+	}
+	off := 16
+	need := nSeries * 12
+	if off+need > len(data) {
+		return nil, corruptf("blob series table truncated")
+	}
+	out := make([]*Series, nSeries)
+	totalBlocks := 0
+	for i := range out {
+		n := binary.LittleEndian.Uint64(data[off : off+8])
+		nb := int(binary.LittleEndian.Uint32(data[off+8 : off+12]))
+		off += 12
+		if n > uint64(nb)*uint64(blockLen) {
+			return nil, corruptf("blob series %d declares %d samples in %d blocks of %d", i, n, nb, blockLen)
+		}
+		out[i] = &Series{blockLen: blockLen, n: int(n), sealed: int(n)%blockLen != 0}
+		totalBlocks += nb
+		if totalBlocks > len(data) { // each block costs ≥1 directory+payload byte
+			return nil, corruptf("blob declares %d blocks in %d bytes", totalBlocks, len(data))
+		}
+		out[i].blocks = make([][]byte, 0, nb)
+		out[i].counts = make([]int, 0, nb)
+	}
+	dirOff, payOff := off, off+4*totalBlocks
+	if payOff > len(data) {
+		return nil, corruptf("blob directory truncated")
+	}
+	for i, s := range out {
+		samples := 0
+		for b := 0; b < cap(s.blocks); b++ {
+			bl := int(binary.LittleEndian.Uint32(data[dirOff : dirOff+4]))
+			dirOff += 4
+			if bl <= 0 || payOff+bl > len(data) {
+				return nil, corruptf("blob series %d block %d payload (%d bytes) truncated", i, b, bl)
+			}
+			block := data[payOff : payOff+bl : payOff+bl]
+			payOff += bl
+			count, err := blockSamples(block)
+			if err != nil {
+				return nil, err
+			}
+			if count <= 0 || count > blockLen {
+				return nil, corruptf("blob series %d block %d declares %d samples (block length %d)", i, b, count, blockLen)
+			}
+			s.blocks = append(s.blocks, block)
+			s.counts = append(s.counts, count)
+			s.bytes += bl
+			samples += count
+		}
+		if samples != s.n {
+			return nil, corruptf("blob series %d blocks hold %d samples, header says %d", i, samples, s.n)
+		}
+	}
+	return out, nil
+}

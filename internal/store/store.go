@@ -1,0 +1,600 @@
+// Package store is a block-oriented columnar store for minute-resolution
+// load series. Each (trace, day) becomes one independently decodable
+// compressed block in one of two encodings, chosen per block:
+//
+//   - XOR: Gorilla-style float encoding (leading/trailing-zero windows)
+//     extended with a run token for the long stretches of repeated readings
+//     real meters produce (standby plateaus, vacation days, overnight off
+//     periods). Works on arbitrary float64 series.
+//   - Grid: frame-of-reference bitpacked integers for quantized meter
+//     feeds. When every sample sits on an n·res grid (a 1 W meter reports
+//     multiples of 0.001 kW), the block stores res once plus each sample's
+//     offset from the block minimum in ceil(log2(span)) bits — a noisy
+//     standby plateau costs ~4 bits/sample where XOR-of-floats pays tens
+//     (neighboring grid points differ across most of the mantissa).
+//
+// A quantized series (NewSeriesQuantized) attempts grid first and falls
+// back to XOR unless every sample reconstructs bit-exactly, so both
+// encodings are lossless: decode returns the exact IEEE-754 bit patterns
+// that were appended, which is what lets the simulation run bit-identically
+// on raw slices and on store-backed traces. Timestamps are never stored —
+// the series is fixed-stride (one sample per minute), so a block is fully
+// addressed by its index. Blob serialization (blob.go) adds a versioned
+// header and block directory so a whole corpus can be written once and
+// lazily decoded from an mmap-style byte slice.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// DefaultBlockLen is the natural block size: one day of minute samples.
+const DefaultBlockLen = 1440
+
+// ErrNonFinite rejects NaN/Inf samples at append time. The XOR codec could
+// represent them, but a non-finite kW reading is always an upstream data
+// error and admitting one would poison every downstream consumer.
+var ErrNonFinite = errors.New("store: non-finite sample")
+
+// ErrCorrupt is the sentinel wrapped by every decode-side failure:
+// truncated headers, impossible sample counts, bit streams that end
+// mid-token. errors.Is(err, ErrCorrupt) catches them all.
+var ErrCorrupt = errors.New("store: corrupt block")
+
+// corruptf wraps ErrCorrupt with detail.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("store: %s: %w", fmt.Sprintf(format, args...), ErrCorrupt)
+}
+
+// Value-token control codes (prefix-free, MSB-first):
+//
+//	0                              XOR with previous value is zero (repeat)
+//	10  + S bits                   meaningful XOR bits, reusing the current
+//	                               (leading, S) window
+//	110 + 6b leading + 6b S-1 + S  meaningful XOR bits under a new window
+//	111 + 12b run                  `run` consecutive repeats of the previous
+//	                               value (run ∈ [1, 4095])
+//
+// The run token is the store's addition to classic Gorilla: a vacation day
+// (1440 identical samples) costs one 15-bit token instead of 1439 single
+// bits, and quantized meter feeds spend most of their life in such runs.
+const (
+	runTokenMin = 8    // shorter runs use single '0' bits
+	runTokenMax = 4095 // 12-bit run field
+)
+
+// Block encoding tags: one byte after the sample-count header.
+const (
+	blockTagXOR  = 0
+	blockTagGrid = 1
+)
+
+// gridMaxWidth caps the per-sample bit width a grid block may use; spans
+// wider than this compress better under XOR anyway.
+const gridMaxWidth = 32
+
+// blockEncoder compresses one block's samples as they stream in.
+type blockEncoder struct {
+	bw      bitWriter
+	prev    uint64
+	leading uint // current window: leading zeros
+	sigbits uint // current window: meaningful bits (0 = no window yet)
+	count   int
+	run     int // pending repeats not yet flushed
+}
+
+// add appends one sample to the block.
+func (e *blockEncoder) add(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w (%v)", ErrNonFinite, v)
+	}
+	b := math.Float64bits(v)
+	if e.count == 0 {
+		e.bw.writeBits(b, 64)
+		e.prev = b
+		e.count++
+		return nil
+	}
+	xor := b ^ e.prev
+	e.prev = b
+	e.count++
+	if xor == 0 {
+		e.run++
+		return nil
+	}
+	e.flushRun()
+	lead := uint(bits.LeadingZeros64(xor))
+	trail := uint(bits.TrailingZeros64(xor))
+	if lead > 63 {
+		lead = 63
+	}
+	if e.sigbits != 0 && lead >= e.leading && trail >= 64-e.leading-e.sigbits {
+		// The meaningful bits fit the established window: short token.
+		e.bw.writeBits(0b10, 2)
+		e.bw.writeBits(xor>>(64-e.leading-e.sigbits), e.sigbits)
+		return nil
+	}
+	sig := 64 - lead - trail // ≥ 1 since xor != 0
+	e.bw.writeBits(0b110, 3)
+	e.bw.writeBits(uint64(lead), 6)
+	e.bw.writeBits(uint64(sig-1), 6)
+	e.bw.writeBits(xor>>trail, sig)
+	e.leading, e.sigbits = lead, sig
+	return nil
+}
+
+// flushRun emits any pending repeat run: long runs as 12-bit run tokens,
+// short remainders as single '0' bits.
+func (e *blockEncoder) flushRun() {
+	for e.run >= runTokenMin {
+		n := e.run
+		if n > runTokenMax {
+			n = runTokenMax
+		}
+		e.bw.writeBits(0b111, 3)
+		e.bw.writeBits(uint64(n), 12)
+		e.run -= n
+	}
+	for ; e.run > 0; e.run-- {
+		e.bw.writeBit(0)
+	}
+}
+
+// finish seals the block and returns its encoded bytes (valid until the
+// next reset). A finished empty encoder returns nil.
+func (e *blockEncoder) finish() []byte {
+	if e.count == 0 {
+		return nil
+	}
+	e.flushRun()
+	return e.bw.buf
+}
+
+// appendBlockBytes assembles one self-contained block: uvarint sample
+// count, encoding tag byte, then the encoding's payload.
+func appendBlockBytes(dst []byte, count int, tag byte, payload []byte) []byte {
+	var hdr [10]byte
+	n := putUvarint(hdr[:], uint64(count))
+	dst = append(dst, hdr[:n]...)
+	dst = append(dst, tag)
+	return append(dst, payload...)
+}
+
+// EncodeBlock compresses one complete block of samples into a
+// self-contained XOR-encoded byte block (sample-count header + tag + bit
+// stream). For meter-quantized series prefer EncodeBlockQuantized.
+func EncodeBlock(dst []byte, samples []float64) ([]byte, error) {
+	var e blockEncoder
+	for _, v := range samples {
+		if err := e.add(v); err != nil {
+			return nil, err
+		}
+	}
+	stream := e.finish()
+	if stream == nil {
+		return nil, fmt.Errorf("store: cannot encode an empty block")
+	}
+	return appendBlockBytes(dst, e.count, blockTagXOR, stream), nil
+}
+
+// EncodeBlockQuantized compresses one complete block of samples expected to
+// sit on an n·res value grid, using the bitpacked grid encoding when every
+// sample reconstructs bit-exactly from its grid index and falling back to
+// the XOR encoding otherwise (including res <= 0). The result therefore
+// always decodes to the exact input bit patterns, grid hint or not.
+func EncodeBlockQuantized(dst []byte, samples []float64, res float64) ([]byte, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("store: cannot encode an empty block")
+	}
+	if res > 0 && !math.IsInf(res, 0) {
+		mark := len(dst)
+		var hdr [10]byte
+		n := putUvarint(hdr[:], uint64(len(samples)))
+		dst = append(dst, hdr[:n]...)
+		dst = append(dst, blockTagGrid)
+		if out, ok := gridEncode(dst, samples, res); ok {
+			return out, nil
+		}
+		dst = dst[:mark]
+	}
+	return EncodeBlock(dst, samples)
+}
+
+// zigzag / unzigzag fold signed grid offsets into uvarint-friendly space.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// gridEncode appends the grid payload (resolution bits, zigzag base index,
+// bit width, bitpacked offsets) for samples on the res grid. It reports
+// false — leaving dst semantically untouched past its input length — if any
+// sample fails bitwise round-trip through its grid index, the index span
+// needs more than gridMaxWidth bits, or an index exceeds exact-integer
+// float64 range; callers then fall back to the XOR encoding.
+func gridEncode(dst []byte, samples []float64, res float64) ([]byte, bool) {
+	ns := make([]int64, len(samples))
+	var minN, maxN int64
+	for i, v := range samples {
+		n := math.Round(v / res)
+		if !(math.Abs(n) < 1<<52) { // also rejects NaN
+			return dst, false
+		}
+		ni := int64(n)
+		if math.Float64bits(float64(ni)*res) != math.Float64bits(v) {
+			return dst, false
+		}
+		ns[i] = ni
+		if i == 0 || ni < minN {
+			minN = ni
+		}
+		if i == 0 || ni > maxN {
+			maxN = ni
+		}
+	}
+	width := uint(bits.Len64(uint64(maxN - minN)))
+	if width > gridMaxWidth {
+		return dst, false
+	}
+	rb := math.Float64bits(res)
+	for i := 0; i < 8; i++ {
+		dst = append(dst, byte(rb>>(8*i)))
+	}
+	var hdr [10]byte
+	n := putUvarint(hdr[:], zigzag(minN))
+	dst = append(dst, hdr[:n]...)
+	dst = append(dst, byte(width))
+	if width > 0 {
+		var bw bitWriter
+		for _, ni := range ns {
+			bw.writeBits(uint64(ni-minN), width)
+		}
+		dst = append(dst, bw.buf...)
+	}
+	return dst, true
+}
+
+// decodeGridBlock decodes a grid payload into dst (already sized to the
+// block's sample count).
+func decodeGridBlock(payload []byte, dst []float64) error {
+	if len(payload) < 8 {
+		return corruptf("grid block truncated before resolution (%d bytes)", len(payload))
+	}
+	var rb uint64
+	for i := 0; i < 8; i++ {
+		rb |= uint64(payload[i]) << (8 * i)
+	}
+	res := math.Float64frombits(rb)
+	if !(res > 0) || math.IsInf(res, 0) {
+		return corruptf("grid block resolution %v not positive finite", res)
+	}
+	zz, n := uvarint(payload[8:])
+	if n <= 0 {
+		return corruptf("grid block truncated in base index")
+	}
+	minN := unzigzag(zz)
+	payload = payload[8+n:]
+	if len(payload) < 1 {
+		return corruptf("grid block truncated before bit width")
+	}
+	width := uint(payload[0])
+	if width > gridMaxWidth {
+		return corruptf("grid block width %d exceeds %d", width, gridMaxWidth)
+	}
+	lo := float64(minN) * res
+	hi := (float64(minN) + float64(uint64(1)<<width)) * res
+	if math.IsInf(lo, 0) || math.IsNaN(lo) || math.IsInf(hi, 0) || math.IsNaN(hi) {
+		return corruptf("grid block value range not finite")
+	}
+	if width == 0 {
+		for i := range dst {
+			dst[i] = lo
+		}
+		return nil
+	}
+	r := bitReader{buf: payload[1:]}
+	for i := range dst {
+		u, ok := r.readBits(width)
+		if !ok {
+			return corruptf("grid block truncated at sample %d of %d", i, len(dst))
+		}
+		dst[i] = float64(minN+int64(u)) * res
+	}
+	return nil
+}
+
+// DecodeBlock decompresses one block into dst (reused if it has capacity)
+// and returns the sample slice. maxCount bounds the block's declared sample
+// count — a corrupt header cannot force a huge allocation.
+func DecodeBlock(block []byte, maxCount int, dst []float64) ([]float64, error) {
+	count, n := uvarint(block)
+	if n <= 0 {
+		return nil, corruptf("block header truncated (%d bytes)", len(block))
+	}
+	if count == 0 || (maxCount > 0 && count > uint64(maxCount)) {
+		return nil, corruptf("block declares %d samples (max %d)", count, maxCount)
+	}
+	if cap(dst) < int(count) {
+		dst = make([]float64, count)
+	}
+	dst = dst[:count]
+	if len(block) <= n {
+		return nil, corruptf("block truncated before encoding tag")
+	}
+	tag := block[n]
+	n++
+	switch tag {
+	case blockTagXOR:
+		// fall through to the token loop below
+	case blockTagGrid:
+		if err := decodeGridBlock(block[n:], dst); err != nil {
+			return nil, err
+		}
+		return dst, nil
+	default:
+		return nil, corruptf("unknown block encoding tag %d", tag)
+	}
+	r := bitReader{buf: block[n:]}
+	first, ok := r.readBits(64)
+	if !ok {
+		return nil, corruptf("block truncated before first value")
+	}
+	if math.IsNaN(math.Float64frombits(first)) || math.IsInf(math.Float64frombits(first), 0) {
+		return nil, corruptf("block carries non-finite first value")
+	}
+	dst[0] = math.Float64frombits(first)
+	prev := first
+	var leading, sigbits uint
+	for i := 1; i < int(count); {
+		b, ok := r.readBit()
+		if !ok {
+			return nil, corruptf("block truncated at sample %d of %d", i, count)
+		}
+		if b == 0 { // repeat
+			dst[i] = math.Float64frombits(prev)
+			i++
+			continue
+		}
+		b, ok = r.readBit()
+		if !ok {
+			return nil, corruptf("block truncated mid-token at sample %d", i)
+		}
+		if b == 0 { // '10': window reuse
+			if sigbits == 0 {
+				return nil, corruptf("window-reuse token before any window at sample %d", i)
+			}
+			sig, ok := r.readBits(sigbits)
+			if !ok {
+				return nil, corruptf("block truncated in value bits at sample %d", i)
+			}
+			prev ^= sig << (64 - leading - sigbits)
+			dst[i] = math.Float64frombits(prev)
+			i++
+			continue
+		}
+		b, ok = r.readBit()
+		if !ok {
+			return nil, corruptf("block truncated mid-token at sample %d", i)
+		}
+		if b == 0 { // '110': new window
+			hdr, ok := r.readBits(12)
+			if !ok {
+				return nil, corruptf("block truncated in window header at sample %d", i)
+			}
+			leading = uint(hdr >> 6)
+			sigbits = uint(hdr&0x3f) + 1
+			if leading+sigbits > 64 {
+				return nil, corruptf("window %d+%d exceeds 64 bits at sample %d", leading, sigbits, i)
+			}
+			sig, ok := r.readBits(sigbits)
+			if !ok {
+				return nil, corruptf("block truncated in value bits at sample %d", i)
+			}
+			trail := 64 - leading - sigbits
+			prev ^= sig << trail
+			dst[i] = math.Float64frombits(prev)
+			i++
+			continue
+		}
+		// '111': run of repeats
+		run, ok := r.readBits(12)
+		if !ok {
+			return nil, corruptf("block truncated in run length at sample %d", i)
+		}
+		if run == 0 || i+int(run) > int(count) {
+			return nil, corruptf("run of %d at sample %d overflows block of %d", run, i, count)
+		}
+		v := math.Float64frombits(prev)
+		for j := 0; j < int(run); j++ {
+			dst[i+j] = v
+		}
+		i += int(run)
+	}
+	return dst, nil
+}
+
+// blockSamples returns a block's declared sample count without decoding it.
+func blockSamples(block []byte) (int, error) {
+	count, n := uvarint(block)
+	if n <= 0 {
+		return 0, corruptf("block header truncated (%d bytes)", len(block))
+	}
+	return int(count), nil
+}
+
+// Series is one compressed, append-only fixed-stride series: consecutive
+// samples sealed into one compressed block per blockLen samples (the final
+// block may be shorter after Seal). Pending samples buffer in a small
+// scratch slice until their block seals, so each seal sees the whole block
+// and can choose the grid encoding when the series carries a resolution
+// hint. The zero value is not usable; use NewSeries or NewSeriesQuantized.
+type Series struct {
+	blockLen int
+	res      float64 // grid resolution hint (0 = XOR only)
+	blocks   [][]byte
+	counts   []int     // per-block sample counts (header-free fast path)
+	n        int       // total sealed + pending samples
+	bytes    int       // total compressed bytes across sealed blocks
+	cur      []float64 // pending samples of the open block
+	sealed   bool      // Seal was called with a pending partial block
+}
+
+// NewSeries returns an empty series with the given block length
+// (0 = DefaultBlockLen, one day of minutes).
+func NewSeries(blockLen int) *Series {
+	return NewSeriesQuantized(blockLen, 0)
+}
+
+// NewSeriesQuantized returns an empty series whose samples are expected to
+// sit on an n·res value grid (res in the series' own unit, e.g. 0.001 for a
+// 1 W meter feed in kW). The hint selects the bitpacked grid encoding for
+// blocks where it reproduces every sample bit-exactly; other blocks fall
+// back to XOR, so a wrong hint costs compression, never correctness.
+// res <= 0 disables the hint.
+func NewSeriesQuantized(blockLen int, res float64) *Series {
+	if blockLen <= 0 {
+		blockLen = DefaultBlockLen
+	}
+	if !(res > 0) || math.IsInf(res, 0) {
+		res = 0
+	}
+	return &Series{blockLen: blockLen, res: res}
+}
+
+// BlockLen returns the samples-per-block stride.
+func (s *Series) BlockLen() int { return s.blockLen }
+
+// Len returns the total number of samples appended (sealed + pending).
+func (s *Series) Len() int { return s.n }
+
+// NumBlocks returns the number of sealed blocks.
+func (s *Series) NumBlocks() int { return len(s.blocks) }
+
+// BlockSamples returns the sample count of sealed block i.
+func (s *Series) BlockSamples(i int) int { return s.counts[i] }
+
+// Block returns the encoded bytes of sealed block i (aliased, do not
+// mutate).
+func (s *Series) Block(i int) []byte { return s.blocks[i] }
+
+// Append adds one sample, sealing a block every blockLen samples. It
+// returns ErrNonFinite for NaN/Inf without consuming the sample.
+func (s *Series) Append(v float64) error {
+	if s.sealed {
+		return fmt.Errorf("store: append after Seal on a partial block")
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w (%v)", ErrNonFinite, v)
+	}
+	if s.cur == nil {
+		s.cur = make([]float64, 0, s.blockLen)
+	}
+	s.cur = append(s.cur, v)
+	s.n++
+	if len(s.cur) == s.blockLen {
+		s.sealBlock()
+	}
+	return nil
+}
+
+// AppendSlice appends a batch of samples.
+func (s *Series) AppendSlice(vs []float64) error {
+	for _, v := range vs {
+		if err := s.Append(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Seal flushes a pending partial block (if any) so every sample becomes
+// decodable. Required before WriteBlob when Len is not a multiple of
+// BlockLen; a no-op otherwise. After sealing a partial block the series
+// rejects further appends (blocks after a short block would break the
+// fixed-stride index math).
+func (s *Series) Seal() {
+	if len(s.cur) > 0 {
+		s.sealBlock()
+		s.sealed = true
+	}
+	s.cur = nil // release the open-block scratch
+}
+
+func (s *Series) sealBlock() {
+	block, err := EncodeBlockQuantized(nil, s.cur, s.res)
+	if err != nil {
+		// Samples were validated finite at Append; encoding cannot fail.
+		panic(fmt.Sprintf("store: seal of validated block failed: %v", err))
+	}
+	s.blocks = append(s.blocks, block)
+	s.counts = append(s.counts, len(s.cur))
+	s.bytes += len(block)
+	s.cur = s.cur[:0]
+}
+
+// DecodeBlockInto decodes sealed block i into dst (reused if it has
+// capacity) and returns the samples.
+func (s *Series) DecodeBlockInto(i int, dst []float64) ([]float64, error) {
+	if i < 0 || i >= len(s.blocks) {
+		return nil, fmt.Errorf("store: block %d outside [0,%d)", i, len(s.blocks))
+	}
+	out, err := DecodeBlock(s.blocks[i], s.blockLen, dst)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != s.counts[i] {
+		return nil, corruptf("block %d decodes %d samples, directory says %d", i, len(out), s.counts[i])
+	}
+	return out, nil
+}
+
+// CompressedBytes returns the total sealed block payload size. Pending
+// unsealed samples are excluded (their encoding is not final).
+func (s *Series) CompressedBytes() int { return s.bytes }
+
+// RawBytes returns the size the sealed samples would occupy as raw
+// float64s — the bytes-per-point baseline.
+func (s *Series) RawBytes() int { return (s.n - len(s.cur)) * 8 }
+
+// BytesPerPoint returns the compressed bytes per sealed sample.
+func (s *Series) BytesPerPoint() float64 {
+	sealedSamples := s.n - len(s.cur)
+	if sealedSamples == 0 {
+		return 0
+	}
+	return float64(s.bytes) / float64(sealedSamples)
+}
+
+// putUvarint / uvarint are encoding/binary's varint layout, duplicated here
+// so the block format is self-contained (and so decode can fail with
+// ErrCorrupt instead of a generic error).
+func putUvarint(buf []byte, x uint64) int {
+	i := 0
+	for x >= 0x80 {
+		buf[i] = byte(x) | 0x80
+		x >>= 7
+		i++
+	}
+	buf[i] = byte(x)
+	return i + 1
+}
+
+func uvarint(buf []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, b := range buf {
+		if i == 10 {
+			return 0, -(i + 1)
+		}
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, -(i + 1)
+			}
+			return x | uint64(b)<<s, i + 1
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}

@@ -1,0 +1,480 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// roundTrip encodes samples through a Series and decodes every block back.
+func roundTrip(t *testing.T, samples []float64, blockLen int) *Series {
+	t.Helper()
+	s := NewSeries(blockLen)
+	if err := s.AppendSlice(samples); err != nil {
+		t.Fatal(err)
+	}
+	s.Seal()
+	if s.Len() != len(samples) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(samples))
+	}
+	var dst []float64
+	got := make([]float64, 0, len(samples))
+	for b := 0; b < s.NumBlocks(); b++ {
+		out, err := s.DecodeBlockInto(b, dst)
+		if err != nil {
+			t.Fatalf("block %d: %v", b, err)
+		}
+		got = append(got, out...)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("decoded %d samples, want %d", len(got), len(samples))
+	}
+	for i := range samples {
+		if math.Float64bits(got[i]) != math.Float64bits(samples[i]) {
+			t.Fatalf("sample %d: decoded %v (%x), want %v (%x)",
+				i, got[i], math.Float64bits(got[i]), samples[i], math.Float64bits(samples[i]))
+		}
+	}
+	return s
+}
+
+// TestRoundTripRandom pins losslessness on full-entropy mantissas — the
+// worst case for the XOR codec (no compression, but still bit-exact).
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 3*DefaultBlockLen+17)
+	for i := range samples {
+		samples[i] = rng.NormFloat64() * 3
+	}
+	roundTrip(t, samples, 0)
+}
+
+// TestRoundTripMeterLike pins losslessness and a useful ratio on the shape
+// real quantized meter data takes: long plateaus of repeated readings with
+// occasional level changes.
+func TestRoundTripMeterLike(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]float64, 4*DefaultBlockLen)
+	level := 0.005
+	for i := range samples {
+		if rng.Float64() < 0.01 {
+			level = math.Round(rng.Float64()*1000) / 1000
+		}
+		samples[i] = level
+	}
+	s := roundTrip(t, samples, 0)
+	if bpp := s.BytesPerPoint(); bpp > 2.0 {
+		t.Fatalf("meter-like corpus compresses to %.2f bytes/point, want ≤ 2.0", bpp)
+	}
+}
+
+// TestRoundTripShortBlocks exercises odd block lengths and partial tails.
+func TestRoundTripShortBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 6, 7, 13} {
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.Float64()
+		}
+		roundTrip(t, samples, 7)
+	}
+}
+
+// TestEmptySeries pins the degenerate cases: no samples, and blob
+// round-trips of empty series.
+func TestEmptySeries(t *testing.T) {
+	s := NewSeries(0)
+	s.Seal() // no-op
+	if s.Len() != 0 || s.NumBlocks() != 0 || s.BytesPerPoint() != 0 {
+		t.Fatalf("empty series: Len=%d NumBlocks=%d bpp=%v", s.Len(), s.NumBlocks(), s.BytesPerPoint())
+	}
+	var buf bytes.Buffer
+	if err := WriteBlob(&buf, []*Series{s}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBlob(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Len() != 0 || back[0].NumBlocks() != 0 {
+		t.Fatalf("empty series did not survive blob round-trip: %+v", back[0])
+	}
+}
+
+// TestSingleSampleDay pins a one-sample sealed block.
+func TestSingleSampleDay(t *testing.T) {
+	s := roundTrip(t, []float64{0.042}, DefaultBlockLen)
+	if s.NumBlocks() != 1 || s.BlockSamples(0) != 1 {
+		t.Fatalf("single sample: %d blocks, first holds %d", s.NumBlocks(), s.BlockSamples(0))
+	}
+	if err := s.Append(1); err == nil {
+		t.Fatal("append after sealing a partial block should fail")
+	}
+}
+
+// TestAllZeroDayHitsRunToken pins the vacation-day case: 1440 identical
+// zeros must collapse into the 12-bit run token, not 1439 repeat bits.
+func TestAllZeroDayHitsRunToken(t *testing.T) {
+	day := make([]float64, DefaultBlockLen)
+	s := roundTrip(t, day, 0)
+	// varint count (2B) + first value (8B) + '111' run token (15 bits) ≈ 12B.
+	if got := s.CompressedBytes(); got > 16 {
+		t.Fatalf("all-zero day compressed to %d bytes, want ≤ 16 (run token not taken?)", got)
+	}
+	// A run exactly at the single-bit threshold must still round-trip.
+	roundTrip(t, make([]float64, runTokenMin), 0)
+	roundTrip(t, make([]float64, runTokenMin+1), 0)
+	// And runs longer than one token's 12-bit capacity chain tokens.
+	roundTrip(t, make([]float64, runTokenMax+runTokenMin+3), runTokenMax+runTokenMin+3)
+}
+
+// TestNonFiniteRejected pins typed NaN/Inf rejection without state damage.
+func TestNonFiniteRejected(t *testing.T) {
+	s := NewSeries(4)
+	if err := s.Append(1.5); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := s.Append(bad)
+		if !errors.Is(err, ErrNonFinite) {
+			t.Fatalf("Append(%v) = %v, want ErrNonFinite", bad, err)
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("rejected samples changed Len to %d", s.Len())
+	}
+	// The series stays usable after a rejection.
+	if err := s.AppendSlice([]float64{2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.DecodeBlockInto(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after rejection, block decodes %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCorruptBlocks drives the decoder through truncations and impossible
+// headers; every failure must be a typed ErrCorrupt, never a panic.
+func TestCorruptBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	samples := make([]float64, 64)
+	for i := range samples {
+		samples[i] = rng.NormFloat64()
+	}
+	block, err := EncodeBlock(nil, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation point must fail cleanly (prefixes that still hold a
+	// whole smaller value count could in principle decode; with 64 random
+	// values the bit stream always runs short first).
+	for cut := 0; cut < len(block); cut++ {
+		if _, err := DecodeBlock(block[:cut], len(samples), nil); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated block [:%d] decoded: %v", cut, err)
+		}
+	}
+	// A count beyond maxCount must be rejected before allocation.
+	huge := append([]byte{0xff, 0xff, 0xff, 0x7f}, block...)
+	if _, err := DecodeBlock(huge, 1440, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized count decoded: %v", err)
+	}
+	// Zero-count blocks are impossible.
+	if _, err := DecodeBlock([]byte{0x00, 0x01, 0x02}, 1440, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("zero-count block decoded")
+	}
+	// Empty input.
+	if _, err := DecodeBlock(nil, 1440, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("empty block decoded")
+	}
+}
+
+// TestBlobRoundTrip pins the container format end to end, including
+// zero-copy reads and bytes-per-point accounting surviving serialization.
+func TestBlobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var series []*Series
+	for k := 0; k < 3; k++ {
+		s := NewSeries(96)
+		n := 96 * (k + 1)
+		if k == 2 {
+			n += 17 // partial tail block
+		}
+		for i := 0; i < n; i++ {
+			s.Append(math.Round(rng.Float64()*100) / 100)
+		}
+		s.Seal()
+		series = append(series, s)
+	}
+	var buf bytes.Buffer
+	if err := WriteBlob(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBlob(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(series) {
+		t.Fatalf("blob holds %d series, want %d", len(back), len(series))
+	}
+	for i, s := range series {
+		b := back[i]
+		if b.Len() != s.Len() || b.NumBlocks() != s.NumBlocks() || b.CompressedBytes() != s.CompressedBytes() {
+			t.Fatalf("series %d metadata drifted: %d/%d/%d vs %d/%d/%d",
+				i, b.Len(), b.NumBlocks(), b.CompressedBytes(), s.Len(), s.NumBlocks(), s.CompressedBytes())
+		}
+		for blk := 0; blk < s.NumBlocks(); blk++ {
+			want, err := s.DecodeBlockInto(blk, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.DecodeBlockInto(blk, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				if math.Float64bits(want[j]) != math.Float64bits(got[j]) {
+					t.Fatalf("series %d block %d sample %d drifted through blob", i, blk, j)
+				}
+			}
+		}
+	}
+}
+
+// TestBlobCorrupt drives ReadBlob through hostile headers.
+func TestBlobCorrupt(t *testing.T) {
+	s := NewSeries(8)
+	for i := 0; i < 20; i++ {
+		s.Append(float64(i))
+	}
+	s.Seal()
+	var buf bytes.Buffer
+	if err := WriteBlob(&buf, []*Series{s}); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := ReadBlob(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("nil blob parsed")
+	}
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := ReadBlob(good[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated blob [:%d] parsed: %v", cut, err)
+		}
+	}
+	bad := append([]byte(nil), good...)
+	copy(bad, "XXXX")
+	if _, err := ReadBlob(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("bad magic parsed")
+	}
+	bad = append([]byte(nil), good...)
+	bad[4] = 99 // version
+	if _, err := ReadBlob(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("bad version parsed")
+	}
+	bad = append([]byte(nil), good...)
+	bad[12] = 0xff // absurd series count with no matching table
+	if _, err := ReadBlob(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("oversized series count parsed")
+	}
+	// Unsealed series must be refused at write time.
+	u := NewSeries(8)
+	u.Append(1)
+	if err := WriteBlob(&bytes.Buffer{}, []*Series{u}); err == nil {
+		t.Fatal("WriteBlob accepted an unsealed partial block")
+	}
+}
+
+// gridRoundTrip mirrors roundTrip for a resolution-hinted series.
+func gridRoundTrip(t *testing.T, samples []float64, blockLen int, res float64) *Series {
+	t.Helper()
+	s := NewSeriesQuantized(blockLen, res)
+	if err := s.AppendSlice(samples); err != nil {
+		t.Fatal(err)
+	}
+	s.Seal()
+	got := make([]float64, 0, len(samples))
+	for b := 0; b < s.NumBlocks(); b++ {
+		out, err := s.DecodeBlockInto(b, nil)
+		if err != nil {
+			t.Fatalf("block %d: %v", b, err)
+		}
+		got = append(got, out...)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("decoded %d samples, want %d", len(got), len(samples))
+	}
+	for i := range samples {
+		if math.Float64bits(got[i]) != math.Float64bits(samples[i]) {
+			t.Fatalf("sample %d: decoded %v, want %v", i, got[i], samples[i])
+		}
+	}
+	return s
+}
+
+// TestGridRoundTrip pins the grid encoding on its target shape: every-minute
+// noise on a 1 W grid, where XOR-of-floats pays most of the mantissa but
+// bitpacked grid indices stay under 2 bytes/point.
+func TestGridRoundTrip(t *testing.T) {
+	const res = 0.001
+	rng := rand.New(rand.NewSource(17))
+	samples := make([]float64, 3*DefaultBlockLen+100)
+	for i := range samples {
+		samples[i] = math.Round(rng.Float64()*2000) * res // 0..2 kW on the grid
+	}
+	s := gridRoundTrip(t, samples, 0, res)
+	if bpp := s.BytesPerPoint(); bpp > 2.0 {
+		t.Fatalf("on-grid noise compressed to %.3f bytes/point, want ≤ 2.0", bpp)
+	}
+}
+
+// TestGridNegativeAndConstant pins zigzag base indices (negative grids, e.g.
+// net-metered export) and the width-0 constant-block case.
+func TestGridNegativeAndConstant(t *testing.T) {
+	const res = 0.25
+	neg := []float64{-3.25, -3.5, -2.75, 0, 1.25, -8.0}
+	gridRoundTrip(t, neg, len(neg), res)
+
+	flat := make([]float64, DefaultBlockLen)
+	for i := range flat {
+		flat[i] = 1.75
+	}
+	s := gridRoundTrip(t, flat, 0, res)
+	// res (8B) + base varint + width byte + count varint + tag ≈ 14B.
+	if got := s.CompressedBytes(); got > 16 {
+		t.Fatalf("constant grid day compressed to %d bytes, want ≤ 16", got)
+	}
+}
+
+// TestGridFallback pins that a wrong resolution hint costs compression but
+// never correctness: off-grid samples must fall back to XOR bit-exactly.
+func TestGridFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	samples := make([]float64, DefaultBlockLen+13)
+	for i := range samples {
+		samples[i] = rng.NormFloat64() // full-entropy mantissas, not on any grid
+	}
+	gridRoundTrip(t, samples, 0, 0.001)
+
+	// A hinted series with mixed blocks: one on-grid day, one off-grid day.
+	mixed := make([]float64, 2*DefaultBlockLen)
+	for i := 0; i < DefaultBlockLen; i++ {
+		mixed[i] = math.Round(rng.Float64()*500) * 0.001
+	}
+	for i := DefaultBlockLen; i < len(mixed); i++ {
+		mixed[i] = rng.NormFloat64()
+	}
+	gridRoundTrip(t, mixed, 0, 0.001)
+}
+
+// TestGridCorrupt drives the grid decoder through truncations and hostile
+// headers; every failure must be a typed ErrCorrupt, never a panic.
+func TestGridCorrupt(t *testing.T) {
+	const res = 0.001
+	rng := rand.New(rand.NewSource(23))
+	samples := make([]float64, 64)
+	for i := range samples {
+		samples[i] = math.Round(rng.Float64()*1000) * res
+	}
+	block, err := EncodeBlockQuantized(nil, samples, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block[1] != blockTagGrid {
+		t.Fatalf("on-grid block took tag %d, want grid", block[1])
+	}
+	for cut := 0; cut < len(block); cut++ {
+		if _, err := DecodeBlock(block[:cut], len(samples), nil); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated grid block [:%d] decoded: %v", cut, err)
+		}
+	}
+	// Unknown encoding tag.
+	bad := append([]byte(nil), block...)
+	bad[1] = 0x7e
+	if _, err := DecodeBlock(bad, len(samples), nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("unknown tag decoded")
+	}
+	// Non-positive / non-finite resolution bits (bytes 2..9 after 1-byte
+	// count varint and tag).
+	for _, rb := range []uint64{0, math.Float64bits(math.Inf(1)), math.Float64bits(math.NaN()), math.Float64bits(-res)} {
+		bad = append([]byte(nil), block...)
+		for i := 0; i < 8; i++ {
+			bad[2+i] = byte(rb >> (8 * i))
+		}
+		if _, err := DecodeBlock(bad, len(samples), nil); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("resolution bits %x decoded: %v", rb, err)
+		}
+	}
+	// Absurd bit width (byte after res + 2-byte zigzag base for this corpus
+	// is found by scanning: width byte is the last header byte before the
+	// packed payload; force it past gridMaxWidth via re-encoding a tiny
+	// block whose layout is fixed).
+	tiny, err := EncodeBlockQuantized(nil, []float64{res, 2 * res}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: count(1) tag(1) res(8) base-varint(1, zigzag(1)=2) width(1) ...
+	bad = append([]byte(nil), tiny...)
+	bad[11] = gridMaxWidth + 1
+	if _, err := DecodeBlock(bad, 2, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("oversized grid width decoded")
+	}
+}
+
+// TestQuantizedBlobRoundTrip pins that grid-encoded blocks survive the blob
+// container unchanged.
+func TestQuantizedBlobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	s := NewSeriesQuantized(96, 0.01)
+	for i := 0; i < 96*3+10; i++ {
+		s.Append(math.Round(rng.Float64()*300) * 0.01)
+	}
+	s.Seal()
+	var buf bytes.Buffer
+	if err := WriteBlob(&buf, []*Series{s}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBlob(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for blk := 0; blk < s.NumBlocks(); blk++ {
+		want, err := s.DecodeBlockInto(blk, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back[0].DecodeBlockInto(blk, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if math.Float64bits(want[j]) != math.Float64bits(got[j]) {
+				t.Fatalf("block %d sample %d drifted through blob", blk, j)
+			}
+		}
+	}
+}
+
+// TestWindowReuse pins that consecutive same-shaped XORs take the cheap
+// window-reuse token: a slowly wandering mantissa must beat 8 bytes/point.
+func TestWindowReuse(t *testing.T) {
+	samples := make([]float64, DefaultBlockLen)
+	v := 1.0
+	rng := rand.New(rand.NewSource(13))
+	for i := range samples {
+		// Perturb only low mantissa bits so leading-zero structure repeats.
+		v = math.Float64frombits(math.Float64bits(v)&^uint64(0xfff) | uint64(rng.Intn(4096)))
+		samples[i] = v
+	}
+	s := roundTrip(t, samples, 0)
+	if bpp := s.BytesPerPoint(); bpp > 4 {
+		t.Fatalf("low-entropy mantissa stream compressed to %.2f bytes/point, want ≤ 4", bpp)
+	}
+}
