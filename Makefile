@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench throughput bench-comms bench-topology bench-store telemetry-smoke serve-smoke lint verify ci clean
+.PHONY: all build test race bench throughput bench-comms bench-topology bench-store telemetry-smoke serve-smoke scenario-smoke lint verify ci clean
 
 all: verify
 
@@ -88,6 +88,16 @@ telemetry-smoke:
 serve-smoke:
 	$(GO) test -tags serve_smoke -count=1 -v ./internal/serve/smoke
 
+# Scenario gate: run every shipped scenario under scenarios/ through the
+# real CLI for one simulated day. Catches drift between the scenario
+# documents and the engine (a renamed field, a broken validation range)
+# that the package tests can't see because they pin specific files.
+scenario-smoke:
+	@for f in scenarios/*.json; do \
+		echo "== $$f"; \
+		$(GO) run ./cmd/pfdrl -scenario $$f -homes 4 -days 1 || exit 1; \
+	done
+
 lint:
 	$(GO) vet ./...
 
@@ -111,13 +121,16 @@ verify: build test lint
 # against the closed forms fail the gate, a reduced store sweep
 # regenerates BENCH_store.json so codec or memory regressions fail it
 # too, and the serve smoke drives the full daemon lifecycle through the
-# real binary.
+# real binary. The energy and scenario packages join the race list
+# because DER dispatch state is read by the parallel stats/telemetry
+# planes, and the scenario smoke runs every shipped workload end to end.
 ci: verify
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core ./internal/fed ./internal/fednet ./internal/forecast ./internal/nn ./internal/pecan ./internal/rng ./internal/sched ./internal/serve ./internal/store ./internal/tensor ./internal/wire ./internal/telemetry
+	$(GO) test -race ./internal/core ./internal/energy ./internal/fed ./internal/fednet ./internal/forecast ./internal/nn ./internal/pecan ./internal/rng ./internal/sched ./internal/scenario ./internal/serve ./internal/store ./internal/tensor ./internal/wire ./internal/telemetry
 	$(MAKE) bench-topology TOPO_HOMES=64,256
 	$(MAKE) bench-store STORE_HOMES=64,256 STORE_XL=0
 	$(MAKE) serve-smoke
+	$(MAKE) scenario-smoke
 
 clean:
 	$(GO) clean ./...

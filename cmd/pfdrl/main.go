@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fednet"
 	"repro/internal/forecast"
+	"repro/internal/scenario"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -60,6 +61,7 @@ func main() {
 		telLing  = flag.Duration("telemetry-linger", 0, "keep the telemetry server alive this long after the run finishes")
 		journal  = flag.String("journal", "", "stream a JSONL run journal (one record per simulated hour and federation round) to this file")
 		rawTr    = flag.Bool("raw-traces", false, "keep load traces as eager raw slices instead of the compressed columnar store (bit-identical; for A/B memory timing)")
+		scenPath = flag.String("scenario", "", "load a declarative scenario file (DER deployments, demand-response events, Byzantine peers; see scenarios/)")
 
 		serveMode = flag.Bool("serve", false, "run as a long-lived daemon: step the fleet in the background and serve /v1/forecast, /v1/plan, /v1/fleet/status, /v1/config over HTTP")
 		ckptPath  = flag.String("checkpoint", "", "serve mode: rotate full-fleet snapshots to this path and write a final one on shutdown")
@@ -82,7 +84,13 @@ func main() {
 		if set["snapshot"] {
 			log.Fatal("-snapshot is batch-only; serve mode rotates snapshots continuously via -checkpoint")
 		}
+		if set["scenario"] && set["checkpoint"] {
+			log.Fatal("-scenario runs cannot snapshot (scenario runtime state is not in the checkpoint format); drop -checkpoint")
+		}
 	} else {
+		if set["scenario"] && set["snapshot"] {
+			log.Fatal("-scenario runs cannot snapshot (scenario runtime state is not in the checkpoint format); drop -snapshot")
+		}
 		for _, f := range []string{"checkpoint", "checkpoint-every", "step-interval"} {
 			if set[f] {
 				log.Fatalf("-%s requires -serve (batch runs write a one-shot snapshot with -snapshot instead)", f)
@@ -125,6 +133,13 @@ func main() {
 	}
 	if *chaos {
 		cfg.FaultPlan = core.ChaosFaultPlan(cfg.Homes, cfg.Days)
+	}
+	if *scenPath != "" {
+		sc, err := scenario.Load(*scenPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Scenario = sc
 	}
 
 	// Telemetry is opt-in in batch mode: without these flags no sink exists
@@ -181,7 +196,7 @@ func main() {
 		snapTo:   *snapTo,
 		telAddr:  *telAddr,
 		telLing:  *telLing,
-		chaosish: *chaos || *drop > 0 || *retries > 1,
+		chaosish: *chaos || *drop > 0 || *retries > 1 || !cfg.Scenario.AdversaryPlan().Empty(),
 	})
 }
 
@@ -230,6 +245,9 @@ func runBatch(cfg core.Config, sink *telemetry.Sink, closeJournal func(), fl bat
 	}
 	fmt.Printf("method=%s homes=%d days=%d devices/home=%d α=%d β=%gh γ=%gh forecaster=%s\n",
 		cfg.Method, cfg.Homes, cfg.Days, cfg.DevicesPerHome, cfg.Alpha, cfg.BetaHours, cfg.GammaHours, cfg.ForecastKind)
+	if cfg.Scenario != nil {
+		fmt.Printf("scenario: %s\n", cfg.Scenario.Name)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -265,6 +283,9 @@ func runBatch(cfg core.Config, sink *telemetry.Sink, closeJournal func(), fl bat
 		res.ForecastTrainTime.Round(1e6), res.ForecastTestTime.Round(1e6),
 		res.EMSTrainTime.Round(1e6), res.EMSTestTime.Round(1e6))
 	for _, line := range res.CommsLines() {
+		fmt.Println(line)
+	}
+	if line := res.DERLine(); line != "" {
 		fmt.Println(line)
 	}
 	if fl.chaosish {

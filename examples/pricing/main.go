@@ -1,28 +1,84 @@
-// Pricing: what the saved standby energy is worth under the two Texas
-// electricity plans — the paper's Figure 10 view, for one home-year.
+// Pricing: a demand-response event day, declared through the scenario
+// layer instead of hand-coded wiring.
 //
-// A short PFDRL run produces the settled hourly savings profile; that
-// profile is then priced across a calendar year under the fixed plan
-// (11.67 ¢/kWh) and the variable time-of-use plan (0.8–20 ¢/kWh).
+// The shipped dr_event_day scenario equips every home with a battery and
+// an evening-commuter EV, then scripts two DR windows on day 0: a 3×
+// price spike with 50% EV charge curtailment over the evening peak and a
+// half-price overnight rebate. The example runs the scenario, runs an
+// event-free twin of the same fleet, and prices the difference — the
+// batteries and EVs shift load out of the spike, so the DR day costs less
+// than naive dispatch of the same devices would suggest.
 //
 //	go run ./examples/pricing
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/pricing"
+	"repro/internal/scenario"
 )
 
 func main() {
+	sc, err := scenario.Load("scenarios/dr_event_day.json")
+	if errors.Is(err, os.ErrNotExist) {
+		sc, err = scenario.Load("../../scenarios/dr_event_day.json")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	cfg := core.DefaultConfig(core.MethodPFDRL)
 	cfg.Homes = 4
-	cfg.Days = 5
+	cfg.Days = 3
 	cfg.DevicesPerHome = 3
 	cfg.Seed = 5
+	cfg.Scenario = sc
 
+	fmt.Printf("scenario: %s\n%s\n\n", sc.Name, sc.Description)
+
+	// The DR windows as the dispatch agents will see them: the overlay
+	// layered on the June TOU tariff.
+	base := pricing.VariableRate{}
+	overlay := sc.Overlay(base)
+	fmt.Println("day 0 price windows (June TOU base):")
+	for _, ev := range sc.Events {
+		mid := (ev.StartMin + ev.EndMin) / 2
+		fmt.Printf("  %02d:%02d-%02d:%02d  ×%.1f → %.1f ¢/kWh (base %.1f)",
+			ev.StartMin/60, ev.StartMin%60, ev.EndMin/60, ev.EndMin%60,
+			ev.PriceFactor, 100*overlay.PriceAt(ev.Day, 6, mid), 100*base.PricePerKWh(6, mid))
+		if ev.EVCurtail > 0 {
+			fmt.Printf("  (EV charging curtailed %.0f%%)", 100*ev.EVCurtail)
+		}
+		fmt.Println()
+	}
+
+	res := run(cfg)
+
+	// The twin: identical fleet, no DR windows.
+	twin := *sc
+	twin.Events = nil
+	cfg.Scenario = &twin
+	quiet := run(cfg)
+
+	fmt.Printf("\n%5s %18s %18s\n", "day", "DR day (¢)", "no events (¢)")
+	for d := range res.DER.DailyCostCents {
+		tag := ""
+		if d == 0 {
+			tag = "  ← event day"
+		}
+		fmt.Printf("%5d %18.1f %18.1f%s\n", d, res.DER.DailyCostCents[d], quiet.DER.DailyCostCents[d], tag)
+	}
+	fmt.Printf("\nrun total: %.1f¢ with DR vs %.1f¢ without (Δ %+.1f¢)\n",
+		res.DER.CostCents, quiet.DER.CostCents, res.DER.CostCents-quiet.DER.CostCents)
+	fmt.Println(res.DERLine())
+}
+
+func run(cfg core.Config) *core.Result {
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -31,27 +87,5 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	var dailyKWh float64
-	for _, v := range res.SavedByHour {
-		dailyKWh += v
-	}
-	fmt.Printf("settled savings profile: %.3f kWh per home per day\n\n", dailyKWh)
-
-	fmt.Printf("%5s %12s %15s %8s\n", "month", "fixed ($)", "variable ($)", "winner")
-	var fixedYear, varYear float64
-	for month := 1; month <= 12; month++ {
-		days := float64(pricing.DaysInMonth(month))
-		f := pricing.CostOfHourlyKWh(pricing.FixedRate{}, month, res.SavedByHour) * days
-		v := pricing.CostOfHourlyKWh(pricing.VariableRate{}, month, res.SavedByHour) * days
-		fixedYear += f
-		varYear += v
-		winner := "fixed"
-		if v > f {
-			winner = "variable"
-		}
-		fmt.Printf("%5d %12.2f %15.2f %8s\n", month, f, v, winner)
-	}
-	fmt.Printf("\nyear: fixed $%.2f vs variable $%.2f (paper Fig 10: roughly equal,\n", fixedYear, varYear)
-	fmt.Println("variable wins Apr-Jun, fixed wins Aug-Oct)")
+	return res
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fed"
 	"repro/internal/fednet"
 	"repro/internal/forecast"
+	"repro/internal/scenario"
 	"repro/internal/wire"
 )
 
@@ -157,6 +158,12 @@ type Config struct {
 	// overrides the EMS (γ) plane independently — e.g. cluster the slow
 	// forecaster plane while the DQN plane keeps sampled gossip.
 	Topology, EMSTopology TopologySpec
+
+	// Scenario layers a declarative workload onto the run (see
+	// internal/scenario): DER deployments, demand-response events,
+	// seasonal corpus knobs, and Byzantine peers. Nil — the default —
+	// reproduces the paper's plain workload bit for bit.
+	Scenario *scenario.Scenario
 }
 
 // DefaultConfig returns an experiment-scale configuration: faithful
@@ -249,6 +256,13 @@ func (c Config) Validate() error {
 	if err := c.validateTopologies(); err != nil {
 		return err
 	}
+	if err := c.Scenario.Validate(c.Homes, c.Days); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.Scenario != nil && !c.Scenario.AdversaryPlan().Empty() && c.Method != MethodPFDRL {
+		return fmt.Errorf("core: scenario %q scripts an adversary; Byzantine rounds need the decentralized method (PFDRL, have %s)",
+			c.Scenario.Name, c.Method)
+	}
 	return nil
 }
 
@@ -330,4 +344,8 @@ type Result struct {
 	// Resilience tallies fault-tolerance telemetry: round participation,
 	// retries, corrupt rejects, partition outage absorbed.
 	Resilience ResilienceReport
+
+	// DER aggregates the scenario's DER dispatch (nil when the run
+	// deployed none).
+	DER *DERReport
 }

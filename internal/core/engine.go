@@ -18,6 +18,11 @@ var ErrEngineDone = errors.New("core: engine has stepped all configured days")
 // already run.
 var ErrEngineFinished = errors.New("core: engine already finished")
 
+// ErrScenarioSnapshot is returned by WriteSnapshot when the run carries a
+// scenario: the v3 checkpoint format does not serialize scenario runtime
+// state (DER devices and policies, adversary counters).
+var ErrScenarioSnapshot = errors.New("core: snapshots of scenario runs are not supported")
+
 // Engine is the stepwise form of the simulation loop. Where Run drives all
 // cfg.Days days to completion in one call, an Engine exposes the loop's
 // clock: StepHour advances exactly one simulated hour (lazily preparing the
@@ -193,6 +198,7 @@ func (e *Engine) beginDay() error {
 	e.perHomeSteps = make([]int, len(s.homes))
 	e.dayReward, e.daySteps = 0.0, 0
 	e.hourStats = make([]emsHourStats, len(s.homes))
+	s.scn.beginDay()
 	e.dayPrepared = true
 	return nil
 }
@@ -273,6 +279,14 @@ func (e *Engine) runHour() error {
 		e.timer.Add("ems-test", st.testDur)
 		e.timer.Add("ems-train", st.trainDur)
 	}
+	// Scenario DER dispatch rides the same simulated hour: batteries, EV
+	// sessions, and PV allocation step minute by minute under the (possibly
+	// DR-overlaid) TOU price.
+	if s.scn.hasDER() {
+		derWave := time.Now()
+		s.scn.runDERHour(s, day, hour)
+		e.timer.Add("ems.wall", time.Since(derWave))
+	}
 	hourEnd := day*pecan.MinutesPerDay + (hour+1)*60
 	// Advance the fabric clocks so FaultPlan windows (partitions,
 	// crashes) track simulated time.
@@ -304,6 +318,15 @@ func (e *Engine) runHour() error {
 		}
 		e.timer.Add("ems.wall", time.Since(t0))
 	}
+	// Fleet-wide DER families federate on the same γ period over the EMS
+	// plane (PFDRL only — partial deployments train locally).
+	if fires := firesInHour(s.cfg.GammaHours, hourEnd); fires > 0 && cfg.Method == MethodPFDRL && s.scn != nil && len(s.scn.fams) > 0 {
+		t0 := time.Now()
+		if err := s.derRounds(e.timer, fires); err != nil {
+			return err
+		}
+		e.timer.Add("ems.wall", time.Since(t0))
+	}
 	return nil
 }
 
@@ -319,6 +342,7 @@ func (e *Engine) endDay() error {
 	if cfg.Method == MethodCloud {
 		s.cloudDay(e.timer, day)
 	}
+	s.scn.endDay()
 
 	daySaved, dayStandby := 0.0, 0.0
 	for hi := range s.homes {
@@ -416,6 +440,10 @@ func (e *Engine) Finish() (*Result, error) {
 	res.ForecastComms = s.fcCommsTot
 	res.EMSComms = s.emsCommsTot
 	res.Resilience = s.resil
+	if s.scn.hasDER() {
+		der := s.scn.report
+		res.DER = &der
+	}
 	e.finished = true
 	return res, nil
 }

@@ -44,3 +44,19 @@ func (r *Result) CommsLines() []string {
 func (r *Result) ResilienceLine() string {
 	return "resilience: " + r.Resilience.String()
 }
+
+// DERLine renders the scenario DER dispatch tally as one line, or "" when
+// the run deployed no DER.
+func (r *Result) DERLine() string {
+	d := r.DER
+	if d == nil {
+		return ""
+	}
+	pvUsed := 0.0
+	if d.PVGeneratedKWh > 0 {
+		pvUsed = 100 * d.PVUsedKWh / d.PVGeneratedKWh
+	}
+	return fmt.Sprintf("der: %d units, %d steps, %d rounds; grid %.1f kWh in / %.1f kWh out, PV %.1f kWh (%.0f%% used on-site), net cost %.0f¢, %d EV deadline misses (%.1f kWh short)",
+		d.Units, d.Steps, d.Rounds, d.GridImportKWh, d.GridExportKWh,
+		d.PVGeneratedKWh, pvUsed, d.CostCents, d.EVDeadlineMisses, d.EVShortfallKWh)
+}

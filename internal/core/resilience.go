@@ -22,11 +22,14 @@ type ResilienceReport struct {
 	Rounds         int
 	DegradedRounds int
 	// CorruptRejected counts payloads quarantined by wire validation;
-	// NaNRejected sets dropped by the divergence filter; CrashSkips
-	// agent-rounds sat out inside crash windows.
-	CorruptRejected int
-	NaNRejected     int
-	CrashSkips      int
+	// NaNRejected sets dropped by the divergence filter;
+	// ByzantineRejected well-formed payloads quarantined by the scenario
+	// adversary defense gates; CrashSkips agent-rounds sat out inside
+	// crash windows.
+	CorruptRejected   int
+	NaNRejected       int
+	ByzantineRejected int
+	CrashSkips        int
 
 	// Retries / GaveUp / MessagesBlocked / MessagesCorrupted / InboxWiped
 	// sum the fabric counters over both planes.
@@ -61,6 +64,7 @@ func (r *ResilienceReport) absorb(rep fed.RoundReport) {
 	}
 	r.CorruptRejected += rep.CorruptRejected
 	r.NaNRejected += rep.NaNRejected
+	r.ByzantineRejected += rep.ByzantineRejected
 	r.CrashSkips += rep.Crashed
 }
 
@@ -99,9 +103,9 @@ func (r ResilienceReport) RetryByteFrac(totalBytes int64) float64 {
 // String renders the report as the one-line summary cmd/pfdrl and the
 // resilience example print.
 func (r ResilienceReport) String() string {
-	return fmt.Sprintf("%d rounds (%.0f%% degraded), %d retries (%.1f KB), %d corrupt-rejects, %d NaN-rejects, %d crash-skips, %d gave up, %d blocked, %.0fs partitioned",
+	return fmt.Sprintf("%d rounds (%.0f%% degraded), %d retries (%.1f KB), %d corrupt-rejects, %d NaN-rejects, %d byzantine-rejects, %d crash-skips, %d gave up, %d blocked, %.0fs partitioned",
 		r.Rounds, 100*r.DegradedFrac(), r.Retries, float64(r.RetryBytes)/1e3,
-		r.CorruptRejected, r.NaNRejected, r.CrashSkips, r.GaveUp, r.MessagesBlocked, r.PartitionSeconds)
+		r.CorruptRejected, r.NaNRejected, r.ByzantineRejected, r.CrashSkips, r.GaveUp, r.MessagesBlocked, r.PartitionSeconds)
 }
 
 // ChaosFaultPlan builds an aggressive deterministic FaultPlan sized to a

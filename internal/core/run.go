@@ -497,7 +497,7 @@ func (s *System) forecastRound(timer *metrics.Timer, fires int) error {
 			}
 			ws := s.fcRoundWS[dt]
 			if ws == nil {
-				ws = &fed.RoundWorkspace{Comms: s.fcComms, Tel: s.fcRoundTel}
+				ws = &fed.RoundWorkspace{Comms: s.fcComms, Tel: s.fcRoundTel, Adv: s.adversary()}
 				s.fcRoundWS[dt] = ws
 			}
 			switch s.fcNet.Config().Topology {
@@ -606,18 +606,16 @@ func (s *System) emsRound(timer *metrics.Timer, fires int) error {
 		// Synchronous (the next minute's actions read the averaged DQN),
 		// but routed through the workspace so repeated γ rounds reuse their
 		// marshal, snapshot, and staging buffers.
-		if s.drlWS == nil {
-			s.drlWS = &fed.RoundWorkspace{Comms: s.drlComms, Tel: s.drlRoundTel}
-		}
+		ws := s.emsWorkspace()
 		var rep fed.RoundReport
 		var err error
 		switch s.drlNet.Config().Topology {
 		case fednet.Sampled:
-			rep, err = fed.BeginSampledGossipRound(s.drlNet, models, "drl", alpha, s.drlWS).Join()
+			rep, err = fed.BeginSampledGossipRound(s.drlNet, models, "drl", alpha, ws).Join()
 		case fednet.Cluster:
-			rep, err = fed.ClusterRound(s.drlNet, models, "drl", alpha, s.drlWS)
+			rep, err = fed.ClusterRound(s.drlNet, models, "drl", alpha, ws)
 		default:
-			rep, err = fed.BeginDecentralizedRound(s.drlNet, models, "drl", alpha, s.drlWS).Join()
+			rep, err = fed.BeginDecentralizedRound(s.drlNet, models, "drl", alpha, ws).Join()
 		}
 		if err != nil {
 			return err

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// loadShipped loads one of the repo's shipped scenario files.
+func loadShipped(t *testing.T, name string) *scenario.Scenario {
+	t.Helper()
+	sc, err := scenario.Load(filepath.Join("..", "..", "scenarios", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// scenarioConfig is the golden config extended to a 4-home fleet so the
+// shipped adversary plans (attackers at agents 1 and 2) fit.
+func scenarioConfig(m Method, sc *scenario.Scenario) Config {
+	cfg := goldenConfig(m)
+	cfg.Homes = 4
+	cfg.Scenario = sc
+	return cfg
+}
+
+// runScenario builds and runs a fresh system for cfg.
+func runScenario(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShippedScenariosValidate parses and validates every scenario file
+// the repo ships against the CLI's default fleet shape, so a scenarios/
+// edit that breaks loading fails here rather than at the first -scenario
+// run.
+func TestShippedScenariosValidate(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		found++
+		sc, err := scenario.Load(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if err := sc.Validate(8, 12); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+	}
+	if found < 4 {
+		t.Fatalf("only %d shipped scenario files found", found)
+	}
+}
+
+// TestScenarioDERDispatchGolden pins the der-dispatch scenario: two
+// identical fresh runs must agree bit for bit (the DER plane is seeded and
+// serial), and the report's structural counts must match the deployment
+// exactly — units, steps, and the battery family's γ-period federation
+// rounds.
+func TestScenarioDERDispatchGolden(t *testing.T) {
+	cfg := scenarioConfig(MethodPFDRL, loadShipped(t, "der_dispatch.json"))
+	a := runScenario(t, cfg)
+	b := runScenario(t, cfg)
+	if !reflect.DeepEqual(a.DER, b.DER) {
+		t.Fatalf("der-dispatch DER report not deterministic:\n%+v\n%+v", a.DER, b.DER)
+	}
+	if !reflect.DeepEqual(a.DailySavedKWhPerHome, b.DailySavedKWhPerHome) ||
+		!reflect.DeepEqual(a.DailyMeanReward, b.DailyMeanReward) {
+		t.Fatal("der-dispatch appliance series not deterministic")
+	}
+	der := a.DER
+	if der == nil {
+		t.Fatal("der-dispatch run produced no DER report")
+	}
+	// Fleet battery + fleet PV + one EV home.
+	if want := 2*cfg.Homes + 1; der.Units != want {
+		t.Fatalf("Units = %d, want %d", der.Units, want)
+	}
+	// One decision per minute per dispatchable (agent-backed) unit.
+	if want := (cfg.Homes + 1) * cfg.Days * 1440; der.Steps != want {
+		t.Fatalf("Steps = %d, want %d", der.Steps, want)
+	}
+	// The fleet-wide battery family federates twice a day (γ = 12h); the
+	// partial EV deployment and passive PV do not.
+	if want := 2 * cfg.Days; der.Rounds != want {
+		t.Fatalf("DER Rounds = %d, want %d", der.Rounds, want)
+	}
+	if der.PVGeneratedKWh <= 0 || der.GridImportKWh <= 0 {
+		t.Fatalf("energy flows missing: %+v", der)
+	}
+	if der.PVUsedKWh > der.PVGeneratedKWh {
+		t.Fatalf("PV used %g exceeds generated %g", der.PVUsedKWh, der.PVGeneratedKWh)
+	}
+	if len(der.DailyCostCents) != cfg.Days {
+		t.Fatalf("DailyCostCents has %d rows, want %d", len(der.DailyCostCents), cfg.Days)
+	}
+}
+
+// TestScenarioApplianceInertness pins the composition boundary: adding a
+// DER deployment must leave the appliance plane — EMS savings, rewards,
+// forecaster accuracy — bit-identical to the same config without a
+// scenario. DER agents draw from a disjoint seed block, dispatch runs
+// outside the EMS wave, and with the default drop-free all-to-all fabric
+// the extra DER-plane rounds consume no shared randomness.
+func TestScenarioApplianceInertness(t *testing.T) {
+	base := scenarioConfig(MethodPFDRL, nil)
+	plain := runScenario(t, base)
+	withDER := runScenario(t, scenarioConfig(MethodPFDRL, loadShipped(t, "der_dispatch.json")))
+	for name, pair := range map[string][2][]float64{
+		"DailySavedKWhPerHome": {plain.DailySavedKWhPerHome, withDER.DailySavedKWhPerHome},
+		"DailySavedFrac":       {plain.DailySavedFrac, withDER.DailySavedFrac},
+		"DailyMeanReward":      {plain.DailyMeanReward, withDER.DailyMeanReward},
+		"PerHomeSavedKWhFinal": {plain.PerHomeSavedKWhFinal, withDER.PerHomeSavedKWhFinal},
+		"AccuracySamples":      {plain.AccuracySamples, withDER.AccuracySamples},
+	} {
+		if !reflect.DeepEqual(pair[0], pair[1]) {
+			t.Errorf("%s perturbed by the DER scenario", name)
+		}
+	}
+}
+
+// TestScenarioDREventDay pins the dr-event-day scenario: deterministic
+// across runs, and the DR windows genuinely reprice dispatch — an
+// event-free twin of the same deployment lands a different net cost.
+func TestScenarioDREventDay(t *testing.T) {
+	sc := loadShipped(t, "dr_event_day.json")
+	cfg := scenarioConfig(MethodPFDRL, sc)
+	a := runScenario(t, cfg)
+	b := runScenario(t, cfg)
+	if !reflect.DeepEqual(a.DER, b.DER) {
+		t.Fatalf("dr-event-day not deterministic:\n%+v\n%+v", a.DER, b.DER)
+	}
+	twin := *sc
+	twin.Events = nil
+	quiet := runScenario(t, scenarioConfig(MethodPFDRL, &twin))
+	if a.DER.CostCents == quiet.DER.CostCents {
+		t.Fatalf("DR windows did not reprice dispatch (both %g cents)", a.DER.CostCents)
+	}
+	if len(a.DER.DailyCostCents) != cfg.Days {
+		t.Fatalf("DailyCostCents rows = %d, want %d", len(a.DER.DailyCostCents), cfg.Days)
+	}
+}
+
+// TestScenarioByzantineDetection pins the byzantine-quorum scenario's
+// headline invariant: on a drop-free all-to-all fabric, the per-round
+// detection count is exactly what the plan predicts — every honest (and
+// attacking) receiver rejects each caught attacker's payload, every
+// round, on every plane.
+func TestScenarioByzantineDetection(t *testing.T) {
+	cfg := scenarioConfig(MethodPFDRL, loadShipped(t, "byzantine_quorum.json"))
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round schedule: β and γ both fire twice a day (12h periods), the
+	// forecast plane once per device type, the EMS plane once.
+	roundsPerKind := 2 * cfg.Days
+	kinds := len(sys.deviceTypes) + 1
+	plan := cfg.Scenario.AdversaryPlan()
+	want := 0
+	for r := 0; r < roundsPerKind; r++ {
+		want += kinds * plan.DetectionsPerRound(cfg.Homes, r)
+	}
+	if want == 0 {
+		t.Fatal("plan predicts no detections; scenario or Defense.Catches regressed")
+	}
+	if got := res.Resilience.ByzantineRejected; got != want {
+		t.Fatalf("ByzantineRejected = %d, want exactly %d (%d kinds x %d rounds)",
+			got, want, kinds, roundsPerKind)
+	}
+	if res.Resilience.DegradedRounds == 0 {
+		t.Fatal("byzantine rejections should mark rounds degraded")
+	}
+	line := res.ResilienceLine()
+	if !bytes.Contains([]byte(line), []byte("byzantine-rejects")) {
+		t.Fatalf("resilience line omits byzantine tally: %s", line)
+	}
+	// Determinism: the attack and its detection replay bit-identically.
+	res2 := runScenario(t, cfg)
+	if res2.Resilience.ByzantineRejected != want {
+		t.Fatal("byzantine detection count not deterministic")
+	}
+	if !reflect.DeepEqual(res.DailyMeanReward, res2.DailyMeanReward) {
+		t.Fatal("byzantine run not deterministic")
+	}
+}
+
+// TestScenarioSeasonalSweep pins the seasonal-sweep scenario: the Seasonal
+// block must actually switch the corpus generator into calendar mode (the
+// traces differ from the plain corpus) while staying deterministic.
+func TestScenarioSeasonalSweep(t *testing.T) {
+	sc := loadShipped(t, "seasonal_sweep.json")
+	cfg := scenarioConfig(MethodPFDRL, sc)
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSys, err := NewSystem(scenarioConfig(MethodPFDRL, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	day0 := sys.homes[0].src.Traces[0].Day(0)
+	plain0 := plainSys.homes[0].src.Traces[0].Day(0)
+	if reflect.DeepEqual(day0, plain0) {
+		t.Fatal("Seasonal block did not change the generated corpus")
+	}
+	a, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := runScenario(t, cfg)
+	if !reflect.DeepEqual(a.DailyMeanReward, b.DailyMeanReward) || !reflect.DeepEqual(a.DER, b.DER) {
+		t.Fatal("seasonal-sweep run not deterministic")
+	}
+}
+
+// TestScenarioSnapshotRefused pins the typed error: scenario runtime state
+// is not in the v3 checkpoint format, so WriteSnapshot must refuse rather
+// than produce a snapshot that resumes into a different run.
+func TestScenarioSnapshotRefused(t *testing.T) {
+	cfg := scenarioConfig(MethodPFDRL, loadShipped(t, "der_dispatch.json"))
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(sys)
+	if err := eng.StepHour(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.WriteSnapshot(&buf); !errors.Is(err, ErrScenarioSnapshot) {
+		t.Fatalf("WriteSnapshot = %v, want ErrScenarioSnapshot", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("refused snapshot still wrote bytes")
+	}
+}
+
+// TestScenarioConfigValidation pins the config-level gates: scenario
+// validation errors surface through Config.Validate with their field
+// paths, and adversary plans demand the decentralized method.
+func TestScenarioConfigValidation(t *testing.T) {
+	cfg := scenarioConfig(MethodPFDRL, &scenario.Scenario{})
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("nameless scenario accepted")
+	} else {
+		var fe *scenario.FieldError
+		if !errors.As(err, &fe) || fe.Field != "Name" {
+			t.Fatalf("scenario error lost its field path: %v", err)
+		}
+	}
+	byz := loadShipped(t, "byzantine_quorum.json")
+	for _, m := range []Method{MethodLocal, MethodCloud, MethodFL, MethodFRL} {
+		if err := scenarioConfig(m, byz).Validate(); err == nil {
+			t.Fatalf("adversary plan accepted under %s", m)
+		}
+	}
+	if err := scenarioConfig(MethodPFDRL, byz).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -136,6 +136,13 @@ func (s *System) sortedTypes() []string {
 // a snapshot never carries an in-flight round.
 func (e *Engine) WriteSnapshot(w io.Writer) error {
 	s := e.sys
+	if s.cfg.Scenario != nil {
+		// Scenario runtime state (DER device SoCs, agent replay, the
+		// adversary's round counters and stale-replay history) is not in the
+		// v3 format; refusing up front beats resuming into a silently
+		// different run.
+		return ErrScenarioSnapshot
+	}
 	if err := s.joinForecastRounds(e.timer); err != nil {
 		return fmt.Errorf("core: landing pending rounds before snapshot: %w", err)
 	}

@@ -110,6 +110,11 @@ type System struct {
 	// lazily created workspaces pick up.
 	tel                     *sysTel
 	fcRoundTel, drlRoundTel *fed.RoundTelemetry
+
+	// scn is the configured scenario's runtime (DER units, DR pricing,
+	// the shared adversary); nil without a scenario, leaving every hook
+	// inert and the run bit-identical to pre-scenario builds.
+	scn *scenarioState
 }
 
 // NewSystem generates the corpus and builds all agents for cfg.
@@ -117,14 +122,20 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ds := pecan.Generate(pecan.Config{
+	pc := pecan.Config{
 		Seed:           cfg.Seed,
 		Homes:          cfg.Homes,
 		Days:           cfg.Days,
 		DevicesPerHome: cfg.DevicesPerHome,
 		RawTraces:      cfg.RawTraces,
-	})
-	return buildSystem(cfg, ds)
+	}
+	// A scenario's Seasonal block switches the generator to calendar mode.
+	if sc := cfg.Scenario; sc != nil && sc.Seasonal != nil {
+		pc.StartMonth = sc.Seasonal.StartMonth
+		pc.VacationProb = sc.Seasonal.VacationProb
+		pc.MeterResolutionKW = sc.Seasonal.MeterResolutionKW
+	}
+	return buildSystem(cfg, pecan.Generate(pc))
 }
 
 // NewSystemFromDataset builds a simulation over an ingested corpus (e.g. a
@@ -306,6 +317,11 @@ func buildSystem(cfg Config, ds *pecan.Dataset) (*System, error) {
 			Seed:      cfg.Seed + 999,
 		})
 	}
+	scn, err := buildScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.scn = scn
 	return s, nil
 }
 

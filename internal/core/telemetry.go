@@ -172,7 +172,7 @@ func (s *System) noteRound(plane string, rep fed.RoundReport) {
 		SimMinute:  t.minute,
 		Agents:     rep.Agents,
 		Crashed:    rep.Crashed,
-		Rejected:   rep.CorruptRejected + rep.NaNRejected,
+		Rejected:   rep.CorruptRejected + rep.NaNRejected + rep.ByzantineRejected,
 		BytesSent:  rep.BytesSent,
 		DenseBytes: rep.DenseBytes,
 		Ratio:      rep.CompressionRatio(),

@@ -1,0 +1,409 @@
+// Distributed energy resources (DERs): the scenario layer's device
+// extensions beyond the paper's standby-trimming appliances. Three
+// families, after Rezazadeh & Bartzoudis's FDRL micro-grid formulation:
+//
+//   - Battery: a stationary storage unit with a 3-action dispatch space
+//     (discharge / idle / charge) arbitraging the TOU price curve;
+//   - EVCharger: a deadline-constrained EV charging session with a
+//     multi-level charge-rate action space and a terminal shortfall
+//     penalty at departure;
+//   - PVSpec: a passive rooftop PV source whose deterministic output
+//     curve feeds the dispatchable units (no agent of its own).
+//
+// Rewards are in cents (dollars × 100) so their magnitudes sit in the
+// range the DQN's default RewardScale was tuned for. Prices reach the
+// units as plain $/kWh numbers supplied by the caller each minute —
+// this package stays independent of the pricing package.
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Battery action indices (the dispatch action space of a storage unit).
+const (
+	BatteryDischarge = 0
+	BatteryIdle      = 1
+	BatteryCharge    = 2
+	// BatteryActions is the battery's action-space size.
+	BatteryActions = 3
+)
+
+// BatterySpec declares a stationary battery.
+type BatterySpec struct {
+	// CapacityKWh is the usable storage capacity.
+	CapacityKWh float64
+	// MaxChargeKW / MaxDischargeKW bound the unit's power in each
+	// direction.
+	MaxChargeKW    float64
+	MaxDischargeKW float64
+	// RoundTripEfficiency is the charge→discharge energy ratio, applied
+	// on the charge leg. 0 selects the default 0.9.
+	RoundTripEfficiency float64
+	// InitSoC is the state of charge at day 0 (fraction). 0 selects the
+	// default 0.5; SoC then persists across days.
+	InitSoC float64
+}
+
+// withDefaults fills the zero-value knobs.
+func (s BatterySpec) withDefaults() BatterySpec {
+	if s.RoundTripEfficiency == 0 {
+		s.RoundTripEfficiency = 0.9
+	}
+	if s.InitSoC == 0 {
+		s.InitSoC = 0.5
+	}
+	return s
+}
+
+// Validate checks the spec's ranges.
+func (s BatterySpec) Validate() error {
+	if s.CapacityKWh <= 0 {
+		return fmt.Errorf("energy: battery CapacityKWh %g must be positive", s.CapacityKWh)
+	}
+	if s.MaxChargeKW <= 0 || s.MaxDischargeKW <= 0 {
+		return fmt.Errorf("energy: battery power limits must be positive (charge=%g discharge=%g)",
+			s.MaxChargeKW, s.MaxDischargeKW)
+	}
+	if s.RoundTripEfficiency < 0 || s.RoundTripEfficiency > 1 {
+		return fmt.Errorf("energy: battery RoundTripEfficiency %g outside [0,1]", s.RoundTripEfficiency)
+	}
+	if s.InitSoC < 0 || s.InitSoC > 1 {
+		return fmt.Errorf("energy: battery InitSoC %g outside [0,1]", s.InitSoC)
+	}
+	return nil
+}
+
+// EVSpec declares a daily EV charging session: the vehicle arrives at
+// ArrivalMin with InitSoC, must reach TargetSoC by DepartMin, and charges
+// at one of the configured rate levels (action 0 is idle).
+type EVSpec struct {
+	// CapacityKWh is the vehicle battery capacity.
+	CapacityKWh float64
+	// RateKW lists the selectable charge rates; the action space is
+	// len(RateKW)+1 (action 0 = idle, action i = RateKW[i-1]).
+	RateKW []float64
+	// ArrivalMin / DepartMin bound the daily plug-in window
+	// [ArrivalMin, DepartMin) in minutes of day. A window wrapping
+	// midnight is not supported.
+	ArrivalMin, DepartMin int
+	// InitSoC is the state of charge at each arrival; TargetSoC the
+	// deadline requirement at departure.
+	InitSoC, TargetSoC float64
+	// MissPenaltyPerKWh is the terminal penalty in cents per kWh of
+	// shortfall below TargetSoC at departure. 0 selects the default 50
+	// (steeper than any charging cost, so deadlines dominate price).
+	MissPenaltyPerKWh float64
+}
+
+// withDefaults fills the zero-value knobs.
+func (s EVSpec) withDefaults() EVSpec {
+	if s.MissPenaltyPerKWh == 0 {
+		s.MissPenaltyPerKWh = 50
+	}
+	return s
+}
+
+// Actions returns the spec's action-space size.
+func (s EVSpec) Actions() int { return len(s.RateKW) + 1 }
+
+// Validate checks the spec's ranges.
+func (s EVSpec) Validate() error {
+	if s.CapacityKWh <= 0 {
+		return fmt.Errorf("energy: EV CapacityKWh %g must be positive", s.CapacityKWh)
+	}
+	if len(s.RateKW) == 0 {
+		return fmt.Errorf("energy: EV needs at least one charge rate")
+	}
+	for i, r := range s.RateKW {
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("energy: EV RateKW[%d] = %g must be positive and finite", i, r)
+		}
+	}
+	if s.ArrivalMin < 0 || s.ArrivalMin >= 24*60 {
+		return fmt.Errorf("energy: EV ArrivalMin %d outside [0,1440)", s.ArrivalMin)
+	}
+	if s.DepartMin <= s.ArrivalMin || s.DepartMin > 24*60 {
+		return fmt.Errorf("energy: EV DepartMin %d outside (%d,1440]", s.DepartMin, s.ArrivalMin)
+	}
+	if s.InitSoC < 0 || s.InitSoC > 1 || s.TargetSoC < 0 || s.TargetSoC > 1 {
+		return fmt.Errorf("energy: EV SoC bounds outside [0,1] (init=%g target=%g)", s.InitSoC, s.TargetSoC)
+	}
+	if s.MissPenaltyPerKWh < 0 {
+		return fmt.Errorf("energy: EV MissPenaltyPerKWh %g must be ≥ 0", s.MissPenaltyPerKWh)
+	}
+	return nil
+}
+
+// PVSpec declares a rooftop PV source. PV is passive: its deterministic
+// output curve offsets the dispatchable units' grid draw (allocation
+// order is the scenario's spec order) and any leftover exports.
+type PVSpec struct {
+	// PeakKW is the array's peak AC output.
+	PeakKW float64
+}
+
+// Validate checks the spec's ranges.
+func (s PVSpec) Validate() error {
+	if s.PeakKW <= 0 || math.IsNaN(s.PeakKW) || math.IsInf(s.PeakKW, 0) {
+		return fmt.Errorf("energy: PV PeakKW %g must be positive and finite", s.PeakKW)
+	}
+	return nil
+}
+
+// pvSeasonal scales PV output per month (1-based index): long clear
+// summer days at ~1.0, short winter days near 0.55.
+var pvSeasonal = [13]float64{0,
+	0.58, // Jan
+	0.66, // Feb
+	0.78, // Mar
+	0.88, // Apr
+	0.96, // May
+	1.00, // Jun
+	1.00, // Jul
+	0.95, // Aug
+	0.85, // Sep
+	0.72, // Oct
+	0.60, // Nov
+	0.55, // Dec
+}
+
+// PV daylight window (minutes of day) for the output bell.
+const (
+	pvSunriseMin = 6 * 60
+	pvSunsetMin  = 18 * 60
+)
+
+// OutputKW returns the deterministic PV output for a month (1–12) and
+// minute of day: a half-sine bell over the 06:00–18:00 daylight window,
+// scaled by the monthly seasonal factor. Deterministic by design — the
+// scenario golden tests pin runs bit-exactly.
+func (s PVSpec) OutputKW(month, minuteOfDay int) float64 {
+	if month < 1 || month > 12 {
+		panic(fmt.Sprintf("energy: PV month %d outside 1..12", month))
+	}
+	if minuteOfDay < pvSunriseMin || minuteOfDay >= pvSunsetMin {
+		return 0
+	}
+	frac := float64(minuteOfDay-pvSunriseMin) / float64(pvSunsetMin-pvSunriseMin)
+	return s.PeakKW * pvSeasonal[month] * math.Sin(math.Pi*frac)
+}
+
+// DERStep is the outcome of one dispatch minute.
+type DERStep struct {
+	// Reward is the step's reward in cents: grid cost negated, discharge
+	// credit positive, plus any terminal deadline penalty.
+	Reward float64
+	// GridKW is the unit's grid draw this minute (negative = export/
+	// discharge credit back to the home bus).
+	GridKW float64
+	// PVUsedKW is the share of the offered PV power the unit absorbed.
+	PVUsedKW float64
+	// DeadlineMiss marks an EV departure with SoC below target;
+	// ShortfallKWh is the missing energy.
+	DeadlineMiss bool
+	ShortfallKWh float64
+}
+
+// Battery is the runtime state of one storage unit. SoC persists across
+// days; only the scenario's day-0 construction sets it.
+type Battery struct {
+	Spec BatterySpec
+	// SoC is the current state of charge (fraction of capacity).
+	SoC float64
+}
+
+// NewBattery builds a unit from a validated spec.
+func NewBattery(spec BatterySpec) (*Battery, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Battery{Spec: spec, SoC: spec.InitSoC}, nil
+}
+
+// Actions returns the battery's action-space size.
+func (b *Battery) Actions() int { return BatteryActions }
+
+// BatteryStateDim is the battery observation width: SoC, normalized
+// price, normalized PV offer, and sin/cos time of day.
+const BatteryStateDim = 5
+
+// StateDim returns the observation width.
+func (b *Battery) StateDim() int { return BatteryStateDim }
+
+// StateInto writes the dispatch observation into dst (length StateDim):
+// state of charge, the current price normalized by priceRef, the PV
+// power on offer normalized by the charge limit, and time of day.
+func (b *Battery) StateInto(dst []float64, price, priceRef, pvAvailKW float64, minuteOfDay int) []float64 {
+	if len(dst) != BatteryStateDim {
+		panic(fmt.Sprintf("energy: battery StateInto dst length %d, want %d", len(dst), BatteryStateDim))
+	}
+	dst[0] = b.SoC
+	dst[1] = normPrice(price, priceRef)
+	dst[2] = clamp01(pvAvailKW / b.Spec.MaxChargeKW)
+	angle := 2 * math.Pi * float64(minuteOfDay) / float64(24*60)
+	dst[3] = math.Sin(angle)
+	dst[4] = math.Cos(angle)
+	return dst
+}
+
+// Step applies one dispatch minute. pvAvailKW is free PV power on offer;
+// price is the import rate in $/kWh (discharge credits at the same rate —
+// behind-the-meter load shifting). Charging draws PV first, then grid.
+func (b *Battery) Step(action int, pvAvailKW, price float64) DERStep {
+	var st DERStep
+	sp := b.Spec
+	switch action {
+	case BatteryCharge:
+		// Power limited by the charger and by the headroom left this
+		// minute (headroom is in stored kWh; the charge leg pays the
+		// round-trip loss, so grid/PV energy in = stored/efficiency).
+		headroomKWh := (1 - b.SoC) * sp.CapacityKWh
+		maxKW := sp.MaxChargeKW
+		if need := headroomKWh / sp.RoundTripEfficiency * 60; need < maxKW {
+			maxKW = need
+		}
+		if maxKW <= 0 {
+			break
+		}
+		st.PVUsedKW = math.Min(pvAvailKW, maxKW)
+		st.GridKW = maxKW - st.PVUsedKW
+		b.SoC += maxKW / 60 * sp.RoundTripEfficiency / sp.CapacityKWh
+		if b.SoC > 1 {
+			b.SoC = 1
+		}
+		st.Reward = -st.GridKW / 60 * price * 100
+	case BatteryDischarge:
+		storedKWh := b.SoC * sp.CapacityKWh
+		maxKW := math.Min(sp.MaxDischargeKW, storedKWh*60)
+		if maxKW <= 0 {
+			break
+		}
+		b.SoC -= maxKW / 60 / sp.CapacityKWh
+		if b.SoC < 0 {
+			b.SoC = 0
+		}
+		st.GridKW = -maxKW
+		st.Reward = maxKW / 60 * price * 100
+	case BatteryIdle:
+		// no-op
+	default:
+		panic(fmt.Sprintf("energy: battery Step with invalid action %d", action))
+	}
+	return st
+}
+
+// EVCharger is the runtime state of one EV charging point. Sessions are
+// daily: SoC resets to InitSoC at ArrivalMin and the deadline penalty
+// lands on the DepartMin−1 step.
+type EVCharger struct {
+	Spec EVSpec
+	// SoC is the vehicle's current state of charge (fraction).
+	SoC float64
+}
+
+// NewEVCharger builds a charging point from a validated spec.
+func NewEVCharger(spec EVSpec) (*EVCharger, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &EVCharger{Spec: spec, SoC: spec.InitSoC}, nil
+}
+
+// Actions returns the charger's action-space size.
+func (c *EVCharger) Actions() int { return c.Spec.Actions() }
+
+// EVStateDim is the EV observation width: SoC, normalized price,
+// plugged flag, normalized time to departure, and sin/cos time of day.
+const EVStateDim = 6
+
+// StateDim returns the observation width.
+func (c *EVCharger) StateDim() int { return EVStateDim }
+
+// Plugged reports whether the vehicle is on the charger at a minute of
+// day.
+func (c *EVCharger) Plugged(minuteOfDay int) bool {
+	return minuteOfDay >= c.Spec.ArrivalMin && minuteOfDay < c.Spec.DepartMin
+}
+
+// StateInto writes the charging observation into dst (length StateDim).
+func (c *EVCharger) StateInto(dst []float64, price, priceRef float64, minuteOfDay int) []float64 {
+	if len(dst) != EVStateDim {
+		panic(fmt.Sprintf("energy: EV StateInto dst length %d, want %d", len(dst), EVStateDim))
+	}
+	dst[0] = c.SoC
+	dst[1] = normPrice(price, priceRef)
+	if c.Plugged(minuteOfDay) {
+		dst[2] = 1
+		dst[3] = float64(c.Spec.DepartMin-minuteOfDay) / float64(24*60)
+	} else {
+		dst[2] = 0
+		dst[3] = 0
+	}
+	angle := 2 * math.Pi * float64(minuteOfDay) / float64(24*60)
+	dst[4] = math.Sin(angle)
+	dst[5] = math.Cos(angle)
+	return dst
+}
+
+// Step applies one charging minute. Outside the session window the
+// action is forced idle with zero reward. curtail ∈ [0,1] is the DR
+// event's direct-load-control fraction: the selected rate is scaled by
+// (1−curtail). The deadline penalty lands on the DepartMin−1 step.
+func (c *EVCharger) Step(action int, pvAvailKW, price, curtail float64, minuteOfDay int) DERStep {
+	var st DERStep
+	sp := c.Spec
+	if action < 0 || action >= sp.Actions() {
+		panic(fmt.Sprintf("energy: EV Step with invalid action %d", action))
+	}
+	if minuteOfDay == sp.ArrivalMin {
+		c.SoC = sp.InitSoC
+	}
+	if !c.Plugged(minuteOfDay) {
+		return st
+	}
+	if action > 0 {
+		rate := sp.RateKW[action-1] * (1 - curtail)
+		headroomKWh := (1 - c.SoC) * sp.CapacityKWh
+		if need := headroomKWh * 60; need < rate {
+			rate = need
+		}
+		if rate > 0 {
+			st.PVUsedKW = math.Min(pvAvailKW, rate)
+			st.GridKW = rate - st.PVUsedKW
+			c.SoC += rate / 60 / sp.CapacityKWh
+			if c.SoC > 1 {
+				c.SoC = 1
+			}
+			st.Reward = -st.GridKW / 60 * price * 100
+		}
+	}
+	if minuteOfDay == sp.DepartMin-1 && c.SoC < sp.TargetSoC {
+		st.ShortfallKWh = (sp.TargetSoC - c.SoC) * sp.CapacityKWh
+		st.DeadlineMiss = true
+		st.Reward -= st.ShortfallKWh * sp.MissPenaltyPerKWh
+	}
+	return st
+}
+
+// normPrice maps a price onto a reference-relative scale, guarding a
+// zero reference.
+func normPrice(price, ref float64) float64 {
+	if ref <= 0 {
+		return 0
+	}
+	return price / ref
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

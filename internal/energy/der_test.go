@@ -1,0 +1,234 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDERSpecValidate(t *testing.T) {
+	badBatteries := []BatterySpec{
+		{CapacityKWh: 0, MaxChargeKW: 3, MaxDischargeKW: 3},
+		{CapacityKWh: 10, MaxChargeKW: 0, MaxDischargeKW: 3},
+		{CapacityKWh: 10, MaxChargeKW: 3, MaxDischargeKW: -1},
+		{CapacityKWh: 10, MaxChargeKW: 3, MaxDischargeKW: 3, RoundTripEfficiency: 1.2},
+		{CapacityKWh: 10, MaxChargeKW: 3, MaxDischargeKW: 3, InitSoC: 1.5},
+	}
+	for i, s := range badBatteries {
+		if _, err := NewBattery(s); err == nil {
+			t.Errorf("bad battery spec %d accepted", i)
+		}
+	}
+	badEVs := []EVSpec{
+		{CapacityKWh: 0, RateKW: []float64{3}, DepartMin: 60},
+		{CapacityKWh: 40, RateKW: nil, DepartMin: 60},
+		{CapacityKWh: 40, RateKW: []float64{3, -1}, DepartMin: 60},
+		{CapacityKWh: 40, RateKW: []float64{math.NaN()}, DepartMin: 60},
+		{CapacityKWh: 40, RateKW: []float64{3}, ArrivalMin: -5, DepartMin: 60},
+		{CapacityKWh: 40, RateKW: []float64{3}, ArrivalMin: 120, DepartMin: 60},
+		{CapacityKWh: 40, RateKW: []float64{3}, DepartMin: 2000},
+		{CapacityKWh: 40, RateKW: []float64{3}, DepartMin: 60, TargetSoC: 2},
+		{CapacityKWh: 40, RateKW: []float64{3}, DepartMin: 60, MissPenaltyPerKWh: -1},
+	}
+	for i, s := range badEVs {
+		if _, err := NewEVCharger(s); err == nil {
+			t.Errorf("bad EV spec %d accepted", i)
+		}
+	}
+	for i, s := range []PVSpec{{PeakKW: 0}, {PeakKW: -3}, {PeakKW: math.Inf(1)}} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad PV spec %d accepted", i)
+		}
+	}
+}
+
+func TestBatteryDefaults(t *testing.T) {
+	b, err := NewBattery(BatterySpec{CapacityKWh: 10, MaxChargeKW: 3, MaxDischargeKW: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Spec.RoundTripEfficiency != 0.9 || b.Spec.InitSoC != 0.5 || b.SoC != 0.5 {
+		t.Fatalf("defaults not applied: %+v SoC=%g", b.Spec, b.SoC)
+	}
+}
+
+func TestBatteryStep(t *testing.T) {
+	b, err := NewBattery(BatterySpec{
+		CapacityKWh: 10, MaxChargeKW: 6, MaxDischargeKW: 6,
+		RoundTripEfficiency: 0.9, InitSoC: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Charge with 2 kW PV on offer at $0.30/kWh: 6 kW total, 2 from PV,
+	// 4 from grid → cost 4/60·0.30·100 = 2 cents; SoC gains 6/60·0.9/10.
+	st := b.Step(BatteryCharge, 2, 0.30)
+	if st.PVUsedKW != 2 || st.GridKW != 4 {
+		t.Fatalf("charge split: PV %g grid %g, want 2 and 4", st.PVUsedKW, st.GridKW)
+	}
+	if want := -4.0 / 60 * 0.30 * 100; math.Abs(st.Reward-want) > 1e-12 {
+		t.Fatalf("charge reward %g, want %g", st.Reward, want)
+	}
+	if want := 0.5 + 6.0/60*0.9/10; math.Abs(b.SoC-want) > 1e-12 {
+		t.Fatalf("SoC %g, want %g", b.SoC, want)
+	}
+	// Idle is free and stateless.
+	soc := b.SoC
+	if st := b.Step(BatteryIdle, 5, 0.30); st.Reward != 0 || st.GridKW != 0 || b.SoC != soc {
+		t.Fatal("idle step changed state or paid")
+	}
+	// Discharge credits at the import rate.
+	st = b.Step(BatteryDischarge, 0, 0.20)
+	if st.GridKW != -6 {
+		t.Fatalf("discharge GridKW %g, want -6", st.GridKW)
+	}
+	if want := 6.0 / 60 * 0.20 * 100; math.Abs(st.Reward-want) > 1e-12 {
+		t.Fatalf("discharge reward %g, want %g", st.Reward, want)
+	}
+	// Full battery: charge saturates at zero power.
+	b.SoC = 1
+	if st := b.Step(BatteryCharge, 5, 0.30); st.GridKW != 0 || st.Reward != 0 {
+		t.Fatal("full battery still drew power")
+	}
+	// Empty battery: discharge is a no-op.
+	b.SoC = 0
+	if st := b.Step(BatteryDischarge, 0, 0.30); st.GridKW != 0 || st.Reward != 0 {
+		t.Fatal("empty battery still discharged")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("invalid action did not panic")
+			}
+		}()
+		b.Step(7, 0, 0.1)
+	}()
+}
+
+func TestEVChargerSession(t *testing.T) {
+	ev, err := NewEVCharger(EVSpec{
+		CapacityKWh: 60, RateKW: []float64{3, 6},
+		ArrivalMin: 0, DepartMin: 3,
+		InitSoC: 0.5, TargetSoC: 0.9, MissPenaltyPerKWh: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Actions() != 3 {
+		t.Fatalf("Actions = %d, want 3", ev.Actions())
+	}
+	// Minute 0: arrival resets SoC, rate level 2 = 6 kW from grid.
+	st := ev.Step(2, 0, 0.10, 0, 0)
+	if want := -6.0 / 60 * 0.10 * 100; math.Abs(st.Reward-want) > 1e-12 {
+		t.Fatalf("charge reward %g, want %g", st.Reward, want)
+	}
+	if want := 0.5 + 6.0/60/60; math.Abs(ev.SoC-want) > 1e-12 {
+		t.Fatalf("SoC %g, want %g", ev.SoC, want)
+	}
+	// Minute 1: 50% curtailment halves the rate.
+	st = ev.Step(2, 0, 0.10, 0.5, 1)
+	if math.Abs(st.GridKW-3) > 1e-12 {
+		t.Fatalf("curtailed rate %g, want 3", st.GridKW)
+	}
+	// Minute 2 (DepartMin-1): idle → deadline miss, penalty = shortfall
+	// kWh × 50 cents on top of the (zero) charge cost.
+	st = ev.Step(0, 0, 0.10, 0, 2)
+	if !st.DeadlineMiss {
+		t.Fatal("deadline miss not flagged")
+	}
+	wantShort := (0.9 - ev.SoC) * 60
+	if math.Abs(st.ShortfallKWh-wantShort) > 1e-12 {
+		t.Fatalf("shortfall %g, want %g", st.ShortfallKWh, wantShort)
+	}
+	if math.Abs(st.Reward+wantShort*50) > 1e-12 {
+		t.Fatalf("penalty reward %g, want %g", st.Reward, -wantShort*50)
+	}
+	// Outside the session everything is inert, even a charge action.
+	st = ev.Step(2, 5, 0.10, 0, 100)
+	if st.Reward != 0 || st.GridKW != 0 {
+		t.Fatal("unplugged step moved power")
+	}
+	// Next arrival resets the session.
+	ev.SoC = 0.97
+	ev.Step(0, 0, 0.10, 0, 0)
+	if ev.SoC != 0.5 {
+		t.Fatalf("arrival did not reset SoC: %g", ev.SoC)
+	}
+}
+
+func TestEVChargerPVFirst(t *testing.T) {
+	ev, err := NewEVCharger(EVSpec{
+		CapacityKWh: 60, RateKW: []float64{6},
+		ArrivalMin: 0, DepartMin: 1440, InitSoC: 0.2, TargetSoC: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ev.Step(1, 10, 0.10, 0, 600)
+	if st.PVUsedKW != 6 || st.GridKW != 0 || st.Reward != 0 {
+		t.Fatalf("surplus PV should cover the whole rate: %+v", st)
+	}
+}
+
+func TestPVOutputCurve(t *testing.T) {
+	pv := PVSpec{PeakKW: 4}
+	if pv.OutputKW(6, 0) != 0 || pv.OutputKW(6, 23*60) != 0 {
+		t.Fatal("PV produced outside daylight")
+	}
+	noon := pv.OutputKW(6, 12*60)
+	if math.Abs(noon-4) > 1e-9 {
+		t.Fatalf("June noon output %g, want 4 (peak × 1.0)", noon)
+	}
+	dec := pv.OutputKW(12, 12*60)
+	if math.Abs(dec-4*0.55) > 1e-9 {
+		t.Fatalf("December noon output %g, want %g", dec, 4*0.55)
+	}
+	morning, afternoon := pv.OutputKW(6, 9*60), pv.OutputKW(6, 15*60)
+	if math.Abs(morning-afternoon) > 1e-9 {
+		t.Fatal("bell should be symmetric around noon")
+	}
+	if morning <= 0 || morning >= noon {
+		t.Fatalf("mid-morning output %g outside (0, %g)", morning, noon)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("month 0 did not panic")
+			}
+		}()
+		pv.OutputKW(0, 600)
+	}()
+}
+
+func TestDERStateInto(t *testing.T) {
+	b, _ := NewBattery(BatterySpec{CapacityKWh: 10, MaxChargeKW: 4, MaxDischargeKW: 4})
+	st := b.StateInto(make([]float64, BatteryStateDim), 0.2, 0.1, 2, 360)
+	if st[0] != 0.5 || st[1] != 2 || st[2] != 0.5 {
+		t.Fatalf("battery state %v", st)
+	}
+	if math.Abs(st[3]-1) > 1e-12 { // sin at 06:00 = 1
+		t.Fatalf("battery time feature %g, want 1", st[3])
+	}
+	ev, _ := NewEVCharger(EVSpec{
+		CapacityKWh: 60, RateKW: []float64{6}, ArrivalMin: 600, DepartMin: 1200, InitSoC: 0.3, TargetSoC: 0.8,
+	})
+	in := ev.StateInto(make([]float64, EVStateDim), 0.1, 0.1, 900)
+	if in[2] != 1 || math.Abs(in[3]-float64(1200-900)/1440) > 1e-12 {
+		t.Fatalf("plugged state %v", in)
+	}
+	out := ev.StateInto(make([]float64, EVStateDim), 0.1, 0.1, 60)
+	if out[2] != 0 || out[3] != 0 {
+		t.Fatalf("unplugged state %v", out)
+	}
+	// Zero price reference guards division.
+	if s := b.StateInto(make([]float64, BatteryStateDim), 0.2, 0, 0, 0); s[1] != 0 {
+		t.Fatal("zero priceRef should normalize to 0")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("short dst did not panic")
+			}
+		}()
+		b.StateInto(make([]float64, 2), 0.1, 0.1, 0, 0)
+	}()
+}

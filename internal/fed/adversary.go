@@ -1,0 +1,430 @@
+package fed
+
+// Byzantine / poisoned-update adversaries for the decentralized
+// federation planes (scenario capability c, after the fednet.FaultPlan
+// pattern): an AdversaryPlan scripts which agents poison their outgoing
+// parameter broadcasts, how (sign-flip, scaled noise, stale replay), and
+// when (per-kind round windows); a Defense configures the receiver-side
+// screening gates that quarantine suspicious payloads before they join
+// an aggregate.
+//
+// The attack model is parameter poisoning, not wire corruption: the
+// fabric's CRC32 checksum (and the PFW2 codec's validation) would catch
+// any byte-level tampering, so a Byzantine peer perturbs its parameters
+// *before* marshaling and ships a perfectly well-formed payload. The
+// attacker's own aggregation still folds its true snapshot — a poisoner
+// lies to its peers, not to itself.
+//
+// All perturbations are deterministic functions of (plan seed, kind,
+// round, agent, element), so adversarial runs are bit-reproducible and
+// the scenario golden tests can pin per-round detection counts exactly.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// AttackKind names a poisoning strategy.
+type AttackKind string
+
+// The supported poisoning strategies.
+const (
+	// AttackSignFlip broadcasts the negated parameters — the classic
+	// gradient-inversion Byzantine attack. Flagrant: cosine ≈ −1
+	// against any honest reference.
+	AttackSignFlip AttackKind = "sign-flip"
+	// AttackNoise adds deterministic zero-mean noise with RMS amplitude
+	// Scale × the parameter RMS. Flagrant for large Scale: the payload
+	// norm grows by √(1+Scale²).
+	AttackNoise AttackKind = "noise"
+	// AttackStale replays the attacker's own parameters from Lag rounds
+	// ago — a freshness attack that realistically passes norm and
+	// cosine screening (replayed parameters are old *honest* ones); it
+	// slows convergence rather than destroying it.
+	AttackStale AttackKind = "stale"
+)
+
+// Valid reports whether k names a known attack.
+func (k AttackKind) Valid() bool {
+	switch k {
+	case AttackSignFlip, AttackNoise, AttackStale:
+		return true
+	}
+	return false
+}
+
+// Attacker scripts one Byzantine agent. Rounds are counted per message
+// kind from 0 in the order the plane runs them; [StartRound, EndRound)
+// is the active window, EndRound 0 meaning "until the run ends".
+type Attacker struct {
+	// Agent is the network agent index of the compromised peer.
+	Agent int
+	// Attack selects the poisoning strategy.
+	Attack AttackKind
+	// Scale is the noise amplitude multiplier (AttackNoise only).
+	Scale float64
+	// Lag is the replay depth in rounds (AttackStale only; ≥ 1). The
+	// attack silently no-ops until Lag rounds of history exist.
+	Lag int
+	// StartRound / EndRound window the attack per kind.
+	StartRound, EndRound int
+}
+
+// activeAt reports whether the attacker poisons round r.
+func (a Attacker) activeAt(r int) bool {
+	return r >= a.StartRound && (a.EndRound == 0 || r < a.EndRound)
+}
+
+// Defense configures receiver-side update screening. The reference for
+// every gate is the receiving agent's own current base parameters —
+// always available, and close to consensus under federation, so honest
+// payloads sit at norm ratio ≈ 1 and cosine ≈ 1.
+type Defense struct {
+	// NormRatio, when > 1, rejects payloads whose L2-norm ratio against
+	// the reference (taken symmetric: max(r, 1/r)) exceeds it. Catches
+	// scaled-noise attacks. 0 disables the gate.
+	NormRatio float64
+	// CosineGate, when true, rejects payloads whose cosine similarity
+	// to the reference falls below CosineMin. Catches sign-flip
+	// (cosine ≈ −1). CosineMin 0 is a real threshold (honest payloads
+	// sit near +1), not "unset".
+	CosineGate bool
+	CosineMin  float64
+}
+
+// Enabled reports whether any screening gate is active.
+func (d Defense) Enabled() bool { return d.NormRatio > 0 || d.CosineGate }
+
+// Validate checks the defense thresholds.
+func (d Defense) Validate() error {
+	if d.NormRatio != 0 && d.NormRatio <= 1 {
+		return fmt.Errorf("fed: Defense.NormRatio %g must be > 1 (or 0 to disable)", d.NormRatio)
+	}
+	if d.CosineMin < -1 || d.CosineMin > 1 {
+		return fmt.Errorf("fed: Defense.CosineMin %g outside [-1,1]", d.CosineMin)
+	}
+	return nil
+}
+
+// Catches predicts whether the defense flags an attacker's payloads.
+// Sign-flip is caught by the cosine gate; noise by either gate when its
+// norm growth (or the matching cosine shrink) clears the threshold.
+// PayloadFor's noise stream is uniform on [-1,1] (RMS 1/√3), so a noise
+// payload's expected norm grows by √(1+Scale²/3) relative to the clean
+// snapshot. The prediction is exact when thresholds are set with margin,
+// which the shipped scenarios and their golden tests do; stale replay
+// passes both gates by construction.
+func (d Defense) Catches(a Attacker) bool {
+	if !d.Enabled() {
+		return false
+	}
+	switch a.Attack {
+	case AttackSignFlip:
+		return d.CosineGate && d.CosineMin > -1
+	case AttackNoise:
+		growth := math.Sqrt(1 + a.Scale*a.Scale/3)
+		if d.NormRatio > 0 && growth > d.NormRatio {
+			return true
+		}
+		return d.CosineGate && 1/growth < d.CosineMin
+	default:
+		return false
+	}
+}
+
+// AdversaryPlan scripts deterministic Byzantine behavior for a run. The
+// zero value injects nothing and screens nothing.
+type AdversaryPlan struct {
+	// Seed drives the noise attack's deterministic perturbation stream.
+	Seed int64
+	// Attackers lists the compromised agents (at most one entry per
+	// agent).
+	Attackers []Attacker
+	// Defense configures receiver-side screening (applies to every
+	// aggregating agent, attackers included — a poisoner still defends
+	// its own aggregate).
+	Defense Defense
+}
+
+// Empty reports whether the plan neither attacks nor defends.
+func (p AdversaryPlan) Empty() bool {
+	return len(p.Attackers) == 0 && !p.Defense.Enabled()
+}
+
+// Validate checks attacker references and ranges against a network of n
+// agents.
+func (p AdversaryPlan) Validate(n int) error {
+	seen := make(map[int]bool, len(p.Attackers))
+	for _, a := range p.Attackers {
+		if a.Agent < 0 || a.Agent >= n {
+			return fmt.Errorf("fed: attacker agent %d outside range [0,%d)", a.Agent, n)
+		}
+		if seen[a.Agent] {
+			return fmt.Errorf("fed: duplicate attacker entry for agent %d", a.Agent)
+		}
+		seen[a.Agent] = true
+		if !a.Attack.Valid() {
+			return fmt.Errorf("fed: unknown attack kind %q for agent %d", a.Attack, a.Agent)
+		}
+		if a.Attack == AttackNoise && (a.Scale <= 0 || math.IsNaN(a.Scale) || math.IsInf(a.Scale, 0)) {
+			return fmt.Errorf("fed: noise attacker %d needs a positive finite Scale (have %g)", a.Agent, a.Scale)
+		}
+		if a.Attack == AttackStale && a.Lag < 1 {
+			return fmt.Errorf("fed: stale attacker %d needs Lag ≥ 1 (have %d)", a.Agent, a.Lag)
+		}
+		if a.StartRound < 0 {
+			return fmt.Errorf("fed: attacker %d StartRound %d must be ≥ 0", a.Agent, a.StartRound)
+		}
+		if a.EndRound != 0 && a.EndRound <= a.StartRound {
+			return fmt.Errorf("fed: attacker %d EndRound %d must exceed StartRound %d (or be 0)",
+				a.Agent, a.EndRound, a.StartRound)
+		}
+	}
+	return p.Defense.Validate()
+}
+
+// MaxAgent returns the highest agent index the plan references, or -1
+// for a plan touching no specific agent.
+func (p AdversaryPlan) MaxAgent() int {
+	max := -1
+	for _, a := range p.Attackers {
+		if a.Agent > max {
+			max = a.Agent
+		}
+	}
+	return max
+}
+
+// DetectionsPerRound predicts the ByzantineRejected count one drop-free
+// all-to-all round at per-kind round index r records over n live
+// agents: each active attacker the defense catches poisons the payloads
+// received by its n−1 peers (the attacker's own aggregate folds its
+// true snapshot, so it contributes no self-detection). The byzantine
+// golden test pins the run total against a sum of these.
+func (p AdversaryPlan) DetectionsPerRound(n, r int) int {
+	d := 0
+	for _, a := range p.Attackers {
+		if a.activeAt(r) && p.Defense.Catches(a) {
+			d += n - 1
+		}
+	}
+	return d
+}
+
+// Adversary is the runtime an AdversaryPlan drives: per-kind round
+// counters, the stale-replay history rings, and the perturbation
+// scratch. Attach one to every RoundWorkspace of the planes it targets
+// (one instance may serve several workspaces as long as their rounds
+// begin on one goroutine — true for the engine loop; Suspect is
+// read-only and safe from aggregation goroutines).
+type Adversary struct {
+	plan     AdversaryPlan
+	byAgent  map[int]*Attacker
+	rounds   map[string]int
+	hist     map[histKey][][]*tensor.Matrix
+	freelist [][]*tensor.Matrix
+	buf      []*tensor.Matrix
+}
+
+type histKey struct {
+	agent int
+	kind  string
+}
+
+// NewAdversary builds the runtime for a plan. Callers should Validate
+// the plan first; NewAdversary does not re-check it.
+func NewAdversary(plan AdversaryPlan) *Adversary {
+	a := &Adversary{
+		plan:    plan,
+		byAgent: make(map[int]*Attacker, len(plan.Attackers)),
+		rounds:  make(map[string]int),
+	}
+	for i := range plan.Attackers {
+		at := &plan.Attackers[i]
+		a.byAgent[at.Agent] = at
+	}
+	return a
+}
+
+// Plan returns the plan the runtime was built from.
+func (a *Adversary) Plan() AdversaryPlan { return a.plan }
+
+// DefenseEnabled reports whether receiver-side screening is on.
+func (a *Adversary) DefenseEnabled() bool { return a.plan.Defense.Enabled() }
+
+// BeginRound returns the per-kind round index for the round now
+// starting and advances the counter. Called once per federation round
+// by the round entry points, on the round-starting goroutine.
+func (a *Adversary) BeginRound(kind string) int {
+	r := a.rounds[kind]
+	a.rounds[kind] = r + 1
+	return r
+}
+
+// RoundsRun returns how many rounds of a kind have begun — the
+// byzantine golden test sums DetectionsPerRound over these.
+func (a *Adversary) RoundsRun(kind string) int { return a.rounds[kind] }
+
+// PayloadFor returns the parameter set agent broadcasts in round r of
+// kind: snap itself for honest agents and inactive attackers, or an
+// adversary-owned perturbed buffer. The returned set is only valid
+// until the next PayloadFor call — marshal or encode it immediately
+// (the round entry points do).
+func (a *Adversary) PayloadFor(agent int, kind string, r int, snap []*tensor.Matrix) []*tensor.Matrix {
+	at := a.byAgent[agent]
+	if at == nil {
+		return snap
+	}
+	if at.Attack == AttackStale {
+		// History records every round (active or not) so a window
+		// opening later still has Lag rounds behind it.
+		replay := a.pushHistory(agent, kind, at.Lag, snap)
+		if !at.activeAt(r) || replay == nil {
+			return snap
+		}
+		return replay
+	}
+	if !at.activeAt(r) {
+		return snap
+	}
+	a.buf = ensureParamsLike(a.buf, snap)
+	switch at.Attack {
+	case AttackSignFlip:
+		for i, m := range snap {
+			dst, src := a.buf[i].Data, m.Data
+			for j := range src {
+				dst[j] = -src[j]
+			}
+		}
+	case AttackNoise:
+		amp := at.Scale * paramsRMS(snap)
+		// Deterministic per-element noise stream keyed on (seed, kind,
+		// round, agent, element) — reruns are bit-identical and the
+		// stream is independent of every simulation RNG.
+		base := splitmix(uint64(a.plan.Seed) ^ hashKind(kind) ^ uint64(r)*0x9e3779b97f4a7c15 ^ uint64(agent)<<32)
+		e := uint64(0)
+		for i, m := range snap {
+			dst, src := a.buf[i].Data, m.Data
+			for j := range src {
+				u := unitFloat(splitmix(base + e))
+				dst[j] = src[j] + amp*u
+				e++
+			}
+		}
+	}
+	return a.buf
+}
+
+// pushHistory records snap in the agent's per-kind replay ring and
+// returns the snapshot from lag rounds ago, or nil while the ring is
+// still filling.
+func (a *Adversary) pushHistory(agent int, kind string, lag int, snap []*tensor.Matrix) []*tensor.Matrix {
+	if a.hist == nil {
+		a.hist = make(map[histKey][][]*tensor.Matrix)
+	}
+	k := histKey{agent, kind}
+	var set []*tensor.Matrix
+	if n := len(a.freelist); n > 0 {
+		set = a.freelist[n-1]
+		a.freelist = a.freelist[:n-1]
+	}
+	set = ensureParamsLike(set, snap)
+	nn.CopyParams(set, snap)
+	ring := append(a.hist[k], set)
+	if len(ring) == lag+1 {
+		old := ring[0]
+		copy(ring, ring[1:])
+		ring = ring[:lag]
+		a.hist[k] = ring
+		// old stays valid until the next PayloadFor (the freelist hands
+		// it out again only after reshaping), matching the contract.
+		a.freelist = append(a.freelist, old)
+		return old
+	}
+	a.hist[k] = ring
+	return nil
+}
+
+// Suspect screens a decoded payload against the aggregating agent's
+// reference parameters, returning the rejection reason and true when a
+// gate fires. With the defense disabled (or a degenerate zero-norm
+// side) it always passes.
+func (a *Adversary) Suspect(payload, template []*tensor.Matrix) (string, bool) {
+	d := a.plan.Defense
+	if !d.Enabled() {
+		return "", false
+	}
+	var dot, pp, tt float64
+	for i, m := range payload {
+		pd, td := m.Data, template[i].Data
+		for j := range pd {
+			dot += pd[j] * td[j]
+			pp += pd[j] * pd[j]
+			tt += td[j] * td[j]
+		}
+	}
+	if pp == 0 || tt == 0 {
+		return "", false
+	}
+	pn, tn := math.Sqrt(pp), math.Sqrt(tt)
+	if d.NormRatio > 0 {
+		r := pn / tn
+		if r < 1 {
+			r = 1 / r
+		}
+		if r > d.NormRatio {
+			return fmt.Sprintf("byzantine: norm ratio %.2f exceeds %g", r, d.NormRatio), true
+		}
+	}
+	if d.CosineGate {
+		if cos := dot / (pn * tn); cos < d.CosineMin {
+			return fmt.Sprintf("byzantine: cosine %.3f below %g", cos, d.CosineMin), true
+		}
+	}
+	return "", false
+}
+
+// paramsRMS returns the root-mean-square over every element of a set
+// (0 for an empty set).
+func paramsRMS(set []*tensor.Matrix) float64 {
+	var sum float64
+	n := 0
+	for _, m := range set {
+		for _, v := range m.Data {
+			sum += v * v
+		}
+		n += len(m.Data)
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// splitmix is the SplitMix64 finalizer — a stateless bijective hash
+// turning any counter into well-distributed bits.
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unitFloat maps 64 random bits onto [-1, 1).
+func unitFloat(z uint64) float64 {
+	return float64(z>>11)/(1<<52) - 1
+}
+
+// hashKind is a tiny FNV-1a over the kind string, mixing it into the
+// noise stream key.
+func hashKind(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -199,6 +199,15 @@ func (rep *RoundReport) collectFrom(msgs []fednet.Message, agent int, template [
 			rep.reject(agent, msg.From, msg.Kind, "NaN/Inf parameters", false)
 			continue
 		}
+		// Adversary screening runs after structural validation: the gates
+		// compare a well-formed payload against the receiver's own
+		// snapshot. Never self-screen — own folds without gating.
+		if ws != nil && ws.Adv != nil && msg.From != agent && own != nil {
+			if reason, bad := ws.Adv.Suspect(got, own); bad {
+				rep.rejectByzantine(agent, msg.From, msg.Kind, reason)
+				continue
+			}
+		}
 		sets = append(sets, got)
 	}
 	return sets

@@ -50,6 +50,15 @@ type RoundWorkspace struct {
 	// telemetry sink. Nil is free.
 	Tel *RoundTelemetry
 
+	// Adv, when non-nil, drives the scenario adversary: attackers listed
+	// in its plan broadcast deterministically poisoned payloads, and when
+	// its defense is enabled every aggregating agent screens received
+	// payloads (norm-ratio / cosine gates) before they join the mean,
+	// rejected ones landing in RoundReport.ByzantineRejected. Nil — the
+	// only state for every pre-scenario config — leaves both the
+	// transport and aggregation halves byte-identical to before.
+	Adv *Adversary
+
 	marshal [][]byte
 	snaps   [][]*tensor.Matrix
 	staged  [][]*tensor.Matrix
@@ -176,6 +185,10 @@ func BeginDecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind 
 		panic("fed: BeginDecentralizedRound: workspace round still pending (Join it first)")
 	}
 	ws.ensureAgents(n)
+	advRound := -1
+	if ws.Adv != nil {
+		advRound = ws.Adv.BeginRound(kind)
+	}
 	topo := net.Config().Topology
 	p.rep.PartialExchange = topo == fednet.Ring || topo == fednet.Sampled
 	live := make([]bool, n)
@@ -199,16 +212,24 @@ func BeginDecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind 
 		base := baseParams(m, alpha)
 		ws.snaps[i] = ensureParamsLike(ws.snaps[i], base)
 		nn.CopyParams(ws.snaps[i], base)
+		// A Byzantine agent broadcasts a poisoned set while ws.snaps[i]
+		// stays true — its own aggregation folds honest parameters. The
+		// adversary buffer is marshaled before the next PayloadFor call,
+		// so one shared buffer serves the whole loop.
+		payload := ws.snaps[i]
+		if ws.Adv != nil {
+			payload = ws.Adv.PayloadFor(i, kind, advRound, ws.snaps[i])
+		}
 		if ws.Comms != nil {
 			var err error
-			ws.marshal[i], err = ws.Comms.EncodeInto(ws.marshal[i][:0], i, kind, ws.snaps[i])
+			ws.marshal[i], err = ws.Comms.EncodeInto(ws.marshal[i][:0], i, kind, payload)
 			if err != nil {
 				p.err = fmt.Errorf("fed: encoding agent %d params: %w", i, err)
 				close(p.done)
 				return p
 			}
 		} else {
-			ws.marshal[i] = MarshalParamsInto(ws.marshal[i], ws.snaps[i])
+			ws.marshal[i] = MarshalParamsInto(ws.marshal[i], payload)
 		}
 		if err := net.Broadcast(i, kind, ws.marshal[i]); err != nil {
 			p.err = err
@@ -258,7 +279,11 @@ func BeginDecentralizedRound(net *fednet.Network, models []*nn.Sequential, kind 
 			foldStart = time.Now()
 		}
 		if ws.Comms != nil {
-			p.aggregateStreaming(msgs, kind, ws)
+			if ws.Adv != nil && ws.Adv.DefenseEnabled() {
+				p.aggregateScreened(msgs, kind, ws)
+			} else {
+				p.aggregateStreaming(msgs, kind, ws)
+			}
 		} else {
 			for idx, i := range p.agents {
 				ws.decodeUsed = 0 // agent idx's sets are consumed before idx+1 decodes
@@ -334,6 +359,49 @@ func (p *PendingRound) aggregateStreaming(msgs [][]fednet.Message, kind string, 
 				return
 			}
 		}
+	}
+}
+
+// aggregateScreened is the compressed-plane aggregation half with the
+// adversary defense enabled. Streaming folds can't screen a payload they
+// never materialize, so this path decodes every accepted payload into a
+// pooled set, runs the Suspect gates against the receiver's own
+// snapshot, and averages survivors dense-style — the same element order
+// as the streaming fold, at the cost of O(N·P) transient scratch. It
+// runs only when a scenario turns the defense on; plain runs keep the
+// untouched streaming path.
+func (p *PendingRound) aggregateScreened(msgs [][]fednet.Message, kind string, ws *RoundWorkspace) {
+	x := ws.Comms
+	var sets [][]*tensor.Matrix
+	for idx, i := range p.agents {
+		base := p.bases[idx]
+		ws.decodeUsed = 0 // agent idx's sets are consumed before idx+1 decodes
+		sets = sets[:0]
+		if paramsClean(ws.snaps[i]) {
+			sets = append(sets, ws.snaps[i])
+		} else {
+			p.rep.reject(i, i, kind, "NaN/Inf parameters", false)
+		}
+		for _, msg := range msgs[i] {
+			if msg.Kind != kind {
+				continue
+			}
+			if err := x.Validate(msg.From, kind, base, msg.Payload); err != nil {
+				p.rep.reject(i, msg.From, msg.Kind, err.Error(), !errors.Is(err, wire.ErrDiverged))
+				continue
+			}
+			got := ensureParamsLike(ws.nextDecodeSet(len(base)), base)
+			if err := x.DecodeInto(got, msg.From, kind, msg.Payload); err != nil {
+				p.rep.reject(i, msg.From, msg.Kind, err.Error(), true)
+				continue
+			}
+			if reason, bad := ws.Adv.Suspect(got, ws.snaps[i]); bad {
+				p.rep.rejectByzantine(i, msg.From, msg.Kind, reason)
+				continue
+			}
+			sets = append(sets, got)
+		}
+		p.used[idx] = nn.AverageParamSets(p.staged[idx], sets...)
 	}
 }
 

@@ -40,9 +40,12 @@ type RoundReport struct {
 	MinSets, MaxSets int
 	// CorruptRejected counts payloads thrown out by wire validation
 	// (checksum mismatch, framing, shape); NaNRejected counts sets
-	// thrown out by the divergence filter.
-	CorruptRejected int
-	NaNRejected     int
+	// thrown out by the divergence filter; ByzantineRejected counts
+	// well-formed payloads quarantined by the adversary defense gates
+	// (norm-ratio / cosine screening against the receiver's snapshot).
+	CorruptRejected   int
+	NaNRejected       int
+	ByzantineRejected int
 	// Rejects details every exclusion.
 	Rejects []Reject
 
@@ -123,7 +126,7 @@ func (c CommsTotals) CompressionRatio() float64 {
 // protocol promises: the full fleet for broadcast and cluster rounds, at
 // least each agent's own set for partial exchanges (ring/sampled gossip).
 func (r RoundReport) Degraded() bool {
-	if r.Crashed > 0 || r.CorruptRejected > 0 || r.NaNRejected > 0 {
+	if r.Crashed > 0 || r.CorruptRejected > 0 || r.NaNRejected > 0 || r.ByzantineRejected > 0 {
 		return true
 	}
 	if r.PartialExchange {
@@ -170,5 +173,12 @@ func (r *RoundReport) reject(agent, from int, kind, reason string, corrupt bool)
 	} else {
 		r.NaNRejected++
 	}
+	r.Rejects = append(r.Rejects, Reject{Agent: agent, From: from, Kind: kind, Reason: reason})
+}
+
+// rejectByzantine records one exclusion made by the adversary defense
+// gates.
+func (r *RoundReport) rejectByzantine(agent, from int, kind, reason string) {
+	r.ByzantineRejected++
 	r.Rejects = append(r.Rejects, Reject{Agent: agent, From: from, Kind: kind, Reason: reason})
 }

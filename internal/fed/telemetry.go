@@ -74,7 +74,7 @@ func (t *RoundTelemetry) observeJoin(begin time.Time, wait time.Duration, rep Ro
 	t.rounds.Inc()
 	t.agents.Add(int64(rep.Agents))
 	t.crashed.Add(int64(rep.Crashed))
-	t.rejected.Add(int64(rep.CorruptRejected + rep.NaNRejected))
+	t.rejected.Add(int64(rep.CorruptRejected + rep.NaNRejected + rep.ByzantineRejected))
 	t.bytesSent.Add(rep.BytesSent)
 	t.denseBytes.Add(rep.DenseBytes)
 	t.sink.Record(telemetry.Span{

@@ -103,6 +103,10 @@ func ClusterRound(net *fednet.Network, models []*nn.Sequential, kind string, alp
 		begin = time.Now()
 	}
 	ws.ensureAgents(n)
+	advRound := -1
+	if ws.Adv != nil {
+		advRound = ws.Adv.BeginRound(kind)
+	}
 	clusters := net.Clusters()
 	sumKind, dlKind := kind+"/sum", kind+"/dl"
 
@@ -153,14 +157,22 @@ func ClusterRound(net *fednet.Network, models []*nn.Sequential, kind string, alp
 				rep.reject(agg, i, kind, "NaN/Inf parameters (upload withheld)", false)
 				continue
 			}
+			// A Byzantine member poisons only its upload; compromised
+			// aggregators (phases 2–5) are out of scope — the plan's
+			// Validate does not forbid listing one, but its summary and
+			// download hops ship honest aggregates.
+			payload := ws.snaps[i]
+			if ws.Adv != nil {
+				payload = ws.Adv.PayloadFor(i, kind, advRound, ws.snaps[i])
+			}
 			var err error
 			if ws.Comms != nil {
-				ws.marshal[i], err = ws.Comms.EncodeInto(ws.marshal[i][:0], i, kind, ws.snaps[i])
+				ws.marshal[i], err = ws.Comms.EncodeInto(ws.marshal[i][:0], i, kind, payload)
 				if err != nil {
 					return rep, fmt.Errorf("fed: encoding agent %d upload: %w", i, err)
 				}
 			} else {
-				ws.marshal[i] = MarshalParamsInto(ws.marshal[i], ws.snaps[i])
+				ws.marshal[i] = MarshalParamsInto(ws.marshal[i], payload)
 			}
 			if _, err := net.SendReliable(i, agg, kind, ws.marshal[i]); err != nil {
 				return rep, err
@@ -343,11 +355,14 @@ func foldRound(rep *RoundReport, ws *RoundWorkspace, agent int, kind string, tem
 	var froms []int
 	var sets [][]*tensor.Matrix // dense path only
 	var accepted []fednet.Message
-	if x == nil {
+	// Adversary screening references the hop's template (the aggregating
+	// agent's live base / cluster mean) — always present, unlike own.
+	screen := ws.Adv != nil && ws.Adv.DefenseEnabled()
+	if x == nil || screen {
 		ws.decodeUsed = 0
-		if own != nil {
-			sets = append(sets, own)
-		}
+	}
+	if x == nil && own != nil {
+		sets = append(sets, own)
 	}
 	for _, msg := range inbox {
 		if msg.Kind != kind {
@@ -357,6 +372,17 @@ func foldRound(rep *RoundReport, ws *RoundWorkspace, agent int, kind string, tem
 			if err := x.Validate(msg.From, kind, template, msg.Payload); err != nil {
 				rep.reject(agent, msg.From, msg.Kind, err.Error(), !errors.Is(err, wire.ErrDiverged))
 				continue
+			}
+			if screen && msg.From != agent {
+				got := ensureParamsLike(ws.nextDecodeSet(len(template)), template)
+				if err := x.DecodeInto(got, msg.From, kind, msg.Payload); err != nil {
+					rep.reject(agent, msg.From, msg.Kind, err.Error(), true)
+					continue
+				}
+				if reason, bad := ws.Adv.Suspect(got, template); bad {
+					rep.rejectByzantine(agent, msg.From, msg.Kind, reason)
+					continue
+				}
 			}
 			accepted = append(accepted, msg)
 		} else {
@@ -368,6 +394,12 @@ func foldRound(rep *RoundReport, ws *RoundWorkspace, agent int, kind string, tem
 			if !paramsClean(got) {
 				rep.reject(agent, msg.From, msg.Kind, "NaN/Inf parameters", false)
 				continue
+			}
+			if ws.Adv != nil && msg.From != agent {
+				if reason, bad := ws.Adv.Suspect(got, template); bad {
+					rep.rejectByzantine(agent, msg.From, msg.Kind, reason)
+					continue
+				}
 			}
 			sets = append(sets, got)
 		}

@@ -1,0 +1,77 @@
+package pricing
+
+import "fmt"
+
+// Window is one demand-response pricing window: on day Day, minutes
+// [StartMin, EndMin) price at PriceFactor × the base tariff rate. A
+// factor > 1 models a scarcity price spike; a factor in (0,1) models a
+// rebate window.
+type Window struct {
+	Day              int
+	StartMin, EndMin int
+	PriceFactor      float64
+}
+
+// active reports whether the window covers the given day-minute.
+func (w Window) active(day, minuteOfDay int) bool {
+	return day == w.Day && minuteOfDay >= w.StartMin && minuteOfDay < w.EndMin
+}
+
+// Validate checks the window against a run of `days` simulated days.
+func (w Window) Validate(days int) error {
+	if w.Day < 0 || (days > 0 && w.Day >= days) {
+		return fmt.Errorf("pricing: DR window day %d outside [0,%d)", w.Day, days)
+	}
+	if w.StartMin < 0 || w.StartMin >= 24*60 {
+		return fmt.Errorf("pricing: DR window StartMin %d outside [0,1440)", w.StartMin)
+	}
+	if w.EndMin <= w.StartMin || w.EndMin > 24*60 {
+		return fmt.Errorf("pricing: DR window EndMin %d outside (%d,1440]", w.EndMin, w.StartMin)
+	}
+	if w.PriceFactor <= 0 {
+		return fmt.Errorf("pricing: DR window PriceFactor %g must be positive", w.PriceFactor)
+	}
+	return nil
+}
+
+// Overlay layers scheduled demand-response windows on a base tariff.
+// Tariff itself is day-agnostic (PricePerKWh sees only month and
+// minute); DR events are calendar events, so the overlay adds the day
+// axis via PriceAt. Windows on the same day must not overlap — the
+// scenario validator rejects such configs; PriceAt applies the first
+// matching window.
+type Overlay struct {
+	Base    Tariff
+	Windows []Window
+}
+
+// PriceAt returns the $/kWh rate on simulated day `day` of the given
+// month at the given minute, applying any active DR window's factor.
+func (o *Overlay) PriceAt(day, month, minuteOfDay int) float64 {
+	p := o.Base.PricePerKWh(month, minuteOfDay)
+	for _, w := range o.Windows {
+		if w.active(day, minuteOfDay) {
+			return p * w.PriceFactor
+		}
+	}
+	return p
+}
+
+// Validate checks every window and rejects same-day overlaps.
+func (o *Overlay) Validate(days int) error {
+	if o.Base == nil {
+		return fmt.Errorf("pricing: overlay has no base tariff")
+	}
+	for i, w := range o.Windows {
+		if err := w.Validate(days); err != nil {
+			return err
+		}
+		for _, prev := range o.Windows[:i] {
+			if prev.Day == w.Day && w.StartMin < prev.EndMin && prev.StartMin < w.EndMin {
+				return fmt.Errorf("pricing: DR windows overlap on day %d ([%d,%d) and [%d,%d))",
+					w.Day, prev.StartMin, prev.EndMin, w.StartMin, w.EndMin)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowValidate(t *testing.T) {
+	bad := []Window{
+		{Day: -1, EndMin: 60, PriceFactor: 2},
+		{Day: 5, EndMin: 60, PriceFactor: 2}, // beyond the 3-day run
+		{StartMin: -1, EndMin: 60, PriceFactor: 2},
+		{StartMin: 1440, EndMin: 1441, PriceFactor: 2},
+		{StartMin: 60, EndMin: 60, PriceFactor: 2},
+		{StartMin: 60, EndMin: 30, PriceFactor: 2},
+		{EndMin: 2000, PriceFactor: 2},
+		{EndMin: 60, PriceFactor: 0},
+		{EndMin: 60, PriceFactor: -3},
+	}
+	for i, w := range bad {
+		if err := w.Validate(3); err == nil {
+			t.Errorf("bad window %d accepted: %+v", i, w)
+		}
+	}
+	ok := Window{Day: 2, StartMin: 17 * 60, EndMin: 20 * 60, PriceFactor: 3}
+	if err := ok.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	// days ≤ 0 skips the day-range check (run length unknown yet).
+	if err := (Window{Day: 99, EndMin: 60, PriceFactor: 2}).Validate(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlayPriceAt(t *testing.T) {
+	o := &Overlay{
+		Base: FixedRate{},
+		Windows: []Window{
+			{Day: 1, StartMin: 17 * 60, EndMin: 20 * 60, PriceFactor: 3},
+			{Day: 1, StartMin: 2 * 60, EndMin: 4 * 60, PriceFactor: 0.5},
+		},
+	}
+	if err := o.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	base := FixedRate{}.PricePerKWh(6, 18*60)
+	if got := o.PriceAt(0, 6, 18*60); got != base {
+		t.Fatalf("day 0 price %g, want base %g", got, base)
+	}
+	if got, want := o.PriceAt(1, 6, 18*60), base*3; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("spike price %g, want %g", got, want)
+	}
+	if got, want := o.PriceAt(1, 6, 3*60), base*0.5; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("rebate price %g, want %g", got, want)
+	}
+	if got := o.PriceAt(1, 6, 20*60); got != base {
+		t.Fatalf("post-window price %g, want base %g", got, base)
+	}
+}
+
+func TestOverlayValidate(t *testing.T) {
+	if err := (&Overlay{}).Validate(1); err == nil {
+		t.Fatal("nil base tariff accepted")
+	}
+	overlapping := &Overlay{
+		Base: FixedRate{},
+		Windows: []Window{
+			{Day: 0, StartMin: 600, EndMin: 720, PriceFactor: 2},
+			{Day: 0, StartMin: 700, EndMin: 800, PriceFactor: 3},
+		},
+	}
+	if err := overlapping.Validate(1); err == nil {
+		t.Fatal("overlapping same-day windows accepted")
+	}
+	// Same minutes on different days are fine; touching windows
+	// (end == start) on one day are fine too.
+	ok := &Overlay{
+		Base: FixedRate{},
+		Windows: []Window{
+			{Day: 0, StartMin: 600, EndMin: 720, PriceFactor: 2},
+			{Day: 1, StartMin: 600, EndMin: 720, PriceFactor: 2},
+			{Day: 0, StartMin: 720, EndMin: 800, PriceFactor: 3},
+		},
+	}
+	if err := ok.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	badWindow := &Overlay{Base: FixedRate{}, Windows: []Window{{EndMin: 60, PriceFactor: -1}}}
+	if err := badWindow.Validate(1); err == nil {
+		t.Fatal("invalid member window accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/pricing"
+)
+
+// FuzzParse feeds hostile documents through the full load pipeline:
+// Parse must never panic, and any document that survives Parse AND
+// Validate must yield internally consistent derived views (a valid
+// pricing overlay, curtailments in range, a validated adversary plan) —
+// the invariant core relies on when it wires a scenario without
+// re-checking.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"Name": "x"}`,
+		`{"Name": "x", "Events": [{"Day": 0, "StartMin": 0, "EndMin": 60, "PriceFactor": 2}]}`,
+		`{"Name": "x", "Events": [{"PriceFactor": 1e999}]}`,
+		`{"Name": "x", "Events": [{"Day": 0, "StartMin": 0, "EndMin": 60, "PriceFactor": 2},
+		   {"Day": 0, "StartMin": 30, "EndMin": 90, "PriceFactor": 3}]}`, // overlap
+		`{"Name": "x", "Events": [{"Day": 0, "StartMin": 60, "EndMin": 30, "PriceFactor": 2}]}`,
+		`{"Name": "x", "DER": [{"Battery": {"CapacityKWh": 10, "MaxChargeKW": 3, "MaxDischargeKW": 3}}]}`,
+		`{"Name": "x", "DER": [{"Homes": [99], "PV": {"PeakKW": 4}}]}`,
+		`{"Name": "x", "DER": [{"EV": {"CapacityKWh": 40, "RateKW": [3, -1], "DepartMin": 60}}]}`,
+		`{"Name": "x", "Adversary": {"Attackers": [{"Agent": -3, "Attack": "sign-flip"}]}}`,
+		`{"Name": "x", "Adversary": {"Attackers": [{"Agent": 0, "Attack": "noise", "Scale": 1e999}]}}`,
+		`{"Name": "x", "Adversary": {"Defense": {"NormRatio": 0.1}}}`,
+		`{"Name": "x", "Seasonal": {"StartMonth": 99}}`,
+		`{"Name": "x", "Unknown": 1}`,
+		`null`,
+		"{\"Name\": \"\u0000\", \"Events\": null, \"DER\": null}",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		const homes, days = 4, 3
+		if err := s.Validate(homes, days); err != nil {
+			// Rejections must be located FieldErrors, never bare panics
+			// (the deferred-recover default would have failed the run).
+			return
+		}
+		// Survivors must compose cleanly.
+		if o := s.Overlay(pricing.FixedRate{}); o != nil {
+			if err := o.Validate(days); err != nil {
+				t.Fatalf("validated scenario produced invalid overlay: %v", err)
+			}
+			for day := 0; day < days; day++ {
+				for _, min := range []int{0, 6 * 60, 12 * 60, 23*60 + 59} {
+					if p := o.PriceAt(day, 6, min); p <= 0 {
+						t.Fatalf("overlay price %g at day %d min %d", p, day, min)
+					}
+				}
+			}
+		}
+		for day := 0; day < days; day++ {
+			for _, min := range []int{0, 17 * 60, 23*60 + 59} {
+				if c := s.CurtailAt(day, min); c < 0 || c > 1 {
+					t.Fatalf("curtail %g out of range", c)
+				}
+			}
+		}
+		for i := range s.DER {
+			if s.DER[i].Kind() == "" {
+				t.Fatalf("validated DER spec %d has no kind", i)
+			}
+		}
+		if plan := s.AdversaryPlan(); plan.Validate(homes) != nil {
+			t.Fatal("validated scenario carries invalid adversary plan")
+		}
+	})
+}

@@ -1,0 +1,303 @@
+// Package scenario is the declarative workload layer (DESIGN.md §16): a
+// JSON-loadable description that composes the repo's capability families
+// — DER devices (internal/energy), demand-response pricing events
+// (internal/pricing), Byzantine peers (internal/fed), and the seasonal
+// corpus knobs (internal/pecan) — onto a core run without hand-coded
+// wiring. core.Config carries a *Scenario; cmd/pfdrl loads one with
+// -scenario <file>.
+//
+// Field names double as the JSON keys (the repo's checkpoint convention:
+// core.Config marshals the same way), and parsing rejects unknown
+// fields, so a typo in a scenario file is a load error rather than a
+// silently ignored knob. Validation is two-stage: Parse catches
+// structural JSON problems, Validate(homes, days) checks every range
+// against the concrete fleet it will run on and returns a *FieldError
+// naming the offending field.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/energy"
+	"repro/internal/fed"
+	"repro/internal/pricing"
+)
+
+// FieldError locates a validation failure in the scenario document.
+type FieldError struct {
+	// Field is a dotted path into the document (e.g. "DER[1].Battery").
+	Field string
+	Err   error
+}
+
+func (e *FieldError) Error() string { return fmt.Sprintf("scenario: %s: %v", e.Field, e.Err) }
+func (e *FieldError) Unwrap() error { return e.Err }
+
+// fieldErr wraps an error with its document location.
+func fieldErr(field string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &FieldError{Field: field, Err: err}
+}
+
+// Seasonal selects the trace generator's seasonal/occupancy modeling —
+// the knobs a multi-month sweep needs (pecan.Config mirrors).
+type Seasonal struct {
+	// StartMonth (1–12) anchors day 0 of the run; the simulated calendar
+	// advances through month boundaries from there.
+	StartMonth int
+	// VacationProb is the per-home weekly probability of a low-usage
+	// vacation week.
+	VacationProb float64
+	// MeterResolutionKW, when > 0, quantizes generated traces to a meter
+	// grid (enables the store's cheap grid codec).
+	MeterResolutionKW float64
+}
+
+// Validate checks the seasonal knobs.
+func (s *Seasonal) Validate() error {
+	if s.StartMonth < 1 || s.StartMonth > 12 {
+		return fmt.Errorf("StartMonth %d outside 1..12", s.StartMonth)
+	}
+	if s.VacationProb < 0 || s.VacationProb > 1 {
+		return fmt.Errorf("VacationProb %g outside [0,1]", s.VacationProb)
+	}
+	if s.MeterResolutionKW < 0 {
+		return fmt.Errorf("MeterResolutionKW %g must be ≥ 0", s.MeterResolutionKW)
+	}
+	return nil
+}
+
+// DERSpec attaches one DER unit family to a set of homes. Exactly one
+// of Battery, EV, PV must be set; empty Homes means the whole fleet
+// (which also makes the family's dispatch agents eligible for their own
+// federation rounds — a partial deployment trains locally only).
+type DERSpec struct {
+	// Homes lists the receiving home indices; empty = every home.
+	Homes []int
+	// Exactly one unit family per spec.
+	Battery *energy.BatterySpec
+	EV      *energy.EVSpec
+	PV      *energy.PVSpec
+}
+
+// Kind returns a short family label ("battery", "ev", "pv") for round
+// kinds and reports, or "" for a malformed spec.
+func (d *DERSpec) Kind() string {
+	switch {
+	case d.Battery != nil && d.EV == nil && d.PV == nil:
+		return "battery"
+	case d.EV != nil && d.Battery == nil && d.PV == nil:
+		return "ev"
+	case d.PV != nil && d.Battery == nil && d.EV == nil:
+		return "pv"
+	}
+	return ""
+}
+
+// AppliesTo reports whether the spec covers a home index.
+func (d *DERSpec) AppliesTo(home int) bool {
+	if len(d.Homes) == 0 {
+		return true
+	}
+	for _, h := range d.Homes {
+		if h == home {
+			return true
+		}
+	}
+	return false
+}
+
+// FleetWide reports whether the spec covers every home.
+func (d *DERSpec) FleetWide() bool { return len(d.Homes) == 0 }
+
+// validate checks the spec against a fleet of `homes` homes; field is
+// the spec's document path.
+func (d *DERSpec) validate(field string, homes int) error {
+	if d.Kind() == "" {
+		return fieldErr(field, fmt.Errorf("exactly one of Battery, EV, PV must be set"))
+	}
+	seen := make(map[int]bool, len(d.Homes))
+	for _, h := range d.Homes {
+		if h < 0 || (homes > 0 && h >= homes) {
+			return fieldErr(field+".Homes", fmt.Errorf("home %d outside [0,%d)", h, homes))
+		}
+		if seen[h] {
+			return fieldErr(field+".Homes", fmt.Errorf("duplicate home %d", h))
+		}
+		seen[h] = true
+	}
+	switch {
+	case d.Battery != nil:
+		return fieldErr(field+".Battery", d.Battery.Validate())
+	case d.EV != nil:
+		return fieldErr(field+".EV", d.EV.Validate())
+	default:
+		return fieldErr(field+".PV", d.PV.Validate())
+	}
+}
+
+// DREvent schedules one demand-response window: a price factor layered
+// on the TOU tariff and, optionally, a direct-load-control curtailment
+// of EV charging. Same-day events must not overlap.
+type DREvent struct {
+	// Day / StartMin / EndMin locate the window ([StartMin, EndMin) on
+	// simulated day Day).
+	Day              int
+	StartMin, EndMin int
+	// PriceFactor scales the base tariff inside the window (> 1 spike,
+	// (0,1) rebate, 1 curtailment-only).
+	PriceFactor float64
+	// EVCurtail ∈ [0,1] scales EV charge rates down by (1−EVCurtail)
+	// inside the window (0 = no curtailment).
+	EVCurtail float64
+}
+
+// window converts the event to its pricing overlay window.
+func (e DREvent) window() pricing.Window {
+	return pricing.Window{Day: e.Day, StartMin: e.StartMin, EndMin: e.EndMin, PriceFactor: e.PriceFactor}
+}
+
+// Scenario is the loadable workload description. The zero value (and a
+// nil *Scenario) reproduces the paper's plain workload exactly.
+type Scenario struct {
+	// Name identifies the scenario in reports and the serve API.
+	Name string
+	// Description is free-form documentation.
+	Description string `json:",omitempty"`
+	// Seasonal, when set, switches the trace generator to calendar mode.
+	Seasonal *Seasonal `json:",omitempty"`
+	// DER lists the device deployments.
+	DER []DERSpec `json:",omitempty"`
+	// Events lists the demand-response windows.
+	Events []DREvent `json:",omitempty"`
+	// Adversary scripts Byzantine peers and the aggregation defense.
+	// Requires the decentralized method (PFDRL) — the star baselines'
+	// rounds do not speak the adversary protocol.
+	Adversary *fed.AdversaryPlan `json:",omitempty"`
+}
+
+// Parse decodes a scenario document, rejecting unknown fields. It does
+// not range-check — call Validate once the fleet shape is known.
+func Parse(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parsing: %w", err)
+	}
+	// A second document in the same file is a config error, not data.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after document")
+	}
+	return &s, nil
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return s, nil
+}
+
+// Validate checks every range against the fleet it will run on: `homes`
+// simulated homes over `days` days (either ≤ 0 to skip its range
+// checks). Errors are *FieldError naming the offending field.
+func (s *Scenario) Validate(homes, days int) error {
+	if s == nil {
+		return nil
+	}
+	if s.Name == "" {
+		return fieldErr("Name", fmt.Errorf("must be set"))
+	}
+	if s.Seasonal != nil {
+		if err := s.Seasonal.Validate(); err != nil {
+			return fieldErr("Seasonal", err)
+		}
+	}
+	for i := range s.DER {
+		if err := s.DER[i].validate(fmt.Sprintf("DER[%d]", i), homes); err != nil {
+			return err
+		}
+	}
+	for i, e := range s.Events {
+		if err := e.window().Validate(days); err != nil {
+			return fieldErr(fmt.Sprintf("Events[%d]", i), err)
+		}
+		if e.EVCurtail < 0 || e.EVCurtail > 1 {
+			return fieldErr(fmt.Sprintf("Events[%d].EVCurtail", i),
+				fmt.Errorf("%g outside [0,1]", e.EVCurtail))
+		}
+		for j, prev := range s.Events[:i] {
+			if prev.Day == e.Day && e.StartMin < prev.EndMin && prev.StartMin < e.EndMin {
+				return fieldErr(fmt.Sprintf("Events[%d]", i),
+					fmt.Errorf("overlaps Events[%d] on day %d", j, e.Day))
+			}
+		}
+	}
+	if s.Adversary != nil {
+		if err := s.Adversary.Validate(homes); err != nil {
+			return fieldErr("Adversary", err)
+		}
+	}
+	return nil
+}
+
+// Overlay builds the pricing overlay the scenario's events impose on a
+// base tariff. Returns nil when the scenario schedules no events — the
+// caller keeps the plain tariff path.
+func (s *Scenario) Overlay(base pricing.Tariff) *pricing.Overlay {
+	if s == nil || len(s.Events) == 0 {
+		return nil
+	}
+	o := &pricing.Overlay{Base: base, Windows: make([]pricing.Window, len(s.Events))}
+	for i, e := range s.Events {
+		o.Windows[i] = e.window()
+	}
+	return o
+}
+
+// CurtailAt returns the EV curtailment fraction in force at a
+// day-minute (0 when no event covers it).
+func (s *Scenario) CurtailAt(day, minuteOfDay int) float64 {
+	if s == nil {
+		return 0
+	}
+	for _, e := range s.Events {
+		if e.Day == day && minuteOfDay >= e.StartMin && minuteOfDay < e.EndMin {
+			return e.EVCurtail
+		}
+	}
+	return 0
+}
+
+// HasDER reports whether any DER deployment is configured.
+func (s *Scenario) HasDER() bool { return s != nil && len(s.DER) > 0 }
+
+// DisplayName returns the scenario's name, "" for nil (status payloads
+// read it off a possibly-unset config field).
+func (s *Scenario) DisplayName() string {
+	if s == nil {
+		return ""
+	}
+	return s.Name
+}
+
+// AdversaryPlan returns the adversary plan, or the empty plan when none
+// is configured.
+func (s *Scenario) AdversaryPlan() fed.AdversaryPlan {
+	if s == nil || s.Adversary == nil {
+		return fed.AdversaryPlan{}
+	}
+	return *s.Adversary
+}

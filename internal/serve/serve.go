@@ -76,6 +76,7 @@ func New(eng *core.Engine, sink *telemetry.Sink, opts Options) *Daemon {
 // FleetStatus is the /v1/fleet/status payload.
 type FleetStatus struct {
 	Method   string `json:"method"`
+	Scenario string `json:"scenario,omitempty"`
 	Homes    int    `json:"homes"`
 	Days     int    `json:"days"`
 	Day      int    `json:"day"`
@@ -126,6 +127,7 @@ func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
 	cfg := d.eng.System().Config()
 	st := FleetStatus{
 		Method:          string(cfg.Method),
+		Scenario:        cfg.Scenario.DisplayName(),
 		Homes:           cfg.Homes,
 		Days:            cfg.Days,
 		Day:             d.eng.Day(),

@@ -1,0 +1,69 @@
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// BlobFile is a PFS1 corpus opened directly from disk. On platforms with
+// mmap support the block payloads alias the page cache — opening a
+// multi-gigabyte corpus costs no heap and pages in lazily as series are
+// decoded; elsewhere the file is read into memory once. Either way the
+// series returned by Series share the mapping, so they must not be used
+// after Close.
+type BlobFile struct {
+	series []*Series
+	data   []byte
+	mapped bool
+}
+
+// OpenBlobFile opens and parses a PFS1 blob written by WriteBlob. The
+// whole file is validated up front (same checks as ReadBlob); block
+// payload decode stays lazy. Close the BlobFile when the series are no
+// longer needed.
+func OpenBlobFile(path string) (*BlobFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size > int64(^uint(0)>>1) {
+		return nil, fmt.Errorf("store: blob %s too large to map (%d bytes)", path, size)
+	}
+	data, mapped, err := mapFile(f, int(size))
+	if err != nil {
+		return nil, fmt.Errorf("store: map %s: %w", path, err)
+	}
+	series, err := ReadBlob(data)
+	if err != nil {
+		if mapped {
+			unmapFile(data)
+		}
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return &BlobFile{series: series, data: data, mapped: mapped}, nil
+}
+
+// Series returns the corpus. The series alias the file mapping and are
+// invalidated by Close.
+func (b *BlobFile) Series() []*Series { return b.series }
+
+// Close releases the file mapping. Any Series obtained from this BlobFile
+// must not be touched afterwards — their block payloads point into the
+// unmapped region. Close is idempotent.
+func (b *BlobFile) Close() error {
+	if b.data == nil {
+		return nil
+	}
+	data, mapped := b.data, b.mapped
+	b.data, b.series = nil, nil
+	if !mapped {
+		return nil
+	}
+	return unmapFile(data)
+}

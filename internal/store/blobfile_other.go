@@ -1,0 +1,14 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package store
+
+import "os"
+
+// mapFile on platforms without a wired-up mmap path reads the whole file;
+// the BlobFile API is identical, just not lazy.
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	data, err := os.ReadFile(f.Name())
+	return data, false, err
+}
+
+func unmapFile(data []byte) error { return nil }

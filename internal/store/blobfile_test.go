@@ -1,0 +1,111 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenBlobFileBitIdentity pins the mmap path against the in-memory
+// one: every series opened from disk must decode to the exact bit
+// patterns ReadBlob produces from the same bytes, and the structural
+// accessors must agree.
+func TestOpenBlobFileBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var series []*Series
+	for i := 0; i < 3; i++ {
+		s := NewSeries(96)
+		for j := 0; j < 96*4+i*17; j++ {
+			if err := s.Append(math.Round(rng.NormFloat64()*100) / 100); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Seal()
+		series = append(series, s)
+	}
+	var buf bytes.Buffer
+	if err := WriteBlob(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.pfs1")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mem, err := ReadBlob(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := OpenBlobFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	got := bf.Series()
+	if len(got) != len(mem) {
+		t.Fatalf("opened %d series, want %d", len(got), len(mem))
+	}
+	for i := range mem {
+		m, g := mem[i], got[i]
+		if g.Len() != m.Len() || g.NumBlocks() != m.NumBlocks() || g.BlockLen() != m.BlockLen() {
+			t.Fatalf("series %d shape: file (%d,%d,%d) vs memory (%d,%d,%d)",
+				i, g.Len(), g.NumBlocks(), g.BlockLen(), m.Len(), m.NumBlocks(), m.BlockLen())
+		}
+		for b := 0; b < m.NumBlocks(); b++ {
+			if !bytes.Equal(g.Block(b), m.Block(b)) {
+				t.Fatalf("series %d block %d payload bytes differ", i, b)
+			}
+			mv, err := m.DecodeBlockInto(b, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gv, err := g.DecodeBlockInto(b, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(mv) != len(gv) {
+				t.Fatalf("series %d block %d: %d vs %d samples", i, b, len(gv), len(mv))
+			}
+			for j := range mv {
+				if math.Float64bits(mv[j]) != math.Float64bits(gv[j]) {
+					t.Fatalf("series %d block %d sample %d: file %x vs memory %x",
+						i, b, j, math.Float64bits(gv[j]), math.Float64bits(mv[j]))
+				}
+			}
+		}
+	}
+	if err := bf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.Close(); err != nil {
+		t.Fatal("Close not idempotent:", err)
+	}
+	if bf.Series() != nil {
+		t.Fatal("Series should be nil after Close")
+	}
+}
+
+// TestOpenBlobFileErrors pins the failure paths: missing files surface the
+// os error, and corrupt contents fail with ErrCorrupt before any series
+// is handed out.
+func TestOpenBlobFileErrors(t *testing.T) {
+	if _, err := OpenBlobFile(filepath.Join(t.TempDir(), "absent.pfs1")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	for name, contents := range map[string][]byte{
+		"empty":     {},
+		"truncated": []byte("PFS"),
+		"bad-magic": []byte("NOPEaaaaaaaaaaaaaaaaaaaa"),
+	} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(path, contents, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenBlobFile(path); err == nil {
+			t.Errorf("%s: corrupt blob accepted", name)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only. A zero-length file cannot be mapped (mmap
+// rejects length 0), so it degrades to an empty slice — ReadBlob then
+// reports the truncated header like any other short input.
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Some filesystems refuse mmap; fall back to a plain read
+		// rather than failing the open.
+		data, rerr := os.ReadFile(f.Name())
+		if rerr != nil {
+			return nil, false, err
+		}
+		return data, false, nil
+	}
+	return data, true, nil
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }
